@@ -1,0 +1,143 @@
+//! k-nearest-neighbor density estimation (Loftsgaarden & Quesenberry
+//! 1965; the "kNN" non-parametric alternative of §1/§2.4 of the tKDC
+//! paper).
+//!
+//! `f̂(x) = k / (n · V_d · r_k(x)^d)` where `r_k` is the distance to the
+//! k-th neighbor and `V_d` the unit-ball volume. Unlike KDE the estimate
+//! is not smooth (it has kinks at neighbor transitions) and does not
+//! integrate to one — the "do not provide smooth, normalized probability
+//! distributions" limitation the paper quotes from Silverman.
+
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::order::ln_gamma;
+use tkdc_common::Matrix;
+use tkdc_index::{k_nearest, KdTree, SplitRule};
+
+/// Fitted kNN density estimator.
+#[derive(Debug)]
+pub struct KnnDensity {
+    tree: KdTree,
+    k: usize,
+    /// log of the unit-ball volume V_d.
+    ln_unit_ball: f64,
+    dim: usize,
+    /// Unit per-axis scales (kNN density uses plain Euclidean distance);
+    /// prebuilt so `density` allocates nothing per query.
+    unit_scales: Vec<f64>,
+}
+
+impl KnnDensity {
+    /// Fits the estimator (plain Euclidean distances — kNN density is
+    /// scale-sensitive by definition).
+    ///
+    /// # Errors
+    /// Fails on empty data or `k` outside `1..n`.
+    pub fn fit(data: &Matrix, k: usize) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(Error::EmptyInput("kNN density training data"));
+        }
+        if k == 0 || k >= data.rows() {
+            return Err(invalid_param(
+                "k",
+                format!("must be in 1..n={}, got {k}", data.rows()),
+            ));
+        }
+        let d = data.cols() as f64;
+        // ln V_d = (d/2) ln π − ln Γ(d/2 + 1)
+        let ln_unit_ball = d / 2.0 * std::f64::consts::PI.ln() - ln_gamma(d / 2.0 + 1.0);
+        Ok(Self {
+            tree: KdTree::build(data, 16, SplitRule::Median)?,
+            k,
+            ln_unit_ball,
+            dim: data.cols(),
+            unit_scales: vec![1.0; data.cols()],
+        })
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        let hits = k_nearest(&self.tree, x, &self.unit_scales, self.k, false);
+        let r = hits
+            .last()
+            .map(|h| h.sq_dist.sqrt())
+            .unwrap_or(f64::INFINITY);
+        if r == 0.0 {
+            // k-th neighbor coincides with x (duplicates): density is
+            // unbounded at this point; report infinity honestly.
+            return Ok(f64::INFINITY);
+        }
+        let n = self.tree.len() as f64;
+        let ln_f = (self.k as f64 / n).ln() - self.ln_unit_ball - self.dim as f64 * r.ln();
+        Ok(ln_f.exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_common::{special, Rng};
+
+    fn blob(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(d);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.standard_normal();
+            }
+            m.push_row(&row).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn tracks_true_gaussian_density_1d() {
+        let data = blob(20_000, 1, 1);
+        let est = KnnDensity::fit(&data, 50).unwrap();
+        for &x in &[0.0, 0.5, 1.0, 2.0] {
+            let measured = est.density(&[x]).unwrap();
+            let truth = special::normal_pdf(x);
+            assert!(
+                (measured - truth).abs() < 0.15 * truth + 0.01,
+                "at {x}: {measured} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn density_decreases_into_the_tail() {
+        let data = blob(5_000, 2, 3);
+        let est = KnnDensity::fit(&data, 20).unwrap();
+        let center = est.density(&[0.0, 0.0]).unwrap();
+        let shoulder = est.density(&[1.5, 1.5]).unwrap();
+        let tail = est.density(&[5.0, 5.0]).unwrap();
+        assert!(center > shoulder && shoulder > tail);
+    }
+
+    #[test]
+    fn duplicates_yield_infinite_density() {
+        let mut m = Matrix::with_cols(1);
+        for _ in 0..10 {
+            m.push_row(&[2.0]).unwrap();
+        }
+        m.push_row(&[5.0]).unwrap();
+        let est = KnnDensity::fit(&m, 3).unwrap();
+        assert!(est.density(&[2.0]).unwrap().is_infinite());
+        assert!(est.density(&[5.0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let data = blob(20, 2, 5);
+        assert!(KnnDensity::fit(&data, 0).is_err());
+        assert!(KnnDensity::fit(&data, 20).is_err());
+        let est = KnnDensity::fit(&data, 3).unwrap();
+        assert!(est.density(&[1.0]).is_err());
+    }
+}

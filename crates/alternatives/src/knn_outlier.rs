@@ -1,0 +1,161 @@
+//! kNN-distance outlier scores (Ramaswamy, Rastogi & Shim, SIGMOD 2000 —
+//! reference [43] of the tKDC paper).
+//!
+//! A point's outlier score is its (scaled) distance to its k-th nearest
+//! neighbor; the points with the largest scores are outliers. Scores are
+//! *not* probability densities — they are not normalized, not comparable
+//! across datasets, and yield no p-values — which is the statistical
+//! interpretability gap §5 of the paper highlights.
+
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::order::quantile;
+use tkdc_common::Matrix;
+use tkdc_index::{k_nearest, KdTree, SplitRule};
+
+/// Fitted kNN-distance outlier model.
+#[derive(Debug)]
+pub struct KnnOutlierModel {
+    tree: KdTree,
+    inv_h: Vec<f64>,
+    k: usize,
+}
+
+impl KnnOutlierModel {
+    /// Fits the model: indexes the data and fixes `k`.
+    ///
+    /// Distances are scaled per dimension by the data's standard
+    /// deviations (the usual normalization; pass-through for z-scored
+    /// data).
+    ///
+    /// # Errors
+    /// Fails on empty data or `k == 0` / `k >= n`.
+    pub fn fit(data: &Matrix, k: usize) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(Error::EmptyInput("kNN outlier training data"));
+        }
+        if k == 0 || k >= data.rows() {
+            return Err(invalid_param(
+                "k",
+                format!("must be in 1..n={}, got {k}", data.rows()),
+            ));
+        }
+        let stds = tkdc_common::stats::column_stds(data);
+        let inv_h = crate::util::inv_scales_from_stds(&stds);
+        Ok(Self {
+            tree: KdTree::build(data, 16, SplitRule::Median)?,
+            inv_h,
+            k,
+        })
+    }
+
+    /// Outlier score of a query point: scaled distance to its k-th
+    /// nearest training neighbor (larger = more anomalous).
+    pub fn score(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.tree.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.tree.dim(),
+                actual: x.len(),
+            });
+        }
+        let hits = k_nearest(&self.tree, x, &self.inv_h, self.k, false);
+        Ok(hits
+            .last()
+            .map(|h| h.sq_dist.sqrt())
+            .unwrap_or(f64::INFINITY))
+    }
+
+    /// Outlier score of a point that is (or may be) part of the training
+    /// set: zero-distance matches are excluded, so a training row is
+    /// scored against the *other* points — the same semantics as
+    /// [`Self::training_scores`] and therefore directly comparable with
+    /// [`Self::threshold_for_rate`].
+    pub fn score_excluding_self(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.tree.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.tree.dim(),
+                actual: x.len(),
+            });
+        }
+        let hits = k_nearest(&self.tree, x, &self.inv_h, self.k, true);
+        Ok(hits
+            .last()
+            .map(|h| h.sq_dist.sqrt())
+            .unwrap_or(f64::INFINITY))
+    }
+
+    /// Scores every training point against the rest of the dataset
+    /// (excluding self-matches), in the tree's reordered row order.
+    pub fn training_scores(&self) -> Vec<f64> {
+        self.tree
+            .node_points(self.tree.root())
+            .map(|p| {
+                let hits = k_nearest(&self.tree, p, &self.inv_h, self.k, true);
+                hits.last()
+                    .map(|h| h.sq_dist.sqrt())
+                    .unwrap_or(f64::INFINITY)
+            })
+            .collect()
+    }
+
+    /// Score threshold above which a fraction `p` of the training data is
+    /// flagged (the analog of the paper's quantile threshold `t(p)`).
+    pub fn threshold_for_rate(&self, p: f64) -> Result<f64> {
+        let scores = self.training_scores();
+        quantile(&scores, 1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_common::Rng;
+
+    fn blob_with_outlier(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(2);
+        for _ in 0..n {
+            m.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+                .unwrap();
+        }
+        m.push_row(&[15.0, 15.0]).unwrap();
+        m
+    }
+
+    #[test]
+    fn planted_outlier_gets_top_score() {
+        let data = blob_with_outlier(400, 1);
+        let model = KnnOutlierModel::fit(&data, 5).unwrap();
+        let outlier_score = model.score(&[15.0, 15.0]).unwrap();
+        let center_score = model.score(&[0.0, 0.0]).unwrap();
+        assert!(
+            outlier_score > 5.0 * center_score,
+            "outlier {outlier_score} vs center {center_score}"
+        );
+        // Among training scores, the maximum belongs to the planted point.
+        let scores = model.training_scores();
+        let max = scores.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - outlier_score).abs() < outlier_score * 0.5);
+    }
+
+    #[test]
+    fn threshold_flags_expected_fraction() {
+        let data = blob_with_outlier(500, 3);
+        let model = KnnOutlierModel::fit(&data, 5).unwrap();
+        let t = model.threshold_for_rate(0.05).unwrap();
+        let scores = model.training_scores();
+        let flagged = scores.iter().filter(|&&s| s > t).count();
+        let frac = flagged as f64 / scores.len() as f64;
+        assert!(frac <= 0.06, "flagged fraction {frac}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let data = blob_with_outlier(10, 5);
+        assert!(KnnOutlierModel::fit(&data, 0).is_err());
+        assert!(KnnOutlierModel::fit(&data, 11).is_err());
+        let empty = Matrix::with_cols(2);
+        assert!(KnnOutlierModel::fit(&empty, 3).is_err());
+        let model = KnnOutlierModel::fit(&data, 3).unwrap();
+        assert!(model.score(&[1.0]).is_err());
+    }
+}

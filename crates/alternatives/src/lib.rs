@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # tkdc-alternatives
+//!
+//! The related-work outlier/anomaly detectors discussed in §5 of the tKDC
+//! paper, implemented on the same substrates so the comparisons the paper
+//! makes can be run quantitatively:
+//!
+//! * [`knn_outlier`] — distance-to-k-th-neighbor scores (Ramaswamy et al.);
+//!   fast but not a normalized probability density.
+//! * [`knn_density`] — the classic kNN density estimate; non-smooth and
+//!   unnormalized (the §2.4 contrast with KDE).
+//! * [`lof`] — Local Outlier Factor (Breunig et al.); density-relative,
+//!   still not statistically interpretable.
+//! * [`dbscan`] — DBSCAN clustering (Ester et al.); noise points as
+//!   outliers, no scores at all.
+//! * [`ocsvm`] — one-class SVM support estimation (Schölkopf et al.);
+//!   statistically motivated but with O(n²)–O(n³) training, which the
+//!   paper cites as *slower than even naive KDE evaluation* — the
+//!   `related_work` harness in `tkdc-bench` measures exactly that claim.
+//!
+//! None of these produce normalized, differentiable probability densities;
+//! that interpretability gap (p-values, level sets, hazard rates) is the
+//! paper's §5 argument for KDE-based classification. This crate exists to
+//! make that trade-off reproducible, not to replace tKDC.
+
+pub(crate) mod util;
+
+pub mod dbscan;
+pub mod knn_density;
+pub mod knn_outlier;
+pub mod lof;
+pub mod ocsvm;
+
+pub use dbscan::{dbscan, DbscanLabel, DbscanParams};
+pub use knn_density::KnnDensity;
+pub use knn_outlier::KnnOutlierModel;
+pub use lof::LofModel;
+pub use ocsvm::{OneClassSvm, SvmParams};

@@ -1,0 +1,231 @@
+//! Local Outlier Factor (Breunig, Kriegel, Ng & Sander, SIGMOD 2000 —
+//! reference [8] of the tKDC paper).
+//!
+//! LOF compares each point's local reachability density to that of its
+//! neighbors: scores near 1 mean "as dense as the neighborhood", scores
+//! well above 1 mean "locally sparse" (outlier). Like the kNN score, LOF
+//! is not a probability density — its values have no absolute statistical
+//! meaning, which is §5's interpretability argument for KDE.
+
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::Matrix;
+use tkdc_index::{k_nearest, KdTree, SplitRule};
+
+/// Fitted LOF model over a training set.
+#[derive(Debug)]
+pub struct LofModel {
+    tree: KdTree,
+    inv_h: Vec<f64>,
+    k: usize,
+    /// k-distance of each training row (tree order).
+    k_dist: Vec<f64>,
+    /// Local reachability density of each training row (tree order).
+    lrd: Vec<f64>,
+    /// LOF scores of the training rows, memoized at fit time.
+    training_lof: Vec<f64>,
+}
+
+impl LofModel {
+    /// Fits LOF with neighborhood size `k` (commonly 10–50).
+    ///
+    /// # Errors
+    /// Fails on empty data or `k` outside `1..n`.
+    pub fn fit(data: &Matrix, k: usize) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(Error::EmptyInput("LOF training data"));
+        }
+        if k == 0 || k >= data.rows() {
+            return Err(invalid_param(
+                "k",
+                format!("must be in 1..n={}, got {k}", data.rows()),
+            ));
+        }
+        let stds = tkdc_common::stats::column_stds(data);
+        let inv_h = crate::util::inv_scales_from_stds(&stds);
+        let tree = KdTree::build(data, 16, SplitRule::Median)?;
+        let n = tree.len();
+
+        // Pass 1: neighbor lists and k-distances.
+        let points: Vec<&[f64]> = tree.node_points(tree.root()).collect();
+        let mut neighbors: Vec<Vec<tkdc_index::Neighbor>> = Vec::with_capacity(n);
+        let mut k_dist = vec![0.0f64; n];
+        for (row, p) in points.iter().enumerate() {
+            let hits = k_nearest(&tree, p, &inv_h, k, true);
+            k_dist[row] = hits.last().map(|h| h.sq_dist.sqrt()).unwrap_or(0.0);
+            neighbors.push(hits);
+        }
+
+        // Pass 2: local reachability density
+        // lrd(p) = 1 / mean_{o ∈ N_k(p)} reach-dist_k(p, o)
+        // reach-dist_k(p, o) = max(k-distance(o), dist(p, o)).
+        let mut lrd = vec![0.0f64; n];
+        for row in 0..n {
+            let mut acc = 0.0;
+            for h in &neighbors[row] {
+                let dist = h.sq_dist.sqrt();
+                acc += dist.max(k_dist[h.row]);
+            }
+            let count = neighbors[row].len().max(1) as f64;
+            let mean_reach = acc / count;
+            // Duplicate-heavy neighborhoods can make mean_reach zero;
+            // treat them as maximally dense.
+            lrd[row] = if mean_reach > 0.0 {
+                1.0 / mean_reach
+            } else {
+                f64::INFINITY
+            };
+        }
+
+        // Pass 3: training LOF scores directly from the neighbor lists —
+        // fit already did the expensive traversals, so training_scores
+        // should not redo them.
+        let mut training_lof = vec![1.0f64; n];
+        for row in 0..n {
+            let hits = &neighbors[row];
+            if hits.is_empty() {
+                continue;
+            }
+            let mean_neighbor_lrd: f64 =
+                hits.iter().map(|h| lrd[h.row]).sum::<f64>() / hits.len() as f64;
+            training_lof[row] = if lrd[row].is_infinite() {
+                if mean_neighbor_lrd.is_infinite() {
+                    1.0
+                } else {
+                    // Maximally dense point among finite-density
+                    // neighbors: locally denser than its neighborhood.
+                    0.0
+                }
+            } else if mean_neighbor_lrd.is_infinite() {
+                f64::INFINITY
+            } else {
+                mean_neighbor_lrd / lrd[row]
+            };
+        }
+
+        Ok(Self {
+            tree,
+            inv_h,
+            k,
+            k_dist,
+            lrd,
+            training_lof,
+        })
+    }
+
+    /// LOF score of a query point against the training set: the ratio of
+    /// the neighbors' mean lrd to the query's own lrd. ≈1 for inliers,
+    /// ≫1 for outliers.
+    pub fn score(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.tree.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.tree.dim(),
+                actual: x.len(),
+            });
+        }
+        let hits = k_nearest(&self.tree, x, &self.inv_h, self.k, true);
+        if hits.is_empty() {
+            return Ok(1.0);
+        }
+        let mut reach_acc = 0.0;
+        let mut lrd_acc = 0.0;
+        for h in &hits {
+            let dist = h.sq_dist.sqrt();
+            reach_acc += dist.max(self.k_dist[h.row]);
+            lrd_acc += self.lrd[h.row];
+        }
+        let count = hits.len() as f64;
+        let mean_reach = reach_acc / count;
+        if mean_reach == 0.0 {
+            // Query coincides with a dense cluster of duplicates.
+            return Ok(1.0);
+        }
+        let own_lrd = 1.0 / mean_reach;
+        let mean_neighbor_lrd = lrd_acc / count;
+        if mean_neighbor_lrd.is_infinite() {
+            return Ok(f64::INFINITY);
+        }
+        Ok(mean_neighbor_lrd / own_lrd)
+    }
+
+    /// LOF scores of the training points themselves (tree row order),
+    /// memoized during [`Self::fit`] — no additional traversals.
+    pub fn training_scores(&self) -> Vec<f64> {
+        self.training_lof.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_common::Rng;
+
+    /// Two clusters of different densities plus one isolated point — the
+    /// scenario LOF was designed for (a global kNN threshold struggles
+    /// with mixed densities; LOF normalizes locally).
+    fn mixed_density_data(seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(2);
+        for _ in 0..200 {
+            m.push_row(&[rng.normal(0.0, 0.2), rng.normal(0.0, 0.2)])
+                .unwrap();
+        }
+        for _ in 0..200 {
+            m.push_row(&[rng.normal(10.0, 2.0), rng.normal(10.0, 2.0)])
+                .unwrap();
+        }
+        m.push_row(&[5.0, 5.0]).unwrap(); // isolated between clusters
+        m
+    }
+
+    #[test]
+    fn isolated_point_scores_high() {
+        let data = mixed_density_data(1);
+        let lof = LofModel::fit(&data, 10).unwrap();
+        let outlier = lof.score(&[5.0, 5.0]).unwrap();
+        let tight_inlier = lof.score(&[0.0, 0.0]).unwrap();
+        let loose_inlier = lof.score(&[10.0, 10.0]).unwrap();
+        assert!(outlier > 2.0, "outlier LOF {outlier}");
+        assert!(tight_inlier < 1.5, "tight inlier LOF {tight_inlier}");
+        assert!(loose_inlier < 1.5, "loose inlier LOF {loose_inlier}");
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let data = mixed_density_data(3);
+        let lof = LofModel::fit(&data, 10).unwrap();
+        let scores = lof.training_scores();
+        let near_one = scores.iter().filter(|s| (0.7..1.5).contains(*s)).count();
+        assert!(
+            near_one as f64 / scores.len() as f64 > 0.9,
+            "most training points should have LOF ≈ 1"
+        );
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let mut m = Matrix::with_cols(2);
+        for _ in 0..50 {
+            m.push_row(&[1.0, 1.0]).unwrap();
+        }
+        let mut rng = Rng::seed_from(5);
+        for _ in 0..50 {
+            m.push_row(&[rng.normal(5.0, 1.0), rng.normal(5.0, 1.0)])
+                .unwrap();
+        }
+        let lof = LofModel::fit(&m, 5).unwrap();
+        // Scores must be finite-or-inf, never NaN.
+        for s in lof.training_scores() {
+            assert!(!s.is_nan());
+        }
+        assert!(!lof.score(&[1.0, 1.0]).unwrap().is_nan());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let data = mixed_density_data(7);
+        assert!(LofModel::fit(&data, 0).is_err());
+        assert!(LofModel::fit(&data, data.rows()).is_err());
+        let lof = LofModel::fit(&data, 5).unwrap();
+        assert!(lof.score(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! One-class support vector machine (Schölkopf et al., Neural
+//! Computation 2001 — reference [48] of the tKDC paper).
+//!
+//! Estimates the support of a distribution by separating the data from
+//! the origin in RBF feature space. The ν parameter upper-bounds the
+//! fraction of training points outside the estimated support (analogous
+//! to the paper's classification rate `p`).
+//!
+//! Solved with a maximal-violating-pair SMO over the dual
+//!
+//! ```text
+//! min  ½ Σᵢⱼ αᵢ αⱼ K(xᵢ, xⱼ)   s.t.  0 ≤ αᵢ ≤ 1/(νn),  Σ αᵢ = 1
+//! ```
+//!
+//! with a dense precomputed kernel matrix — O(n²) memory and
+//! O(n²)–O(n³) time, which is precisely why §5 of the paper dismisses
+//! OCSVM for large-n density classification ("even slower than
+//! evaluating KDE"); the `related_work` harness measures that claim.
+
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::Matrix;
+
+/// One-class SVM hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SvmParams {
+    /// Upper bound on the training-outlier fraction (and lower bound on
+    /// the support-vector fraction). Typical: 0.01–0.5.
+    pub nu: f64,
+    /// RBF kernel coefficient; `None` uses the "scale" heuristic
+    /// `1 / (d · mean per-column variance)`.
+    pub gamma: Option<f64>,
+    /// KKT violation tolerance for convergence.
+    pub tol: f64,
+    /// Hard cap on SMO iterations.
+    pub max_iter: usize,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        Self {
+            nu: 0.1,
+            gamma: None,
+            tol: 1e-4,
+            max_iter: 100_000,
+        }
+    }
+}
+
+/// A trained one-class SVM.
+#[derive(Debug)]
+pub struct OneClassSvm {
+    /// Support vectors (rows).
+    support: Matrix,
+    /// Dual coefficients of the support vectors.
+    alpha: Vec<f64>,
+    /// Decision offset.
+    rho: f64,
+    gamma: f64,
+    /// SMO iterations performed (diagnostics).
+    iterations: usize,
+}
+
+impl OneClassSvm {
+    /// Trains on the dataset. O(n²) memory, superquadratic time.
+    ///
+    /// # Errors
+    /// Fails on empty data, `nu` outside `(0, 1]`, or non-positive
+    /// `gamma`/`tol`.
+    pub fn fit(data: &Matrix, params: &SvmParams) -> Result<Self> {
+        let n = data.rows();
+        if n == 0 {
+            return Err(Error::EmptyInput("one-class SVM training data"));
+        }
+        if !params.nu.is_finite() || params.nu <= 0.0 || params.nu > 1.0 {
+            return Err(invalid_param("nu", "must be in (0, 1]"));
+        }
+        if !params.tol.is_finite() || params.tol <= 0.0 {
+            return Err(invalid_param("tol", "must be positive"));
+        }
+        let gamma = match params.gamma {
+            Some(g) if g.is_finite() && g > 0.0 => g,
+            Some(g) => {
+                return Err(invalid_param("gamma", format!("must be positive, got {g}")));
+            }
+            None => {
+                // sklearn's "scale": 1 / (d · mean variance).
+                let stds = tkdc_common::stats::column_stds(data);
+                let mean_var: f64 =
+                    stds.iter().map(|s| s * s).sum::<f64>() / stds.len().max(1) as f64;
+                if mean_var > 0.0 {
+                    1.0 / (data.cols() as f64 * mean_var)
+                } else {
+                    1.0
+                }
+            }
+        };
+
+        // Dense kernel matrix (the O(n²) wall the paper cites).
+        let mut kmat = vec![0.0f64; n * n];
+        for i in 0..n {
+            kmat[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let v = rbf(data.row(i), data.row(j), gamma);
+                kmat[i * n + j] = v;
+                kmat[j * n + i] = v;
+            }
+        }
+
+        // LIBSVM-style initialization: the first ⌊νn⌋ points carry the
+        // upper-bound weight, the next carries the remainder.
+        let c = 1.0 / (params.nu * n as f64);
+        let mut alpha = vec![0.0f64; n];
+        let mut remaining = 1.0f64;
+        for a in alpha.iter_mut() {
+            let take = remaining.min(c);
+            *a = take;
+            remaining -= take;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+
+        // Gradient g_i = Σ_j α_j K_ij.
+        let mut grad = vec![0.0f64; n];
+        for i in 0..n {
+            let row = &kmat[i * n..(i + 1) * n];
+            grad[i] = row
+                .iter()
+                .zip(&alpha)
+                .filter(|(_, &a)| a > 0.0)
+                .map(|(&k, &a)| k * a)
+                .sum();
+        }
+
+        // Maximal-violating-pair SMO.
+        let mut iterations = 0usize;
+        while iterations < params.max_iter {
+            // i: smallest gradient among α_i < C (can grow);
+            // j: largest gradient among α_j > 0 (can shrink).
+            let mut i_best = usize::MAX;
+            let mut g_min = f64::INFINITY;
+            let mut j_best = usize::MAX;
+            let mut g_max = f64::NEG_INFINITY;
+            for t in 0..n {
+                if alpha[t] < c - 1e-15 && grad[t] < g_min {
+                    g_min = grad[t];
+                    i_best = t;
+                }
+                if alpha[t] > 1e-15 && grad[t] > g_max {
+                    g_max = grad[t];
+                    j_best = t;
+                }
+            }
+            if i_best == usize::MAX || j_best == usize::MAX || g_max - g_min < params.tol {
+                break;
+            }
+            let (i, j) = (i_best, j_best);
+            // Optimal unconstrained step along (e_i − e_j).
+            let kii = kmat[i * n + i];
+            let kjj = kmat[j * n + j];
+            let kij = kmat[i * n + j];
+            let curvature = (kii + kjj - 2.0 * kij).max(1e-12);
+            let mut delta = (grad[j] - grad[i]) / curvature;
+            // Box constraints: α_i + δ ≤ C, α_j − δ ≥ 0.
+            delta = delta.min(c - alpha[i]).min(alpha[j]);
+            if delta <= 0.0 {
+                break;
+            }
+            alpha[i] += delta;
+            alpha[j] -= delta;
+            // Gradient update: g += δ (K_i − K_j).
+            let (ri, rj) = (i * n, j * n);
+            for t in 0..n {
+                grad[t] += delta * (kmat[ri + t] - kmat[rj + t]);
+            }
+            iterations += 1;
+        }
+
+        // ρ from free support vectors (0 < α < C): f(x_i)=0 ⇒ ρ = g_i.
+        let mut rho_acc = 0.0;
+        let mut rho_cnt = 0usize;
+        for t in 0..n {
+            if alpha[t] > 1e-12 && alpha[t] < c - 1e-12 {
+                rho_acc += grad[t];
+                rho_cnt += 1;
+            }
+        }
+        let rho = if rho_cnt > 0 {
+            rho_acc / rho_cnt as f64
+        } else {
+            // No free SVs: midpoint of the active bounds.
+            let ub = grad
+                .iter()
+                .zip(&alpha)
+                .filter(|(_, &a)| a >= c - 1e-12)
+                .map(|(&g, _)| g)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let lb = grad
+                .iter()
+                .zip(&alpha)
+                .filter(|(_, &a)| a <= 1e-12)
+                .map(|(&g, _)| g)
+                .fold(f64::INFINITY, f64::min);
+            match (ub.is_finite(), lb.is_finite()) {
+                (true, true) => 0.5 * (ub + lb),
+                (true, false) => ub,
+                (false, true) => lb,
+                _ => 0.0,
+            }
+        };
+
+        // Keep only the support vectors.
+        let sv_rows: Vec<usize> = (0..n).filter(|&t| alpha[t] > 1e-12).collect();
+        let support = data.select_rows(&sv_rows)?;
+        let alpha: Vec<f64> = sv_rows.iter().map(|&t| alpha[t]).collect();
+        Ok(Self {
+            support,
+            alpha,
+            rho,
+            gamma,
+            iterations,
+        })
+    }
+
+    /// Decision value `f(x) = Σ αᵢ K(svᵢ, x) − ρ`: positive inside the
+    /// estimated support, negative outside (outlier).
+    pub fn decision(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.support.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: self.support.cols(),
+                actual: x.len(),
+            });
+        }
+        let mut acc = 0.0;
+        for (sv, &a) in self.support.iter_rows().zip(&self.alpha) {
+            acc += a * rbf(sv, x, self.gamma);
+        }
+        Ok(acc - self.rho)
+    }
+
+    /// `true` when the point falls inside the estimated support.
+    pub fn is_inlier(&self, x: &[f64]) -> Result<bool> {
+        Ok(self.decision(x)? >= 0.0)
+    }
+
+    /// Number of support vectors retained.
+    pub fn n_support(&self) -> usize {
+        self.support.rows()
+    }
+
+    /// SMO iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The RBF coefficient used.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+}
+
+/// RBF kernel `exp(-γ ||a − b||²)`.
+#[inline]
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    (-gamma * acc).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_common::Rng;
+
+    fn blob(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(2);
+        for _ in 0..n {
+            m.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+                .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn separates_center_from_far_point() {
+        let data = blob(300, 1);
+        let svm = OneClassSvm::fit(&data, &SvmParams::default()).unwrap();
+        assert!(svm.is_inlier(&[0.0, 0.0]).unwrap());
+        assert!(!svm.is_inlier(&[10.0, 10.0]).unwrap());
+        assert!(svm.decision(&[0.0, 0.0]).unwrap() > svm.decision(&[3.0, 3.0]).unwrap());
+    }
+
+    #[test]
+    fn nu_bounds_training_outlier_fraction() {
+        let data = blob(400, 3);
+        for nu in [0.05, 0.2] {
+            let svm = OneClassSvm::fit(
+                &data,
+                &SvmParams {
+                    nu,
+                    ..SvmParams::default()
+                },
+            )
+            .unwrap();
+            let outliers = data
+                .iter_rows()
+                .filter(|r| !svm.is_inlier(r).unwrap())
+                .count();
+            let frac = outliers as f64 / data.rows() as f64;
+            // ν is an upper bound on the outlier fraction (modulo the
+            // tolerance of the solver); allow generous slack.
+            assert!(
+                frac <= nu + 0.05,
+                "ν={nu}: training outlier fraction {frac}"
+            );
+            // And the support-vector count is at least ~νn.
+            assert!(
+                svm.n_support() as f64 >= nu * data.rows() as f64 * 0.8,
+                "ν={nu}: only {} SVs",
+                svm.n_support()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let mut m = Matrix::with_cols(2);
+        for _ in 0..60 {
+            m.push_row(&[1.0, 1.0]).unwrap();
+        }
+        for _ in 0..60 {
+            m.push_row(&[2.0, 2.0]).unwrap();
+        }
+        let svm = OneClassSvm::fit(&m, &SvmParams::default()).unwrap();
+        assert!(svm.decision(&[1.0, 1.0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let data = blob(50, 5);
+        assert!(OneClassSvm::fit(
+            &data,
+            &SvmParams {
+                nu: 0.0,
+                ..SvmParams::default()
+            }
+        )
+        .is_err());
+        assert!(OneClassSvm::fit(
+            &data,
+            &SvmParams {
+                nu: 1.5,
+                ..SvmParams::default()
+            }
+        )
+        .is_err());
+        assert!(OneClassSvm::fit(
+            &data,
+            &SvmParams {
+                gamma: Some(-1.0),
+                ..SvmParams::default()
+            }
+        )
+        .is_err());
+        let empty = Matrix::with_cols(2);
+        assert!(OneClassSvm::fit(&empty, &SvmParams::default()).is_err());
+        let svm = OneClassSvm::fit(&data, &SvmParams::default()).unwrap();
+        assert!(svm.decision(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn explicit_gamma_respected() {
+        let data = blob(100, 7);
+        let svm = OneClassSvm::fit(
+            &data,
+            &SvmParams {
+                gamma: Some(0.25),
+                ..SvmParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(svm.gamma(), 0.25);
+        assert!(svm.iterations() > 0);
+    }
+}

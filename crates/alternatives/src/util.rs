@@ -1,0 +1,10 @@
+//! Crate-internal helpers shared by the detectors.
+
+/// Per-axis inverse scales from column standard deviations: `1/σ_i`, with
+/// degenerate (constant) columns treated as unit scale. Every detector in
+/// this crate normalizes distances this way.
+pub(crate) fn inv_scales_from_stds(stds: &[f64]) -> Vec<f64> {
+    stds.iter()
+        .map(|&s| if s > 0.0 { 1.0 / s } else { 1.0 })
+        .collect()
+}

@@ -1,0 +1,645 @@
+//! The "binned" baseline, emulating the R `ks` package: linear binning
+//! onto a regular grid, kernel smoothing of the bin weights (truncated
+//! convolution), and multilinear interpolation at query time.
+//!
+//! This family is extremely fast in one or two dimensions but its grid
+//! grows exponentially with dimension, so — like `ks` — it is limited to
+//! `d ≤ 4`, the per-axis resolution falls with `d`, and it offers **no**
+//! accuracy guarantee (its Fig. 8 F1 degrades sharply at d = 4).
+
+use crate::estimator::DensityEstimator;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::Matrix;
+use tkdc_kernel::{scotts_rule, Kernel, KernelKind};
+
+/// Maximum dimensionality supported by the binned estimator (as in `ks`).
+pub const MAX_BINNED_DIM: usize = 4;
+
+/// Default per-axis grid sizes used by the `ks` package per dimension
+/// (index = d − 1).
+pub const DEFAULT_GRID_SIZES: [usize; 4] = [401, 151, 51, 21];
+
+/// How the bin weights are smoothed by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvolutionMethod {
+    /// Direct truncated stencil — cheap for small grids / high d.
+    Direct,
+    /// FFT convolution (Silverman 1982), as the `ks` package uses —
+    /// asymptotically faster for fine grids in low dimensions.
+    Fft,
+}
+
+/// Binned kernel density estimator.
+#[derive(Debug)]
+pub struct BinnedKde {
+    kernel: Kernel,
+    n_train: usize,
+    dim: usize,
+    /// Per-axis grid origins (grid node 0 coordinate).
+    origin: Vec<f64>,
+    /// Per-axis grid spacing.
+    step: Vec<f64>,
+    /// Per-axis node counts.
+    shape: Vec<usize>,
+    /// Row-major strides for `shape` (pure function of the shape,
+    /// precomputed so queries allocate nothing).
+    strides: Vec<usize>,
+    /// Smoothed density values at grid nodes, row-major over `shape`.
+    values: Vec<f64>,
+    evals: AtomicU64,
+}
+
+impl BinnedKde {
+    /// Fits with the `ks`-style default grid resolution for the data's
+    /// dimensionality.
+    pub fn fit(data: &Matrix, kind: KernelKind, b: f64) -> Result<Self> {
+        let d = data.cols();
+        if d == 0 || d > MAX_BINNED_DIM {
+            return Err(invalid_param(
+                "data",
+                format!("binned KDE supports 1..={MAX_BINNED_DIM} dims, got {d}"),
+            ));
+        }
+        Self::fit_with_grid(data, kind, b, DEFAULT_GRID_SIZES[d - 1])
+    }
+
+    /// Fits with an explicit per-axis node count (direct convolution).
+    pub fn fit_with_grid(
+        data: &Matrix,
+        kind: KernelKind,
+        b: f64,
+        nodes_per_axis: usize,
+    ) -> Result<Self> {
+        Self::fit_with_method(data, kind, b, nodes_per_axis, ConvolutionMethod::Direct)
+    }
+
+    /// Fits with an explicit per-axis node count and smoothing method.
+    pub fn fit_with_method(
+        data: &Matrix,
+        kind: KernelKind,
+        b: f64,
+        nodes_per_axis: usize,
+        method: ConvolutionMethod,
+    ) -> Result<Self> {
+        let d = data.cols();
+        let n = data.rows();
+        if n == 0 {
+            return Err(Error::EmptyInput("binned KDE training data"));
+        }
+        if d == 0 || d > MAX_BINNED_DIM {
+            return Err(invalid_param(
+                "data",
+                format!("binned KDE supports 1..={MAX_BINNED_DIM} dims, got {d}"),
+            ));
+        }
+        if nodes_per_axis < 2 {
+            return Err(invalid_param("nodes_per_axis", "need at least 2 nodes"));
+        }
+        let h = scotts_rule(data, b)?;
+        let kernel = Kernel::new(kind, h)?;
+
+        // Grid covers the data range padded by 4 bandwidths (the kernel
+        // truncation horizon), like ks's default bgridsize padding.
+        let (mins, maxs) = data.column_bounds();
+        let mut origin = Vec::with_capacity(d);
+        let mut step = Vec::with_capacity(d);
+        let shape = vec![nodes_per_axis; d];
+        for i in 0..d {
+            let pad = 4.0 * kernel.bandwidths()[i];
+            let lo = mins[i] - pad;
+            let hi = maxs[i] + pad;
+            origin.push(lo);
+            step.push((hi - lo) / (nodes_per_axis - 1) as f64);
+        }
+
+        // Linear binning: each point spreads weight over the 2^d nodes of
+        // its enclosing cell, proportional to opposite-corner volumes.
+        let total_nodes: usize = shape.iter().product();
+        let mut weights = vec![0.0f64; total_nodes];
+        let strides = Self::strides(&shape);
+        let mut idx = vec![0usize; d];
+        let mut frac = vec![0.0f64; d];
+        for row in data.iter_rows() {
+            for i in 0..d {
+                let t = (row[i] - origin[i]) / step[i];
+                let base = t.floor().clamp(0.0, (shape[i] - 2) as f64);
+                idx[i] = base as usize;
+                frac[i] = (t - base).clamp(0.0, 1.0);
+            }
+            // Iterate the 2^d corners.
+            for corner in 0..(1usize << d) {
+                let mut w = 1.0;
+                let mut node = 0usize;
+                for i in 0..d {
+                    if corner >> i & 1 == 1 {
+                        w *= frac[i];
+                        node += (idx[i] + 1) * strides[i];
+                    } else {
+                        w *= 1.0 - frac[i];
+                        node += idx[i] * strides[i];
+                    }
+                }
+                weights[node] += w;
+            }
+        }
+
+        // Truncated kernel convolution: each output node sums kernel
+        // contributions from bin weights within 4 bandwidths per axis.
+        // The kernel is separable only for the Gaussian product form, but
+        // a direct d-dimensional truncated stencil works for both kinds.
+        let mut reach = Vec::with_capacity(d);
+        for i in 0..d {
+            let r = (4.0 * kernel.bandwidths()[i] / step[i]).ceil() as isize;
+            reach.push(r);
+        }
+        let mut values = match method {
+            ConvolutionMethod::Direct => {
+                direct_convolve(&weights, &shape, &strides, &reach, &step, &kernel)
+            }
+            ConvolutionMethod::Fft => fft_convolve(&weights, &shape, &reach, &step, &kernel)?,
+        };
+        let inv_n = 1.0 / n as f64;
+        for v in &mut values {
+            *v *= inv_n;
+        }
+
+        Ok(Self {
+            kernel,
+            n_train: n,
+            dim: d,
+            origin,
+            step,
+            strides,
+            shape,
+            values,
+            evals: AtomicU64::new(0),
+        })
+    }
+
+    fn strides(shape: &[usize]) -> Vec<usize> {
+        row_major_strides(shape)
+    }
+
+    /// Total number of grid nodes.
+    pub fn grid_nodes(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Row-major strides for an n-dimensional shape.
+fn row_major_strides(shape: &[usize]) -> Vec<usize> {
+    let d = shape.len();
+    let mut s = vec![1usize; d];
+    for i in (0..d.saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * shape[i + 1];
+    }
+    s
+}
+
+/// One truncated-convolution stencil element: a flattened node offset,
+/// the kernel value at that displacement, and the per-axis offsets used
+/// for boundary checks.
+#[derive(Debug, Clone, Copy)]
+struct StencilEntry {
+    flat: isize,
+    k: f64,
+    off: [i32; MAX_BINNED_DIM],
+}
+
+/// Direct truncated-stencil smoothing: scatter each bin's weight into
+/// every output node within the kernel's reach.
+fn direct_convolve(
+    weights: &[f64],
+    shape: &[usize],
+    strides: &[usize],
+    reach: &[isize],
+    step: &[f64],
+    kernel: &Kernel,
+) -> Vec<f64> {
+    let d = shape.len();
+    let total_nodes = weights.len();
+    let mut values = vec![0.0f64; total_nodes];
+    // Precompute the stencil once; the kernel value depends only on the
+    // per-axis node offsets. Per-axis offsets are stored explicitly — a
+    // flattened signed offset cannot be decoded back into components by
+    // division once axes have mixed signs.
+    let mut stencil: Vec<StencilEntry> = Vec::new();
+    let mut offsets = vec![0isize; d];
+    build_stencil(
+        &mut stencil,
+        &mut offsets,
+        0,
+        d,
+        reach,
+        step,
+        strides,
+        kernel,
+    );
+    let mut coord = vec![0usize; d];
+    for node in 0..total_nodes {
+        let w = weights[node];
+        if w == 0.0 {
+            continue;
+        }
+        // Decode the node's coordinates to respect grid borders.
+        let mut rem = node;
+        for i in 0..d {
+            coord[i] = rem / strides[i];
+            rem %= strides[i];
+        }
+        'stencil: for entry in &stencil {
+            for i in 0..d {
+                let c = coord[i] as isize + entry.off[i] as isize;
+                if c < 0 || c >= shape[i] as isize {
+                    continue 'stencil;
+                }
+            }
+            let target = node as isize + entry.flat;
+            values[target as usize] += w * entry.k;
+        }
+    }
+    values
+}
+
+/// FFT smoothing (Silverman 1982): zero-pad each axis past the kernel
+/// reach to a power of two, place the truncated kernel with negative
+/// offsets wrapped, and take the circular convolution — which equals the
+/// linear convolution on the original grid region.
+fn fft_convolve(
+    weights: &[f64],
+    shape: &[usize],
+    reach: &[isize],
+    step: &[f64],
+    kernel: &Kernel,
+) -> tkdc_common::Result<Vec<f64>> {
+    use tkdc_common::fft::{convolve_nd_circular, next_pow2};
+    let d = shape.len();
+    let padded: Vec<usize> = (0..d)
+        .map(|i| next_pow2(shape[i] + 2 * reach[i] as usize))
+        .collect();
+    let padded_total: usize = padded.iter().product();
+    let pstrides = row_major_strides(&padded);
+    // Scatter bin weights into the padded grid.
+    let strides = row_major_strides(shape);
+    let mut a = vec![0.0f64; padded_total];
+    let mut coord = vec![0usize; d];
+    for (node, &w) in weights.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        let mut rem = node;
+        let mut target = 0usize;
+        for i in 0..d {
+            coord[i] = rem / strides[i];
+            rem %= strides[i];
+            target += coord[i] * pstrides[i];
+        }
+        a[target] = w;
+    }
+    // Kernel grid with wrapped negative offsets.
+    let mut b = vec![0.0f64; padded_total];
+    let mut offs = vec![0isize; d];
+    fill_kernel_grid(
+        &mut b, &mut offs, 0, d, reach, step, &padded, &pstrides, kernel,
+    );
+    let conv = convolve_nd_circular(&a, &b, &padded)?;
+    // Gather the original grid region.
+    let mut values = vec![0.0f64; weights.len()];
+    for (node, out) in values.iter_mut().enumerate() {
+        let mut rem = node;
+        let mut src = 0usize;
+        for i in 0..d {
+            let c = rem / strides[i];
+            rem %= strides[i];
+            src += c * pstrides[i];
+        }
+        *out = conv[src];
+    }
+    Ok(values)
+}
+
+/// Recursively places the truncated kernel onto the padded grid, wrapping
+/// negative offsets (circular layout).
+#[allow(clippy::too_many_arguments)]
+fn fill_kernel_grid(
+    out: &mut [f64],
+    offs: &mut [isize],
+    axis: usize,
+    d: usize,
+    reach: &[isize],
+    step: &[f64],
+    padded: &[usize],
+    pstrides: &[usize],
+    kernel: &Kernel,
+) {
+    if axis == d {
+        let mut diff = vec![0.0; d];
+        let mut idx = 0usize;
+        for i in 0..d {
+            diff[i] = offs[i] as f64 * step[i];
+            let wrapped = offs[i].rem_euclid(padded[i] as isize) as usize;
+            idx += wrapped * pstrides[i];
+        }
+        let k = kernel.eval_scaled_sq(kernel.scaled_sq_norm(&diff));
+        if k > 0.0 {
+            out[idx] += k;
+        }
+        return;
+    }
+    for o in -reach[axis]..=reach[axis] {
+        offs[axis] = o;
+        fill_kernel_grid(
+            out,
+            offs,
+            axis + 1,
+            d,
+            reach,
+            step,
+            padded,
+            pstrides,
+            kernel,
+        );
+    }
+}
+
+/// Recursively enumerates the truncated stencil offsets, storing the flat
+/// offset and the kernel value of the displacement vector.
+#[allow(clippy::too_many_arguments)]
+fn build_stencil(
+    out: &mut Vec<StencilEntry>,
+    offsets: &mut [isize],
+    axis: usize,
+    d: usize,
+    reach: &[isize],
+    step: &[f64],
+    strides: &[usize],
+    kernel: &Kernel,
+) {
+    if axis == d {
+        let mut diff = vec![0.0; d];
+        let mut flat = 0isize;
+        let mut off = [0i32; MAX_BINNED_DIM];
+        for i in 0..d {
+            diff[i] = offsets[i] as f64 * step[i];
+            flat += offsets[i] * strides[i] as isize;
+            off[i] = offsets[i] as i32;
+        }
+        let u = kernel.scaled_sq_norm(&diff);
+        let k = kernel.eval_scaled_sq(u);
+        if k > 0.0 {
+            out.push(StencilEntry { flat, k, off });
+        }
+        return;
+    }
+    for o in -reach[axis]..=reach[axis] {
+        offsets[axis] = o;
+        build_stencil(out, offsets, axis + 1, d, reach, step, strides, kernel);
+    }
+}
+
+impl DensityEstimator for BinnedKde {
+    fn density(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: x.len(),
+            });
+        }
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        // Multilinear interpolation over the enclosing cell; queries
+        // outside the (padded) grid have ~zero density by construction.
+        let d = self.dim;
+        let strides = &self.strides;
+        let mut idx = [0usize; MAX_BINNED_DIM];
+        let mut frac = [0.0f64; MAX_BINNED_DIM];
+        for i in 0..d {
+            let t = (x[i] - self.origin[i]) / self.step[i];
+            if t < 0.0 || t > (self.shape[i] - 1) as f64 {
+                return Ok(0.0);
+            }
+            let base = t.floor().min((self.shape[i] - 2) as f64);
+            idx[i] = base as usize;
+            frac[i] = t - base;
+        }
+        let mut acc = 0.0;
+        for corner in 0..(1usize << d) {
+            let mut w = 1.0;
+            let mut node = 0usize;
+            for i in 0..d {
+                if corner >> i & 1 == 1 {
+                    w *= frac[i];
+                    node += (idx[i] + 1) * strides[i];
+                } else {
+                    w *= 1.0 - frac[i];
+                    node += idx[i] * strides[i];
+                }
+            }
+            acc += w * self.values[node];
+        }
+        Ok(acc)
+    }
+
+    fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    fn n_train(&self) -> usize {
+        self.n_train
+    }
+
+    fn kernel_evals(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    fn reset_kernel_evals(&self) {
+        self.evals.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::NaiveKde;
+    use tkdc_common::Rng;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(d);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.normal(0.0, 1.0);
+            }
+            m.push_row(&row).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn close_to_naive_in_1d() {
+        let data = blob(2000, 1, 53);
+        let binned = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        for i in -20..=20 {
+            let q = [i as f64 * 0.15];
+            let a = binned.density(&q).unwrap();
+            let b = naive.density(&q).unwrap();
+            assert!(
+                (a - b).abs() < 0.01 * b.max(0.05),
+                "binned {a} vs naive {b} at {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn close_to_naive_in_2d() {
+        let data = blob(1500, 2, 59);
+        let binned = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let mut rng = Rng::seed_from(61);
+        for _ in 0..25 {
+            let q = [rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)];
+            let a = binned.density(&q).unwrap();
+            let b = naive.density(&q).unwrap();
+            assert!(
+                (a - b).abs() < 0.05 * b.max(0.02),
+                "binned {a} vs naive {b} at {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coarse_grid_degrades_accuracy() {
+        // The d=4 / 21-node regime: error grows but stays sane.
+        let data = blob(800, 2, 67);
+        let coarse = BinnedKde::fit_with_grid(&data, KernelKind::Gaussian, 1.0, 9).unwrap();
+        let fine = BinnedKde::fit_with_grid(&data, KernelKind::Gaussian, 1.0, 151).unwrap();
+        let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let q = [0.3, -0.2];
+        let err_coarse = (coarse.density(&q).unwrap() - naive.density(&q).unwrap()).abs();
+        let err_fine = (fine.density(&q).unwrap() - naive.density(&q).unwrap()).abs();
+        assert!(err_fine <= err_coarse + 1e-9, "{err_fine} vs {err_coarse}");
+    }
+
+    #[test]
+    fn mass_is_approximately_conserved_1d() {
+        let data = blob(500, 1, 71);
+        let binned = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        // Integrate the interpolated density over the grid span.
+        let lo = binned.origin[0];
+        let hi = binned.origin[0] + binned.step[0] * (binned.shape[0] - 1) as f64;
+        let steps = 4000;
+        let dx = (hi - lo) / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..steps {
+            let x = lo + (i as f64 + 0.5) * dx;
+            integral += binned.density(&[x]).unwrap() * dx;
+        }
+        assert!((integral - 1.0).abs() < 0.01, "integral {integral}");
+    }
+
+    #[test]
+    fn outside_grid_is_zero() {
+        let data = blob(200, 2, 73);
+        let binned = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        assert_eq!(binned.density(&[1e6, 0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_unsupported_dims() {
+        let data = blob(100, 5, 79);
+        assert!(BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).is_err());
+        let d2 = blob(100, 2, 79);
+        assert!(BinnedKde::fit_with_grid(&d2, KernelKind::Gaussian, 1.0, 1).is_err());
+        let empty = Matrix::with_cols(2);
+        assert!(BinnedKde::fit(&empty, KernelKind::Gaussian, 1.0).is_err());
+    }
+
+    #[test]
+    fn fft_matches_direct_convolution_1d() {
+        let data = blob(600, 1, 91);
+        let direct = BinnedKde::fit_with_method(
+            &data,
+            KernelKind::Gaussian,
+            1.0,
+            128,
+            ConvolutionMethod::Direct,
+        )
+        .unwrap();
+        let fft = BinnedKde::fit_with_method(
+            &data,
+            KernelKind::Gaussian,
+            1.0,
+            128,
+            ConvolutionMethod::Fft,
+        )
+        .unwrap();
+        for i in -15..=15 {
+            let q = [i as f64 * 0.2];
+            let a = direct.density(&q).unwrap();
+            let b = fft.density(&q).unwrap();
+            assert!((a - b).abs() < 1e-10, "direct {a} vs fft {b} at {q:?}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_convolution_2d() {
+        let data = blob(500, 2, 93);
+        let direct = BinnedKde::fit_with_method(
+            &data,
+            KernelKind::Gaussian,
+            1.0,
+            48,
+            ConvolutionMethod::Direct,
+        )
+        .unwrap();
+        let fft = BinnedKde::fit_with_method(
+            &data,
+            KernelKind::Gaussian,
+            1.0,
+            48,
+            ConvolutionMethod::Fft,
+        )
+        .unwrap();
+        let mut rng = Rng::seed_from(95);
+        for _ in 0..20 {
+            let q = [rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)];
+            let a = direct.density(&q).unwrap();
+            let b = fft.density(&q).unwrap();
+            assert!((a - b).abs() < 1e-10, "direct {a} vs fft {b} at {q:?}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_with_epanechnikov() {
+        let data = blob(400, 2, 97);
+        let direct = BinnedKde::fit_with_method(
+            &data,
+            KernelKind::Epanechnikov,
+            1.0,
+            32,
+            ConvolutionMethod::Direct,
+        )
+        .unwrap();
+        let fft = BinnedKde::fit_with_method(
+            &data,
+            KernelKind::Epanechnikov,
+            1.0,
+            32,
+            ConvolutionMethod::Fft,
+        )
+        .unwrap();
+        let q = [0.1, -0.3];
+        assert!((direct.density(&q).unwrap() - fft.density(&q).unwrap()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn query_counter_counts_queries() {
+        let data = blob(100, 2, 83);
+        let binned = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        binned.density(&[0.0, 0.0]).unwrap();
+        binned.density(&[1.0, 1.0]).unwrap();
+        assert_eq!(binned.kernel_evals(), 2);
+    }
+}

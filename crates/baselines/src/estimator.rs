@@ -1,0 +1,56 @@
+//! Shared interface and evaluation recipe for the baseline estimators.
+
+use tkdc_common::error::Result;
+use tkdc_common::order::quantile_in_place;
+use tkdc_common::Matrix;
+use tkdc_kernel::Kernel;
+
+/// A fitted density estimator that can score arbitrary query points.
+///
+/// Implementations track the number of point-kernel evaluations they
+/// perform (via interior mutability) so the benchmark harness can compare
+/// work done, not just wall-clock time.
+pub trait DensityEstimator {
+    /// Estimated probability density at `x`.
+    fn density(&self, x: &[f64]) -> Result<f64>;
+
+    /// The kernel (bandwidths included) this estimator uses.
+    fn kernel(&self) -> &Kernel;
+
+    /// Number of training points.
+    fn n_train(&self) -> usize;
+
+    /// Total point-kernel evaluations performed so far.
+    fn kernel_evals(&self) -> u64;
+
+    /// Resets the evaluation counter.
+    fn reset_kernel_evals(&self);
+
+    /// The self-contribution `f₀ = K(0)/n` subtracted when evaluating
+    /// training points against their own estimator (Eq. 1).
+    fn self_contribution(&self) -> f64 {
+        self.kernel().max_value() / self.n_train() as f64
+    }
+
+    /// The paper's evaluation recipe for baselines: estimate the density
+    /// of every training point (self-corrected) and return the
+    /// `p`-quantile as the classification threshold `t(p)`.
+    fn estimate_threshold(&self, data: &Matrix, p: f64) -> Result<f64> {
+        let f0 = self.self_contribution();
+        let mut densities = Vec::with_capacity(data.rows());
+        for row in data.iter_rows() {
+            densities.push((self.density(row)? - f0).max(0.0));
+        }
+        quantile_in_place(&mut densities, p)
+    }
+
+    /// Classifies each query as HIGH (`true`) when its density exceeds
+    /// the threshold.
+    fn classify_batch(&self, queries: &Matrix, threshold: f64) -> Result<Vec<bool>> {
+        let mut out = Vec::with_capacity(queries.rows());
+        for row in queries.iter_rows() {
+            out.push(self.density(row)? > threshold);
+        }
+        Ok(out)
+    }
+}

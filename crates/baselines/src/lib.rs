@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! # tkdc-baselines
+//!
+//! Every comparison algorithm from Table 2 of the tKDC paper:
+//!
+//! | name | module | description |
+//! |------|--------|-------------|
+//! | `simple` | [`simple`] | naïve KDE — iterates through every point |
+//! | `nocut`  | [`nocut`]  | k-d tree KDE with only the tolerance rule (the Gray & Moore / scikit-learn approximation) |
+//! | `rkde`   | [`rkde`]   | radial KDE — sums kernels of points within a cutoff radius found by a k-d tree range query |
+//! | `binned` | [`binned`] | the `ks`-package-style binning approximation (linear binning + truncated kernel convolution, `d ≤ 4`, no accuracy guarantee) |
+//!
+//! All baselines implement [`DensityEstimator`], which also provides the
+//! shared threshold-estimation and batch-classification recipe the paper
+//! uses when comparing classification quality (estimate densities for the
+//! whole dataset, take the `p`-quantile as the threshold, then classify).
+
+pub mod binned;
+pub mod estimator;
+pub mod nocut;
+pub mod rkde;
+pub mod simple;
+
+pub use binned::{BinnedKde, ConvolutionMethod};
+pub use estimator::DensityEstimator;
+pub use nocut::NocutKde;
+pub use rkde::RadialKde;
+pub use simple::NaiveKde;

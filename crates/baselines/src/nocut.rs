@@ -1,0 +1,158 @@
+//! The "nocut" baseline: tKDC with the threshold rule and grid disabled,
+//! but the tolerance rule enabled — i.e. the Gray & Moore tree-based KDE
+//! approximation, functionally equivalent to scikit-learn's k-d tree KDE
+//! with relative tolerance. Produces densities accurate to a relative ε.
+
+use crate::estimator::DensityEstimator;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tkdc::bound::DensityBounder;
+use tkdc::{Optimizations, QueryScratch};
+use tkdc_common::error::{Error, Result};
+use tkdc_index::{KdTree, SplitRule};
+use tkdc_kernel::{scotts_rule, Kernel, KernelKind};
+
+/// Tolerance-only tree KDE (relative error `ε`).
+#[derive(Debug)]
+pub struct NocutKde {
+    tree: KdTree,
+    kernel: Kernel,
+    epsilon: f64,
+    evals: AtomicU64,
+    scratch: RefCell<QueryScratch>,
+}
+
+impl NocutKde {
+    /// Fits the estimator. `epsilon` is the relative density tolerance
+    /// (scikit-learn uses `rtol`; the paper runs `nocut` with ε = 0.01).
+    pub fn fit(data: &tkdc_common::Matrix, kind: KernelKind, b: f64, epsilon: f64) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(Error::EmptyInput("nocut training data"));
+        }
+        let h = scotts_rule(data, b)?;
+        // scikit-learn builds balanced (median-split) trees.
+        let tree = KdTree::build(data, 32, SplitRule::Median)?;
+        Ok(Self {
+            tree,
+            kernel: Kernel::new(kind, h)?,
+            epsilon,
+            evals: AtomicU64::new(0),
+            scratch: RefCell::new(QueryScratch::new()),
+        })
+    }
+
+    fn opts() -> Optimizations {
+        Optimizations {
+            threshold_rule: false,
+            tolerance_rule: true,
+            equiwidth_split: false,
+            grid: false,
+        }
+    }
+}
+
+impl DensityEstimator for NocutKde {
+    fn density(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.tree.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.tree.dim(),
+                actual: x.len(),
+            });
+        }
+        let bounder = DensityBounder::new(&self.tree, &self.kernel, Self::opts(), self.epsilon);
+        let mut scratch = self.scratch.borrow_mut();
+        let before = scratch.stats.kernel_evals;
+        // scikit-learn's rtol semantics: refine until the bound width is
+        // within ε of the density itself.
+        let b = bounder.bound_density_relative(x, self.epsilon, &mut scratch);
+        self.evals
+            .fetch_add(scratch.stats.kernel_evals - before, Ordering::Relaxed);
+        Ok(b.midpoint())
+    }
+
+    fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    fn n_train(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn kernel_evals(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    fn reset_kernel_evals(&self) {
+        self.evals.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::NaiveKde;
+    use tkdc_common::{Matrix, Rng};
+
+    fn blob(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(2);
+        for _ in 0..n {
+            m.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+                .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn density_within_relative_tolerance_of_naive() {
+        let data = blob(1500, 13);
+        let eps = 0.01;
+        let nocut = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, eps).unwrap();
+        let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let mut rng = Rng::seed_from(17);
+        for _ in 0..50 {
+            let q = [rng.normal(0.0, 1.5), rng.normal(0.0, 1.5)];
+            let a = nocut.density(&q).unwrap();
+            let b = naive.density(&q).unwrap();
+            assert!(
+                (a - b).abs() <= eps * b + 1e-12,
+                "nocut {a} vs naive {b} at {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_kernel_evals_than_naive() {
+        let data = blob(4000, 19);
+        let nocut = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.01).unwrap();
+        // Dense-center query: tree bounds converge early.
+        nocut.density(&[0.0, 0.0]).unwrap();
+        assert!(
+            nocut.kernel_evals() < 4000,
+            "evals {} should beat naive's 4000",
+            nocut.kernel_evals()
+        );
+    }
+
+    #[test]
+    fn threshold_recipe_consistent_with_naive() {
+        let data = blob(600, 23);
+        let nocut = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.01).unwrap();
+        let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let tn = nocut.estimate_threshold(&data, 0.05).unwrap();
+        let te = naive.estimate_threshold(&data, 0.05).unwrap();
+        assert!(
+            (tn - te).abs() <= 0.03 * te,
+            "thresholds diverge: {tn} vs {te}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let empty = Matrix::with_cols(2);
+        assert!(NocutKde::fit(&empty, KernelKind::Gaussian, 1.0, 0.01).is_err());
+        let data = blob(10, 1);
+        let kde = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.01).unwrap();
+        assert!(kde.density(&[0.0, 0.0, 0.0]).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! The "rkde" baseline: radial KDE. For each query, a k-d tree range
+//! query finds all points within a cutoff radius (measured in
+//! bandwidth-scaled space), and only those kernels are summed. The radius
+//! defaults to the smallest value guaranteeing a truncation error of
+//! `ε·t` given the points excluded (every excluded point contributes at
+//! most `K(r²)/n`, so the total truncation error is at most `K(r²)`).
+//! Smaller radii run faster but lose accuracy — the trade-off swept in
+//! Fig. 13 of the paper.
+
+use crate::estimator::DensityEstimator;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::Matrix;
+use tkdc_index::{KdTree, SplitRule};
+use tkdc_kernel::{scotts_rule, Kernel, KernelKind};
+
+/// Radius-limited kernel density estimator.
+#[derive(Debug)]
+pub struct RadialKde {
+    tree: KdTree,
+    kernel: Kernel,
+    /// Cutoff radius in bandwidth-scaled space.
+    radius: f64,
+    evals: AtomicU64,
+}
+
+impl RadialKde {
+    /// Fits with an explicit scaled cutoff radius (in multiples of the
+    /// bandwidth, as in the paper's Fig. 13 sweep).
+    pub fn fit_with_radius(data: &Matrix, kind: KernelKind, b: f64, radius: f64) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(Error::EmptyInput("rkde training data"));
+        }
+        if !radius.is_finite() || radius <= 0.0 {
+            return Err(invalid_param(
+                "radius",
+                format!("must be positive and finite, got {radius}"),
+            ));
+        }
+        let h = scotts_rule(data, b)?;
+        Ok(Self {
+            tree: KdTree::build(data, 32, SplitRule::Median)?,
+            kernel: Kernel::new(kind, h)?,
+            radius,
+            evals: AtomicU64::new(0),
+        })
+    }
+
+    /// Fits with the conservative default radius of the paper: the
+    /// smallest radius guaranteeing truncation error at most
+    /// `err_frac · t_ref` where `t_ref` is a reference density magnitude
+    /// (e.g. an estimated threshold). The per-query truncation error is
+    /// bounded by `K(r²)`, so we solve `K(r²) = err_frac · t_ref`.
+    pub fn fit_with_error_bound(
+        data: &Matrix,
+        kind: KernelKind,
+        b: f64,
+        err_frac: f64,
+        t_ref: f64,
+    ) -> Result<Self> {
+        if !err_frac.is_finite() || err_frac <= 0.0 || !t_ref.is_finite() || t_ref <= 0.0 {
+            return Err(invalid_param(
+                "err_frac/t_ref",
+                "error fraction and reference density must be positive",
+            ));
+        }
+        // Temporary kernel to translate the error target into a radius.
+        let h = scotts_rule(data, b)?;
+        let kernel = Kernel::new(kind, h)?;
+        let target = (err_frac * t_ref / kernel.max_value()).min(0.999_999);
+        let radius = if target <= 0.0 {
+            return Err(invalid_param("t_ref", "error target underflows"));
+        } else {
+            kernel.radius_for_value_fraction(target)
+        };
+        Self::fit_with_radius(data, kind, b, radius)
+    }
+
+    /// The scaled cutoff radius in use.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+}
+
+impl DensityEstimator for RadialKde {
+    fn density(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.tree.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.tree.dim(),
+                actual: x.len(),
+            });
+        }
+        let mut acc = 0.0;
+        let mut visited = 0u64;
+        self.tree
+            .for_each_in_scaled_radius(x, self.kernel.inv_bandwidths(), self.radius, |p| {
+                acc += self.kernel.eval_pair(x, p);
+                visited += 1;
+            });
+        self.evals.fetch_add(visited, Ordering::Relaxed);
+        Ok(acc / self.tree.len() as f64)
+    }
+
+    fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    fn n_train(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn kernel_evals(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    fn reset_kernel_evals(&self) {
+        self.evals.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::NaiveKde;
+    use tkdc_common::Rng;
+
+    fn blob(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(2);
+        for _ in 0..n {
+            m.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+                .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn underestimates_but_tracks_naive() {
+        let data = blob(1000, 29);
+        let rkde = RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, 5.0).unwrap();
+        let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let mut rng = Rng::seed_from(31);
+        for _ in 0..30 {
+            let q = [rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)];
+            let a = rkde.density(&q).unwrap();
+            let b = naive.density(&q).unwrap();
+            assert!(
+                a <= b * (1.0 + 1e-12),
+                "radial {a} must not exceed naive {b}"
+            );
+            // At 5 bandwidths the truncated tail is ≤ K(25) ≈ e^{-12.5}·K(0).
+            let max_err = rkde.kernel().max_value() * (-12.5f64).exp();
+            assert!(b - a <= max_err * 1.01, "error {} vs cap {max_err}", b - a);
+        }
+    }
+
+    #[test]
+    fn smaller_radius_fewer_evals() {
+        let data = blob(3000, 37);
+        let small = RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, 1.0).unwrap();
+        let large = RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, 6.0).unwrap();
+        small.density(&[0.0, 0.0]).unwrap();
+        large.density(&[0.0, 0.0]).unwrap();
+        assert!(
+            small.kernel_evals() < large.kernel_evals(),
+            "{} !< {}",
+            small.kernel_evals(),
+            large.kernel_evals()
+        );
+    }
+
+    #[test]
+    fn error_bound_constructor_sets_radius() {
+        let data = blob(500, 41);
+        let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let t = naive.estimate_threshold(&data, 0.01).unwrap();
+        let rkde =
+            RadialKde::fit_with_error_bound(&data, KernelKind::Gaussian, 1.0, 0.01, t).unwrap();
+        // Truncation error at the chosen radius is at most ε·t.
+        let k = rkde.kernel();
+        let tail = k.eval_scaled_sq(rkde.radius() * rkde.radius());
+        assert!(tail <= 0.01 * t * 1.0001, "tail {tail} vs εt {}", 0.01 * t);
+        // And the radius is not absurdly conservative (within 10 bandwidths).
+        assert!(rkde.radius() < 10.0);
+    }
+
+    #[test]
+    fn far_query_sees_nothing() {
+        let data = blob(200, 43);
+        let rkde = RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, 2.0).unwrap();
+        assert_eq!(rkde.density(&[100.0, 100.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let data = blob(50, 47);
+        assert!(RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, 0.0).is_err());
+        assert!(RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, f64::NAN).is_err());
+        let empty = Matrix::with_cols(2);
+        assert!(RadialKde::fit_with_radius(&empty, KernelKind::Gaussian, 1.0, 1.0).is_err());
+        let rkde = RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, 1.0).unwrap();
+        assert!(rkde.density(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! The naïve KDE baseline ("simple" in Table 2): iterates through every
+//! training point for every query. Exact, `O(n)` per query.
+
+use crate::estimator::DensityEstimator;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tkdc_common::error::{Error, Result};
+use tkdc_common::Matrix;
+use tkdc_kernel::{scotts_rule, Kernel, KernelKind};
+
+/// Exact kernel density estimator by direct summation.
+#[derive(Debug)]
+pub struct NaiveKde {
+    data: Matrix,
+    kernel: Kernel,
+    evals: AtomicU64,
+}
+
+impl NaiveKde {
+    /// Fits the estimator with Scott's-rule bandwidths scaled by `b`.
+    pub fn fit(data: &Matrix, kind: KernelKind, b: f64) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(Error::EmptyInput("naive KDE training data"));
+        }
+        let h = scotts_rule(data, b)?;
+        Ok(Self {
+            data: data.clone(),
+            kernel: Kernel::new(kind, h)?,
+            evals: AtomicU64::new(0),
+        })
+    }
+}
+
+impl DensityEstimator for NaiveKde {
+    fn density(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.data.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: self.data.cols(),
+                actual: x.len(),
+            });
+        }
+        let mut acc = 0.0;
+        for row in self.data.iter_rows() {
+            acc += self.kernel.eval_pair(x, row);
+        }
+        self.evals
+            .fetch_add(self.data.rows() as u64, Ordering::Relaxed);
+        Ok(acc / self.data.rows() as f64)
+    }
+
+    fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    fn n_train(&self) -> usize {
+        self.data.rows()
+    }
+
+    fn kernel_evals(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+
+    fn reset_kernel_evals(&self) {
+        self.evals.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_common::Rng;
+
+    fn blob(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(2);
+        for _ in 0..n {
+            m.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+                .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn density_is_average_of_kernels() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![2.0, 0.0]]).unwrap();
+        let kde = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let q = [1.0, 0.0];
+        let k = kde.kernel();
+        let expected = 0.5 * (k.eval_pair(&q, data.row(0)) + k.eval_pair(&q, data.row(1)));
+        assert!((kde.density(&q).unwrap() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_integrates_to_one_1d() {
+        let mut rng = Rng::seed_from(3);
+        let mut m = Matrix::with_cols(1);
+        for _ in 0..200 {
+            m.push_row(&[rng.normal(0.0, 1.0)]).unwrap();
+        }
+        let kde = NaiveKde::fit(&m, KernelKind::Gaussian, 1.0).unwrap();
+        let mut integral = 0.0;
+        let steps = 2000;
+        let (lo, hi) = (-8.0, 8.0);
+        let dx = (hi - lo) / steps as f64;
+        for i in 0..steps {
+            let x = lo + (i as f64 + 0.5) * dx;
+            integral += kde.density(&[x]).unwrap() * dx;
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn counts_kernel_evaluations() {
+        let data = blob(50, 7);
+        let kde = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        kde.density(&[0.0, 0.0]).unwrap();
+        kde.density(&[1.0, 1.0]).unwrap();
+        assert_eq!(kde.kernel_evals(), 100);
+        kde.reset_kernel_evals();
+        assert_eq!(kde.kernel_evals(), 0);
+    }
+
+    #[test]
+    fn threshold_estimate_separates_tail() {
+        let data = blob(500, 11);
+        let kde = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let t = kde.estimate_threshold(&data, 0.05).unwrap();
+        assert!(t > 0.0);
+        // Center density far above threshold, remote point below.
+        assert!(kde.density(&[0.0, 0.0]).unwrap() > t);
+        assert!(kde.density(&[9.0, 9.0]).unwrap() < t);
+        let labels = kde
+            .classify_batch(&data, t)
+            .unwrap()
+            .iter()
+            .filter(|&&h| !h)
+            .count();
+        let frac = labels as f64 / data.rows() as f64;
+        assert!((frac - 0.05).abs() < 0.03, "LOW fraction {frac}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let empty = Matrix::with_cols(2);
+        assert!(NaiveKde::fit(&empty, KernelKind::Gaussian, 1.0).is_err());
+        let data = blob(10, 1);
+        let kde = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        assert!(kde.density(&[0.0]).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion microbench: binned-KDE smoothing — direct truncated stencil
+//! vs FFT convolution (the Silverman-1982 method the `ks` package uses),
+//! across grid resolutions.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tkdc_baselines::{BinnedKde, ConvolutionMethod};
+use tkdc_data::{DatasetKind, DatasetSpec};
+use tkdc_kernel::KernelKind;
+
+fn bench_convolution_methods(c: &mut Criterion) {
+    let data = DatasetSpec {
+        kind: DatasetKind::Gauss { d: 2 },
+        n: 20_000,
+        seed: 1,
+    }
+    .generate()
+    .unwrap();
+    let mut group = c.benchmark_group("binned_fit_2d");
+    group.sample_size(10);
+    for nodes in [64usize, 151, 301] {
+        for (name, method) in [
+            ("direct", ConvolutionMethod::Direct),
+            ("fft", ConvolutionMethod::Fft),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, nodes), &nodes, |b, &nodes| {
+                b.iter(|| {
+                    black_box(
+                        BinnedKde::fit_with_method(&data, KernelKind::Gaussian, 1.0, nodes, method)
+                            .unwrap()
+                            .grid_nodes(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_binned_query(c: &mut Criterion) {
+    let data = DatasetSpec {
+        kind: DatasetKind::Gauss { d: 2 },
+        n: 20_000,
+        seed: 2,
+    }
+    .generate()
+    .unwrap();
+    let kde = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+    use tkdc_baselines::DensityEstimator;
+    c.bench_function("binned_query_2d", |b| {
+        b.iter(|| black_box(kde.density(black_box(&[0.3, -0.7])).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_convolution_methods, bench_binned_query);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbench: per-query classification cost for tKDC and the
+//! naive baseline — the microbench view of the paper's throughput story.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tkdc::{Classifier, Params, QueryScratch};
+use tkdc_baselines::{DensityEstimator, NaiveKde};
+use tkdc_common::Rng;
+use tkdc_data::{DatasetKind, DatasetSpec};
+use tkdc_kernel::KernelKind;
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_query");
+    group.sample_size(20);
+    for (kind, d, n) in [
+        (DatasetKind::Gauss { d: 2 }, 2usize, 50_000usize),
+        (DatasetKind::Tmy3, 8, 20_000),
+        (DatasetKind::Hep, 27, 10_000),
+    ] {
+        let data = DatasetSpec { kind, n, seed: 1 }.generate().unwrap();
+        let clf = Classifier::fit(&data, &Params::default().with_seed(5)).unwrap();
+        let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+        let mut rng = Rng::seed_from(9);
+        let queries = data.sample_rows(256, &mut rng);
+        let mut scratch = QueryScratch::new();
+        let label = format!("d{d}_n{n}");
+
+        group.bench_with_input(BenchmarkId::new("tkdc", &label), &label, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries.row(i % queries.rows());
+                i += 1;
+                black_box(clf.classify_with(q, &mut scratch).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", &label), &label, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let q = queries.row(i % queries.rows());
+                i += 1;
+                black_box(naive.density(q).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion microbench: kernel evaluation throughput — the innermost
+//! hot loop of every KDE algorithm in the workspace.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tkdc_common::Rng;
+use tkdc_kernel::{Kernel, KernelKind};
+
+fn bench_kernel_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_eval_pair");
+    for d in [2usize, 8, 27, 64] {
+        let mut rng = Rng::seed_from(1);
+        let h: Vec<f64> = (0..d).map(|_| rng.uniform(0.1, 2.0)).collect();
+        let x: Vec<f64> = (0..d).map(|_| rng.standard_normal()).collect();
+        let y: Vec<f64> = (0..d).map(|_| rng.standard_normal()).collect();
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            let k = Kernel::new(kind, h.clone()).unwrap();
+            group.bench_with_input(BenchmarkId::new(format!("{kind:?}"), d), &d, |b, _| {
+                b.iter(|| black_box(k.eval_pair(black_box(&x), black_box(&y))))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_kernel_batch(c: &mut Criterion) {
+    // A leaf-scan-sized batch: 32 points summed, as the traversal does.
+    let d = 8;
+    let mut rng = Rng::seed_from(2);
+    let h: Vec<f64> = vec![0.5; d];
+    let k = Kernel::gaussian(h).unwrap();
+    let q: Vec<f64> = (0..d).map(|_| rng.standard_normal()).collect();
+    let pts: Vec<f64> = (0..32 * d).map(|_| rng.standard_normal()).collect();
+    c.bench_function("kernel_leaf_scan_32pts_d8", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in pts.chunks_exact(d) {
+                acc += k.eval_pair(black_box(&q), p);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_kernel_eval, bench_kernel_batch);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Prints Table 3 (the dataset inventory) and per-dataset generation
+//! sanity statistics at the harness's working scale.
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin datasets [--scale F]`
+
+use tkdc_bench::{print_table, BenchArgs};
+use tkdc_common::stats;
+use tkdc_data::{DatasetKind, DatasetSpec, PAPER_TABLE3};
+
+fn main() {
+    let args = BenchArgs::parse();
+    println!("Table 3: datasets used in evaluation (paper sizes)\n");
+    let rows: Vec<Vec<String>> = PAPER_TABLE3
+        .iter()
+        .map(|&(name, d, n)| vec![name.to_string(), d.to_string(), format!("{n}")])
+        .collect();
+    print_table(&["name", "d", "n (paper)"], &rows);
+
+    println!(
+        "\nGenerated analogs at harness scale (--scale {}):\n",
+        args.scale()
+    );
+    let specs = [
+        DatasetSpec {
+            kind: DatasetKind::Gauss { d: 2 },
+            n: args.scaled_n(100_000),
+            seed: args.seed(),
+        },
+        DatasetSpec {
+            kind: DatasetKind::Tmy3,
+            n: args.scaled_n(50_000),
+            seed: args.seed(),
+        },
+        DatasetSpec {
+            kind: DatasetKind::Home,
+            n: args.scaled_n(50_000),
+            seed: args.seed(),
+        },
+        DatasetSpec {
+            kind: DatasetKind::Hep,
+            n: args.scaled_n(50_000),
+            seed: args.seed(),
+        },
+        DatasetSpec {
+            kind: DatasetKind::Sift { d: 64 },
+            n: args.scaled_n(20_000),
+            seed: args.seed(),
+        },
+        DatasetSpec {
+            kind: DatasetKind::Mnist { pca_dims: Some(64) },
+            n: args.scaled_n(5_000),
+            seed: args.seed(),
+        },
+        DatasetSpec {
+            kind: DatasetKind::Shuttle,
+            n: args.scaled_n(43_500),
+            seed: args.seed(),
+        },
+    ];
+    let mut rows = Vec::new();
+    for spec in specs {
+        let m = spec.generate().expect("generate");
+        let stds = stats::column_stds(&m);
+        let mean_std = stds.iter().sum::<f64>() / stds.len() as f64;
+        rows.push(vec![
+            spec.name(),
+            m.cols().to_string(),
+            m.rows().to_string(),
+            format!("{mean_std:.3}"),
+        ]);
+    }
+    print_table(&["analog", "d", "n (generated)", "mean column std"], &rows);
+}

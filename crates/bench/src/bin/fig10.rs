@@ -1,0 +1,47 @@
+//! Fig. 10: query-throughput scaling over dataset size on the
+//! 27-dimensional hep dataset (training excluded).
+//!
+//! Paper shape to reproduce: tKDC remains asymptotically faster than the
+//! O(n)-per-query algorithms, but the gap grows more slowly than in d=2
+//! (its exponent is (d−1)/d = 26/27 here).
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin fig10
+//!         [--scale F] [--queries Q] [--max-n N]`
+
+use tkdc_bench::{fmt_qps, print_table, run_throughput, Algo, BenchArgs};
+use tkdc_data::{DatasetKind, DatasetSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let queries = args.queries().min(500);
+    let seed = args.seed();
+    let max_n = args.get_usize("max-n", args.scaled_n(100_000));
+
+    let mut sizes = Vec::new();
+    let mut n = 10_000usize.min(max_n);
+    while n <= max_n {
+        sizes.push(n);
+        n *= 2;
+    }
+
+    println!("Fig. 10: throughput vs dataset size, hep d=27 (query phase only)\n");
+    let algos = [Algo::Tkdc, Algo::Simple, Algo::Rkde];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let data = DatasetSpec {
+            kind: DatasetKind::Hep,
+            n,
+            seed,
+        }
+        .generate()
+        .expect("generate");
+        let mut row = vec![n.to_string()];
+        for algo in algos {
+            let r = run_throughput(algo, &data, 0.01, queries, seed);
+            row.push(fmt_qps(r.query_qps));
+        }
+        rows.push(row);
+    }
+    print_table(&["n", "tkdc", "simple", "rkde"], &rows);
+    println!("\n(theory: tkdc per-query cost O(n^(26/27)); simple/rkde O(n))");
+}

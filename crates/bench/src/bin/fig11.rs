@@ -1,0 +1,41 @@
+//! Fig. 11: throughput over data dimensionality on dimension-prefix
+//! subsets of the hep dataset (fixed n).
+//!
+//! Paper shape to reproduce: the naive algorithm is nearly flat in d;
+//! every tree-based approach slows with d; tKDC retains at least an
+//! order of magnitude over the alternatives across the sweep.
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin fig11
+//!         [--scale F] [--queries Q] [--n N]`
+
+use tkdc_bench::{fmt_qps, print_table, run_throughput, Algo, BenchArgs};
+use tkdc_data::{DatasetKind, DatasetSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let queries = args.queries().min(1000);
+    let seed = args.seed();
+    let n = args.get_usize("n", args.scaled_n(50_000));
+
+    let full = DatasetSpec {
+        kind: DatasetKind::Hep,
+        n,
+        seed,
+    }
+    .generate()
+    .expect("generate");
+
+    println!("Fig. 11: throughput vs dimension, hep n={n} (amortized training)\n");
+    let algos = [Algo::Tkdc, Algo::Simple, Algo::Sklearn, Algo::Rkde];
+    let mut rows = Vec::new();
+    for d in [1usize, 2, 4, 8, 16, 27] {
+        let data = full.prefix_columns(d).expect("prefix");
+        let mut row = vec![d.to_string()];
+        for algo in algos {
+            let r = run_throughput(algo, &data, 0.01, queries, seed);
+            row.push(fmt_qps(r.total_qps));
+        }
+        rows.push(row);
+    }
+    print_table(&["d", "tkdc", "simple", "sklearn", "rkde"], &rows);
+}

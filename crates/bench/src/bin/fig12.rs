@@ -1,0 +1,85 @@
+//! Fig. 12: cumulative factor analysis on the 4-d tmy3 dataset — add
+//! the optimizations one at a time (baseline → +threshold → +tolerance →
+//! +equiwidth → +grid) and report throughput plus kernel evaluations per
+//! point.
+//!
+//! Paper shape to reproduce: the threshold rule delivers the bulk of the
+//! order-of-magnitude gains; each later optimization contributes an
+//! incremental improvement; the baseline tree traversal is slower than a
+//! simple loop.
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin fig12
+//!         [--scale F] [--queries Q]`
+
+use tkdc::{Classifier, Optimizations, Params, QueryScratch};
+use tkdc_bench::{fmt_qps, print_table, time, BenchArgs};
+use tkdc_common::Rng;
+use tkdc_data::{DatasetKind, DatasetSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
+    // Paper uses 500k rows of 4-d tmy3.
+    let n = args.scaled_n(40_000);
+    let queries = args.queries();
+    let data = DatasetSpec {
+        kind: DatasetKind::Tmy3,
+        n,
+        seed,
+    }
+    .generate()
+    .expect("generate")
+    .prefix_columns(4)
+    .expect("prefix");
+
+    let stages: [(&str, Optimizations); 5] = [
+        ("Baseline", Optimizations::none()),
+        (
+            "+Threshold",
+            Optimizations {
+                threshold_rule: true,
+                ..Optimizations::none()
+            },
+        ),
+        (
+            "+Tolerance",
+            Optimizations {
+                threshold_rule: true,
+                tolerance_rule: true,
+                ..Optimizations::none()
+            },
+        ),
+        (
+            "+Equiwidth",
+            Optimizations {
+                threshold_rule: true,
+                tolerance_rule: true,
+                equiwidth_split: true,
+                grid: false,
+            },
+        ),
+        ("+Grid", Optimizations::all()),
+    ];
+
+    println!("Fig. 12: cumulative factor analysis, tmy3 d=4, n={n} (query phase)\n");
+    let mut rng = Rng::seed_from(seed ^ 0x51);
+    let query_set = data.sample_rows(queries.min(n), &mut rng);
+    let mut rows = Vec::new();
+    for (name, opts) in stages {
+        let params = Params::default().with_seed(seed).with_opts(opts);
+        let clf = Classifier::fit(&data, &params).expect("fit");
+        let mut scratch = QueryScratch::new();
+        let (_, t_query) = time(|| {
+            for q in query_set.iter_rows() {
+                clf.classify_with(q, &mut scratch).expect("classify");
+            }
+        });
+        let qps = query_set.rows() as f64 / t_query.as_secs_f64().max(1e-12);
+        rows.push(vec![
+            name.into(),
+            fmt_qps(qps),
+            format!("{:.1}", scratch.stats.kernels_per_query()),
+        ]);
+    }
+    print_table(&["optimization", "points/s", "kernel evals/pt"], &rows);
+}

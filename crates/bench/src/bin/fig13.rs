@@ -1,0 +1,80 @@
+//! Fig. 13 (Appendix B): rkde radius sweep on the 4-d tmy3 dataset —
+//! throughput of the radial baseline as a function of the cutoff radius
+//! (in bandwidth multiples), against tKDC's throughput line.
+//!
+//! Paper shape to reproduce: smaller radii speed rkde up at the cost of
+//! accuracy, but even tiny radii stay orders of magnitude slower than
+//! tKDC; densities become unreliable around r <= 1.2.
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin fig13
+//!         [--scale F] [--queries Q]`
+
+use tkdc_baselines::{DensityEstimator, NaiveKde, RadialKde};
+use tkdc_bench::{fmt_qps, print_table, run_throughput, time, Algo, BenchArgs};
+use tkdc_common::Rng;
+use tkdc_data::{DatasetKind, DatasetSpec};
+use tkdc_kernel::KernelKind;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
+    let n = args.scaled_n(40_000);
+    let queries = args.queries();
+    let data = DatasetSpec {
+        kind: DatasetKind::Tmy3,
+        n,
+        seed,
+    }
+    .generate()
+    .expect("generate")
+    .prefix_columns(4)
+    .expect("prefix");
+    let mut rng = Rng::seed_from(seed ^ 0x13);
+    let query_set = data.sample_rows(queries.min(n), &mut rng);
+
+    // Reference densities (for the error column) from the exact KDE on
+    // the query subsample.
+    let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).expect("fit");
+    let reference: Vec<f64> = query_set
+        .iter_rows()
+        .map(|q| naive.density(q).expect("density"))
+        .collect();
+    let t_ref = naive
+        .estimate_threshold(&query_set, 0.01)
+        .expect("threshold");
+
+    println!("Fig. 13: rkde throughput and error vs cutoff radius, tmy3 d=4, n={n}\n");
+    let mut rows = Vec::new();
+    for radius in [0.5, 1.0, 1.2, 1.5, 2.0, 3.0, 4.0, 5.0] {
+        let rkde =
+            RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, radius).expect("fit");
+        let (densities, t_query) = time(|| {
+            query_set
+                .iter_rows()
+                .map(|q| rkde.density(q).expect("density"))
+                .collect::<Vec<f64>>()
+        });
+        let qps = query_set.rows() as f64 / t_query.as_secs_f64().max(1e-12);
+        // Max relative-to-threshold error across the sample.
+        let max_err = densities
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (b - a).abs() / t_ref)
+            .fold(0.0f64, f64::max);
+        rows.push(vec![
+            format!("{radius:.1}"),
+            fmt_qps(qps),
+            format!("{max_err:.2}"),
+        ]);
+    }
+    print_table(
+        &["radius (bandwidths)", "queries/s", "max |err| / t"],
+        &rows,
+    );
+
+    let tkdc = run_throughput(Algo::Tkdc, &data, 0.01, queries, seed);
+    println!(
+        "\ntkdc reference: {} queries/s (guaranteed eps=0.01)",
+        fmt_qps(tkdc.query_qps)
+    );
+}

@@ -1,0 +1,87 @@
+//! Fig. 14 (Appendix B): mnist dimensionality sweep — throughput as the
+//! mnist analog is PCA-reduced to d ∈ {1, 2, 4, …, 256} plus the raw 784
+//! pixels.
+//!
+//! Paper shape to reproduce: tKDC is competitive up to ~d=100 but loses
+//! its advantage on this small (70k) dataset at very high dimensions,
+//! while never degrading below the naive loop. Bandwidths are scaled 3×
+//! for the PCA variants (underflow mitigation, per the appendix) and a
+//! large fixed factor at d=784.
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin fig14
+//!         [--scale F] [--queries Q]`
+
+use tkdc::{Classifier, Label, Params, QueryScratch};
+use tkdc_baselines::{DensityEstimator, NaiveKde};
+use tkdc_bench::{fmt_qps, print_table, time, BenchArgs};
+use tkdc_common::{Matrix, Rng};
+use tkdc_data::{mnist, DatasetKind, DatasetSpec};
+use tkdc_kernel::KernelKind;
+use tkdc_linalg::Pca;
+
+fn measure(data: &Matrix, b: f64, queries: usize, seed: u64) -> (f64, f64) {
+    let mut rng = Rng::seed_from(seed ^ 0x14);
+    let query_set = data.sample_rows(queries.min(data.rows()), &mut rng);
+    // tKDC query throughput.
+    let params = Params::default().with_seed(seed).with_bandwidth_factor(b);
+    let clf = Classifier::fit(data, &params).expect("fit");
+    let mut scratch = QueryScratch::new();
+    let (_, t_tkdc) = time(|| {
+        for q in query_set.iter_rows() {
+            let _ = clf.classify_with(q, &mut scratch).expect("classify") == Label::High;
+        }
+    });
+    // Naive throughput on the same queries.
+    let naive = NaiveKde::fit(data, KernelKind::Gaussian, b).expect("fit");
+    let t_naive = time(|| {
+        for q in query_set.iter_rows() {
+            naive.density(q).expect("density");
+        }
+    })
+    .1;
+    let q = query_set.rows() as f64;
+    (
+        q / t_tkdc.as_secs_f64().max(1e-12),
+        q / t_naive.as_secs_f64().max(1e-12),
+    )
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
+    let n = args.scaled_n(5_000); // paper: 70k
+    let queries = args.queries().min(500);
+
+    let raw = DatasetSpec {
+        kind: DatasetKind::Mnist { pca_dims: None },
+        n,
+        seed,
+    }
+    .generate()
+    .expect("generate");
+
+    println!("Fig. 14: throughput vs dimension, mnist analog n={n}\n");
+    let dims = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
+    let mut rows = Vec::new();
+    // One truncated PCA at the largest k, sliced down for smaller dims.
+    let max_k = *dims.iter().max().unwrap();
+    let pca = Pca::fit_truncated(&raw, max_k.min(raw.cols()), 30, seed ^ 0xFACE).expect("pca");
+    let projected = pca.transform(&raw).expect("transform");
+    for &d in &dims {
+        if d > projected.cols() {
+            continue;
+        }
+        let data = projected.prefix_columns(d).expect("prefix");
+        // 3× Scott bandwidth for PCA variants (appendix note).
+        let (tkdc_qps, naive_qps) = measure(&data, 3.0, queries, seed);
+        rows.push(vec![d.to_string(), fmt_qps(tkdc_qps), fmt_qps(naive_qps)]);
+    }
+    // Raw 784 pixels with a large fixed bandwidth factor (paper: b=1000).
+    let (tkdc_qps, naive_qps) = measure(&raw, 1000.0, queries, seed);
+    rows.push(vec![
+        mnist::DIM.to_string(),
+        fmt_qps(tkdc_qps),
+        fmt_qps(naive_qps),
+    ]);
+    print_table(&["d", "tkdc", "simple"], &rows);
+}

@@ -1,0 +1,51 @@
+//! Fig. 15 (Appendix B): throughput over the quantile threshold
+//! parameter `p` on the 4-d tmy3 dataset.
+//!
+//! Paper shape to reproduce: tKDC is fastest at extreme quantiles (few
+//! points near the threshold) and slowest mid-range, but always beats
+//! the p-independent sklearn/naive lines. The runtime analysis
+//! (Appendix A) predicts cost proportional to the density of points near
+//! the threshold, q'(t).
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin fig15
+//!         [--scale F] [--queries Q]`
+
+use tkdc_bench::{fmt_qps, print_table, run_throughput, Algo, BenchArgs};
+use tkdc_data::{DatasetKind, DatasetSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
+    let n = args.scaled_n(40_000);
+    let queries = args.queries();
+    let data = DatasetSpec {
+        kind: DatasetKind::Tmy3,
+        n,
+        seed,
+    }
+    .generate()
+    .expect("generate")
+    .prefix_columns(4)
+    .expect("prefix");
+
+    println!("Fig. 15: throughput vs quantile threshold p, tmy3 d=4, n={n}\n");
+    let mut rows = Vec::new();
+    for p in [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let r = run_throughput(Algo::Tkdc, &data, p, queries, seed);
+        rows.push(vec![
+            format!("{p:.2}"),
+            fmt_qps(r.total_qps),
+            format!("{:.0}", r.kernels_per_query),
+        ]);
+    }
+    print_table(&["p", "tkdc queries/s", "kernels/query"], &rows);
+
+    // p-independent reference lines.
+    let simple = run_throughput(Algo::Simple, &data, 0.5, queries.min(300), seed);
+    let sklearn = run_throughput(Algo::Sklearn, &data, 0.5, queries, seed);
+    println!(
+        "\nreference: simple {} q/s, sklearn {} q/s (independent of p)",
+        fmt_qps(simple.total_qps),
+        fmt_qps(sklearn.total_qps)
+    );
+}

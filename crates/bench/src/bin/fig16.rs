@@ -1,0 +1,80 @@
+//! Fig. 16 (Appendix B): lesion analysis on the 4-d tmy3 dataset —
+//! remove one optimization at a time from the complete tKDC and report
+//! throughput plus kernel evaluations per point.
+//!
+//! Paper shape to reproduce: removing the threshold rule erases nearly
+//! all the gains; removing any other single optimization costs a smaller
+//! but visible factor — no optimization is redundant.
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin fig16
+//!         [--scale F] [--queries Q]`
+
+use tkdc::{Classifier, Optimizations, Params, QueryScratch};
+use tkdc_bench::{fmt_qps, print_table, time, BenchArgs};
+use tkdc_common::Rng;
+use tkdc_data::{DatasetKind, DatasetSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
+    let n = args.scaled_n(40_000);
+    let queries = args.queries();
+    let data = DatasetSpec {
+        kind: DatasetKind::Tmy3,
+        n,
+        seed,
+    }
+    .generate()
+    .expect("generate")
+    .prefix_columns(4)
+    .expect("prefix");
+
+    let all = Optimizations::all();
+    let stages: [(&str, Optimizations); 5] = [
+        ("Complete", all),
+        (
+            "-Threshold",
+            Optimizations {
+                threshold_rule: false,
+                ..all
+            },
+        ),
+        (
+            "-Tolerance",
+            Optimizations {
+                tolerance_rule: false,
+                ..all
+            },
+        ),
+        (
+            "-Equiwidth",
+            Optimizations {
+                equiwidth_split: false,
+                ..all
+            },
+        ),
+        ("-Grid", Optimizations { grid: false, ..all }),
+    ];
+
+    println!("Fig. 16: lesion analysis, tmy3 d=4, n={n} (query phase)\n");
+    let mut rng = Rng::seed_from(seed ^ 0x16);
+    let query_set = data.sample_rows(queries.min(n), &mut rng);
+    let mut rows = Vec::new();
+    for (name, opts) in stages {
+        let params = Params::default().with_seed(seed).with_opts(opts);
+        let clf = Classifier::fit(&data, &params).expect("fit");
+        let mut scratch = QueryScratch::new();
+        let (_, t_query) = time(|| {
+            for q in query_set.iter_rows() {
+                clf.classify_with(q, &mut scratch).expect("classify");
+            }
+        });
+        let qps = query_set.rows() as f64 / t_query.as_secs_f64().max(1e-12);
+        rows.push(vec![
+            name.into(),
+            fmt_qps(qps),
+            format!("{:.1}", scratch.stats.kernels_per_query()),
+        ]);
+    }
+    print_table(&["lesion", "points/s", "kernel evals/pt"], &rows);
+}

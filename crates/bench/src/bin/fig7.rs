@@ -1,0 +1,149 @@
+//! Fig. 7: end-to-end throughput (training amortized) across the eight
+//! dataset panels and all six algorithms of Table 2.
+//!
+//! Paper shape to reproduce: tKDC wins by orders of magnitude on every
+//! low/moderate-dimensional panel; `ks` beats it only on the 2-d gauss
+//! panel; everything converges on the small high-dimensional mnist data.
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin fig7
+//!         [--scale F] [--queries Q] [--p P] [--list-algos]`
+
+use tkdc_bench::{fmt_qps, print_table, run_throughput, Algo, BenchArgs};
+use tkdc_data::{DatasetKind, DatasetSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.has("list-algos") {
+        println!("Table 2: algorithms used in evaluation\n");
+        print_table(
+            &["name", "description"],
+            &[
+                vec![
+                    "tkdc".into(),
+                    "density classification w/ threshold pruning".into(),
+                ],
+                vec![
+                    "simple".into(),
+                    "naive algorithm, iterates through every point".into(),
+                ],
+                vec!["sklearn".into(), "k-d tree approximation (rtol 0.1)".into()],
+                vec!["ks".into(), "binning approximation (d <= 4)".into()],
+                vec!["rkde".into(), "contribution from only nearby points".into()],
+                vec![
+                    "nocut".into(),
+                    "tkdc w/ threshold rule and grid disabled".into(),
+                ],
+            ],
+        );
+        return;
+    }
+    let p = args.get_f64("p", 0.01);
+    let queries = args.queries();
+    let seed = args.seed();
+
+    // Laptop-scale defaults preserving the paper's panel ordering; the
+    // paper's sizes are in the panel titles it prints.
+    let panels: Vec<(DatasetSpec, &str, Option<usize>)> = vec![
+        (
+            DatasetSpec {
+                kind: DatasetKind::Gauss { d: 2 },
+                n: args.scaled_n(100_000),
+                seed,
+            },
+            "gauss d=2",
+            None,
+        ),
+        (
+            DatasetSpec {
+                kind: DatasetKind::Tmy3,
+                n: args.scaled_n(50_000),
+                seed,
+            },
+            "tmy3 d=4",
+            Some(4),
+        ),
+        (
+            DatasetSpec {
+                kind: DatasetKind::Tmy3,
+                n: args.scaled_n(50_000),
+                seed,
+            },
+            "tmy3 d=8",
+            None,
+        ),
+        (
+            DatasetSpec {
+                kind: DatasetKind::Home,
+                n: args.scaled_n(40_000),
+                seed,
+            },
+            "home d=10",
+            None,
+        ),
+        (
+            DatasetSpec {
+                kind: DatasetKind::Hep,
+                n: args.scaled_n(30_000),
+                seed,
+            },
+            "hep d=27",
+            None,
+        ),
+        (
+            DatasetSpec {
+                kind: DatasetKind::Sift { d: 64 },
+                n: args.scaled_n(10_000),
+                seed,
+            },
+            "sift d=64",
+            None,
+        ),
+        (
+            DatasetSpec {
+                kind: DatasetKind::Mnist { pca_dims: Some(64) },
+                n: args.scaled_n(4_000),
+                seed,
+            },
+            "mnist d=64",
+            None,
+        ),
+        (
+            DatasetSpec {
+                kind: DatasetKind::Mnist {
+                    pca_dims: Some(256),
+                },
+                n: args.scaled_n(2_000),
+                seed,
+            },
+            "mnist d=256",
+            None,
+        ),
+    ];
+
+    println!("Fig. 7: end-to-end throughput (queries/s, training amortized)\n");
+    for (spec, title, dim_prefix) in panels {
+        let mut data = spec.generate().expect("generate");
+        if let Some(d) = dim_prefix {
+            data = data.prefix_columns(d).expect("prefix");
+        }
+        println!("\n{title}, n={}, d={}", data.rows(), data.cols());
+        let mut rows = Vec::new();
+        for algo in Algo::ALL {
+            if !algo.supports_dim(data.cols()) {
+                rows.push(vec![
+                    algo.name().into(),
+                    "(unsupported d)".into(),
+                    String::new(),
+                ]);
+                continue;
+            }
+            let r = run_throughput(algo, &data, p, queries, seed);
+            rows.push(vec![
+                algo.name().into(),
+                fmt_qps(r.total_qps),
+                format!("{:.0}", r.kernels_per_query),
+            ]);
+        }
+        print_table(&["algo", "queries/s", "kernels/query"], &rows);
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 9: query-throughput scaling over dataset size on the 2-d gauss
+//! dataset (training excluded), with the `O(n^{-1/2})` and `O(n^{-1})`
+//! reference slopes.
+//!
+//! Paper shape to reproduce: tKDC degrades like ~n^{-1/2} (or better)
+//! while simple/sklearn/rkde degrade like n^{-1}.
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin fig9
+//!         [--scale F] [--queries Q] [--max-n N]`
+
+use tkdc_bench::{fmt_qps, print_table, run_throughput, Algo, BenchArgs};
+use tkdc_data::{DatasetKind, DatasetSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let queries = args.queries();
+    let seed = args.seed();
+    let max_n = args.get_usize("max-n", args.scaled_n(400_000));
+
+    // Geometric size sweep: 10k, 20k, 40k, ... up to max_n.
+    let mut sizes = Vec::new();
+    let mut n = 10_000usize.min(max_n);
+    while n <= max_n {
+        sizes.push(n);
+        n *= 2;
+    }
+
+    println!("Fig. 9: throughput vs dataset size, gauss d=2 (query phase only)\n");
+    let algos = [Algo::Tkdc, Algo::Sklearn, Algo::Simple, Algo::Rkde];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let data = DatasetSpec {
+            kind: DatasetKind::Gauss { d: 2 },
+            n,
+            seed,
+        }
+        .generate()
+        .expect("generate");
+        let mut row = vec![n.to_string()];
+        for algo in algos {
+            let r = run_throughput(algo, &data, 0.01, queries, seed);
+            row.push(fmt_qps(r.query_qps));
+        }
+        rows.push(row);
+    }
+    print_table(&["n", "tkdc", "sklearn", "simple", "rkde"], &rows);
+
+    // Fitted log-log slopes vs the theory lines.
+    println!("\nfitted log-log slope of throughput vs n (theory: tkdc >= -0.5, naive = -1.0):");
+    for (i, algo) in algos.iter().enumerate() {
+        let pts: Vec<(f64, f64)> = sizes
+            .iter()
+            .zip(&rows)
+            .map(|(&n, row)| {
+                let v = parse_qps(&row[i + 1]);
+                ((n as f64).ln(), v.ln())
+            })
+            .collect();
+        println!("  {:8} slope = {:+.3}", algo.name(), slope(&pts));
+    }
+}
+
+fn parse_qps(s: &str) -> f64 {
+    if let Some(v) = s.strip_suffix('M') {
+        v.parse::<f64>().unwrap() * 1e6
+    } else if let Some(v) = s.strip_suffix('k') {
+        v.parse::<f64>().unwrap() * 1e3
+    } else {
+        s.parse().unwrap()
+    }
+}
+
+/// Least-squares slope of y over x.
+fn slope(pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}

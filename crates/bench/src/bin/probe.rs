@@ -1,0 +1,56 @@
+//! Diagnostic: stage-by-stage timing of one `run_throughput`-style pass,
+//! used to investigate harness stalls at larger scales.
+//!
+//! Usage: `cargo run --release -p tkdc-bench --bin probe -- --n 200000 --d 1`
+
+use tkdc::{Classifier, Params};
+use tkdc_bench::{time, BenchArgs};
+use tkdc_data::{DatasetKind, DatasetSpec};
+use tkdc_index::{KdTree, SplitRule};
+use tkdc_kernel::{scotts_rule, Kernel, KernelKind};
+
+fn main() {
+    let args = BenchArgs::parse();
+    let n = args.get_usize("n", 200_000);
+    let d = args.get_usize("d", 1);
+    let seed = args.seed();
+
+    let (data, t) = time(|| {
+        DatasetSpec {
+            kind: DatasetKind::Hep,
+            n,
+            seed,
+        }
+        .generate()
+        .expect("generate")
+        .prefix_columns(d)
+        .expect("prefix")
+    });
+    eprintln!("generate: {t:.2?}");
+
+    let (tree, t) = time(|| KdTree::build(&data, 32, SplitRule::TrimmedMidpoint).expect("build"));
+    eprintln!("kd-tree build: {t:.2?} ({} nodes)", tree.node_count());
+    let h = scotts_rule(&data, 1.0).expect("bandwidth");
+    let kernel = Kernel::new(KernelKind::Gaussian, h).expect("kernel");
+    drop(kernel);
+
+    let (bounds, t) = time(|| {
+        tkdc::threshold::bound_threshold(&data, &Params::default().with_seed(seed))
+            .expect("bootstrap")
+    });
+    eprintln!("bootstrap: {t:.2?} (rounds {:?})", bounds.1.rounds);
+
+    let (clf, t) =
+        time(|| Classifier::fit(&data, &Params::default().with_seed(seed)).expect("fit"));
+    eprintln!("full fit: {t:.2?} (threshold {:.3e})", clf.threshold());
+
+    for algo in [
+        tkdc_bench::Algo::Tkdc,
+        tkdc_bench::Algo::Sklearn,
+        tkdc_bench::Algo::Rkde,
+        tkdc_bench::Algo::Simple,
+    ] {
+        let (r, t) = time(|| tkdc_bench::run_throughput(algo, &data, 0.01, 200, seed));
+        eprintln!("{}: wall {t:.2?}, qps {:.1}", algo.name(), r.total_qps);
+    }
+}

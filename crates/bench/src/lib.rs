@@ -1,0 +1,398 @@
+//! # tkdc-bench
+//!
+//! Benchmark harness regenerating every table and figure of the tKDC
+//! paper's evaluation (§4 plus Appendix B). Each figure has a dedicated
+//! binary (`fig7` … `fig16`, `datasets`) that prints the same rows/series
+//! the paper reports; Criterion microbenches live under `benches/`.
+//!
+//! ## Methodology
+//!
+//! The paper classifies every point of each dataset and amortizes
+//! training time into the reported throughput. At laptop scale we keep
+//! the same formula but *extrapolate* the query phase from a measured
+//! query subsample:
+//!
+//! `throughput = n / (t_train + (t_sample / q) · n)`
+//!
+//! which equals the paper's measure when `q = n`. Dataset sizes default
+//! to laptop-friendly values; every binary accepts `--scale F` (scales
+//! all row counts) and `--queries Q` (query-sample size), so paper-scale
+//! runs are a flag away.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use tkdc::{Classifier, Label, Params, QueryScratch};
+use tkdc_baselines::{BinnedKde, DensityEstimator, NaiveKde, NocutKde, RadialKde};
+use tkdc_common::{Matrix, Rng};
+use tkdc_kernel::KernelKind;
+
+/// Tiny command-line flag parser shared by the harness binaries.
+///
+/// Understands `--name value` pairs and bare `--flag` booleans.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    flags: HashMap<String, String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut flags = HashMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                flags.insert(name.to_string(), value);
+            }
+        }
+        Self { flags }
+    }
+
+    /// Integer flag with default.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Float flag with default.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Seed flag (default 42).
+    pub fn seed(&self) -> u64 {
+        self.flags
+            .get("seed")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42)
+    }
+
+    /// Global row-count scale factor (default 1.0; the figure binaries
+    /// already default to laptop-scale sizes).
+    pub fn scale(&self) -> f64 {
+        self.get_f64("scale", 1.0)
+    }
+
+    /// Scales a default row count by `--scale`, with a floor of 500.
+    pub fn scaled_n(&self, default_n: usize) -> usize {
+        ((default_n as f64 * self.scale()) as usize).max(500)
+    }
+
+    /// Query-sample size (default 2000).
+    pub fn queries(&self) -> usize {
+        self.get_usize("queries", 2000)
+    }
+
+    /// Boolean flag presence.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+/// Wall-clock timing helper.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// The algorithms of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Full tKDC.
+    Tkdc,
+    /// Naïve exact KDE.
+    Simple,
+    /// scikit-learn-equivalent tree KDE (relative tolerance 0.1).
+    Sklearn,
+    /// Radial KDE with conservatively chosen cutoff.
+    Rkde,
+    /// Tolerance-only tree KDE with ε = 0.01.
+    Nocut,
+    /// ks-style binned KDE (d ≤ 4 only).
+    Ks,
+}
+
+impl Algo {
+    /// Every algorithm, in the paper's Fig. 7 ordering.
+    pub const ALL: [Algo; 6] = [
+        Algo::Tkdc,
+        Algo::Simple,
+        Algo::Sklearn,
+        Algo::Rkde,
+        Algo::Nocut,
+        Algo::Ks,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Tkdc => "tkdc",
+            Algo::Simple => "simple",
+            Algo::Sklearn => "sklearn",
+            Algo::Rkde => "rkde",
+            Algo::Nocut => "nocut",
+            Algo::Ks => "ks",
+        }
+    }
+
+    /// Whether the algorithm supports the dimensionality (`ks` is d ≤ 4).
+    pub fn supports_dim(&self, d: usize) -> bool {
+        match self {
+            Algo::Ks => d <= 4,
+            _ => true,
+        }
+    }
+}
+
+/// Result of one end-to-end throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// Estimated end-to-end queries per second with amortized training
+    /// (the paper's Fig. 7 measure).
+    pub total_qps: f64,
+    /// Pure query throughput, training excluded (the Fig. 9/10 measure).
+    pub query_qps: f64,
+    /// Training wall-clock.
+    pub train: Duration,
+    /// Mean point-kernel evaluations per query (where tracked).
+    pub kernels_per_query: f64,
+}
+
+/// Runs an algorithm end-to-end on a dataset: train (including threshold
+/// estimation) and classify a query sample, extrapolating the paper's
+/// whole-dataset protocol.
+///
+/// `p` is the classification quantile; `queries` the query sample size.
+pub fn run_throughput(
+    algo: Algo,
+    data: &Matrix,
+    p: f64,
+    queries: usize,
+    seed: u64,
+) -> ThroughputResult {
+    let n = data.rows();
+    let q = queries.min(n).max(1);
+    let mut rng = Rng::seed_from(seed ^ 0x9E37);
+    let query_set = data.sample_rows(q, &mut rng);
+
+    match algo {
+        Algo::Tkdc => {
+            let params = Params::default().with_p(p).with_seed(seed);
+            let (clf, t_train) = time(|| Classifier::fit(data, &params).expect("fit"));
+            let mut scratch = QueryScratch::new();
+            let (_, t_query) = time(|| {
+                let mut high = 0usize;
+                for row in query_set.iter_rows() {
+                    if clf.classify_with(row, &mut scratch).expect("classify") == Label::High {
+                        high += 1;
+                    }
+                }
+                high
+            });
+            finish(n, q, t_train, t_query, scratch.stats.kernels_per_query())
+        }
+        Algo::Simple => {
+            let (kde, t_build) =
+                time(|| NaiveKde::fit(data, KernelKind::Gaussian, 1.0).expect("fit"));
+            run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
+        }
+        Algo::Sklearn => {
+            let (kde, t_build) =
+                time(|| NocutKde::fit(data, KernelKind::Gaussian, 1.0, 0.1).expect("fit"));
+            run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
+        }
+        Algo::Nocut => {
+            let (kde, t_build) =
+                time(|| NocutKde::fit(data, KernelKind::Gaussian, 1.0, 0.01).expect("fit"));
+            run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
+        }
+        Algo::Rkde => {
+            // Reference threshold from a small naive pass so the radius
+            // guarantees ε·t truncation error, as in the paper.
+            let t_ref = reference_threshold(data, p, seed);
+            let (kde, t_build) = time(|| {
+                RadialKde::fit_with_error_bound(data, KernelKind::Gaussian, 1.0, 0.01, t_ref)
+                    .expect("fit")
+            });
+            run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
+        }
+        Algo::Ks => {
+            let (kde, t_build) =
+                time(|| BinnedKde::fit(data, KernelKind::Gaussian, 1.0).expect("fit"));
+            run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
+        }
+    }
+}
+
+/// Baseline protocol: threshold from the query sample's densities
+/// (extrapolated to the dataset for the training charge), then classify
+/// the query sample.
+fn run_estimator_protocol<E: DensityEstimator>(
+    kde: &E,
+    _data: &Matrix,
+    query_set: &Matrix,
+    p: f64,
+    n: usize,
+    q: usize,
+    t_build: Duration,
+) -> ThroughputResult {
+    kde.reset_kernel_evals();
+    let (threshold, t_thresh_sample) =
+        time(|| kde.estimate_threshold(query_set, p).expect("threshold"));
+    // Training charge: build + a full-dataset density pass, extrapolated
+    // from the sampled pass.
+    let t_train = t_build + t_thresh_sample.mul_f64(n as f64 / q as f64);
+    let (_, t_query) = time(|| {
+        kde.classify_batch(query_set, threshold)
+            .expect("classify")
+            .iter()
+            .filter(|&&h| h)
+            .count()
+    });
+    let kpq = kde.kernel_evals() as f64 / (2 * q) as f64;
+    finish(n, q, t_train, t_query, kpq)
+}
+
+fn finish(
+    n: usize,
+    q: usize,
+    t_train: Duration,
+    t_query: Duration,
+    kernels_per_query: f64,
+) -> ThroughputResult {
+    let per_query = t_query.as_secs_f64() / q as f64;
+    let total_secs = t_train.as_secs_f64() + per_query * n as f64;
+    ThroughputResult {
+        total_qps: n as f64 / total_secs.max(1e-12),
+        query_qps: 1.0 / per_query.max(1e-12),
+        train: t_train,
+        kernels_per_query,
+    }
+}
+
+/// Quick reference threshold from a naive KDE over a subsample (used to
+/// parameterize rkde's radius).
+pub fn reference_threshold(data: &Matrix, p: f64, seed: u64) -> f64 {
+    let mut rng = Rng::seed_from(seed ^ 0xBEEF);
+    let sample = data.sample_rows(data.rows().min(2000), &mut rng);
+    let kde = NaiveKde::fit(&sample, KernelKind::Gaussian, 1.0).expect("fit");
+    kde.estimate_threshold(&sample, p).expect("threshold")
+}
+
+/// Formats a queries/s figure the way the paper does (e.g. `55.2k`,
+/// `6.36M`, `0.12`).
+pub fn fmt_qps(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Prints an aligned table: header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_data::{DatasetKind, DatasetSpec};
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let args = BenchArgs::from_args(
+            ["--n", "500", "--scale", "0.5", "--full"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.get_usize("n", 0), 500);
+        assert_eq!(args.get_f64("scale", 1.0), 0.5);
+        assert!(args.has("full"));
+        assert!(!args.has("absent"));
+        assert_eq!(args.get_usize("missing", 7), 7);
+    }
+
+    #[test]
+    fn scaled_n_has_floor() {
+        let args = BenchArgs::from_args(["--scale", "0.0001"].iter().map(|s| s.to_string()));
+        assert_eq!(args.scaled_n(100_000), 500);
+    }
+
+    #[test]
+    fn fmt_qps_matches_paper_style() {
+        assert_eq!(fmt_qps(55_200.0), "55.2k");
+        assert_eq!(fmt_qps(6_360_000.0), "6.36M");
+        assert_eq!(fmt_qps(0.12), "0.12");
+        assert_eq!(fmt_qps(86.3), "86.3");
+    }
+
+    #[test]
+    fn throughput_runs_all_algorithms_smoke() {
+        let data = DatasetSpec {
+            kind: DatasetKind::Gauss { d: 2 },
+            n: 1500,
+            seed: 3,
+        }
+        .generate()
+        .unwrap();
+        for algo in Algo::ALL {
+            if !algo.supports_dim(data.cols()) {
+                continue;
+            }
+            let r = run_throughput(algo, &data, 0.01, 200, 1);
+            assert!(r.total_qps > 0.0, "{} qps", algo.name());
+            assert!(r.query_qps > 0.0);
+        }
+    }
+
+    #[test]
+    fn ks_rejects_high_dims() {
+        assert!(!Algo::Ks.supports_dim(5));
+        assert!(Algo::Ks.supports_dim(4));
+        assert!(Algo::Tkdc.supports_dim(500));
+    }
+}

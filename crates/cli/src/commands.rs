@@ -1,0 +1,464 @@
+//! Subcommand implementations for the `tkdc` CLI.
+
+use crate::args::{usage_error, Flags, COMMON_FLAGS};
+use std::io::Write;
+use tkdc::model_io::{load_model, save_model};
+use tkdc::{Classifier, Label};
+use tkdc_common::csv::{read_csv, CsvOptions};
+use tkdc_common::error::Result;
+use tkdc_common::Matrix;
+
+const USAGE: &str = "\
+tkdc — density classification over CSV datasets (tKDC, SIGMOD 2017)
+
+USAGE:
+    tkdc <subcommand> [flags]
+
+SUBCOMMANDS:
+    train      fit a model and save it:
+                 tkdc train --input data.csv --model out.tkdc
+    classify   classify query rows with a saved model:
+                 tkdc classify --model out.tkdc --input queries.csv
+    density    print certified density bounds per query row:
+                 tkdc density --model out.tkdc --input queries.csv
+    outliers   one-shot: fit on the input and list its low-density rows:
+                 tkdc outliers --input data.csv --p 0.01
+    threshold  estimate the density threshold t(p) only
+    help       print this message
+
+SHARED FLAGS:
+    --input FILE        input CSV (numeric; blank/'#' lines skipped)
+    --header            treat the first CSV line as a header
+    --columns I,J,...   use only these 0-based columns
+    --output FILE       write results to FILE instead of stdout
+    --model FILE        model path (train: write; classify: read)
+    --p P               classification rate (default 0.01)
+    --epsilon E         multiplicative error tolerance (default 0.01)
+    --delta D           bootstrap failure probability (default 0.01)
+    --bandwidth B       Scott's-rule scale factor (default 1.0)
+    --kernel K          gaussian | epanechnikov (default gaussian)
+    --seed N            RNG seed (default from Params)
+    --threads N         classify with N threads (classify subcommand)
+    --quiet             suppress progress logging
+";
+
+/// Dispatches a full command line.
+pub fn run(argv: &[String]) -> Result<()> {
+    let Some(cmd) = argv.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "train" => train(rest),
+        "classify" => classify(rest),
+        "density" => density(rest),
+        "outliers" => outliers(rest),
+        "threshold" => threshold(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(usage_error(format!(
+            "unknown subcommand `{other}` (try `tkdc help`)"
+        ))),
+    }
+}
+
+fn load_input(flags: &Flags) -> Result<Matrix> {
+    let path = flags.require("input")?;
+    let opts = CsvOptions {
+        has_header: flags.has("header"),
+        skip_bad_rows: true,
+        ..CsvOptions::default()
+    };
+    let mut data = read_csv(path, &opts)?;
+    if let Some(cols) = flags.columns()? {
+        data = data.select_columns(&cols)?;
+    }
+    if data.rows() == 0 {
+        return Err(usage_error(format!("no numeric rows parsed from `{path}`")));
+    }
+    Ok(data)
+}
+
+fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
+    let params = flags.params()?;
+    if !flags.has("quiet") {
+        eprintln!(
+            "training on {} rows × {} cols (p={}, ε={}, kernel={:?}) …",
+            data.rows(),
+            data.cols(),
+            params.p,
+            params.epsilon,
+            params.kernel
+        );
+    }
+    let clf = Classifier::fit(data, &params)?;
+    if !flags.has("quiet") {
+        eprintln!("threshold t(p) = {:.6e}", clf.threshold());
+    }
+    Ok(clf)
+}
+
+/// Writes lines either to `--output` or stdout.
+fn emit(flags: &Flags, lines: impl Iterator<Item = String>) -> Result<()> {
+    match flags.get("output") {
+        Some(path) => {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            for line in lines {
+                writeln!(f, "{line}")?;
+            }
+            f.flush()?;
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            for line in lines {
+                writeln!(lock, "{line}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn train(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args, COMMON_FLAGS)?;
+    let data = load_input(&flags)?;
+    let model_path = flags.require("model")?;
+    let clf = fit(&flags, &data)?;
+    save_model(&clf, model_path)?;
+    if !flags.has("quiet") {
+        eprintln!("model written to {model_path}");
+    }
+    Ok(())
+}
+
+fn classify(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args, COMMON_FLAGS)?;
+    let model_path = flags.require("model")?;
+    let clf = load_model(model_path)?;
+    let queries = load_input(&flags)?;
+    let threads = flags.get_u64("threads")?.unwrap_or(1) as usize;
+    let (labels, stats) = if threads > 1 {
+        clf.classify_batch_parallel(&queries, threads)?
+    } else {
+        clf.classify_batch(&queries)?
+    };
+    emit(
+        &flags,
+        labels.iter().map(|l| {
+            match l {
+                Label::High => "HIGH",
+                Label::Low => "LOW",
+            }
+            .to_string()
+        }),
+    )?;
+    if !flags.has("quiet") {
+        eprintln!(
+            "classified {} queries ({:.1} kernel evals/query)",
+            labels.len(),
+            stats.kernels_per_query()
+        );
+    }
+    Ok(())
+}
+
+fn density(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args, COMMON_FLAGS)?;
+    let model_path = flags.require("model")?;
+    let clf = load_model(model_path)?;
+    let queries = load_input(&flags)?;
+    let mut scratch = tkdc::QueryScratch::new();
+    let mut lines = Vec::with_capacity(queries.rows());
+    for q in queries.iter_rows() {
+        let b = clf.bound_density_with(q, &mut scratch)?;
+        lines.push(format!("{:e},{:e},{:?}", b.lower, b.upper, b.cause));
+    }
+    emit(&flags, lines.into_iter())?;
+    if !flags.has("quiet") {
+        eprintln!(
+            "bounded {} densities against t(p) = {:.6e} ({:.1} kernel evals/query)",
+            queries.rows(),
+            clf.threshold(),
+            scratch.stats.kernels_per_query()
+        );
+    }
+    Ok(())
+}
+
+fn outliers(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args, COMMON_FLAGS)?;
+    let data = load_input(&flags)?;
+    let clf = fit(&flags, &data)?;
+    let (labels, _) = clf.classify_batch(&data)?;
+    let lines = labels
+        .iter()
+        .enumerate()
+        .filter(|&(_i, &l)| l == Label::Low)
+        .map(|(i, &_l)| {
+            let row = data
+                .row(i)
+                .iter()
+                .map(|v| format!("{v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            format!("{i},{row}")
+        });
+    emit(&flags, lines)?;
+    if !flags.has("quiet") {
+        let low = labels.iter().filter(|&&l| l == Label::Low).count();
+        eprintln!(
+            "{low} of {} rows below the density threshold ({:.2}%)",
+            labels.len(),
+            100.0 * low as f64 / labels.len() as f64
+        );
+    }
+    Ok(())
+}
+
+fn threshold(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args, COMMON_FLAGS)?;
+    let data = load_input(&flags)?;
+    let clf = fit(&flags, &data)?;
+    let report = clf.fit_report();
+    println!("t(p)      = {:.6e}", clf.threshold());
+    println!(
+        "bounds    = [{:.6e}, {:.6e}]  (1-δ confidence)",
+        report.threshold_bounds.lower, report.threshold_bounds.upper
+    );
+    println!("bootstrap rounds: {:?}", report.bootstrap.rounds);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_csv(path: &std::path::Path, rows: &[[f64; 2]]) {
+        let mut s = String::new();
+        for r in rows {
+            s.push_str(&format!("{},{}\n", r[0], r[1]));
+        }
+        std::fs::write(path, s).unwrap();
+    }
+
+    fn sample_data() -> Vec<[f64; 2]> {
+        // A deterministic blob plus one far outlier.
+        let mut rows = Vec::new();
+        let mut state = 1u64;
+        let mut next = move || {
+            // xorshift for test-local determinism
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        for _ in 0..600 {
+            rows.push([next() * 2.0, next() * 2.0]);
+        }
+        rows.push([50.0, 50.0]);
+        rows
+    }
+
+    #[test]
+    fn train_classify_round_trip() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let model_path = dir.join("model.tkdc");
+        let out_path = dir.join("labels.txt");
+        write_csv(&data_path, &sample_data());
+
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "train",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--model",
+            model_path.to_str().unwrap(),
+            "--p",
+            "0.05",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert!(model_path.exists());
+
+        run(&argv(&[
+            "classify",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--input",
+            data_path.to_str().unwrap(),
+            "--output",
+            out_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        let labels = std::fs::read_to_string(&out_path).unwrap();
+        let lines: Vec<&str> = labels.lines().collect();
+        assert_eq!(lines.len(), 601);
+        // The planted far point must be LOW.
+        assert_eq!(lines[600], "LOW");
+        assert!(lines.iter().filter(|&&l| l == "HIGH").count() > 500);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn outliers_lists_planted_point() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_outliers");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let out_path = dir.join("outliers.csv");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "outliers",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--output",
+            out_path.to_str().unwrap(),
+            "--p",
+            "0.01",
+            "--quiet",
+        ]))
+        .unwrap();
+        let out = std::fs::read_to_string(&out_path).unwrap();
+        assert!(
+            out.lines().any(|l| l.starts_with("600,")),
+            "planted outlier (row 600) missing from: {out}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn density_subcommand_emits_bounds() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_density");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let model_path = dir.join("model.tkdc");
+        let out_path = dir.join("bounds.csv");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "train",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--model",
+            model_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "density",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--input",
+            data_path.to_str().unwrap(),
+            "--output",
+            out_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        let out = std::fs::read_to_string(&out_path).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 601);
+        // Each line: lower,upper,cause with lower <= upper.
+        for line in &lines {
+            let parts: Vec<&str> = line.split(',').collect();
+            assert_eq!(parts.len(), 3, "bad line {line}");
+            let lo: f64 = parts[0].parse().unwrap();
+            let hi: f64 = parts[1].parse().unwrap();
+            assert!(lo <= hi);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_classify_flag_accepted() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_par");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let model_path = dir.join("model.tkdc");
+        let out_path = dir.join("labels.txt");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "train",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--model",
+            model_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "classify",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--input",
+            data_path.to_str().unwrap(),
+            "--threads",
+            "4",
+            "--output",
+            out_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&out_path).unwrap().lines().count(),
+            601
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_subcommand_fails() {
+        let argv: Vec<String> = vec!["explode".into()];
+        assert!(run(&argv).is_err());
+    }
+
+    #[test]
+    fn help_and_empty_ok() {
+        assert!(run(&[]).is_ok());
+        assert!(run(&["help".to_string()]).is_ok());
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let argv: Vec<String> = vec!["threshold".into()];
+        assert!(run(&argv).is_err());
+        let argv: Vec<String> = vec![
+            "threshold".into(),
+            "--input".into(),
+            "/nonexistent.csv".into(),
+        ];
+        assert!(run(&argv).is_err());
+    }
+
+    #[test]
+    fn column_selection_applies() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_cols");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("d.csv");
+        // 3 columns; select 0 and 2.
+        let mut s = String::new();
+        let rows = sample_data();
+        for r in &rows {
+            s.push_str(&format!("{},999,{}\n", r[0], r[1]));
+        }
+        std::fs::write(&data_path, s).unwrap();
+        let argv = |v: &[&str]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "threshold",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--columns",
+            "0,2",
+            "--quiet",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,29 @@
+//! `tkdc` — command-line density classification over CSV datasets.
+//!
+//! Subcommands:
+//!
+//! * `train     --input data.csv --model out.tkdc [params]` — fit + save
+//! * `classify  --model m.tkdc --input q.csv [--output labels.csv]`
+//! * `density   --model m.tkdc --input q.csv` — certified bounds
+//! * `outliers  --input data.csv [params]` — one-shot training-set outliers
+//! * `threshold --input data.csv [params]` — estimate `t(p)` only
+//!
+//! Shared parameter flags: `--p`, `--epsilon`, `--delta`, `--bandwidth`,
+//! `--seed`, `--header` (first CSV line is a header),
+//! `--kernel gaussian|epanechnikov`.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Contour (level-set) extraction via marching squares, plus SVG export.
+//!
+//! The paper's region-boundary use case (§2.1, Fig. 2a) visualizes the
+//! contour lines separating high and low density regions. This module
+//! turns a scalar field sampled on a regular grid into line segments of
+//! the `field = level` iso-contour, with linear interpolation along cell
+//! edges — the standard marching-squares construction.
+
+use crate::error::{invalid_param, Result};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A line segment of a contour, in field coordinates (grid units; the
+/// caller scales into data space).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point `(x, y)`.
+    pub a: (f64, f64),
+    /// End point `(x, y)`.
+    pub b: (f64, f64),
+}
+
+/// Extracts the `level` iso-contour of a scalar field given row-major as
+/// `values[y * width + x]`.
+///
+/// Returns the contour as unordered line segments (one or two per grid
+/// cell). Saddle cells (ambiguous case) are resolved by the cell-center
+/// average, the usual disambiguation.
+///
+/// # Errors
+/// Fails when the grid is smaller than 2×2 or `values` has the wrong
+/// length.
+pub fn marching_squares(
+    values: &[f64],
+    width: usize,
+    height: usize,
+    level: f64,
+) -> Result<Vec<Segment>> {
+    if width < 2 || height < 2 {
+        return Err(invalid_param("grid", "need at least a 2x2 grid"));
+    }
+    if values.len() != width * height {
+        return Err(invalid_param(
+            "values",
+            format!("expected {} values, got {}", width * height, values.len()),
+        ));
+    }
+    let v = |x: usize, y: usize| values[y * width + x];
+    // Interpolated crossing along an edge from (x0,y0,f0) to (x1,y1,f1).
+    let cross = |x0: f64, y0: f64, f0: f64, x1: f64, y1: f64, f1: f64| -> (f64, f64) {
+        let denom = f1 - f0;
+        let t = if denom.abs() < 1e-300 {
+            0.5
+        } else {
+            ((level - f0) / denom).clamp(0.0, 1.0)
+        };
+        (x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+    };
+
+    let mut out = Vec::new();
+    for y in 0..height - 1 {
+        for x in 0..width - 1 {
+            let f00 = v(x, y); // top-left
+            let f10 = v(x + 1, y); // top-right
+            let f11 = v(x + 1, y + 1); // bottom-right
+            let f01 = v(x, y + 1); // bottom-left
+            let mut case = 0u8;
+            if f00 >= level {
+                case |= 1;
+            }
+            if f10 >= level {
+                case |= 2;
+            }
+            if f11 >= level {
+                case |= 4;
+            }
+            if f01 >= level {
+                case |= 8;
+            }
+            if case == 0 || case == 15 {
+                continue;
+            }
+            let (xf, yf) = (x as f64, y as f64);
+            // Edge crossings: top, right, bottom, left.
+            let top = || cross(xf, yf, f00, xf + 1.0, yf, f10);
+            let right = || cross(xf + 1.0, yf, f10, xf + 1.0, yf + 1.0, f11);
+            let bottom = || cross(xf, yf + 1.0, f01, xf + 1.0, yf + 1.0, f11);
+            let left = || cross(xf, yf, f00, xf, yf + 1.0, f01);
+            let mut seg = |a: (f64, f64), b: (f64, f64)| out.push(Segment { a, b });
+            match case {
+                1 | 14 => seg(left(), top()),
+                2 | 13 => seg(top(), right()),
+                3 | 12 => seg(left(), right()),
+                4 | 11 => seg(right(), bottom()),
+                6 | 9 => seg(top(), bottom()),
+                7 | 8 => seg(left(), bottom()),
+                5 | 10 => {
+                    // Saddle: disambiguate by the center average. When the
+                    // center is HIGH the two high corners connect through
+                    // the middle, so the contour isolates the two LOW
+                    // corners; when the center is LOW the high corners are
+                    // isolated instead.
+                    let center = 0.25 * (f00 + f10 + f11 + f01);
+                    let center_high = center >= level;
+                    // Case 5: high corners are TL/BR. Isolating them pairs
+                    // (left,top) + (right,bottom); isolating the LOW
+                    // corners (TR/BL) pairs (top,right) + (left,bottom).
+                    if (case == 5) == center_high {
+                        seg(top(), right());
+                        seg(left(), bottom());
+                    } else {
+                        seg(left(), top());
+                        seg(right(), bottom());
+                    }
+                }
+                _ => unreachable!("cases 0/15 skipped above"),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Writes contour segments as a standalone SVG, mapping field coordinates
+/// into a `view_w × view_h` canvas.
+pub fn write_svg(
+    path: impl AsRef<Path>,
+    contours: &[(Vec<Segment>, &str)],
+    field_w: f64,
+    field_h: f64,
+    view_w: u32,
+    view_h: u32,
+) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_svg_to(file, contours, field_w, field_h, view_w, view_h)
+}
+
+/// Writer-generic version of [`write_svg`]. Each entry of `contours`
+/// pairs a segment list with a stroke color.
+pub fn write_svg_to(
+    writer: impl Write,
+    contours: &[(Vec<Segment>, &str)],
+    field_w: f64,
+    field_h: f64,
+    view_w: u32,
+    view_h: u32,
+) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{view_w}" height="{view_h}" viewBox="0 0 {view_w} {view_h}">"#
+    )?;
+    writeln!(
+        w,
+        r##"<rect width="{view_w}" height="{view_h}" fill="#0e0e18"/>"##
+    )?;
+    let sx = view_w as f64 / field_w.max(1e-300);
+    let sy = view_h as f64 / field_h.max(1e-300);
+    for (segments, color) in contours {
+        write!(w, r#"<path stroke="{color}" stroke-width="1.2" fill="none" d=""#)?;
+        for s in segments.iter() {
+            write!(
+                w,
+                "M{:.2} {:.2}L{:.2} {:.2}",
+                s.a.0 * sx,
+                s.a.1 * sy,
+                s.b.0 * sx,
+                s.b.1 * sy
+            )?;
+        }
+        writeln!(w, r#""/>"#)?;
+    }
+    writeln!(w, "</svg>")?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Radial field: f(x,y) = −distance from grid center.
+    fn radial_field(w: usize, h: usize) -> Vec<f64> {
+        let (cx, cy) = ((w - 1) as f64 / 2.0, (h - 1) as f64 / 2.0);
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = ((i % w) as f64, (i / w) as f64);
+                -((x - cx).powi(2) + (y - cy).powi(2)).sqrt()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn circle_contour_has_expected_length() {
+        let (w, h) = (41usize, 41usize);
+        let field = radial_field(w, h);
+        let r = 10.0;
+        let segs = marching_squares(&field, w, h, -r).unwrap();
+        assert!(!segs.is_empty());
+        let total: f64 = segs
+            .iter()
+            .map(|s| ((s.a.0 - s.b.0).powi(2) + (s.a.1 - s.b.1).powi(2)).sqrt())
+            .sum();
+        let circumference = 2.0 * std::f64::consts::PI * r;
+        assert!(
+            (total - circumference).abs() < 0.05 * circumference,
+            "contour length {total} vs circle {circumference}"
+        );
+        // Every segment endpoint lies close to the circle.
+        let (cx, cy) = (20.0, 20.0);
+        for s in &segs {
+            for p in [s.a, s.b] {
+                let d = ((p.0 - cx).powi(2) + (p.1 - cy).powi(2)).sqrt();
+                assert!((d - r).abs() < 0.8, "endpoint radius {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_field_has_no_contour() {
+        let field = vec![1.0; 16];
+        assert!(marching_squares(&field, 4, 4, 0.5).unwrap().is_empty());
+        assert!(marching_squares(&field, 4, 4, 2.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn half_plane_contour_is_straight() {
+        // f = x: the level-1.5 contour is the vertical line x = 1.5.
+        let (w, h) = (4usize, 4usize);
+        let field: Vec<f64> = (0..w * h).map(|i| (i % w) as f64).collect();
+        let segs = marching_squares(&field, w, h, 1.5).unwrap();
+        assert_eq!(segs.len(), h - 1);
+        for s in &segs {
+            assert!((s.a.0 - 1.5).abs() < 1e-12);
+            assert!((s.b.0 - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn saddle_cells_resolve_by_center_average() {
+        // Case 5 (high TL/BR), center average 0.5 = level ⇒ center HIGH:
+        // the high corners connect, so the contour isolates the LOW
+        // corners TR (1,0) and BL (0,1) — each segment hugs one of them.
+        let field = vec![1.0, 0.0, 0.0, 1.0];
+        let segs = marching_squares(&field, 2, 2, 0.5).unwrap();
+        assert_eq!(segs.len(), 2, "saddle emits two segments");
+        let hugs = |corner: (f64, f64)| {
+            segs.iter().any(|s| {
+                let mx = 0.5 * (s.a.0 + s.b.0);
+                let my = 0.5 * (s.a.1 + s.b.1);
+                (mx - corner.0).abs() + (my - corner.1).abs() < 1.0
+            })
+        };
+        assert!(hugs((1.0, 0.0)), "a segment must isolate the TR low corner");
+        assert!(hugs((0.0, 1.0)), "a segment must isolate the BL low corner");
+
+        // Center LOW (level above average): the HIGH corners are isolated.
+        let segs = marching_squares(&field, 2, 2, 0.75).unwrap();
+        assert_eq!(segs.len(), 2);
+        let hugs2 = |corner: (f64, f64)| {
+            segs.iter().any(|s| {
+                let mx = 0.5 * (s.a.0 + s.b.0);
+                let my = 0.5 * (s.a.1 + s.b.1);
+                (mx - corner.0).abs() + (my - corner.1).abs() < 1.0
+            })
+        };
+        assert!(hugs2((0.0, 0.0)), "a segment must isolate the TL high corner");
+        assert!(hugs2((1.0, 1.0)), "a segment must isolate the BR high corner");
+    }
+
+    #[test]
+    fn rejects_bad_grids() {
+        assert!(marching_squares(&[1.0], 1, 1, 0.0).is_err());
+        assert!(marching_squares(&[1.0; 5], 2, 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn svg_output_is_wellformed() {
+        let field = radial_field(21, 21);
+        let segs = marching_squares(&field, 21, 21, -5.0).unwrap();
+        let mut buf = Vec::new();
+        write_svg_to(&mut buf, &[(segs, "#fff")], 20.0, 20.0, 400, 400).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert!(s.contains("<path stroke=\"#fff\""));
+    }
+}

@@ -1,0 +1,214 @@
+//! Minimal CSV reading and writing for numeric datasets.
+//!
+//! Supports comma- or whitespace-separated numeric files with an optional
+//! header row, which covers the UCI-style dataset formats the paper uses.
+//! Missing values (empty fields, `NA`, `nan`) can either be rejected or
+//! cause the row to be dropped, mirroring the paper's tmy3 preprocessing
+//! ("ignore columns with more than 50% missing values").
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Options for [`read_csv`].
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter; `None` splits on arbitrary whitespace.
+    pub delimiter: Option<char>,
+    /// Skip the first non-comment line as a header.
+    pub has_header: bool,
+    /// Drop rows containing unparseable/missing fields instead of erroring.
+    pub skip_bad_rows: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: Some(','),
+            has_header: false,
+            skip_bad_rows: false,
+        }
+    }
+}
+
+/// Reads a numeric matrix from a CSV/whitespace file on disk.
+pub fn read_csv(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Matrix> {
+    let file = std::fs::File::open(path)?;
+    read_csv_from(file, opts)
+}
+
+/// Reads a numeric matrix from any reader (used by tests with in-memory
+/// buffers).
+pub fn read_csv_from(reader: impl Read, opts: &CsvOptions) -> Result<Matrix> {
+    let reader = BufReader::new(reader);
+    let mut m = Matrix::with_cols(0);
+    let mut fields: Vec<f64> = Vec::new();
+    let mut header_skipped = !opts.has_header;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !header_skipped {
+            header_skipped = true;
+            continue;
+        }
+        fields.clear();
+        let mut bad = false;
+        let parse_field = |tok: &str| -> Option<f64> {
+            let tok = tok.trim();
+            if tok.is_empty() || tok.eq_ignore_ascii_case("na") || tok.eq_ignore_ascii_case("nan") {
+                return None;
+            }
+            tok.parse::<f64>().ok().filter(|v| v.is_finite())
+        };
+        match opts.delimiter {
+            Some(d) => {
+                for tok in trimmed.split(d) {
+                    match parse_field(tok) {
+                        Some(v) => fields.push(v),
+                        None => {
+                            bad = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            None => {
+                for tok in trimmed.split_whitespace() {
+                    match parse_field(tok) {
+                        Some(v) => fields.push(v),
+                        None => {
+                            bad = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if bad || (m.cols() != 0 && fields.len() != m.cols()) {
+            if opts.skip_bad_rows {
+                continue;
+            }
+            return Err(Error::Parse {
+                line: lineno + 1,
+                message: if bad {
+                    "unparseable or missing field".into()
+                } else {
+                    format!("expected {} fields, found {}", m.cols(), fields.len())
+                },
+            });
+        }
+        m.push_row(&fields)?;
+    }
+    Ok(m)
+}
+
+/// Writes a matrix as comma-separated values with full `f64` round-trip
+/// precision, optionally preceded by a header row.
+pub fn write_csv(path: impl AsRef<Path>, m: &Matrix, header: Option<&[&str]>) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_csv_to(file, m, header)
+}
+
+/// Writer-generic version of [`write_csv`].
+pub fn write_csv_to(writer: impl Write, m: &Matrix, header: Option<&[&str]>) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    if let Some(cols) = header {
+        writeln!(w, "{}", cols.join(","))?;
+    }
+    for row in m.iter_rows() {
+        let mut first = true;
+        for v in row {
+            if !first {
+                write!(w, ",")?;
+            }
+            // {:?} prints the shortest representation that round-trips.
+            write!(w, "{v:?}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_csv() {
+        let data = "1.0,2.0\n3.5,-4.5\n";
+        let m = read_csv_from(data.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[3.5, -4.5]);
+    }
+
+    #[test]
+    fn skips_header_and_comments() {
+        let data = "# comment\na,b\n1,2\n\n3,4\n";
+        let opts = CsvOptions {
+            has_header: true,
+            ..CsvOptions::default()
+        };
+        let m = read_csv_from(data.as_bytes(), &opts).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn whitespace_delimited() {
+        let data = "1 2 3\n4 5 6\n";
+        let opts = CsvOptions {
+            delimiter: None,
+            ..CsvOptions::default()
+        };
+        let m = read_csv_from(data.as_bytes(), &opts).unwrap();
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn rejects_bad_rows_by_default() {
+        let data = "1,2\n1,oops\n";
+        let err = read_csv_from(data.as_bytes(), &CsvOptions::default()).unwrap_err();
+        match err {
+            Error::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_bad_rows_when_asked() {
+        let data = "1,2\n1,NA\n3,4\n1,2,3\n";
+        let opts = CsvOptions {
+            skip_bad_rows: true,
+            ..CsvOptions::default()
+        };
+        let m = read_csv_from(data.as_bytes(), &opts).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn round_trips_through_write() {
+        let m = Matrix::from_rows(&[vec![1.25, -0.000001], vec![1e300, 42.0]]).unwrap();
+        let mut buf = Vec::new();
+        write_csv_to(&mut buf, &m, Some(&["x", "y"])).unwrap();
+        let opts = CsvOptions {
+            has_header: true,
+            ..CsvOptions::default()
+        };
+        let back = read_csv_from(buf.as_slice(), &opts).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_matrix() {
+        let m = read_csv_from("".as_bytes(), &CsvOptions::default()).unwrap();
+        assert!(m.is_empty());
+    }
+}

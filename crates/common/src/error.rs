@@ -1,0 +1,129 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Convenience alias used throughout the tkdc crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the tkdc crates.
+///
+/// The library is deliberately strict about inputs: dimension mismatches,
+/// empty datasets, and out-of-range parameters are surfaced as errors rather
+/// than silently clamped, so that callers notice misconfiguration early.
+#[derive(Debug)]
+pub enum Error {
+    /// A matrix/point dimensionality did not match what the operation needs.
+    DimensionMismatch {
+        /// Expected number of columns / coordinates.
+        expected: usize,
+        /// Actual number supplied by the caller.
+        actual: usize,
+    },
+    /// An operation that requires data was handed an empty dataset.
+    EmptyInput(&'static str),
+    /// A parameter was outside its valid domain (e.g. `p` not in `(0,1)`).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+    /// A numeric routine failed to converge or produced a non-finite value.
+    Numeric(String),
+    /// I/O error while reading or writing a dataset file.
+    Io(std::io::Error),
+    /// A dataset file could not be parsed.
+    Parse {
+        /// 1-based line number of the malformed record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            Error::EmptyInput(what) => write!(f, "empty input: {what}"),
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Error::Numeric(msg) => write!(f, "numeric error: {msg}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Builds an [`Error::InvalidParameter`] with a formatted message.
+pub fn invalid_param(name: &'static str, message: impl Into<String>) -> Error {
+    Error::InvalidParameter {
+        name,
+        message: message.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = Error::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3, got 5");
+    }
+
+    #[test]
+    fn display_empty_input() {
+        assert_eq!(
+            Error::EmptyInput("training set").to_string(),
+            "empty input: training set"
+        );
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = invalid_param("p", "must lie in (0, 1)");
+        assert_eq!(e.to_string(), "invalid parameter `p`: must lie in (0, 1)");
+    }
+
+    #[test]
+    fn io_error_round_trip() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = inner.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(e.to_string().contains("gone"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let e = Error::Parse {
+            line: 7,
+            message: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

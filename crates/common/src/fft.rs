@@ -1,0 +1,372 @@
+//! Fast Fourier transform and FFT-based convolution.
+//!
+//! The R `ks` package family of binned KDE estimators (Silverman 1982,
+//! Wand 1994) smooths bin weights with an FFT convolution; this module
+//! supplies that substrate: an iterative radix-2 complex FFT plus real
+//! linear convolution helpers. No external dependencies.
+
+use crate::error::{invalid_param, Result};
+
+/// Minimal complex number for FFT work.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs a complex number.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        Self {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        Self {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, other: Self) -> Self {
+        Self {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+/// Smallest power of two that is at least `n`.
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// `inverse` computes the unnormalized inverse transform; divide by the
+/// length afterwards to invert exactly (done by [`ifft_in_place`]).
+///
+/// # Errors
+/// Fails when the length is not a power of two.
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = data.len();
+    if n == 0 {
+        return Ok(());
+    }
+    if !n.is_power_of_two() {
+        return Err(invalid_param(
+            "data",
+            format!("FFT length must be a power of two, got {n}"),
+        ));
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// In-place inverse FFT including the `1/n` normalization.
+pub fn ifft_in_place(data: &mut [Complex]) -> Result<()> {
+    fft_in_place(data, true)?;
+    let inv_n = 1.0 / data.len() as f64;
+    for c in data.iter_mut() {
+        c.re *= inv_n;
+        c.im *= inv_n;
+    }
+    Ok(())
+}
+
+/// Full linear convolution of two real sequences via FFT: output length
+/// `a.len() + b.len() - 1`.
+///
+/// # Errors
+/// Propagates FFT length errors (cannot occur: the padded size is a
+/// power of two) — the signature stays fallible for API symmetry.
+pub fn convolve_real(a: &[f64], b: &[f64]) -> Result<Vec<f64>> {
+    if a.is_empty() || b.is_empty() {
+        return Ok(Vec::new());
+    }
+    let out_len = a.len() + b.len() - 1;
+    let m = next_pow2(out_len);
+    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fa.resize(m, Complex::default());
+    let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fb.resize(m, Complex::default());
+    fft_in_place(&mut fa, false)?;
+    fft_in_place(&mut fb, false)?;
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    ifft_in_place(&mut fa)?;
+    Ok(fa[..out_len].iter().map(|c| c.re).collect())
+}
+
+/// Applies a 1-d FFT along `axis` of a row-major n-dimensional complex
+/// grid with the given `shape` (every `shape[axis]` must be a power of
+/// two for the transformed axis).
+///
+/// # Errors
+/// Fails when `data.len() != shape.iter().product()` or the axis length
+/// is not a power of two.
+pub fn fft_axis(data: &mut [Complex], shape: &[usize], axis: usize, inverse: bool) -> Result<()> {
+    let total: usize = shape.iter().product();
+    if data.len() != total {
+        return Err(invalid_param(
+            "data",
+            format!("buffer {} != shape product {total}", data.len()),
+        ));
+    }
+    assert!(axis < shape.len(), "axis out of range");
+    let axis_len = shape[axis];
+    // Stride of the axis in the row-major layout.
+    let stride: usize = shape[axis + 1..].iter().product();
+    let outer: usize = shape[..axis].iter().product();
+    let inner = stride;
+    let mut line = vec![Complex::default(); axis_len];
+    for o in 0..outer {
+        for i in 0..inner {
+            let base = o * axis_len * stride + i;
+            for k in 0..axis_len {
+                line[k] = data[base + k * stride];
+            }
+            fft_in_place(&mut line, inverse)?;
+            if inverse {
+                let inv = 1.0 / axis_len as f64;
+                for c in line.iter_mut() {
+                    c.re *= inv;
+                    c.im *= inv;
+                }
+            }
+            for k in 0..axis_len {
+                data[base + k * stride] = line[k];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// N-dimensional circular convolution of two real row-major grids of the
+/// same power-of-two `shape`, returning the real part of the result.
+///
+/// Callers wanting *linear* convolution must zero-pad each axis by the
+/// kernel reach before calling (see the binned KDE implementation).
+pub fn convolve_nd_circular(a: &[f64], b: &[f64], shape: &[usize]) -> Result<Vec<f64>> {
+    let total: usize = shape.iter().product();
+    if a.len() != total || b.len() != total {
+        return Err(invalid_param(
+            "a/b",
+            format!("buffers must match shape product {total}"),
+        ));
+    }
+    let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    for axis in 0..shape.len() {
+        fft_axis(&mut fa, shape, axis, false)?;
+        fft_axis(&mut fb, shape, axis, false)?;
+    }
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x = *x * *y;
+    }
+    for axis in 0..shape.len() {
+        fft_axis(&mut fa, shape, axis, true)?;
+    }
+    Ok(fa.iter().map(|c| c.re).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut data, false).unwrap();
+        for c in &data {
+            assert_close(c.re, 1.0, 1e-12);
+            assert_close(c.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_round_trip() {
+        let mut rng = Rng::seed_from(1);
+        let orig: Vec<Complex> = (0..64)
+            .map(|_| Complex::new(rng.standard_normal(), rng.standard_normal()))
+            .collect();
+        let mut data = orig.clone();
+        fft_in_place(&mut data, false).unwrap();
+        ifft_in_place(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&orig) {
+            assert_close(a.re, b.re, 1e-10);
+            assert_close(a.im, b.im, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_definition() {
+        let mut rng = Rng::seed_from(2);
+        let x: Vec<Complex> = (0..16)
+            .map(|_| Complex::new(rng.standard_normal(), 0.0))
+            .collect();
+        let mut fast = x.clone();
+        fft_in_place(&mut fast, false).unwrap();
+        // Direct O(n²) DFT.
+        for k in 0..16 {
+            let mut acc = Complex::default();
+            for (n, &xn) in x.iter().enumerate() {
+                let w = Complex::from_angle(-2.0 * std::f64::consts::PI * (k * n) as f64 / 16.0);
+                acc = acc + xn * w;
+            }
+            assert_close(fast[k].re, acc.re, 1e-10);
+            assert_close(fast[k].im, acc.im, 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex::default(); 6];
+        assert!(fft_in_place(&mut data, false).is_err());
+    }
+
+    #[test]
+    fn convolution_matches_direct() {
+        let mut rng = Rng::seed_from(3);
+        let a: Vec<f64> = (0..13).map(|_| rng.standard_normal()).collect();
+        let b: Vec<f64> = (0..7).map(|_| rng.standard_normal()).collect();
+        let fast = convolve_real(&a, &b).unwrap();
+        assert_eq!(fast.len(), 19);
+        for k in 0..fast.len() {
+            let mut acc = 0.0;
+            for i in 0..a.len() {
+                if k >= i && k - i < b.len() {
+                    acc += a[i] * b[k - i];
+                }
+            }
+            assert_close(fast[k], acc, 1e-10);
+        }
+    }
+
+    #[test]
+    fn convolution_identity() {
+        let a = [1.0, 2.0, 3.0];
+        let delta = [1.0];
+        assert_eq!(convolve_real(&a, &delta).unwrap().len(), 3);
+        let out = convolve_real(&a, &delta).unwrap();
+        for (x, y) in out.iter().zip(&a) {
+            assert_close(*x, *y, 1e-12);
+        }
+        assert!(convolve_real(&[], &a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nd_circular_convolution_2d_matches_direct() {
+        let shape = [4usize, 8];
+        let mut rng = Rng::seed_from(4);
+        let a: Vec<f64> = (0..32).map(|_| rng.standard_normal()).collect();
+        let b: Vec<f64> = (0..32).map(|_| rng.standard_normal()).collect();
+        let fast = convolve_nd_circular(&a, &b, &shape).unwrap();
+        // Direct circular convolution.
+        for y in 0..4 {
+            for x in 0..8 {
+                let mut acc = 0.0;
+                for j in 0..4 {
+                    for i in 0..8 {
+                        let yy = (y + 4 - j) % 4;
+                        let xx = (x + 8 - i) % 8;
+                        acc += a[j * 8 + i] * b[yy * 8 + xx];
+                    }
+                }
+                assert_close(fast[y * 8 + x], acc, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_axis_equivalent_to_flat_fft_in_1d() {
+        let mut rng = Rng::seed_from(5);
+        let orig: Vec<Complex> = (0..16)
+            .map(|_| Complex::new(rng.standard_normal(), 0.0))
+            .collect();
+        let mut flat = orig.clone();
+        fft_in_place(&mut flat, false).unwrap();
+        let mut axis = orig.clone();
+        fft_axis(&mut axis, &[16], 0, false).unwrap();
+        for (a, b) in axis.iter().zip(&flat) {
+            assert_close(a.re, b.re, 1e-12);
+            assert_close(a.im, b.im, 1e-12);
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut data = vec![Complex::default(); 8];
+        assert!(fft_axis(&mut data, &[4, 4], 0, false).is_err());
+        assert!(convolve_nd_circular(&[0.0; 8], &[0.0; 16], &[16]).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # tkdc-common
+//!
+//! Shared substrate for the tKDC reproduction: a dense row-major [`Matrix`]
+//! dataset type, summary statistics, order statistics (quickselect-based
+//! quantiles), special functions (error function, normal CDF and quantile),
+//! a deterministic pseudo-random number generator, and CSV I/O.
+//!
+//! Everything in this crate is dependency-free and implemented from scratch
+//! so that the higher layers (spatial index, kernels, the tKDC algorithm)
+//! rest on a fully self-contained numerical base.
+
+pub mod contour;
+pub mod csv;
+pub mod error;
+pub mod fft;
+pub mod matrix;
+pub mod order;
+pub mod ppm;
+pub mod rng;
+pub mod special;
+pub mod stats;
+
+pub use error::{Error, Result};
+pub use matrix::Matrix;
+pub use rng::Rng;

@@ -1,0 +1,387 @@
+//! A dense row-major matrix used as the dataset container throughout tkdc.
+//!
+//! Points are rows; coordinates are columns. Storage is a single flat
+//! `Vec<f64>` so that row access is a contiguous slice — the kernel
+//! evaluation hot loop iterates rows without pointer chasing.
+
+use crate::error::{invalid_param, Error, Result};
+
+/// Dense row-major matrix of `f64` values.
+///
+/// Invariant: `data.len() == rows * cols`.
+///
+/// ```
+/// use tkdc_common::Matrix;
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 2);
+/// assert_eq!(m.row(1), &[3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParameter`] when `data.len() != rows * cols`
+    /// or when `cols == 0` while `rows > 0`.
+    pub fn from_vec(data: Vec<f64>, rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(invalid_param(
+                "data",
+                format!(
+                    "buffer length {} does not equal rows*cols = {}",
+                    data.len(),
+                    rows * cols
+                ),
+            ));
+        }
+        if rows > 0 && cols == 0 {
+            return Err(invalid_param("cols", "must be positive when rows > 0"));
+        }
+        Ok(Self { data, rows, cols })
+    }
+
+    /// Creates an empty matrix with a fixed column count.
+    pub fn with_cols(cols: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            rows: 0,
+            cols,
+        }
+    }
+
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Builds a matrix from row slices, validating that all rows share one
+    /// dimensionality.
+    pub fn from_rows<R: AsRef<[f64]>>(rows: &[R]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Self::with_cols(0));
+        }
+        let cols = rows[0].as_ref().len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            let r = r.as_ref();
+            if r.len() != cols {
+                return Err(Error::DimensionMismatch {
+                    expected: cols,
+                    actual: r.len(),
+                })
+                .inspect_err(|_e| {
+                    // annotate which row via a numeric error wrapper is noisy;
+                    // the mismatch itself identifies the problem.
+                    let _ = i;
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Self::from_vec(data, rows.len(), cols)
+    }
+
+    /// Number of rows (points).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (dimensions).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow of row `i` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Value at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the value at `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, v: f64) {
+        self.data[row * self.cols + col] = v;
+    }
+
+    /// The flat row-major backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Appends a row, validating dimensionality.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        if row.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                expected: self.cols,
+                actual: row.len(),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Extracts one column as an owned vector.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.cols, "column {col} out of range ({})", self.cols);
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            out.push(self.get(r, col));
+        }
+        out
+    }
+
+    /// New matrix keeping only the given columns, in the given order.
+    ///
+    /// This mirrors the paper's experiments that work on column subsets
+    /// (e.g. shuttle columns 4 and 6, or dimension-prefix sweeps).
+    pub fn select_columns(&self, cols: &[usize]) -> Result<Self> {
+        for &c in cols {
+            if c >= self.cols {
+                return Err(invalid_param(
+                    "cols",
+                    format!("column {c} out of range ({})", self.cols),
+                ));
+            }
+        }
+        let mut data = Vec::with_capacity(self.rows * cols.len());
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for &c in cols {
+                data.push(row[c]);
+            }
+        }
+        Self::from_vec(data, self.rows, cols.len())
+    }
+
+    /// New matrix containing the first `d` columns.
+    pub fn prefix_columns(&self, d: usize) -> Result<Self> {
+        let cols: Vec<usize> = (0..d).collect();
+        self.select_columns(&cols)
+    }
+
+    /// New matrix containing the rows at `indices` (duplicates allowed).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Self> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            if i >= self.rows {
+                return Err(invalid_param(
+                    "indices",
+                    format!("row {i} out of range ({})", self.rows),
+                ));
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        Self::from_vec(data, indices.len(), self.cols)
+    }
+
+    /// New matrix containing the first `n` rows.
+    pub fn head(&self, n: usize) -> Self {
+        let n = n.min(self.rows);
+        Self {
+            data: self.data[..n * self.cols].to_vec(),
+            rows: n,
+            cols: self.cols,
+        }
+    }
+
+    /// Uniform random sample of `n` rows without replacement (Fisher–Yates
+    /// on an index array). When `n >= rows`, returns a shuffled copy.
+    pub fn sample_rows(&self, n: usize, rng: &mut crate::rng::Rng) -> Self {
+        let n = n.min(self.rows);
+        let mut idx: Vec<usize> = (0..self.rows).collect();
+        // Partial Fisher–Yates: only the first n positions need shuffling.
+        for i in 0..n {
+            let j = i + (rng.next_u64() as usize) % (self.rows - i);
+            idx.swap(i, j);
+        }
+        self.select_rows(&idx[..n]).expect("indices are in range")
+    }
+
+    /// Per-column minimum and maximum over all rows.
+    ///
+    /// Returns `(mins, maxs)`; both are empty when the matrix has no rows.
+    pub fn column_bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        if self.rows == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let mut mins = self.row(0).to_vec();
+        let mut maxs = mins.clone();
+        for r in 1..self.rows {
+            let row = self.row(r);
+            for c in 0..self.cols {
+                if row[c] < mins[c] {
+                    mins[c] = row[c];
+                }
+                if row[c] > maxs[c] {
+                    maxs[c] = row[c];
+                }
+            }
+        }
+        (mins, maxs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(vec![1.0; 6], 2, 3).is_ok());
+        assert!(Matrix::from_vec(vec![1.0; 5], 2, 3).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn row_access_and_mutation() {
+        let mut m = Matrix::zeros(3, 2);
+        m.row_mut(1).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(m.row(1), &[5.0, 6.0]);
+        assert_eq!(m.get(1, 1), 6.0);
+        m.set(2, 0, -1.0);
+        assert_eq!(m.row(2), &[-1.0, 0.0]);
+    }
+
+    #[test]
+    fn push_row_infers_cols() {
+        let mut m = Matrix::with_cols(0);
+        m.push_row(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.cols(), 3);
+        assert!(m.push_row(&[1.0]).is_err());
+        assert_eq!(m.rows(), 1);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(m.column(0), vec![1.0, 3.0, 5.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_columns_reorders() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let s = m.select_columns(&[2, 0]).unwrap();
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        assert_eq!(s.row(1), &[6.0, 4.0]);
+        assert!(m.select_columns(&[3]).is_err());
+    }
+
+    #[test]
+    fn prefix_columns_takes_leading_dims() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let p = m.prefix_columns(2).unwrap();
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn select_rows_allows_duplicates() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        let s = m.select_rows(&[1, 1, 0]).unwrap();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row(0), &[2.0]);
+        assert_eq!(s.row(2), &[1.0]);
+        assert!(m.select_rows(&[2]).is_err());
+    }
+
+    #[test]
+    fn head_clamps() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert_eq!(m.head(1).rows(), 1);
+        assert_eq!(m.head(10).rows(), 2);
+    }
+
+    #[test]
+    fn sample_rows_without_replacement() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let m = Matrix::from_rows(&rows).unwrap();
+        let mut rng = Rng::seed_from(42);
+        let s = m.sample_rows(50, &mut rng);
+        assert_eq!(s.rows(), 50);
+        let mut seen: Vec<i64> = s.iter_rows().map(|r| r[0] as i64).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 50, "sample must not contain duplicates");
+    }
+
+    #[test]
+    fn sample_rows_oversized_returns_all() {
+        let m = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let mut rng = Rng::seed_from(7);
+        let s = m.sample_rows(10, &mut rng);
+        assert_eq!(s.rows(), 3);
+    }
+
+    #[test]
+    fn column_bounds_cover_all_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, -5.0], vec![-2.0, 7.0], vec![0.5, 0.0]]).unwrap();
+        let (mins, maxs) = m.column_bounds();
+        assert_eq!(mins, vec![-2.0, -5.0]);
+        assert_eq!(maxs, vec![1.0, 7.0]);
+    }
+
+    #[test]
+    fn column_bounds_empty() {
+        let m = Matrix::with_cols(3);
+        let (mins, maxs) = m.column_bounds();
+        assert!(mins.is_empty() && maxs.is_empty());
+    }
+
+    #[test]
+    fn iter_rows_yields_all() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[3.0, 4.0]);
+    }
+}

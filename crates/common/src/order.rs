@@ -1,0 +1,318 @@
+//! Order statistics: quickselect, sample quantiles, and the binomial /
+//! normal-approximation confidence intervals for quantiles used by the
+//! threshold bootstrap (Eq. 10 and Eq. 11 of the paper).
+
+use crate::error::{invalid_param, Result};
+use crate::special::normal_quantile;
+
+/// Returns the `k`-th smallest element (0-based) of `xs` using in-place
+/// quickselect with a median-of-three pivot. Expected `O(n)`.
+///
+/// # Panics
+/// Panics when `xs` is empty or `k >= xs.len()`.
+pub fn quickselect(xs: &mut [f64], k: usize) -> f64 {
+    assert!(!xs.is_empty(), "quickselect on empty slice");
+    assert!(k < xs.len(), "k={k} out of range for length {}", xs.len());
+    let mut lo = 0usize;
+    let mut hi = xs.len() - 1;
+    loop {
+        if lo == hi {
+            return xs[lo];
+        }
+        let pivot = median_of_three(xs, lo, hi);
+        let (lt, gt) = three_way_partition(xs, lo, hi, pivot);
+        if k < lt {
+            hi = lt - 1;
+        } else if k > gt {
+            lo = gt + 1;
+        } else {
+            return pivot; // k lies in the equal-to-pivot band
+        }
+    }
+}
+
+fn median_of_three(xs: &[f64], lo: usize, hi: usize) -> f64 {
+    let mid = lo + (hi - lo) / 2;
+    let (a, b, c) = (xs[lo], xs[mid], xs[hi]);
+    // Branchy but tiny: returns the median of a,b,c.
+    if (a <= b && b <= c) || (c <= b && b <= a) {
+        b
+    } else if (b <= a && a <= c) || (c <= a && a <= b) {
+        a
+    } else {
+        c
+    }
+}
+
+/// Dutch-national-flag partition of `xs[lo..=hi]` around `pivot`.
+/// Returns `(lt, gt)` where `xs[lo..lt] < pivot`, `xs[lt..=gt] == pivot`,
+/// `xs[gt+1..=hi] > pivot`.
+fn three_way_partition(xs: &mut [f64], lo: usize, hi: usize, pivot: f64) -> (usize, usize) {
+    let mut lt = lo;
+    let mut gt = hi;
+    let mut i = lo;
+    while i <= gt {
+        if xs[i] < pivot {
+            xs.swap(lt, i);
+            lt += 1;
+            i += 1;
+        } else if xs[i] > pivot {
+            xs.swap(i, gt);
+            if gt == 0 {
+                break;
+            }
+            gt -= 1;
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+/// The paper's quantile function `q_p(S)`: the `⌈np⌉`-th smallest element,
+/// clamped to the valid order-statistic range (1-based rank `max(1, ⌈np⌉)`).
+///
+/// Consumes the slice order (partially sorts in place).
+pub fn quantile_in_place(xs: &mut [f64], p: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(crate::error::Error::EmptyInput("quantile sample"));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(invalid_param("p", format!("must be in [0,1], got {p}")));
+    }
+    let n = xs.len();
+    // 1-based rank ⌈np⌉ clamped into [1, n]; convert to 0-based.
+    let rank = ((n as f64 * p).ceil() as usize).clamp(1, n);
+    Ok(quickselect(xs, rank - 1))
+}
+
+/// Like [`quantile_in_place`] but on a borrowed slice (clones internally).
+pub fn quantile(xs: &[f64], p: f64) -> Result<f64> {
+    let mut buf = xs.to_vec();
+    quantile_in_place(&mut buf, p)
+}
+
+/// 0-based order-statistic ranks `(l, u)` bracketing the `p`-quantile of an
+/// `n`-point population with confidence `1 - δ`, computed on a sample of
+/// size `s` via the normal approximation to the binomial (Eq. 11):
+///
+/// `l, u = s·p ∓ z · sqrt(s·p·(1−p))`.
+///
+/// The interval is two-sided, so `z = z_{1−δ/2}`; the paper's worked
+/// example (s=20000, δ=0.01, p=0.01 ⇒ ranks 164 and 236 with z=2.576)
+/// confirms this is the z-score in use. Ranks are widened outward
+/// (floor/ceil) and clamped to `[0, s-1]`. Returns an error when `s == 0`.
+pub fn quantile_ci_ranks(s: usize, p: f64, delta: f64) -> Result<(usize, usize)> {
+    if s == 0 {
+        return Err(crate::error::Error::EmptyInput("quantile CI sample"));
+    }
+    if !(0.0 < p && p < 1.0) {
+        return Err(invalid_param("p", format!("must be in (0,1), got {p}")));
+    }
+    if !(0.0 < delta && delta < 1.0) {
+        return Err(invalid_param(
+            "delta",
+            format!("must be in (0,1), got {delta}"),
+        ));
+    }
+    let sf = s as f64;
+    let z = normal_quantile(1.0 - delta / 2.0);
+    let half_width = z * (sf * p * (1.0 - p)).sqrt();
+    let center = sf * p;
+    let mut l = (center - half_width).floor().max(0.0) as usize;
+    let u_raw = (center + half_width).ceil() as usize;
+    let u = u_raw.min(s - 1);
+    // When one side of the interval is clipped by the sample boundary,
+    // compensate by widening the other side so the binomial mass between
+    // the ranks stays at least 1−δ (otherwise coverage silently degrades
+    // for quantiles near 0 or 1).
+    if u_raw > s - 1 {
+        l = l.saturating_sub(u_raw - (s - 1));
+    }
+    let l_raw = center - half_width;
+    if l_raw < 0.0 {
+        let overflow = (-l_raw).ceil() as usize;
+        // u already clamped to s-1 above; widen as far as possible.
+        return Ok((0, (u + overflow).min(s - 1)));
+    }
+    let l = l.min(s - 1);
+    Ok((l, u))
+}
+
+/// Exact binomial coverage probability `Pr(d_s^(l) ≤ d^(np) ≤ d_s^(u))`
+/// from Eq. 10: `Σ_{i=l}^{u} C(s,i) p^i (1-p)^{s-i}`.
+///
+/// Evaluated in log-space with incremental term ratios for numerical
+/// stability at large `s`. Ranks here are 1-based order-statistic indices,
+/// matching the paper's statement; pass `l >= 1`.
+pub fn binomial_coverage(s: usize, p: f64, l: usize, u: usize) -> f64 {
+    assert!(l >= 1 && u >= l && u <= s, "invalid rank range [{l},{u}]");
+    // Term for i = l via log factorials, then multiply across.
+    let log_term = |i: usize| -> f64 {
+        ln_choose(s, i) + (i as f64) * p.ln() + ((s - i) as f64) * (1.0 - p).ln()
+    };
+    let mut sum = 0.0;
+    let mut t = log_term(l).exp();
+    for i in l..=u {
+        sum += t;
+        if i < u {
+            // ratio term(i+1)/term(i) = (s-i)/(i+1) * p/(1-p)
+            t *= (s - i) as f64 / (i as f64 + 1.0) * (p / (1.0 - p));
+        }
+    }
+    sum.min(1.0)
+}
+
+/// `ln C(n, k)` via the log-gamma function (Stirling series).
+pub fn ln_choose(n: usize, k: usize) -> f64 {
+    assert!(k <= n);
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Log-gamma via the Lanczos approximation (g = 7, n = 9), accurate to
+/// ~1e-13 over the positive reals.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires positive argument, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn quickselect_agrees_with_sort() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for k in 0..xs.len() {
+            let mut buf = xs.to_vec();
+            assert_eq!(quickselect(&mut buf, k), sorted[k], "k={k}");
+        }
+    }
+
+    #[test]
+    fn quickselect_single_element() {
+        let mut xs = [42.0];
+        assert_eq!(quickselect(&mut xs, 0), 42.0);
+    }
+
+    #[test]
+    fn quickselect_all_equal() {
+        let mut xs = [7.0; 50];
+        assert_eq!(quickselect(&mut xs, 25), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quickselect_rejects_bad_k() {
+        let mut xs = [1.0, 2.0];
+        quickselect(&mut xs, 2);
+    }
+
+    #[test]
+    fn quantile_matches_order_statistic() {
+        // q_p is the ⌈np⌉-th smallest (1-based).
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&xs, 0.01).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 50.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 100.0);
+        // p=0 clamps to the minimum.
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn quantile_fractional_rank_rounds_up() {
+        let xs = vec![10.0, 20.0, 30.0];
+        // n*p = 3*0.4 = 1.2 → rank 2 → 20.0
+        assert_eq!(quantile(&xs, 0.4).unwrap(), 20.0);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_inputs() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn ci_ranks_match_paper_example() {
+        // Paper §3.5: s=20000, δ=0.01, p=0.01 gives the 164th and 236th
+        // order statistics (1-based). Our ranks are 0-based and use
+        // floor/ceil, so allow ±2 slack around the quoted values.
+        let (l, u) = quantile_ci_ranks(20_000, 0.01, 0.01).unwrap();
+        assert!((162..=166).contains(&(l + 1)), "l={l}");
+        assert!((234..=238).contains(&(u + 1)), "u={u}");
+    }
+
+    #[test]
+    fn ci_ranks_clamped() {
+        let (l, u) = quantile_ci_ranks(10, 0.01, 0.01).unwrap();
+        assert!(u < 10);
+        let _ = l;
+        assert!(quantile_ci_ranks(0, 0.5, 0.1).is_err());
+    }
+
+    #[test]
+    fn ci_coverage_exceeds_confidence() {
+        // The binomial mass between the CI ranks must be at least 1-δ.
+        for &(s, p, delta) in &[(20_000usize, 0.01, 0.01), (5_000usize, 0.05, 0.05)] {
+            let (l, u) = quantile_ci_ranks(s, p, delta).unwrap();
+            let cover = binomial_coverage(s, p, l + 1, u + 1);
+            assert!(
+                cover >= 1.0 - delta - 0.01,
+                "s={s} p={p} δ={delta}: coverage {cover}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert_close(ln_gamma(1.0), 0.0, 1e-10);
+        assert_close(ln_gamma(2.0), 0.0, 1e-10);
+        assert_close(ln_gamma(5.0), 24f64.ln(), 1e-10);
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert_close(ln_choose(5, 2), 10f64.ln(), 1e-10);
+        assert_close(ln_choose(10, 0), 0.0, 1e-10);
+        assert_close(ln_choose(52, 5), 2_598_960f64.ln(), 1e-8);
+    }
+
+    #[test]
+    fn binomial_coverage_full_range_is_near_one() {
+        let c = binomial_coverage(100, 0.3, 1, 100);
+        // Missing only the i=0 term: 0.7^100 ≈ 3e-16.
+        assert!(c > 0.999_999);
+    }
+}

@@ -1,0 +1,153 @@
+//! Minimal PPM (portable pixmap) image output.
+//!
+//! The paper's figures are density maps and contour plots; this writer
+//! lets the examples emit real raster images (viewable everywhere,
+//! convertible with any image tool) without an image-crate dependency.
+
+use crate::error::{invalid_param, Result};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// An RGB image buffer.
+#[derive(Debug, Clone)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    /// Row-major RGB triples.
+    pixels: Vec<[u8; 3]>,
+}
+
+impl Image {
+    /// Creates a black image.
+    ///
+    /// # Errors
+    /// Fails on zero dimensions.
+    pub fn new(width: usize, height: usize) -> Result<Self> {
+        if width == 0 || height == 0 {
+            return Err(invalid_param("size", "image dimensions must be positive"));
+        }
+        Ok(Self {
+            width,
+            height,
+            pixels: vec![[0, 0, 0]; width * height],
+        })
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sets one pixel; coordinates outside the image are ignored (callers
+    /// plot data-space points without pre-clipping).
+    pub fn set(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        if x < self.width && y < self.height {
+            self.pixels[y * self.width + x] = rgb;
+        }
+    }
+
+    /// Reads one pixel.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> [u8; 3] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Writes binary PPM (P6).
+    pub fn write_ppm(&self, path: impl AsRef<Path>) -> Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_ppm_to(file)
+    }
+
+    /// Writer-generic version of [`Self::write_ppm`].
+    pub fn write_ppm_to(&self, writer: impl Write) -> Result<()> {
+        let mut w = BufWriter::new(writer);
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        for px in &self.pixels {
+            w.write_all(px)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+}
+
+/// Maps a unit-interval value through a blue→cyan→yellow→red heat ramp
+/// (the look of the paper's density figures). Values outside `[0,1]`
+/// clamp.
+pub fn heat_color(v: f64) -> [u8; 3] {
+    let v = v.clamp(0.0, 1.0);
+    // Four-stop linear ramp.
+    let stops: [(f64, [f64; 3]); 4] = [
+        (0.0, [15.0, 35.0, 120.0]),   // deep blue
+        (0.35, [30.0, 180.0, 190.0]), // cyan
+        (0.7, [245.0, 210.0, 50.0]),  // yellow
+        (1.0, [210.0, 35.0, 30.0]),   // red
+    ];
+    for w in stops.windows(2) {
+        let (t0, c0) = w[0];
+        let (t1, c1) = w[1];
+        if v <= t1 {
+            let f = if t1 > t0 { (v - t0) / (t1 - t0) } else { 0.0 };
+            return [
+                (c0[0] + f * (c1[0] - c0[0])) as u8,
+                (c0[1] + f * (c1[1] - c0[1])) as u8,
+                (c0[2] + f * (c1[2] - c0[2])) as u8,
+            ];
+        }
+    }
+    [210, 35, 30]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_pixels() {
+        let mut img = Image::new(4, 3).unwrap();
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.get(0, 0), [0, 0, 0]);
+        img.set(1, 2, [10, 20, 30]);
+        assert_eq!(img.get(1, 2), [10, 20, 30]);
+        // Out-of-bounds set is a no-op.
+        img.set(100, 100, [1, 1, 1]);
+    }
+
+    #[test]
+    fn rejects_zero_dims() {
+        assert!(Image::new(0, 5).is_err());
+        assert!(Image::new(5, 0).is_err());
+    }
+
+    #[test]
+    fn ppm_format_is_valid() {
+        let mut img = Image::new(2, 2).unwrap();
+        img.set(0, 0, [255, 0, 0]);
+        let mut buf = Vec::new();
+        img.write_ppm_to(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n2 2\n255\n"));
+        // Header + 12 payload bytes.
+        let header_len = b"P6\n2 2\n255\n".len();
+        assert_eq!(buf.len(), header_len + 12);
+        assert_eq!(&buf[header_len..header_len + 3], &[255, 0, 0]);
+    }
+
+    #[test]
+    fn heat_ramp_endpoints_and_monotone_red() {
+        let cold = heat_color(0.0);
+        let hot = heat_color(1.0);
+        assert!(cold[2] > cold[0], "cold end should be blue");
+        assert!(hot[0] > hot[2], "hot end should be red");
+        // Clamping.
+        assert_eq!(heat_color(-1.0), cold);
+        assert_eq!(heat_color(2.0), hot);
+    }
+}

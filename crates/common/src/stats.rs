@@ -1,0 +1,264 @@
+//! Summary statistics over datasets: means, standard deviations,
+//! percentiles per column, covariance matrices, and classification-quality
+//! metrics (precision / recall / F1) used by the accuracy experiments.
+
+use crate::error::{Error, Result};
+use crate::matrix::Matrix;
+use crate::order;
+
+/// Arithmetic mean of a slice. Returns 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (divides by `n`, matching the paper's
+/// Scott's-rule usage where σ_i is the component standard deviation).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Per-column means of a dataset.
+pub fn column_means(x: &Matrix) -> Vec<f64> {
+    let (n, d) = (x.rows(), x.cols());
+    let mut sums = vec![0.0; d];
+    for row in x.iter_rows() {
+        for (s, &v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+    }
+    if n > 0 {
+        for s in &mut sums {
+            *s /= n as f64;
+        }
+    }
+    sums
+}
+
+/// Per-column population standard deviations.
+pub fn column_stds(x: &Matrix) -> Vec<f64> {
+    let (n, d) = (x.rows(), x.cols());
+    if n == 0 {
+        return vec![0.0; d];
+    }
+    let means = column_means(x);
+    let mut acc = vec![0.0; d];
+    for row in x.iter_rows() {
+        for c in 0..d {
+            let diff = row[c] - means[c];
+            acc[c] += diff * diff;
+        }
+    }
+    for a in &mut acc {
+        *a = (*a / n as f64).sqrt();
+    }
+    acc
+}
+
+/// `p`-th percentile of each column (p in `[0,1]`), via quickselect.
+pub fn column_percentiles(x: &Matrix, p: f64) -> Result<Vec<f64>> {
+    if x.rows() == 0 {
+        return Err(Error::EmptyInput("percentile dataset"));
+    }
+    let mut out = Vec::with_capacity(x.cols());
+    for c in 0..x.cols() {
+        let mut col = x.column(c);
+        out.push(order::quantile_in_place(&mut col, p)?);
+    }
+    Ok(out)
+}
+
+/// Sample covariance matrix (divides by `n - 1`), returned row-major `d×d`.
+pub fn covariance(x: &Matrix) -> Result<Matrix> {
+    let (n, d) = (x.rows(), x.cols());
+    if n < 2 {
+        return Err(Error::EmptyInput("covariance needs at least two rows"));
+    }
+    let means = column_means(x);
+    let mut cov = vec![0.0; d * d];
+    for row in x.iter_rows() {
+        for i in 0..d {
+            let di = row[i] - means[i];
+            for j in i..d {
+                cov[i * d + j] += di * (row[j] - means[j]);
+            }
+        }
+    }
+    let denom = (n - 1) as f64;
+    for i in 0..d {
+        for j in i..d {
+            let v = cov[i * d + j] / denom;
+            cov[i * d + j] = v;
+            cov[j * d + i] = v;
+        }
+    }
+    Matrix::from_vec(cov, d, d)
+}
+
+/// Confusion-matrix-based binary classification quality.
+///
+/// The accuracy experiments (paper Fig. 8) measure the F1 score of the
+/// "below threshold" (outlier) class of each algorithm against ground
+/// truth produced by exact densities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryScore {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl BinaryScore {
+    /// Tallies predictions against truth; `true` is the positive class.
+    ///
+    /// # Panics
+    /// Panics when the slices have different lengths.
+    pub fn from_labels(truth: &[bool], predicted: &[bool]) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "label length mismatch");
+        let mut s = BinaryScore {
+            tp: 0,
+            fp: 0,
+            fn_: 0,
+            tn: 0,
+        };
+        for (&t, &p) in truth.iter().zip(predicted) {
+            match (t, p) {
+                (true, true) => s.tp += 1,
+                (false, true) => s.fp += 1,
+                (true, false) => s.fn_ += 1,
+                (false, false) => s.tn += 1,
+            }
+        }
+        s
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when no positives exist.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_close(mean(&xs), 5.0, 1e-12);
+        assert_close(std_dev(&xs), 2.0, 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn column_stats() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]]).unwrap();
+        assert_eq!(column_means(&m), vec![3.0, 10.0]);
+        let stds = column_stds(&m);
+        assert_close(stds[0], (8.0f64 / 3.0).sqrt(), 1e-12);
+        assert_close(stds[1], 0.0, 1e-12);
+    }
+
+    #[test]
+    fn column_percentiles_basic() {
+        let rows: Vec<Vec<f64>> = (1..=100).map(|i| vec![i as f64]).collect();
+        let m = Matrix::from_rows(&rows).unwrap();
+        let p10 = column_percentiles(&m, 0.10).unwrap();
+        let p90 = column_percentiles(&m, 0.90).unwrap();
+        assert_eq!(p10[0], 10.0);
+        assert_eq!(p90[0], 90.0);
+    }
+
+    #[test]
+    fn covariance_identity_data() {
+        // Perfectly correlated columns.
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let c = covariance(&m).unwrap();
+        assert_close(c.get(0, 0), 1.0, 1e-12);
+        assert_close(c.get(0, 1), 2.0, 1e-12);
+        assert_close(c.get(1, 0), 2.0, 1e-12);
+        assert_close(c.get(1, 1), 4.0, 1e-12);
+    }
+
+    #[test]
+    fn covariance_needs_two_rows() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(covariance(&m).is_err());
+    }
+
+    #[test]
+    fn binary_score_counts() {
+        let truth = [true, true, false, false, true];
+        let pred = [true, false, true, false, true];
+        let s = BinaryScore::from_labels(&truth, &pred);
+        assert_eq!((s.tp, s.fp, s.fn_, s.tn), (2, 1, 1, 1));
+        assert_close(s.precision(), 2.0 / 3.0, 1e-12);
+        assert_close(s.recall(), 2.0 / 3.0, 1e-12);
+        assert_close(s.f1(), 2.0 / 3.0, 1e-12);
+        assert_close(s.accuracy(), 0.6, 1e-12);
+    }
+
+    #[test]
+    fn binary_score_degenerate() {
+        let s = BinaryScore::from_labels(&[false, false], &[false, false]);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f1(), 1.0);
+    }
+
+    #[test]
+    fn perfect_f1() {
+        let truth = [true, false, true];
+        let s = BinaryScore::from_labels(&truth, &truth);
+        assert_eq!(s.f1(), 1.0);
+    }
+}

@@ -1,0 +1,595 @@
+//! End-to-end density classification (Algorithm 1 of the paper).
+//!
+//! `Classifier::fit` runs the threshold bootstrap, builds the full spatial
+//! index, computes density bounds for every training point to refine the
+//! threshold estimate `t̃(p)`, and (for `d ≤ 4`) builds the grid cache.
+//! `classify` then answers HIGH/LOW per query via the pruned traversal,
+//! with the grid short-circuiting obvious inliers before any tree work.
+
+use crate::bound::{DensityBounder, DensityBounds};
+use crate::params::Params;
+use crate::qstats::{PruneCause, QueryScratch, QueryStats};
+use crate::threshold::{bound_threshold, BootstrapReport, ThresholdBounds};
+use tkdc_common::error::{Error, Result};
+use tkdc_common::order::quantile_in_place;
+use tkdc_common::Matrix;
+use tkdc_index::{BandwidthGrid, KdTree, MAX_GRID_DIM};
+use tkdc_kernel::{scotts_rule, Kernel};
+
+/// Re-export so callers can reference the grid dimensionality cap without
+/// importing the index crate.
+pub use tkdc_index::grid::MAX_GRID_DIM as GRID_DIM_LIMIT;
+
+/// Classification outcome for a query point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// Density above the threshold.
+    High,
+    /// Density below the threshold.
+    Low,
+}
+
+/// Summary of the training phase.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Probabilistic bounds produced by the bootstrap.
+    pub threshold_bounds: ThresholdBounds,
+    /// Refined threshold estimate `t̃(p)` (the p-quantile of training
+    /// densities).
+    pub threshold: f64,
+    /// Bootstrap diagnostics.
+    pub bootstrap: BootstrapReport,
+    /// Traversal statistics of the training-density pass.
+    pub training_stats: QueryStats,
+    /// Whether the invalid-bound detector (§3.6) had to re-estimate.
+    pub threshold_reestimates: usize,
+}
+
+/// A fitted tKDC model.
+///
+/// The model is immutable after fitting and `Sync`, so batches of queries
+/// can be classified from multiple threads, each with its own
+/// [`QueryScratch`].
+#[derive(Debug)]
+pub struct Classifier {
+    params: Params,
+    tree: KdTree,
+    kernel: Kernel,
+    grid: Option<BandwidthGrid>,
+    grid_diag_sq: f64,
+    threshold: f64,
+    fit_report: FitReport,
+}
+
+impl Classifier {
+    /// Trains a classifier on the dataset (Algorithm 1's training phase).
+    ///
+    /// # Errors
+    /// Propagates parameter-validation, empty-input and numeric errors.
+    pub fn fit(data: &Matrix, params: &Params) -> Result<Self> {
+        params.validate()?;
+        if data.rows() == 0 {
+            return Err(Error::EmptyInput("training data"));
+        }
+
+        // Phase 1: probabilistic threshold bounds (Algorithm 3).
+        let (mut bounds, bootstrap) = bound_threshold(data, params)?;
+
+        // Phase 2: full index + kernel.
+        let tree = KdTree::build(data, params.leaf_size, params.opts.split_rule())?;
+        let h = scotts_rule(data, params.bandwidth_factor)?;
+        let kernel = Kernel::new(params.kernel, h)?;
+        let n = data.rows() as f64;
+        let self_contrib = kernel.max_value() / n;
+
+        // Optional grid cache (only profitable in low dimensions). The
+        // grid is an optimization, not a requirement: when it cannot be
+        // built (e.g. coordinates so far from the origin relative to the
+        // bandwidth that cell indices overflow), fall back to no grid
+        // rather than failing the fit.
+        let (grid, grid_diag_sq) = if params.opts.grid && data.cols() <= MAX_GRID_DIM {
+            match BandwidthGrid::build(data, kernel.bandwidths()) {
+                Ok(g) => {
+                    let diag = g.diag_scaled_sq(kernel.inv_bandwidths());
+                    (Some(g), diag)
+                }
+                Err(_) => (None, 0.0),
+            }
+        } else {
+            (None, 0.0)
+        };
+
+        // Phase 3: density bounds for every training point → t̃(p).
+        // If the bootstrap bounds turn out invalid (probability δ), the
+        // quantile lands outside them; detect and retry with relaxed
+        // bounds (§3.6).
+        let bounder = DensityBounder::new(&tree, &kernel, params.opts, params.epsilon);
+        let mut scratch = QueryScratch::new();
+        let mut reestimates = 0usize;
+        let threshold = loop {
+            let mut densities: Vec<f64> = Vec::with_capacity(data.rows());
+            for x in data.iter_rows() {
+                // The grid can certify obvious inliers without traversal;
+                // their exact density is irrelevant to a small-p quantile
+                // as long as the *stored corrected value* stays above the
+                // corrected-space upper bound — hence the −f₀ on the left
+                // of the guard (a raw-space guard could store a value that
+                // sinks below the quantile rank and bias t̃ upward).
+                if let Some(g) = &grid {
+                    let cell_lower =
+                        g.cell_count(x) as f64 / n * kernel.eval_scaled_sq(grid_diag_sq);
+                    if cell_lower - self_contrib > bounds.upper * (1.0 + params.epsilon) {
+                        scratch.stats.record_outcome(PruneCause::Grid);
+                        densities.push(cell_lower - self_contrib);
+                        continue;
+                    }
+                }
+                // Bounds live in corrected space; BoundDensity prunes raw
+                // densities, so shift by f₀ (see threshold.rs for the
+                // failure mode this prevents).
+                let b = bounder.bound_density(
+                    x,
+                    bounds.lower + self_contrib,
+                    bounds.upper + self_contrib,
+                    &mut scratch,
+                );
+                densities.push((b.midpoint() - self_contrib).max(0.0));
+            }
+            let t = quantile_in_place(&mut densities, params.p)?;
+            // Valid when t̃ falls inside the (slightly widened) bounds.
+            let lo_ok = t >= bounds.lower * (1.0 - params.epsilon) - f64::MIN_POSITIVE;
+            let hi_ok = t <= bounds.upper * (1.0 + params.epsilon);
+            if lo_ok && hi_ok {
+                break t;
+            }
+            reestimates += 1;
+            if reestimates > 8 {
+                return Err(Error::Numeric(
+                    "threshold re-estimation failed to converge".into(),
+                ));
+            }
+            // Relax the violated side and recompute the density pass.
+            if !hi_ok {
+                bounds.upper = t * params.bootstrap.backoff;
+            }
+            if !lo_ok {
+                bounds.lower = t / params.bootstrap.backoff;
+            }
+        };
+
+        let fit_report = FitReport {
+            threshold_bounds: bounds,
+            threshold,
+            bootstrap,
+            training_stats: scratch.stats,
+            threshold_reestimates: reestimates,
+        };
+
+        Ok(Self {
+            params: params.clone(),
+            tree,
+            kernel,
+            grid,
+            grid_diag_sq,
+            threshold,
+            fit_report,
+        })
+    }
+
+    /// Reassembles a classifier from persisted parts (see
+    /// `tkdc::model_io`). Training diagnostics are not persisted and load
+    /// back empty.
+    ///
+    /// # Errors
+    /// Fails when the parts are mutually inconsistent (dimensionality,
+    /// grid cell count) or the parameters are invalid.
+    pub(crate) fn from_loaded_parts(
+        params: Params,
+        tree: KdTree,
+        kernel: Kernel,
+        grid: Option<BandwidthGrid>,
+        threshold: f64,
+        threshold_bounds: ThresholdBounds,
+    ) -> Result<Self> {
+        params.validate()?;
+        if kernel.dim() != tree.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: tree.dim(),
+                actual: kernel.dim(),
+            });
+        }
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err(Error::Numeric("loaded threshold is not a density".into()));
+        }
+        if let Some(g) = &grid {
+            // The grid's cell edges must align with the kernel/tree
+            // dimensionality; a mismatched pair would index cells with the
+            // wrong key width and silently mis-prune.
+            if g.cell_edges().len() != tree.dim() {
+                return Err(Error::DimensionMismatch {
+                    expected: tree.dim(),
+                    actual: g.cell_edges().len(),
+                });
+            }
+        }
+        let grid_diag_sq = grid
+            .as_ref()
+            .map(|g| g.diag_scaled_sq(kernel.inv_bandwidths()))
+            .unwrap_or(0.0);
+        let fit_report = FitReport {
+            threshold_bounds,
+            threshold,
+            bootstrap: Default::default(),
+            training_stats: QueryStats::default(),
+            threshold_reestimates: 0,
+        };
+        Ok(Self {
+            params,
+            tree,
+            kernel,
+            grid,
+            grid_diag_sq,
+            threshold,
+            fit_report,
+        })
+    }
+
+    /// Serialized form of the grid cache, if active (model persistence).
+    pub fn grid_raw(&self) -> Option<tkdc_index::GridRaw> {
+        self.grid.as_ref().map(|g| g.to_raw_parts())
+    }
+
+    /// The refined threshold estimate `t̃(p)`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The parameters the model was trained with.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The kernel (with its fitted bandwidths).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// The spatial index.
+    pub fn tree(&self) -> &KdTree {
+        &self.tree
+    }
+
+    /// Training diagnostics.
+    pub fn fit_report(&self) -> &FitReport {
+        &self.fit_report
+    }
+
+    /// Whether the grid cache is active.
+    pub fn grid_enabled(&self) -> bool {
+        self.grid.is_some()
+    }
+
+    /// Number of training points.
+    pub fn n_train(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn check_dim(&self, x: &[f64]) -> Result<()> {
+        if x.len() != self.tree.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.tree.dim(),
+                actual: x.len(),
+            });
+        }
+        // A NaN coordinate would propagate through every distance bound
+        // and silently classify LOW; surface it as an input error instead.
+        if x.iter().any(|v| v.is_nan()) {
+            return Err(Error::Numeric("query contains NaN coordinates".into()));
+        }
+        Ok(())
+    }
+
+    /// Classifies one query point with a caller-provided scratch (the
+    /// zero-allocation hot path).
+    pub fn classify_with(&self, x: &[f64], scratch: &mut QueryScratch) -> Result<Label> {
+        self.check_dim(x)?;
+        let t = self.threshold;
+        // Grid fast path: same-cell mass already proves HIGH.
+        if let Some(g) = &self.grid {
+            let cell_lower = g.cell_count(x) as f64 / self.tree.len() as f64
+                * self.kernel.eval_scaled_sq(self.grid_diag_sq);
+            if cell_lower > t * (1.0 + self.params.epsilon) {
+                scratch.stats.record_outcome(PruneCause::Grid);
+                return Ok(Label::High);
+            }
+        }
+        let b = self.bound_density_with(x, scratch)?;
+        Ok(if b.midpoint() > t {
+            Label::High
+        } else {
+            Label::Low
+        })
+    }
+
+    /// Classifies one query point (allocates a fresh scratch; prefer
+    /// [`Self::classify_with`] in loops).
+    pub fn classify(&self, x: &[f64]) -> Result<Label> {
+        let mut scratch = QueryScratch::new();
+        self.classify_with(x, &mut scratch)
+    }
+
+    /// Density bounds for a query against the fitted threshold
+    /// (`t_l = t_u = t̃`), exposing the raw Algorithm 2 output.
+    pub fn bound_density_with(
+        &self,
+        x: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Result<DensityBounds> {
+        self.check_dim(x)?;
+        let bounder = DensityBounder::new(
+            &self.tree,
+            &self.kernel,
+            self.params.opts,
+            self.params.epsilon,
+        );
+        Ok(bounder.bound_density(x, self.threshold, self.threshold, scratch))
+    }
+
+    /// Density bounds refined to *relative* precision `rtol`
+    /// (`f_u − f_l ≤ rtol·f_l`), independent of the threshold — for
+    /// callers that need density *values* (log-likelihood ratios,
+    /// p-value-style reporting) rather than a classification.
+    pub fn bound_density_relative_with(
+        &self,
+        x: &[f64],
+        rtol: f64,
+        scratch: &mut QueryScratch,
+    ) -> Result<DensityBounds> {
+        self.check_dim(x)?;
+        let bounder = DensityBounder::new(
+            &self.tree,
+            &self.kernel,
+            self.params.opts,
+            self.params.epsilon,
+        );
+        Ok(bounder.bound_density_relative(x, rtol, scratch))
+    }
+
+    /// Exact kernel density of a query (exhaustive; test/diagnostic use).
+    pub fn exact_density(&self, x: &[f64]) -> Result<f64> {
+        self.check_dim(x)?;
+        let bounder = DensityBounder::new(
+            &self.tree,
+            &self.kernel,
+            self.params.opts,
+            self.params.epsilon,
+        );
+        let mut scratch = QueryScratch::new();
+        Ok(bounder.exact_density(x, &mut scratch))
+    }
+
+    /// Classifies every row of `queries`, returning labels plus the
+    /// aggregated traversal statistics.
+    pub fn classify_batch(&self, queries: &Matrix) -> Result<(Vec<Label>, QueryStats)> {
+        let mut scratch = QueryScratch::new();
+        let mut labels = Vec::with_capacity(queries.rows());
+        for q in queries.iter_rows() {
+            labels.push(self.classify_with(q, &mut scratch)?);
+        }
+        Ok((labels, scratch.stats))
+    }
+
+    /// Parallel batch classification over `n_threads` OS threads (scoped;
+    /// no runtime dependency). Results are in query order; statistics are
+    /// merged across threads.
+    ///
+    /// The paper evaluates single-threaded throughput; this driver is the
+    /// "embarrassingly parallel queries" extension discussed in §6.
+    pub fn classify_batch_parallel(
+        &self,
+        queries: &Matrix,
+        n_threads: usize,
+    ) -> Result<(Vec<Label>, QueryStats)> {
+        let n_threads = n_threads.max(1);
+        if n_threads == 1 || queries.rows() < 2 * n_threads {
+            return self.classify_batch(queries);
+        }
+        let n = queries.rows();
+        let chunk = n.div_ceil(n_threads);
+        let mut results: Vec<Result<(Vec<Label>, QueryStats)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_threads);
+            for tid in 0..n_threads {
+                let start = tid * chunk;
+                let end = ((tid + 1) * chunk).min(n);
+                if start >= end {
+                    break;
+                }
+                handles.push(scope.spawn(move || {
+                    let mut scratch = QueryScratch::new();
+                    let mut labels = Vec::with_capacity(end - start);
+                    for i in start..end {
+                        labels.push(self.classify_with(queries.row(i), &mut scratch)?);
+                    }
+                    Ok((labels, scratch.stats))
+                }));
+            }
+            for h in handles {
+                results.push(h.join().expect("classification thread panicked"));
+            }
+        });
+        let mut labels = Vec::with_capacity(n);
+        let mut stats = QueryStats::default();
+        for r in results {
+            let (l, s) = r?;
+            labels.extend(l);
+            stats.merge(&s);
+        }
+        Ok((labels, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Optimizations;
+    use tkdc_common::Rng;
+
+    fn gaussian_blob(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(d);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.normal(0.0, 1.0);
+            }
+            m.push_row(&row).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn center_high_tail_low() {
+        let data = gaussian_blob(3000, 2, 61);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        assert_eq!(clf.classify(&[0.0, 0.0]).unwrap(), Label::High);
+        assert_eq!(clf.classify(&[6.0, 6.0]).unwrap(), Label::Low);
+        assert!(clf.threshold() > 0.0);
+    }
+
+    #[test]
+    fn roughly_p_fraction_classified_low() {
+        let data = gaussian_blob(4000, 2, 67);
+        let p = 0.05;
+        let clf = Classifier::fit(&data, &Params::default().with_p(p)).unwrap();
+        let (labels, _) = clf.classify_batch(&data).unwrap();
+        let low = labels.iter().filter(|&&l| l == Label::Low).count();
+        let frac = low as f64 / labels.len() as f64;
+        assert!(
+            (frac - p).abs() < 0.02,
+            "expected ≈{p} of points LOW, got {frac}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_exact_densities_outside_band() {
+        let data = gaussian_blob(1500, 2, 71);
+        let params = Params::default().with_p(0.02);
+        let clf = Classifier::fit(&data, &params).unwrap();
+        let t = clf.threshold();
+        let eps = params.epsilon;
+        let mut scratch = QueryScratch::new();
+        let mut rng = Rng::seed_from(5);
+        let mut checked = 0;
+        for _ in 0..300 {
+            let q = [rng.normal(0.0, 2.0), rng.normal(0.0, 2.0)];
+            let exact = clf.exact_density(&q).unwrap();
+            if exact > t * (1.0 + eps) {
+                assert_eq!(clf.classify_with(&q, &mut scratch).unwrap(), Label::High);
+                checked += 1;
+            } else if exact < t * (1.0 - eps) {
+                assert_eq!(clf.classify_with(&q, &mut scratch).unwrap(), Label::Low);
+                checked += 1;
+            }
+        }
+        assert!(checked > 250, "almost all queries lie outside the ε-band");
+    }
+
+    #[test]
+    fn grid_only_fires_in_low_dims() {
+        let d2 = gaussian_blob(2000, 2, 73);
+        let clf2 = Classifier::fit(&d2, &Params::default()).unwrap();
+        assert!(clf2.grid_enabled());
+        let d6 = gaussian_blob(500, 6, 79);
+        let clf6 = Classifier::fit(&d6, &Params::default()).unwrap();
+        assert!(!clf6.grid_enabled());
+    }
+
+    #[test]
+    fn grid_prunes_dense_center_queries() {
+        let data = gaussian_blob(5000, 2, 83);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let mut scratch = QueryScratch::new();
+        // Dense center: grid should answer instantly.
+        let label = clf.classify_with(&[0.0, 0.0], &mut scratch).unwrap();
+        assert_eq!(label, Label::High);
+        assert!(
+            scratch.stats.grid_prunes >= 1,
+            "expected a grid prune: {:?}",
+            scratch.stats
+        );
+    }
+
+    #[test]
+    fn optimizations_do_not_change_labels() {
+        let data = gaussian_blob(1200, 2, 89);
+        let base = Params::default().with_opts(Optimizations::none());
+        let full = Params::default();
+        let clf_base = Classifier::fit(&data, &base).unwrap();
+        let clf_full = Classifier::fit(&data, &full).unwrap();
+        let eps = full.epsilon;
+        let mut rng = Rng::seed_from(6);
+        for _ in 0..150 {
+            let q = [rng.normal(0.0, 2.0), rng.normal(0.0, 2.0)];
+            let exact = clf_base.exact_density(&q).unwrap();
+            let t = clf_full.threshold();
+            // Compare only outside both ε-bands (thresholds differ by <ε).
+            if (exact - t).abs() > 2.0 * eps * t {
+                assert_eq!(
+                    clf_base.classify(&q).unwrap(),
+                    clf_full.classify(&q).unwrap(),
+                    "disagreement at {q:?} (exact {exact}, t {t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let data = gaussian_blob(2000, 2, 97);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let queries = gaussian_blob(500, 2, 101);
+        let (serial, s_stats) = clf.classify_batch(&queries).unwrap();
+        let (parallel, p_stats) = clf.classify_batch_parallel(&queries, 4).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(s_stats.queries, p_stats.queries);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let data = gaussian_blob(300, 2, 103);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        assert!(clf.classify(&[1.0]).is_err());
+        assert!(clf.classify(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn nan_query_rejected() {
+        let data = gaussian_blob(300, 2, 104);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        assert!(clf.classify(&[f64::NAN, 0.0]).is_err());
+        assert!(clf.classify(&[0.0, f64::NAN]).is_err());
+        // Infinite coordinates are legitimate far-tail queries.
+        assert_eq!(
+            clf.classify(&[f64::INFINITY, 0.0]).unwrap(),
+            Label::Low
+        );
+    }
+
+    #[test]
+    fn threshold_within_bootstrap_bounds() {
+        let data = gaussian_blob(2500, 3, 107);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let r = clf.fit_report();
+        let eps = clf.params().epsilon;
+        assert!(r.threshold >= r.threshold_bounds.lower * (1.0 - eps));
+        assert!(r.threshold <= r.threshold_bounds.upper * (1.0 + eps));
+        assert_eq!(r.threshold, clf.threshold());
+    }
+
+    #[test]
+    fn empty_training_rejected() {
+        let data = Matrix::with_cols(2);
+        assert!(Classifier::fit(&data, &Params::default()).is_err());
+    }
+}

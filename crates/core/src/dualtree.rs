@@ -1,0 +1,419 @@
+//! Dual-tree batch classification — the "dual-tree techniques" the paper
+//! flags as future work (§5).
+//!
+//! When classifying many queries at once (a grid for contour rendering,
+//! or the whole dataset during training), nearby queries repeat almost
+//! identical traversal work. The dual-tree driver indexes the *queries*
+//! in a second k-d tree and maintains density bounds that hold
+//! simultaneously for every query inside a query-tree node, using
+//! box-to-box distance bounds:
+//!
+//! * `K(d_min(Q, R))` upper-bounds the contribution of any point in
+//!   reference node `R` to any query in `Q`;
+//! * `K(d_max(Q, R))` lower-bounds it.
+//!
+//! If a whole query node's shared bounds clear the threshold, every query
+//! in it is classified in one shot; otherwise the query node splits and
+//! the (partially refined) reference frontier is pushed down. Queries
+//! reaching a leaf fall back to the exact single-point traversal of
+//! Algorithm 2, so correctness is identical — the dual tree only changes
+//! how much work is shared.
+//!
+//! Performance profile: group certification pays off when queries
+//! cluster inside decisively-HIGH or decisively-LOW regions (contour
+//! grids over dense areas, batch scoring of clustered telemetry). For
+//! sparse queries the single-point path is already so cheap — the
+//! threshold rule fires after a handful of node expansions — that the
+//! frontier bookkeeping roughly breaks even; the `ablation` Criterion
+//! bench quantifies both regimes.
+
+use crate::classifier::{Classifier, Label};
+use crate::qstats::{QueryScratch, QueryStats};
+use tkdc_common::error::{Error, Result};
+use tkdc_common::Matrix;
+use tkdc_index::bbox::{max_scaled_sq_dist_boxes, min_scaled_sq_dist_boxes};
+use tkdc_index::{KdTree, SplitRule};
+
+/// One reference-frontier entry: a reference node with the bound
+/// contribution it adds for the *current* query box.
+#[derive(Debug, Clone, Copy)]
+struct FrontierEntry {
+    node: u32,
+    w_lo: f64,
+    w_hi: f64,
+    /// Whether the bounds were computed against the *current* query box
+    /// (false for entries inherited from the parent query node, whose
+    /// bounds are valid but looser).
+    tight: bool,
+}
+
+/// Statistics from a dual-tree batch run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DualTreeStats {
+    /// Queries classified wholesale at internal query-tree nodes.
+    pub group_classified: u64,
+    /// Queries that fell back to single-point traversals.
+    pub leaf_fallbacks: u64,
+    /// Aggregated single-point traversal statistics.
+    pub point_stats: QueryStats,
+}
+
+/// Configuration for the dual-tree driver.
+#[derive(Debug, Clone, Copy)]
+pub struct DualTreeConfig {
+    /// Query-tree leaf capacity.
+    pub query_leaf_size: usize,
+    /// Maximum reference-frontier size carried per query node; larger
+    /// frontiers sharpen group bounds at more memory/copy cost.
+    pub max_frontier: usize,
+}
+
+impl Default for DualTreeConfig {
+    fn default() -> Self {
+        Self {
+            query_leaf_size: 8,
+            max_frontier: 512,
+        }
+    }
+}
+
+/// Classifies every row of `queries` using shared dual-tree bounds.
+///
+/// Returns labels in query order plus statistics. Results agree with
+/// [`Classifier::classify_batch`] on every query outside the ε-band
+/// (both drivers implement Problem 1's contract).
+pub fn classify_batch_dual(
+    clf: &Classifier,
+    queries: &Matrix,
+    config: &DualTreeConfig,
+) -> Result<(Vec<Label>, DualTreeStats)> {
+    if queries.cols() != clf.tree().dim() {
+        return Err(Error::DimensionMismatch {
+            expected: clf.tree().dim(),
+            actual: queries.cols(),
+        });
+    }
+    if queries.rows() == 0 {
+        return Ok((Vec::new(), DualTreeStats::default()));
+    }
+
+    // Index the queries. We must map reordered tree rows back to input
+    // rows, so attach the original index as a trailing coordinate is not
+    // possible (distances would change) — instead build the query tree
+    // over the queries and recover positions by exact row matching via a
+    // parallel index sort. Simpler and robust: build the tree on an
+    // augmented matrix is unsafe; we instead keep our own recursion over
+    // *index ranges* mirroring KdTree's reordering. KdTree reorders rows
+    // internally, so we rebuild the permutation by classifying the
+    // reordered rows and scattering labels back by content would be
+    // ambiguous for duplicate rows. The clean approach: classify the
+    // query tree's reordered points (its `node_points` order) and return
+    // labels in that order alongside the reordered matrix — so instead we
+    // build the query tree over an explicit copy and classify *its* rows,
+    // then match output order by construction below.
+    let qtree = KdTree::build(queries, config.query_leaf_size, SplitRule::Median)?;
+
+    let t = clf.threshold();
+    let eps = clf.params().epsilon;
+    let n = clf.tree().len() as f64;
+    let inv_h = clf.kernel().inv_bandwidths();
+
+    // Labels for the query tree's internal (reordered) row order.
+    let mut reordered_labels: Vec<Label> = vec![Label::Low; queries.rows()];
+    let mut stats = DualTreeStats::default();
+    let mut scratch = QueryScratch::new();
+
+    // Root frontier: the reference root.
+    let rtree = clf.tree();
+    let root_entry = {
+        let (u_min, u_max) = box_pair_bounds(&qtree, qtree.root(), rtree, rtree.root(), inv_h);
+        let c = rtree.count(rtree.root()) as f64;
+        FrontierEntry {
+            node: rtree.root(),
+            w_lo: c / n * clf.kernel().eval_scaled_sq(u_max),
+            w_hi: c / n * clf.kernel().eval_scaled_sq(u_min),
+            tight: true,
+        }
+    };
+
+    recurse(
+        clf,
+        &qtree,
+        qtree.root(),
+        vec![root_entry],
+        t,
+        eps,
+        config,
+        &mut reordered_labels,
+        &mut stats,
+        &mut scratch,
+    )?;
+    stats.point_stats = scratch.stats;
+
+    // Scatter back: the query tree reordered rows; recover the mapping by
+    // classifying in reordered order and matching positions through a
+    // stable pairing of identical rows. We reconstruct the permutation by
+    // walking both matrices' rows lexicographically.
+    let perm = qtree.reorder_permutation(queries);
+    let mut labels = vec![Label::Low; queries.rows()];
+    for (reordered_pos, &orig_pos) in perm.iter().enumerate() {
+        labels[orig_pos] = reordered_labels[reordered_pos];
+    }
+    Ok((labels, stats))
+}
+
+/// Box-to-box scaled squared distance bounds between a query node and a
+/// reference node.
+fn box_pair_bounds(
+    qtree: &KdTree,
+    qnode: u32,
+    rtree: &KdTree,
+    rnode: u32,
+    inv_h: &[f64],
+) -> (f64, f64) {
+    let (q_lo, q_hi) = (qtree.box_lo(qnode), qtree.box_hi(qnode));
+    let (r_lo, r_hi) = (rtree.box_lo(rnode), rtree.box_hi(rnode));
+    (
+        min_scaled_sq_dist_boxes(q_lo, q_hi, r_lo, r_hi, inv_h),
+        max_scaled_sq_dist_boxes(q_lo, q_hi, r_lo, r_hi, inv_h),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    clf: &Classifier,
+    qtree: &KdTree,
+    qnode: u32,
+    mut frontier: Vec<FrontierEntry>,
+    t: f64,
+    eps: f64,
+    config: &DualTreeConfig,
+    labels: &mut [Label],
+    stats: &mut DualTreeStats,
+    scratch: &mut QueryScratch,
+) -> Result<()> {
+    let rtree = clf.tree();
+    let kernel = clf.kernel();
+    let inv_h = kernel.inv_bandwidths();
+    let n = rtree.len() as f64;
+    let high_cut = t * (1.0 + eps);
+    let low_cut = t * (1.0 - eps);
+
+    // Entries inherited from the parent carry bounds computed against
+    // the parent's (larger) query box — valid here but looser. Tighten
+    // the whole frontier once in a single linear pass.
+    let mut f_lo = 0.0;
+    let mut f_hi = 0.0;
+    for e in frontier.iter_mut() {
+        if !e.tight {
+            let (u_min, u_max) = box_pair_bounds(qtree, qnode, rtree, e.node, inv_h);
+            let c = rtree.count(e.node) as f64;
+            e.w_lo = c / n * kernel.eval_scaled_sq(u_max);
+            e.w_hi = c / n * kernel.eval_scaled_sq(u_min);
+            e.tight = true;
+        }
+        f_lo += e.w_lo;
+        f_hi += e.w_hi;
+    }
+
+    // Greedy refinement: split the frontier entry with the widest bound
+    // gap until the group rules fire or the frontier budget is reached.
+    // The budget scales with the group size — refining a frontier for a
+    // 4-query node must not cost more than classifying those queries
+    // individually would.
+    let group = qtree.count(qnode);
+    let budget = (16 + 2 * group).min(config.max_frontier);
+    loop {
+        if f_lo > high_cut {
+            let count = mark(qtree, qnode, labels, Label::High);
+            stats.group_classified += count;
+            return Ok(());
+        }
+        if f_hi < low_cut {
+            let count = mark(qtree, qnode, labels, Label::Low);
+            stats.group_classified += count;
+            return Ok(());
+        }
+        if frontier.len() >= budget {
+            break;
+        }
+        // Widest-gap entry with children to split into.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in frontier.iter().enumerate() {
+            if rtree.children(e.node).is_some() {
+                let gap = e.w_hi - e.w_lo;
+                if best.is_none_or(|(_, g)| gap > g) {
+                    best = Some((i, gap));
+                }
+            }
+        }
+        let Some((i, gap)) = best else { break };
+        if gap <= 0.0 {
+            break;
+        }
+        let entry = frontier.swap_remove(i);
+        f_lo -= entry.w_lo;
+        f_hi -= entry.w_hi;
+        let (l, r) = rtree.children(entry.node).expect("selected as splittable");
+        for child in [l, r] {
+            let (u_min, u_max) = box_pair_bounds(qtree, qnode, rtree, child, inv_h);
+            let c = rtree.count(child) as f64;
+            let e = FrontierEntry {
+                node: child,
+                w_lo: c / n * kernel.eval_scaled_sq(u_max),
+                w_hi: c / n * kernel.eval_scaled_sq(u_min),
+                tight: true,
+            };
+            f_lo += e.w_lo;
+            f_hi += e.w_hi;
+            if e.w_hi > 0.0 {
+                frontier.push(e);
+            }
+        }
+    }
+    // Entries handed down to children are no longer tight for them.
+    for e in frontier.iter_mut() {
+        e.tight = false;
+    }
+
+    match qtree.children(qnode) {
+        Some((l, r)) => {
+            recurse(
+                clf,
+                qtree,
+                l,
+                frontier.clone(),
+                t,
+                eps,
+                config,
+                labels,
+                stats,
+                scratch,
+            )?;
+            recurse(
+                clf, qtree, r, frontier, t, eps, config, labels, stats, scratch,
+            )?;
+            Ok(())
+        }
+        None => {
+            // Leaf fallback: per-query classification through the full
+            // single-point path (grid fast-path included).
+            let node = qnode;
+            let start = leaf_start(qtree, node);
+            for (offset, q) in qtree.node_points(node).enumerate() {
+                labels[start + offset] = clf.classify_with(q, scratch)?;
+                stats.leaf_fallbacks += 1;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Marks every query under `qnode` with `label`; returns how many.
+fn mark(qtree: &KdTree, qnode: u32, labels: &mut [Label], label: Label) -> u64 {
+    let start = leaf_start(qtree, qnode);
+    let count = qtree.count(qnode);
+    for l in &mut labels[start..start + count] {
+        *l = label;
+    }
+    count as u64
+}
+
+/// Row offset of a node's range within the tree's reordered point order.
+fn leaf_start(qtree: &KdTree, qnode: u32) -> usize {
+    qtree.node_range(qnode).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use tkdc_common::Rng;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(d);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.normal(0.0, 1.5);
+            }
+            m.push_row(&row).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn dual_tree_agrees_with_serial_outside_band() {
+        let data = blob(3000, 2, 111);
+        let clf = Classifier::fit(&data, &Params::default().with_seed(7)).unwrap();
+        let queries = blob(800, 2, 222);
+        let (serial, _) = clf.classify_batch(&queries).unwrap();
+        let (dual, stats) =
+            classify_batch_dual(&clf, &queries, &DualTreeConfig::default()).unwrap();
+        assert_eq!(serial.len(), dual.len());
+        // Agreement required outside the ε-band; compare via exact
+        // densities where the two disagree.
+        let t = clf.threshold();
+        let eps = clf.params().epsilon;
+        let mut disagreements = 0;
+        for i in 0..queries.rows() {
+            if serial[i] != dual[i] {
+                let exact = clf.exact_density(queries.row(i)).unwrap();
+                assert!(
+                    (exact - t).abs() <= 2.0 * eps * t,
+                    "disagreement outside ε-band at row {i}: density {exact}, t {t}"
+                );
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements < queries.rows() / 20);
+        assert!(stats.group_classified + stats.leaf_fallbacks >= queries.rows() as u64);
+    }
+
+    #[test]
+    fn dual_tree_groups_clustered_queries() {
+        // A tight grid of queries in the dense center should classify
+        // mostly in groups.
+        let data = blob(5000, 2, 333);
+        let clf = Classifier::fit(&data, &Params::default().with_seed(11)).unwrap();
+        let mut queries = Matrix::with_cols(2);
+        for i in 0..40 {
+            for j in 0..40 {
+                queries
+                    .push_row(&[-0.5 + i as f64 * 0.025, -0.5 + j as f64 * 0.025])
+                    .unwrap();
+            }
+        }
+        let (labels, stats) =
+            classify_batch_dual(&clf, &queries, &DualTreeConfig::default()).unwrap();
+        assert!(labels.iter().all(|&l| l == Label::High));
+        assert!(
+            stats.group_classified > stats.leaf_fallbacks,
+            "expected group classification to dominate: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn dual_tree_handles_duplicates_and_empty() {
+        let data = blob(1000, 2, 444);
+        let clf = Classifier::fit(&data, &Params::default().with_seed(13)).unwrap();
+        // Duplicate query rows.
+        let queries = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 0.0], vec![9.0, 9.0]]).unwrap();
+        let (labels, _) = classify_batch_dual(&clf, &queries, &DualTreeConfig::default()).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], Label::Low);
+        // Empty query set.
+        let empty = Matrix::with_cols(2);
+        let (labels, _) = classify_batch_dual(&clf, &empty, &DualTreeConfig::default()).unwrap();
+        assert!(labels.is_empty());
+    }
+
+    #[test]
+    fn dual_tree_rejects_dim_mismatch() {
+        let data = blob(500, 2, 555);
+        let clf = Classifier::fit(&data, &Params::default().with_seed(17)).unwrap();
+        let queries = blob(10, 3, 666);
+        assert!(classify_batch_dual(&clf, &queries, &DualTreeConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Certified log-likelihood-ratio bounds — the §2.1 statistics use case.
+//!
+//! "Bounds on the probability density also translate directly into bounds
+//! on hazard rate or log likelihood ratios which are used in high energy
+//! physics classifiers" (§2.1 of the paper, citing Cranmer [15]). Given
+//! two fitted models — e.g. a signal sample and a background sample — the
+//! interval arithmetic below turns each model's certified density bounds
+//! into a certified interval for `log f_sig(x) / f_bg(x)`, the optimal
+//! test statistic by the Neyman–Pearson lemma.
+
+use crate::classifier::Classifier;
+use crate::qstats::QueryScratch;
+use tkdc_common::error::{Error, Result};
+
+/// A certified interval for the log-likelihood ratio at one query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlrBounds {
+    /// Lower bound on `ln(f_num / f_den)`.
+    pub lower: f64,
+    /// Upper bound on `ln(f_num / f_den)`.
+    pub upper: f64,
+}
+
+impl LlrBounds {
+    /// Midpoint estimate.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+
+    /// True when the whole interval is positive (the numerator model is
+    /// certainly more likely).
+    pub fn favors_numerator(&self) -> bool {
+        self.lower > 0.0
+    }
+
+    /// True when the whole interval is negative.
+    pub fn favors_denominator(&self) -> bool {
+        self.upper < 0.0
+    }
+}
+
+/// Computes certified log-likelihood-ratio bounds
+/// `ln f_num(x) − ln f_den(x)` from classification-grade density bounds.
+///
+/// Classification bounds are only tight near each model's threshold
+/// (the threshold rules stop refinement early elsewhere), so intervals
+/// from this function are often wide; use [`llr_bounds_with_rtol`] when
+/// a usefully narrow LLR interval is the goal.
+///
+/// Interval arithmetic: `[ln(l_num/u_den), ln(u_num/l_den)]`. When the
+/// denominator's lower bound is zero the upper bound is `+∞`; when the
+/// numerator's lower bound is zero the lower bound is `−∞` — both honest
+/// statements about what the index could certify.
+///
+/// # Errors
+/// Fails when the models' dimensionalities differ from the query's.
+pub fn llr_bounds(
+    numerator: &Classifier,
+    denominator: &Classifier,
+    x: &[f64],
+    scratch: &mut QueryScratch,
+) -> Result<LlrBounds> {
+    if numerator.tree().dim() != denominator.tree().dim() {
+        return Err(Error::DimensionMismatch {
+            expected: numerator.tree().dim(),
+            actual: denominator.tree().dim(),
+        });
+    }
+    let num = numerator.bound_density_with(x, scratch)?;
+    let den = denominator.bound_density_with(x, scratch)?;
+    combine(num.lower, num.upper, den.lower, den.upper)
+}
+
+/// Like [`llr_bounds`] but refines each density to relative precision
+/// `rtol` (`f_u − f_l ≤ rtol·f_l`), giving an LLR interval of width at
+/// most `≈ 2·ln(1+rtol) ≈ 2·rtol` whenever both densities resolve above
+/// the floating-point floor.
+///
+/// # Errors
+/// Fails on model/query dimensionality mismatch.
+pub fn llr_bounds_with_rtol(
+    numerator: &Classifier,
+    denominator: &Classifier,
+    x: &[f64],
+    rtol: f64,
+    scratch: &mut QueryScratch,
+) -> Result<LlrBounds> {
+    if numerator.tree().dim() != denominator.tree().dim() {
+        return Err(Error::DimensionMismatch {
+            expected: numerator.tree().dim(),
+            actual: denominator.tree().dim(),
+        });
+    }
+    if x.len() != numerator.tree().dim() {
+        return Err(Error::DimensionMismatch {
+            expected: numerator.tree().dim(),
+            actual: x.len(),
+        });
+    }
+    let num = numerator.bound_density_relative_with(x, rtol, scratch)?;
+    let den = denominator.bound_density_relative_with(x, rtol, scratch)?;
+    combine(num.lower, num.upper, den.lower, den.upper)
+}
+
+/// Interval division in log space.
+fn combine(num_lo: f64, num_hi: f64, den_lo: f64, den_hi: f64) -> Result<LlrBounds> {
+    let lower = if num_lo > 0.0 && den_hi > 0.0 {
+        (num_lo / den_hi).ln()
+    } else {
+        f64::NEG_INFINITY
+    };
+    let upper = if den_lo > 0.0 {
+        if num_hi > 0.0 {
+            (num_hi / den_lo).ln()
+        } else {
+            f64::NEG_INFINITY // numerator certainly zero
+        }
+    } else {
+        f64::INFINITY
+    };
+    Ok(LlrBounds { lower, upper })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use tkdc_common::{Matrix, Rng};
+
+    fn blob(center: f64, n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(2);
+        for _ in 0..n {
+            m.push_row(&[rng.normal(center, 1.0), rng.normal(center, 1.0)])
+                .unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn llr_separates_two_populations() {
+        let signal = blob(3.0, 2000, 1);
+        let background = blob(-3.0, 2000, 2);
+        let sig = Classifier::fit(&signal, &Params::default().with_seed(3)).unwrap();
+        let bg = Classifier::fit(&background, &Params::default().with_seed(4)).unwrap();
+        let mut scratch = QueryScratch::new();
+
+        let near_signal = llr_bounds(&sig, &bg, &[3.0, 3.0], &mut scratch).unwrap();
+        assert!(
+            near_signal.favors_numerator(),
+            "LLR at the signal center must be certifiably positive: {near_signal:?}"
+        );
+        let near_background = llr_bounds(&sig, &bg, &[-3.0, -3.0], &mut scratch).unwrap();
+        assert!(
+            near_background.favors_denominator(),
+            "LLR at the background center must be certifiably negative: {near_background:?}"
+        );
+        // The midpoint should be roughly antisymmetric between the two
+        // centers for symmetric populations.
+        assert!(near_signal.midpoint() > 1.0);
+        assert!(near_background.midpoint() < -1.0);
+    }
+
+    #[test]
+    fn llr_interval_contains_exact_ratio() {
+        let a = blob(0.0, 1500, 5);
+        let b = blob(1.0, 1500, 6);
+        let ca = Classifier::fit(&a, &Params::default().with_seed(7)).unwrap();
+        let cb = Classifier::fit(&b, &Params::default().with_seed(8)).unwrap();
+        let mut scratch = QueryScratch::new();
+        let mut rng = Rng::seed_from(9);
+        for _ in 0..30 {
+            let q = [rng.normal(0.5, 1.0), rng.normal(0.5, 1.0)];
+            let bounds = llr_bounds(&ca, &cb, &q, &mut scratch).unwrap();
+            let exact = ca.exact_density(&q).unwrap().ln() - cb.exact_density(&q).unwrap().ln();
+            assert!(
+                bounds.lower <= exact + 1e-9 && exact <= bounds.upper + 1e-9,
+                "exact LLR {exact} outside [{}, {}] at {q:?}",
+                bounds.lower,
+                bounds.upper
+            );
+        }
+    }
+
+    #[test]
+    fn rtol_variant_gives_narrow_intervals() {
+        let signal = blob(2.0, 1500, 21);
+        let background = blob(-2.0, 1500, 22);
+        let sig = Classifier::fit(&signal, &Params::default().with_seed(23)).unwrap();
+        let bg = Classifier::fit(&background, &Params::default().with_seed(24)).unwrap();
+        let mut scratch = QueryScratch::new();
+        let rtol = 0.05;
+        for q in [[2.0, 2.0], [-2.0, -2.0], [0.0, 0.0]] {
+            let wide = llr_bounds(&sig, &bg, &q, &mut scratch).unwrap();
+            let tight = llr_bounds_with_rtol(&sig, &bg, &q, rtol, &mut scratch).unwrap();
+            // The tight interval nests inside the classification-grade one
+            // and has width ≤ 2·ln(1+rtol) when finite.
+            assert!(tight.lower >= wide.lower - 1e-9);
+            assert!(tight.upper <= wide.upper + 1e-9);
+            if tight.lower.is_finite() && tight.upper.is_finite() {
+                assert!(
+                    tight.upper - tight.lower <= 2.0 * (1.0 + rtol).ln() + 1e-9,
+                    "width {} at {q:?}",
+                    tight.upper - tight.lower
+                );
+                // And it contains the exact LLR.
+                let exact =
+                    sig.exact_density(&q).unwrap().ln() - bg.exact_density(&q).unwrap().ln();
+                assert!(tight.lower <= exact + 1e-9 && exact <= tight.upper + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn far_tail_gives_infinite_bounds_honestly() {
+        let a = blob(0.0, 500, 11);
+        let b = blob(0.0, 500, 12);
+        let ca = Classifier::fit(&a, &Params::default().with_seed(13)).unwrap();
+        let cb = Classifier::fit(&b, &Params::default().with_seed(14)).unwrap();
+        let mut scratch = QueryScratch::new();
+        // Deep in the tail both densities underflow to certified zero →
+        // the interval must widen to ±∞ rather than fabricate a number.
+        let bounds = llr_bounds(&ca, &cb, &[100.0, 100.0], &mut scratch).unwrap();
+        assert!(bounds.lower == f64::NEG_INFINITY || bounds.upper == f64::INFINITY);
+        assert!(!bounds.favors_numerator() || !bounds.favors_denominator());
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = blob(0.0, 200, 15);
+        let ca = Classifier::fit(&a, &Params::default().with_seed(16)).unwrap();
+        let mut one_d = Matrix::with_cols(1);
+        let mut rng = Rng::seed_from(17);
+        for _ in 0..200 {
+            one_d.push_row(&[rng.standard_normal()]).unwrap();
+        }
+        let cb = Classifier::fit(&one_d, &Params::default().with_seed(18)).unwrap();
+        let mut scratch = QueryScratch::new();
+        assert!(llr_bounds(&ca, &cb, &[0.0, 0.0], &mut scratch).is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Model persistence: save a fitted [`Classifier`] to a compact binary
+//! file and load it back without retraining.
+//!
+//! Training cost is dominated by the threshold bootstrap plus the
+//! whole-dataset density pass, so production deployments want to fit
+//! once and serve many query sessions. The format is a simple
+//! little-endian binary layout with a magic/version header — no external
+//! serialization dependency.
+//!
+//! Persisted: parameters, fitted threshold (and its bootstrap bounds),
+//! kernel, spatial index (with its reordered points), and the grid
+//! cache. Not persisted: training diagnostics (`FitReport` bootstrap
+//! traces and traversal statistics), which load back as empty.
+
+use crate::classifier::Classifier;
+use crate::params::{BootstrapParams, Optimizations, Params};
+use crate::threshold::ThresholdBounds;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use tkdc_common::error::{Error, Result};
+use tkdc_index::{BandwidthGrid, GridRaw, KdTree, KdTreeRaw};
+use tkdc_kernel::{Kernel, KernelKind};
+
+const MAGIC: &[u8; 4] = b"TKDC";
+const VERSION: u32 = 1;
+
+/// Writer with little-endian primitive helpers.
+struct Enc<W: Write>(W);
+
+impl<W: Write> Enc<W> {
+    fn u32(&mut self, v: u32) -> Result<()> {
+        self.0.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+    fn u64(&mut self, v: u64) -> Result<()> {
+        self.0.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+    fn u128(&mut self, v: u128) -> Result<()> {
+        self.0.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+    fn f64(&mut self, v: f64) -> Result<()> {
+        self.0.write_all(&v.to_le_bytes())?;
+        Ok(())
+    }
+    fn f64s(&mut self, vs: &[f64]) -> Result<()> {
+        self.u64(vs.len() as u64)?;
+        for &v in vs {
+            self.f64(v)?;
+        }
+        Ok(())
+    }
+    fn byte(&mut self, v: u8) -> Result<()> {
+        self.0.write_all(&[v])?;
+        Ok(())
+    }
+}
+
+/// Reader with little-endian primitive helpers.
+struct Dec<R: Read>(R);
+
+impl<R: Read> Dec<R> {
+    fn u32(&mut self) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.0.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.0.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn u128(&mut self) -> Result<u128> {
+        let mut b = [0u8; 16];
+        self.0.read_exact(&mut b)?;
+        Ok(u128::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        let mut b = [0u8; 8];
+        self.0.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>> {
+        let n = self.len_checked()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+    fn byte(&mut self) -> Result<u8> {
+        let mut b = [0u8; 1];
+        self.0.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+    /// Length prefix with a sanity cap so corrupt files fail fast
+    /// instead of attempting enormous allocations.
+    fn len_checked(&mut self) -> Result<usize> {
+        let n = self.u64()?;
+        if n > (1 << 40) {
+            return Err(Error::Numeric(format!("implausible length field {n}")));
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Serializes a fitted classifier to any writer.
+pub fn save_model_to(clf: &Classifier, writer: impl Write) -> Result<()> {
+    let mut w = Enc(BufWriter::new(writer));
+    w.0.write_all(MAGIC)?;
+    w.u32(VERSION)?;
+
+    // Parameters.
+    let p = clf.params();
+    w.f64(p.p)?;
+    w.f64(p.epsilon)?;
+    w.f64(p.delta)?;
+    w.f64(p.bandwidth_factor)?;
+    w.byte(match p.kernel {
+        KernelKind::Gaussian => 0,
+        KernelKind::Epanechnikov => 1,
+    })?;
+    w.u64(p.leaf_size as u64)?;
+    let opts = p.opts;
+    w.byte(
+        (opts.threshold_rule as u8)
+            | (opts.tolerance_rule as u8) << 1
+            | (opts.equiwidth_split as u8) << 2
+            | (opts.grid as u8) << 3,
+    )?;
+    w.u64(p.seed)?;
+    w.u64(p.bootstrap.r0 as u64)?;
+    w.u64(p.bootstrap.s0 as u64)?;
+    w.f64(p.bootstrap.growth)?;
+    w.f64(p.bootstrap.backoff)?;
+    w.f64(p.bootstrap.buffer)?;
+    w.u64(p.bootstrap.max_retries as u64)?;
+
+    // Threshold.
+    w.f64(clf.threshold())?;
+    let b = clf.fit_report().threshold_bounds;
+    w.f64(b.lower)?;
+    w.f64(b.upper)?;
+
+    // Kernel bandwidths (kind already encoded in params).
+    w.f64s(clf.kernel().bandwidths())?;
+
+    // Tree.
+    let raw = clf.tree().to_raw_parts();
+    w.u64(raw.dim as u64)?;
+    w.u64(raw.leaf_size as u64)?;
+    w.f64s(&raw.points)?;
+    w.u64(raw.nodes.len() as u64)?;
+    for t in &raw.nodes {
+        for &v in t {
+            w.u32(v)?;
+        }
+    }
+    w.f64s(&raw.node_lo)?;
+    w.f64s(&raw.node_hi)?;
+
+    // Grid (optional).
+    match clf.grid_raw() {
+        None => w.byte(0)?,
+        Some(g) => {
+            w.byte(1)?;
+            w.f64s(&g.cell)?;
+            w.u64(g.n_points as u64)?;
+            w.u64(g.entries.len() as u64)?;
+            for &(k, c) in &g.entries {
+                w.u128(k)?;
+                w.u32(c)?;
+            }
+        }
+    }
+    w.0.flush()?;
+    Ok(())
+}
+
+/// Serializes a fitted classifier to a file.
+pub fn save_model(clf: &Classifier, path: impl AsRef<Path>) -> Result<()> {
+    save_model_to(clf, std::fs::File::create(path)?)
+}
+
+/// Loads a classifier from any reader.
+pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
+    let mut r = Dec(BufReader::new(reader));
+    let mut magic = [0u8; 4];
+    r.0.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(Error::Numeric("not a tKDC model file (bad magic)".into()));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(Error::Numeric(format!(
+            "unsupported model version {version} (expected {VERSION})"
+        )));
+    }
+
+    let p = r.f64()?;
+    let epsilon = r.f64()?;
+    let delta = r.f64()?;
+    let bandwidth_factor = r.f64()?;
+    let kernel_kind = match r.byte()? {
+        0 => KernelKind::Gaussian,
+        1 => KernelKind::Epanechnikov,
+        other => {
+            return Err(Error::Numeric(format!("unknown kernel kind {other}")));
+        }
+    };
+    let leaf_size = r.u64()? as usize;
+    let opt_bits = r.byte()?;
+    let opts = Optimizations {
+        threshold_rule: opt_bits & 1 != 0,
+        tolerance_rule: opt_bits & 2 != 0,
+        equiwidth_split: opt_bits & 4 != 0,
+        grid: opt_bits & 8 != 0,
+    };
+    let seed = r.u64()?;
+    let bootstrap = BootstrapParams {
+        r0: r.u64()? as usize,
+        s0: r.u64()? as usize,
+        growth: r.f64()?,
+        backoff: r.f64()?,
+        buffer: r.f64()?,
+        max_retries: r.u64()? as usize,
+    };
+    let params = Params {
+        p,
+        epsilon,
+        delta,
+        bandwidth_factor,
+        kernel: kernel_kind,
+        leaf_size,
+        opts,
+        bootstrap,
+        seed,
+    };
+    params.validate()?;
+
+    let threshold = r.f64()?;
+    let bounds = ThresholdBounds {
+        lower: r.f64()?,
+        upper: r.f64()?,
+    };
+    if !threshold.is_finite() || threshold < 0.0 || !bounds.lower.is_finite() {
+        return Err(Error::Numeric("corrupt threshold fields".into()));
+    }
+
+    let bandwidths = r.f64s()?;
+    let kernel = Kernel::new(kernel_kind, bandwidths)?;
+
+    let dim = r.u64()? as usize;
+    let tree_leaf = r.u64()? as usize;
+    let points = r.f64s()?;
+    let n_nodes = r.len_checked()?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        nodes.push([r.u32()?, r.u32()?, r.u32()?, r.u32()?]);
+    }
+    let node_lo = r.f64s()?;
+    let node_hi = r.f64s()?;
+    let tree = KdTree::from_raw_parts(KdTreeRaw {
+        dim,
+        leaf_size: tree_leaf,
+        points,
+        nodes,
+        node_lo,
+        node_hi,
+    })?;
+    if kernel.dim() != tree.dim() {
+        return Err(Error::DimensionMismatch {
+            expected: tree.dim(),
+            actual: kernel.dim(),
+        });
+    }
+
+    let grid = match r.byte()? {
+        0 => None,
+        1 => {
+            let cell = r.f64s()?;
+            let n_points = r.u64()? as usize;
+            let n_entries = r.len_checked()?;
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let k = r.u128()?;
+                let c = r.u32()?;
+                entries.push((k, c));
+            }
+            Some(BandwidthGrid::from_raw_parts(GridRaw {
+                cell,
+                entries,
+                n_points,
+            })?)
+        }
+        other => {
+            return Err(Error::Numeric(format!("bad grid flag {other}")));
+        }
+    };
+
+    Classifier::from_loaded_parts(params, tree, kernel, grid, threshold, bounds)
+}
+
+/// Loads a classifier from a file.
+pub fn load_model(path: impl AsRef<Path>) -> Result<Classifier> {
+    load_model_from(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Label;
+    use tkdc_common::{Matrix, Rng};
+
+    fn blob(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(d);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.normal(0.0, 1.0);
+            }
+            m.push_row(&row).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn round_trip_preserves_classification() {
+        let data = blob(2000, 2, 777);
+        let clf = Classifier::fit(&data, &Params::default().with_seed(5)).unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        let loaded = load_model_from(buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.threshold(), clf.threshold());
+        assert_eq!(loaded.n_train(), clf.n_train());
+        assert_eq!(loaded.grid_enabled(), clf.grid_enabled());
+        assert_eq!(loaded.kernel().bandwidths(), clf.kernel().bandwidths());
+        // Identical labels on every training point.
+        let (a, _) = clf.classify_batch(&data).unwrap();
+        let (b, _) = loaded.classify_batch(&data).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_without_grid() {
+        let data = blob(800, 6, 888); // d > 4: no grid
+        let clf = Classifier::fit(&data, &Params::default().with_seed(9)).unwrap();
+        assert!(!clf.grid_enabled());
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        let loaded = load_model_from(buf.as_slice()).unwrap();
+        assert!(!loaded.grid_enabled());
+        assert_eq!(
+            loaded.classify(&[0.0; 6]).unwrap(),
+            clf.classify(&[0.0; 6]).unwrap()
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let data = blob(500, 2, 999);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let path = std::env::temp_dir().join("tkdc_model_io_test.tkdc");
+        save_model(&clf, &path).unwrap();
+        let loaded = load_model(&path).unwrap();
+        assert_eq!(loaded.classify(&[0.0, 0.0]).unwrap(), Label::High);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(load_model_from(&b"NOPE"[..]).is_err());
+        assert!(load_model_from(&b"TK"[..]).is_err());
+        // Valid header then truncation.
+        let data = blob(300, 2, 31);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_model_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        assert!(load_model_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_length_fields() {
+        let data = blob(300, 2, 33);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        // Stomp the bandwidth-vector length prefix (fixed offset by
+        // format layout: 8 header + 98 params + 24 threshold fields).
+        let off = 130;
+        for b in &mut buf[off..off + 8] {
+            *b = 0xFF;
+        }
+        assert!(load_model_from(buf.as_slice()).is_err());
+        // And NaN-stomping the threshold itself must also be caught.
+        let mut buf2 = Vec::new();
+        save_model_to(&clf, &mut buf2).unwrap();
+        for b in &mut buf2[114..122] {
+            *b = 0xFF;
+        }
+        assert!(load_model_from(buf2.as_slice()).is_err());
+    }
+}

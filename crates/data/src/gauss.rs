@@ -1,0 +1,51 @@
+//! The `gauss` dataset: a standard multivariate normal with zero mean and
+//! unit covariance — the one dataset we can reproduce exactly (the paper
+//! samples it synthetically too, at n = 100M, d = 2).
+
+use tkdc_common::{Matrix, Rng};
+
+/// Samples `n` points from `N(0, I_d)`.
+pub fn generate(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from(seed);
+    let mut m = Matrix::with_cols(d);
+    let mut row = vec![0.0; d];
+    for _ in 0..n {
+        for v in &mut row {
+            *v = rng.standard_normal();
+        }
+        m.push_row(&row).expect("row width is fixed");
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_common::stats;
+
+    #[test]
+    fn shape_and_moments() {
+        let m = generate(20_000, 2, 1);
+        assert_eq!(m.rows(), 20_000);
+        assert_eq!(m.cols(), 2);
+        let means = stats::column_means(&m);
+        let stds = stats::column_stds(&m);
+        for c in 0..2 {
+            assert!(means[c].abs() < 0.03, "mean {}", means[c]);
+            assert!((stds[c] - 1.0).abs() < 0.03, "std {}", stds[c]);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(100, 3, 7), generate(100, 3, 7));
+        assert_ne!(generate(100, 3, 7), generate(100, 3, 8));
+    }
+
+    #[test]
+    fn columns_uncorrelated() {
+        let m = generate(20_000, 2, 3);
+        let cov = stats::covariance(&m).unwrap();
+        assert!(cov.get(0, 1).abs() < 0.03);
+    }
+}

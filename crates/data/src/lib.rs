@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # tkdc-data
+//!
+//! Synthetic dataset generators mirroring the evaluation datasets of the
+//! tKDC paper (Table 3). The original files (UCI, NREL, Caltech, MNIST,
+//! SDSS) are not available offline, so each generator produces an analog
+//! matching the published size, dimensionality and qualitative density
+//! structure — the properties that drive tKDC's pruning behaviour. The
+//! substitutions are documented per-dataset in `DESIGN.md`.
+//!
+//! All generators are deterministic in their seed.
+
+pub mod galaxy;
+pub mod gauss;
+pub mod hep;
+pub mod home;
+pub mod iris;
+pub mod mnist;
+pub mod registry;
+pub mod shuttle;
+pub mod sift;
+pub mod tmy3;
+
+pub use registry::{DatasetKind, DatasetSpec, PAPER_TABLE3};

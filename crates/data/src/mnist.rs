@@ -1,0 +1,105 @@
+//! MNIST analog (handwritten-digit images: 784-d, 70k rows).
+//!
+//! Generates 28×28 synthetic "digit-like" images: a few smooth random
+//! strokes drawn with a Gaussian brush on a dark background. The key
+//! statistical properties the paper's experiments rely on are preserved —
+//! most pixels are near zero, intensities are bounded, and the covariance
+//! spectrum decays fast, so PCA reduction (as the paper performs for
+//! d = 64/256) concentrates variance in few components.
+
+use tkdc_common::{Matrix, Rng};
+
+/// Image side length.
+pub const SIDE: usize = 28;
+
+/// Ambient dimensionality (28 × 28 pixels).
+pub const DIM: usize = SIDE * SIDE;
+
+/// Row count of the original dataset.
+pub const PAPER_N: usize = 70_000;
+
+/// Generates `n` flattened 784-pixel images in `[0, 1]`.
+pub fn generate(n: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from(seed);
+    let mut m = Matrix::with_cols(DIM);
+    let mut img = vec![0.0f64; DIM];
+    for _ in 0..n {
+        img.iter_mut().for_each(|p| *p = 0.0);
+        // 1–3 strokes, each a quadratic Bézier-ish path of brush stamps.
+        let strokes = 1 + rng.next_below(3) as usize;
+        for _ in 0..strokes {
+            let (x0, y0) = (rng.uniform(4.0, 24.0), rng.uniform(4.0, 24.0));
+            let (x1, y1) = (rng.uniform(4.0, 24.0), rng.uniform(4.0, 24.0));
+            let (cx, cy) = (rng.uniform(2.0, 26.0), rng.uniform(2.0, 26.0));
+            let brush = rng.uniform(0.8, 1.6);
+            let steps = 24;
+            for s in 0..=steps {
+                let t = s as f64 / steps as f64;
+                // Quadratic Bézier through the control point.
+                let bx = (1.0 - t) * (1.0 - t) * x0 + 2.0 * (1.0 - t) * t * cx + t * t * x1;
+                let by = (1.0 - t) * (1.0 - t) * y0 + 2.0 * (1.0 - t) * t * cy + t * t * y1;
+                stamp(&mut img, bx, by, brush);
+            }
+        }
+        // Mild sensor noise, clamped to [0, 1].
+        for p in img.iter_mut() {
+            *p = (*p + rng.normal(0.0, 0.01)).clamp(0.0, 1.0);
+        }
+        m.push_row(&img).expect("fixed width");
+    }
+    m
+}
+
+/// Adds a Gaussian brush stamp centred at `(cx, cy)`.
+fn stamp(img: &mut [f64], cx: f64, cy: f64, brush: f64) {
+    let r = (3.0 * brush).ceil() as isize;
+    let ix = cx.round() as isize;
+    let iy = cy.round() as isize;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let x = ix + dx;
+            let y = iy + dy;
+            if x < 0 || y < 0 || x >= SIDE as isize || y >= SIDE as isize {
+                continue;
+            }
+            let ddx = x as f64 - cx;
+            let ddy = y as f64 - cy;
+            let v = (-(ddx * ddx + ddy * ddy) / (2.0 * brush * brush)).exp();
+            let idx = y as usize * SIDE + x as usize;
+            img[idx] = (img[idx] + 0.6 * v).min(1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let m = generate(50, 1);
+        assert_eq!(m.cols(), DIM);
+        assert!(m.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(10, 4), generate(10, 4));
+    }
+
+    #[test]
+    fn mostly_dark_pixels() {
+        // Real mnist has ~80% near-zero pixels; strokes are sparse.
+        let m = generate(100, 7);
+        let dark = m.as_slice().iter().filter(|&&v| v < 0.1).count();
+        let frac = dark as f64 / m.as_slice().len() as f64;
+        assert!(frac > 0.6, "dark-pixel fraction {frac}");
+    }
+
+    #[test]
+    fn images_vary() {
+        let m = generate(20, 9);
+        // Not all rows identical.
+        assert_ne!(m.row(0), m.row(1));
+    }
+}

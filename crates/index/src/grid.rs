@@ -1,0 +1,325 @@
+//! Bandwidth-aligned hypergrid cache (§3.7 of the paper).
+//!
+//! A single pass over the training set counts how many points fall into
+//! each cell of a grid whose cell edge along axis `i` equals the kernel
+//! bandwidth `h_i`. Any two points sharing a cell are then within scaled
+//! distance `√d` of each other, so the same-cell count alone yields a
+//! density lower bound `count/n · K(u = d)` — enough to classify obvious
+//! inliers as HIGH without touching the k-d tree. The paper disables the
+//! grid for `d > 4` because cell occupancy collapses in higher dimensions.
+//!
+//! Cells are keyed by packing per-axis indices (i32) into a `u128`, which
+//! caps the supported dimensionality at 4 — exactly the regime where the
+//! grid helps. Hashing uses a multiply-xor finalizer rather than SipHash.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::Matrix;
+
+/// Maximum dimensionality the grid supports (and where it pays off).
+pub const MAX_GRID_DIM: usize = 4;
+
+/// Fast 64-bit finalizer hasher for pre-mixed integer keys.
+#[derive(Default)]
+pub struct MixHasher(u64);
+
+impl Hasher for MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (unused for u128 keys but required by the trait).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u128(&mut self, x: u128) {
+        // splitmix-style avalanche over both halves.
+        let mut z = (x as u64) ^ ((x >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type CellMap = HashMap<u128, u32, BuildHasherDefault<MixHasher>>;
+
+/// Flat serialized form of a [`BandwidthGrid`] for model persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridRaw {
+    /// Cell edge lengths.
+    pub cell: Vec<f64>,
+    /// `(packed cell key, count)` pairs, sorted by key for determinism.
+    pub entries: Vec<(u128, u32)>,
+    /// Training point count.
+    pub n_points: usize,
+}
+
+/// Grid of bandwidth-sized cells with per-cell point counts.
+#[derive(Debug)]
+pub struct BandwidthGrid {
+    /// Cell edge lengths (the kernel bandwidths).
+    cell: Vec<f64>,
+    counts: CellMap,
+    n_points: usize,
+}
+
+impl BandwidthGrid {
+    /// Builds the grid in one pass over the dataset.
+    ///
+    /// # Errors
+    /// Fails when `d > MAX_GRID_DIM`, the dataset is empty, or any cell
+    /// edge is non-positive.
+    pub fn build(data: &Matrix, cell_edges: &[f64]) -> Result<Self> {
+        let d = data.cols();
+        if d == 0 || data.rows() == 0 {
+            return Err(Error::EmptyInput("grid training data"));
+        }
+        if d > MAX_GRID_DIM {
+            return Err(invalid_param(
+                "cell_edges",
+                format!("grid supports at most {MAX_GRID_DIM} dimensions, got {d}"),
+            ));
+        }
+        if cell_edges.len() != d {
+            return Err(Error::DimensionMismatch {
+                expected: d,
+                actual: cell_edges.len(),
+            });
+        }
+        for &e in cell_edges {
+            if !e.is_finite() || e <= 0.0 {
+                return Err(invalid_param(
+                    "cell_edges",
+                    format!("cell edges must be positive and finite, got {e}"),
+                ));
+            }
+        }
+        let mut counts = CellMap::default();
+        for row in data.iter_rows() {
+            let key = Self::cell_key(row, cell_edges)?;
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        Ok(Self {
+            cell: cell_edges.to_vec(),
+            counts,
+            n_points: data.rows(),
+        })
+    }
+
+    /// Packs per-axis cell indices into a u128 key (32 bits per axis).
+    fn cell_key(x: &[f64], cell: &[f64]) -> Result<u128> {
+        let mut key: u128 = 0;
+        for (i, (&v, &e)) in x.iter().zip(cell).enumerate() {
+            let idx = (v / e).floor();
+            if !(idx.is_finite() && idx.abs() < i32::MAX as f64) {
+                return Err(Error::Numeric(format!(
+                    "coordinate {v} overflows grid index space"
+                )));
+            }
+            // Offset into unsigned space so negatives pack cleanly.
+            let packed = (idx as i64 + (1i64 << 31)) as u64 & 0xFFFF_FFFF;
+            key |= (packed as u128) << (32 * i);
+        }
+        Ok(key)
+    }
+
+    /// Number of points sharing a cell with `x` (including any point at
+    /// `x` itself if it was in the training data).
+    pub fn cell_count(&self, x: &[f64]) -> usize {
+        debug_assert_eq!(x.len(), self.cell.len());
+        match Self::cell_key(x, &self.cell) {
+            Ok(key) => self.counts.get(&key).copied().unwrap_or(0) as usize,
+            Err(_) => 0,
+        }
+    }
+
+    /// The per-axis cell edge lengths the grid was built with.
+    pub fn cell_edges(&self) -> &[f64] {
+        &self.cell
+    }
+
+    /// Number of training points the grid was built over.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Number of occupied cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Serializes the grid's cell map for model persistence.
+    pub fn to_raw_parts(&self) -> GridRaw {
+        let mut entries: Vec<(u128, u32)> = self.counts.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        GridRaw {
+            cell: self.cell.clone(),
+            entries,
+            n_points: self.n_points,
+        }
+    }
+
+    /// Reconstructs a grid from [`Self::to_raw_parts`] output.
+    ///
+    /// # Errors
+    /// Fails on empty cell edges or zero point counts.
+    pub fn from_raw_parts(raw: GridRaw) -> Result<Self> {
+        if raw.cell.is_empty() || raw.cell.len() > MAX_GRID_DIM {
+            return Err(invalid_param("raw", "cell edge count out of range"));
+        }
+        if raw.n_points == 0 {
+            return Err(Error::EmptyInput("grid raw parts"));
+        }
+        let mut counts = CellMap::default();
+        for (k, v) in raw.entries {
+            counts.insert(k, v);
+        }
+        Ok(Self {
+            cell: raw.cell,
+            counts,
+            n_points: raw.n_points,
+        })
+    }
+
+    /// Scaled squared length of the cell diagonal. With cell edges equal
+    /// to the bandwidths this is exactly `d`: two points in one cell are
+    /// never farther than the diagonal, so `K(diag²)` lower-bounds their
+    /// kernel, giving the density lower bound
+    /// `cell_count/n · K(diag_scaled_sq)`.
+    pub fn diag_scaled_sq(&self, inv_h: &[f64]) -> f64 {
+        debug_assert_eq!(inv_h.len(), self.cell.len());
+        self.cell
+            .iter()
+            .zip(inv_h)
+            .map(|(&e, &ih)| {
+                let z = e * ih;
+                z * z
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.1, 0.1],
+            vec![0.2, 0.3],
+            vec![0.9, 0.9],
+            vec![1.5, 0.5],
+            vec![-0.5, -0.5],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn counts_points_per_cell() {
+        let grid = BandwidthGrid::build(&simple_data(), &[1.0, 1.0]).unwrap();
+        // Cell (0,0) holds the first three points.
+        assert_eq!(grid.cell_count(&[0.5, 0.5]), 3);
+        // Cell (1,0) holds one.
+        assert_eq!(grid.cell_count(&[1.5, 0.5]), 1);
+        // Cell (-1,-1) holds one (negatives floor correctly).
+        assert_eq!(grid.cell_count(&[-0.1, -0.9]), 1);
+        // Empty cell.
+        assert_eq!(grid.cell_count(&[10.0, 10.0]), 0);
+        assert_eq!(grid.n_points(), 5);
+        assert_eq!(grid.occupied_cells(), 3);
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        let grid = BandwidthGrid::build(&simple_data(), &[0.25, 0.25]).unwrap();
+        let total: u32 = grid.counts.values().sum();
+        assert_eq!(total as usize, grid.n_points());
+    }
+
+    #[test]
+    fn cell_edges_scale_cells() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![0.4], vec![0.6]]).unwrap();
+        let coarse = BandwidthGrid::build(&data, &[1.0]).unwrap();
+        assert_eq!(coarse.cell_count(&[0.5]), 3);
+        let fine = BandwidthGrid::build(&data, &[0.5]).unwrap();
+        assert_eq!(fine.cell_count(&[0.25]), 2);
+        assert_eq!(fine.cell_count(&[0.75]), 1);
+    }
+
+    #[test]
+    fn diag_is_dimension_when_edges_match_bandwidth() {
+        let grid = BandwidthGrid::build(&simple_data(), &[0.7, 1.3]).unwrap();
+        let inv_h = [1.0 / 0.7, 1.0 / 1.3];
+        let diag = grid.diag_scaled_sq(&inv_h);
+        assert!((diag - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_high_dimension() {
+        let data = Matrix::from_rows(&[vec![0.0; 5]]).unwrap();
+        assert!(BandwidthGrid::build(&data, &[1.0; 5]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let data = simple_data();
+        assert!(BandwidthGrid::build(&data, &[1.0]).is_err()); // wrong len
+        assert!(BandwidthGrid::build(&data, &[0.0, 1.0]).is_err());
+        assert!(BandwidthGrid::build(&data, &[f64::NAN, 1.0]).is_err());
+        let empty = Matrix::with_cols(2);
+        assert!(BandwidthGrid::build(&empty, &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn boundary_points_floor_consistently() {
+        // A point exactly on a cell boundary belongs to the upper cell
+        // (floor semantics) — queries at the same coordinate must agree.
+        let data = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![0.999]]).unwrap();
+        let grid = BandwidthGrid::build(&data, &[1.0]).unwrap();
+        assert_eq!(grid.cell_count(&[1.0]), 2);
+        assert_eq!(grid.cell_count(&[0.999]), 1);
+    }
+
+    #[test]
+    fn same_cell_points_within_diagonal() {
+        // Correctness of the grid bound: any two points in the same cell
+        // must be within the scaled diagonal distance.
+        let data = Matrix::from_rows(&[
+            vec![0.05, 0.05],
+            vec![0.95, 0.95],
+            vec![0.5, 0.01],
+            vec![0.01, 0.99],
+        ])
+        .unwrap();
+        let edges = [1.0, 1.0];
+        let grid = BandwidthGrid::build(&data, &edges).unwrap();
+        let inv_h = [1.0, 1.0];
+        let diag = grid.diag_scaled_sq(&inv_h);
+        for a in data.iter_rows() {
+            for b in data.iter_rows() {
+                let same_cell = BandwidthGrid::cell_key(a, &edges).unwrap()
+                    == BandwidthGrid::cell_key(b, &edges).unwrap();
+                if same_cell {
+                    let u: f64 = a
+                        .iter()
+                        .zip(b)
+                        .zip(&inv_h)
+                        .map(|((&x, &y), &ih)| {
+                            let z = (x - y) * ih;
+                            z * z
+                        })
+                        .sum();
+                    assert!(u <= diag + 1e-12);
+                }
+            }
+        }
+    }
+}

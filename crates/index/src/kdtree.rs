@@ -1,0 +1,703 @@
+//! Multi-resolution k-d tree.
+//!
+//! Each node tracks the number of points in its region and a tight
+//! axis-aligned bounding box (the "multi-resolution" features of Deng &
+//! Moore that tKDC builds on). The split axis cycles through the
+//! dimensions by depth; the split value defaults to the paper's
+//! trimmed-midpoint rule `(x⁽¹⁰⁾ + x⁽⁹⁰⁾)/2` (§3.7), with median splits
+//! available for the ablation study.
+//!
+//! Storage layout: nodes live in a flat arena with `u32` child links,
+//! bounding boxes in two contiguous `Vec<f64>` side arrays (`d` values per
+//! node), and the training points are reordered so every node owns a
+//! contiguous range — leaf scans are sequential memory reads.
+
+use crate::bbox;
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::order::quickselect;
+use tkdc_common::Matrix;
+
+/// How a node picks its split value along the chosen axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitRule {
+    /// The paper's rule: midpoint of the 10th and 90th percentile
+    /// (fast to identify tightly constrained regions under kernels with
+    /// rapid falloff).
+    TrimmedMidpoint,
+    /// Classic balanced k-d tree median split (ablation comparator).
+    Median,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+/// Flat serialized form of a [`KdTree`] for model persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KdTreeRaw {
+    /// Dataset dimensionality.
+    pub dim: usize,
+    /// Leaf capacity the tree was built with.
+    pub leaf_size: usize,
+    /// Reordered row-major points.
+    pub points: Vec<f64>,
+    /// Per-node `(start, end, left, right)`; `u32::MAX` marks a leaf.
+    pub nodes: Vec<[u32; 4]>,
+    /// Bounding-box minima, `dim` values per node.
+    pub node_lo: Vec<f64>,
+    /// Bounding-box maxima, `dim` values per node.
+    pub node_hi: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    /// Start of this node's point range (row index into `points`).
+    start: u32,
+    /// One past the end of the point range.
+    end: u32,
+    /// Left child arena index, or `NO_CHILD` for leaves.
+    left: u32,
+    /// Right child arena index, or `NO_CHILD` for leaves.
+    right: u32,
+}
+
+/// A k-d tree over an owned, reordered copy of the training points.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dim: usize,
+    leaf_size: usize,
+    /// Row-major reordered points; each node owns rows `[start, end)`.
+    points: Vec<f64>,
+    n_points: usize,
+    nodes: Vec<Node>,
+    /// Bounding-box minima, `dim` values per node.
+    node_lo: Vec<f64>,
+    /// Bounding-box maxima, `dim` values per node.
+    node_hi: Vec<f64>,
+}
+
+impl KdTree {
+    /// Builds a tree over the dataset.
+    ///
+    /// `leaf_size` caps how many points a leaf may hold before splitting;
+    /// the tKDC prototype uses small leaves so index bounds stay tight.
+    ///
+    /// # Errors
+    /// Fails on an empty dataset or `leaf_size == 0`.
+    pub fn build(data: &Matrix, leaf_size: usize, rule: SplitRule) -> Result<Self> {
+        if data.rows() == 0 {
+            return Err(Error::EmptyInput("kd-tree training data"));
+        }
+        if leaf_size == 0 {
+            return Err(invalid_param("leaf_size", "must be at least 1"));
+        }
+        let dim = data.cols();
+        let n = data.rows();
+        let mut tree = KdTree {
+            dim,
+            leaf_size,
+            points: data.as_slice().to_vec(),
+            n_points: n,
+            nodes: Vec::with_capacity(2 * n / leaf_size.max(1) + 1),
+            node_lo: Vec::new(),
+            node_hi: Vec::new(),
+        };
+        // Scratch buffer reused by split-value selection at every level.
+        let mut scratch: Vec<f64> = Vec::with_capacity(n);
+        tree.build_node(0, n, 0, rule, &mut scratch);
+        Ok(tree)
+    }
+
+    /// Recursively builds the subtree over rows `[start, end)` at `depth`.
+    /// Returns the arena index of the created node.
+    fn build_node(
+        &mut self,
+        start: usize,
+        end: usize,
+        depth: usize,
+        rule: SplitRule,
+        scratch: &mut Vec<f64>,
+    ) -> u32 {
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            start: start as u32,
+            end: end as u32,
+            left: NO_CHILD,
+            right: NO_CHILD,
+        });
+        // Tight bounding box over the node's points.
+        let (lo_off, _hi_off) = (self.node_lo.len(), self.node_hi.len());
+        self.node_lo
+            .extend(std::iter::repeat_n(f64::INFINITY, self.dim));
+        self.node_hi
+            .extend(std::iter::repeat_n(f64::NEG_INFINITY, self.dim));
+        for r in start..end {
+            let row = &self.points[r * self.dim..(r + 1) * self.dim];
+            for c in 0..self.dim {
+                if row[c] < self.node_lo[lo_off + c] {
+                    self.node_lo[lo_off + c] = row[c];
+                }
+                if row[c] > self.node_hi[lo_off + c] {
+                    self.node_hi[lo_off + c] = row[c];
+                }
+            }
+        }
+
+        if end - start <= self.leaf_size {
+            return idx;
+        }
+
+        // Pick a split axis (cycling) and value; skip axes where all
+        // coordinates coincide. After `dim` failures the points are all
+        // identical and the node stays a leaf.
+        let mut split: Option<(usize, f64)> = None;
+        for probe in 0..self.dim {
+            let axis = (depth + probe) % self.dim;
+            let lo = self.node_lo[lo_off + axis];
+            let hi = self.node_hi[lo_off + axis];
+            if hi <= lo {
+                continue;
+            }
+            let value = self.split_value(start, end, axis, rule, scratch);
+            // Clamp into the open interval so both sides are non-empty
+            // whenever the axis has spread.
+            if value > lo && value <= hi {
+                split = Some((axis, value));
+                break;
+            }
+            // Degenerate split value (e.g. heavily skewed data): fall back
+            // to the box midpoint of this axis.
+            let mid = 0.5 * (lo + hi);
+            if mid > lo && mid <= hi {
+                split = Some((axis, mid));
+                break;
+            }
+        }
+        let Some((axis, value)) = split else {
+            return idx; // all points identical
+        };
+
+        let mid = self.partition(start, end, axis, value);
+        // A valid split must separate; the clamping above guarantees at
+        // least one point strictly below `value`, but guard anyway.
+        if mid == start || mid == end {
+            return idx;
+        }
+        let left = self.build_node(start, mid, depth + 1, rule, scratch);
+        let right = self.build_node(mid, end, depth + 1, rule, scratch);
+        self.nodes[idx as usize].left = left;
+        self.nodes[idx as usize].right = right;
+        idx
+    }
+
+    /// Split value along `axis` for rows `[start, end)`.
+    fn split_value(
+        &self,
+        start: usize,
+        end: usize,
+        axis: usize,
+        rule: SplitRule,
+        scratch: &mut Vec<f64>,
+    ) -> f64 {
+        scratch.clear();
+        for r in start..end {
+            scratch.push(self.points[r * self.dim + axis]);
+        }
+        let n = scratch.len();
+        match rule {
+            SplitRule::TrimmedMidpoint => {
+                // (x^(10) + x^(90)) / 2 with 1-based ceil ranks.
+                let r10 = ((n as f64 * 0.10).ceil() as usize).clamp(1, n) - 1;
+                let r90 = ((n as f64 * 0.90).ceil() as usize).clamp(1, n) - 1;
+                let p10 = quickselect(scratch, r10);
+                let p90 = quickselect(scratch, r90);
+                0.5 * (p10 + p90)
+            }
+            SplitRule::Median => {
+                let rank = n / 2;
+                quickselect(scratch, rank)
+            }
+        }
+    }
+
+    /// Hoare-style partition of rows `[start, end)` by `coord < value`;
+    /// returns the first index of the right side.
+    fn partition(&mut self, start: usize, end: usize, axis: usize, value: f64) -> usize {
+        let d = self.dim;
+        let mut i = start;
+        let mut j = end;
+        while i < j {
+            if self.points[i * d + axis] < value {
+                i += 1;
+            } else {
+                j -= 1;
+                // Swap whole rows i and j.
+                for c in 0..d {
+                    self.points.swap(i * d + c, j * d + c);
+                }
+            }
+        }
+        i
+    }
+
+    /// Dataset dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    /// True when the tree indexes no points (never constructed — `build`
+    /// rejects empty input — but required by convention).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Maximum points per leaf the tree was built with.
+    #[inline]
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// Number of arena nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Arena index of the root node.
+    #[inline]
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    /// Number of points under node `id`.
+    #[inline]
+    pub fn count(&self, id: u32) -> usize {
+        let n = &self.nodes[id as usize];
+        (n.end - n.start) as usize
+    }
+
+    /// `(start, end)` row range this node owns within the tree's
+    /// reordered point order (`node_points` yields exactly these rows).
+    #[inline]
+    pub fn node_range(&self, id: u32) -> (usize, usize) {
+        let n = &self.nodes[id as usize];
+        (n.start as usize, n.end as usize)
+    }
+
+    /// `(left, right)` child ids, or `None` for a leaf.
+    #[inline]
+    pub fn children(&self, id: u32) -> Option<(u32, u32)> {
+        let n = &self.nodes[id as usize];
+        if n.left == NO_CHILD {
+            None
+        } else {
+            Some((n.left, n.right))
+        }
+    }
+
+    /// True when node `id` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, id: u32) -> bool {
+        self.nodes[id as usize].left == NO_CHILD
+    }
+
+    /// Bounding-box minima of node `id`.
+    #[inline]
+    pub fn box_lo(&self, id: u32) -> &[f64] {
+        let off = id as usize * self.dim;
+        &self.node_lo[off..off + self.dim]
+    }
+
+    /// Bounding-box maxima of node `id`.
+    #[inline]
+    pub fn box_hi(&self, id: u32) -> &[f64] {
+        let off = id as usize * self.dim;
+        &self.node_hi[off..off + self.dim]
+    }
+
+    /// Scaled squared distance bounds `(u_min, u_max)` from `x` to the
+    /// bounding box of node `id` (Eq. 6's distance vectors).
+    #[inline]
+    pub fn scaled_sq_dist_bounds(&self, id: u32, x: &[f64], inv_h: &[f64]) -> (f64, f64) {
+        let lo = self.box_lo(id);
+        let hi = self.box_hi(id);
+        (
+            bbox::min_scaled_sq_dist(x, lo, hi, inv_h),
+            bbox::max_scaled_sq_dist(x, lo, hi, inv_h),
+        )
+    }
+
+    /// Iterator over the point rows stored under node `id`.
+    pub fn node_points(&self, id: u32) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        let n = &self.nodes[id as usize];
+        self.points[(n.start as usize) * self.dim..(n.end as usize) * self.dim]
+            .chunks_exact(self.dim)
+    }
+
+    /// Maps each row of the tree's *reordered* point order back to a row
+    /// index of `original` (the matrix the tree was built from), by
+    /// pairing both sides in lexicographic row order. Duplicate rows are
+    /// interchangeable, so any stable pairing among them is valid.
+    ///
+    /// Used by batch drivers (dual-tree classification, DBSCAN) that
+    /// compute results in tree order and must scatter them back to the
+    /// caller's order. Uses `total_cmp`, so NaN coordinates order
+    /// deterministically instead of corrupting the permutation.
+    ///
+    /// # Panics
+    /// Panics when `original` has a different row count than the tree.
+    pub fn reorder_permutation(&self, original: &Matrix) -> Vec<usize> {
+        assert_eq!(original.rows(), self.len(), "row count mismatch");
+        let d = self.dim;
+        let reordered: Vec<&[f64]> = self.node_points(self.root()).collect();
+        let cmp = |a: &[f64], b: &[f64]| -> std::cmp::Ordering {
+            for c in 0..d {
+                match a[c].total_cmp(&b[c]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        };
+        let mut orig_idx: Vec<usize> = (0..original.rows()).collect();
+        orig_idx.sort_by(|&a, &b| cmp(original.row(a), original.row(b)));
+        let mut tree_idx: Vec<usize> = (0..reordered.len()).collect();
+        tree_idx.sort_by(|&a, &b| cmp(reordered[a], reordered[b]));
+        let mut perm = vec![0usize; original.rows()];
+        for (t, o) in tree_idx.into_iter().zip(orig_idx) {
+            perm[t] = o;
+        }
+        perm
+    }
+
+    /// Serializes the tree into flat buffers for model persistence:
+    /// `(dim, leaf_size, points, node_tuples, node_lo, node_hi)` where
+    /// each node tuple is `(start, end, left, right)`.
+    pub fn to_raw_parts(&self) -> KdTreeRaw {
+        KdTreeRaw {
+            dim: self.dim,
+            leaf_size: self.leaf_size,
+            points: self.points.clone(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| [n.start, n.end, n.left, n.right])
+                .collect(),
+            node_lo: self.node_lo.clone(),
+            node_hi: self.node_hi.clone(),
+        }
+    }
+
+    /// Reconstructs a tree from [`Self::to_raw_parts`] output.
+    ///
+    /// # Errors
+    /// Fails when buffer lengths are inconsistent; node-level structural
+    /// validity (ranges, child links) is checked shallowly.
+    pub fn from_raw_parts(raw: KdTreeRaw) -> Result<Self> {
+        let d = raw.dim;
+        if d == 0 || raw.leaf_size == 0 {
+            return Err(invalid_param("raw", "dim and leaf_size must be positive"));
+        }
+        if !raw.points.len().is_multiple_of(d) {
+            return Err(invalid_param("raw", "points length not divisible by dim"));
+        }
+        let n = raw.points.len() / d;
+        if raw.nodes.is_empty()
+            || raw.node_lo.len() != raw.nodes.len() * d
+            || raw.node_hi.len() != raw.nodes.len() * d
+        {
+            return Err(invalid_param("raw", "node buffers inconsistent"));
+        }
+        let node_count = raw.nodes.len() as u32;
+        let mut nodes = Vec::with_capacity(raw.nodes.len());
+        for (id, t) in raw.nodes.iter().enumerate() {
+            let [start, end, left, right] = *t;
+            if start > end || end as usize > n {
+                return Err(invalid_param("raw", "node range out of bounds"));
+            }
+            // Children must point strictly forward in the arena (the
+            // builder pushes children after their parent), which rules out
+            // self-references and cycles that would hang traversal on a
+            // corrupted model file.
+            let valid_child = |c: u32| c == NO_CHILD || (c < node_count && c as usize > id);
+            if !valid_child(left) || !valid_child(right) {
+                return Err(invalid_param("raw", "child link out of bounds or non-forward"));
+            }
+            if (left == NO_CHILD) != (right == NO_CHILD) {
+                return Err(invalid_param("raw", "node must have zero or two children"));
+            }
+            nodes.push(Node {
+                start,
+                end,
+                left,
+                right,
+            });
+        }
+        Ok(Self {
+            dim: d,
+            leaf_size: raw.leaf_size,
+            points: raw.points,
+            n_points: n,
+            nodes,
+            node_lo: raw.node_lo,
+            node_hi: raw.node_hi,
+        })
+    }
+
+    /// Visits every point within scaled distance `radius` of `x` (i.e.
+    /// scaled squared distance ≤ `radius²`), pruning subtrees whose boxes
+    /// lie entirely outside. Used by the radial (`rkde`) baseline.
+    ///
+    /// Returns the number of bounding-box distance computations performed
+    /// (a proxy for traversal cost).
+    pub fn for_each_in_scaled_radius(
+        &self,
+        x: &[f64],
+        inv_h: &[f64],
+        radius: f64,
+        mut visit: impl FnMut(&[f64]),
+    ) -> usize {
+        self.for_each_in_scaled_radius_indexed(x, inv_h, radius, |_, p| visit(p))
+    }
+
+    /// Like [`Self::for_each_in_scaled_radius`], but the visitor also
+    /// receives the point's row index in the tree's reordered order —
+    /// what graph-building consumers (e.g. DBSCAN) need.
+    pub fn for_each_in_scaled_radius_indexed(
+        &self,
+        x: &[f64],
+        inv_h: &[f64],
+        radius: f64,
+        mut visit: impl FnMut(usize, &[f64]),
+    ) -> usize {
+        let r2 = radius * radius;
+        let mut stack = vec![self.root()];
+        let mut box_checks = 0usize;
+        while let Some(id) = stack.pop() {
+            box_checks += 1;
+            let lo = self.box_lo(id);
+            let hi = self.box_hi(id);
+            if bbox::min_scaled_sq_dist(x, lo, hi, inv_h) > r2 {
+                continue;
+            }
+            match self.children(id) {
+                Some((l, r)) => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+                None => {
+                    let (start, _) = self.node_range(id);
+                    for (offset, p) in self.node_points(id).enumerate() {
+                        let mut acc = 0.0;
+                        for i in 0..self.dim {
+                            let z = (x[i] - p[i]) * inv_h[i];
+                            acc += z * z;
+                        }
+                        if acc <= r2 {
+                            visit(start + offset, p);
+                        }
+                    }
+                }
+            }
+        }
+        box_checks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_common::Rng;
+
+    fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(d);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.normal(0.0, 2.0);
+            }
+            m.push_row(&row).unwrap();
+        }
+        m
+    }
+
+    /// Recursively verify structural invariants; returns total leaf points.
+    fn check_invariants(tree: &KdTree, id: u32) -> usize {
+        let count = tree.count(id);
+        let lo = tree.box_lo(id);
+        let hi = tree.box_hi(id);
+        // Every point in range must lie inside the node's box.
+        for p in tree.node_points(id) {
+            for c in 0..tree.dim() {
+                assert!(p[c] >= lo[c] && p[c] <= hi[c], "point escapes box");
+            }
+        }
+        match tree.children(id) {
+            None => {
+                // Leaf point count matches range length.
+                assert_eq!(tree.node_points(id).len(), count);
+                count
+            }
+            Some((l, r)) => {
+                let cl = check_invariants(tree, l);
+                let cr = check_invariants(tree, r);
+                assert_eq!(cl + cr, count, "child counts must sum to parent");
+                assert!(cl > 0 && cr > 0, "children must be non-empty");
+                // Child boxes nest inside the parent box.
+                for child in [l, r] {
+                    let clo = tree.box_lo(child);
+                    let chi = tree.box_hi(child);
+                    for c in 0..tree.dim() {
+                        assert!(clo[c] >= lo[c] - 1e-12);
+                        assert!(chi[c] <= hi[c] + 1e-12);
+                    }
+                }
+                cl + cr
+            }
+        }
+    }
+
+    #[test]
+    fn build_preserves_all_points() {
+        for rule in [SplitRule::TrimmedMidpoint, SplitRule::Median] {
+            let data = random_matrix(500, 3, 42);
+            let tree = KdTree::build(&data, 16, rule).unwrap();
+            assert_eq!(tree.len(), 500);
+            let total = check_invariants(&tree, tree.root());
+            assert_eq!(total, 500, "{rule:?}");
+            // The multiset of points must be preserved: compare sums.
+            let orig_sum: f64 = data.as_slice().iter().sum();
+            let tree_sum: f64 = tree
+                .node_points(tree.root())
+                .flat_map(|r| r.iter().copied())
+                .sum();
+            assert!((orig_sum - tree_sum).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leaves_respect_leaf_size_when_splittable() {
+        let data = random_matrix(1000, 2, 7);
+        let tree = KdTree::build(&data, 8, SplitRule::TrimmedMidpoint).unwrap();
+        fn max_leaf(tree: &KdTree, id: u32) -> usize {
+            match tree.children(id) {
+                None => tree.count(id),
+                Some((l, r)) => max_leaf(tree, l).max(max_leaf(tree, r)),
+            }
+        }
+        // Continuous data: every oversized node is splittable.
+        assert!(max_leaf(&tree, tree.root()) <= 8);
+    }
+
+    #[test]
+    fn identical_points_make_single_leaf() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 2.0]; 50]).unwrap();
+        let tree = KdTree::build(&data, 4, SplitRule::TrimmedMidpoint).unwrap();
+        assert!(tree.is_leaf(tree.root()));
+        assert_eq!(tree.count(tree.root()), 50);
+    }
+
+    #[test]
+    fn duplicate_heavy_data_still_partitions() {
+        // Half the mass at one point, half spread out: the quantile split
+        // degenerates and the box-midpoint fallback must kick in.
+        let mut rows: Vec<Vec<f64>> = vec![vec![0.0]; 100];
+        for i in 0..100 {
+            rows.push(vec![10.0 + i as f64 * 0.01]);
+        }
+        let data = Matrix::from_rows(&rows).unwrap();
+        let tree = KdTree::build(&data, 4, SplitRule::TrimmedMidpoint).unwrap();
+        assert_eq!(check_invariants(&tree, tree.root()), 200);
+        assert!(tree.node_count() > 1);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let empty = Matrix::with_cols(2);
+        assert!(KdTree::build(&empty, 8, SplitRule::Median).is_err());
+        let data = random_matrix(10, 2, 3);
+        assert!(KdTree::build(&data, 0, SplitRule::Median).is_err());
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let data = Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap();
+        let tree = KdTree::build(&data, 8, SplitRule::TrimmedMidpoint).unwrap();
+        assert_eq!(tree.len(), 1);
+        assert!(tree.is_leaf(tree.root()));
+        assert_eq!(tree.box_lo(tree.root()), &[3.0, 4.0]);
+        assert_eq!(tree.box_hi(tree.root()), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn dist_bounds_sandwich_point_distances() {
+        let data = random_matrix(300, 2, 11);
+        let tree = KdTree::build(&data, 16, SplitRule::TrimmedMidpoint).unwrap();
+        let inv_h = [1.0, 1.0];
+        let q = [0.5, -0.25];
+        // Check every node: all contained points must respect the bounds.
+        for id in 0..tree.node_count() as u32 {
+            let (umin, umax) = tree.scaled_sq_dist_bounds(id, &q, &inv_h);
+            for p in tree.node_points(id) {
+                let dx = q[0] - p[0];
+                let dy = q[1] - p[1];
+                let u = dx * dx + dy * dy;
+                assert!(u >= umin - 1e-12 && u <= umax + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn radius_query_matches_linear_scan() {
+        let data = random_matrix(400, 3, 17);
+        let tree = KdTree::build(&data, 8, SplitRule::TrimmedMidpoint).unwrap();
+        let inv_h = [1.0, 0.5, 2.0];
+        let q = [0.1, 0.2, -0.3];
+        let radius = 2.0;
+        let mut found = 0usize;
+        let mut sum = 0.0;
+        tree.for_each_in_scaled_radius(&q, &inv_h, radius, |p| {
+            found += 1;
+            sum += p[0];
+        });
+        let mut expected = 0usize;
+        let mut expected_sum = 0.0;
+        for row in data.iter_rows() {
+            let mut acc = 0.0;
+            for i in 0..3 {
+                let z = (q[i] - row[i]) * inv_h[i];
+                acc += z * z;
+            }
+            if acc <= radius * radius {
+                expected += 1;
+                expected_sum += row[0];
+            }
+        }
+        assert_eq!(found, expected);
+        assert!((sum - expected_sum).abs() < 1e-9);
+        assert!(expected > 0, "test should cover non-empty result");
+    }
+
+    #[test]
+    fn median_split_is_more_balanced() {
+        // Skewed data: median split should produce a shallower tree than
+        // trimmed-midpoint on pathological skew, but both must be valid.
+        let mut rng = Rng::seed_from(23);
+        let mut m = Matrix::with_cols(1);
+        for _ in 0..1000 {
+            let v: f64 = rng.next_f64();
+            m.push_row(&[v * v * v * 100.0]).unwrap();
+        }
+        let t1 = KdTree::build(&m, 8, SplitRule::Median).unwrap();
+        let t2 = KdTree::build(&m, 8, SplitRule::TrimmedMidpoint).unwrap();
+        assert_eq!(check_invariants(&t1, t1.root()), 1000);
+        assert_eq!(check_invariants(&t2, t2.root()), 1000);
+    }
+}

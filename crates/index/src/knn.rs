@@ -1,0 +1,228 @@
+//! k-nearest-neighbor search over the k-d tree.
+//!
+//! Best-first branch-and-bound: maintain a max-heap of the k best
+//! candidates and prune any subtree whose bounding box lies farther than
+//! the current k-th distance. Distances are bandwidth-scaled like every
+//! other query in the workspace (pass unit `inv_h` for plain Euclidean).
+//!
+//! This substrate powers the related-work comparators of §5 of the tKDC
+//! paper (kNN outlier scores, LOF, DBSCAN) implemented in
+//! `tkdc-alternatives`.
+
+use crate::bbox::min_scaled_sq_dist;
+use crate::kdtree::KdTree;
+use std::collections::BinaryHeap;
+
+/// A neighbor hit: scaled squared distance plus the row offset in the
+/// tree's reordered point order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Scaled squared distance to the query.
+    pub sq_dist: f64,
+    /// Row index into the tree's reordered point order (see
+    /// [`KdTree::node_range`]; `tree.node_points(tree.root())` yields
+    /// rows in this order).
+    pub row: usize,
+}
+
+impl Eq for Neighbor {}
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap by distance: the worst current candidate sits on top.
+        self.sq_dist
+            .total_cmp(&other.sq_dist)
+            .then_with(|| self.row.cmp(&other.row))
+    }
+}
+
+/// Finds the `k` nearest neighbors of `x` in scaled space.
+///
+/// Returns hits sorted by ascending distance; fewer than `k` when the
+/// tree holds fewer points. `skip_identical` excludes zero-distance hits
+/// (used when querying a tree with its own training points, where each
+/// point would otherwise be its own nearest neighbor — note this skips
+/// *all* coincident duplicates, matching the "distance to the k-th other
+/// point" semantics of kNN outlier detection).
+pub fn k_nearest(
+    tree: &KdTree,
+    x: &[f64],
+    inv_h: &[f64],
+    k: usize,
+    skip_identical: bool,
+) -> Vec<Neighbor> {
+    assert_eq!(x.len(), tree.dim(), "query dimensionality mismatch");
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut best: BinaryHeap<Neighbor> = BinaryHeap::with_capacity(k + 1);
+    // Depth-first, nearer child first, pruning on the current k-th best.
+    fn visit(
+        tree: &KdTree,
+        node: u32,
+        x: &[f64],
+        inv_h: &[f64],
+        k: usize,
+        skip_identical: bool,
+        best: &mut BinaryHeap<Neighbor>,
+    ) {
+        let lo = tree.box_lo(node);
+        let hi = tree.box_hi(node);
+        let box_dist = min_scaled_sq_dist(x, lo, hi, inv_h);
+        if best.len() == k && box_dist >= best.peek().expect("non-empty").sq_dist {
+            return;
+        }
+        match tree.children(node) {
+            None => {
+                let (start, _) = tree.node_range(node);
+                for (offset, p) in tree.node_points(node).enumerate() {
+                    let mut acc = 0.0;
+                    for i in 0..x.len() {
+                        let z = (x[i] - p[i]) * inv_h[i];
+                        acc += z * z;
+                    }
+                    if skip_identical && acc == 0.0 {
+                        continue;
+                    }
+                    if best.len() < k {
+                        best.push(Neighbor {
+                            sq_dist: acc,
+                            row: start + offset,
+                        });
+                    } else if acc < best.peek().expect("non-empty").sq_dist {
+                        best.pop();
+                        best.push(Neighbor {
+                            sq_dist: acc,
+                            row: start + offset,
+                        });
+                    }
+                }
+            }
+            Some((l, r)) => {
+                // Visit the closer child first so pruning bites sooner.
+                let dl = min_scaled_sq_dist(x, tree.box_lo(l), tree.box_hi(l), inv_h);
+                let dr = min_scaled_sq_dist(x, tree.box_lo(r), tree.box_hi(r), inv_h);
+                let (first, second) = if dl <= dr { (l, r) } else { (r, l) };
+                visit(tree, first, x, inv_h, k, skip_identical, best);
+                visit(tree, second, x, inv_h, k, skip_identical, best);
+            }
+        }
+    }
+    visit(tree, tree.root(), x, inv_h, k, skip_identical, &mut best);
+    let mut out = best.into_vec();
+    out.sort_by(|a, b| a.sq_dist.total_cmp(&b.sq_dist).then(a.row.cmp(&b.row)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kdtree::SplitRule;
+    use tkdc_common::{Matrix, Rng};
+
+    fn random_matrix(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(d);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.normal(0.0, 2.0);
+            }
+            m.push_row(&row).unwrap();
+        }
+        m
+    }
+
+    /// Brute-force reference for validation.
+    fn brute_knn(tree: &KdTree, x: &[f64], inv_h: &[f64], k: usize, skip: bool) -> Vec<f64> {
+        let mut dists: Vec<f64> = tree
+            .node_points(tree.root())
+            .map(|p| {
+                let mut acc = 0.0;
+                for i in 0..x.len() {
+                    let z = (x[i] - p[i]) * inv_h[i];
+                    acc += z * z;
+                }
+                acc
+            })
+            .filter(|&d| !(skip && d == 0.0))
+            .collect();
+        dists.sort_by(|a, b| a.total_cmp(b));
+        dists.truncate(k);
+        dists
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let data = random_matrix(500, 3, 1);
+        let tree = KdTree::build(&data, 8, SplitRule::TrimmedMidpoint).unwrap();
+        let inv_h = [1.0, 0.5, 2.0];
+        let mut rng = Rng::seed_from(2);
+        for _ in 0..20 {
+            let q = [
+                rng.normal(0.0, 2.0),
+                rng.normal(0.0, 2.0),
+                rng.normal(0.0, 2.0),
+            ];
+            for k in [1usize, 5, 17] {
+                let fast: Vec<f64> = k_nearest(&tree, &q, &inv_h, k, false)
+                    .iter()
+                    .map(|n| n.sq_dist)
+                    .collect();
+                let slow = brute_knn(&tree, &q, &inv_h, k, false);
+                assert_eq!(fast.len(), slow.len());
+                for (a, b) in fast.iter().zip(&slow) {
+                    assert!((a - b).abs() < 1e-12, "k={k}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_reference_correct_rows() {
+        let data = random_matrix(200, 2, 3);
+        let tree = KdTree::build(&data, 8, SplitRule::Median).unwrap();
+        let inv_h = [1.0, 1.0];
+        let q = [0.3, -0.7];
+        let hits = k_nearest(&tree, &q, &inv_h, 5, false);
+        let points: Vec<&[f64]> = tree.node_points(tree.root()).collect();
+        for h in &hits {
+            let p = points[h.row];
+            let dx = q[0] - p[0];
+            let dy = q[1] - p[1];
+            assert!((h.sq_dist - (dx * dx + dy * dy)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skip_identical_excludes_self() {
+        let data = random_matrix(100, 2, 5);
+        let tree = KdTree::build(&data, 8, SplitRule::Median).unwrap();
+        let inv_h = [1.0, 1.0];
+        let q: Vec<f64> = tree.node_points(tree.root()).next().unwrap().to_vec();
+        let with = k_nearest(&tree, &q, &inv_h, 3, false);
+        let without = k_nearest(&tree, &q, &inv_h, 3, true);
+        assert_eq!(with[0].sq_dist, 0.0);
+        assert!(without[0].sq_dist > 0.0);
+    }
+
+    #[test]
+    fn fewer_points_than_k() {
+        let data = random_matrix(3, 2, 7);
+        let tree = KdTree::build(&data, 8, SplitRule::Median).unwrap();
+        let hits = k_nearest(&tree, &[0.0, 0.0], &[1.0, 1.0], 10, false);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.windows(2).all(|w| w[0].sq_dist <= w[1].sq_dist));
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let data = random_matrix(10, 2, 9);
+        let tree = KdTree::build(&data, 8, SplitRule::Median).unwrap();
+        assert!(k_nearest(&tree, &[0.0, 0.0], &[1.0, 1.0], 0, false).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Bandwidth selection.
+//!
+//! The paper adopts product kernels with a diagonal bandwidth matrix and
+//! Scott's rule per dimension (Eq. 4): `h_i = b · n^{-1/(d+4)} · σ_i`,
+//! where `b` is a user scale factor and `σ_i` the per-column standard
+//! deviation. These are near-optimal for multivariate normal data and a
+//! reasonable default elsewhere.
+
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::{stats, Matrix};
+
+/// Scott's-rule bandwidths for a dataset (Eq. 4 of the paper).
+///
+/// Degenerate columns (σ_i = 0, e.g. a constant sensor) would produce a
+/// zero bandwidth and an unnormalizable kernel; for those columns the
+/// standard deviation is replaced by 1.0 so the kernel treats them as
+/// unit-scale. Callers that care should drop constant columns instead.
+///
+/// # Errors
+/// Fails on an empty dataset or non-positive `b`.
+pub fn scotts_rule(data: &Matrix, b: f64) -> Result<Vec<f64>> {
+    if data.rows() == 0 {
+        return Err(Error::EmptyInput("bandwidth training data"));
+    }
+    let stds = stats::column_stds(data);
+    scotts_rule_from_stds(&stds, data.rows(), b)
+}
+
+/// Scott's rule from pre-computed standard deviations.
+///
+/// Exposed separately so the threshold bootstrap can recompute bandwidths
+/// for growing training subsets without rescanning columns it has already
+/// summarized.
+pub fn scotts_rule_from_stds(stds: &[f64], n: usize, b: f64) -> Result<Vec<f64>> {
+    if n == 0 {
+        return Err(Error::EmptyInput("bandwidth training data"));
+    }
+    if !b.is_finite() || b <= 0.0 {
+        return Err(invalid_param("b", format!("must be positive, got {b}")));
+    }
+    let d = stds.len();
+    if d == 0 {
+        return Err(Error::EmptyInput("bandwidth dimensions"));
+    }
+    let factor = b * (n as f64).powf(-1.0 / (d as f64 + 4.0));
+    Ok(stds
+        .iter()
+        .map(|&s| {
+            let s = if s > 0.0 { s } else { 1.0 };
+            factor * s
+        })
+        .collect())
+}
+
+/// Silverman's rule-of-thumb bandwidths:
+/// `h_i = b · (4/(d+2))^{1/(d+4)} · n^{-1/(d+4)} · σ_i`.
+///
+/// Differs from Scott's rule only by the `(4/(d+2))^{1/(d+4)}` factor
+/// (≈0.96 at d=2); both are exact for multivariate normals. Provided for
+/// completeness with the bandwidth-selection literature the paper cites
+/// (§2.4, refs [31, 44]).
+pub fn silverman_rule(data: &Matrix, b: f64) -> Result<Vec<f64>> {
+    let d = data.cols() as f64;
+    let factor = (4.0 / (d + 2.0)).powf(1.0 / (d + 4.0));
+    scotts_rule(data, b * factor)
+}
+
+/// Least-squares cross-validation (LSCV) selection of the bandwidth
+/// scale factor `b` on top of Scott's rule.
+///
+/// Minimizes the unbiased risk estimate of the integrated squared error
+/// over a grid of candidate scale factors:
+///
+/// ```text
+/// LSCV(h) = ∫ f̂² − (2/n) Σᵢ f̂₋ᵢ(xᵢ)
+/// ```
+///
+/// For Gaussian product kernels, `∫ f̂²` has the closed form
+/// `(1/n²) Σᵢⱼ K_{√2·h}(xᵢ − xⱼ)` (a convolution of the kernel with
+/// itself), so each candidate costs one O(n²) pass — run it on a
+/// subsample for large n.
+///
+/// Returns the best `(scale_factor, bandwidths)` among `candidates`.
+///
+/// # Errors
+/// Fails on empty data/candidates or non-Gaussian-suitable inputs
+/// (the closed form here is Gaussian-specific).
+pub fn lscv_select(data: &Matrix, candidates: &[f64]) -> Result<(f64, Vec<f64>)> {
+    use crate::kernel::{Kernel, KernelKind};
+    let n = data.rows();
+    if n < 3 {
+        return Err(Error::EmptyInput("LSCV needs at least 3 points"));
+    }
+    if candidates.is_empty() {
+        return Err(Error::EmptyInput("LSCV candidate list"));
+    }
+    let base = scotts_rule(data, 1.0)?;
+    let mut best: Option<(f64, f64)> = None; // (score, b)
+    for &b in candidates {
+        if !b.is_finite() || b <= 0.0 {
+            return Err(invalid_param(
+                "candidates",
+                format!("scale factors must be positive, got {b}"),
+            ));
+        }
+        let h: Vec<f64> = base.iter().map(|&x| x * b).collect();
+        let kernel = Kernel::new(KernelKind::Gaussian, h.clone())?;
+        let wide = Kernel::new(
+            KernelKind::Gaussian,
+            h.iter().map(|&x| x * std::f64::consts::SQRT_2).collect(),
+        )?;
+        // ∫f̂² = (1/n²) Σ_ij K_{√2h}(x_i − x_j) — includes i == j.
+        // Leave-one-out term: (2/(n(n−1))) Σ_{i≠j} K_h(x_i − x_j).
+        let mut sq_term = 0.0;
+        let mut loo_term = 0.0;
+        for i in 0..n {
+            let xi = data.row(i);
+            sq_term += wide.max_value(); // j == i contribution
+            for j in (i + 1)..n {
+                let xj = data.row(j);
+                sq_term += 2.0 * wide.eval_pair(xi, xj);
+                loo_term += 2.0 * kernel.eval_pair(xi, xj);
+            }
+        }
+        let nf = n as f64;
+        let score = sq_term / (nf * nf) - 2.0 * loo_term / (nf * (nf - 1.0));
+        if best.is_none_or(|(s, _)| score < s) {
+            best = Some((score, b));
+        }
+    }
+    let (_, b) = best.expect("candidates verified non-empty");
+    Ok((b, base.iter().map(|&x| x * b).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_formula() {
+        // 3 columns with known stds, n = 1000, d = 3.
+        let stds = [1.0, 2.0, 0.5];
+        let n = 1000;
+        let b = 1.0;
+        let hs = scotts_rule_from_stds(&stds, n, b).unwrap();
+        let factor = (n as f64).powf(-1.0 / 7.0);
+        assert!((hs[0] - factor).abs() < 1e-12);
+        assert!((hs[1] - 2.0 * factor).abs() < 1e-12);
+        assert!((hs[2] - 0.5 * factor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_factor_multiplies() {
+        let stds = [1.0];
+        let h1 = scotts_rule_from_stds(&stds, 100, 1.0).unwrap();
+        let h3 = scotts_rule_from_stds(&stds, 100, 3.0).unwrap();
+        assert!((h3[0] / h1[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_shrinks_with_n() {
+        let stds = [1.0, 1.0];
+        let h_small = scotts_rule_from_stds(&stds, 100, 1.0).unwrap();
+        let h_large = scotts_rule_from_stds(&stds, 1_000_000, 1.0).unwrap();
+        assert!(h_large[0] < h_small[0]);
+        // Exponent check: ratio should be (10^4)^(-1/6).
+        let expected = 10_000f64.powf(-1.0 / 6.0);
+        assert!((h_large[0] / h_small[0] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_column_falls_back_to_unit_sigma() {
+        let hs = scotts_rule_from_stds(&[0.0, 2.0], 16, 1.0).unwrap();
+        let factor = 16f64.powf(-1.0 / 6.0);
+        assert!((hs[0] - factor).abs() < 1e-12);
+        assert!((hs[1] - 2.0 * factor).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_matrix_uses_column_stds() {
+        let m = Matrix::from_rows(&[vec![0.0], vec![2.0], vec![4.0]]).unwrap();
+        let hs = scotts_rule(&m, 1.0).unwrap();
+        // σ = sqrt(8/3); n = 3; d = 1 → factor 3^{-1/5}
+        let sigma = (8.0f64 / 3.0).sqrt();
+        let expected = sigma * 3f64.powf(-0.2);
+        assert!((hs[0] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(scotts_rule_from_stds(&[1.0], 0, 1.0).is_err());
+        assert!(scotts_rule_from_stds(&[], 10, 1.0).is_err());
+        assert!(scotts_rule_from_stds(&[1.0], 10, 0.0).is_err());
+        assert!(scotts_rule_from_stds(&[1.0], 10, f64::NAN).is_err());
+        let empty = Matrix::with_cols(2);
+        assert!(scotts_rule(&empty, 1.0).is_err());
+    }
+
+    fn gaussian_blob(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = tkdc_common::Rng::seed_from(seed);
+        let mut m = Matrix::with_cols(d);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for v in &mut row {
+                *v = rng.standard_normal();
+            }
+            m.push_row(&row).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn silverman_close_to_scott() {
+        let data = gaussian_blob(500, 2, 1);
+        let scott = scotts_rule(&data, 1.0).unwrap();
+        let silver = silverman_rule(&data, 1.0).unwrap();
+        // The Silverman factor at d=2 is (4/4)^(1/6) = 1.
+        for (a, b) in scott.iter().zip(&silver) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // At d=1 it's (4/3)^(1/5) ≈ 1.059.
+        let d1 = gaussian_blob(500, 1, 2);
+        let ratio = silverman_rule(&d1, 1.0).unwrap()[0] / scotts_rule(&d1, 1.0).unwrap()[0];
+        assert!((ratio - (4.0f64 / 3.0).powf(0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lscv_picks_near_unit_scale_on_gaussian_data() {
+        // Scott's rule is near-optimal for Gaussians, so LSCV should
+        // choose a scale close to 1 (not an extreme candidate).
+        let data = gaussian_blob(600, 2, 3);
+        let candidates = [0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.5, 5.0];
+        let (b, h) = lscv_select(&data, &candidates).unwrap();
+        assert!(
+            (0.5..=1.5).contains(&b),
+            "LSCV picked scale {b} on Gaussian data"
+        );
+        let base = scotts_rule(&data, 1.0).unwrap();
+        assert!((h[0] / base[0] - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lscv_adapts_to_clustered_data() {
+        // Two tight clusters: the global σ (≈3) inflates Scott's base
+        // bandwidth far beyond the per-cluster optimum (σ≈0.3), so LSCV
+        // should choose a scale well below 1 — but not a degenerate one,
+        // and certainly not an oversmoothing one.
+        let mut rng = tkdc_common::Rng::seed_from(5);
+        let mut m = Matrix::with_cols(1);
+        for _ in 0..300 {
+            let c = if rng.next_f64() < 0.5 { -3.0 } else { 3.0 };
+            m.push_row(&[c + rng.normal(0.0, 0.3)]).unwrap();
+        }
+        // Per-cluster optimum ≈ 0.3·150^{-1/5} ≈ 0.11 ⇒ scale ≈ 0.11 on a
+        // Scott base of ≈0.96.
+        let (b, _) = lscv_select(&m, &[0.002, 0.02, 0.1, 0.5, 1.0, 4.0]).unwrap();
+        assert!(b >= 0.02, "LSCV picked degenerate scale {b}");
+        assert!(b <= 0.5, "LSCV failed to adapt to clusters, picked {b}");
+    }
+
+    #[test]
+    fn lscv_rejects_bad_inputs() {
+        let data = gaussian_blob(10, 2, 7);
+        assert!(lscv_select(&data, &[]).is_err());
+        assert!(lscv_select(&data, &[0.0]).is_err());
+        assert!(lscv_select(&data, &[-1.0]).is_err());
+        let tiny = gaussian_blob(2, 2, 9);
+        assert!(lscv_select(&tiny, &[1.0]).is_err());
+    }
+}

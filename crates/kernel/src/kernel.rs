@@ -1,0 +1,331 @@
+//! Kernel functions over diagonal-bandwidth product form.
+//!
+//! Every evaluation is phrased in terms of the *scaled squared distance*
+//! `u(x, y) = Σ_i ((x_i − y_i) / h_i)²`. Both supported kernels are
+//! monotonically non-increasing in `u`, which is exactly the property the
+//! spatial bounds need: the closest corner of a bounding box maximizes the
+//! kernel and the farthest corner minimizes it.
+
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::order::ln_gamma;
+
+/// The kernel family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Gaussian kernel (Eq. 2 of the paper): smooth, infinite support.
+    Gaussian,
+    /// Multivariate Epanechnikov kernel: compact support `u ≤ 1`,
+    /// optimal AMISE efficiency; extension beyond the paper's default.
+    Epanechnikov,
+}
+
+/// A kernel bound to a concrete diagonal bandwidth.
+///
+/// ```
+/// use tkdc_kernel::{Kernel, KernelKind};
+/// let k = Kernel::new(KernelKind::Gaussian, vec![1.0, 2.0]).unwrap();
+/// let at_zero = k.eval_pair(&[0.0, 0.0], &[0.0, 0.0]);
+/// assert!((at_zero - k.max_value()).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    kind: KernelKind,
+    /// Per-dimension bandwidths `h_i`.
+    h: Vec<f64>,
+    /// Pre-computed `1 / h_i` for the hot loop.
+    inv_h: Vec<f64>,
+    /// Normalization so the kernel integrates to one over `R^d`.
+    norm: f64,
+}
+
+impl Kernel {
+    /// Binds a kernel family to a bandwidth vector.
+    ///
+    /// # Errors
+    /// Fails when the bandwidth vector is empty or contains non-positive
+    /// or non-finite entries.
+    pub fn new(kind: KernelKind, h: Vec<f64>) -> Result<Self> {
+        if h.is_empty() {
+            return Err(Error::EmptyInput("bandwidth vector"));
+        }
+        for &hi in &h {
+            if !hi.is_finite() || hi <= 0.0 {
+                return Err(invalid_param(
+                    "h",
+                    format!("bandwidths must be positive and finite, got {hi}"),
+                ));
+            }
+        }
+        let d = h.len();
+        let log_h_prod: f64 = h.iter().map(|hi| hi.ln()).sum();
+        let norm = match kind {
+            KernelKind::Gaussian => {
+                // (2π)^{-d/2} / Π h_i
+                (-(d as f64) / 2.0 * (2.0 * std::f64::consts::PI).ln() - log_h_prod).exp()
+            }
+            KernelKind::Epanechnikov => {
+                // K(z) = c_d (1 - ||z||²) on the unit ball of the scaled
+                // space; ∫(1-||z||²)dz over the ball = V_d · 2/(d+2), so
+                // c_d = (d+2) / (2 V_d), with V_d = π^{d/2}/Γ(d/2+1).
+                let df = d as f64;
+                let ln_vd = df / 2.0 * std::f64::consts::PI.ln() - ln_gamma(df / 2.0 + 1.0);
+                (((df + 2.0) / 2.0).ln() - ln_vd - log_h_prod).exp()
+            }
+        };
+        let inv_h = h.iter().map(|hi| 1.0 / hi).collect();
+        Ok(Self {
+            kind,
+            h,
+            inv_h,
+            norm,
+        })
+    }
+
+    /// Gaussian kernel with the given bandwidths (the paper's default).
+    pub fn gaussian(h: Vec<f64>) -> Result<Self> {
+        Self::new(KernelKind::Gaussian, h)
+    }
+
+    /// The kernel family.
+    #[inline]
+    pub fn kind(&self) -> KernelKind {
+        self.kind
+    }
+
+    /// Dimensionality `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.h.len()
+    }
+
+    /// Per-dimension bandwidths.
+    #[inline]
+    pub fn bandwidths(&self) -> &[f64] {
+        &self.h
+    }
+
+    /// Pre-computed reciprocal bandwidths `1/h_i`, exposed for callers
+    /// (the spatial index) that compute scaled box distances inline.
+    #[inline]
+    pub fn inv_bandwidths(&self) -> &[f64] {
+        &self.inv_h
+    }
+
+    /// Scaled squared distance `Σ ((x_i − y_i)/h_i)²`.
+    ///
+    /// # Panics
+    /// Debug-asserts matching dimensions; in release the shorter slice
+    /// governs (callers are trusted on the hot path).
+    #[inline]
+    pub fn scaled_sq_dist(&self, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.inv_h.len());
+        debug_assert_eq!(y.len(), self.inv_h.len());
+        let mut acc = 0.0;
+        for i in 0..self.inv_h.len() {
+            let z = (x[i] - y[i]) * self.inv_h[i];
+            acc += z * z;
+        }
+        acc
+    }
+
+    /// Scaled squared norm of a raw displacement vector `Σ (d_i/h_i)²`.
+    #[inline]
+    pub fn scaled_sq_norm(&self, diff: &[f64]) -> f64 {
+        debug_assert_eq!(diff.len(), self.inv_h.len());
+        let mut acc = 0.0;
+        for i in 0..self.inv_h.len() {
+            let z = diff[i] * self.inv_h[i];
+            acc += z * z;
+        }
+        acc
+    }
+
+    /// Kernel value as a function of scaled squared distance `u`.
+    ///
+    /// Monotonically non-increasing in `u` for both families — the
+    /// property all spatial pruning bounds rely on.
+    #[inline]
+    pub fn eval_scaled_sq(&self, u: f64) -> f64 {
+        debug_assert!(u >= 0.0);
+        match self.kind {
+            KernelKind::Gaussian => self.norm * (-0.5 * u).exp(),
+            KernelKind::Epanechnikov => {
+                if u >= 1.0 {
+                    0.0
+                } else {
+                    self.norm * (1.0 - u)
+                }
+            }
+        }
+    }
+
+    /// Kernel value between two points.
+    #[inline]
+    pub fn eval_pair(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.eval_scaled_sq(self.scaled_sq_dist(x, y))
+    }
+
+    /// `K(0)` — the kernel's maximum, used for the self-contribution
+    /// correction `f₀ = K(0)/n` (Eq. 1) and the grid's diagonal bound.
+    #[inline]
+    pub fn max_value(&self) -> f64 {
+        self.eval_scaled_sq(0.0)
+    }
+
+    /// Scaled radius beyond which the kernel is exactly zero, when the
+    /// family has compact support.
+    #[inline]
+    pub fn support_radius_scaled(&self) -> Option<f64> {
+        match self.kind {
+            KernelKind::Gaussian => None,
+            KernelKind::Epanechnikov => Some(1.0),
+        }
+    }
+
+    /// Scaled radius `r` such that `K(u) ≤ frac · K(0)` for all `u ≥ r²`.
+    ///
+    /// Used by the radial baseline to choose a cutoff with a bounded
+    /// per-point truncation error.
+    pub fn radius_for_value_fraction(&self, frac: f64) -> f64 {
+        assert!(frac > 0.0 && frac < 1.0, "frac must be in (0,1)");
+        match self.kind {
+            KernelKind::Gaussian => (-2.0 * frac.ln()).sqrt(),
+            KernelKind::Epanechnikov => (1.0 - frac).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn gaussian_matches_closed_form_1d() {
+        let k = Kernel::gaussian(vec![2.0]).unwrap();
+        // K(x) = 1/(√(2π)·2) exp(-x²/8) at x = 1
+        let expected = (2.0 * std::f64::consts::PI).sqrt().recip() / 2.0 * (-1.0f64 / 8.0).exp();
+        assert_close(k.eval_pair(&[1.0], &[0.0]), expected, 1e-15);
+    }
+
+    #[test]
+    fn gaussian_matches_closed_form_2d() {
+        let k = Kernel::gaussian(vec![1.0, 3.0]).unwrap();
+        let x = [0.5, -1.5];
+        let u = 0.5f64.powi(2) + (1.5f64 / 3.0).powi(2);
+        let expected = (2.0 * std::f64::consts::PI).recip() / 3.0 * (-0.5 * u).exp();
+        assert_close(k.eval_pair(&x, &[0.0, 0.0]), expected, 1e-15);
+    }
+
+    #[test]
+    fn gaussian_integrates_to_one_1d() {
+        let k = Kernel::gaussian(vec![0.7]).unwrap();
+        // Trapezoid over ±10 bandwidths.
+        let steps = 20_000;
+        let lo = -7.0;
+        let hi = 7.0;
+        let dx = (hi - lo) / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..=steps {
+            let x = lo + i as f64 * dx;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            integral += w * k.eval_pair(&[x], &[0.0]) * dx;
+        }
+        assert_close(integral, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn epanechnikov_integrates_to_one_2d() {
+        let k = Kernel::new(KernelKind::Epanechnikov, vec![1.0, 2.0]).unwrap();
+        // 2-d grid integration over the support box.
+        let steps = 400;
+        let dx = 2.0 / steps as f64; // x support [-1, 1]
+        let dy = 4.0 / steps as f64; // y support [-2, 2]
+        let mut integral = 0.0;
+        for i in 0..steps {
+            let x = -1.0 + (i as f64 + 0.5) * dx;
+            for j in 0..steps {
+                let y = -2.0 + (j as f64 + 0.5) * dy;
+                integral += k.eval_pair(&[x, y], &[0.0, 0.0]) * dx * dy;
+            }
+        }
+        assert_close(integral, 1.0, 1e-3);
+    }
+
+    #[test]
+    fn epanechnikov_zero_outside_support() {
+        let k = Kernel::new(KernelKind::Epanechnikov, vec![1.0]).unwrap();
+        assert_eq!(k.eval_pair(&[1.0], &[0.0]), 0.0);
+        assert_eq!(k.eval_pair(&[5.0], &[0.0]), 0.0);
+        assert!(k.eval_pair(&[0.99], &[0.0]) > 0.0);
+        assert_eq!(k.support_radius_scaled(), Some(1.0));
+    }
+
+    #[test]
+    fn monotone_nonincreasing_in_u() {
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            let k = Kernel::new(kind, vec![1.5, 0.5]).unwrap();
+            let mut prev = f64::INFINITY;
+            for i in 0..100 {
+                let u = i as f64 * 0.05;
+                let v = k.eval_scaled_sq(u);
+                assert!(v <= prev + 1e-18, "{kind:?} not monotone at u={u}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn max_value_is_at_zero() {
+        let k = Kernel::gaussian(vec![0.3, 0.3, 0.3]).unwrap();
+        assert_eq!(k.max_value(), k.eval_scaled_sq(0.0));
+        assert!(k.eval_scaled_sq(0.1) < k.max_value());
+    }
+
+    #[test]
+    fn scaled_distance_respects_bandwidth() {
+        let k = Kernel::gaussian(vec![1.0, 10.0]).unwrap();
+        // Displacement along the wide-bandwidth axis is discounted.
+        let u_narrow = k.scaled_sq_dist(&[1.0, 0.0], &[0.0, 0.0]);
+        let u_wide = k.scaled_sq_dist(&[0.0, 1.0], &[0.0, 0.0]);
+        assert_close(u_narrow, 1.0, 1e-15);
+        assert_close(u_wide, 0.01, 1e-15);
+        assert_close(k.scaled_sq_norm(&[1.0, 1.0]), 1.01, 1e-15);
+    }
+
+    #[test]
+    fn radius_fraction_bound_holds() {
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            let k = Kernel::new(kind, vec![1.0]).unwrap();
+            for &frac in &[0.5, 0.01, 1e-6] {
+                let r = k.radius_for_value_fraction(frac);
+                let at_r = k.eval_scaled_sq(r * r);
+                // Equality holds at the boundary; allow f64 rounding slack.
+                assert!(
+                    at_r <= frac * k.max_value() * (1.0 + 1e-12),
+                    "{kind:?} frac={frac}: K(r²)={at_r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_bandwidths() {
+        assert!(Kernel::gaussian(vec![]).is_err());
+        assert!(Kernel::gaussian(vec![0.0]).is_err());
+        assert!(Kernel::gaussian(vec![-1.0]).is_err());
+        assert!(Kernel::gaussian(vec![f64::NAN]).is_err());
+        assert!(Kernel::gaussian(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let k = Kernel::gaussian(vec![1.0, 2.0]).unwrap();
+        assert_eq!(k.dim(), 2);
+        assert_eq!(k.bandwidths(), &[1.0, 2.0]);
+        assert_eq!(k.kind(), KernelKind::Gaussian);
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # tkdc-kernel
+//!
+//! Kernel functions and bandwidth selection for kernel density estimation,
+//! matching §2.4 of the tKDC paper.
+//!
+//! The default estimator is the Gaussian **product kernel** with a diagonal
+//! bandwidth matrix `H = diag(h₁², …, h_d²)` chosen by Scott's rule
+//! (`h_i = b · n^{-1/(d+4)} · σ_i`). An Epanechnikov kernel with compact
+//! support is provided as an extension (its exact-zero tails let spatial
+//! bounds prune even more aggressively).
+//!
+//! Performance notes: kernels are evaluated millions of times per query
+//! workload, so the kernel pre-computes inverse bandwidths and the
+//! normalization constant, and all evaluation goes through a *scaled
+//! squared distance* `u = Σ ((x_i − y_i)/h_i)²` so bounding-box bounds and
+//! point evaluations share one code path.
+
+pub mod bandwidth;
+pub mod kernel;
+
+pub use bandwidth::{lscv_select, scotts_rule, scotts_rule_from_stds, silverman_rule};
+pub use kernel::{Kernel, KernelKind};

@@ -1,0 +1,125 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by the synthetic data generators: sampling a correlated Gaussian
+//! `N(μ, Σ)` reduces to `μ + L z` with `Σ = L Lᵀ` and `z` standard normal.
+
+use tkdc_common::error::{Error, Result};
+use tkdc_common::Matrix;
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// # Errors
+/// Fails when the matrix is not square or not (numerically) positive
+/// definite.
+pub fn cholesky(a: &Matrix) -> Result<Matrix> {
+    let d = a.rows();
+    if d == 0 {
+        return Err(Error::EmptyInput("cholesky input"));
+    }
+    if a.cols() != d {
+        return Err(Error::DimensionMismatch {
+            expected: d,
+            actual: a.cols(),
+        });
+    }
+    let mut l = Matrix::zeros(d, d);
+    for i in 0..d {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(Error::Numeric(format!(
+                        "matrix not positive definite at pivot {i} (value {sum})"
+                    )));
+                }
+                l.set(i, i, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Applies `y = L x` for a lower-triangular `L` (in-place friendly helper
+/// for Gaussian sampling).
+pub fn lower_tri_mul(l: &Matrix, x: &[f64]) -> Vec<f64> {
+    let d = l.rows();
+    assert_eq!(x.len(), d, "dimension mismatch in lower_tri_mul");
+    let mut y = vec![0.0; d];
+    for i in 0..d {
+        let row = l.row(i);
+        let mut acc = 0.0;
+        for j in 0..=i {
+            acc += row[j] * x[j];
+        }
+        y[i] = acc;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn identity_factors_to_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let l = cholesky(&a).unwrap();
+        assert_eq!(l, a);
+    }
+
+    #[test]
+    fn known_factorization() {
+        // A = [[4,2],[2,3]] ⇒ L = [[2,0],[1,√2]]
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let l = cholesky(&a).unwrap();
+        assert_close(l.get(0, 0), 2.0, 1e-12);
+        assert_close(l.get(1, 0), 1.0, 1e-12);
+        assert_close(l.get(1, 1), 2f64.sqrt(), 1e-12);
+        assert_eq!(l.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 3.0, 4.0],
+            vec![3.0, 6.0, 5.0],
+            vec![4.0, 5.0, 10.0],
+        ])
+        .unwrap();
+        let l = cholesky(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let v: f64 = (0..3).map(|k| l.get(i, k) * l.get(j, k)).sum();
+                assert_close(v, a.get(i, j), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.0, 0.0]]).unwrap();
+        assert!(cholesky(&a).is_err());
+    }
+
+    #[test]
+    fn lower_tri_mul_matches_dense() {
+        let l = Matrix::from_rows(&[vec![2.0, 0.0], vec![1.0, 3.0]]).unwrap();
+        let y = lower_tri_mul(&l, &[1.0, 2.0]);
+        assert_eq!(y, vec![2.0, 7.0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! For the small `d×d` covariance matrices in this workspace (d ≤ ~800 for
+//! the mnist analog), Jacobi rotations are simple, numerically robust, and
+//! produce orthonormal eigenvectors to machine precision — a good trade
+//! against implementing a full symmetric QR pipeline.
+
+use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_common::Matrix;
+
+/// Eigendecomposition result of a symmetric matrix `A = V Λ Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as rows of a `d×d` matrix, `vectors.row(k)` pairing
+    /// with `values[k]`.
+    pub vectors: Matrix,
+}
+
+/// Decomposes a symmetric matrix with the cyclic Jacobi method.
+///
+/// Sweeps rotate away each off-diagonal element in turn until the
+/// Frobenius norm of the off-diagonal part falls below `1e-12` relative to
+/// the matrix norm (or 100 sweeps elapse — far more than the typical
+/// 6–10 needed).
+///
+/// # Errors
+/// Fails when the matrix is not square or not symmetric (tolerance 1e-9
+/// relative).
+pub fn eigen_symmetric(a: &Matrix) -> Result<Eigen> {
+    let d = a.rows();
+    if d == 0 {
+        return Err(Error::EmptyInput("eigendecomposition input"));
+    }
+    if a.cols() != d {
+        return Err(Error::DimensionMismatch {
+            expected: d,
+            actual: a.cols(),
+        });
+    }
+    let scale: f64 = a
+        .as_slice()
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1e-300);
+    for i in 0..d {
+        for j in (i + 1)..d {
+            if (a.get(i, j) - a.get(j, i)).abs() > 1e-9 * scale {
+                return Err(invalid_param(
+                    "a",
+                    format!("matrix not symmetric at ({i},{j})"),
+                ));
+            }
+        }
+    }
+
+    // Work on a mutable copy; accumulate rotations into V (row-major d×d).
+    let mut m: Vec<f64> = a.as_slice().to_vec();
+    let mut v = vec![0.0; d * d];
+    for i in 0..d {
+        v[i * d + i] = 1.0;
+    }
+
+    let off_norm = |m: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                s += m[i * d + j] * m[i * d + j];
+            }
+        }
+        (2.0 * s).sqrt()
+    };
+    let total_norm: f64 = m.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+
+    for _sweep in 0..100 {
+        if off_norm(&m) <= 1e-12 * total_norm {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = m[p * d + q];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m[p * d + p];
+                let aqq = m[q * d + q];
+                // Stable rotation computation (Golub & Van Loan §8.5).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // A ← Jᵀ A J applied to rows/cols p and q.
+                for k in 0..d {
+                    let akp = m[k * d + p];
+                    let akq = m[k * d + q];
+                    m[k * d + p] = c * akp - s * akq;
+                    m[k * d + q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let apk = m[p * d + k];
+                    let aqk = m[q * d + k];
+                    m[p * d + k] = c * apk - s * aqk;
+                    m[q * d + k] = s * apk + c * aqk;
+                }
+                // V ← V J (accumulate as rows: row k of V is eigvec k ⇒
+                // update columns of Vᵀ, i.e. rows p,q of our row-major V).
+                for k in 0..d {
+                    let vpk = v[p * d + k];
+                    let vqk = v[q * d + k];
+                    v[p * d + k] = c * vpk - s * vqk;
+                    v[q * d + k] = s * vpk + c * vqk;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..d).map(|i| (m[i * d + i], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = Matrix::zeros(d, d);
+    for (k, &(_, src)) in pairs.iter().enumerate() {
+        for j in 0..d {
+            vectors.set(k, j, v[src * d + j]);
+        }
+    }
+    Ok(Eigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_common::Rng;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let e = eigen_symmetric(&a).unwrap();
+        assert_close(e.values[0], 3.0, 1e-12);
+        assert_close(e.values[1], 1.0, 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let e = eigen_symmetric(&a).unwrap();
+        assert_close(e.values[0], 3.0, 1e-10);
+        assert_close(e.values[1], 1.0, 1e-10);
+        // Eigenvector for λ=3 is ±(1,1)/√2.
+        let v0 = e.vectors.row(0);
+        assert_close(v0[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-10);
+        assert_close(v0[0], v0[1], 1e-10);
+    }
+
+    fn random_symmetric(d: usize, rng: &mut Rng) -> Matrix {
+        let mut a = Matrix::zeros(d, d);
+        for i in 0..d {
+            for j in i..d {
+                let v = rng.normal(0.0, 1.0);
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let mut rng = Rng::seed_from(99);
+        for d in [1usize, 2, 5, 12] {
+            let a = random_symmetric(d, &mut rng);
+            let e = eigen_symmetric(&a).unwrap();
+            // Vᵀ V = I (rows are eigenvectors).
+            for i in 0..d {
+                for j in 0..d {
+                    let dot: f64 = (0..d)
+                        .map(|k| e.vectors.get(i, k) * e.vectors.get(j, k))
+                        .sum();
+                    let expected = if i == j { 1.0 } else { 0.0 };
+                    assert_close(dot, expected, 1e-9);
+                }
+            }
+            // A v_k = λ_k v_k.
+            for k in 0..d {
+                for i in 0..d {
+                    let av: f64 = (0..d).map(|j| a.get(i, j) * e.vectors.get(k, j)).sum();
+                    assert_close(av, e.values[k] * e.vectors.get(k, i), 1e-8);
+                }
+            }
+            // Trace preserved.
+            let trace: f64 = (0..d).map(|i| a.get(i, i)).sum();
+            let sum: f64 = e.values.iter().sum();
+            assert_close(trace, sum, 1e-9);
+        }
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let mut rng = Rng::seed_from(7);
+        let a = random_symmetric(8, &mut rng);
+        let e = eigen_symmetric(&a).unwrap();
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_non_symmetric() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(eigen_symmetric(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![2.0, 1.0, 0.0]]).unwrap();
+        assert!(eigen_symmetric(&a).is_err());
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_rows(&[vec![-4.0]]).unwrap();
+        let e = eigen_symmetric(&a).unwrap();
+        assert_close(e.values[0], -4.0, 1e-15);
+        assert_close(e.vectors.get(0, 0).abs(), 1.0, 1e-15);
+    }
+}

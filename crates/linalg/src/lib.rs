@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! # tkdc-linalg
+//!
+//! Small dense linear algebra built from scratch for the tKDC reproduction:
+//!
+//! * [`jacobi::eigen_symmetric`] — eigendecomposition of symmetric matrices
+//!   via cyclic Jacobi rotations (robust, quadratically convergent, ideal
+//!   for the modest `d×d` covariance matrices that appear here).
+//! * [`pca::Pca`] — principal component analysis used to PCA-reduce the
+//!   mnist-style dataset exactly as the paper does before running tKDC in
+//!   64/256 dimensions.
+//! * [`cholesky::cholesky`] — Cholesky factorization used by the data
+//!   generators to sample correlated Gaussians.
+
+pub mod cholesky;
+pub mod jacobi;
+pub mod pca;
+
+pub use cholesky::cholesky;
+pub use jacobi::eigen_symmetric;
+pub use pca::Pca;

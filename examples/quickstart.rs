@@ -1,0 +1,59 @@
+//! Quickstart: fit a tKDC classifier and classify points by density.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tkdc::{Classifier, Label, Params, QueryScratch};
+use tkdc_common::{Matrix, Rng};
+
+fn main() {
+    // 1. Some 2-d data: two Gaussian blobs of different weight.
+    let mut rng = Rng::seed_from(7);
+    let mut data = Matrix::with_cols(2);
+    for i in 0..20_000 {
+        if i % 4 == 0 {
+            data.push_row(&[rng.normal(4.0, 0.5), rng.normal(4.0, 0.5)])
+                .unwrap();
+        } else {
+            data.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+                .unwrap();
+        }
+    }
+
+    // 2. Fit: p = 0.01 classifies the densest 99% of the distribution as
+    //    HIGH and the 1% low-density tail as LOW, with multiplicative
+    //    error ε = 0.01 around the threshold.
+    let params = Params::default();
+    let clf = Classifier::fit(&data, &params).expect("training failed");
+    println!(
+        "fitted on {} points, threshold t(p) = {:.6}",
+        clf.n_train(),
+        clf.threshold()
+    );
+    println!(
+        "bootstrap rounds: {:?}, grid cache: {}",
+        clf.fit_report().bootstrap.rounds,
+        clf.grid_enabled()
+    );
+
+    // 3. Classify some queries, reusing one scratch across calls.
+    let mut scratch = QueryScratch::new();
+    for q in [[0.0, 0.0], [4.0, 4.0], [2.0, 2.0], [8.0, -8.0]] {
+        let label = clf.classify_with(&q, &mut scratch).unwrap();
+        let bounds = clf.bound_density_with(&q, &mut scratch).unwrap();
+        println!(
+            "query {q:>12?} -> {label:?}  (density in [{:.2e}, {:.2e}])",
+            bounds.lower, bounds.upper
+        );
+    }
+
+    // 4. Inspect how much work the pruning saved.
+    let stats = scratch.stats;
+    println!(
+        "\n{} queries used {:.0} kernel evaluations each on average \
+         (naive would use {} each)",
+        stats.queries,
+        stats.kernels_per_query(),
+        clf.n_train()
+    );
+    assert_eq!(clf.classify(&[0.0, 0.0]).unwrap(), Label::High);
+}

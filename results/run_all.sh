@@ -1,0 +1,9 @@
+#!/bin/bash
+# Runs every figure harness at default (laptop) scale, capturing outputs.
+cd /root/repo
+for fig in datasets fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16; do
+  echo "=== $fig start $(date +%T) ==="
+  ./target/release/$fig > results/$fig.txt 2>&1
+  echo "=== $fig done  $(date +%T) ==="
+done
+echo ALL_FIGS_DONE

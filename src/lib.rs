@@ -1,0 +1,8 @@
+//! Workspace-level re-exports for examples and integration tests.
+pub use tkdc;
+pub use tkdc_baselines as baselines;
+pub use tkdc_common as common;
+pub use tkdc_data as data;
+pub use tkdc_index as index;
+pub use tkdc_kernel as kernel;
+pub use tkdc_linalg as linalg;

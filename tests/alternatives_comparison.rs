@@ -1,0 +1,148 @@
+//! Integration test of the §5 related-work comparison: every detector
+//! (tKDC, kNN distance, LOF, DBSCAN, one-class SVM) must find a planted
+//! far outlier, and the statistical-interpretability distinction the
+//! paper draws must be visible in the outputs.
+
+use tkdc::{Classifier, Label, Params};
+use tkdc_alternatives::{
+    dbscan, DbscanLabel, DbscanParams, KnnOutlierModel, LofModel, OneClassSvm, SvmParams,
+};
+use tkdc_common::{Matrix, Rng};
+
+/// A two-cluster body plus one unmistakable outlier (row index returned).
+fn planted_task(seed: u64) -> (Matrix, usize) {
+    let mut rng = Rng::seed_from(seed);
+    let mut m = Matrix::with_cols(2);
+    for _ in 0..400 {
+        m.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+            .unwrap();
+    }
+    for _ in 0..400 {
+        m.push_row(&[rng.normal(7.0, 1.0), rng.normal(7.0, 1.0)])
+            .unwrap();
+    }
+    m.push_row(&[20.0, -10.0]).unwrap();
+    (m, 800)
+}
+
+#[test]
+fn every_detector_flags_the_planted_outlier() {
+    let (data, idx) = planted_task(1);
+    let q = data.row(idx).to_vec();
+
+    // tKDC.
+    let clf = Classifier::fit(&data, &Params::default().with_seed(2)).unwrap();
+    assert_eq!(clf.classify(&q).unwrap(), Label::Low, "tkdc");
+
+    // kNN distance: the planted point has the top score.
+    let knn = KnnOutlierModel::fit(&data, 10).unwrap();
+    let t = knn.threshold_for_rate(0.01).unwrap();
+    assert!(knn.score(&q).unwrap() > t, "knn");
+
+    // LOF.
+    let lof = LofModel::fit(&data, 10).unwrap();
+    assert!(lof.score(&q).unwrap() > 2.0, "lof");
+    assert!(lof.score(&[0.0, 0.0]).unwrap() < 1.5, "lof inlier");
+
+    // DBSCAN: outlier is noise, clusters found.
+    let (labels, clusters) = dbscan(
+        &data,
+        &DbscanParams {
+            eps: 0.3,
+            min_pts: 5,
+        },
+    )
+    .unwrap();
+    assert!(clusters >= 2, "dbscan clusters {clusters}");
+    assert_eq!(labels[idx], DbscanLabel::Noise, "dbscan");
+
+    // One-class SVM.
+    let svm = OneClassSvm::fit(&data, &SvmParams::default()).unwrap();
+    assert!(!svm.is_inlier(&q).unwrap(), "ocsvm");
+    assert!(svm.is_inlier(&[0.0, 0.0]).unwrap(), "ocsvm inlier");
+}
+
+#[test]
+fn only_tkdc_produces_normalized_densities() {
+    // The interpretability claim: tKDC's threshold is a quantile of a
+    // normalized density (values integrate to 1, so they live on a known
+    // scale), while the alternatives emit scale-free scores.
+    let (data, _) = planted_task(3);
+    let clf = Classifier::fit(&data, &Params::default().with_seed(5)).unwrap();
+    // Numerically integrate the classifier's exact density over a wide
+    // box: it must approach 1 (a probability density).
+    let (mins, maxs) = data.column_bounds();
+    let steps = 60;
+    let dx = (maxs[0] - mins[0] + 8.0) / steps as f64;
+    let dy = (maxs[1] - mins[1] + 8.0) / steps as f64;
+    let mut integral = 0.0;
+    for i in 0..steps {
+        let x = mins[0] - 4.0 + (i as f64 + 0.5) * dx;
+        for j in 0..steps {
+            let y = mins[1] - 4.0 + (j as f64 + 0.5) * dy;
+            integral += clf.exact_density(&[x, y]).unwrap() * dx * dy;
+        }
+    }
+    assert!(
+        (integral - 1.0).abs() < 0.02,
+        "tKDC densities must integrate to 1, got {integral}"
+    );
+
+    // LOF scores sit on a relative scale with no such property: the
+    // typical inlier value is ≈1 regardless of the data's actual density.
+    let lof = LofModel::fit(&data, 10).unwrap();
+    let typical = lof.score(&[0.0, 0.0]).unwrap();
+    assert!((0.5..2.0).contains(&typical));
+    // Scaling all coordinates by 1000 leaves LOF unchanged (scores carry
+    // no absolute density information), while true densities shrink by
+    // 1000² — the distinction §5 draws.
+    let mut scaled = Matrix::with_cols(2);
+    for row in data.iter_rows() {
+        scaled
+            .push_row(&[row[0] * 1000.0, row[1] * 1000.0])
+            .unwrap();
+    }
+    let lof_scaled = LofModel::fit(&scaled, 10).unwrap();
+    let typical_scaled = lof_scaled.score(&[0.0, 0.0]).unwrap();
+    assert!(
+        (typical - typical_scaled).abs() < 0.3,
+        "LOF is scale-free: {typical} vs {typical_scaled}"
+    );
+    let clf_scaled = Classifier::fit(&scaled, &Params::default().with_seed(5)).unwrap();
+    assert!(
+        clf_scaled.threshold() < clf.threshold() / 1e4,
+        "tKDC thresholds track absolute density: {} vs {}",
+        clf_scaled.threshold(),
+        clf.threshold()
+    );
+}
+
+#[test]
+fn detectors_agree_on_rankings() {
+    // Detectors disagree on absolute values but should broadly agree on
+    // *who* the most anomalous points are.
+    let (data, idx) = planted_task(7);
+    let knn = KnnOutlierModel::fit(&data, 10).unwrap();
+    let lof = LofModel::fit(&data, 10).unwrap();
+    let clf = Classifier::fit(&data, &Params::default().with_seed(9)).unwrap();
+
+    let q = data.row(idx);
+    let knn_rank = data
+        .iter_rows()
+        .filter(|r| knn.score(r).unwrap() > knn.score(q).unwrap())
+        .count();
+    let lof_rank = data
+        .iter_rows()
+        .filter(|r| lof.score(r).unwrap() > lof.score(q).unwrap())
+        .count();
+    assert!(knn_rank == 0, "planted point must top the kNN ranking");
+    assert!(lof_rank <= 5, "planted point near the top of LOF ranking");
+    let b = {
+        let mut scratch = tkdc::QueryScratch::new();
+        clf.bound_density_with(q, &mut scratch).unwrap()
+    };
+    assert!(
+        b.upper < clf.threshold(),
+        "tKDC certifies the density is sub-threshold"
+    );
+}

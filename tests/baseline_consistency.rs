@@ -1,0 +1,141 @@
+//! Integration tests: every algorithm of Table 2 must agree on
+//! classification for points clearly away from the threshold, and their
+//! density estimates must honor their advertised error models.
+
+use tkdc::{Classifier, Label, Params};
+use tkdc_baselines::{BinnedKde, DensityEstimator, NaiveKde, NocutKde, RadialKde};
+use tkdc_common::{Matrix, Rng};
+use tkdc_data::{DatasetKind, DatasetSpec};
+use tkdc_kernel::KernelKind;
+
+fn tmy3_4d(n: usize, seed: u64) -> Matrix {
+    DatasetSpec {
+        kind: DatasetKind::Tmy3,
+        n,
+        seed,
+    }
+    .generate()
+    .unwrap()
+    .prefix_columns(4)
+    .unwrap()
+}
+
+#[test]
+fn all_estimators_agree_on_clear_points() {
+    let data = tmy3_4d(1800, 21);
+    let p = 0.02;
+
+    let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+    let t = naive.estimate_threshold(&data, p).unwrap();
+
+    let nocut = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.01).unwrap();
+    let sklearn = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.1).unwrap();
+    let rkde = RadialKde::fit_with_error_bound(&data, KernelKind::Gaussian, 1.0, 0.01, t).unwrap();
+    let binned = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+    let tkdc = Classifier::fit(&data, &Params::default().with_p(p).with_seed(31)).unwrap();
+
+    let mut clear = 0;
+    for i in 0..data.rows() {
+        let x = data.row(i);
+        let exact = naive.density(x).unwrap();
+        // Only test points decisively away from both thresholds.
+        if exact > 2.0 * t.max(tkdc.threshold()) || exact < 0.5 * t.min(tkdc.threshold()) {
+            clear += 1;
+            let expected_high = exact > t;
+            assert_eq!(nocut.density(x).unwrap() > t, expected_high, "nocut @ {i}");
+            assert_eq!(
+                sklearn.density(x).unwrap() > t,
+                expected_high,
+                "sklearn @ {i}"
+            );
+            assert_eq!(rkde.density(x).unwrap() > t, expected_high, "rkde @ {i}");
+            // Binned has no guarantee, so give it a wider corridor: only
+            // check points 4x away from the threshold.
+            if exact > 4.0 * t || exact < 0.25 * t {
+                assert_eq!(
+                    binned.density(x).unwrap() > t,
+                    expected_high,
+                    "binned @ {i}"
+                );
+            }
+            let label = tkdc.classify(x).unwrap();
+            assert_eq!(label == Label::High, expected_high, "tkdc @ {i}");
+        }
+    }
+    assert!(clear > data.rows() / 2, "test must cover many clear points");
+}
+
+#[test]
+fn approximation_errors_ordered_by_guarantee() {
+    // nocut(ε=0.01) must be at least as accurate as sklearn(ε=0.1).
+    let data = tmy3_4d(1200, 33);
+    let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).unwrap();
+    let tight = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.01).unwrap();
+    let loose = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.1).unwrap();
+    let mut rng = Rng::seed_from(3);
+    let mut err_tight = 0.0;
+    let mut err_loose = 0.0;
+    for _ in 0..40 {
+        let i = rng.next_below(data.rows() as u64) as usize;
+        let x = data.row(i);
+        let exact = naive.density(x).unwrap();
+        err_tight += (tight.density(x).unwrap() - exact).abs() / exact.max(1e-300);
+        err_loose += (loose.density(x).unwrap() - exact).abs() / exact.max(1e-300);
+        // Each respects its own bound.
+        assert!((tight.density(x).unwrap() - exact).abs() <= 0.01 * exact + 1e-12);
+        assert!((loose.density(x).unwrap() - exact).abs() <= 0.1 * exact + 1e-12);
+    }
+    assert!(
+        err_tight <= err_loose + 1e-9,
+        "tight {err_tight} vs loose {err_loose}"
+    );
+}
+
+#[test]
+fn work_ordering_matches_paper() {
+    // On a moderate dataset, kernel evaluations per query should order:
+    // tkdc << nocut <= simple.
+    let data = tmy3_4d(6000, 37);
+    let p = 0.01;
+
+    let tkdc = Classifier::fit(&data, &Params::default().with_p(p).with_seed(41)).unwrap();
+    let mut scratch = tkdc::QueryScratch::new();
+    for i in 0..200 {
+        tkdc.classify_with(data.row(i), &mut scratch).unwrap();
+    }
+    let tkdc_kpq = scratch.stats.kernels_per_query();
+
+    let nocut = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.01).unwrap();
+    nocut.reset_kernel_evals();
+    for i in 0..200 {
+        nocut.density(data.row(i)).unwrap();
+    }
+    let nocut_kpq = nocut.kernel_evals() as f64 / 200.0;
+
+    assert!(
+        tkdc_kpq < nocut_kpq,
+        "tkdc {tkdc_kpq} should beat nocut {nocut_kpq}"
+    );
+    assert!(
+        nocut_kpq <= data.rows() as f64,
+        "nocut {nocut_kpq} should not exceed naive {}",
+        data.rows()
+    );
+    assert!(
+        tkdc_kpq < data.rows() as f64 / 10.0,
+        "tkdc {tkdc_kpq} should be an order of magnitude under naive"
+    );
+}
+
+#[test]
+fn epanechnikov_kernel_full_pipeline() {
+    // Extension: the compact-support kernel must work end to end.
+    let data = tmy3_4d(1500, 43);
+    let mut params = Params::default().with_seed(47);
+    params.kernel = KernelKind::Epanechnikov;
+    let clf = Classifier::fit(&data, &params).unwrap();
+    let (labels, _) = clf.classify_batch(&data).unwrap();
+    let low = labels.iter().filter(|&&l| l == Label::Low).count();
+    let frac = low as f64 / labels.len() as f64;
+    assert!((frac - 0.01).abs() < 0.03, "LOW fraction {frac}");
+}

@@ -1,0 +1,68 @@
+//! Property-based robustness tests for model persistence: no byte-level
+//! corruption of a serialized model may cause a panic or a silently
+//! wrong load — every mutation either round-trips to a *valid* model or
+//! returns an error.
+
+use proptest::prelude::*;
+use tkdc::model_io::{load_model_from, save_model_to};
+use tkdc::{Classifier, Params};
+use tkdc_common::{Matrix, Rng};
+
+fn reference_model_bytes() -> Vec<u8> {
+    let mut rng = Rng::seed_from(4242);
+    let mut data = Matrix::with_cols(2);
+    for _ in 0..300 {
+        data.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+            .unwrap();
+    }
+    let clf = Classifier::fit(&data, &Params::default().with_seed(7)).unwrap();
+    let mut buf = Vec::new();
+    save_model_to(&clf, &mut buf).unwrap();
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncation_never_panics(cut in 0usize..100_000) {
+        let bytes = reference_model_bytes();
+        let cut = cut % (bytes.len() + 1);
+        // Either loads (cut == len) or errors; must never panic.
+        let result = load_model_from(&bytes[..cut]);
+        if cut == bytes.len() {
+            prop_assert!(result.is_ok());
+        } else {
+            // A strict prefix is missing data; loading may only succeed
+            // if the format were self-terminating earlier, which it is
+            // not — expect an error.
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn byte_flips_never_panic(offset in 0usize..100_000, xor in 1u8..=255) {
+        let mut bytes = reference_model_bytes();
+        let len = bytes.len();
+        let offset = offset % len;
+        bytes[offset] ^= xor;
+        // Must not panic. If it loads, the classifier must still answer
+        // queries without panicking (the mutation hit a benign field,
+        // e.g. a point coordinate).
+        if let Ok(clf) = load_model_from(bytes.as_slice()) {
+            let _ = clf.classify(&[0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn appended_garbage_is_ignored_or_rejected(extra in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut bytes = reference_model_bytes();
+        bytes.extend_from_slice(&extra);
+        // The reader consumes exactly the encoded structure; trailing
+        // bytes are simply unread. Loading must succeed and match the
+        // clean model's behaviour.
+        let clf = load_model_from(bytes.as_slice()).unwrap();
+        let clean = load_model_from(reference_model_bytes().as_slice()).unwrap();
+        prop_assert_eq!(clf.threshold(), clean.threshold());
+    }
+}

@@ -1,0 +1,35 @@
+//! Smoke test for the workspace-level re-export facade (`tkdc-repro`):
+//! every subsystem must be reachable through one `use` of this crate, the
+//! way the README's downstream-user story assumes.
+
+use tkdc_repro::{baselines, common, data, index, kernel, linalg, tkdc};
+
+#[test]
+fn facade_reaches_every_subsystem() {
+    // common
+    let mut rng = common::Rng::seed_from(1);
+    let mut m = common::Matrix::with_cols(2);
+    for _ in 0..300 {
+        m.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+            .unwrap();
+    }
+    // kernel
+    let h = kernel::scotts_rule(&m, 1.0).unwrap();
+    assert_eq!(h.len(), 2);
+    // linalg
+    let pca = linalg::Pca::fit(&m, 1).unwrap();
+    assert_eq!(pca.n_components(), 1);
+    // index
+    let tree = index::KdTree::build(&m, 16, index::SplitRule::TrimmedMidpoint).unwrap();
+    assert_eq!(tree.len(), 300);
+    // core
+    let clf = tkdc::Classifier::fit(&m, &tkdc::Params::default()).unwrap();
+    assert!(clf.threshold() > 0.0);
+    // baselines
+    use baselines::DensityEstimator;
+    let naive = baselines::NaiveKde::fit(&m, kernel::KernelKind::Gaussian, 1.0).unwrap();
+    assert!(naive.density(&[0.0, 0.0]).unwrap() > 0.0);
+    // data
+    let g = data::gauss::generate(10, 2, 3);
+    assert_eq!(g.rows(), 10);
+}

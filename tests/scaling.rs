@@ -1,0 +1,143 @@
+//! Empirical validation of the paper's runtime analysis (§3.8 and
+//! Appendix A): per-query work grows sublinearly in the training size —
+//! `O(n^{(d-1)/d})` for `d > 1` and `O(log n)` for `d = 1` — measured in
+//! kernel evaluations (machine-independent, unlike wall clock).
+
+use tkdc::{Classifier, Params, QueryScratch};
+use tkdc_common::{Matrix, Rng};
+use tkdc_data::gauss;
+
+/// Mean kernel evaluations per query on a gauss dataset of size n.
+fn kernels_per_query(n: usize, d: usize, seed: u64) -> f64 {
+    let data = gauss::generate(n, d, seed);
+    let clf = Classifier::fit(&data, &Params::default().with_seed(seed)).unwrap();
+    let mut rng = Rng::seed_from(seed ^ 0xAB);
+    let queries = data.sample_rows(400.min(n), &mut rng);
+    let mut scratch = QueryScratch::new();
+    for q in queries.iter_rows() {
+        clf.classify_with(q, &mut scratch).unwrap();
+    }
+    scratch.stats.kernels_per_query()
+}
+
+#[test]
+fn work_grows_sublinearly_in_n_2d() {
+    // Quadrupling n should multiply per-query kernel work by far less
+    // than 4 (theory for d=2: at most 2).
+    let small = kernels_per_query(5_000, 2, 3);
+    let large = kernels_per_query(20_000, 2, 3);
+    let ratio = large / small.max(1.0);
+    assert!(
+        ratio < 3.0,
+        "4x data should not give ~4x work: {small} -> {large} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn one_dimensional_work_is_nearly_flat() {
+    // d = 1 is O(log n): per-query work should barely move across 16x n.
+    let small = kernels_per_query(4_000, 1, 5);
+    let large = kernels_per_query(64_000, 1, 5);
+    let ratio = large / small.max(1.0);
+    assert!(
+        ratio < 2.0,
+        "16x data in 1-d should stay near-flat: {small} -> {large} (ratio {ratio})"
+    );
+}
+
+#[test]
+fn work_is_small_fraction_of_n() {
+    // The headline claim: classification touches a vanishing fraction of
+    // the dataset.
+    let n = 30_000;
+    let kpq = kernels_per_query(n, 2, 7);
+    assert!(
+        kpq < n as f64 / 50.0,
+        "per-query kernels {kpq} should be <2% of n={n}"
+    );
+}
+
+#[test]
+fn higher_dimensions_do_more_work() {
+    // The (d-1)/d exponent: more dimensions ⇒ weaker pruning.
+    let d2 = kernels_per_query(8_000, 2, 11);
+    let d8 = kernels_per_query(8_000, 8, 11);
+    assert!(
+        d8 > d2,
+        "8-d should require more kernel work than 2-d: {d8} vs {d2}"
+    );
+}
+
+#[test]
+fn near_query_fraction_shrinks_with_n() {
+    // Lemma 1 / Appendix A: the probability that a query is "near" (needs
+    // leaf-level kernel evaluations because the index bounds cannot
+    // classify it) is proportional to n^{-1/d}. Far queries terminate on
+    // a threshold rule; near queries end in tolerance/exhaustion.
+    // p = 0.25 puts a substantial fraction of the data near the
+    // threshold so the near/far split is measurable at laptop n.
+    let near_fraction = |n: usize| -> f64 {
+        let data = gauss::generate(n, 2, 21);
+        let clf = Classifier::fit(&data, &Params::default().with_p(0.25).with_seed(21)).unwrap();
+        let mut rng = Rng::seed_from(0xCAFE);
+        let queries = data.sample_rows(1500.min(n), &mut rng);
+        let mut scratch = QueryScratch::new();
+        for q in queries.iter_rows() {
+            clf.classify_with(q, &mut scratch).unwrap();
+        }
+        let s = scratch.stats;
+        (s.tolerance + s.exhausted) as f64 / s.queries as f64
+    };
+    let small = near_fraction(4_000);
+    let large = near_fraction(32_000);
+    // Theory at d=2: ratio 8^{-1/2} ≈ 0.35; allow generous noise slack
+    // but require a real decrease.
+    assert!(
+        large < small * 0.9,
+        "near fraction should shrink with n: {small} -> {large}"
+    );
+}
+
+#[test]
+fn single_point_and_tiny_datasets() {
+    // Degenerate sizes must train and classify without panicking.
+    for n in [1usize, 2, 5, 20] {
+        let data = gauss::generate(n, 2, 13);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let _ = clf.classify(&[0.0, 0.0]).unwrap();
+        let _ = clf.classify(&[100.0, 100.0]).unwrap();
+    }
+}
+
+#[test]
+fn constant_column_dataset() {
+    // A constant column (zero variance) exercises the bandwidth
+    // fallback; everything must still work.
+    let mut rng = Rng::seed_from(17);
+    let mut data = Matrix::with_cols(3);
+    for _ in 0..1000 {
+        data.push_row(&[rng.normal(0.0, 1.0), 42.0, rng.normal(0.0, 2.0)])
+            .unwrap();
+    }
+    let clf = Classifier::fit(&data, &Params::default()).unwrap();
+    assert_eq!(clf.classify(&[0.0, 42.0, 0.0]).unwrap(), tkdc::Label::High);
+    assert_eq!(clf.classify(&[0.0, 42.0, 50.0]).unwrap(), tkdc::Label::Low);
+}
+
+#[test]
+fn duplicate_heavy_dataset() {
+    // Many exact duplicates stress tree splitting and the grid cache.
+    let mut rng = Rng::seed_from(19);
+    let mut data = Matrix::with_cols(2);
+    for _ in 0..500 {
+        data.push_row(&[1.0, 1.0]).unwrap();
+    }
+    for _ in 0..500 {
+        data.push_row(&[rng.normal(0.0, 3.0), rng.normal(0.0, 3.0)])
+            .unwrap();
+    }
+    let clf = Classifier::fit(&data, &Params::default()).unwrap();
+    // The duplicated point is by far the densest spot.
+    assert_eq!(clf.classify(&[1.0, 1.0]).unwrap(), tkdc::Label::High);
+    assert_eq!(clf.classify(&[30.0, -30.0]).unwrap(), tkdc::Label::Low);
+}
