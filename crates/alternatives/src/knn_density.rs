@@ -67,7 +67,9 @@ impl KnnDensity {
             .last()
             .map(|h| h.sq_dist.sqrt())
             .unwrap_or(f64::INFINITY);
-        if r == 0.0 {
+        // r is a distance (≥ 0), so `<= 0.0` is the exact-coincidence
+        // test without a bit-exact float compare.
+        if r <= 0.0 {
             // k-th neighbor coincides with x (duplicates): density is
             // unbounded at this point; report infinity honestly.
             return Ok(f64::INFINITY);

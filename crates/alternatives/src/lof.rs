@@ -135,7 +135,9 @@ impl LofModel {
         }
         let count = hits.len() as f64;
         let mean_reach = reach_acc / count;
-        if mean_reach == 0.0 {
+        // Reach distances are ≥ 0, so `<= 0.0` means all-zero without a
+        // bit-exact float compare.
+        if mean_reach <= 0.0 {
             // Query coincides with a dense cluster of duplicates.
             return Ok(1.0);
         }

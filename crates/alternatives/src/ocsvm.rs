@@ -271,6 +271,7 @@ fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
     use tkdc_common::Rng;

@@ -239,7 +239,9 @@ fn direct_convolve(
     let mut coord = vec![0usize; d];
     for node in 0..total_nodes {
         let w = weights[node];
-        if w == 0.0 {
+        // Kernel weights are ≥ 0; `<= 0.0` skips empty cells without a
+        // bit-exact float compare.
+        if w <= 0.0 {
             continue;
         }
         // Decode the node's coordinates to respect grid borders.
@@ -285,7 +287,9 @@ fn fft_convolve(
     let mut a = vec![0.0f64; padded_total];
     let mut coord = vec![0usize; d];
     for (node, &w) in weights.iter().enumerate() {
-        if w == 0.0 {
+        // Kernel weights are ≥ 0; `<= 0.0` skips empty cells without a
+        // bit-exact float compare.
+        if w <= 0.0 {
             continue;
         }
         let mut rem = node;
@@ -458,6 +462,7 @@ impl DensityEstimator for BinnedKde {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
     use crate::simple::NaiveKde;

@@ -119,6 +119,7 @@ impl DensityEstimator for RadialKde {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
     use crate::simple::NaiveKde;

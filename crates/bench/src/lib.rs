@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tkdc-bench
 //!
 //! Benchmark harness regenerating every table and figure of the tKDC
@@ -343,6 +344,7 @@ mod tests {
     use tkdc_data::{DatasetKind, DatasetSpec};
 
     #[test]
+    #[allow(clippy::float_cmp)] // "0.5" parses to exactly 0.5
     fn args_parse_pairs_and_flags() {
         let args = BenchArgs::from_args(
             ["--n", "500", "--scale", "0.5", "--full"]

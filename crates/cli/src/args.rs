@@ -157,6 +157,7 @@ pub fn usage_error(msg: impl Into<String>) -> Error {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `tkdc` — command-line density classification over CSV datasets.
 //!
 //! Subcommands:

@@ -113,6 +113,7 @@ pub fn marching_squares(
                         seg(right(), bottom());
                     }
                 }
+                // INVARIANT: cases 0 and 15 are filtered out before the match.
                 _ => unreachable!("cases 0/15 skipped above"),
             }
         }
@@ -156,7 +157,10 @@ pub fn write_svg_to(
     let sx = view_w as f64 / field_w.max(1e-300);
     let sy = view_h as f64 / field_h.max(1e-300);
     for (segments, color) in contours {
-        write!(w, r#"<path stroke="{color}" stroke-width="1.2" fill="none" d=""#)?;
+        write!(
+            w,
+            r#"<path stroke="{color}" stroke-width="1.2" fill="none" d=""#
+        )?;
         for s in segments.iter() {
             write!(
                 w,
@@ -263,8 +267,14 @@ mod tests {
                 (mx - corner.0).abs() + (my - corner.1).abs() < 1.0
             })
         };
-        assert!(hugs2((0.0, 0.0)), "a segment must isolate the TL high corner");
-        assert!(hugs2((1.0, 1.0)), "a segment must isolate the BR high corner");
+        assert!(
+            hugs2((0.0, 0.0)),
+            "a segment must isolate the TL high corner"
+        );
+        assert!(
+            hugs2((1.0, 1.0)),
+            "a segment must isolate the BR high corner"
+        );
     }
 
     #[test]

@@ -234,9 +234,10 @@ impl Matrix {
         let mut idx: Vec<usize> = (0..self.rows).collect();
         // Partial Fisher–Yates: only the first n positions need shuffling.
         for i in 0..n {
-            let j = i + (rng.next_u64() as usize) % (self.rows - i);
+            let j = i + (rng.next_u64() as usize) % (self.rows - i); // CAST: truncation before the modulo keeps j in range
             idx.swap(i, j);
         }
+        // INVARIANT: idx is a permutation of 0..rows and n <= rows.
         self.select_rows(&idx[..n]).expect("indices are in range")
     }
 
@@ -265,6 +266,7 @@ impl Matrix {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
     use crate::rng::Rng;

@@ -82,7 +82,7 @@ pub fn quantile_in_place(xs: &mut [f64], p: f64) -> Result<f64> {
     }
     let n = xs.len();
     // 1-based rank ⌈np⌉ clamped into [1, n]; convert to 0-based.
-    let rank = ((n as f64 * p).ceil() as usize).clamp(1, n);
+    let rank = ((n as f64 * p).ceil() as usize).clamp(1, n); // CAST: ceil of n*p is >= 0; the clamp bounds it
     Ok(quickselect(xs, rank - 1))
 }
 
@@ -119,8 +119,8 @@ pub fn quantile_ci_ranks(s: usize, p: f64, delta: f64) -> Result<(usize, usize)>
     let z = normal_quantile(1.0 - delta / 2.0);
     let half_width = z * (sf * p * (1.0 - p)).sqrt();
     let center = sf * p;
-    let mut l = (center - half_width).floor().max(0.0) as usize;
-    let u_raw = (center + half_width).ceil() as usize;
+    let mut l = (center - half_width).floor().max(0.0) as usize; // CAST: floored and clamped non-negative
+    let u_raw = (center + half_width).ceil() as usize; // CAST: non-negative; clamped to s-1 below
     let u = u_raw.min(s - 1);
     // When one side of the interval is clipped by the sample boundary,
     // compensate by widening the other side so the binomial mass between
@@ -131,8 +131,8 @@ pub fn quantile_ci_ranks(s: usize, p: f64, delta: f64) -> Result<(usize, usize)>
     }
     let l_raw = center - half_width;
     if l_raw < 0.0 {
-        let overflow = (-l_raw).ceil() as usize;
-        // u already clamped to s-1 above; widen as far as possible.
+        let overflow = (-l_raw).ceil() as usize; // CAST: -l_raw is positive and at most half_width
+                                                 // u already clamped to s-1 above; widen as far as possible.
         return Ok((0, (u + overflow).min(s - 1)));
     }
     let l = l.min(s - 1);
@@ -200,6 +200,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
 
@@ -211,7 +212,7 @@ mod tests {
     fn quickselect_agrees_with_sort() {
         let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0];
         let mut sorted = xs.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         for k in 0..xs.len() {
             let mut buf = xs.to_vec();
             assert_eq!(quickselect(&mut buf, k), sorted[k], "k={k}");

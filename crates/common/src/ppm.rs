@@ -96,9 +96,9 @@ pub fn heat_color(v: f64) -> [u8; 3] {
         if v <= t1 {
             let f = if t1 > t0 { (v - t0) / (t1 - t0) } else { 0.0 };
             return [
-                (c0[0] + f * (c1[0] - c0[0])) as u8,
-                (c0[1] + f * (c1[1] - c0[1])) as u8,
-                (c0[2] + f * (c1[2] - c0[2])) as u8,
+                (c0[0] + f * (c1[0] - c0[0])) as u8, // CAST: lerp of u8 endpoints stays in 0..=255
+                (c0[1] + f * (c1[1] - c0[1])) as u8, // CAST: lerp of u8 endpoints stays in 0..=255
+                (c0[2] + f * (c1[2] - c0[2])) as u8, // CAST: lerp of u8 endpoints stays in 0..=255
             ];
         }
     }

@@ -68,16 +68,16 @@ impl Rng {
     pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
         // Lemire (2019): unbiased bounded integers via 128-bit multiply.
-        let mut m = (self.next_u64() as u128) * (bound as u128);
-        let mut lo = m as u64;
+        let mut m = (self.next_u64() as u128) * (bound as u128); // CAST: u64 -> u128 widening for the 128-bit product
+        let mut lo = m as u64; // CAST: low 64 bits, intentionally
         if lo < bound {
             let threshold = bound.wrapping_neg() % bound;
             while lo < threshold {
-                m = (self.next_u64() as u128) * (bound as u128);
-                lo = m as u64;
+                m = (self.next_u64() as u128) * (bound as u128); // CAST: u64 -> u128 widening for the 128-bit product
+                lo = m as u64; // CAST: low 64 bits, intentionally
             }
         }
-        (m >> 64) as u64
+        (m >> 64) as u64 // CAST: m >> 64 fits u64 exactly
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -109,7 +109,7 @@ impl Rng {
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.next_below(i as u64 + 1) as usize;
+            let j = self.next_below(i as u64 + 1) as usize; // CAST: i < n fits u64; result <= i fits usize
             xs.swap(i, j);
         }
     }
@@ -137,7 +137,7 @@ impl Rng {
         weights
             .iter()
             .rposition(|&w| w > 0.0)
-            .expect("at least one positive weight")
+            .expect("at least one positive weight") // INVARIANT: total > 0 asserted above
     }
 }
 

@@ -10,7 +10,10 @@
 /// Computed through the regularized lower incomplete gamma function:
 /// `erf(x) = sign(x) · P(1/2, x²)`, using the standard series expansion
 /// for small arguments and the Lentz continued fraction for large ones.
+#[allow(clippy::float_cmp)] // exact ±0 fast path below is intentional
 pub fn erf(x: f64) -> f64 {
+    // erf(±0) = ±0 exactly; bit-exact compare intended.
+    // tkdc-lint: allow(float-eq)
     if x == 0.0 {
         return 0.0;
     }
@@ -29,8 +32,11 @@ pub fn erfc(x: f64) -> f64 {
 }
 
 /// Regularized lower incomplete gamma `P(a, x)`.
+#[allow(clippy::float_cmp)] // exact-zero fast path below is intentional
 fn gamma_p(a: f64, x: f64) -> f64 {
     debug_assert!(a > 0.0 && x >= 0.0);
+    // P(a, 0) = 0 exactly; bit-exact compare intended.
+    // tkdc-lint: allow(float-eq)
     if x == 0.0 {
         0.0
     } else if x < a + 1.0 {
@@ -41,8 +47,11 @@ fn gamma_p(a: f64, x: f64) -> f64 {
 }
 
 /// Regularized upper incomplete gamma `Q(a, x) = 1 - P(a, x)`.
+#[allow(clippy::float_cmp)] // exact-zero fast path below is intentional
 fn gamma_q(a: f64, x: f64) -> f64 {
     debug_assert!(a > 0.0 && x >= 0.0);
+    // Q(a, 0) = 1 exactly; bit-exact compare intended.
+    // tkdc-lint: allow(float-eq)
     if x == 0.0 {
         1.0
     } else if x < a + 1.0 {

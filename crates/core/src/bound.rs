@@ -152,7 +152,7 @@ impl<'a> DensityBounder<'a> {
                         exact += self.kernel.eval_pair(x, p);
                     }
                     exact /= n;
-                    scratch.stats.kernel_evals += self.tree.count(entry.node) as u64;
+                    scratch.stats.kernel_evals += self.tree.count(entry.node) as u64; // CAST: usize count widens to u64
                     f_lo += exact;
                     f_hi += exact;
                 }
@@ -243,7 +243,7 @@ impl<'a> DensityBounder<'a> {
                         exact += self.kernel.eval_pair(x, p);
                     }
                     exact /= n;
-                    scratch.stats.kernel_evals += self.tree.count(entry.node) as u64;
+                    scratch.stats.kernel_evals += self.tree.count(entry.node) as u64; // CAST: usize count widens to u64
                     f_lo += exact;
                     f_hi += exact;
                 }
@@ -298,6 +298,7 @@ impl<'a> DensityBounder<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
     use tkdc_common::{Matrix, Rng};
@@ -362,7 +363,7 @@ mod tests {
             .iter_rows()
             .map(|r| naive_density(&data, &kernel, r))
             .collect();
-        dens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dens.sort_by(f64::total_cmp);
         let t = dens[dens.len() / 20];
         for _ in 0..50 {
             let q = [
@@ -397,7 +398,7 @@ mod tests {
             .iter_rows()
             .map(|r| naive_density(&data, &kernel, r))
             .collect();
-        dens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dens.sort_by(f64::total_cmp);
         let t = dens[dens.len() / 100]; // 1% threshold
         let mut rng = Rng::seed_from(13);
         for _ in 0..200 {

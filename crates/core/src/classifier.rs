@@ -415,6 +415,7 @@ impl Classifier {
                 }));
             }
             for h in handles {
+                // INVARIANT: re-raising a worker panic is the only sound option here.
                 results.push(h.join().expect("classification thread panicked"));
             }
         });
@@ -430,6 +431,7 @@ impl Classifier {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
     use crate::params::Optimizations;
@@ -570,10 +572,7 @@ mod tests {
         assert!(clf.classify(&[f64::NAN, 0.0]).is_err());
         assert!(clf.classify(&[0.0, f64::NAN]).is_err());
         // Infinite coordinates are legitimate far-tail queries.
-        assert_eq!(
-            clf.classify(&[f64::INFINITY, 0.0]).unwrap(),
-            Label::Low
-        );
+        assert_eq!(clf.classify(&[f64::INFINITY, 0.0]).unwrap(), Label::Low);
     }
 
     #[test]

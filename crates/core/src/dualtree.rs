@@ -254,6 +254,7 @@ fn recurse(
         let entry = frontier.swap_remove(i);
         f_lo -= entry.w_lo;
         f_hi -= entry.w_hi;
+        // INVARIANT: only internal nodes produce a positive refinement gap.
         let (l, r) = rtree.children(entry.node).expect("selected as splittable");
         for child in [l, r] {
             let (u_min, u_max) = box_pair_bounds(qtree, qnode, rtree, child, inv_h);
@@ -316,7 +317,7 @@ fn mark(qtree: &KdTree, qnode: u32, labels: &mut [Label], label: Label) -> u64 {
     for l in &mut labels[start..start + count] {
         *l = label;
     }
-    count as u64
+    count as u64 // CAST: usize count widens to u64
 }
 
 /// Row offset of a node's range within the tree's reordered point order.

@@ -45,7 +45,7 @@ impl<W: Write> Enc<W> {
         Ok(())
     }
     fn f64s(&mut self, vs: &[f64]) -> Result<()> {
-        self.u64(vs.len() as u64)?;
+        self.u64(vs.len() as u64)?; // CAST: usize -> u64 is lossless
         for &v in vs {
             self.f64(v)?;
         }
@@ -101,7 +101,7 @@ impl<R: Read> Dec<R> {
         if n > (1 << 40) {
             return Err(Error::Numeric(format!("implausible length field {n}")));
         }
-        Ok(n as usize)
+        Ok(n as usize) // CAST: n <= 2^40 checked above
     }
 }
 
@@ -121,21 +121,21 @@ pub fn save_model_to(clf: &Classifier, writer: impl Write) -> Result<()> {
         KernelKind::Gaussian => 0,
         KernelKind::Epanechnikov => 1,
     })?;
-    w.u64(p.leaf_size as u64)?;
+    w.u64(p.leaf_size as u64)?; // CAST: usize -> u64 is lossless
     let opts = p.opts;
     w.byte(
-        (opts.threshold_rule as u8)
-            | (opts.tolerance_rule as u8) << 1
-            | (opts.equiwidth_split as u8) << 2
-            | (opts.grid as u8) << 3,
+        (opts.threshold_rule as u8) // CAST: bool is 0 or 1
+            | (opts.tolerance_rule as u8) << 1 // CAST: bool is 0 or 1
+            | (opts.equiwidth_split as u8) << 2 // CAST: bool is 0 or 1
+            | (opts.grid as u8) << 3, // CAST: bool is 0 or 1
     )?;
     w.u64(p.seed)?;
-    w.u64(p.bootstrap.r0 as u64)?;
-    w.u64(p.bootstrap.s0 as u64)?;
+    w.u64(p.bootstrap.r0 as u64)?; // CAST: usize -> u64 is lossless
+    w.u64(p.bootstrap.s0 as u64)?; // CAST: usize -> u64 is lossless
     w.f64(p.bootstrap.growth)?;
     w.f64(p.bootstrap.backoff)?;
     w.f64(p.bootstrap.buffer)?;
-    w.u64(p.bootstrap.max_retries as u64)?;
+    w.u64(p.bootstrap.max_retries as u64)?; // CAST: usize -> u64 is lossless
 
     // Threshold.
     w.f64(clf.threshold())?;
@@ -148,10 +148,10 @@ pub fn save_model_to(clf: &Classifier, writer: impl Write) -> Result<()> {
 
     // Tree.
     let raw = clf.tree().to_raw_parts();
-    w.u64(raw.dim as u64)?;
-    w.u64(raw.leaf_size as u64)?;
+    w.u64(raw.dim as u64)?; // CAST: usize -> u64 is lossless
+    w.u64(raw.leaf_size as u64)?; // CAST: usize -> u64 is lossless
     w.f64s(&raw.points)?;
-    w.u64(raw.nodes.len() as u64)?;
+    w.u64(raw.nodes.len() as u64)?; // CAST: usize -> u64 is lossless
     for t in &raw.nodes {
         for &v in t {
             w.u32(v)?;
@@ -166,8 +166,8 @@ pub fn save_model_to(clf: &Classifier, writer: impl Write) -> Result<()> {
         Some(g) => {
             w.byte(1)?;
             w.f64s(&g.cell)?;
-            w.u64(g.n_points as u64)?;
-            w.u64(g.entries.len() as u64)?;
+            w.u64(g.n_points as u64)?; // CAST: usize -> u64 is lossless
+            w.u64(g.entries.len() as u64)?; // CAST: usize -> u64 is lossless
             for &(k, c) in &g.entries {
                 w.u128(k)?;
                 w.u32(c)?;
@@ -209,7 +209,7 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
             return Err(Error::Numeric(format!("unknown kernel kind {other}")));
         }
     };
-    let leaf_size = r.u64()? as usize;
+    let leaf_size = r.u64()? as usize; // CAST: u64 -> usize is lossless on 64-bit targets
     let opt_bits = r.byte()?;
     let opts = Optimizations {
         threshold_rule: opt_bits & 1 != 0,
@@ -219,12 +219,12 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
     };
     let seed = r.u64()?;
     let bootstrap = BootstrapParams {
-        r0: r.u64()? as usize,
-        s0: r.u64()? as usize,
+        r0: r.u64()? as usize, // CAST: u64 -> usize is lossless on 64-bit targets
+        s0: r.u64()? as usize, // CAST: u64 -> usize is lossless on 64-bit targets
         growth: r.f64()?,
         backoff: r.f64()?,
         buffer: r.f64()?,
-        max_retries: r.u64()? as usize,
+        max_retries: r.u64()? as usize, // CAST: u64 -> usize is lossless on 64-bit targets
     };
     let params = Params {
         p,
@@ -251,8 +251,8 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
     let bandwidths = r.f64s()?;
     let kernel = Kernel::new(kernel_kind, bandwidths)?;
 
-    let dim = r.u64()? as usize;
-    let tree_leaf = r.u64()? as usize;
+    let dim = r.u64()? as usize; // CAST: u64 -> usize is lossless on 64-bit targets
+    let tree_leaf = r.u64()? as usize; // CAST: u64 -> usize is lossless on 64-bit targets
     let points = r.f64s()?;
     let n_nodes = r.len_checked()?;
     let mut nodes = Vec::with_capacity(n_nodes);
@@ -280,7 +280,7 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
         0 => None,
         1 => {
             let cell = r.f64s()?;
-            let n_points = r.u64()? as usize;
+            let n_points = r.u64()? as usize; // CAST: u64 -> usize is lossless on 64-bit targets
             let n_entries = r.len_checked()?;
             let mut entries = Vec::with_capacity(n_entries);
             for _ in 0..n_entries {
@@ -308,6 +308,7 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<Classifier> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
     use crate::classifier::Label;

@@ -139,6 +139,7 @@ impl QueryScratch {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
 

@@ -94,12 +94,19 @@ pub fn bound_threshold(
         // certainly-HIGH even though its corrected value belongs inside
         // the CI ranks, corrupting the order statistics.
         let mut densities: Vec<f64> = Vec::with_capacity(s);
-        let raw_hi = if t_hi.is_finite() { t_hi + self_contrib } else { t_hi };
+        let raw_hi = if t_hi.is_finite() {
+            t_hi + self_contrib
+        } else {
+            t_hi
+        };
         for q in xs.iter_rows() {
             let b = bounder.bound_density(q, t_lo + self_contrib, raw_hi, &mut scratch);
             densities.push((b.midpoint() - self_contrib).max(0.0));
         }
-        densities.sort_by(|a, b| a.partial_cmp(b).expect("densities are finite"));
+        // IEEE total order: a NaN density (which bound_density should
+        // never produce, but a poisoned input could) sorts last instead of
+        // panicking mid-bootstrap.
+        densities.sort_by(f64::total_cmp);
 
         let (l, u) = quantile_ci_ranks(s, params.p, params.delta)?;
         let d_l = densities[l];
@@ -153,7 +160,7 @@ pub fn bound_threshold(
         t_hi = d_u * params.bootstrap.buffer;
         t_lo = d_l / params.bootstrap.buffer;
         retries_left = params.bootstrap.max_retries;
-        let grown = (r as f64 * params.bootstrap.growth) as usize;
+        let grown = (r as f64 * params.bootstrap.growth) as usize; // CAST: r*growth is a sample count far below 2^53
         r = grown.min(n).max(r + 1);
     }
 }

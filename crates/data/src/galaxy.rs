@@ -45,7 +45,7 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
             // Cluster member.
             let c = &centers[rng.next_below(CLUSTERS as u64) as usize];
             m.push_row(&[rng.normal(c[0], 1.8), rng.normal(c[1], 1.8)])
-                .expect("fixed width");
+                .expect("fixed width"); // INVARIANT: row width is constant
         } else if u < 0.9 {
             // Filament member: point along a curved arc between two
             // clusters with modest scatter.
@@ -60,11 +60,11 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
             let (px, py) = (-dy / len, dx / len);
             let x = ax + dx * t + px * bend + rng.normal(0.0, 0.8);
             let y = ay + dy * t + py * bend + rng.normal(0.0, 0.8);
-            m.push_row(&[x, y]).expect("fixed width");
+            m.push_row(&[x, y]).expect("fixed width"); // INVARIANT: row width is constant
         } else {
             // Field galaxy (sparse background).
             m.push_row(&[rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)])
-                .expect("fixed width");
+                .expect("fixed width"); // INVARIANT: row width is constant
         }
     }
     m

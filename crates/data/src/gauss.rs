@@ -13,7 +13,7 @@ pub fn generate(n: usize, d: usize, seed: u64) -> Matrix {
         for v in &mut row {
             *v = rng.standard_normal();
         }
-        m.push_row(&row).expect("row width is fixed");
+        m.push_row(&row).expect("row width is fixed"); // INVARIANT: row width is constant
     }
     m
 }

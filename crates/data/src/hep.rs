@@ -40,7 +40,7 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
             let z = mean[k][c] + scale[k][c] * rng.standard_normal();
             row[c] = if heavy_tail[c] { (0.5 * z).exp() } else { z };
         }
-        m.push_row(&row).expect("fixed width");
+        m.push_row(&row).expect("fixed width"); // INVARIANT: row width is constant
     }
     m
 }

@@ -44,7 +44,7 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
             let target = regime_base[regime][c];
             state[c] = target + rho[c] * (state[c] - target) + rng.normal(0.0, sigma[c]);
         }
-        m.push_row(&state).expect("fixed width");
+        m.push_row(&state).expect("fixed width"); // INVARIANT: row width is constant
     }
     m
 }

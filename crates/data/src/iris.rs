@@ -20,7 +20,7 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
     for _ in 0..n {
         let c = &comps[rng.weighted_index(&weights)];
         m.push_row(&[rng.normal(c.1, c.3), rng.normal(c.2, c.4)])
-            .expect("fixed width");
+            .expect("fixed width"); // INVARIANT: row width is constant
     }
     m
 }

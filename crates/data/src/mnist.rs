@@ -45,7 +45,7 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
         for p in img.iter_mut() {
             *p = (*p + rng.normal(0.0, 0.01)).clamp(0.0, 1.0);
         }
-        m.push_row(&img).expect("fixed width");
+        m.push_row(&img).expect("fixed width"); // INVARIANT: row width is constant
     }
     m
 }

@@ -54,7 +54,7 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
                 row[i] = centers[c][i] + rng.normal(0.0, scales[c][i]);
             }
         }
-        m.push_row(&row).expect("fixed width");
+        m.push_row(&row).expect("fixed width"); // INVARIANT: row width is constant
     }
     m
 }

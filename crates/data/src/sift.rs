@@ -50,7 +50,7 @@ pub fn generate_with_dim(n: usize, d: usize, seed: u64) -> Matrix {
             // Shift positive and clamp like real descriptor magnitudes.
             *out = (acc * 10.0 + 40.0 + rng.normal(0.0, 2.0)).max(0.0);
         }
-        m.push_row(&row).expect("fixed width");
+        m.push_row(&row).expect("fixed width"); // INVARIANT: row width is constant
     }
     m
 }

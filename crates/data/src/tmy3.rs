@@ -52,7 +52,7 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
             // Loads are non-negative.
             row[c] = load.max(0.0);
         }
-        m.push_row(&row).expect("fixed width");
+        m.push_row(&row).expect("fixed width"); // INVARIANT: row width is constant
     }
     m
 }

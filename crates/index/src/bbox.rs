@@ -91,6 +91,7 @@ pub fn max_scaled_sq_dist_boxes(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
 

@@ -35,14 +35,14 @@ impl Hasher for MixHasher {
     fn write(&mut self, bytes: &[u8]) {
         // Generic path (unused for u128 keys but required by the trait).
         for &b in bytes {
-            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3); // CAST: u8 byte widens losslessly
         }
     }
 
     #[inline]
     fn write_u128(&mut self, x: u128) {
         // splitmix-style avalanche over both halves.
-        let mut z = (x as u64) ^ ((x >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut z = (x as u64) ^ ((x >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15); // CAST: splitting a u128 into 64-bit words
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         self.0 = z ^ (z >> 31);
@@ -125,8 +125,8 @@ impl BandwidthGrid {
                 )));
             }
             // Offset into unsigned space so negatives pack cleanly.
-            let packed = (idx as i64 + (1i64 << 31)) as u64 & 0xFFFF_FFFF;
-            key |= (packed as u128) << (32 * i);
+            let packed = (idx as i64 + (1i64 << 31)) as u64 & 0xFFFF_FFFF; // CAST: |idx| < 2^31 checked above, so the offset fits 32 bits
+            key |= (packed as u128) << (32 * i); // CAST: u64 -> u128 widening
         }
         Ok(key)
     }
@@ -136,7 +136,7 @@ impl BandwidthGrid {
     pub fn cell_count(&self, x: &[f64]) -> usize {
         debug_assert_eq!(x.len(), self.cell.len());
         match Self::cell_key(x, &self.cell) {
-            Ok(key) => self.counts.get(&key).copied().unwrap_or(0) as usize,
+            Ok(key) => self.counts.get(&key).copied().unwrap_or(0) as usize, // CAST: cell counts are bounded by n
             Err(_) => 0,
         }
     }

@@ -116,10 +116,10 @@ impl KdTree {
         rule: SplitRule,
         scratch: &mut Vec<f64>,
     ) -> u32 {
-        let idx = self.nodes.len() as u32;
+        let idx = self.nodes.len() as u32; // CAST: node arena stays far below 2^32 entries
         self.nodes.push(Node {
-            start: start as u32,
-            end: end as u32,
+            start: start as u32, // CAST: point indices fit u32
+            end: end as u32,     // CAST: point indices fit u32
             left: NO_CHILD,
             right: NO_CHILD,
         });
@@ -183,8 +183,8 @@ impl KdTree {
         }
         let left = self.build_node(start, mid, depth + 1, rule, scratch);
         let right = self.build_node(mid, end, depth + 1, rule, scratch);
-        self.nodes[idx as usize].left = left;
-        self.nodes[idx as usize].right = right;
+        self.nodes[idx as usize].left = left; // CAST: u32 id widens to usize
+        self.nodes[idx as usize].right = right; // CAST: u32 id widens to usize
         idx
     }
 
@@ -205,8 +205,8 @@ impl KdTree {
         match rule {
             SplitRule::TrimmedMidpoint => {
                 // (x^(10) + x^(90)) / 2 with 1-based ceil ranks.
-                let r10 = ((n as f64 * 0.10).ceil() as usize).clamp(1, n) - 1;
-                let r90 = ((n as f64 * 0.90).ceil() as usize).clamp(1, n) - 1;
+                let r10 = ((n as f64 * 0.10).ceil() as usize).clamp(1, n) - 1; // CAST: rank in [0, n] after clamp
+                let r90 = ((n as f64 * 0.90).ceil() as usize).clamp(1, n) - 1; // CAST: rank in [0, n] after clamp
                 let p10 = quickselect(scratch, r10);
                 let p90 = quickselect(scratch, r90);
                 0.5 * (p10 + p90)
@@ -278,22 +278,22 @@ impl KdTree {
     /// Number of points under node `id`.
     #[inline]
     pub fn count(&self, id: u32) -> usize {
-        let n = &self.nodes[id as usize];
-        (n.end - n.start) as usize
+        let n = &self.nodes[id as usize]; // CAST: u32 id widens to usize
+        (n.end - n.start) as usize // CAST: u32 range widens to usize
     }
 
     /// `(start, end)` row range this node owns within the tree's
     /// reordered point order (`node_points` yields exactly these rows).
     #[inline]
     pub fn node_range(&self, id: u32) -> (usize, usize) {
-        let n = &self.nodes[id as usize];
-        (n.start as usize, n.end as usize)
+        let n = &self.nodes[id as usize]; // CAST: u32 id widens to usize
+        (n.start as usize, n.end as usize) // CAST: u32 offsets widen to usize
     }
 
     /// `(left, right)` child ids, or `None` for a leaf.
     #[inline]
     pub fn children(&self, id: u32) -> Option<(u32, u32)> {
-        let n = &self.nodes[id as usize];
+        let n = &self.nodes[id as usize]; // CAST: u32 id widens to usize
         if n.left == NO_CHILD {
             None
         } else {
@@ -304,20 +304,20 @@ impl KdTree {
     /// True when node `id` is a leaf.
     #[inline]
     pub fn is_leaf(&self, id: u32) -> bool {
-        self.nodes[id as usize].left == NO_CHILD
+        self.nodes[id as usize].left == NO_CHILD // CAST: u32 id widens to usize
     }
 
     /// Bounding-box minima of node `id`.
     #[inline]
     pub fn box_lo(&self, id: u32) -> &[f64] {
-        let off = id as usize * self.dim;
+        let off = id as usize * self.dim; // CAST: u32 id widens to usize
         &self.node_lo[off..off + self.dim]
     }
 
     /// Bounding-box maxima of node `id`.
     #[inline]
     pub fn box_hi(&self, id: u32) -> &[f64] {
-        let off = id as usize * self.dim;
+        let off = id as usize * self.dim; // CAST: u32 id widens to usize
         &self.node_hi[off..off + self.dim]
     }
 
@@ -335,8 +335,8 @@ impl KdTree {
 
     /// Iterator over the point rows stored under node `id`.
     pub fn node_points(&self, id: u32) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
-        let n = &self.nodes[id as usize];
-        self.points[(n.start as usize) * self.dim..(n.end as usize) * self.dim]
+        let n = &self.nodes[id as usize]; // CAST: u32 id widens to usize
+        self.points[(n.start as usize) * self.dim..(n.end as usize) * self.dim] // CAST: u32 offsets widen to usize
             .chunks_exact(self.dim)
     }
 
@@ -414,10 +414,11 @@ impl KdTree {
         {
             return Err(invalid_param("raw", "node buffers inconsistent"));
         }
-        let node_count = raw.nodes.len() as u32;
+        let node_count = raw.nodes.len() as u32; // CAST: >= 2^32 nodes are unaddressable by u32 links anyway
         let mut nodes = Vec::with_capacity(raw.nodes.len());
         for (id, t) in raw.nodes.iter().enumerate() {
             let [start, end, left, right] = *t;
+            // CAST: u32 end widens to usize
             if start > end || end as usize > n {
                 return Err(invalid_param("raw", "node range out of bounds"));
             }
@@ -425,9 +426,12 @@ impl KdTree {
             // builder pushes children after their parent), which rules out
             // self-references and cycles that would hang traversal on a
             // corrupted model file.
-            let valid_child = |c: u32| c == NO_CHILD || (c < node_count && c as usize > id);
+            let valid_child = |c: u32| c == NO_CHILD || (c < node_count && c as usize > id); // CAST: u32 child id widens to usize
             if !valid_child(left) || !valid_child(right) {
-                return Err(invalid_param("raw", "child link out of bounds or non-forward"));
+                return Err(invalid_param(
+                    "raw",
+                    "child link out of bounds or non-forward",
+                ));
             }
             if (left == NO_CHILD) != (right == NO_CHILD) {
                 return Err(invalid_param("raw", "node must have zero or two children"));

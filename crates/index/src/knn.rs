@@ -73,6 +73,7 @@ pub fn k_nearest(
         let lo = tree.box_lo(node);
         let hi = tree.box_hi(node);
         let box_dist = min_scaled_sq_dist(x, lo, hi, inv_h);
+        // INVARIANT: len == k > 0
         if best.len() == k && box_dist >= best.peek().expect("non-empty").sq_dist {
             return;
         }
@@ -85,7 +86,9 @@ pub fn k_nearest(
                         let z = (x[i] - p[i]) * inv_h[i];
                         acc += z * z;
                     }
-                    if skip_identical && acc == 0.0 {
+                    // acc is a sum of squares, so `<= 0.0` is exactly the
+                    // zero-distance test without a bit-exact float compare.
+                    if skip_identical && acc <= 0.0 {
                         continue;
                     }
                     if best.len() < k {
@@ -93,6 +96,7 @@ pub fn k_nearest(
                             sq_dist: acc,
                             row: start + offset,
                         });
+                        // INVARIANT: len == k > 0
                     } else if acc < best.peek().expect("non-empty").sq_dist {
                         best.pop();
                         best.push(Neighbor {
@@ -119,6 +123,7 @@ pub fn k_nearest(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
     use crate::kdtree::SplitRule;

@@ -128,6 +128,7 @@ pub fn lscv_select(data: &Matrix, candidates: &[f64]) -> Result<(f64, Vec<f64>)>
             best = Some((score, b));
         }
     }
+    // INVARIANT: the candidate loop ran at least once, so best is Some.
     let (_, b) = best.expect("candidates verified non-empty");
     Ok((b, base.iter().map(|&x| x * b).collect()))
 }

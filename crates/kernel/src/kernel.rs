@@ -146,7 +146,13 @@ impl Kernel {
     /// property all spatial pruning bounds rely on.
     #[inline]
     pub fn eval_scaled_sq(&self, u: f64) -> f64 {
-        debug_assert!(u >= 0.0);
+        // NaN is explicitly tolerated: a NaN distance (poisoned input
+        // coordinates) must flow through as a NaN kernel value — callers
+        // order densities with total_cmp — not abort in debug builds.
+        debug_assert!(
+            u >= 0.0 || u.is_nan(),
+            "scaled squared distance must not be negative"
+        );
         match self.kind {
             KernelKind::Gaussian => self.norm * (-0.5 * u).exp(),
             KernelKind::Epanechnikov => {
@@ -196,6 +202,7 @@ impl Kernel {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
 

@@ -62,6 +62,7 @@ pub fn lower_tri_mul(l: &Matrix, x: &[f64]) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
 

@@ -80,6 +80,9 @@ pub fn eigen_symmetric(a: &Matrix) -> Result<Eigen> {
         for p in 0..d {
             for q in (p + 1)..d {
                 let apq = m[p * d + q];
+                // Rotation is the identity only for an exactly-zero
+                // off-diagonal; bit-exact compare intended.
+                // tkdc-lint: allow(float-eq)
                 if apq == 0.0 {
                     continue;
                 }
@@ -121,7 +124,8 @@ pub fn eigen_symmetric(a: &Matrix) -> Result<Eigen> {
     }
 
     let mut pairs: Vec<(f64, usize)> = (0..d).map(|i| (m[i * d + i], i)).collect();
-    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    // Descending by eigenvalue; total_cmp keeps the sort NaN-safe.
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     let values: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
     let mut vectors = Matrix::zeros(d, d);

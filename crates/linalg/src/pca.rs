@@ -106,7 +106,8 @@ impl Pca {
                 (acc, i)
             })
             .collect();
-        pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        // Descending by explained variance; total_cmp keeps it NaN-safe.
+        pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut components = Matrix::zeros(k, d);
         let mut explained = Vec::with_capacity(k);
         for (out_row, &(val, src)) in pairs.iter().enumerate() {

@@ -1,0 +1,150 @@
+#![forbid(unsafe_code)]
+//! `xtask` — workspace automation for the tKDC reproduction.
+//!
+//! Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint [paths...]
+//! ```
+//!
+//! runs `tkdc-lint`, the from-scratch static-analysis pass enforcing the
+//! workspace's numeric-soundness invariants (see [`lints`] for the rule
+//! table and the `INVARIANT:` / `SAFETY:` / `CAST:` marker convention).
+//! With no arguments the whole workspace is scanned; explicit file or
+//! directory paths restrict the scan. Exits non-zero when any violation
+//! is found, printing rustc-style `file:line:col` diagnostics.
+
+mod lints;
+mod scan;
+mod walk;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+xtask — workspace automation
+
+USAGE:
+    cargo run -p xtask -- <SUBCOMMAND>
+
+SUBCOMMANDS:
+    lint [paths...]   run the tkdc-lint numeric-soundness pass
+                      (whole workspace when no paths are given)
+
+LINT RULES:
+    L1 partial-cmp-unwrap  no `partial_cmp(..).unwrap()/.expect(..)`; use `f64::total_cmp`
+    L2 panic               no unwrap/expect/panic!/unreachable! in library code
+                           without an `// INVARIANT:` justification
+    L3 float-eq            no `==`/`!=` on floats outside tests
+    L4 unsafe              every `unsafe` needs a `// SAFETY:` comment
+    L5 lossy-cast          lossy `as` casts in crates/{core,index,kernel,common}
+                           need a `// CAST:` justification
+
+    Per-line suppression: `// tkdc-lint: allow(<rule>)` on the same or the
+    preceding line, e.g. `// tkdc-lint: allow(float-eq)`.
+";
+
+/// Resolve the workspace root: `CARGO_MANIFEST_DIR/../..` when run via
+/// cargo, else the current directory.
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let p = PathBuf::from(dir);
+            p.ancestors().nth(2).map(Path::to_path_buf).unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let targets: Vec<PathBuf> = if args.is_empty() {
+        match walk::workspace_rust_files(&root) {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!(
+                    "xtask lint: cannot walk workspace at {}: {e}",
+                    root.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        // Explicit paths: files taken as-is, directories walked.
+        let mut files = Vec::new();
+        for arg in args {
+            let p = PathBuf::from(arg);
+            let abs = if p.is_absolute() {
+                p.clone()
+            } else {
+                root.join(&p)
+            };
+            if abs.is_dir() {
+                match walk::rust_files_under(&abs, &abs) {
+                    Ok(mut inner) => {
+                        files.extend(inner.drain(..).map(|f| p.join(f)));
+                    }
+                    Err(e) => {
+                        eprintln!("xtask lint: cannot walk {}: {e}", abs.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                files.push(p);
+            }
+        }
+        files
+    };
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for rel in &targets {
+        let abs = if rel.is_absolute() {
+            rel.clone()
+        } else {
+            root.join(rel)
+        };
+        let text = match std::fs::read_to_string(&abs) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {}: {e}", abs.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        scanned += 1;
+        let kind = lints::classify(rel);
+        let rel_str = rel.display().to_string();
+        violations.extend(lints::check_file(&rel_str, &text, kind));
+    }
+
+    for v in &violations {
+        eprintln!("{}", v.render());
+    }
+    if violations.is_empty() {
+        println!("tkdc-lint: clean ({scanned} files scanned)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tkdc-lint: {} violation{} in {scanned} files",
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" },
+        );
+        ExitCode::FAILURE
+    }
+}

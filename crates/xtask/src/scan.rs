@@ -1,0 +1,331 @@
+//! Lexical source model for the lint pass.
+//!
+//! `tkdc-lint` is deliberately a *line/token-level* tool — no `syn`, no
+//! external dependencies — so every rule operates on a [`SourceModel`]:
+//! the file split into lines where string/char-literal contents and
+//! comments have been blanked out of the `code` view (byte positions are
+//! preserved), comment text is collected separately per line (markers like
+//! `// INVARIANT:` live there), and each line is tagged with whether it
+//! sits inside a `#[cfg(test)]` item.
+
+/// One physical line of a scanned source file.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// The line with comments and string/char-literal *contents* replaced
+    /// by spaces. Delimiting quotes are kept, and byte columns line up
+    /// with the original text, so token searches report real columns.
+    pub code: String,
+    /// Concatenated text of every comment (sub)span on this line.
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]`-gated block.
+    pub in_test: bool,
+}
+
+/// A scanned source file: original lines plus their lexical views.
+#[derive(Debug)]
+pub struct SourceModel {
+    /// Original text, split on `\n`.
+    pub raw: Vec<String>,
+    /// Lexical view of each line; same indexing as `raw`.
+    pub lines: Vec<SourceLine>,
+}
+
+/// Lexer state carried across lines.
+enum State {
+    Normal,
+    /// Inside `/* ... */`, tracking nesting depth.
+    Block(u32),
+    /// Inside a `"..."` string literal.
+    Str,
+    /// Inside a raw string literal terminated by `"` + this many `#`s.
+    RawStr(u32),
+}
+
+impl SourceModel {
+    /// Lex `text` into per-line code/comment views and mark
+    /// `#[cfg(test)]` regions.
+    pub fn parse(text: &str) -> SourceModel {
+        let raw: Vec<String> = text.split('\n').map(str::to_owned).collect();
+        let mut lines = Vec::with_capacity(raw.len());
+        let mut state = State::Normal;
+
+        for line in &raw {
+            let (code, comment, next) = lex_line(line, state);
+            state = next;
+            lines.push(SourceLine {
+                code,
+                comment,
+                in_test: false,
+            });
+        }
+
+        let mut model = SourceModel { raw, lines };
+        model.mark_test_regions();
+        model
+    }
+
+    /// Tag every line that falls inside a block introduced by a
+    /// `#[cfg(test)]` attribute (typically `mod tests { ... }`, but a
+    /// gated `fn` or `impl` works the same way). Tracking is by brace
+    /// depth over the blanked `code` view, so braces in strings and
+    /// comments cannot desynchronize it.
+    fn mark_test_regions(&mut self) {
+        let mut depth: i64 = 0;
+        // Depth values at which a #[cfg(test)] block was entered.
+        let mut test_depths: Vec<i64> = Vec::new();
+        let mut pending_attr = false;
+
+        for i in 0..self.lines.len() {
+            let code = self.lines[i].code.clone();
+            if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+                pending_attr = true;
+            }
+            let mut in_test_here = !test_depths.is_empty();
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if pending_attr {
+                            test_depths.push(depth);
+                            pending_attr = false;
+                            in_test_here = true;
+                        }
+                    }
+                    '}' => {
+                        if test_depths.last().is_some_and(|&d| d == depth) {
+                            test_depths.pop();
+                        }
+                        depth -= 1;
+                    }
+                    // An item ending before any block (`#[cfg(test)] use x;`)
+                    // consumes the attribute.
+                    ';' if pending_attr && test_depths.is_empty() => {
+                        pending_attr = false;
+                    }
+                    _ => {}
+                }
+            }
+            if !test_depths.is_empty() {
+                in_test_here = true;
+            }
+            self.lines[i].in_test = in_test_here;
+        }
+    }
+}
+
+/// Lex a single line starting in `state`; returns the blanked code view,
+/// the collected comment text, and the state to carry into the next line.
+fn lex_line(line: &str, mut state: State) -> (String, String, State) {
+    let bytes: Vec<char> = line.chars().collect();
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        match state {
+            State::Block(depth) => {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Normal;
+                    } else {
+                        state = State::Block(depth - 1);
+                    }
+                } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    code.push(' ');
+                    code.push(' ');
+                    comment.push_str("/*");
+                    i += 2;
+                    state = State::Block(depth + 1);
+                } else {
+                    comment.push(bytes[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if bytes[i] == '\\' {
+                    code.push(' ');
+                    if i + 1 < bytes.len() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if bytes[i] == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Normal;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if bytes[i] == '"' {
+                    let mut n = 0u32;
+                    while n < hashes && bytes.get(i + 1 + n as usize) == Some(&'#') {
+                        n += 1;
+                    }
+                    if n == hashes {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Normal;
+                        continue;
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+            State::Normal => {
+                let c = bytes[i];
+                if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                    // Line comment (incl. doc comments): rest of line.
+                    comment.push_str(&bytes[i..].iter().collect::<String>());
+                    for _ in i..bytes.len() {
+                        code.push(' ');
+                    }
+                    i = bytes.len();
+                } else if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                    code.push(' ');
+                    code.push(' ');
+                    comment.push_str("/*");
+                    i += 2;
+                    state = State::Block(1);
+                } else if c == '"' {
+                    code.push('"');
+                    i += 1;
+                    state = State::Str;
+                } else if c == 'r' && is_raw_string_start(&bytes, i) {
+                    // r"..." / r#"..."# (optionally after b); count hashes.
+                    code.push('r');
+                    i += 1;
+                    let mut hashes = 0u32;
+                    while bytes.get(i) == Some(&'#') {
+                        code.push('#');
+                        hashes += 1;
+                        i += 1;
+                    }
+                    code.push('"');
+                    i += 1;
+                    state = State::RawStr(hashes);
+                } else if c == '\'' {
+                    // Char/byte literal vs lifetime.
+                    if bytes.get(i + 1) == Some(&'\\') {
+                        // Escaped char literal: scan to the closing quote.
+                        code.push('\'');
+                        i += 1;
+                        while i < bytes.len() && bytes[i] != '\'' {
+                            if bytes[i] == '\\' {
+                                code.push(' ');
+                                code.push(' ');
+                                i += 2;
+                            } else {
+                                code.push(' ');
+                                i += 1;
+                            }
+                        }
+                        if i < bytes.len() {
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else if bytes.get(i + 2) == Some(&'\'') {
+                        // 'x' simple char literal.
+                        code.push('\'');
+                        code.push(' ');
+                        code.push('\'');
+                        i += 3;
+                    } else {
+                        // Lifetime: keep as-is.
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // Line comments never span lines.
+    (code, comment, state)
+}
+
+/// True when the `r` at `bytes[i]` begins a raw string literal.
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (`for r" ...` vs `var"`).
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = SourceModel::parse("let x = \"a.unwrap()\"; // b.unwrap()\n");
+        assert!(!m.lines[0].code.contains("unwrap"));
+        assert!(m.lines[0].comment.contains("b.unwrap()"));
+        // Byte columns preserved.
+        assert_eq!(m.lines[0].code.len(), m.raw[0].len());
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let m = SourceModel::parse("a /* x\n y */ b.unwrap()");
+        assert!(!m.lines[0].code.contains('x'));
+        assert!(!m.lines[1].code.contains('y'));
+        assert!(m.lines[1].code.contains("b.unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let m = SourceModel::parse("let s = r#\"panic!(\"x\")\"#; f()");
+        assert!(!m.lines[0].code.contains("panic"));
+        assert!(m.lines[0].code.contains("f()"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = SourceModel::parse(
+            "fn f<'a>(c: char) -> &'a str { if c == '{' { \"\" } else { \"\" } }",
+        );
+        // The '{' literal must not unbalance brace tracking.
+        assert!(m.lines[0].code.contains("<'a>"));
+        assert!(!m.lines[0].code.contains("'{'"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let m = SourceModel::parse(src);
+        assert!(!m.lines[0].in_test);
+        assert!(m.lines[3].in_test, "body of mod tests");
+        assert!(!m.lines[5].in_test, "after the test mod");
+    }
+
+    #[test]
+    fn cfg_test_on_single_item() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { x.unwrap(); }\n";
+        let m = SourceModel::parse(src);
+        assert!(
+            !m.lines[2].in_test,
+            "a `;`-terminated gated item must not leak"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Workspace file discovery for the lint pass (std-only, no `walkdir`).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor", "results"];
+
+/// Collect every `.rs` file under the workspace roots that `tkdc-lint`
+/// checks: `crates/*/{src,tests,benches,examples}`, plus the top-level
+/// `src/`, `tests/` and `examples/` of the root package. Paths are
+/// returned relative to `root`, sorted for deterministic output.
+pub fn workspace_rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "examples"] {
+        collect(&root.join(top), root, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let path = entry?.path();
+            if !path.is_dir() {
+                continue;
+            }
+            for sub in ["src", "tests", "benches", "examples"] {
+                collect(&path.join(sub), root, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Every `.rs` file under an arbitrary directory (for explicit path
+/// arguments), relative to `base`, sorted.
+pub fn rust_files_under(dir: &Path, base: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect(dir, base, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively gather `.rs` files under `dir` (if it exists) into `out`,
+/// relative to `root`.
+fn collect(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_owned();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect(&path, root, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_and_skips_vendor() {
+        // The xtask binary always runs from somewhere inside the repo;
+        // resolve the workspace root the same way main() does.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let files = workspace_rust_files(&root).unwrap();
+        assert!(files
+            .iter()
+            .any(|f| f.ends_with("crates/xtask/src/walk.rs")));
+        assert!(files.iter().any(|f| f.ends_with("src/lib.rs")));
+        assert!(!files.iter().any(|f| f.starts_with("vendor")));
+        assert!(!files.iter().any(|f| f.starts_with("target")));
+    }
+}

@@ -74,13 +74,8 @@ fn main() {
     let palette = ["#4aa3ff", "#ffd24a", "#ff5a4a"];
     let mut layers = Vec::new();
     for (clf, color) in classifiers.iter().zip(palette) {
-        let segs = tkdc_common::contour::marching_squares(
-            &field,
-            gw,
-            gh,
-            clf.threshold(),
-        )
-        .expect("contour");
+        let segs = tkdc_common::contour::marching_squares(&field, gw, gh, clf.threshold())
+            .expect("contour");
         layers.push((segs, color));
     }
     tkdc_common::contour::write_svg(

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workspace-level re-exports for examples and integration tests.
 pub use tkdc;
 pub use tkdc_baselines as baselines;

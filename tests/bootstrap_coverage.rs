@@ -40,8 +40,7 @@ fn bounds_cover_exact_threshold_across_seeds() {
 
         // Allow the ±ε slack Problem 1 grants the estimates.
         let eps = params.epsilon;
-        if exact >= bounds.lower * (1.0 - 2.0 * eps) && exact <= bounds.upper * (1.0 + 2.0 * eps)
-        {
+        if exact >= bounds.lower * (1.0 - 2.0 * eps) && exact <= bounds.upper * (1.0 + 2.0 * eps) {
             hits += 1;
         }
     }
@@ -57,10 +56,8 @@ fn bounds_tighten_with_smaller_p_spread() {
     // data, bounds at p=0.5 (densely populated quantile region) are
     // relatively tighter than at p=0.01 (sparse tail).
     let data = blob(3000, 5);
-    let (tail, _) =
-        bound_threshold(&data, &Params::default().with_p(0.01).with_seed(2)).unwrap();
-    let (median, _) =
-        bound_threshold(&data, &Params::default().with_p(0.5).with_seed(2)).unwrap();
+    let (tail, _) = bound_threshold(&data, &Params::default().with_p(0.01).with_seed(2)).unwrap();
+    let (median, _) = bound_threshold(&data, &Params::default().with_p(0.5).with_seed(2)).unwrap();
     let rel = |b: tkdc::ThresholdBounds| (b.upper - b.lower) / b.lower.max(1e-300);
     assert!(
         rel(median) < rel(tail),

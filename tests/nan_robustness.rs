@@ -1,0 +1,104 @@
+//! NaN/±inf robustness of the quantile machinery.
+//!
+//! The L1 lint (`partial_cmp().unwrap()` bans) exists because a single
+//! poisoned density used to be able to panic the threshold bootstrap
+//! mid-flight. These properties pin the contract the sweep established:
+//! order statistics and threshold estimation either return an error or a
+//! result under IEEE 754 total order — they never panic, whatever mix of
+//! NaN and ±inf the input carries.
+
+use proptest::prelude::*;
+use tkdc::threshold::bound_threshold;
+use tkdc::{BootstrapParams, Params};
+use tkdc_common::{order, Matrix};
+
+/// Bitwise membership check, so NaN and -0.0 count as themselves.
+fn is_member(xs: &[f64], v: f64) -> bool {
+    xs.iter().any(|x| x.to_bits() == v.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Quickselect must terminate and hand back an element of the input
+    /// for *any* bit pattern, NaN and infinities included.
+    #[test]
+    fn quickselect_total_on_poisoned_input(
+        xs in proptest::collection::vec(any::<f64>(), 1..64),
+        k_seed in any::<u64>(),
+    ) {
+        let k = (k_seed as usize) % xs.len();
+        let mut work = xs.clone();
+        let v = order::quickselect(&mut work, k);
+        prop_assert!(is_member(&xs, v), "quickselect returned {v} not in input");
+    }
+
+    /// On finite input quickselect agrees with a full total_cmp sort.
+    #[test]
+    fn quickselect_matches_sort_on_finite_input(
+        xs in proptest::collection::vec(-1e12f64..1e12, 1..64),
+        k_seed in any::<u64>(),
+    ) {
+        let k = (k_seed as usize) % xs.len();
+        let mut work = xs.clone();
+        let v = order::quickselect(&mut work, k);
+        let mut sorted = xs;
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(v.to_bits(), sorted[k].to_bits());
+    }
+
+    /// The p-quantile either errors (empty input / bad p) or returns a
+    /// member of the sample — no panic on poisoned data.
+    #[test]
+    fn quantile_never_panics_on_poisoned_input(
+        xs in proptest::collection::vec(any::<f64>(), 0..64),
+        p in 0.0f64..=1.0,
+    ) {
+        match order::quantile(&xs, p) {
+            Ok(v) => prop_assert!(is_member(&xs, v)),
+            Err(_) => prop_assert!(xs.is_empty()),
+        }
+    }
+
+    /// The order-statistic CI ranks the bootstrap indexes into its sorted
+    /// density sample must always be in bounds: `l <= u < s`. An
+    /// out-of-range rank would turn threshold estimation into an
+    /// index-out-of-bounds panic.
+    #[test]
+    fn quantile_ci_ranks_stay_in_bounds(
+        s in 1usize..500,
+        p in 0.0f64..=1.0,
+        delta in 0.0001f64..0.9999,
+    ) {
+        let (l, u) = order::quantile_ci_ranks(s, p, delta).unwrap();
+        prop_assert!(l <= u, "l={l} > u={u}");
+        prop_assert!(u < s, "u={u} out of bounds for s={s}");
+    }
+
+    /// Threshold estimation over data containing NaN/±inf coordinates
+    /// must come back with `Ok` or `Err`, never unwind. (Whether the
+    /// bounds are *useful* on poisoned data is a different question —
+    /// soundness of control flow is the property here.)
+    #[test]
+    fn bound_threshold_never_panics_on_poisoned_data(
+        mut values in proptest::collection::vec(any::<f64>(), 10..60),
+        d in 1usize..=2,
+        seed in any::<u64>(),
+    ) {
+        let n = values.len() / d;
+        values.truncate(n * d);
+        let data = Matrix::from_vec(values, n, d).unwrap();
+        let params = Params {
+            seed,
+            bootstrap: BootstrapParams {
+                r0: 4,
+                s0: 8,
+                max_retries: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        // Ok or Err are both acceptable; reaching this line is the test.
+        let _ = bound_threshold(&data, &params);
+    }
+}

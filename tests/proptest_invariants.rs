@@ -149,7 +149,7 @@ proptest! {
         p in 0.0f64..=1.0,
     ) {
         let q = order::quantile(&xs, p).unwrap();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         let rank = ((xs.len() as f64 * p).ceil() as usize).clamp(1, xs.len());
         prop_assert_eq!(q, xs[rank - 1]);
     }
