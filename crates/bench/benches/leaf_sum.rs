@@ -1,0 +1,41 @@
+//! Criterion microbench: the blocked leaf fast path (`Kernel::sum_block`)
+//! against the per-point `eval_pair` fold it replaced in the traversal's
+//! leaf evaluation, across leaf sizes, dimensionalities, and both kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tkdc_common::Rng;
+use tkdc_kernel::{Kernel, KernelKind};
+
+fn leaf_block(rows: usize, d: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Rng::seed_from(seed);
+    (0..rows * d).map(|_| rng.normal(0.0, 1.0)).collect()
+}
+
+fn bench_leaf_sum(c: &mut Criterion) {
+    for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+        for d in [2usize, 8, 64] {
+            let kernel = Kernel::new(kind, vec![0.8; d]).unwrap();
+            let x = vec![0.1; d];
+            let mut group = c.benchmark_group(format!("leaf_sum_{kind:?}_d{d}"));
+            for leaf in [16usize, 64, 256] {
+                let block = leaf_block(leaf, d, 7 + leaf as u64);
+                group.bench_with_input(BenchmarkId::new("sum_block", leaf), &block, |b, block| {
+                    b.iter(|| black_box(kernel.sum_block(&x, block)))
+                });
+                group.bench_with_input(BenchmarkId::new("eval_pair", leaf), &block, |b, block| {
+                    b.iter(|| {
+                        let mut acc = 0.0;
+                        for p in block.chunks_exact(d) {
+                            acc += kernel.eval_pair(&x, p);
+                        }
+                        black_box(acc)
+                    })
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_leaf_sum);
+criterion_main!(benches);

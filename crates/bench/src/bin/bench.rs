@@ -1,0 +1,309 @@
+//! Machine-readable perf baseline: fit + serial + parallel batch
+//! throughput per thread count and dataset, written to
+//! `BENCH_batch.json` so future changes can diff against a recorded
+//! trajectory instead of anecdotes.
+//!
+//! ```text
+//! cargo run --release -p tkdc-bench --bin bench -- \
+//!     [--scale F] [--queries Q] [--threads-list 1,2,4,8] \
+//!     [--seed S] [--out BENCH_batch.json]
+//! ```
+//!
+//! Two workloads per dataset:
+//! * `parallel`: the full query sample through the work-stealing
+//!   engine at each thread count, with speedup relative to serial;
+//! * `skewed` (gaussian only): a worst-case batch whose expensive
+//!   near-threshold queries sit in one contiguous block, comparing the
+//!   static-chunked scheduler against work stealing — the workload
+//!   static chunking loses on by design.
+//!
+//! All numbers are wall-clock on whatever machine runs the binary;
+//! `threads_available` is recorded so a 1-core CI runner's flat
+//! speedups aren't mistaken for a regression.
+
+use std::fmt::Write as _;
+
+use tkdc::{Classifier, Params};
+use tkdc_bench::{time, BenchArgs};
+use tkdc_common::{Matrix, Rng};
+use tkdc_data::{DatasetKind, DatasetSpec};
+
+/// JSON float: non-finite values have no JSON literal, emit null.
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct ThreadPoint {
+    threads: usize,
+    wall_s: f64,
+    qps: f64,
+    speedup: f64,
+}
+
+struct SkewPoint {
+    threads: usize,
+    static_qps: f64,
+    stealing_qps: f64,
+}
+
+struct DatasetReport {
+    name: String,
+    n: usize,
+    d: usize,
+    fit_serial_s: f64,
+    fit_parallel_s: f64,
+    fit_threads: usize,
+    threshold: f64,
+    serial_qps: f64,
+    parallel: Vec<ThreadPoint>,
+    skewed: Option<(usize, Vec<SkewPoint>)>,
+}
+
+/// A worst case for static chunking: the first eighth of the batch is
+/// near-threshold (expensive, every pruning rule fails until deep in the
+/// tree) and contiguous, the rest is far-tail (one node expansion). For a
+/// 2-d standard gaussian KDE the density at radius `r` is about
+/// `exp(-r²/2)/2π`, so the threshold circle sits at `r² = -2·ln(2π·t)`.
+fn skewed_queries(threshold: f64, total: usize, seed: u64) -> (Matrix, usize) {
+    let mut m = Matrix::with_cols(2);
+    let hard = (total / 8).max(1);
+    let r_sq = (-2.0 * (2.0 * std::f64::consts::PI * threshold).ln()).max(0.25);
+    let r = r_sq.sqrt();
+    let mut rng = Rng::seed_from(seed ^ 0x5EED);
+    for i in 0..total {
+        if i < hard {
+            // On the threshold circle, jittered within a bandwidth or so.
+            let angle = rng.uniform(0.0, 2.0 * std::f64::consts::PI);
+            let rr = r + rng.normal(0.0, 0.05);
+            m.push_row(&[rr * angle.cos(), rr * angle.sin()]).unwrap();
+        } else {
+            // Far tail: certain LOW after one bound evaluation.
+            m.push_row(&[rng.uniform(12.0, 13.0), rng.uniform(12.0, 13.0)])
+                .unwrap();
+        }
+    }
+    (m, hard)
+}
+
+fn measure_dataset(
+    name: &str,
+    data: &Matrix,
+    queries: usize,
+    threads_list: &[usize],
+    seed: u64,
+    with_skew: bool,
+) -> DatasetReport {
+    let max_threads = threads_list.iter().copied().max().unwrap_or(1);
+    let params = Params::default().with_seed(seed);
+    let (_, fit_serial) = time(|| Classifier::fit(data, &params).expect("fit"));
+    let (clf, fit_parallel) =
+        time(|| Classifier::fit_with_threads(data, &params, max_threads).expect("fit"));
+
+    let q = queries.min(data.rows()).max(1);
+    let mut rng = Rng::seed_from(seed ^ 0x9E37);
+    let query_set = data.sample_rows(q, &mut rng);
+
+    let (_, t_serial) = time(|| clf.classify_batch(&query_set).expect("classify"));
+    let serial_qps = q as f64 / t_serial.as_secs_f64().max(1e-12);
+
+    let parallel = threads_list
+        .iter()
+        .map(|&threads| {
+            let (_, t) = time(|| {
+                clf.classify_batch_parallel(&query_set, threads)
+                    .expect("classify")
+            });
+            let wall_s = t.as_secs_f64();
+            ThreadPoint {
+                threads,
+                wall_s,
+                qps: q as f64 / wall_s.max(1e-12),
+                speedup: t_serial.as_secs_f64() / wall_s.max(1e-12),
+            }
+        })
+        .collect();
+
+    let skewed = with_skew.then(|| {
+        let (skew_set, _hard) = skewed_queries(clf.threshold(), q, seed);
+        let points = threads_list
+            .iter()
+            .filter(|&&t| t > 1)
+            .map(|&threads| {
+                let (_, t_static) = time(|| {
+                    clf.classify_batch_static(&skew_set, threads)
+                        .expect("classify")
+                });
+                let (_, t_steal) = time(|| {
+                    clf.classify_batch_parallel(&skew_set, threads)
+                        .expect("classify")
+                });
+                SkewPoint {
+                    threads,
+                    static_qps: q as f64 / t_static.as_secs_f64().max(1e-12),
+                    stealing_qps: q as f64 / t_steal.as_secs_f64().max(1e-12),
+                }
+            })
+            .collect();
+        (q, points)
+    });
+
+    DatasetReport {
+        name: name.to_string(),
+        n: data.rows(),
+        d: data.cols(),
+        fit_serial_s: fit_serial.as_secs_f64(),
+        fit_parallel_s: fit_parallel.as_secs_f64(),
+        fit_threads: max_threads,
+        threshold: clf.threshold(),
+        serial_qps,
+        parallel,
+        skewed,
+    }
+}
+
+fn render_json(
+    reports: &[DatasetReport],
+    scale: f64,
+    queries: usize,
+    seed: u64,
+    threads_available: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"tkdc-bench-batch/v1\",");
+    let _ = writeln!(s, "  \"threads_available\": {threads_available},");
+    let _ = writeln!(s, "  \"scale\": {},", jf(scale));
+    let _ = writeln!(s, "  \"queries\": {queries},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    s.push_str("  \"datasets\": [\n");
+    for (di, r) in reports.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"n\": {},", r.n);
+        let _ = writeln!(s, "      \"d\": {},", r.d);
+        let _ = writeln!(s, "      \"threshold\": {},", jf(r.threshold));
+        let _ = writeln!(s, "      \"fit_serial_s\": {},", jf(r.fit_serial_s));
+        let _ = writeln!(s, "      \"fit_parallel_s\": {},", jf(r.fit_parallel_s));
+        let _ = writeln!(s, "      \"fit_threads\": {},", r.fit_threads);
+        let _ = writeln!(s, "      \"serial_qps\": {},", jf(r.serial_qps));
+        s.push_str("      \"parallel\": [\n");
+        for (i, p) in r.parallel.iter().enumerate() {
+            let comma = if i + 1 < r.parallel.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{\"threads\": {}, \"wall_s\": {}, \"qps\": {}, \"speedup\": {}}}{comma}",
+                p.threads,
+                jf(p.wall_s),
+                jf(p.qps),
+                jf(p.speedup)
+            );
+        }
+        s.push_str("      ]");
+        if let Some((skew_q, points)) = &r.skewed {
+            s.push_str(",\n      \"skewed\": {\n");
+            let _ = writeln!(s, "        \"queries\": {skew_q},");
+            let _ = writeln!(s, "        \"hard_fraction\": 0.125,");
+            s.push_str("        \"per_threads\": [\n");
+            for (i, p) in points.iter().enumerate() {
+                let comma = if i + 1 < points.len() { "," } else { "" };
+                let _ = writeln!(
+                    s,
+                    "          {{\"threads\": {}, \"static_qps\": {}, \"stealing_qps\": {}}}{comma}",
+                    p.threads,
+                    jf(p.static_qps),
+                    jf(p.stealing_qps)
+                );
+            }
+            s.push_str("        ]\n      }\n");
+        } else {
+            s.push('\n');
+        }
+        let comma = if di + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
+    let queries = args.queries();
+    let out = args
+        .get_str("out")
+        .unwrap_or("BENCH_batch.json")
+        .to_string();
+    let threads_available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads_list: Vec<usize> = args
+        .get_str("threads-list")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&t| t >= 1)
+        .collect();
+    let threads_list = if threads_list.is_empty() {
+        vec![1, 2, 4]
+    } else {
+        threads_list
+    };
+
+    let mut reports = Vec::new();
+
+    let gauss = DatasetSpec {
+        kind: DatasetKind::Gauss { d: 2 },
+        n: args.scaled_n(100_000),
+        seed,
+    }
+    .generate()
+    .expect("generate gauss");
+    eprintln!("gauss_d2: n={}, queries={}", gauss.rows(), queries);
+    reports.push(measure_dataset(
+        "gauss_d2",
+        &gauss,
+        queries,
+        &threads_list,
+        seed,
+        true,
+    ));
+
+    let tmy3 = DatasetSpec {
+        kind: DatasetKind::Tmy3,
+        n: args.scaled_n(50_000),
+        seed,
+    }
+    .generate()
+    .expect("generate tmy3");
+    let d = tmy3.cols().min(8);
+    let tmy3 = tmy3.prefix_columns(d).expect("prefix");
+    eprintln!("tmy3_d{d}: n={}, queries={}", tmy3.rows(), queries);
+    reports.push(measure_dataset(
+        &format!("tmy3_d{d}"),
+        &tmy3,
+        queries,
+        &threads_list,
+        seed,
+        false,
+    ));
+
+    let json = render_json(&reports, args.scale(), queries, seed, threads_available);
+    std::fs::write(&out, &json).expect("write baseline");
+    for r in &reports {
+        eprintln!(
+            "{}: fit {:.2}s (serial) / {:.2}s ({} threads), serial {:.0} q/s",
+            r.name, r.fit_serial_s, r.fit_parallel_s, r.fit_threads, r.serial_qps
+        );
+        for p in &r.parallel {
+            eprintln!(
+                "  threads={}: {:.0} q/s ({:.2}x)",
+                p.threads, p.qps, p.speedup
+            );
+        }
+    }
+    eprintln!("baseline written to {out}");
+}

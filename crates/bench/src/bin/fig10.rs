@@ -37,7 +37,7 @@ fn main() {
         .expect("generate");
         let mut row = vec![n.to_string()];
         for algo in algos {
-            let r = run_throughput(algo, &data, 0.01, queries, seed);
+            let r = run_throughput(algo, &data, 0.01, queries, seed, args.threads());
             row.push(fmt_qps(r.query_qps));
         }
         rows.push(row);

@@ -32,7 +32,7 @@ fn main() {
         let data = full.prefix_columns(d).expect("prefix");
         let mut row = vec![d.to_string()];
         for algo in algos {
-            let r = run_throughput(algo, &data, 0.01, queries, seed);
+            let r = run_throughput(algo, &data, 0.01, queries, seed, args.threads());
             row.push(fmt_qps(r.total_qps));
         }
         rows.push(row);

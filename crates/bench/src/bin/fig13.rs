@@ -72,7 +72,7 @@ fn main() {
         &rows,
     );
 
-    let tkdc = run_throughput(Algo::Tkdc, &data, 0.01, queries, seed);
+    let tkdc = run_throughput(Algo::Tkdc, &data, 0.01, queries, seed, args.threads());
     println!(
         "\ntkdc reference: {} queries/s (guaranteed eps=0.01)",
         fmt_qps(tkdc.query_qps)

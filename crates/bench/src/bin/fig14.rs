@@ -19,12 +19,12 @@ use tkdc_data::{mnist, DatasetKind, DatasetSpec};
 use tkdc_kernel::KernelKind;
 use tkdc_linalg::Pca;
 
-fn measure(data: &Matrix, b: f64, queries: usize, seed: u64) -> (f64, f64) {
+fn measure(data: &Matrix, b: f64, queries: usize, seed: u64, threads: usize) -> (f64, f64) {
     let mut rng = Rng::seed_from(seed ^ 0x14);
     let query_set = data.sample_rows(queries.min(data.rows()), &mut rng);
     // tKDC query throughput.
     let params = Params::default().with_seed(seed).with_bandwidth_factor(b);
-    let clf = Classifier::fit(data, &params).expect("fit");
+    let clf = Classifier::fit_with_threads(data, &params, threads).expect("fit");
     let mut scratch = QueryScratch::new();
     let (_, t_tkdc) = time(|| {
         for q in query_set.iter_rows() {
@@ -73,11 +73,11 @@ fn main() {
         }
         let data = projected.prefix_columns(d).expect("prefix");
         // 3× Scott bandwidth for PCA variants (appendix note).
-        let (tkdc_qps, naive_qps) = measure(&data, 3.0, queries, seed);
+        let (tkdc_qps, naive_qps) = measure(&data, 3.0, queries, seed, args.threads());
         rows.push(vec![d.to_string(), fmt_qps(tkdc_qps), fmt_qps(naive_qps)]);
     }
     // Raw 784 pixels with a large fixed bandwidth factor (paper: b=1000).
-    let (tkdc_qps, naive_qps) = measure(&raw, 1000.0, queries, seed);
+    let (tkdc_qps, naive_qps) = measure(&raw, 1000.0, queries, seed, args.threads());
     rows.push(vec![
         mnist::DIM.to_string(),
         fmt_qps(tkdc_qps),

@@ -31,7 +31,7 @@ fn main() {
     println!("Fig. 15: throughput vs quantile threshold p, tmy3 d=4, n={n}\n");
     let mut rows = Vec::new();
     for p in [0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
-        let r = run_throughput(Algo::Tkdc, &data, p, queries, seed);
+        let r = run_throughput(Algo::Tkdc, &data, p, queries, seed, args.threads());
         rows.push(vec![
             format!("{p:.2}"),
             fmt_qps(r.total_qps),
@@ -41,8 +41,8 @@ fn main() {
     print_table(&["p", "tkdc queries/s", "kernels/query"], &rows);
 
     // p-independent reference lines.
-    let simple = run_throughput(Algo::Simple, &data, 0.5, queries.min(300), seed);
-    let sklearn = run_throughput(Algo::Sklearn, &data, 0.5, queries, seed);
+    let simple = run_throughput(Algo::Simple, &data, 0.5, queries.min(300), seed, 1);
+    let sklearn = run_throughput(Algo::Sklearn, &data, 0.5, queries, seed, 1);
     println!(
         "\nreference: simple {} q/s, sklearn {} q/s (independent of p)",
         fmt_qps(simple.total_qps),

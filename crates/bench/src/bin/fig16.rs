@@ -62,7 +62,7 @@ fn main() {
     let mut rows = Vec::new();
     for (name, opts) in stages {
         let params = Params::default().with_seed(seed).with_opts(opts);
-        let clf = Classifier::fit(&data, &params).expect("fit");
+        let clf = Classifier::fit_with_threads(&data, &params, args.threads()).expect("fit");
         let mut scratch = QueryScratch::new();
         let (_, t_query) = time(|| {
             for q in query_set.iter_rows() {

@@ -137,7 +137,7 @@ fn main() {
                 ]);
                 continue;
             }
-            let r = run_throughput(algo, &data, p, queries, seed);
+            let r = run_throughput(algo, &data, p, queries, seed, args.threads());
             rows.push(vec![
                 algo.name().into(),
                 fmt_qps(r.total_qps),

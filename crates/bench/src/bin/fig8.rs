@@ -39,10 +39,12 @@ fn f1_of_estimator<E: DensityEstimator>(est: &E, data: &Matrix, p: f64, truth: &
     BinaryScore::from_labels(truth, &predicted).f1()
 }
 
-fn f1_of_tkdc(data: &Matrix, p: f64, truth: &[bool], seed: u64) -> f64 {
+fn f1_of_tkdc(data: &Matrix, p: f64, truth: &[bool], seed: u64, threads: usize) -> f64 {
     let params = Params::default().with_p(p).with_seed(seed);
-    let clf = Classifier::fit(data, &params).expect("fit");
-    let (labels, _) = clf.classify_batch(data).expect("classify");
+    let clf = Classifier::fit_with_threads(data, &params, threads).expect("fit");
+    let (labels, _) = clf
+        .classify_batch_parallel(data, threads)
+        .expect("classify");
     let predicted: Vec<bool> = labels.iter().map(|&l| l == Label::Low).collect();
     BinaryScore::from_labels(truth, &predicted).f1()
 }
@@ -74,7 +76,7 @@ fn main() {
                 let (truth, _) = ground_truth(&data, p);
                 let sklearn = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.1).expect("fit");
                 let f1_sklearn = f1_of_estimator(&sklearn, &data, p, &truth);
-                let f1_tkdc = f1_of_tkdc(&data, p, &truth, seed);
+                let f1_tkdc = f1_of_tkdc(&data, p, &truth, seed, args.threads());
                 let f1_ks = if d <= 4 {
                     let ks = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).expect("fit");
                     format!("{:.3}", f1_of_estimator(&ks, &data, p, &truth))

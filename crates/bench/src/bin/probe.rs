@@ -50,7 +50,8 @@ fn main() {
         tkdc_bench::Algo::Rkde,
         tkdc_bench::Algo::Simple,
     ] {
-        let (r, t) = time(|| tkdc_bench::run_throughput(algo, &data, 0.01, 200, seed));
+        let (r, t) =
+            time(|| tkdc_bench::run_throughput(algo, &data, 0.01, 200, seed, args.threads()));
         eprintln!("{}: wall {t:.2?}, qps {:.1}", algo.name(), r.total_qps);
     }
 }

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use tkdc::{Classifier, Label, Params, QueryScratch};
+use tkdc::{Classifier, Params};
 use tkdc_baselines::{BinnedKde, DensityEstimator, NaiveKde, NocutKde, RadialKde};
 use tkdc_common::{Matrix, Rng};
 use tkdc_kernel::KernelKind;
@@ -96,6 +96,23 @@ impl BenchArgs {
     /// Query-sample size (default 2000).
     pub fn queries(&self) -> usize {
         self.get_usize("queries", 2000)
+    }
+
+    /// Worker threads for the parallel engine (default: the machine's
+    /// available parallelism; results are identical for any value).
+    pub fn threads(&self) -> usize {
+        self.get_usize(
+            "threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .max(1)
+    }
+
+    /// Raw string flag.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
     }
 
     /// Boolean flag presence.
@@ -179,12 +196,16 @@ pub struct ThroughputResult {
 /// whole-dataset protocol.
 ///
 /// `p` is the classification quantile; `queries` the query sample size.
+/// `threads` drives tKDC's work-stealing engine for both training and the
+/// query batch (labels and statistics are thread-count-invariant); the
+/// single-threaded baselines ignore it.
 pub fn run_throughput(
     algo: Algo,
     data: &Matrix,
     p: f64,
     queries: usize,
     seed: u64,
+    threads: usize,
 ) -> ThroughputResult {
     let n = data.rows();
     let q = queries.min(n).max(1);
@@ -194,18 +215,15 @@ pub fn run_throughput(
     match algo {
         Algo::Tkdc => {
             let params = Params::default().with_p(p).with_seed(seed);
-            let (clf, t_train) = time(|| Classifier::fit(data, &params).expect("fit"));
-            let mut scratch = QueryScratch::new();
-            let (_, t_query) = time(|| {
-                let mut high = 0usize;
-                for row in query_set.iter_rows() {
-                    if clf.classify_with(row, &mut scratch).expect("classify") == Label::High {
-                        high += 1;
-                    }
-                }
-                high
+            let (clf, t_train) =
+                time(|| Classifier::fit_with_threads(data, &params, threads).expect("fit"));
+            let (stats, t_query) = time(|| {
+                let (_, stats) = clf
+                    .classify_batch_parallel(&query_set, threads)
+                    .expect("classify");
+                stats
             });
-            finish(n, q, t_train, t_query, scratch.stats.kernels_per_query())
+            finish(n, q, t_train, t_query, stats.kernels_per_query())
         }
         Algo::Simple => {
             let (kde, t_build) =
@@ -385,7 +403,7 @@ mod tests {
             if !algo.supports_dim(data.cols()) {
                 continue;
             }
-            let r = run_throughput(algo, &data, 0.01, 200, 1);
+            let r = run_throughput(algo, &data, 0.01, 200, 1, 2);
             assert!(r.total_qps > 0.0, "{} qps", algo.name());
             assert!(r.query_qps > 0.0);
         }

@@ -100,6 +100,18 @@ impl Flags {
         }
     }
 
+    /// Worker-thread count from `--threads`, defaulting to the machine's
+    /// available parallelism (1 when that cannot be determined).
+    pub fn threads(&self) -> Result<usize> {
+        match self.get_u64("threads")? {
+            Some(0) => Err(invalid_param("threads", "`--threads` must be at least 1")),
+            Some(n) => Ok(n as usize), // CAST: thread counts are tiny
+            None => Ok(std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)),
+        }
+    }
+
     /// Column subset, e.g. `--columns 3,5`.
     pub fn columns(&self) -> Result<Option<Vec<usize>>> {
         match self.get("columns") {
@@ -219,6 +231,17 @@ mod tests {
         assert!(f.params().is_err());
         let f = Flags::parse(&argv(&["--p", "2.0"]), COMMON_FLAGS).unwrap();
         assert!(f.params().is_err());
+    }
+
+    #[test]
+    fn threads_flag() {
+        let f = Flags::parse(&argv(&["--threads", "4"]), COMMON_FLAGS).unwrap();
+        assert_eq!(f.threads().unwrap(), 4);
+        let f = Flags::parse(&argv(&["--threads", "0"]), COMMON_FLAGS).unwrap();
+        assert!(f.threads().is_err());
+        // Default: the machine's available parallelism, always >= 1.
+        let f = Flags::parse(&argv(&[]), COMMON_FLAGS).unwrap();
+        assert!(f.threads().unwrap() >= 1);
     }
 
     #[test]

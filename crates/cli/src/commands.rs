@@ -38,7 +38,9 @@ SHARED FLAGS:
     --bandwidth B       Scott's-rule scale factor (default 1.0)
     --kernel K          gaussian | epanechnikov (default gaussian)
     --seed N            RNG seed (default from Params)
-    --threads N         classify with N threads (classify subcommand)
+    --threads N         worker threads for training and batch queries
+                        (default: all available cores; results are
+                        identical for any thread count)
     --quiet             suppress progress logging
 ";
 
@@ -84,9 +86,10 @@ fn load_input(flags: &Flags) -> Result<Matrix> {
 
 fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
     let params = flags.params()?;
+    let threads = flags.threads()?;
     if !flags.has("quiet") {
         eprintln!(
-            "training on {} rows × {} cols (p={}, ε={}, kernel={:?}) …",
+            "training on {} rows × {} cols (p={}, ε={}, kernel={:?}, {threads} threads) …",
             data.rows(),
             data.cols(),
             params.p,
@@ -94,7 +97,7 @@ fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
             params.kernel
         );
     }
-    let clf = Classifier::fit(data, &params)?;
+    let clf = Classifier::fit_with_threads(data, &params, threads)?;
     if !flags.has("quiet") {
         eprintln!("threshold t(p) = {:.6e}", clf.threshold());
     }
@@ -139,12 +142,8 @@ fn classify(args: &[String]) -> Result<()> {
     let model_path = flags.require("model")?;
     let clf = load_model(model_path)?;
     let queries = load_input(&flags)?;
-    let threads = flags.get_u64("threads")?.unwrap_or(1) as usize;
-    let (labels, stats) = if threads > 1 {
-        clf.classify_batch_parallel(&queries, threads)?
-    } else {
-        clf.classify_batch(&queries)?
-    };
+    let threads = flags.threads()?;
+    let (labels, stats) = clf.classify_batch_parallel(&queries, threads)?;
     emit(
         &flags,
         labels.iter().map(|l| {
@@ -170,19 +169,20 @@ fn density(args: &[String]) -> Result<()> {
     let model_path = flags.require("model")?;
     let clf = load_model(model_path)?;
     let queries = load_input(&flags)?;
-    let mut scratch = tkdc::QueryScratch::new();
-    let mut lines = Vec::with_capacity(queries.rows());
-    for q in queries.iter_rows() {
-        let b = clf.bound_density_with(q, &mut scratch)?;
-        lines.push(format!("{:e},{:e},{:?}", b.lower, b.upper, b.cause));
-    }
-    emit(&flags, lines.into_iter())?;
+    let threads = flags.threads()?;
+    let (bounds, stats) = clf.bound_density_batch_parallel(&queries, threads)?;
+    emit(
+        &flags,
+        bounds
+            .iter()
+            .map(|b| format!("{:e},{:e},{:?}", b.lower, b.upper, b.cause)),
+    )?;
     if !flags.has("quiet") {
         eprintln!(
             "bounded {} densities against t(p) = {:.6e} ({:.1} kernel evals/query)",
             queries.rows(),
             clf.threshold(),
-            scratch.stats.kernels_per_query()
+            stats.kernels_per_query()
         );
     }
     Ok(())
@@ -192,7 +192,7 @@ fn outliers(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args, COMMON_FLAGS)?;
     let data = load_input(&flags)?;
     let clf = fit(&flags, &data)?;
-    let (labels, _) = clf.classify_batch(&data)?;
+    let (labels, _) = clf.classify_batch_parallel(&data, flags.threads()?)?;
     let lines = labels
         .iter()
         .enumerate()

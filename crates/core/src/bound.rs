@@ -94,13 +94,63 @@ impl<'a> DensityBounder<'a> {
         t_hi: f64,
         scratch: &mut QueryScratch,
     ) -> DensityBounds {
-        debug_assert_eq!(x.len(), self.tree.dim());
         debug_assert!(t_lo <= t_hi);
-        let n = self.tree.len() as f64;
-        let inv_h = self.kernel.inv_bandwidths();
         let high_cut = t_hi * (1.0 + self.epsilon);
         let low_cut = t_lo * (1.0 - self.epsilon);
         let tol_cut = self.epsilon * t_lo;
+        let opts = self.opts;
+        // Pruning rules (checked before each refinement, in the
+        // pseudocode's order: HIGH, LOW, then tolerance).
+        self.traverse(x, scratch, |f_lo, f_hi| {
+            if opts.threshold_rule {
+                if f_lo > high_cut {
+                    return Some(PruneCause::ThresholdHigh);
+                }
+                if f_hi < low_cut {
+                    return Some(PruneCause::ThresholdLow);
+                }
+            }
+            if opts.tolerance_rule && f_hi - f_lo < tol_cut {
+                return Some(PruneCause::Tolerance);
+            }
+            None
+        })
+    }
+
+    /// Bounds the density with a *relative* tolerance: the traversal
+    /// stops when `f_u − f_l ≤ rtol · f_l`, i.e. the scikit-learn /
+    /// Gray & Moore stopping rule used by the paper's `nocut`/`sklearn`
+    /// baselines. No threshold is involved; the threshold rule and grid
+    /// are ignored.
+    pub fn bound_density_relative(
+        &self,
+        x: &[f64],
+        rtol: f64,
+        scratch: &mut QueryScratch,
+    ) -> DensityBounds {
+        debug_assert!(rtol >= 0.0);
+        self.traverse(x, scratch, |f_lo, f_hi| {
+            (f_hi - f_lo <= rtol * f_lo).then_some(PruneCause::Tolerance)
+        })
+    }
+
+    /// The shared best-first refinement loop behind both public bounding
+    /// modes. `stop` inspects the running bounds before each refinement
+    /// and returns the prune cause that should end the traversal, if any;
+    /// exhaustion of the tree always terminates regardless.
+    ///
+    /// Leaves are evaluated through the blocked kernel fast path
+    /// ([`Kernel::sum_block`]) over the node's contiguous arena block
+    /// instead of a per-point `eval_pair` loop.
+    fn traverse(
+        &self,
+        x: &[f64],
+        scratch: &mut QueryScratch,
+        stop: impl Fn(f64, f64) -> Option<PruneCause>,
+    ) -> DensityBounds {
+        debug_assert_eq!(x.len(), self.tree.dim());
+        let n = self.tree.len() as f64;
+        let inv_h = self.kernel.inv_bandwidths();
 
         scratch.heap.clear();
 
@@ -123,20 +173,9 @@ impl<'a> DensityBounder<'a> {
         }
 
         let cause = loop {
-            // Pruning rules (checked before each refinement, as in the
-            // pseudocode).
-            if self.opts.threshold_rule {
-                if f_lo > high_cut {
-                    break PruneCause::ThresholdHigh;
-                }
-                if f_hi < low_cut {
-                    break PruneCause::ThresholdLow;
-                }
+            if let Some(cause) = stop(f_lo, f_hi) {
+                break cause;
             }
-            if self.opts.tolerance_rule && f_hi - f_lo < tol_cut {
-                break PruneCause::Tolerance;
-            }
-
             let Some(entry) = scratch.heap.pop() else {
                 break PruneCause::Exhausted;
             };
@@ -146,12 +185,9 @@ impl<'a> DensityBounder<'a> {
 
             match self.tree.children(entry.node) {
                 None => {
-                    // Leaf: replace the bound with the exact contribution.
-                    let mut exact = 0.0;
-                    for p in self.tree.node_points(entry.node) {
-                        exact += self.kernel.eval_pair(x, p);
-                    }
-                    exact /= n;
+                    // Leaf: replace the bound with the exact contribution,
+                    // summed over the leaf's contiguous point block.
+                    let exact = self.kernel.sum_block(x, self.tree.node_block(entry.node)) / n;
                     scratch.stats.kernel_evals += self.tree.count(entry.node) as u64; // CAST: usize count widens to u64
                     f_lo += exact;
                     f_hi += exact;
@@ -183,92 +219,6 @@ impl<'a> DensityBounder<'a> {
         };
         scratch.stats.record_outcome(cause);
         // Guard against tiny negative drift from repeated subtract/add.
-        if f_lo < 0.0 {
-            f_lo = 0.0;
-        }
-        DensityBounds {
-            lower: f_lo,
-            upper: f_hi.max(f_lo),
-            cause,
-        }
-    }
-
-    /// Bounds the density with a *relative* tolerance: the traversal
-    /// stops when `f_u − f_l ≤ rtol · f_l`, i.e. the scikit-learn /
-    /// Gray & Moore stopping rule used by the paper's `nocut`/`sklearn`
-    /// baselines. No threshold is involved; the threshold rule and grid
-    /// are ignored.
-    pub fn bound_density_relative(
-        &self,
-        x: &[f64],
-        rtol: f64,
-        scratch: &mut QueryScratch,
-    ) -> DensityBounds {
-        debug_assert_eq!(x.len(), self.tree.dim());
-        debug_assert!(rtol >= 0.0);
-        let n = self.tree.len() as f64;
-        let inv_h = self.kernel.inv_bandwidths();
-
-        scratch.heap.clear();
-        let root = self.tree.root();
-        let (u_min, u_max) = self.tree.scaled_sq_dist_bounds(root, x, inv_h);
-        scratch.stats.bound_evals += 2;
-        let count = self.tree.count(root) as f64;
-        let w_hi = count / n * self.kernel.eval_scaled_sq(u_min);
-        let w_lo = count / n * self.kernel.eval_scaled_sq(u_max);
-        let mut f_lo = w_lo;
-        let mut f_hi = w_hi;
-        if w_hi > 0.0 {
-            scratch.heap.push(HeapEntry {
-                priority: w_hi - w_lo,
-                node: root,
-                w_lo,
-                w_hi,
-            });
-        }
-        let cause = loop {
-            if f_hi - f_lo <= rtol * f_lo {
-                break PruneCause::Tolerance;
-            }
-            let Some(entry) = scratch.heap.pop() else {
-                break PruneCause::Exhausted;
-            };
-            scratch.stats.nodes_expanded += 1;
-            f_lo -= entry.w_lo;
-            f_hi -= entry.w_hi;
-            match self.tree.children(entry.node) {
-                None => {
-                    let mut exact = 0.0;
-                    for p in self.tree.node_points(entry.node) {
-                        exact += self.kernel.eval_pair(x, p);
-                    }
-                    exact /= n;
-                    scratch.stats.kernel_evals += self.tree.count(entry.node) as u64; // CAST: usize count widens to u64
-                    f_lo += exact;
-                    f_hi += exact;
-                }
-                Some((left, right)) => {
-                    for child in [left, right] {
-                        let (u_min, u_max) = self.tree.scaled_sq_dist_bounds(child, x, inv_h);
-                        scratch.stats.bound_evals += 2;
-                        let c = self.tree.count(child) as f64;
-                        let w_hi = c / n * self.kernel.eval_scaled_sq(u_min);
-                        let w_lo = c / n * self.kernel.eval_scaled_sq(u_max);
-                        f_lo += w_lo;
-                        f_hi += w_hi;
-                        if w_hi > 0.0 {
-                            scratch.heap.push(HeapEntry {
-                                priority: w_hi - w_lo,
-                                node: child,
-                                w_lo,
-                                w_hi,
-                            });
-                        }
-                    }
-                }
-            }
-        };
-        scratch.stats.record_outcome(cause);
         if f_lo < 0.0 {
             f_lo = 0.0;
         }

@@ -7,9 +7,10 @@
 //! with the grid short-circuiting obvious inliers before any tree work.
 
 use crate::bound::{DensityBounder, DensityBounds};
+use crate::engine;
 use crate::params::Params;
 use crate::qstats::{PruneCause, QueryScratch, QueryStats};
-use crate::threshold::{bound_threshold, BootstrapReport, ThresholdBounds};
+use crate::threshold::{bound_threshold_with_threads, BootstrapReport, ThresholdBounds};
 use tkdc_common::error::{Error, Result};
 use tkdc_common::order::quantile_in_place;
 use tkdc_common::Matrix;
@@ -67,13 +68,28 @@ impl Classifier {
     /// # Errors
     /// Propagates parameter-validation, empty-input and numeric errors.
     pub fn fit(data: &Matrix, params: &Params) -> Result<Self> {
+        Self::fit_with_threads(data, params, 1)
+    }
+
+    /// Trains a classifier using up to `n_threads` worker threads for the
+    /// density-heavy phases (the bootstrap's per-round query loops and the
+    /// full training-density pass). The fitted model — threshold, bounds,
+    /// and merged statistics — is identical to [`Self::fit`] for every
+    /// thread count: per-query traversal is deterministic, results are
+    /// merged in index order, and the seeded RNG is only consumed by
+    /// (sequential) subset sampling.
+    ///
+    /// # Errors
+    /// Propagates parameter-validation, empty-input and numeric errors.
+    pub fn fit_with_threads(data: &Matrix, params: &Params, n_threads: usize) -> Result<Self> {
         params.validate()?;
         if data.rows() == 0 {
             return Err(Error::EmptyInput("training data"));
         }
+        let n_threads = n_threads.max(1);
 
         // Phase 1: probabilistic threshold bounds (Algorithm 3).
-        let (mut bounds, bootstrap) = bound_threshold(data, params)?;
+        let (mut bounds, bootstrap) = bound_threshold_with_threads(data, params, n_threads)?;
 
         // Phase 2: full index + kernel.
         let tree = KdTree::build(data, params.leaf_size, params.opts.split_rule())?;
@@ -104,36 +120,39 @@ impl Classifier {
         // quantile lands outside them; detect and retry with relaxed
         // bounds (§3.6).
         let bounder = DensityBounder::new(&tree, &kernel, params.opts, params.epsilon);
-        let mut scratch = QueryScratch::new();
+        let mut training_stats = QueryStats::default();
         let mut reestimates = 0usize;
         let threshold = loop {
-            let mut densities: Vec<f64> = Vec::with_capacity(data.rows());
-            for x in data.iter_rows() {
-                // The grid can certify obvious inliers without traversal;
-                // their exact density is irrelevant to a small-p quantile
-                // as long as the *stored corrected value* stays above the
-                // corrected-space upper bound — hence the −f₀ on the left
-                // of the guard (a raw-space guard could store a value that
-                // sinks below the quantile rank and bias t̃ upward).
-                if let Some(g) = &grid {
-                    let cell_lower =
-                        g.cell_count(x) as f64 / n * kernel.eval_scaled_sq(grid_diag_sq);
-                    if cell_lower - self_contrib > bounds.upper * (1.0 + params.epsilon) {
-                        scratch.stats.record_outcome(PruneCause::Grid);
-                        densities.push(cell_lower - self_contrib);
-                        continue;
+            let (t_lo, t_hi) = (bounds.lower, bounds.upper);
+            let grid_ref = grid.as_ref();
+            let (mut densities, worker_scratches) =
+                engine::run_batch(data.rows(), n_threads, QueryScratch::new, |i, scratch| {
+                    let x = data.row(i);
+                    // The grid can certify obvious inliers without traversal;
+                    // their exact density is irrelevant to a small-p quantile
+                    // as long as the *stored corrected value* stays above the
+                    // corrected-space upper bound — hence the −f₀ on the left
+                    // of the guard (a raw-space guard could store a value that
+                    // sinks below the quantile rank and bias t̃ upward).
+                    if let Some(g) = grid_ref {
+                        // The probe computes one density lower bound.
+                        scratch.stats.bound_evals += 1;
+                        let cell_lower =
+                            g.cell_count(x) as f64 / n * kernel.eval_scaled_sq(grid_diag_sq);
+                        if cell_lower - self_contrib > t_hi * (1.0 + params.epsilon) {
+                            scratch.stats.record_outcome(PruneCause::Grid);
+                            return Ok(cell_lower - self_contrib);
+                        }
                     }
-                }
-                // Bounds live in corrected space; BoundDensity prunes raw
-                // densities, so shift by f₀ (see threshold.rs for the
-                // failure mode this prevents).
-                let b = bounder.bound_density(
-                    x,
-                    bounds.lower + self_contrib,
-                    bounds.upper + self_contrib,
-                    &mut scratch,
-                );
-                densities.push((b.midpoint() - self_contrib).max(0.0));
+                    // Bounds live in corrected space; BoundDensity prunes raw
+                    // densities, so shift by f₀ (see threshold.rs for the
+                    // failure mode this prevents).
+                    let b =
+                        bounder.bound_density(x, t_lo + self_contrib, t_hi + self_contrib, scratch);
+                    Ok((b.midpoint() - self_contrib).max(0.0))
+                })?;
+            for s in &worker_scratches {
+                training_stats.merge(&s.stats);
             }
             let t = quantile_in_place(&mut densities, params.p)?;
             // Valid when t̃ falls inside the (slightly widened) bounds.
@@ -161,7 +180,7 @@ impl Classifier {
             threshold_bounds: bounds,
             threshold,
             bootstrap,
-            training_stats: scratch.stats,
+            training_stats,
             threshold_reestimates: reestimates,
         };
 
@@ -296,6 +315,10 @@ impl Classifier {
         let t = self.threshold;
         // Grid fast path: same-cell mass already proves HIGH.
         if let Some(g) = &self.grid {
+            // The probe computes one density lower bound; account for it so
+            // merged statistics reflect the true work mix (a grid-pruned
+            // query is cheap, not free).
+            scratch.stats.bound_evals += 1;
             let cell_lower = g.cell_count(x) as f64 / self.tree.len() as f64
                 * self.kernel.eval_scaled_sq(self.grid_diag_sq);
             if cell_lower > t * (1.0 + self.params.epsilon) {
@@ -383,9 +406,46 @@ impl Classifier {
     /// no runtime dependency). Results are in query order; statistics are
     /// merged across threads.
     ///
+    /// Work is distributed through the work-stealing
+    /// [`engine::WorkQueue`]: threshold-pruned query costs are
+    /// heavy-tailed, so static chunking (see
+    /// [`Self::classify_batch_static`]) strands whole cores behind a
+    /// cluster of near-threshold queries. Labels and merged statistics are
+    /// identical to [`Self::classify_batch`] for every thread count.
+    ///
     /// The paper evaluates single-threaded throughput; this driver is the
     /// "embarrassingly parallel queries" extension discussed in §6.
     pub fn classify_batch_parallel(
+        &self,
+        queries: &Matrix,
+        n_threads: usize,
+    ) -> Result<(Vec<Label>, QueryStats)> {
+        let n_threads = n_threads.max(1);
+        if n_threads == 1 || queries.rows() < 2 * n_threads {
+            return self.classify_batch(queries);
+        }
+        let (labels, scratches) = engine::run_batch(
+            queries.rows(),
+            n_threads,
+            QueryScratch::new,
+            |i, scratch| self.classify_with(queries.row(i), scratch),
+        )?;
+        let mut stats = QueryStats::default();
+        for s in &scratches {
+            stats.merge(&s.stats);
+        }
+        Ok((labels, stats))
+    }
+
+    /// Parallel batch classification with *static* chunking: the batch is
+    /// split into `n_threads` equal contiguous ranges up front.
+    ///
+    /// Kept as the scheduler-comparison baseline for the `bench` binary —
+    /// on workloads where expensive near-threshold queries cluster, one
+    /// chunk absorbs all the hard work while every other core idles, which
+    /// is exactly what the work-stealing
+    /// [`Self::classify_batch_parallel`] avoids. Prefer that method.
+    pub fn classify_batch_static(
         &self,
         queries: &Matrix,
         n_threads: usize,
@@ -427,6 +487,30 @@ impl Classifier {
             stats.merge(&s);
         }
         Ok((labels, stats))
+    }
+
+    /// Parallel batch density bounding: [`Self::bound_density_with`] for
+    /// every row of `queries`, work-stolen across `n_threads` threads.
+    /// Bounds are in query order; statistics are merged across threads.
+    ///
+    /// # Errors
+    /// Propagates dimension-mismatch and NaN-input errors.
+    pub fn bound_density_batch_parallel(
+        &self,
+        queries: &Matrix,
+        n_threads: usize,
+    ) -> Result<(Vec<DensityBounds>, QueryStats)> {
+        let (bounds, scratches) = engine::run_batch(
+            queries.rows(),
+            n_threads.max(1),
+            QueryScratch::new,
+            |i, scratch| self.bound_density_with(queries.row(i), scratch),
+        )?;
+        let mut stats = QueryStats::default();
+        for s in &scratches {
+            stats.merge(&s.stats);
+        }
+        Ok((bounds, stats))
     }
 }
 
@@ -552,9 +636,89 @@ mod tests {
         let clf = Classifier::fit(&data, &Params::default()).unwrap();
         let queries = gaussian_blob(500, 2, 101);
         let (serial, s_stats) = clf.classify_batch(&queries).unwrap();
-        let (parallel, p_stats) = clf.classify_batch_parallel(&queries, 4).unwrap();
-        assert_eq!(serial, parallel);
-        assert_eq!(s_stats.queries, p_stats.queries);
+        for threads in [2, 4, 8] {
+            let (parallel, p_stats) = clf.classify_batch_parallel(&queries, threads).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+            // Counter merging is order-independent summation, so the
+            // totals — not just the query count — must match exactly.
+            assert_eq!(s_stats, p_stats, "threads={threads}");
+            let (chunked, c_stats) = clf.classify_batch_static(&queries, threads).unwrap();
+            assert_eq!(serial, chunked, "threads={threads}");
+            assert_eq!(s_stats, c_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn grid_probe_counts_as_bound_eval() {
+        let data = gaussian_blob(5000, 2, 83);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        assert!(clf.grid_enabled());
+        let mut scratch = QueryScratch::new();
+        // Dense center: the grid answers before any traversal, and the
+        // probe itself must show up as one bound evaluation so merged
+        // statistics don't understate the work mix.
+        assert_eq!(
+            clf.classify_with(&[0.0, 0.0], &mut scratch).unwrap(),
+            Label::High
+        );
+        assert_eq!(scratch.stats.grid_prunes, 1);
+        assert_eq!(scratch.stats.bound_evals, 1);
+        assert_eq!(scratch.stats.kernel_evals, 0);
+        // A far-tail query misses the grid but still pays the probe.
+        scratch.reset_stats();
+        assert_eq!(
+            clf.classify_with(&[8.0, 8.0], &mut scratch).unwrap(),
+            Label::Low
+        );
+        assert_eq!(scratch.stats.grid_prunes, 0);
+        assert!(scratch.stats.bound_evals > 1, "probe + traversal bounds");
+    }
+
+    #[test]
+    fn fit_with_threads_matches_fit() {
+        let data = gaussian_blob(1500, 2, 109);
+        let params = Params::default();
+        let serial = Classifier::fit(&data, &params).unwrap();
+        for threads in [2, 4] {
+            let parallel = Classifier::fit_with_threads(&data, &params, threads).unwrap();
+            assert_eq!(
+                serial.threshold(),
+                parallel.threshold(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                serial.fit_report().threshold_bounds.lower,
+                parallel.fit_report().threshold_bounds.lower
+            );
+            assert_eq!(
+                serial.fit_report().threshold_bounds.upper,
+                parallel.fit_report().threshold_bounds.upper
+            );
+            assert_eq!(
+                serial.fit_report().training_stats,
+                parallel.fit_report().training_stats
+            );
+        }
+    }
+
+    #[test]
+    fn bound_density_batch_parallel_matches_serial() {
+        let data = gaussian_blob(1200, 2, 113);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let queries = gaussian_blob(300, 2, 127);
+        let mut scratch = QueryScratch::new();
+        let serial: Vec<_> = queries
+            .iter_rows()
+            .map(|q| clf.bound_density_with(q, &mut scratch).unwrap())
+            .collect();
+        let (parallel, stats) = clf.bound_density_batch_parallel(&queries, 4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.lower, p.lower);
+            assert_eq!(s.upper, p.upper);
+            assert_eq!(s.cause, p.cause);
+        }
+        assert_eq!(scratch.stats, stats);
     }
 
     #[test]

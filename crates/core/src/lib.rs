@@ -46,6 +46,9 @@
 //! * [`threshold`] — the bootstrapped threshold estimator (Algorithm 3).
 //! * [`classifier`] — the end-to-end classifier (Algorithm 1), including
 //!   the grid cache fast path and a parallel batch driver.
+//! * [`engine`] — the dependency-free work-stealing batch scheduler
+//!   behind every parallel driver (classification, bootstrap, training
+//!   densities).
 //! * [`qstats`] — per-query and aggregate instrumentation (kernel
 //!   evaluations, node expansions, prune causes) used by the paper's
 //!   factor/lesion analyses (Fig. 12/16).
@@ -53,6 +56,7 @@
 pub mod bound;
 pub mod classifier;
 pub mod dualtree;
+pub mod engine;
 pub mod llr;
 pub mod model_io;
 pub mod params;

@@ -11,6 +11,7 @@
 //! multiplicatively backed off and the round retried.
 
 use crate::bound::DensityBounder;
+use crate::engine;
 use crate::params::Params;
 use crate::qstats::{QueryScratch, QueryStats};
 use tkdc_common::error::{Error, Result};
@@ -50,11 +51,31 @@ pub fn bound_threshold(
     data: &Matrix,
     params: &Params,
 ) -> Result<(ThresholdBounds, BootstrapReport)> {
+    bound_threshold_with_threads(data, params, 1)
+}
+
+/// [`bound_threshold`] with each round's density queries work-stolen
+/// across up to `n_threads` threads.
+///
+/// Bit-identical to the serial path for any thread count and the same
+/// seed: the seeded RNG is only consumed by the (sequential) subset
+/// sampling at the top of each round, every density query is an
+/// independent deterministic traversal, and densities are merged back in
+/// index order — so the sorted order statistics, the backoff/retry
+/// trajectory, and therefore the RNG stream itself never depend on the
+/// thread count. Statistics counters merge by summation, which is
+/// order-independent.
+pub fn bound_threshold_with_threads(
+    data: &Matrix,
+    params: &Params,
+    n_threads: usize,
+) -> Result<(ThresholdBounds, BootstrapReport)> {
     params.validate()?;
     let n = data.rows();
     if n == 0 {
         return Err(Error::EmptyInput("bootstrap training data"));
     }
+    let n_threads = n_threads.max(1);
     let mut rng = Rng::seed_from(params.seed);
     let mut report = BootstrapReport::default();
     let mut scratch = QueryScratch::new();
@@ -93,15 +114,21 @@ pub fn bound_threshold(
         // — otherwise a raw density just above t_hi could be pruned as
         // certainly-HIGH even though its corrected value belongs inside
         // the CI ranks, corrupting the order statistics.
-        let mut densities: Vec<f64> = Vec::with_capacity(s);
         let raw_hi = if t_hi.is_finite() {
             t_hi + self_contrib
         } else {
             t_hi
         };
-        for q in xs.iter_rows() {
-            let b = bounder.bound_density(q, t_lo + self_contrib, raw_hi, &mut scratch);
-            densities.push((b.midpoint() - self_contrib).max(0.0));
+        // Work-stolen across threads; densities come back in index order
+        // and the per-worker counters merge by summation, so the round is
+        // bit-identical to a serial loop for every thread count.
+        let (mut densities, worker_scratches) =
+            engine::run_batch(s, n_threads, QueryScratch::new, |i, sc| {
+                let b = bounder.bound_density(xs.row(i), t_lo + self_contrib, raw_hi, sc);
+                Ok((b.midpoint() - self_contrib).max(0.0))
+            })?;
+        for ws in &worker_scratches {
+            scratch.stats.merge(&ws.stats);
         }
         // IEEE total order: a NaN density (which bound_density should
         // never produce, but a poisoned input could) sorts last instead of
@@ -239,6 +266,21 @@ mod tests {
         let (b1, _) = bound_threshold(&data, &params).unwrap();
         let (b2, _) = bound_threshold(&data, &params).unwrap();
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn parallel_bootstrap_bit_identical() {
+        let data = gaussian_blob(1500, 2, 61);
+        let params = Params::default().with_seed(9);
+        let (serial, s_report) = bound_threshold(&data, &params).unwrap();
+        for threads in [2, 4, 8] {
+            let (parallel, p_report) =
+                bound_threshold_with_threads(&data, &params, threads).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+            assert_eq!(s_report.rounds, p_report.rounds, "threads={threads}");
+            assert_eq!(s_report.backoffs, p_report.backoffs, "threads={threads}");
+            assert_eq!(s_report.stats, p_report.stats, "threads={threads}");
+        }
     }
 
     #[test]

@@ -333,11 +333,21 @@ impl KdTree {
         )
     }
 
+    /// Contiguous row-major coordinate block of the points under node
+    /// `id` (`count(id) · dim` values). The arena layout guarantees every
+    /// node owns a contiguous row range, so this is a single slice — the
+    /// input shape the blocked kernel fast path (`Kernel::sum_block`)
+    /// consumes without per-point iterator overhead.
+    #[inline]
+    pub fn node_block(&self, id: u32) -> &[f64] {
+        let n = &self.nodes[id as usize]; // CAST: u32 id widens to usize
+        &self.points[(n.start as usize) * self.dim..(n.end as usize) * self.dim]
+        // CAST: u32 offsets widen to usize
+    }
+
     /// Iterator over the point rows stored under node `id`.
     pub fn node_points(&self, id: u32) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
-        let n = &self.nodes[id as usize]; // CAST: u32 id widens to usize
-        self.points[(n.start as usize) * self.dim..(n.end as usize) * self.dim] // CAST: u32 offsets widen to usize
-            .chunks_exact(self.dim)
+        self.node_block(id).chunks_exact(self.dim)
     }
 
     /// Maps each row of the tree's *reordered* point order back to a row
@@ -638,6 +648,21 @@ mod tests {
         assert!(tree.is_leaf(tree.root()));
         assert_eq!(tree.box_lo(tree.root()), &[3.0, 4.0]);
         assert_eq!(tree.box_hi(tree.root()), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn node_block_agrees_with_node_points() {
+        let data = random_matrix(300, 3, 19);
+        let tree = KdTree::build(&data, 16, SplitRule::TrimmedMidpoint).unwrap();
+        for id in 0..tree.node_count() as u32 {
+            let block = tree.node_block(id);
+            assert_eq!(block.len(), tree.count(id) * tree.dim());
+            let flat: Vec<f64> = tree
+                .node_points(id)
+                .flat_map(|r| r.iter().copied())
+                .collect();
+            assert_eq!(block, flat.as_slice());
+        }
     }
 
     #[test]

@@ -171,6 +171,124 @@ impl Kernel {
         self.eval_scaled_sq(self.scaled_sq_dist(x, y))
     }
 
+    /// Sum of kernel values between `x` and every row of a contiguous
+    /// row-major `block` (`block.len()` must be a multiple of `dim`).
+    ///
+    /// This is the blocked leaf-evaluation fast path used by the
+    /// `BoundDensity` traversal: instead of one virtual-ish
+    /// [`Self::eval_pair`] per training point, it computes scaled squared
+    /// distances for up to 32 rows at a time into a stack buffer (with
+    /// the dimension loop unrolled), then batches the transcendental
+    /// pass over that buffer. For compact-support kernels rows outside
+    /// the support are skipped before any value work.
+    ///
+    /// Equivalent to `block.chunks(dim).map(|p| eval_pair(x, p)).sum()`
+    /// up to floating-point summation order.
+    pub fn sum_block(&self, x: &[f64], block: &[f64]) -> f64 {
+        let d = self.inv_h.len();
+        debug_assert_eq!(x.len(), d);
+        debug_assert!(block.len().is_multiple_of(d));
+        const BLOCK: usize = 32;
+        let mut u = [0.0f64; BLOCK];
+        let mut total = 0.0;
+        for rows in block.chunks(BLOCK * d) {
+            let m = rows.len() / d;
+            // Distance pass: unrolled per-dimension loops with the
+            // reciprocal bandwidths hoisted into locals, writing into the
+            // stack buffer so the value pass below runs over registers
+            // and one cache line.
+            match d {
+                1 => {
+                    let (x0, i0) = (x[0], self.inv_h[0]);
+                    for (j, p) in rows.chunks_exact(1).enumerate() {
+                        let z0 = (x0 - p[0]) * i0;
+                        u[j] = z0 * z0;
+                    }
+                }
+                2 => {
+                    let (x0, x1) = (x[0], x[1]);
+                    let (i0, i1) = (self.inv_h[0], self.inv_h[1]);
+                    for (j, p) in rows.chunks_exact(2).enumerate() {
+                        let z0 = (x0 - p[0]) * i0;
+                        let z1 = (x1 - p[1]) * i1;
+                        u[j] = z0 * z0 + z1 * z1;
+                    }
+                }
+                3 => {
+                    let (x0, x1, x2) = (x[0], x[1], x[2]);
+                    let (i0, i1, i2) = (self.inv_h[0], self.inv_h[1], self.inv_h[2]);
+                    for (j, p) in rows.chunks_exact(3).enumerate() {
+                        let z0 = (x0 - p[0]) * i0;
+                        let z1 = (x1 - p[1]) * i1;
+                        let z2 = (x2 - p[2]) * i2;
+                        u[j] = z0 * z0 + z1 * z1 + z2 * z2;
+                    }
+                }
+                4 => {
+                    let (x0, x1, x2, x3) = (x[0], x[1], x[2], x[3]);
+                    let (i0, i1, i2, i3) =
+                        (self.inv_h[0], self.inv_h[1], self.inv_h[2], self.inv_h[3]);
+                    for (j, p) in rows.chunks_exact(4).enumerate() {
+                        let z0 = (x0 - p[0]) * i0;
+                        let z1 = (x1 - p[1]) * i1;
+                        let z2 = (x2 - p[2]) * i2;
+                        let z3 = (x3 - p[3]) * i3;
+                        u[j] = (z0 * z0 + z1 * z1) + (z2 * z2 + z3 * z3);
+                    }
+                }
+                _ => {
+                    let inv = &self.inv_h[..d];
+                    for (j, p) in rows.chunks_exact(d).enumerate() {
+                        // Four independent accumulators over the
+                        // dimension loop keep the FP dependency chain
+                        // short in high-d leaves.
+                        let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                        let mut i = 0;
+                        while i + 4 <= d {
+                            let z0 = (x[i] - p[i]) * inv[i];
+                            let z1 = (x[i + 1] - p[i + 1]) * inv[i + 1];
+                            let z2 = (x[i + 2] - p[i + 2]) * inv[i + 2];
+                            let z3 = (x[i + 3] - p[i + 3]) * inv[i + 3];
+                            a0 += z0 * z0;
+                            a1 += z1 * z1;
+                            a2 += z2 * z2;
+                            a3 += z3 * z3;
+                            i += 4;
+                        }
+                        while i < d {
+                            let z = (x[i] - p[i]) * inv[i];
+                            a0 += z * z;
+                            i += 1;
+                        }
+                        u[j] = (a0 + a1) + (a2 + a3);
+                    }
+                }
+            }
+            // Value pass over the buffered distances.
+            match self.kind {
+                KernelKind::Gaussian => {
+                    let mut block_sum = 0.0;
+                    for &uj in &u[..m] {
+                        block_sum += (-0.5 * uj).exp();
+                    }
+                    total += block_sum;
+                }
+                KernelKind::Epanechnikov => {
+                    for &uj in &u[..m] {
+                        // Early exit outside the support; NaN distances
+                        // fall through and poison the sum exactly like
+                        // `eval_scaled_sq` would.
+                        if uj >= 1.0 {
+                            continue;
+                        }
+                        total += 1.0 - uj;
+                    }
+                }
+            }
+        }
+        total * self.norm
+    }
+
     /// `K(0)` — the kernel's maximum, used for the self-contribution
     /// correction `f₀ = K(0)/n` (Eq. 1) and the grid's diagonal bound.
     #[inline]
@@ -316,6 +434,59 @@ mod tests {
                     "{kind:?} frac={frac}: K(r²)={at_r}"
                 );
             }
+        }
+    }
+
+    /// Deterministic pseudo-random block for sum_block tests (no RNG dep).
+    fn pseudo_block(rows: usize, d: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut out = Vec::with_capacity(rows * d);
+        for _ in 0..rows * d {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            out.push((state as f64 / u64::MAX as f64) * 6.0 - 3.0);
+        }
+        out
+    }
+
+    #[test]
+    fn sum_block_matches_per_point_eval_pair() {
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            // Cover the unrolled specializations (d ≤ 4), the general
+            // path (d = 7, 64), and block boundaries (rows around 32).
+            for d in [1usize, 2, 3, 4, 7, 64] {
+                let h: Vec<f64> = (0..d).map(|i| 0.5 + 0.25 * i as f64).collect();
+                let k = Kernel::new(kind, h).unwrap();
+                for rows in [0usize, 1, 31, 32, 33, 100] {
+                    let block = pseudo_block(rows, d, (d as u64) << 8 | rows as u64);
+                    let x: Vec<f64> = (0..d).map(|i| 0.1 * i as f64).collect();
+                    let expected: f64 = block.chunks_exact(d).map(|p| k.eval_pair(&x, p)).sum();
+                    let got = k.sum_block(&x, &block);
+                    let tol = 1e-12 * k.max_value() * (rows as f64 + 1.0);
+                    assert!(
+                        (got - expected).abs() <= tol,
+                        "{kind:?} d={d} rows={rows}: {got} vs {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_block_compact_support_skips_far_rows() {
+        let k = Kernel::new(KernelKind::Epanechnikov, vec![1.0, 1.0]).unwrap();
+        // All rows far outside the unit support: exact zero.
+        let block = vec![50.0; 2 * 40];
+        assert_eq!(k.sum_block(&[0.0, 0.0], &block), 0.0);
+    }
+
+    #[test]
+    fn sum_block_propagates_nan_like_eval_pair() {
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            let k = Kernel::new(kind, vec![1.0]).unwrap();
+            let block = vec![0.5, f64::NAN, 0.25];
+            assert!(k.sum_block(&[0.0], &block).is_nan(), "{kind:?}");
         }
     }
 

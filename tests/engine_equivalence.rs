@@ -1,0 +1,86 @@
+//! Property tests for the work-stealing engine's determinism contract:
+//!
+//! * serial and work-stolen batch classification produce identical labels
+//!   and identical merged `QueryStats` totals for any thread count,
+//! * `bound_threshold` returns bit-identical `ThresholdBounds` (and an
+//!   identical diagnostics trajectory) for any thread count and seed.
+//!
+//! The shared classifier is fitted once (`OnceLock`): the properties vary
+//! the *queries* and the *thread count*, not the model.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use tkdc::threshold::{bound_threshold, bound_threshold_with_threads};
+use tkdc::{Classifier, Params};
+use tkdc_common::{Matrix, Rng};
+
+fn gaussian_blob(n: usize, d: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from(seed);
+    let mut m = Matrix::with_cols(d);
+    let mut row = vec![0.0; d];
+    for _ in 0..n {
+        for v in &mut row {
+            *v = rng.normal(0.0, 1.0);
+        }
+        m.push_row(&row).unwrap();
+    }
+    m
+}
+
+fn shared_classifier() -> &'static Classifier {
+    static CLF: OnceLock<Classifier> = OnceLock::new();
+    CLF.get_or_init(|| {
+        let data = gaussian_blob(3000, 2, 211);
+        Classifier::fit(&data, &Params::default()).expect("fit")
+    })
+}
+
+fn shared_bootstrap_data() -> &'static Matrix {
+    static DATA: OnceLock<Matrix> = OnceLock::new();
+    DATA.get_or_init(|| gaussian_blob(1200, 2, 223))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batch_labels_and_stats_thread_invariant(
+        seed in any::<u64>(),
+        spread in 0.5f64..4.0,
+        n_queries in 16usize..200,
+    ) {
+        let clf = shared_classifier();
+        let queries = {
+            let mut rng = Rng::seed_from(seed);
+            let mut m = Matrix::with_cols(2);
+            for _ in 0..n_queries {
+                m.push_row(&[rng.normal(0.0, spread), rng.normal(0.0, spread)]).unwrap();
+            }
+            m
+        };
+        let (serial, s_stats) = clf.classify_batch(&queries).expect("serial");
+        for threads in [1usize, 2, 4, 8] {
+            let (parallel, p_stats) =
+                clf.classify_batch_parallel(&queries, threads).expect("parallel");
+            prop_assert_eq!(&serial, &parallel, "labels diverged at {} threads", threads);
+            prop_assert_eq!(s_stats, p_stats, "stats diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn bound_threshold_bit_identical_across_threads(seed in any::<u64>()) {
+        let data = shared_bootstrap_data();
+        let params = Params::default().with_seed(seed);
+        let (serial, s_report) = bound_threshold(data, &params).expect("serial");
+        for threads in [2usize, 4, 8] {
+            let (parallel, p_report) =
+                bound_threshold_with_threads(data, &params, threads).expect("parallel");
+            // Bit-identical: f64 equality through the PartialEq derive.
+            prop_assert_eq!(serial, parallel, "bounds diverged at {} threads", threads);
+            prop_assert_eq!(&s_report.rounds, &p_report.rounds);
+            prop_assert_eq!(s_report.backoffs, p_report.backoffs);
+            prop_assert_eq!(s_report.stats, p_report.stats);
+        }
+    }
+}
