@@ -4,7 +4,7 @@
 //! pipeline.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use tkdc::{Classifier, Optimizations, Params, QueryScratch};
+use tkdc::{Classifier, ExecPolicy, Optimizations, Params, QueryScratch};
 use tkdc_common::Rng;
 use tkdc_data::{DatasetKind, DatasetSpec};
 use tkdc_kernel::KernelKind;
@@ -101,7 +101,14 @@ fn bench_dual_tree(c: &mut Criterion) {
     group.sample_size(20);
     for (name, queries) in [("clustered", &clustered), ("dispersed", &dispersed)] {
         group.bench_with_input(BenchmarkId::new("serial", name), name, |b, _| {
-            b.iter(|| black_box(clf.classify_batch(queries).unwrap().0.len()))
+            b.iter(|| {
+                black_box(
+                    clf.classify_batch_with(queries, ExecPolicy::Serial)
+                        .unwrap()
+                        .0
+                        .len(),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("dual", name), name, |b, _| {
             b.iter(|| {

@@ -3,7 +3,7 @@
 //! single-threaded evaluation.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use tkdc::{Classifier, Params};
+use tkdc::{Classifier, ExecPolicy, Params};
 use tkdc_common::Rng;
 use tkdc_data::{DatasetKind, DatasetSpec};
 
@@ -25,7 +25,14 @@ fn bench_parallel_batch(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
-            b.iter(|| black_box(clf.classify_batch_parallel(&queries, t).unwrap().0.len()))
+            b.iter(|| {
+                black_box(
+                    clf.classify_batch_with(&queries, ExecPolicy::with_threads(t))
+                        .unwrap()
+                        .0
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

@@ -23,7 +23,7 @@
 
 use std::fmt::Write as _;
 
-use tkdc::{Classifier, Params};
+use tkdc::{Classifier, ExecPolicy, Params};
 use tkdc_bench::{time, BenchArgs};
 use tkdc_common::{Matrix, Rng};
 use tkdc_data::{DatasetKind, DatasetSpec};
@@ -107,14 +107,17 @@ fn measure_dataset(
     let mut rng = Rng::seed_from(seed ^ 0x9E37);
     let query_set = data.sample_rows(q, &mut rng);
 
-    let (_, t_serial) = time(|| clf.classify_batch(&query_set).expect("classify"));
+    let (_, t_serial) = time(|| {
+        clf.classify_batch_with(&query_set, ExecPolicy::Serial)
+            .expect("classify")
+    });
     let serial_qps = q as f64 / t_serial.as_secs_f64().max(1e-12);
 
     let parallel = threads_list
         .iter()
         .map(|&threads| {
             let (_, t) = time(|| {
-                clf.classify_batch_parallel(&query_set, threads)
+                clf.classify_batch_with(&query_set, ExecPolicy::with_threads(threads))
                     .expect("classify")
             });
             let wall_s = t.as_secs_f64();
@@ -134,11 +137,16 @@ fn measure_dataset(
             .filter(|&&t| t > 1)
             .map(|&threads| {
                 let (_, t_static) = time(|| {
-                    clf.classify_batch_static(&skew_set, threads)
-                        .expect("classify")
+                    clf.classify_batch_with(
+                        &skew_set,
+                        ExecPolicy::StaticChunked {
+                            threads: Some(threads),
+                        },
+                    )
+                    .expect("classify")
                 });
                 let (_, t_steal) = time(|| {
-                    clf.classify_batch_parallel(&skew_set, threads)
+                    clf.classify_batch_with(&skew_set, ExecPolicy::with_threads(threads))
                         .expect("classify")
                 });
                 SkewPoint {

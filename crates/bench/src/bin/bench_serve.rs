@@ -1,0 +1,258 @@
+//! Load generator for the `tkdc-serve` daemon.
+//!
+//! Drives `Classify` micro-batches at several concurrency levels and
+//! reports throughput plus client-observed p50/p99 latency per level as
+//! `BENCH_serve.json` (schema `tkdc-bench-serve/v1`).
+//!
+//! Two modes:
+//!
+//! * **Self-hosted** (default): trains a small model in-process, spawns
+//!   the server on an ephemeral port, benchmarks it, and shuts it down.
+//!   This is how the committed `BENCH_serve.json` is produced.
+//! * **External** (`--addr HOST:PORT`): benchmarks an already-running
+//!   `tkdc serve` daemon (used by the CI smoke job). Pass `--shutdown`
+//!   to send a `Shutdown` request when done.
+//!
+//! Flags: `--levels 1,4,16` (client concurrency levels), `--batch 64`
+//! (points per request), `--requests 50` (requests per client),
+//! `--dims 2` (query dimensionality, external mode), `--seed`,
+//! `--scale` (training-set size multiplier, self-hosted mode),
+//! `--timeout-ms 10000`, `--out BENCH_serve.json`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use tkdc::{Classifier, ExecPolicy, Params};
+use tkdc_bench::BenchArgs;
+use tkdc_common::{Matrix, Rng};
+use tkdc_data::{DatasetKind, DatasetSpec};
+use tkdc_serve::{Client, ServeConfig, Server};
+
+/// JSON float: non-finite values have no JSON literal, emit null.
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+struct LevelReport {
+    concurrency: usize,
+    requests: usize,
+    points: usize,
+    errors: usize,
+    wall_s: f64,
+    rps: f64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Client-side percentile over the merged latency sample (exact, not
+/// histogram-bucketed — this is the ground truth the server's own
+/// `Stats` histogram approximates).
+fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()); // CAST: bounded by len
+    sorted[rank - 1] as f64 // CAST: micros fit f64 exactly below 2^53
+}
+
+/// Deterministic standard-normal query batch (matches the self-hosted
+/// training distribution; for an external server it simply exercises a
+/// realistic mix of prunable and near-threshold points).
+fn query_batch(dims: usize, batch: usize, rng: &mut Rng) -> Matrix {
+    let mut m = Matrix::with_cols(dims);
+    let mut row = vec![0.0; dims];
+    for _ in 0..batch {
+        for v in row.iter_mut() {
+            *v = rng.normal(0.0, 1.0);
+        }
+        m.push_row(&row).expect("push query row");
+    }
+    m
+}
+
+/// Runs one concurrency level: `concurrency` clients, each issuing
+/// `requests` Classify batches over its own connection.
+fn run_level(
+    addr: &str,
+    concurrency: usize,
+    requests: usize,
+    batch: usize,
+    dims: usize,
+    seed: u64,
+    timeout: Duration,
+) -> LevelReport {
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::with_capacity(concurrency * requests);
+    let mut errors = 0usize;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(requests);
+                    let mut errs = 0usize;
+                    let mut rng =
+                        Rng::seed_from(seed ^ (c as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                    let mut client = match Client::connect_with_timeout(addr, timeout) {
+                        Ok(c) => c,
+                        Err(_) => return (lats, requests), // whole connection failed
+                    };
+                    for _ in 0..requests {
+                        let points = query_batch(dims, batch, &mut rng);
+                        let t = Instant::now();
+                        match client.classify(&points) {
+                            Ok(labels) if labels.len() == batch => {
+                                lats.push(t.elapsed().as_micros() as u64) // CAST: < 2^64 µs
+                            }
+                            _ => errs += 1,
+                        }
+                    }
+                    (lats, errs)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lats, errs) = h.join().expect("client thread");
+            latencies.extend(lats);
+            errors += errs;
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let done = latencies.len();
+    LevelReport {
+        concurrency,
+        requests: done,
+        points: done * batch,
+        errors,
+        wall_s,
+        rps: done as f64 / wall_s.max(1e-12),
+        qps: (done * batch) as f64 / wall_s.max(1e-12),
+        p50_us: percentile_us(&latencies, 0.50),
+        p99_us: percentile_us(&latencies, 0.99),
+    }
+}
+
+fn render_json(
+    addr: &str,
+    self_hosted: bool,
+    batch: usize,
+    requests: usize,
+    seed: u64,
+    levels: &[LevelReport],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"tkdc-bench-serve/v1\",");
+    let _ = writeln!(s, "  \"addr\": \"{addr}\",");
+    let _ = writeln!(s, "  \"self_hosted\": {self_hosted},");
+    let _ = writeln!(s, "  \"batch\": {batch},");
+    let _ = writeln!(s, "  \"requests_per_client\": {requests},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    s.push_str("  \"levels\": [\n");
+    for (i, l) in levels.iter().enumerate() {
+        let comma = if i + 1 < levels.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"concurrency\": {}, \"requests\": {}, \"points\": {}, \"errors\": {}, \
+             \"wall_s\": {}, \"rps\": {}, \"qps\": {}, \"p50_us\": {}, \"p99_us\": {}}}{comma}",
+            l.concurrency,
+            l.requests,
+            l.points,
+            l.errors,
+            jf(l.wall_s),
+            jf(l.rps),
+            jf(l.qps),
+            jf(l.p50_us),
+            jf(l.p99_us)
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
+    let batch = args.get_usize("batch", 64);
+    let requests = args.get_usize("requests", 50);
+    let timeout = Duration::from_millis(args.get_usize("timeout-ms", 10_000) as u64); // CAST: flag value
+    let out = args
+        .get_str("out")
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
+    let levels_spec: Vec<usize> = args
+        .get_str("levels")
+        .unwrap_or("1,4,16")
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&c| c >= 1)
+        .collect();
+    let levels_spec = if levels_spec.is_empty() {
+        vec![1, 4, 16]
+    } else {
+        levels_spec
+    };
+
+    // External mode benchmarks a running daemon; self-hosted mode
+    // trains, spawns, benchmarks, and drains its own.
+    let (addr, dims, self_hosted, handle) = match args.get_str("addr") {
+        Some(addr) => (addr.to_string(), args.get_usize("dims", 2), false, None),
+        None => {
+            let n = args.scaled_n(20_000);
+            eprintln!("self-hosted: training on {n} gaussian rows …");
+            let data = DatasetSpec {
+                kind: DatasetKind::Gauss { d: 2 },
+                n,
+                seed,
+            }
+            .generate()
+            .expect("generate training data");
+            let params = Params::default().with_seed(seed);
+            let clf = Classifier::fit(&data, &params).expect("fit");
+
+            // Sanity: one served batch must match the local engine.
+            let mut rng = Rng::seed_from(seed ^ 0xC0FFEE);
+            let probe = query_batch(2, batch, &mut rng);
+            let (local, _) = clf
+                .classify_batch_with(&probe, ExecPolicy::parallel())
+                .expect("local classify");
+
+            let server = Server::bind(ServeConfig::default(), clf).expect("bind ephemeral port");
+            let addr = server.local_addr().expect("local addr").to_string();
+            let handle = server.spawn();
+
+            let mut client = Client::connect_with_timeout(&addr, timeout).expect("probe connect");
+            let served = client.classify(&probe).expect("probe classify");
+            assert_eq!(served, local, "served labels diverged from local engine");
+            (addr, 2, true, Some(handle))
+        }
+    };
+
+    let mut reports = Vec::new();
+    for &concurrency in &levels_spec {
+        eprintln!("level: {concurrency} clients × {requests} requests × {batch} points …");
+        let report = run_level(&addr, concurrency, requests, batch, dims, seed, timeout);
+        eprintln!(
+            "  {:.0} req/s, {:.0} points/s, p50 {} µs, p99 {} µs, {} errors",
+            report.rps, report.qps, report.p50_us, report.p99_us, report.errors
+        );
+        reports.push(report);
+    }
+
+    if self_hosted || args.has("shutdown") {
+        let mut client = Client::connect_with_timeout(&addr, timeout).expect("shutdown connect");
+        client.shutdown().expect("shutdown request");
+    }
+    if let Some(handle) = handle {
+        handle.join().expect("server drain");
+    }
+
+    let json = render_json(&addr, self_hosted, batch, requests, seed, &reports);
+    std::fs::write(&out, &json).expect("write report");
+    eprintln!("wrote {out}");
+}

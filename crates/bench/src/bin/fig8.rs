@@ -8,7 +8,7 @@
 //! Usage: `cargo run --release -p tkdc-bench --bin fig8
 //!         [--scale F] [--p P]`
 
-use tkdc::{Classifier, Label, Params};
+use tkdc::{Classifier, ExecPolicy, Label, Params};
 use tkdc_baselines::{BinnedKde, DensityEstimator, NaiveKde, NocutKde};
 use tkdc_bench::{print_table, BenchArgs};
 use tkdc_common::stats::BinaryScore;
@@ -43,7 +43,7 @@ fn f1_of_tkdc(data: &Matrix, p: f64, truth: &[bool], seed: u64, threads: usize) 
     let params = Params::default().with_p(p).with_seed(seed);
     let clf = Classifier::fit_with_threads(data, &params, threads).expect("fit");
     let (labels, _) = clf
-        .classify_batch_parallel(data, threads)
+        .classify_batch_with(data, ExecPolicy::with_threads(threads))
         .expect("classify");
     let predicted: Vec<bool> = labels.iter().map(|&l| l == Label::Low).collect();
     BinaryScore::from_labels(truth, &predicted).f1()

@@ -14,7 +14,7 @@
 //! Usage: `cargo run --release -p tkdc-bench --bin related_work
 //!         [--scale F] [--outlier-rate R]`
 
-use tkdc::{Classifier, Label, Params};
+use tkdc::{Classifier, ExecPolicy, Label, Params};
 use tkdc_alternatives::{
     dbscan, DbscanLabel, DbscanParams, KnnOutlierModel, LofModel, OneClassSvm, SvmParams,
 };
@@ -62,7 +62,9 @@ fn main() {
     {
         let params = Params::default().with_p(flag_rate).with_seed(seed);
         let (clf, t_train) = time(|| Classifier::fit(&data, &params).expect("fit"));
-        let (labels, _) = clf.classify_batch(&data).expect("classify");
+        let (labels, _) = clf
+            .classify_batch_with(&data, ExecPolicy::Serial)
+            .expect("classify");
         let predicted: Vec<bool> = labels.iter().map(|&l| l == Label::Low).collect();
         let f1 = BinaryScore::from_labels(&truth, &predicted).f1();
         rows.push(vec![

@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use tkdc::{Classifier, Params};
+use tkdc::{Classifier, ExecPolicy, Params};
 use tkdc_baselines::{BinnedKde, DensityEstimator, NaiveKde, NocutKde, RadialKde};
 use tkdc_common::{Matrix, Rng};
 use tkdc_kernel::KernelKind;
@@ -219,7 +219,7 @@ pub fn run_throughput(
                 time(|| Classifier::fit_with_threads(data, &params, threads).expect("fit"));
             let (stats, t_query) = time(|| {
                 let (_, stats) = clf
-                    .classify_batch_parallel(&query_set, threads)
+                    .classify_batch_with(&query_set, ExecPolicy::with_threads(threads))
                     .expect("classify");
                 stats
             });

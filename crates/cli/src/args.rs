@@ -30,6 +30,17 @@ pub const COMMON_FLAGS: &[&str] = &[
     "quiet",
 ];
 
+/// Flags the `serve` subcommand understands (a daemon takes no dataset
+/// or training parameters — only a fitted model and server knobs).
+pub const SERVE_FLAGS: &[&str] = &[
+    "model",
+    "addr",
+    "threads",
+    "max-conns",
+    "timeout-ms",
+    "quiet",
+];
+
 impl Flags {
     /// Parses `args`, validating every flag against `allowed`.
     pub fn parse(args: &[String], allowed: &[&str]) -> Result<Self> {

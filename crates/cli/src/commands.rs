@@ -1,12 +1,13 @@
 //! Subcommand implementations for the `tkdc` CLI.
 
-use crate::args::{usage_error, Flags, COMMON_FLAGS};
+use crate::args::{usage_error, Flags, COMMON_FLAGS, SERVE_FLAGS};
 use std::io::Write;
 use tkdc::model_io::{load_model, save_model};
-use tkdc::{Classifier, Label};
+use tkdc::{Classifier, ExecPolicy, Label};
 use tkdc_common::csv::{read_csv, CsvOptions};
 use tkdc_common::error::Result;
 use tkdc_common::Matrix;
+use tkdc_serve::{ServeConfig, Server};
 
 const USAGE: &str = "\
 tkdc — density classification over CSV datasets (tKDC, SIGMOD 2017)
@@ -24,6 +25,8 @@ SUBCOMMANDS:
     outliers   one-shot: fit on the input and list its low-density rows:
                  tkdc outliers --input data.csv --p 0.01
     threshold  estimate the density threshold t(p) only
+    serve      serve a saved model over TCP (binary protocol, see DESIGN.md):
+                 tkdc serve --model out.tkdc --addr 127.0.0.1:7117
     help       print this message
 
 SHARED FLAGS:
@@ -42,6 +45,13 @@ SHARED FLAGS:
                         (default: all available cores; results are
                         identical for any thread count)
     --quiet             suppress progress logging
+
+SERVE FLAGS:
+    --addr HOST:PORT    listen address (default 127.0.0.1:7117; port 0
+                        picks an ephemeral port, printed on startup)
+    --max-conns N       concurrent-connection cap (default 64); further
+                        clients get an over-capacity protocol error
+    --timeout-ms N      per-connection read/write timeout (default 10000)
 ";
 
 /// Dispatches a full command line.
@@ -57,6 +67,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         "density" => density(rest),
         "outliers" => outliers(rest),
         "threshold" => threshold(rest),
+        "serve" => serve(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -142,8 +153,8 @@ fn classify(args: &[String]) -> Result<()> {
     let model_path = flags.require("model")?;
     let clf = load_model(model_path)?;
     let queries = load_input(&flags)?;
-    let threads = flags.threads()?;
-    let (labels, stats) = clf.classify_batch_parallel(&queries, threads)?;
+    let policy = ExecPolicy::with_threads(flags.threads()?);
+    let (labels, stats) = clf.classify_batch_with(&queries, policy)?;
     emit(
         &flags,
         labels.iter().map(|l| {
@@ -169,8 +180,8 @@ fn density(args: &[String]) -> Result<()> {
     let model_path = flags.require("model")?;
     let clf = load_model(model_path)?;
     let queries = load_input(&flags)?;
-    let threads = flags.threads()?;
-    let (bounds, stats) = clf.bound_density_batch_parallel(&queries, threads)?;
+    let policy = ExecPolicy::with_threads(flags.threads()?);
+    let (bounds, stats) = clf.bound_density_batch_with(&queries, policy)?;
     emit(
         &flags,
         bounds
@@ -192,7 +203,7 @@ fn outliers(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args, COMMON_FLAGS)?;
     let data = load_input(&flags)?;
     let clf = fit(&flags, &data)?;
-    let (labels, _) = clf.classify_batch_parallel(&data, flags.threads()?)?;
+    let (labels, _) = clf.classify_batch_with(&data, ExecPolicy::with_threads(flags.threads()?))?;
     let lines = labels
         .iter()
         .enumerate()
@@ -214,6 +225,36 @@ fn outliers(args: &[String]) -> Result<()> {
             labels.len(),
             100.0 * low as f64 / labels.len() as f64
         );
+    }
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args, SERVE_FLAGS)?;
+    let model_path = flags.require("model")?;
+    let clf = load_model(model_path)?;
+    let config = ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7117").to_string(),
+        threads: flags.get_u64("threads")?.map(|n| n as usize), // CAST: thread counts are tiny
+        max_conns: match flags.get_u64("max-conns")? {
+            Some(0) => return Err(usage_error("`--max-conns` must be at least 1")),
+            Some(n) => n as usize, // CAST: connection caps are small
+            None => ServeConfig::default().max_conns,
+        },
+        timeout: match flags.get_u64("timeout-ms")? {
+            Some(0) => return Err(usage_error("`--timeout-ms` must be at least 1")),
+            Some(ms) => std::time::Duration::from_millis(ms),
+            None => ServeConfig::default().timeout,
+        },
+    };
+    let server = Server::bind(config, clf)?;
+    let addr = server.local_addr()?;
+    if !flags.has("quiet") {
+        eprintln!("tkdc-serve listening on {addr} (model: {model_path})");
+    }
+    server.run()?;
+    if !flags.has("quiet") {
+        eprintln!("tkdc-serve drained and stopped");
     }
     Ok(())
 }

@@ -8,6 +8,7 @@
 //! * `density   --model m.tkdc --input q.csv` — certified bounds
 //! * `outliers  --input data.csv [params]` — one-shot training-set outliers
 //! * `threshold --input data.csv [params]` — estimate `t(p)` only
+//! * `serve     --model m.tkdc --addr 127.0.0.1:7117` — TCP serving daemon
 //!
 //! Shared parameter flags: `--p`, `--epsilon`, `--delta`, `--bandwidth`,
 //! `--seed`, `--header` (first CSV line is a header),

@@ -10,7 +10,12 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// The library is deliberately strict about inputs: dimension mismatches,
 /// empty datasets, and out-of-range parameters are surfaced as errors rather
 /// than silently clamped, so that callers notice misconfiguration early.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
+/// so new failure classes (e.g. wire-protocol violations) can be added
+/// without a breaking change.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// A matrix/point dimensionality did not match what the operation needs.
     DimensionMismatch {
@@ -32,11 +37,19 @@ pub enum Error {
     Numeric(String),
     /// I/O error while reading or writing a dataset file.
     Io(std::io::Error),
-    /// A dataset file could not be parsed.
+    /// A dataset or model file could not be parsed.
     Parse {
-        /// 1-based line number of the malformed record.
+        /// 1-based line number of the malformed record, or 0 when the
+        /// input is not line-oriented (e.g. a binary model file).
         line: usize,
         /// Description of the problem.
+        message: String,
+    },
+    /// A wire-protocol violation: malformed frame, unsupported protocol
+    /// version, or a server-side rejection (over capacity, timeout)
+    /// reported to a client.
+    Protocol {
+        /// Description of the violation.
         message: String,
     },
 }
@@ -53,7 +66,9 @@ impl fmt::Display for Error {
             }
             Error::Numeric(msg) => write!(f, "numeric error: {msg}"),
             Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Parse { line: 0, message } => write!(f, "parse error: {message}"),
             Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Protocol { message } => write!(f, "protocol error: {message}"),
         }
     }
 }
@@ -77,6 +92,21 @@ impl From<std::io::Error> for Error {
 pub fn invalid_param(name: &'static str, message: impl Into<String>) -> Error {
     Error::InvalidParameter {
         name,
+        message: message.into(),
+    }
+}
+
+/// Builds an [`Error::Parse`] for non-line-oriented (binary) input.
+pub fn format_error(message: impl Into<String>) -> Error {
+    Error::Parse {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+/// Builds an [`Error::Protocol`] with a formatted message.
+pub fn protocol_error(message: impl Into<String>) -> Error {
+    Error::Protocol {
         message: message.into(),
     }
 }
@@ -125,5 +155,19 @@ mod tests {
             message: "bad float".into(),
         };
         assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn format_error_omits_line() {
+        let e = format_error("bad magic");
+        assert_eq!(e.to_string(), "parse error: bad magic");
+        assert!(matches!(e, Error::Parse { line: 0, .. }));
+    }
+
+    #[test]
+    fn protocol_error_displays() {
+        let e = protocol_error("server over capacity");
+        assert_eq!(e.to_string(), "protocol error: server over capacity");
+        assert!(matches!(e, Error::Protocol { .. }));
     }
 }

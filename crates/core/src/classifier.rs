@@ -30,6 +30,74 @@ pub enum Label {
     Low,
 }
 
+/// Execution policy for the unified batch entry points
+/// ([`Classifier::classify_batch_with`] /
+/// [`Classifier::bound_density_batch_with`]).
+///
+/// One policy enum replaces the former quartet of near-duplicate batch
+/// methods; every batch consumer in the workspace (CLI, benchmark
+/// harnesses, the `tkdc-serve` daemon) goes through it. Labels, bounds,
+/// and merged [`QueryStats`] are identical for every policy and thread
+/// count — the policy only chooses *how* the work is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Single-threaded, in-order execution on the calling thread
+    /// (allocation-free beyond the output vector).
+    Serial,
+    /// Work-stealing parallel execution through the [`engine`]
+    /// scheduler. `threads: None` resolves to the machine's available
+    /// parallelism; tiny batches fall back to the serial path.
+    Parallel {
+        /// Worker-thread count; `None` = available parallelism.
+        threads: Option<usize>,
+    },
+    /// Parallel execution with *static* contiguous chunking — one equal
+    /// range per thread, claimed up front. Kept only as the
+    /// scheduler-comparison baseline for the `bench` binary: on skewed
+    /// workloads a single chunk absorbs all the near-threshold queries
+    /// while every other core idles. Prefer [`ExecPolicy::Parallel`].
+    StaticChunked {
+        /// Worker-thread count; `None` = available parallelism.
+        threads: Option<usize>,
+    },
+}
+
+impl Default for ExecPolicy {
+    /// Work-stealing execution at the machine's available parallelism.
+    fn default() -> Self {
+        ExecPolicy::Parallel { threads: None }
+    }
+}
+
+impl ExecPolicy {
+    /// Work-stealing execution at the machine's available parallelism
+    /// (`Parallel { threads: None }`).
+    pub fn parallel() -> Self {
+        ExecPolicy::Parallel { threads: None }
+    }
+
+    /// Work-stealing execution with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecPolicy::Parallel {
+            threads: Some(threads),
+        }
+    }
+
+    /// The effective worker-thread count this policy resolves to.
+    pub fn resolved_threads(&self) -> usize {
+        match self {
+            ExecPolicy::Serial => 1,
+            ExecPolicy::Parallel { threads } | ExecPolicy::StaticChunked { threads } => threads
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+                .max(1),
+        }
+    }
+}
+
 /// Summary of the training phase.
 #[derive(Debug, Clone)]
 pub struct FitReport {
@@ -391,87 +459,64 @@ impl Classifier {
         Ok(bounder.exact_density(x, &mut scratch))
     }
 
-    /// Classifies every row of `queries`, returning labels plus the
-    /// aggregated traversal statistics.
-    pub fn classify_batch(&self, queries: &Matrix) -> Result<(Vec<Label>, QueryStats)> {
-        let mut scratch = QueryScratch::new();
-        let mut labels = Vec::with_capacity(queries.rows());
-        for q in queries.iter_rows() {
-            labels.push(self.classify_with(q, &mut scratch)?);
-        }
-        Ok((labels, scratch.stats))
-    }
-
-    /// Parallel batch classification over `n_threads` OS threads (scoped;
-    /// no runtime dependency). Results are in query order; statistics are
-    /// merged across threads.
-    ///
-    /// Work is distributed through the work-stealing
-    /// [`engine::WorkQueue`]: threshold-pruned query costs are
-    /// heavy-tailed, so static chunking (see
-    /// [`Self::classify_batch_static`]) strands whole cores behind a
-    /// cluster of near-threshold queries. Labels and merged statistics are
-    /// identical to [`Self::classify_batch`] for every thread count.
-    ///
-    /// The paper evaluates single-threaded throughput; this driver is the
-    /// "embarrassingly parallel queries" extension discussed in §6.
-    pub fn classify_batch_parallel(
+    /// Shared batch core behind the unified entry points: runs `work`
+    /// for every item under the scheduling `policy` and merges per-thread
+    /// statistics. Results are in index order and identical for every
+    /// policy and thread count.
+    fn batch_with<T: Send>(
         &self,
-        queries: &Matrix,
-        n_threads: usize,
-    ) -> Result<(Vec<Label>, QueryStats)> {
-        let n_threads = n_threads.max(1);
-        if n_threads == 1 || queries.rows() < 2 * n_threads {
-            return self.classify_batch(queries);
+        total: usize,
+        policy: ExecPolicy,
+        work: impl Fn(usize, &mut QueryScratch) -> Result<T> + Sync,
+    ) -> Result<(Vec<T>, QueryStats)> {
+        let n_threads = policy.resolved_threads();
+        // Tiny batches: thread spawn/join dwarfs the work — run inline.
+        let serial =
+            matches!(policy, ExecPolicy::Serial) || n_threads == 1 || total < 2 * n_threads;
+        if serial {
+            let mut scratch = QueryScratch::new();
+            let mut out = Vec::with_capacity(total);
+            for i in 0..total {
+                out.push(work(i, &mut scratch)?);
+            }
+            return Ok((out, scratch.stats));
         }
-        let (labels, scratches) = engine::run_batch(
-            queries.rows(),
-            n_threads,
-            QueryScratch::new,
-            |i, scratch| self.classify_with(queries.row(i), scratch),
-        )?;
+        if matches!(policy, ExecPolicy::StaticChunked { .. }) {
+            return self.batch_static(total, n_threads, &work);
+        }
+        let (out, scratches) = engine::run_batch(total, n_threads, QueryScratch::new, work)?;
         let mut stats = QueryStats::default();
         for s in &scratches {
             stats.merge(&s.stats);
         }
-        Ok((labels, stats))
+        Ok((out, stats))
     }
 
-    /// Parallel batch classification with *static* chunking: the batch is
-    /// split into `n_threads` equal contiguous ranges up front.
-    ///
-    /// Kept as the scheduler-comparison baseline for the `bench` binary —
-    /// on workloads where expensive near-threshold queries cluster, one
-    /// chunk absorbs all the hard work while every other core idles, which
-    /// is exactly what the work-stealing
-    /// [`Self::classify_batch_parallel`] avoids. Prefer that method.
-    pub fn classify_batch_static(
+    /// Static-chunked scheduling: `n_threads` equal contiguous ranges
+    /// claimed up front (the [`ExecPolicy::StaticChunked`] baseline).
+    fn batch_static<T: Send>(
         &self,
-        queries: &Matrix,
+        total: usize,
         n_threads: usize,
-    ) -> Result<(Vec<Label>, QueryStats)> {
-        let n_threads = n_threads.max(1);
-        if n_threads == 1 || queries.rows() < 2 * n_threads {
-            return self.classify_batch(queries);
-        }
-        let n = queries.rows();
-        let chunk = n.div_ceil(n_threads);
-        let mut results: Vec<Result<(Vec<Label>, QueryStats)>> = Vec::new();
+        work: &(impl Fn(usize, &mut QueryScratch) -> Result<T> + Sync),
+    ) -> Result<(Vec<T>, QueryStats)> {
+        let chunk = total.div_ceil(n_threads);
+        let mut results: Vec<Result<(Vec<T>, QueryStats)>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_threads);
             for tid in 0..n_threads {
                 let start = tid * chunk;
-                let end = ((tid + 1) * chunk).min(n);
+                let end = ((tid + 1) * chunk).min(total);
                 if start >= end {
                     break;
                 }
                 handles.push(scope.spawn(move || {
                     let mut scratch = QueryScratch::new();
-                    let mut labels = Vec::with_capacity(end - start);
+                    let mut seg = Vec::with_capacity(end - start);
                     for i in start..end {
-                        labels.push(self.classify_with(queries.row(i), &mut scratch)?);
+                        seg.push(work(i, &mut scratch)?);
                     }
-                    Ok((labels, scratch.stats))
+                    Ok((seg, scratch.stats))
                 }));
             }
             for h in handles {
@@ -479,38 +524,113 @@ impl Classifier {
                 results.push(h.join().expect("classification thread panicked"));
             }
         });
-        let mut labels = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(total);
         let mut stats = QueryStats::default();
         for r in results {
-            let (l, s) = r?;
-            labels.extend(l);
+            let (seg, s) = r?;
+            out.extend(seg);
             stats.merge(&s);
         }
-        Ok((labels, stats))
+        Ok((out, stats))
     }
 
-    /// Parallel batch density bounding: [`Self::bound_density_with`] for
-    /// every row of `queries`, work-stolen across `n_threads` threads.
-    /// Bounds are in query order; statistics are merged across threads.
+    /// Classifies every row of `queries` under the given execution
+    /// policy, returning labels in query order plus the aggregated
+    /// traversal statistics. This is the **unified batch entry point**
+    /// used by the CLI, the benchmark harnesses, and the `tkdc-serve`
+    /// daemon; labels and statistics are identical for every policy and
+    /// thread count.
+    ///
+    /// The paper evaluates single-threaded throughput; the parallel
+    /// policies are the "embarrassingly parallel queries" extension
+    /// discussed in §6.
+    ///
+    /// # Errors
+    /// Propagates dimension-mismatch and NaN-input errors (the error at
+    /// the smallest query index wins, independent of scheduling).
+    pub fn classify_batch_with(
+        &self,
+        queries: &Matrix,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<Label>, QueryStats)> {
+        self.batch_with(queries.rows(), policy, |i, scratch| {
+            self.classify_with(queries.row(i), scratch)
+        })
+    }
+
+    /// Density bounds ([`Self::bound_density_with`]) for every row of
+    /// `queries` under the given execution policy — the unified batch
+    /// companion of [`Self::classify_batch_with`] for callers that need
+    /// certified bounds rather than labels.
     ///
     /// # Errors
     /// Propagates dimension-mismatch and NaN-input errors.
+    pub fn bound_density_batch_with(
+        &self,
+        queries: &Matrix,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<DensityBounds>, QueryStats)> {
+        self.batch_with(queries.rows(), policy, |i, scratch| {
+            self.bound_density_with(queries.row(i), scratch)
+        })
+    }
+
+    /// Serial batch classification.
+    #[deprecated(note = "use `classify_batch_with(queries, ExecPolicy::Serial)`")]
+    pub fn classify_batch(&self, queries: &Matrix) -> Result<(Vec<Label>, QueryStats)> {
+        self.classify_batch_with(queries, ExecPolicy::Serial)
+    }
+
+    /// Work-stealing parallel batch classification.
+    #[deprecated(
+        note = "use `classify_batch_with(queries, ExecPolicy::Parallel { threads: Some(n) })`"
+    )]
+    pub fn classify_batch_parallel(
+        &self,
+        queries: &Matrix,
+        n_threads: usize,
+    ) -> Result<(Vec<Label>, QueryStats)> {
+        self.classify_batch_with(
+            queries,
+            ExecPolicy::Parallel {
+                threads: Some(n_threads),
+            },
+        )
+    }
+
+    /// Statically chunked parallel batch classification (scheduler
+    /// baseline).
+    #[deprecated(
+        note = "use `classify_batch_with(queries, ExecPolicy::StaticChunked { threads: Some(n) })`"
+    )]
+    pub fn classify_batch_static(
+        &self,
+        queries: &Matrix,
+        n_threads: usize,
+    ) -> Result<(Vec<Label>, QueryStats)> {
+        self.classify_batch_with(
+            queries,
+            ExecPolicy::StaticChunked {
+                threads: Some(n_threads),
+            },
+        )
+    }
+
+    /// Work-stealing parallel batch density bounding.
+    #[deprecated(
+        note = "use `bound_density_batch_with(queries, ExecPolicy::Parallel { threads: Some(n) })`"
+    )]
     pub fn bound_density_batch_parallel(
         &self,
         queries: &Matrix,
         n_threads: usize,
     ) -> Result<(Vec<DensityBounds>, QueryStats)> {
-        let (bounds, scratches) = engine::run_batch(
-            queries.rows(),
-            n_threads.max(1),
-            QueryScratch::new,
-            |i, scratch| self.bound_density_with(queries.row(i), scratch),
-        )?;
-        let mut stats = QueryStats::default();
-        for s in &scratches {
-            stats.merge(&s.stats);
-        }
-        Ok((bounds, stats))
+        self.bound_density_batch_with(
+            queries,
+            ExecPolicy::Parallel {
+                threads: Some(n_threads),
+            },
+        )
     }
 }
 
@@ -548,7 +668,7 @@ mod tests {
         let data = gaussian_blob(4000, 2, 67);
         let p = 0.05;
         let clf = Classifier::fit(&data, &Params::default().with_p(p)).unwrap();
-        let (labels, _) = clf.classify_batch(&data).unwrap();
+        let (labels, _) = clf.classify_batch_with(&data, ExecPolicy::Serial).unwrap();
         let low = labels.iter().filter(|&&l| l == Label::Low).count();
         let frac = low as f64 / labels.len() as f64;
         assert!(
@@ -635,17 +755,71 @@ mod tests {
         let data = gaussian_blob(2000, 2, 97);
         let clf = Classifier::fit(&data, &Params::default()).unwrap();
         let queries = gaussian_blob(500, 2, 101);
-        let (serial, s_stats) = clf.classify_batch(&queries).unwrap();
+        let (serial, s_stats) = clf
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
         for threads in [2, 4, 8] {
-            let (parallel, p_stats) = clf.classify_batch_parallel(&queries, threads).unwrap();
+            let (parallel, p_stats) = clf
+                .classify_batch_with(&queries, ExecPolicy::with_threads(threads))
+                .unwrap();
             assert_eq!(serial, parallel, "threads={threads}");
             // Counter merging is order-independent summation, so the
             // totals — not just the query count — must match exactly.
             assert_eq!(s_stats, p_stats, "threads={threads}");
-            let (chunked, c_stats) = clf.classify_batch_static(&queries, threads).unwrap();
+            let (chunked, c_stats) = clf
+                .classify_batch_with(
+                    &queries,
+                    ExecPolicy::StaticChunked {
+                        threads: Some(threads),
+                    },
+                )
+                .unwrap();
             assert_eq!(serial, chunked, "threads={threads}");
             assert_eq!(s_stats, c_stats, "threads={threads}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)] // the wrappers must stay equivalent to the unified API
+    fn deprecated_wrappers_match_unified_api() {
+        let data = gaussian_blob(1500, 2, 131);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let queries = gaussian_blob(400, 2, 137);
+        let (unified, u_stats) = clf
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        let (serial, s_stats) = clf.classify_batch(&queries).unwrap();
+        assert_eq!(unified, serial);
+        assert_eq!(u_stats, s_stats);
+        let (par, p_stats) = clf.classify_batch_parallel(&queries, 4).unwrap();
+        assert_eq!(unified, par);
+        assert_eq!(u_stats, p_stats);
+        let (chunked, c_stats) = clf.classify_batch_static(&queries, 4).unwrap();
+        assert_eq!(unified, chunked);
+        assert_eq!(u_stats, c_stats);
+        let (b_unified, bu_stats) = clf
+            .bound_density_batch_with(&queries, ExecPolicy::with_threads(4))
+            .unwrap();
+        let (b_old, bo_stats) = clf.bound_density_batch_parallel(&queries, 4).unwrap();
+        assert_eq!(b_unified.len(), b_old.len());
+        for (a, b) in b_unified.iter().zip(&b_old) {
+            assert_eq!(a.lower, b.lower);
+            assert_eq!(a.upper, b.upper);
+            assert_eq!(a.cause, b.cause);
+        }
+        assert_eq!(bu_stats, bo_stats);
+    }
+
+    #[test]
+    fn exec_policy_resolves_threads() {
+        assert_eq!(ExecPolicy::Serial.resolved_threads(), 1);
+        assert_eq!(ExecPolicy::with_threads(4).resolved_threads(), 4);
+        assert_eq!(
+            ExecPolicy::StaticChunked { threads: Some(0) }.resolved_threads(),
+            1
+        );
+        assert!(ExecPolicy::parallel().resolved_threads() >= 1);
+        assert_eq!(ExecPolicy::default(), ExecPolicy::parallel());
     }
 
     #[test]
@@ -711,7 +885,9 @@ mod tests {
             .iter_rows()
             .map(|q| clf.bound_density_with(q, &mut scratch).unwrap())
             .collect();
-        let (parallel, stats) = clf.bound_density_batch_parallel(&queries, 4).unwrap();
+        let (parallel, stats) = clf
+            .bound_density_batch_with(&queries, ExecPolicy::with_threads(4))
+            .unwrap();
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.lower, p.lower);

@@ -80,7 +80,7 @@ impl Default for DualTreeConfig {
 /// Classifies every row of `queries` using shared dual-tree bounds.
 ///
 /// Returns labels in query order plus statistics. Results agree with
-/// [`Classifier::classify_batch`] on every query outside the ε-band
+/// [`Classifier::classify_batch_with`] on every query outside the ε-band
 /// (both drivers implement Problem 1's contract).
 pub fn classify_batch_dual(
     clf: &Classifier,
@@ -349,7 +349,9 @@ mod tests {
         let data = blob(3000, 2, 111);
         let clf = Classifier::fit(&data, &Params::default().with_seed(7)).unwrap();
         let queries = blob(800, 2, 222);
-        let (serial, _) = clf.classify_batch(&queries).unwrap();
+        let (serial, _) = clf
+            .classify_batch_with(&queries, crate::ExecPolicy::Serial)
+            .unwrap();
         let (dual, stats) =
             classify_batch_dual(&clf, &queries, &DualTreeConfig::default()).unwrap();
         assert_eq!(serial.len(), dual.len());

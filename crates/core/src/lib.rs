@@ -45,7 +45,9 @@
 //!   threshold and tolerance pruning rules (Eq. 8–9).
 //! * [`threshold`] — the bootstrapped threshold estimator (Algorithm 3).
 //! * [`classifier`] — the end-to-end classifier (Algorithm 1), including
-//!   the grid cache fast path and a parallel batch driver.
+//!   the grid cache fast path and the unified batch entry points
+//!   (`classify_batch_with` / `bound_density_batch_with`, scheduled by
+//!   [`classifier::ExecPolicy`]).
 //! * [`engine`] — the dependency-free work-stealing batch scheduler
 //!   behind every parallel driver (classification, bootstrap, training
 //!   densities).
@@ -63,7 +65,7 @@ pub mod params;
 pub mod qstats;
 pub mod threshold;
 
-pub use classifier::{Classifier, Label};
+pub use classifier::{Classifier, ExecPolicy, Label};
 pub use dualtree::{classify_batch_dual, DualTreeConfig, DualTreeStats};
 pub use llr::{llr_bounds, llr_bounds_with_rtol, LlrBounds};
 pub use params::{BootstrapParams, Optimizations, Params};

@@ -17,12 +17,17 @@ use crate::params::{BootstrapParams, Optimizations, Params};
 use crate::threshold::ThresholdBounds;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use tkdc_common::error::{Error, Result};
+use tkdc_common::error::{format_error, Error, Result};
 use tkdc_index::{BandwidthGrid, GridRaw, KdTree, KdTreeRaw};
 use tkdc_kernel::{Kernel, KernelKind};
 
 const MAGIC: &[u8; 4] = b"TKDC";
 const VERSION: u32 = 1;
+
+/// The current model-file format version, exposed so compatibility
+/// tooling (and negative tests) can construct version probes without
+/// hardcoding the constant.
+pub const FORMAT_VERSION: u32 = VERSION;
 
 /// Writer with little-endian primitive helpers.
 struct Enc<W: Write>(W);
@@ -189,12 +194,15 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
     let mut magic = [0u8; 4];
     r.0.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(Error::Numeric("not a tKDC model file (bad magic)".into()));
+        return Err(format_error(format!(
+            "not a tKDC model file (bad magic {magic:02x?}, expected {MAGIC:02x?})"
+        )));
     }
     let version = r.u32()?;
     if version != VERSION {
-        return Err(Error::Numeric(format!(
-            "unsupported model version {version} (expected {VERSION})"
+        return Err(format_error(format!(
+            "unsupported model format version {version} (this build reads version {VERSION}); \
+             re-save the model with a matching tkdc release"
         )));
     }
 
@@ -340,8 +348,11 @@ mod tests {
         assert_eq!(loaded.grid_enabled(), clf.grid_enabled());
         assert_eq!(loaded.kernel().bandwidths(), clf.kernel().bandwidths());
         // Identical labels on every training point.
-        let (a, _) = clf.classify_batch(&data).unwrap();
-        let (b, _) = loaded.classify_batch(&data).unwrap();
+        use crate::classifier::ExecPolicy;
+        let (a, _) = clf.classify_batch_with(&data, ExecPolicy::Serial).unwrap();
+        let (b, _) = loaded
+            .classify_batch_with(&data, ExecPolicy::Serial)
+            .unwrap();
         assert_eq!(a, b);
     }
 

@@ -95,6 +95,48 @@ impl Default for BootstrapParams {
 }
 
 impl BootstrapParams {
+    /// Builder-style setter for the initial training-subset size `r0`.
+    #[must_use]
+    pub fn with_r0(mut self, r0: usize) -> Self {
+        self.r0 = r0;
+        self
+    }
+
+    /// Builder-style setter for the per-round query-sample size `s0`.
+    #[must_use]
+    pub fn with_s0(mut self, s0: usize) -> Self {
+        self.s0 = s0;
+        self
+    }
+
+    /// Builder-style setter for the subset growth factor.
+    #[must_use]
+    pub fn with_growth(mut self, growth: f64) -> Self {
+        self.growth = growth;
+        self
+    }
+
+    /// Builder-style setter for the invalid-bound backoff factor.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: f64) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Builder-style setter for the valid-bound safety buffer.
+    #[must_use]
+    pub fn with_buffer(mut self, buffer: f64) -> Self {
+        self.buffer = buffer;
+        self
+    }
+
+    /// Builder-style setter for the per-round retry cap.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
     fn validate(&self) -> Result<()> {
         if self.r0 == 0 {
             return Err(invalid_param("bootstrap.r0", "must be positive"));
@@ -191,30 +233,63 @@ impl Params {
     }
 
     /// Builder-style setter for `p`.
+    #[must_use]
     pub fn with_p(mut self, p: f64) -> Self {
         self.p = p;
         self
     }
 
     /// Builder-style setter for ε.
+    #[must_use]
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
         self.epsilon = epsilon;
         self
     }
 
+    /// Builder-style setter for δ.
+    #[must_use]
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
     /// Builder-style setter for the bandwidth scale factor `b`.
+    #[must_use]
     pub fn with_bandwidth_factor(mut self, b: f64) -> Self {
         self.bandwidth_factor = b;
         self
     }
 
+    /// Builder-style setter for the kernel family.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder-style setter for the k-d tree leaf capacity.
+    #[must_use]
+    pub fn with_leaf_size(mut self, leaf_size: usize) -> Self {
+        self.leaf_size = leaf_size;
+        self
+    }
+
     /// Builder-style setter for the optimization toggles.
+    #[must_use]
     pub fn with_opts(mut self, opts: Optimizations) -> Self {
         self.opts = opts;
         self
     }
 
+    /// Builder-style setter for the bootstrap constants.
+    #[must_use]
+    pub fn with_bootstrap(mut self, bootstrap: BootstrapParams) -> Self {
+        self.bootstrap = bootstrap;
+        self
+    }
+
     /// Builder-style setter for the RNG seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -288,13 +363,35 @@ mod tests {
         let p = Params::default()
             .with_p(0.05)
             .with_epsilon(0.1)
+            .with_delta(0.02)
             .with_bandwidth_factor(2.0)
+            .with_kernel(KernelKind::Epanechnikov)
+            .with_leaf_size(64)
             .with_seed(9)
-            .with_opts(Optimizations::none());
+            .with_opts(Optimizations::none())
+            .with_bootstrap(
+                BootstrapParams::default()
+                    .with_r0(100)
+                    .with_s0(5000)
+                    .with_growth(3.0)
+                    .with_backoff(2.0)
+                    .with_buffer(1.25)
+                    .with_max_retries(16),
+            );
         assert_eq!(p.p, 0.05);
         assert_eq!(p.epsilon, 0.1);
+        assert_eq!(p.delta, 0.02);
         assert_eq!(p.bandwidth_factor, 2.0);
+        assert_eq!(p.kernel, KernelKind::Epanechnikov);
+        assert_eq!(p.leaf_size, 64);
         assert_eq!(p.seed, 9);
         assert_eq!(p.opts, Optimizations::none());
+        assert_eq!(p.bootstrap.r0, 100);
+        assert_eq!(p.bootstrap.s0, 5000);
+        assert_eq!(p.bootstrap.growth, 3.0);
+        assert_eq!(p.bootstrap.backoff, 2.0);
+        assert_eq!(p.bootstrap.buffer, 1.25);
+        assert_eq!(p.bootstrap.max_retries, 16);
+        assert!(p.validate().is_ok());
     }
 }

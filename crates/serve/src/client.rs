@@ -1,0 +1,139 @@
+//! Blocking client for the `tkdc-serve` wire protocol.
+//!
+//! One method per request type; every method sends a single frame and
+//! reads a single frame back, so a `Client` is also a reference
+//! implementation of the protocol's strict request/response pairing.
+//! Error responses from the server surface as
+//! [`tkdc_common::Error::Protocol`] carrying the server's error code
+//! and message.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use tkdc::Label;
+use tkdc_common::error::{protocol_error, Result};
+use tkdc_common::Matrix;
+
+use crate::protocol::{
+    error_response_to_error, read_response, write_request, Request, Response, StatsSnapshot,
+};
+
+/// A blocking connection to a `tkdc-serve` daemon.
+pub struct Client {
+    stream: TcpStream,
+    nonce: u64,
+}
+
+impl Client {
+    /// Connects with no I/O timeouts (calls block until the server
+    /// answers). Prefer [`Client::connect_with_timeout`] in production.
+    pub fn connect(addr: &str) -> Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, nonce: 0 })
+    }
+
+    /// Connects with the given timeout applied to the connection
+    /// attempt and to every subsequent read and write.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<Self> {
+        let sock_addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| protocol_error(format!("address {addr:?} resolved to nothing")))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self { stream, nonce: 0 })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        write_request(&mut self.stream, req)?;
+        match read_response(&mut self.stream)? {
+            Some(Response::Error { code, message }) => Err(error_response_to_error(code, &message)),
+            Some(resp) => Ok(resp),
+            None => Err(protocol_error("server closed the connection mid-exchange")),
+        }
+    }
+
+    /// Liveness probe; verifies the server echoes the nonce.
+    pub fn ping(&mut self) -> Result<()> {
+        self.nonce = self.nonce.wrapping_add(1);
+        let nonce = self.nonce;
+        match self.call(&Request::Ping { nonce })? {
+            Response::Pong { nonce: echoed } if echoed == nonce => Ok(()),
+            Response::Pong { nonce: echoed } => Err(protocol_error(format!(
+                "ping nonce mismatch: sent {nonce}, got {echoed}"
+            ))),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Classifies a micro-batch; labels come back in query order.
+    pub fn classify(&mut self, points: &Matrix) -> Result<Vec<Label>> {
+        match self.call(&Request::Classify {
+            points: points.clone(),
+        })? {
+            Response::Labels(labels) => {
+                if labels.len() == points.rows() {
+                    Ok(labels)
+                } else {
+                    Err(protocol_error(format!(
+                        "label count {} does not match query count {}",
+                        labels.len(),
+                        points.rows()
+                    )))
+                }
+            }
+            other => Err(unexpected("Labels", &other)),
+        }
+    }
+
+    /// Certified `(lower, upper)` density bounds for a micro-batch.
+    pub fn density(&mut self, points: &Matrix) -> Result<Vec<(f64, f64)>> {
+        match self.call(&Request::Density {
+            points: points.clone(),
+        })? {
+            Response::Bounds(bounds) => {
+                if bounds.len() == points.rows() {
+                    Ok(bounds)
+                } else {
+                    Err(protocol_error(format!(
+                        "bound count {} does not match query count {}",
+                        bounds.len(),
+                        points.rows()
+                    )))
+                }
+            }
+            other => Err(unexpected("Bounds", &other)),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Asks the server to drain and exit; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected("ShutdownAck", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> tkdc_common::Error {
+    let kind = match got {
+        Response::Pong { .. } => "Pong",
+        Response::Labels(_) => "Labels",
+        Response::Bounds(_) => "Bounds",
+        Response::Stats(_) => "Stats",
+        Response::ShutdownAck => "ShutdownAck",
+        Response::Error { .. } => "Error",
+    };
+    protocol_error(format!("expected a {wanted} response, got {kind}"))
+}

@@ -1,0 +1,207 @@
+//! Lock-free server metrics.
+//!
+//! Every counter is a relaxed [`AtomicU64`]: handlers on different
+//! connections update them concurrently without coordination, and
+//! [`Metrics::snapshot`] reads a (possibly slightly torn across
+//! counters, individually exact) point-in-time copy. Request latency is
+//! tracked in a log-scale histogram — bucket `i` counts requests whose
+//! latency was at most `2^i` microseconds — so a snapshot supports
+//! approximate p50/p99 queries with bounded relative error and zero
+//! allocation on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::protocol::StatsSnapshot;
+
+/// Number of latency buckets: `2^0 .. 2^30` microseconds (~17 minutes)
+/// plus a final overflow bucket.
+const BUCKETS: usize = 32;
+
+/// Shared, lock-free server metrics (see module docs).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests decoded and answered (any type, ok or error).
+    pub requests_total: AtomicU64,
+    /// Requests answered with an error response.
+    pub errors_total: AtomicU64,
+    /// `Ping` requests answered.
+    pub pings: AtomicU64,
+    /// `Classify` requests answered.
+    pub classifies: AtomicU64,
+    /// `Density` requests answered.
+    pub densities: AtomicU64,
+    /// `Stats` requests answered.
+    pub stats_requests: AtomicU64,
+    /// Total query points classified across all `Classify` batches.
+    pub points_classified: AtomicU64,
+    /// Total query points bounded across all `Density` batches.
+    pub points_bounded: AtomicU64,
+    /// Connections turned away at the connection cap.
+    pub rejected_over_capacity: AtomicU64,
+    /// Connections closed by the read/write timeout.
+    pub timeouts: AtomicU64,
+    /// Connections accepted since startup.
+    pub connections_accepted: AtomicU64,
+    /// Connections currently open.
+    pub active_connections: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+#[derive(Debug)]
+struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Bucket index for a latency: smallest `i` with `us <= 2^i`
+    /// (bucket 0 covers 0..=1 µs); the last bucket absorbs overflow.
+    fn bucket(us: u128) -> usize {
+        let us = us.max(1);
+        let i = 128 - us.leading_zeros() as usize - 1; // CAST: < 128
+        let i = if us.is_power_of_two() { i } else { i + 1 };
+        i.min(BUCKETS - 1)
+    }
+
+    fn record(&self, latency: Duration) {
+        let i = Self::bucket(latency.as_micros());
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one served request's wall-clock latency.
+    pub fn record_latency(&self, latency: Duration) {
+        self.latency.record(latency);
+    }
+
+    /// Point-in-time copy for the `Stats` response. Bucket upper bounds
+    /// are encoded explicitly so clients need no knowledge of the
+    /// histogram's base.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let ld = Ordering::Relaxed;
+        let latency_buckets = self
+            .latency
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let le_us = if i == BUCKETS - 1 {
+                    f64::INFINITY
+                } else {
+                    (1u64 << i) as f64 // CAST: i < 63, exact in f64
+                };
+                (le_us, c.load(ld))
+            })
+            .collect();
+        StatsSnapshot {
+            requests_total: self.requests_total.load(ld),
+            errors_total: self.errors_total.load(ld),
+            pings: self.pings.load(ld),
+            classifies: self.classifies.load(ld),
+            densities: self.densities.load(ld),
+            stats_requests: self.stats_requests.load(ld),
+            points_classified: self.points_classified.load(ld),
+            points_bounded: self.points_bounded.load(ld),
+            rejected_over_capacity: self.rejected_over_capacity.load(ld),
+            timeouts: self.timeouts.load(ld),
+            connections_accepted: self.connections_accepted.load(ld),
+            active_connections: self.active_connections.load(ld),
+            latency_buckets,
+        }
+    }
+}
+
+/// Convenience: relaxed increment, the only ordering metrics need.
+pub(crate) fn inc(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Convenience: relaxed add.
+pub(crate) fn add(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 2);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(5), 3);
+        assert_eq!(LatencyHistogram::bucket(1024), 10);
+        assert_eq!(LatencyHistogram::bucket(1025), 11);
+        assert_eq!(LatencyHistogram::bucket(u128::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_recorded_latencies() {
+        let m = Metrics::new();
+        m.record_latency(Duration::from_micros(1));
+        m.record_latency(Duration::from_micros(3));
+        m.record_latency(Duration::from_micros(3));
+        inc(&m.requests_total);
+        add(&m.points_classified, 42);
+        let snap = m.snapshot();
+        assert_eq!(snap.requests_total, 1);
+        assert_eq!(snap.points_classified, 42);
+        assert_eq!(snap.latency_buckets.len(), BUCKETS);
+        assert_eq!(snap.latency_buckets[0], (1.0, 1));
+        assert_eq!(snap.latency_buckets[2], (4.0, 2));
+        let total: u64 = snap.latency_buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3);
+        assert!(snap.latency_buckets.last().unwrap().0.is_infinite());
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
+    fn quantiles_from_snapshot() {
+        let m = Metrics::new();
+        for _ in 0..99 {
+            m.record_latency(Duration::from_micros(2));
+        }
+        m.record_latency(Duration::from_micros(1000));
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_quantile_us(0.5), 2.0);
+        assert_eq!(snap.latency_quantile_us(0.99), 2.0);
+        assert_eq!(snap.latency_quantile_us(1.0), 1024.0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let m = std::sync::Arc::new(Metrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        inc(&m.requests_total);
+                        m.record_latency(Duration::from_micros(5));
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.requests_total, 4000);
+        let total: u64 = snap.latency_buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4000);
+    }
+}

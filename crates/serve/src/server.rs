@@ -1,0 +1,362 @@
+//! The serving daemon: a multi-threaded TCP accept loop over an
+//! immutable fitted [`Classifier`].
+//!
+//! ## Architecture
+//!
+//! One thread runs the accept loop; each accepted connection gets its
+//! own handler thread (connections are long-lived and micro-batched, so
+//! a thread per connection is cheap relative to the work it carries —
+//! the *query* parallelism lives inside the work-stealing batch engine,
+//! not in the connection fan-out). Shared state is a single
+//! [`Arc<Shared>`]: the classifier (read-only after fit), the
+//! [`Metrics`] block (lock-free atomics), a shutdown flag, and the
+//! bound address used to self-connect and unblock `accept()` when a
+//! `Shutdown` request arrives.
+//!
+//! ## Robustness
+//!
+//! * **Connection cap** — at `max_conns` concurrent connections, new
+//!   arrivals receive one `OverCapacity` error frame and are closed;
+//!   nothing queues unboundedly.
+//! * **Timeouts** — every connection carries read *and* write timeouts;
+//!   an idle or stalled peer gets a `Timeout` error frame and is
+//!   dropped instead of pinning a handler forever.
+//! * **Graceful drain** — `Shutdown` flips the shutdown flag, wakes the
+//!   acceptor, and the accept loop then joins every live handler:
+//!   in-flight requests finish, idle handlers notice the flag within
+//!   one read-timeout tick, and `run()` returns only when all handler
+//!   threads have exited.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use tkdc::{Classifier, ExecPolicy};
+use tkdc_common::error::{protocol_error, Error, Result};
+
+use crate::metrics::{add, inc, Metrics};
+use crate::protocol::{read_request, write_response, ErrorCode, Request, Response};
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads for each micro-batch (`None` = all available
+    /// cores). This sets the [`ExecPolicy`] used per request; it does
+    /// not bound the number of connection handler threads.
+    pub threads: Option<usize>,
+    /// Maximum concurrent connections before new arrivals are rejected
+    /// with an `OverCapacity` error frame.
+    pub max_conns: usize,
+    /// Per-connection read/write timeout. Also bounds how long an idle
+    /// handler takes to notice a shutdown.
+    pub timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: None,
+            max_conns: 64,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// State shared between the accept loop and every connection handler.
+struct Shared {
+    classifier: Classifier,
+    policy: ExecPolicy,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    max_conns: usize,
+    timeout: Duration,
+}
+
+/// A bound (but not yet running) serving daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Join handle for a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    handle: JoinHandle<Result<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to finish draining and returns its result.
+    pub fn join(self) -> Result<()> {
+        match self.handle.join() {
+            Ok(res) => res,
+            Err(_) => Err(protocol_error("server thread panicked")),
+        }
+    }
+}
+
+impl Server {
+    /// Binds the listener and wraps the classifier; call [`Server::run`]
+    /// or [`Server::spawn`] to start serving.
+    pub fn bind(config: ServeConfig, classifier: Classifier) -> Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let policy = ExecPolicy::Parallel {
+            threads: config.threads,
+        };
+        let shared = Arc::new(Shared {
+            classifier,
+            policy,
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            addr,
+            max_conns: config.max_conns.max(1),
+            timeout: config.timeout,
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Runs the accept loop on the calling thread until a `Shutdown`
+    /// request drains the server. Returns after every connection
+    /// handler has been joined.
+    pub fn run(self) -> Result<()> {
+        let Server { listener, shared } = self;
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        for conn in listener.incoming() {
+            if shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // Transient accept errors (e.g. the peer vanished
+                // between SYN and accept) must not kill the daemon.
+                Err(_) => continue,
+            };
+            handlers.retain(|h| !h.is_finished());
+            inc(&shared.metrics.connections_accepted);
+            // The accept loop is the only incrementer, so load-then-add
+            // cannot overshoot the cap.
+            let active = shared.metrics.active_connections.load(Ordering::Relaxed);
+            // CAST: usize -> u64 is lossless on 64-bit targets
+            if active >= shared.max_conns as u64 {
+                reject_over_capacity(stream, &shared);
+                continue;
+            }
+            add(&shared.metrics.active_connections, 1);
+            let sh = Arc::clone(&shared);
+            handlers.push(thread::spawn(move || {
+                handle_connection(stream, &sh);
+                sh.metrics
+                    .active_connections
+                    .fetch_sub(1, Ordering::Relaxed);
+            }));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread; the returned handle
+    /// carries the bound address and joins the drain.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.shared.addr;
+        let handle = thread::spawn(move || self.run());
+        ServerHandle { addr, handle }
+    }
+}
+
+/// Writes one `OverCapacity` error frame and drops the connection.
+fn reject_over_capacity(mut stream: TcpStream, shared: &Shared) {
+    inc(&shared.metrics.rejected_over_capacity);
+    let _ = stream.set_write_timeout(Some(shared.timeout));
+    let _ = write_response(
+        &mut stream,
+        &Response::Error {
+            code: ErrorCode::OverCapacity,
+            message: format!(
+                "server at its {}-connection capacity; retry later",
+                shared.max_conns
+            ),
+        },
+    );
+}
+
+/// True when an error is the read/write timeout firing (surfaced by the
+/// OS as `WouldBlock` or `TimedOut` depending on platform).
+fn is_timeout(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::Io(io) if matches!(
+            io.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    )
+}
+
+/// Maps a request-decoding failure onto a wire error code.
+fn decode_error_code(e: &Error) -> ErrorCode {
+    match e {
+        Error::Protocol { message } if message.contains("unsupported protocol version") => {
+            ErrorCode::UnsupportedVersion
+        }
+        Error::Protocol { message } if message.contains("byte cap") => ErrorCode::TooLarge,
+        _ => ErrorCode::Malformed,
+    }
+}
+
+/// Maps a classifier failure onto a wire error code: input-shaped
+/// errors are the client's fault, anything else is `Internal`.
+fn query_error_code(e: &Error) -> ErrorCode {
+    match e {
+        Error::DimensionMismatch { .. } | Error::EmptyInput(_) | Error::InvalidParameter { .. } => {
+            ErrorCode::BadInput
+        }
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// Serves one connection until EOF, timeout, protocol error, or
+/// shutdown. Returns nothing: every exit path has already told the
+/// client what happened (or the client is gone).
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.timeout));
+    let _ = stream.set_write_timeout(Some(shared.timeout));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            let _ = write_response(
+                &mut stream,
+                &Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining".to_string(),
+                },
+            );
+            return;
+        }
+        let req = match read_request(&mut stream) {
+            Ok(None) => return, // clean close between frames
+            Ok(Some(req)) => req,
+            Err(e) if is_timeout(&e) => {
+                // Idle past the deadline. During a drain this is how
+                // parked handlers exit; otherwise it is a client fault.
+                if !shared.shutdown.load(Ordering::Acquire) {
+                    inc(&shared.metrics.timeouts);
+                    let _ = write_response(
+                        &mut stream,
+                        &Response::Error {
+                            code: ErrorCode::Timeout,
+                            message: format!(
+                                "no request within the {:?} read timeout",
+                                shared.timeout
+                            ),
+                        },
+                    );
+                }
+                return;
+            }
+            Err(e) => {
+                inc(&shared.metrics.requests_total);
+                inc(&shared.metrics.errors_total);
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Error {
+                        code: decode_error_code(&e),
+                        message: e.to_string(),
+                    },
+                );
+                return; // framing is unrecoverable: close
+            }
+        };
+        let start = Instant::now();
+        let (resp, shutdown_requested) = respond(shared, req);
+        inc(&shared.metrics.requests_total);
+        if matches!(resp, Response::Error { .. }) {
+            inc(&shared.metrics.errors_total);
+        }
+        shared.metrics.record_latency(start.elapsed());
+        if write_response(&mut stream, &resp).is_err() {
+            return; // peer gone or stalled past the write timeout
+        }
+        if shutdown_requested {
+            initiate_shutdown(shared);
+            return;
+        }
+    }
+}
+
+/// Executes one decoded request against the shared classifier.
+fn respond(shared: &Shared, req: Request) -> (Response, bool) {
+    match req {
+        Request::Ping { nonce } => {
+            inc(&shared.metrics.pings);
+            (Response::Pong { nonce }, false)
+        }
+        Request::Classify { points } => {
+            inc(&shared.metrics.classifies);
+            match shared
+                .classifier
+                .classify_batch_with(&points, shared.policy)
+            {
+                Ok((labels, _stats)) => {
+                    add(&shared.metrics.points_classified, labels.len() as u64); // CAST: row count
+                    (Response::Labels(labels), false)
+                }
+                Err(e) => (
+                    Response::Error {
+                        code: query_error_code(&e),
+                        message: e.to_string(),
+                    },
+                    false,
+                ),
+            }
+        }
+        Request::Density { points } => {
+            inc(&shared.metrics.densities);
+            match shared
+                .classifier
+                .bound_density_batch_with(&points, shared.policy)
+            {
+                Ok((bounds, _stats)) => {
+                    add(&shared.metrics.points_bounded, bounds.len() as u64); // CAST: row count
+                    let pairs = bounds.iter().map(|b| (b.lower, b.upper)).collect();
+                    (Response::Bounds(pairs), false)
+                }
+                Err(e) => (
+                    Response::Error {
+                        code: query_error_code(&e),
+                        message: e.to_string(),
+                    },
+                    false,
+                ),
+            }
+        }
+        Request::Stats => {
+            inc(&shared.metrics.stats_requests);
+            (Response::Stats(shared.metrics.snapshot()), false)
+        }
+        Request::Shutdown => (Response::ShutdownAck, true),
+    }
+}
+
+/// Flips the shutdown flag and unblocks the accept loop with a
+/// throwaway self-connection (`accept()` has no other wake-up).
+fn initiate_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::Release);
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
+}

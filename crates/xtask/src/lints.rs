@@ -16,7 +16,7 @@
 //! | L2 `panic` | no `unwrap/expect/panic!/unreachable!/todo!/unimplemented!` without `// INVARIANT:` | library crates, non-test code |
 //! | L3 `float-eq` | no `==`/`!=` against float operands | non-test code |
 //! | L4 `unsafe` | every `unsafe` needs a `// SAFETY:` comment | everywhere |
-//! | L5 `lossy-cast` | lossy numeric `as` casts need `// CAST:` | `crates/{core,index,kernel,common}`, non-test code |
+//! | L5 `lossy-cast` | lossy numeric `as` casts need `// CAST:` | `crates/{core,index,kernel,common,serve}`, non-test code |
 
 use crate::scan::SourceModel;
 use std::path::Path;
@@ -117,10 +117,11 @@ const LIBRARY_CRATES: &[&str] = &[
     "baselines",
     "alternatives",
     "data",
+    "serve",
 ];
 
 /// Crates whose lossy `as` casts must be justified (L5).
-const CAST_CHECKED_CRATES: &[&str] = &["common", "kernel", "index", "core"];
+const CAST_CHECKED_CRATES: &[&str] = &["common", "kernel", "index", "core", "serve"];
 
 /// Classify a workspace-relative path.
 pub fn classify(rel_path: &Path) -> FileKind {

@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 use tkdc::model_io::{load_model, save_model};
-use tkdc::{classify_batch_dual, Classifier, DualTreeConfig, Label, Params};
+use tkdc::{classify_batch_dual, Classifier, DualTreeConfig, ExecPolicy, Label, Params};
 use tkdc_common::Matrix;
 use tkdc_data::tmy3;
 
@@ -56,7 +56,9 @@ fn main() {
     }
 
     let t2 = Instant::now();
-    let (serial, _) = served.classify_batch(&queries).expect("serial");
+    let (serial, _) = served
+        .classify_batch_with(&queries, ExecPolicy::Serial)
+        .expect("serial");
     let serial_time = t2.elapsed();
 
     let t3 = Instant::now();

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --release --example outlier_shuttle`
 
-use tkdc::{Classifier, Label, Params, QueryScratch};
+use tkdc::{Classifier, ExecPolicy, Label, Params, QueryScratch};
 use tkdc_data::shuttle;
 
 fn main() {
@@ -26,7 +26,9 @@ fn main() {
     );
 
     // Classify every training point; flag the LOW ones as outliers.
-    let (labels, stats) = clf.classify_batch(&data).expect("classification failed");
+    let (labels, stats) = clf
+        .classify_batch_with(&data, ExecPolicy::Serial)
+        .expect("classification failed");
     let outliers: Vec<usize> = labels
         .iter()
         .enumerate()

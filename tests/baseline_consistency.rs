@@ -2,7 +2,7 @@
 //! classification for points clearly away from the threshold, and their
 //! density estimates must honor their advertised error models.
 
-use tkdc::{Classifier, Label, Params};
+use tkdc::{Classifier, ExecPolicy, Label, Params};
 use tkdc_baselines::{BinnedKde, DensityEstimator, NaiveKde, NocutKde, RadialKde};
 use tkdc_common::{Matrix, Rng};
 use tkdc_data::{DatasetKind, DatasetSpec};
@@ -134,7 +134,7 @@ fn epanechnikov_kernel_full_pipeline() {
     let mut params = Params::default().with_seed(47);
     params.kernel = KernelKind::Epanechnikov;
     let clf = Classifier::fit(&data, &params).unwrap();
-    let (labels, _) = clf.classify_batch(&data).unwrap();
+    let (labels, _) = clf.classify_batch_with(&data, ExecPolicy::Serial).unwrap();
     let low = labels.iter().filter(|&&l| l == Label::Low).count();
     let frac = low as f64 / labels.len() as f64;
     assert!((frac - 0.01).abs() < 0.03, "LOW fraction {frac}");

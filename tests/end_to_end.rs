@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: full tKDC pipeline against exact-KDE
 //! ground truth on multiple synthetic datasets and dimensionalities.
 
-use tkdc::{Classifier, Label, Params};
+use tkdc::{Classifier, ExecPolicy, Label, Params};
 use tkdc_baselines::{DensityEstimator, NaiveKde};
 use tkdc_common::stats::BinaryScore;
 use tkdc_common::Matrix;
@@ -27,7 +27,7 @@ fn banded_f1(data: &Matrix, p: f64, eps: f64, seed: u64) -> (f64, usize) {
     let (truth, densities, t) = ground_truth(data, p);
     let params = Params::default().with_p(p).with_seed(seed);
     let clf = Classifier::fit(data, &params).unwrap();
-    let (labels, _) = clf.classify_batch(data).unwrap();
+    let (labels, _) = clf.classify_batch_with(data, ExecPolicy::Serial).unwrap();
     // Keep only points clearly outside the ±εt ambiguity band around
     // BOTH the exact threshold and the estimated threshold.
     let t_est = clf.threshold();
@@ -119,7 +119,7 @@ fn low_fraction_tracks_p_across_datasets() {
         .unwrap();
         let p = 0.05;
         let clf = Classifier::fit(&data, &Params::default().with_p(p).with_seed(seed)).unwrap();
-        let (labels, _) = clf.classify_batch(&data).unwrap();
+        let (labels, _) = clf.classify_batch_with(&data, ExecPolicy::Serial).unwrap();
         let low = labels.iter().filter(|&&l| l == Label::Low).count();
         let frac = low as f64 / labels.len() as f64;
         assert!(
@@ -143,7 +143,7 @@ fn moderate_dimension_hep_works() {
     .unwrap();
     let clf = Classifier::fit(&data, &Params::default().with_seed(23)).unwrap();
     assert!(!clf.grid_enabled());
-    let (labels, stats) = clf.classify_batch(&data).unwrap();
+    let (labels, stats) = clf.classify_batch_with(&data, ExecPolicy::Serial).unwrap();
     let low = labels.iter().filter(|&&l| l == Label::Low).count();
     assert!((low as f64 / labels.len() as f64 - 0.01).abs() < 0.02);
     assert!(stats.queries == 1500);
@@ -163,7 +163,7 @@ fn pca_reduced_mnist_pipeline() {
     // PCA output needs a larger bandwidth to avoid underflow (appendix).
     let params = Params::default().with_bandwidth_factor(3.0).with_seed(29);
     let clf = Classifier::fit(&data, &params).unwrap();
-    let (labels, _) = clf.classify_batch(&data).unwrap();
+    let (labels, _) = clf.classify_batch_with(&data, ExecPolicy::Serial).unwrap();
     let low = labels.iter().filter(|&&l| l == Label::Low).count();
     let frac = low as f64 / labels.len() as f64;
     assert!((frac - 0.01).abs() < 0.03, "LOW fraction {frac}");

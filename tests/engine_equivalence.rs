@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 
 use proptest::prelude::*;
 use tkdc::threshold::{bound_threshold, bound_threshold_with_threads};
-use tkdc::{Classifier, Params};
+use tkdc::{Classifier, ExecPolicy, Params};
 use tkdc_common::{Matrix, Rng};
 
 fn gaussian_blob(n: usize, d: usize, seed: u64) -> Matrix {
@@ -59,12 +59,20 @@ proptest! {
             }
             m
         };
-        let (serial, s_stats) = clf.classify_batch(&queries).expect("serial");
+        let (serial, s_stats) = clf
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .expect("serial");
         for threads in [1usize, 2, 4, 8] {
-            let (parallel, p_stats) =
-                clf.classify_batch_parallel(&queries, threads).expect("parallel");
+            let (parallel, p_stats) = clf
+                .classify_batch_with(&queries, ExecPolicy::with_threads(threads))
+                .expect("parallel");
             prop_assert_eq!(&serial, &parallel, "labels diverged at {} threads", threads);
             prop_assert_eq!(s_stats, p_stats, "stats diverged at {} threads", threads);
+            let (chunked, c_stats) = clf
+                .classify_batch_with(&queries, ExecPolicy::StaticChunked { threads: Some(threads) })
+                .expect("static");
+            prop_assert_eq!(&serial, &chunked, "static labels diverged at {} threads", threads);
+            prop_assert_eq!(s_stats, c_stats, "static stats diverged at {} threads", threads);
         }
     }
 

@@ -4,8 +4,9 @@
 //! returns an error.
 
 use proptest::prelude::*;
-use tkdc::model_io::{load_model_from, save_model_to};
-use tkdc::{Classifier, Params};
+use tkdc::model_io::{load_model_from, save_model_to, FORMAT_VERSION};
+use tkdc::{Classifier, ExecPolicy, Params};
+use tkdc_common::error::Error;
 use tkdc_common::{Matrix, Rng};
 
 fn reference_model_bytes() -> Vec<u8> {
@@ -19,6 +20,41 @@ fn reference_model_bytes() -> Vec<u8> {
     let mut buf = Vec::new();
     save_model_to(&clf, &mut buf).unwrap();
     buf
+}
+
+/// Wrong magic bytes must be rejected with a clear `Parse`-class error,
+/// never a panic or a silent misread.
+#[test]
+fn wrong_magic_is_a_parse_error() {
+    let mut bytes = reference_model_bytes();
+    bytes[..4].copy_from_slice(b"NOPE");
+    let err = load_model_from(bytes.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, Error::Parse { line: 0, .. }),
+        "expected Parse, got {err:?}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("magic"), "unhelpful message: {msg}");
+}
+
+/// A header from one format version in the future must be refused with
+/// a message that names both versions, not misread field-by-field.
+#[test]
+fn future_format_version_is_a_parse_error() {
+    let mut bytes = reference_model_bytes();
+    // Layout: 4-byte magic, then u32 LE version.
+    bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    let err = load_model_from(bytes.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, Error::Parse { line: 0, .. }),
+        "expected Parse, got {err:?}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("{}", FORMAT_VERSION + 1))
+            && msg.contains(&FORMAT_VERSION.to_string()),
+        "message should name both versions: {msg}"
+    );
 }
 
 proptest! {
@@ -64,5 +100,41 @@ proptest! {
         let clf = load_model_from(bytes.as_slice()).unwrap();
         let clean = load_model_from(reference_model_bytes().as_slice()).unwrap();
         prop_assert_eq!(clf.threshold(), clean.threshold());
+    }
+
+    /// fit → save → load → classify: the round-tripped model must label
+    /// arbitrary query sets identically to the original, through the
+    /// unified batch API under both scheduling policies.
+    #[test]
+    fn round_tripped_model_labels_identically(
+        seed in any::<u64>(),
+        n_queries in 1usize..120,
+        spread in 0.5f64..4.0,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut data = Matrix::with_cols(2);
+        for _ in 0..250 {
+            data.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)]).unwrap();
+        }
+        let clf = Classifier::fit(&data, &Params::default().with_seed(seed ^ 0xA5)).unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        let loaded = load_model_from(buf.as_slice()).unwrap();
+
+        let mut queries = Matrix::with_cols(2);
+        for _ in 0..n_queries {
+            queries.push_row(&[rng.normal(0.0, spread), rng.normal(0.0, spread)]).unwrap();
+        }
+        let (original, _) = clf
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        let (reloaded, _) = loaded
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        prop_assert_eq!(&original, &reloaded);
+        let (reloaded_par, _) = loaded
+            .classify_batch_with(&queries, ExecPolicy::with_threads(4))
+            .unwrap();
+        prop_assert_eq!(&original, &reloaded_par);
     }
 }

@@ -1,0 +1,266 @@
+//! End-to-end tests for the `tkdc-serve` daemon: an in-process server
+//! on an ephemeral port, driven through the client library.
+//!
+//! Covers the full request surface (Ping/Classify/Density/Stats/
+//! Shutdown), label equivalence with the local batch engine, and the
+//! failure paths — over-capacity rejection, idle-timeout disconnect,
+//! malformed frames — all of which must fail with protocol errors
+//! rather than hangs.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use tkdc::{Classifier, ExecPolicy, Params};
+use tkdc_common::error::Error;
+use tkdc_common::{Matrix, Rng};
+use tkdc_serve::protocol::{read_response, write_request, Request};
+use tkdc_serve::{Client, ErrorCode, Response, ServeConfig, Server};
+
+/// Small 2-d gaussian blob with a few planted outliers.
+fn training_data(n: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from(seed);
+    let mut m = Matrix::with_cols(2);
+    for _ in 0..n {
+        m.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+            .unwrap();
+    }
+    m.push_row(&[25.0, 25.0]).unwrap();
+    m
+}
+
+fn fitted(seed: u64) -> Classifier {
+    let data = training_data(600, seed);
+    Classifier::fit(&data, &Params::default().with_seed(seed)).unwrap()
+}
+
+fn query_set(n: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from(seed);
+    let mut m = Matrix::with_cols(2);
+    for _ in 0..n {
+        m.push_row(&[rng.normal(0.0, 1.5), rng.normal(0.0, 1.5)])
+            .unwrap();
+    }
+    m
+}
+
+fn spawn_server(config: ServeConfig, clf: Classifier) -> (String, tkdc_serve::ServerHandle) {
+    let server = Server::bind(config, clf).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    (addr, server.spawn())
+}
+
+#[test]
+fn full_round_trip_matches_local_engine() {
+    let clf = fitted(7);
+    let queries = query_set(64, 11);
+    let (local_labels, _) = clf
+        .classify_batch_with(&queries, ExecPolicy::Serial)
+        .unwrap();
+    let (local_bounds, _) = clf
+        .bound_density_batch_with(&queries, ExecPolicy::Serial)
+        .unwrap();
+
+    let (addr, handle) = spawn_server(ServeConfig::default(), clf);
+    let mut client = Client::connect_with_timeout(&addr, Duration::from_secs(10)).unwrap();
+    client.ping().unwrap();
+
+    let served_labels = client.classify(&queries).unwrap();
+    assert_eq!(served_labels, local_labels);
+
+    let served_bounds = client.density(&queries).unwrap();
+    assert_eq!(served_bounds.len(), local_bounds.len());
+    for (served, local) in served_bounds.iter().zip(&local_bounds) {
+        // Bit-identical: the engine guarantees thread-count-invariant
+        // results, and f64 round-trips exactly through the wire format.
+        assert!(served.0 == local.lower && served.1 == local.upper); // tkdc-lint: allow(float-eq)
+        assert!(served.0 <= served.1);
+    }
+
+    // Input-shaped failures are BadInput protocol errors, and the
+    // connection stays usable afterwards.
+    let wrong_dims = Matrix::from_rows(&[[1.0, 2.0, 3.0]]).unwrap();
+    let err = client.classify(&wrong_dims).unwrap_err();
+    assert!(matches!(err, Error::Protocol { .. }), "got {err:?}");
+    client.ping().unwrap();
+
+    let stats = client.stats().unwrap();
+    assert!(stats.requests_total >= 5);
+    assert_eq!(stats.classifies, 2);
+    assert_eq!(stats.densities, 1);
+    assert_eq!(stats.points_classified, 64);
+    assert_eq!(stats.points_bounded, 64);
+    assert_eq!(stats.errors_total, 1);
+    assert_eq!(stats.connections_accepted, 1);
+    assert_eq!(stats.active_connections, 1);
+    let recorded: u64 = stats.latency_buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(recorded, stats.requests_total);
+    assert!(stats.latency_quantile_us(0.99) >= stats.latency_quantile_us(0.5));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn over_capacity_connection_rejected_with_protocol_error() {
+    let (addr, handle) = spawn_server(
+        ServeConfig {
+            max_conns: 1,
+            ..ServeConfig::default()
+        },
+        fitted(13),
+    );
+    let timeout = Duration::from_secs(10);
+
+    // First client occupies the only slot (the ping guarantees its
+    // handler is registered before the second connection arrives).
+    let mut first = Client::connect_with_timeout(&addr, timeout).unwrap();
+    first.ping().unwrap();
+
+    let mut second = Client::connect_with_timeout(&addr, timeout).unwrap();
+    let err = second.ping().unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("OverCapacity"), "unexpected error: {msg}");
+
+    // Dropping the first client frees the slot (its handler sees EOF);
+    // a new client must then get through and can drain the server.
+    drop(first);
+    let mut third = loop {
+        let mut c = Client::connect_with_timeout(&addr, timeout).unwrap();
+        match c.ping() {
+            Ok(()) => break c,
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    let stats = third.stats().unwrap();
+    assert!(stats.rejected_over_capacity >= 1);
+    third.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn idle_connection_times_out_instead_of_hanging() {
+    let (addr, handle) = spawn_server(
+        ServeConfig {
+            timeout: Duration::from_millis(150),
+            ..ServeConfig::default()
+        },
+        fitted(17),
+    );
+
+    // Connect and send nothing: the server must push a Timeout error
+    // frame and close, well before our own 5-second guard expires.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    match read_response(&mut stream).unwrap() {
+        Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Timeout),
+        other => panic!("expected a Timeout error frame, got {other:?}"),
+    }
+    // The connection is closed afterwards: EOF, not a hang.
+    assert!(read_response(&mut stream).unwrap().is_none());
+
+    let mut client = Client::connect_with_timeout(&addr, Duration::from_secs(10)).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.timeouts, 1);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_and_mismatched_frames_get_error_responses() {
+    let (addr, handle) = spawn_server(ServeConfig::default(), fitted(19));
+    let timeout = Duration::from_secs(5);
+
+    // Garbage opcode: the decoder rejects it and the server answers
+    // with a Malformed error frame before closing.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_read_timeout(Some(timeout)).unwrap();
+    use std::io::Write as _;
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&6u32.to_le_bytes());
+    frame.push(tkdc_serve::PROTOCOL_VERSION);
+    frame.push(250); // unknown opcode
+    frame.extend_from_slice(&[0; 4]);
+    stream.write_all(&frame).unwrap();
+    match read_response(&mut stream).unwrap() {
+        Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a Malformed error frame, got {other:?}"),
+    }
+
+    // Wrong protocol version: rejected as UnsupportedVersion.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_read_timeout(Some(timeout)).unwrap();
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&2u32.to_le_bytes());
+    frame.push(tkdc_serve::PROTOCOL_VERSION + 1);
+    frame.push(3); // Stats opcode
+    stream.write_all(&frame).unwrap();
+    match read_response(&mut stream).unwrap() {
+        Some(Response::Error { code, .. }) => {
+            assert_eq!(code, ErrorCode::UnsupportedVersion)
+        }
+        other => panic!("expected an UnsupportedVersion error frame, got {other:?}"),
+    }
+
+    let mut client = Client::connect_with_timeout(&addr, timeout).unwrap();
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_and_new_work_is_refused() {
+    let clf = fitted(23);
+    let queries = query_set(32, 29);
+    // A short server-side read timeout bounds how long the drain waits
+    // for the parked (idle) connection below.
+    let (addr, handle) = spawn_server(
+        ServeConfig {
+            timeout: Duration::from_secs(2),
+            ..ServeConfig::default()
+        },
+        clf,
+    );
+    let timeout = Duration::from_secs(10);
+
+    // A parked second connection must be released by the drain (it gets
+    // a ShuttingDown frame within one read-timeout tick) rather than
+    // blocking shutdown forever.
+    let parked = std::thread::spawn({
+        let addr = addr.clone();
+        move || {
+            let mut stream = TcpStream::connect(&addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            write_request(&mut stream, &Request::Ping { nonce: 1 }).unwrap();
+            // Consume the pong, then wait: the next frame is the drain
+            // notice (or EOF if the server closed first).
+            assert!(matches!(
+                read_response(&mut stream).unwrap(),
+                Some(Response::Pong { nonce: 1 })
+            ));
+            matches!(
+                read_response(&mut stream).unwrap_or(None),
+                None | Some(Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    ..
+                })
+            )
+        }
+    });
+
+    let mut client = Client::connect_with_timeout(&addr, timeout).unwrap();
+    let labels = client.classify(&queries).unwrap();
+    assert_eq!(labels.len(), 32);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+    assert!(
+        parked.join().unwrap(),
+        "parked connection saw an unexpected frame"
+    );
+
+    // The daemon is gone: new connections must fail, not hang.
+    let sock: std::net::SocketAddr = addr.parse().unwrap();
+    assert!(TcpStream::connect_timeout(&sock, Duration::from_secs(2)).is_err());
+}
