@@ -23,7 +23,7 @@
 
 use std::fmt::Write as _;
 
-use tkdc::{Classifier, ExecPolicy, Params};
+use tkdc::{Classifier, ExecPolicy, Params, QueryStats};
 use tkdc_bench::{time, BenchArgs};
 use tkdc_common::{Matrix, Rng};
 use tkdc_data::{DatasetKind, DatasetSpec};
@@ -59,6 +59,9 @@ struct DatasetReport {
     fit_threads: usize,
     threshold: f64,
     serial_qps: f64,
+    /// Engine counters from the serial reference run — thread-count
+    /// independent, so the recorded work mix is machine-stable.
+    serial_stats: QueryStats,
     parallel: Vec<ThreadPoint>,
     skewed: Option<(usize, Vec<SkewPoint>)>,
 }
@@ -107,7 +110,7 @@ fn measure_dataset(
     let mut rng = Rng::seed_from(seed ^ 0x9E37);
     let query_set = data.sample_rows(q, &mut rng);
 
-    let (_, t_serial) = time(|| {
+    let ((_, serial_stats), t_serial) = time(|| {
         clf.classify_batch_with(&query_set, ExecPolicy::Serial)
             .expect("classify")
     });
@@ -168,6 +171,7 @@ fn measure_dataset(
         fit_threads: max_threads,
         threshold: clf.threshold(),
         serial_qps,
+        serial_stats,
         parallel,
         skewed,
     }
@@ -198,6 +202,13 @@ fn render_json(
         let _ = writeln!(s, "      \"fit_parallel_s\": {},", jf(r.fit_parallel_s));
         let _ = writeln!(s, "      \"fit_threads\": {},", r.fit_threads);
         let _ = writeln!(s, "      \"serial_qps\": {},", jf(r.serial_qps));
+        let counters: Vec<String> = r
+            .serial_stats
+            .named_counters()
+            .iter()
+            .map(|(name, value)| format!("\"{name}\": {value}"))
+            .collect();
+        let _ = writeln!(s, "      \"engine_counters\": {{{}}},", counters.join(", "));
         s.push_str("      \"parallel\": [\n");
         for (i, p) in r.parallel.iter().enumerate() {
             let comma = if i + 1 < r.parallel.len() { "," } else { "" };

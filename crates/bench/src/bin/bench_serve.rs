@@ -2,7 +2,11 @@
 //!
 //! Drives `Classify` micro-batches at several concurrency levels and
 //! reports throughput plus client-observed p50/p99 latency per level as
-//! `BENCH_serve.json` (schema `tkdc-bench-serve/v1`).
+//! `BENCH_serve.json` (schema `tkdc-bench-serve/v2`). Before shutting
+//! the daemon down it also fetches the server's own `Stats` snapshot —
+//! the log2-µs latency histogram and the folded `engine.*` pruning
+//! counters — and embeds it as the report's `"server"` object, so one
+//! file carries both the client-observed and server-observed views.
 //!
 //! Two modes:
 //!
@@ -26,7 +30,7 @@ use tkdc::{Classifier, ExecPolicy, Params};
 use tkdc_bench::BenchArgs;
 use tkdc_common::{Matrix, Rng};
 use tkdc_data::{DatasetKind, DatasetSpec};
-use tkdc_serve::{Client, ServeConfig, Server};
+use tkdc_serve::{Client, ServeConfig, Server, StatsSnapshot};
 
 /// JSON float: non-finite values have no JSON literal, emit null.
 fn jf(v: f64) -> String {
@@ -137,22 +141,65 @@ fn run_level(
     }
 }
 
+/// Renders the server's own `Stats` snapshot: transport counters, the
+/// log2-µs latency histogram as `[le_us | null, count]` pairs (null =
+/// the unbounded last bucket), and the engine's pruning counters.
+fn render_server_stats(s: &mut String, snap: &StatsSnapshot) {
+    s.push_str("  \"server\": {\n");
+    let _ = writeln!(s, "    \"requests_total\": {},", snap.requests_total);
+    let _ = writeln!(s, "    \"errors_total\": {},", snap.errors_total);
+    let _ = writeln!(s, "    \"classifies\": {},", snap.classifies);
+    let _ = writeln!(s, "    \"points_classified\": {},", snap.points_classified);
+    let _ = writeln!(s, "    \"timeouts\": {},", snap.timeouts);
+    let _ = writeln!(
+        s,
+        "    \"rejected_over_capacity\": {},",
+        snap.rejected_over_capacity
+    );
+    let _ = writeln!(s, "    \"p50_us\": {},", jf(snap.latency_quantile_us(0.50)));
+    let _ = writeln!(s, "    \"p99_us\": {},", jf(snap.latency_quantile_us(0.99)));
+    let buckets: Vec<String> = snap
+        .latency_buckets
+        .iter()
+        .map(|&(le, count)| {
+            let le = if le.is_finite() {
+                format!("{le}")
+            } else {
+                "null".to_string()
+            };
+            format!("[{le}, {count}]")
+        })
+        .collect();
+    let _ = writeln!(s, "    \"latency_buckets\": [{}],", buckets.join(", "));
+    let counters: Vec<String> = snap
+        .engine_counters
+        .iter()
+        .map(|(name, value)| format!("\"{name}\": {value}"))
+        .collect();
+    let _ = writeln!(s, "    \"engine_counters\": {{{}}}", counters.join(", "));
+    s.push_str("  },\n");
+}
+
 fn render_json(
     addr: &str,
     self_hosted: bool,
     batch: usize,
     requests: usize,
     seed: u64,
+    server: Option<&StatsSnapshot>,
     levels: &[LevelReport],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"tkdc-bench-serve/v1\",");
+    let _ = writeln!(s, "  \"schema\": \"tkdc-bench-serve/v2\",");
     let _ = writeln!(s, "  \"addr\": \"{addr}\",");
     let _ = writeln!(s, "  \"self_hosted\": {self_hosted},");
     let _ = writeln!(s, "  \"batch\": {batch},");
     let _ = writeln!(s, "  \"requests_per_client\": {requests},");
     let _ = writeln!(s, "  \"seed\": {seed},");
+    if let Some(snap) = server {
+        render_server_stats(&mut s, snap);
+    }
     s.push_str("  \"levels\": [\n");
     for (i, l) in levels.iter().enumerate() {
         let comma = if i + 1 < levels.len() { "," } else { "" };
@@ -244,6 +291,14 @@ fn main() {
         reports.push(report);
     }
 
+    // Fetch the server's own view BEFORE shutdown drains it.
+    let server_stats = Client::connect_with_timeout(&addr, timeout)
+        .and_then(|mut c| c.stats())
+        .ok();
+    if server_stats.is_none() {
+        eprintln!("warning: could not fetch server stats; report will omit \"server\"");
+    }
+
     if self_hosted || args.has("shutdown") {
         let mut client = Client::connect_with_timeout(&addr, timeout).expect("shutdown connect");
         client.shutdown().expect("shutdown request");
@@ -252,7 +307,15 @@ fn main() {
         handle.join().expect("server drain");
     }
 
-    let json = render_json(&addr, self_hosted, batch, requests, seed, &reports);
+    let json = render_json(
+        &addr,
+        self_hosted,
+        batch,
+        requests,
+        seed,
+        server_stats.as_ref(),
+        &reports,
+    );
     std::fs::write(&out, &json).expect("write report");
     eprintln!("wrote {out}");
 }

@@ -28,6 +28,8 @@ pub const COMMON_FLAGS: &[&str] = &[
     "columns",
     "threads",
     "quiet",
+    "trace-out",
+    "trace-sample",
 ];
 
 /// Flags the `serve` subcommand understands (a daemon takes no dataset
@@ -39,7 +41,13 @@ pub const SERVE_FLAGS: &[&str] = &[
     "max-conns",
     "timeout-ms",
     "quiet",
+    "trace-out",
+    "trace-sample",
 ];
+
+/// Flags the `explain` subcommand understands (one query point against a
+/// saved model; the point itself is a positional argument or `--point`).
+pub const EXPLAIN_FLAGS: &[&str] = &["model", "point", "trace-out", "quiet"];
 
 impl Flags {
     /// Parses `args`, validating every flag against `allowed`.
@@ -121,6 +129,13 @@ impl Flags {
                 .map(|n| n.get())
                 .unwrap_or(1)),
         }
+    }
+
+    /// Trace sampling interval from `--trace-sample`: record every
+    /// `n`-th query (default 1 = all; 0 disables tracing even when a
+    /// `--trace-out` sink is set).
+    pub fn trace_every(&self) -> Result<u64> {
+        Ok(self.get_u64("trace-sample")?.unwrap_or(1))
     }
 
     /// Column subset, e.g. `--columns 3,5`.
@@ -253,6 +268,20 @@ mod tests {
         // Default: the machine's available parallelism, always >= 1.
         let f = Flags::parse(&argv(&[]), COMMON_FLAGS).unwrap();
         assert!(f.threads().unwrap() >= 1);
+    }
+
+    #[test]
+    fn trace_flags() {
+        let f = Flags::parse(
+            &argv(&["--trace-out", "t.jsonl", "--trace-sample", "8"]),
+            COMMON_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(f.get("trace-out"), Some("t.jsonl"));
+        assert_eq!(f.trace_every().unwrap(), 8);
+        // Default: trace every query.
+        let f = Flags::parse(&argv(&[]), COMMON_FLAGS).unwrap();
+        assert_eq!(f.trace_every().unwrap(), 1);
     }
 
     #[test]

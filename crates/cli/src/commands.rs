@@ -1,9 +1,9 @@
 //! Subcommand implementations for the `tkdc` CLI.
 
-use crate::args::{usage_error, Flags, COMMON_FLAGS, SERVE_FLAGS};
+use crate::args::{usage_error, Flags, COMMON_FLAGS, EXPLAIN_FLAGS, SERVE_FLAGS};
 use std::io::Write;
 use tkdc::model_io::{load_model, save_model};
-use tkdc::{Classifier, ExecPolicy, Label};
+use tkdc::{Classifier, ExecPolicy, Label, QueryTrace, TraceWriter};
 use tkdc_common::csv::{read_csv, CsvOptions};
 use tkdc_common::error::Result;
 use tkdc_common::Matrix;
@@ -25,6 +25,8 @@ SUBCOMMANDS:
     outliers   one-shot: fit on the input and list its low-density rows:
                  tkdc outliers --input data.csv --p 0.01
     threshold  estimate the density threshold t(p) only
+    explain    trace one query and print its bound-convergence trajectory:
+                 tkdc explain 0.3,-1.2 --model out.tkdc
     serve      serve a saved model over TCP (binary protocol, see DESIGN.md):
                  tkdc serve --model out.tkdc --addr 127.0.0.1:7117
     help       print this message
@@ -45,6 +47,15 @@ SHARED FLAGS:
                         (default: all available cores; results are
                         identical for any thread count)
     --quiet             suppress progress logging
+    --trace-out FILE    classify/density/serve: append per-query traces
+                        to FILE as tkdc-trace/v1 JSONL (see DESIGN.md)
+    --trace-sample N    trace every N-th query by batch index
+                        (default 1 = all; 0 disables tracing)
+
+EXPLAIN FLAGS:
+    --point X,Y,...     the query point (or pass it positionally)
+    --model FILE        saved model to query
+    --trace-out FILE    also write the trace as tkdc-trace/v1 JSONL
 
 SERVE FLAGS:
     --addr HOST:PORT    listen address (default 127.0.0.1:7117; port 0
@@ -67,6 +78,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         "density" => density(rest),
         "outliers" => outliers(rest),
         "threshold" => threshold(rest),
+        "explain" => explain(rest),
         "serve" => serve(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -136,6 +148,14 @@ fn emit(flags: &Flags, lines: impl Iterator<Item = String>) -> Result<()> {
     Ok(())
 }
 
+/// Writes a batch's sampled traces to `path` as `tkdc-trace/v1` JSONL.
+fn write_trace_file(path: &str, traces: &[QueryTrace]) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = TraceWriter::new(std::io::BufWriter::new(file));
+    w.write_all(traces)?;
+    Ok(())
+}
+
 fn train(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args, COMMON_FLAGS)?;
     let data = load_input(&flags)?;
@@ -154,7 +174,15 @@ fn classify(args: &[String]) -> Result<()> {
     let clf = load_model(model_path)?;
     let queries = load_input(&flags)?;
     let policy = ExecPolicy::with_threads(flags.threads()?);
-    let (labels, stats) = clf.classify_batch_with(&queries, policy)?;
+    let (labels, stats) = match flags.get("trace-out") {
+        Some(path) => {
+            let (labels, stats, traces) =
+                clf.classify_batch_traced(&queries, policy, flags.trace_every()?)?;
+            write_trace_file(path, &traces)?;
+            (labels, stats)
+        }
+        None => clf.classify_batch_with(&queries, policy)?,
+    };
     emit(
         &flags,
         labels.iter().map(|l| {
@@ -181,7 +209,15 @@ fn density(args: &[String]) -> Result<()> {
     let clf = load_model(model_path)?;
     let queries = load_input(&flags)?;
     let policy = ExecPolicy::with_threads(flags.threads()?);
-    let (bounds, stats) = clf.bound_density_batch_with(&queries, policy)?;
+    let (bounds, stats) = match flags.get("trace-out") {
+        Some(path) => {
+            let (bounds, stats, traces) =
+                clf.bound_density_batch_traced(&queries, policy, flags.trace_every()?)?;
+            write_trace_file(path, &traces)?;
+            (bounds, stats)
+        }
+        None => clf.bound_density_batch_with(&queries, policy)?,
+    };
     emit(
         &flags,
         bounds
@@ -246,6 +282,8 @@ fn serve(args: &[String]) -> Result<()> {
             Some(ms) => std::time::Duration::from_millis(ms),
             None => ServeConfig::default().timeout,
         },
+        trace_out: flags.get("trace-out").map(std::path::PathBuf::from),
+        trace_every: flags.trace_every()?,
     };
     let server = Server::bind(config, clf)?;
     let addr = server.local_addr()?;
@@ -255,6 +293,101 @@ fn serve(args: &[String]) -> Result<()> {
     server.run()?;
     if !flags.has("quiet") {
         eprintln!("tkdc-serve drained and stopped");
+    }
+    Ok(())
+}
+
+/// Parses an `X,Y,...` coordinate list.
+fn parse_point(spec: &str) -> Result<Vec<f64>> {
+    spec.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<f64>()
+                .map_err(|_| usage_error(format!("bad coordinate `{tok}` in query point")))
+        })
+        .collect()
+}
+
+/// Runs one query with tracing forced on and pretty-prints how the
+/// density bounds converged until a pruning rule fired.
+fn explain(args: &[String]) -> Result<()> {
+    // The query point may be positional (`tkdc explain 0.3,0.4 ...`) or
+    // given via `--point`.
+    let (positional, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (Some(a.as_str()), &args[1..]),
+        _ => (None, args),
+    };
+    let flags = Flags::parse(rest, EXPLAIN_FLAGS)?;
+    let spec = match (positional, flags.get("point")) {
+        (Some(_), Some(_)) => {
+            return Err(usage_error(
+                "give the query point either positionally or via `--point`, not both",
+            ))
+        }
+        (Some(p), None) | (None, Some(p)) => p,
+        (None, None) => {
+            return Err(usage_error(
+                "missing query point (positional or `--point X,Y,...`)",
+            ))
+        }
+    };
+    let point = parse_point(spec)?;
+    let clf = load_model(flags.require("model")?)?;
+    let mut queries = Matrix::with_cols(point.len());
+    queries.push_row(&point)?;
+    // Serial + sample-every-1 so the single query is always traced.
+    let (labels, _stats, traces) = clf.classify_batch_traced(&queries, ExecPolicy::Serial, 1)?;
+    let trace = traces
+        .first()
+        .ok_or_else(|| usage_error("engine returned no trace for the query"))?;
+    if let Some(path) = flags.get("trace-out") {
+        write_trace_file(path, &traces)?;
+    }
+
+    println!("query point    : {point:?}");
+    println!("threshold t(p) : {:.6e}", clf.threshold());
+    if trace.t_lo.is_finite() || trace.t_hi.is_finite() {
+        println!(
+            "prune window   : [{:.6e}, {:.6e}]  (ε-scaled)",
+            trace.t_lo, trace.t_hi
+        );
+    }
+    println!("label          : {:?}", labels[0]);
+    println!("prune cause    : {}", trace.cause);
+    if trace.upper.is_nan() {
+        println!(
+            "final lower    : {:.6e}  (grid-certified; no upper bound computed)",
+            trace.lower
+        );
+    } else {
+        println!(
+            "final bounds   : [{:.6e}, {:.6e}]",
+            trace.lower, trace.upper
+        );
+    }
+    println!(
+        "work           : {} nodes expanded, {} kernel evals, {} bound evals",
+        trace.nodes_expanded, trace.kernel_evals, trace.bound_evals
+    );
+    if trace.steps.is_empty() {
+        println!("no refinement steps: the query was resolved before any node expansion");
+    } else {
+        println!();
+        println!(
+            "{:>5}  {:>6}  {:>8}  {:>14}  {:>14}  {:>12}",
+            "step", "nodes", "kevals", "lower", "upper", "width"
+        );
+        for (i, s) in trace.steps.iter().enumerate() {
+            println!(
+                "{:>5}  {:>6}  {:>8}  {:>14.6e}  {:>14.6e}  {:>12.3e}",
+                i + 1,
+                s.nodes_expanded,
+                s.kernel_evals,
+                s.lower,
+                s.upper,
+                s.upper - s.lower
+            );
+        }
     }
     Ok(())
 }
@@ -451,6 +584,104 @@ mod tests {
             std::fs::read_to_string(&out_path).unwrap().lines().count(),
             601
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_runs_and_writes_trace() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_explain");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let model_path = dir.join("model.tkdc");
+        let trace_path = dir.join("explain.jsonl");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "train",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--model",
+            model_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        // Positional point form.
+        run(&argv(&[
+            "explain",
+            "0.1,0.2",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert_eq!(trace.lines().count(), 1);
+        assert!(trace.contains("\"schema\":\"tkdc-trace/v1\""));
+        assert!(trace.contains("\"query\":0"));
+        // `--point` form; rejects giving both, rejects bad coordinates.
+        run(&argv(&[
+            "explain",
+            "--point",
+            "0.1,0.2",
+            "--model",
+            model_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(run(&argv(&["explain", "0,0", "--point", "1,1"])).is_err());
+        assert!(run(&argv(&[
+            "explain",
+            "0,zebra",
+            "--model",
+            model_path.to_str().unwrap()
+        ]))
+        .is_err());
+        assert!(run(&argv(&["explain", "--model", "m.tkdc"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn classify_trace_out_writes_jsonl() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_traceout");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let model_path = dir.join("model.tkdc");
+        let out_path = dir.join("labels.txt");
+        let trace_path = dir.join("trace.jsonl");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "train",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--model",
+            model_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "classify",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--input",
+            data_path.to_str().unwrap(),
+            "--output",
+            out_path.to_str().unwrap(),
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+            "--trace-sample",
+            "100",
+            "--threads",
+            "2",
+            "--quiet",
+        ]))
+        .unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        // 601 queries sampled every 100th by index: 0, 100, ..., 600.
+        assert_eq!(trace.lines().count(), 7);
+        assert!(trace
+            .lines()
+            .all(|l| l.starts_with("{\"schema\":\"tkdc-trace/v1\"")));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -99,6 +99,9 @@ impl<'a> DensityBounder<'a> {
         let low_cut = t_lo * (1.0 - self.epsilon);
         let tol_cut = self.epsilon * t_lo;
         let opts = self.opts;
+        if scratch.tracer.is_active() {
+            scratch.tracer.set_thresholds(t_lo, t_hi);
+        }
         // Pruning rules (checked before each refinement, in the
         // pseudocode's order: HIGH, LOW, then tolerance).
         self.traverse(x, scratch, |f_lo, f_hi| {
@@ -129,6 +132,10 @@ impl<'a> DensityBounder<'a> {
         scratch: &mut QueryScratch,
     ) -> DensityBounds {
         debug_assert!(rtol >= 0.0);
+        if scratch.tracer.is_active() {
+            // No threshold is involved; the trace records null bounds.
+            scratch.tracer.set_thresholds(f64::NAN, f64::NAN);
+        }
         self.traverse(x, scratch, |f_lo, f_hi| {
             (f_hi - f_lo <= rtol * f_lo).then_some(PruneCause::Tolerance)
         })
@@ -216,15 +223,26 @@ impl<'a> DensityBounder<'a> {
                     }
                 }
             }
+            if scratch.tracer.is_active() {
+                let stats = scratch.stats;
+                scratch.tracer.step(stats, f_lo, f_hi);
+            }
         };
         scratch.stats.record_outcome(cause);
         // Guard against tiny negative drift from repeated subtract/add.
         if f_lo < 0.0 {
             f_lo = 0.0;
         }
+        let upper = f_hi.max(f_lo);
+        if scratch.tracer.is_active() {
+            // Finish after the clamp so the trace's final bounds equal
+            // the returned `DensityBounds` bitwise.
+            let stats = scratch.stats;
+            scratch.tracer.finish(cause.as_str(), stats, f_lo, upper);
+        }
         DensityBounds {
             lower: f_lo,
-            upper: f_hi.max(f_lo),
+            upper,
             cause,
         }
     }

@@ -11,6 +11,8 @@ use crate::engine;
 use crate::params::Params;
 use crate::qstats::{PruneCause, QueryScratch, QueryStats};
 use crate::threshold::{bound_threshold_with_threads, BootstrapReport, ThresholdBounds};
+#[cfg(feature = "obs")]
+use crate::trace::{QueryTrace, Tracer};
 use tkdc_common::error::{Error, Result};
 use tkdc_common::order::quantile_in_place;
 use tkdc_common::Matrix;
@@ -391,6 +393,10 @@ impl Classifier {
                 * self.kernel.eval_scaled_sq(self.grid_diag_sq);
             if cell_lower > t * (1.0 + self.params.epsilon) {
                 scratch.stats.record_outcome(PruneCause::Grid);
+                if scratch.tracer.is_active() {
+                    let stats = scratch.stats;
+                    scratch.tracer.finish_grid(t, stats, cell_lower);
+                }
                 return Ok(Label::High);
             }
         }
@@ -571,6 +577,92 @@ impl Classifier {
         policy: ExecPolicy,
     ) -> Result<(Vec<DensityBounds>, QueryStats)> {
         self.batch_with(queries.rows(), policy, |i, scratch| {
+            self.bound_density_with(queries.row(i), scratch)
+        })
+    }
+
+    /// Traced variant of [`Self::batch_with`]: every worker scratch
+    /// carries a tracer sampling by query index (`every`; `0` disables),
+    /// and the completed traces are merged and sorted by index.
+    ///
+    /// Both parallel policies route through the work-stealing engine
+    /// here: traces and merged statistics are schedule-invariant (each
+    /// trace's content depends only on its query), so the static-chunk
+    /// distinction — which exists purely as a scheduler baseline —
+    /// carries no observable difference for traced runs.
+    #[cfg(feature = "obs")]
+    fn batch_traced<T: Send>(
+        &self,
+        total: usize,
+        policy: ExecPolicy,
+        every: u64,
+        work: impl Fn(usize, &mut QueryScratch) -> Result<T> + Sync,
+    ) -> Result<(Vec<T>, QueryStats, Vec<QueryTrace>)> {
+        let traced_work = |i: usize, scratch: &mut QueryScratch| {
+            scratch.begin_trace(i as u64); // CAST: batch index widens to u64
+            work(i, scratch)
+        };
+        let make_scratch = || {
+            let mut s = QueryScratch::new();
+            s.tracer = Tracer::enabled(every);
+            s
+        };
+        let n_threads = policy.resolved_threads();
+        let serial =
+            matches!(policy, ExecPolicy::Serial) || n_threads == 1 || total < 2 * n_threads;
+        if serial {
+            let mut scratch = make_scratch();
+            let mut out = Vec::with_capacity(total);
+            for i in 0..total {
+                out.push(traced_work(i, &mut scratch)?);
+            }
+            let traces = scratch.tracer.take_traces();
+            return Ok((out, scratch.stats, traces));
+        }
+        let (out, mut scratches) = engine::run_batch(total, n_threads, make_scratch, traced_work)?;
+        let mut stats = QueryStats::default();
+        let mut traces = Vec::new();
+        for s in scratches.iter_mut() {
+            stats.merge(&s.stats);
+            traces.extend(s.tracer.take_traces());
+        }
+        traces.sort_by_key(|t| t.query);
+        Ok((out, stats, traces))
+    }
+
+    /// [`Self::classify_batch_with`] with per-query tracing: labels and
+    /// merged statistics are identical to the untraced entry point; the
+    /// third element holds one [`QueryTrace`] per sampled query (every
+    /// `every`-th index; `1` = all, `0` = none), sorted by query index
+    /// and therefore identical at every thread count.
+    ///
+    /// # Errors
+    /// Propagates dimension-mismatch and NaN-input errors.
+    #[cfg(feature = "obs")]
+    pub fn classify_batch_traced(
+        &self,
+        queries: &Matrix,
+        policy: ExecPolicy,
+        every: u64,
+    ) -> Result<(Vec<Label>, QueryStats, Vec<QueryTrace>)> {
+        self.batch_traced(queries.rows(), policy, every, |i, scratch| {
+            self.classify_with(queries.row(i), scratch)
+        })
+    }
+
+    /// [`Self::bound_density_batch_with`] with per-query tracing (see
+    /// [`Self::classify_batch_traced`] for the sampling contract).
+    ///
+    /// # Errors
+    /// Propagates dimension-mismatch and NaN-input errors.
+    #[cfg(feature = "obs")]
+    pub fn bound_density_batch_traced(
+        &self,
+        queries: &Matrix,
+        policy: ExecPolicy,
+        every: u64,
+    ) -> Result<(Vec<DensityBounds>, QueryStats, Vec<QueryTrace>)> {
+        self.batch_traced(queries.rows(), policy, every, |i, scratch| {
             self.bound_density_with(queries.row(i), scratch)
         })
     }

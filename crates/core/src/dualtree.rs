@@ -29,6 +29,9 @@
 
 use crate::classifier::{Classifier, Label};
 use crate::qstats::{QueryScratch, QueryStats};
+#[cfg(feature = "obs")]
+use crate::trace::QueryTrace;
+use crate::trace::Tracer;
 use tkdc_common::error::{Error, Result};
 use tkdc_common::Matrix;
 use tkdc_index::bbox::{max_scaled_sq_dist_boxes, min_scaled_sq_dist_boxes};
@@ -87,6 +90,41 @@ pub fn classify_batch_dual(
     queries: &Matrix,
     config: &DualTreeConfig,
 ) -> Result<(Vec<Label>, DualTreeStats)> {
+    let (labels, stats, _) = run_dual(clf, queries, config, Tracer::off())?;
+    Ok((labels, stats))
+}
+
+/// [`classify_batch_dual`] with per-query tracing: labels and statistics
+/// are identical to the untraced driver; the third element holds one
+/// [`QueryTrace`] per sampled query (every `every`-th *original* index;
+/// `1` = all, `0` = none), sorted by query index. Queries certified
+/// wholesale at an internal query-tree node yield step-less traces with
+/// cause `group` and zero counters (the shared frontier work is not
+/// attributable to a single query, so group traces do not participate in
+/// the trace-vs-`point_stats` accounting identity).
+///
+/// # Errors
+/// Propagates dimension-mismatch and NaN-input errors.
+#[cfg(feature = "obs")]
+pub fn classify_batch_dual_traced(
+    clf: &Classifier,
+    queries: &Matrix,
+    config: &DualTreeConfig,
+    every: u64,
+) -> Result<(Vec<Label>, DualTreeStats, Vec<QueryTrace>)> {
+    let (labels, stats, mut tracer) = run_dual(clf, queries, config, Tracer::enabled(every))?;
+    let mut traces = tracer.take_traces();
+    traces.sort_by_key(|t| t.query);
+    Ok((labels, stats, traces))
+}
+
+/// Shared driver behind the traced and untraced entry points.
+fn run_dual(
+    clf: &Classifier,
+    queries: &Matrix,
+    config: &DualTreeConfig,
+    tracer: Tracer,
+) -> Result<(Vec<Label>, DualTreeStats, Tracer)> {
     if queries.cols() != clf.tree().dim() {
         return Err(Error::DimensionMismatch {
             expected: clf.tree().dim(),
@@ -94,7 +132,7 @@ pub fn classify_batch_dual(
         });
     }
     if queries.rows() == 0 {
-        return Ok((Vec::new(), DualTreeStats::default()));
+        return Ok((Vec::new(), DualTreeStats::default(), tracer));
     }
 
     // Index the queries. We must map reordered tree rows back to input
@@ -118,10 +156,14 @@ pub fn classify_batch_dual(
     let n = clf.tree().len() as f64;
     let inv_h = clf.kernel().inv_bandwidths();
 
-    // Labels for the query tree's internal (reordered) row order.
+    // Labels for the query tree's internal (reordered) row order, plus
+    // the reordered-position → original-row permutation (needed up front
+    // so traces can carry original query indices).
+    let perm = qtree.reorder_permutation(queries);
     let mut reordered_labels: Vec<Label> = vec![Label::Low; queries.rows()];
     let mut stats = DualTreeStats::default();
     let mut scratch = QueryScratch::new();
+    scratch.tracer = tracer;
 
     // Root frontier: the reference root.
     let rtree = clf.tree();
@@ -144,6 +186,7 @@ pub fn classify_batch_dual(
         t,
         eps,
         config,
+        &perm,
         &mut reordered_labels,
         &mut stats,
         &mut scratch,
@@ -154,12 +197,11 @@ pub fn classify_batch_dual(
     // classifying in reordered order and matching positions through a
     // stable pairing of identical rows. We reconstruct the permutation by
     // walking both matrices' rows lexicographically.
-    let perm = qtree.reorder_permutation(queries);
     let mut labels = vec![Label::Low; queries.rows()];
     for (reordered_pos, &orig_pos) in perm.iter().enumerate() {
         labels[orig_pos] = reordered_labels[reordered_pos];
     }
-    Ok((labels, stats))
+    Ok((labels, stats, scratch.tracer))
 }
 
 /// Box-to-box scaled squared distance bounds between a query node and a
@@ -188,6 +230,7 @@ fn recurse(
     t: f64,
     eps: f64,
     config: &DualTreeConfig,
+    perm: &[usize],
     labels: &mut [Label],
     stats: &mut DualTreeStats,
     scratch: &mut QueryScratch,
@@ -226,11 +269,13 @@ fn recurse(
     loop {
         if f_lo > high_cut {
             let count = mark(qtree, qnode, labels, Label::High);
+            emit_group_traces(qtree, qnode, perm, t, f_lo, f_hi, scratch);
             stats.group_classified += count;
             return Ok(());
         }
         if f_hi < low_cut {
             let count = mark(qtree, qnode, labels, Label::Low);
+            emit_group_traces(qtree, qnode, perm, t, f_lo, f_hi, scratch);
             stats.group_classified += count;
             return Ok(());
         }
@@ -287,26 +332,50 @@ fn recurse(
                 t,
                 eps,
                 config,
+                perm,
                 labels,
                 stats,
                 scratch,
             )?;
             recurse(
-                clf, qtree, r, frontier, t, eps, config, labels, stats, scratch,
+                clf, qtree, r, frontier, t, eps, config, perm, labels, stats, scratch,
             )?;
             Ok(())
         }
         None => {
             // Leaf fallback: per-query classification through the full
-            // single-point path (grid fast-path included).
+            // single-point path (grid fast-path included). Traces carry
+            // the *original* row index so they line up with the input
+            // order regardless of the query tree's reordering.
             let node = qnode;
             let start = leaf_start(qtree, node);
             for (offset, q) in qtree.node_points(node).enumerate() {
+                scratch.begin_trace(perm[start + offset] as u64); // CAST: row index widens to u64
                 labels[start + offset] = clf.classify_with(q, scratch)?;
                 stats.leaf_fallbacks += 1;
             }
             Ok(())
         }
+    }
+}
+
+/// Emits step-less `group` traces for every (sampled) query under a
+/// wholesale-classified node. A no-op unless tracing is enabled.
+fn emit_group_traces(
+    qtree: &KdTree,
+    qnode: u32,
+    perm: &[usize],
+    t: f64,
+    f_lo: f64,
+    f_hi: f64,
+    scratch: &mut QueryScratch,
+) {
+    if !scratch.tracer.is_enabled() {
+        return;
+    }
+    let start = leaf_start(qtree, qnode);
+    for pos in start..start + qtree.count(qnode) {
+        scratch.tracer.emit_group(perm[pos] as u64, t, f_lo, f_hi); // CAST: row index widens to u64
     }
 }
 

@@ -54,6 +54,8 @@
 //! * [`qstats`] — per-query and aggregate instrumentation (kernel
 //!   evaluations, node expansions, prune causes) used by the paper's
 //!   factor/lesion analyses (Fig. 12/16).
+//! * [`trace`] — per-query tracing hooks (the `tkdc-obs` adapter behind
+//!   the `obs` cargo feature; a zero-sized no-op without it).
 
 pub mod bound;
 pub mod classifier;
@@ -64,10 +66,16 @@ pub mod model_io;
 pub mod params;
 pub mod qstats;
 pub mod threshold;
+pub mod trace;
 
 pub use classifier::{Classifier, ExecPolicy, Label};
+#[cfg(feature = "obs")]
+pub use dualtree::classify_batch_dual_traced;
 pub use dualtree::{classify_batch_dual, DualTreeConfig, DualTreeStats};
 pub use llr::{llr_bounds, llr_bounds_with_rtol, LlrBounds};
 pub use params::{BootstrapParams, Optimizations, Params};
 pub use qstats::{PruneCause, QueryScratch, QueryStats};
 pub use threshold::ThresholdBounds;
+pub use trace::Tracer;
+#[cfg(feature = "obs")]
+pub use trace::{QueryTrace, TraceStep, TraceWriter, TRACE_SCHEMA};

@@ -5,6 +5,7 @@
 //! query*; this module records those counters plus which rule terminated
 //! each traversal, so the benchmark harness can regenerate both panels.
 
+use crate::trace::Tracer;
 use std::collections::BinaryHeap;
 
 /// Why a `BoundDensity` traversal stopped.
@@ -20,6 +21,21 @@ pub enum PruneCause {
     Exhausted,
     /// The grid cache classified the point before any traversal.
     Grid,
+}
+
+impl PruneCause {
+    /// Stable lowercase name used by trace records (`tkdc-trace/v1`) and
+    /// metric labels. This is the dependency boundary with `tkdc-obs`:
+    /// the observability layer sees causes only as these strings.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PruneCause::ThresholdHigh => "threshold_high",
+            PruneCause::ThresholdLow => "threshold_low",
+            PruneCause::Tolerance => "tolerance",
+            PruneCause::Exhausted => "exhausted",
+            PruneCause::Grid => "grid",
+        }
+    }
 }
 
 /// Aggregate statistics over one or more queries.
@@ -73,6 +89,25 @@ impl QueryStats {
         self.exhausted += other.exhausted;
     }
 
+    /// Every counter as a `(stable name, value)` pair, in declaration
+    /// order — the single source of truth for reporting these counters
+    /// through a metrics registry or a JSON renderer. Adding a field to
+    /// `QueryStats` must extend this list (the merge proptest counts on
+    /// it covering everything).
+    pub fn named_counters(&self) -> [(&'static str, u64); 9] {
+        [
+            ("queries", self.queries),
+            ("kernel_evals", self.kernel_evals),
+            ("nodes_expanded", self.nodes_expanded),
+            ("bound_evals", self.bound_evals),
+            ("grid_prunes", self.grid_prunes),
+            ("threshold_high", self.threshold_high),
+            ("threshold_low", self.threshold_low),
+            ("tolerance", self.tolerance),
+            ("exhausted", self.exhausted),
+        ]
+    }
+
     /// Mean point-kernel evaluations per recorded query.
     pub fn kernels_per_query(&self) -> f64 {
         if self.queries == 0 {
@@ -124,6 +159,9 @@ pub struct QueryScratch {
     pub(crate) heap: BinaryHeap<HeapEntry>,
     /// Statistics accumulated by every query run through this scratch.
     pub stats: QueryStats,
+    /// Per-query trace recorder (inert by default; see
+    /// [`crate::trace::Tracer`]).
+    pub tracer: Tracer,
 }
 
 impl QueryScratch {
@@ -135,6 +173,14 @@ impl QueryScratch {
     /// Resets statistics (the heap is already drained between queries).
     pub fn reset_stats(&mut self) {
         self.stats = QueryStats::default();
+    }
+
+    /// Arms the tracer for the query at `index` (a no-op unless the
+    /// tracer is enabled and the index is sampled). Must be called
+    /// *before* the query's first counter increment: per-query counters
+    /// are diffed against the stats snapshot taken here.
+    pub fn begin_trace(&mut self, index: u64) {
+        self.tracer.begin(index, self.stats);
     }
 }
 
@@ -179,6 +225,42 @@ mod tests {
         assert_eq!(a.kernel_evals, 15);
         assert_eq!(a.nodes_expanded, 4);
         assert_eq!(a.threshold_high, 2);
+    }
+
+    #[test]
+    fn merge_and_named_counters_cover_every_field() {
+        // Exhaustive struct literal (no `..Default::default()`): adding
+        // a field to `QueryStats` fails compilation here until this
+        // audit — and `named_counters` — are extended. Every value is
+        // distinct and nonzero so no counter can hide behind another.
+        let a = QueryStats {
+            queries: 1,
+            kernel_evals: 2,
+            nodes_expanded: 3,
+            bound_evals: 4,
+            grid_prunes: 5,
+            threshold_high: 6,
+            threshold_low: 7,
+            tolerance: 8,
+            exhausted: 9,
+        };
+        let named = a.named_counters();
+        let mut seen: Vec<u64> = named.iter().map(|&(_, v)| v).collect();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (1..=9).collect::<Vec<u64>>(),
+            "counter missing from named_counters"
+        );
+        let mut m = a;
+        m.merge(&a);
+        for ((name, before), (_, after)) in named.iter().zip(m.named_counters()) {
+            assert_eq!(after, before * 2, "`{name}` not merged");
+        }
+        // A merged-in default changes nothing.
+        let mut d = a;
+        d.merge(&QueryStats::default());
+        assert_eq!(d, a);
     }
 
     #[test]

@@ -1,0 +1,32 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # tkdc-obs
+//!
+//! Dependency-free (std-only) observability primitives for the tKDC
+//! workspace: structured per-query traces and an in-process registry of
+//! named counters, gauges, and log2-microsecond latency histograms.
+//!
+//! tKDC's contribution is *pruning*, and every evaluation question about
+//! it — how many kernel evaluations did a query cost, which cutoff rule
+//! fired, how did the upper/lower bounds converge — is an observability
+//! question. This crate is the shared substrate answering them:
+//!
+//! * [`trace`] — plain-data [`QueryTrace`] / [`TraceStep`] records of one
+//!   `BoundDensity` traversal (the per-refinement bound trajectory plus
+//!   final counters), serialized as one JSON object per line under the
+//!   versioned schema [`TRACE_SCHEMA`] (`tkdc-trace/v1`).
+//! * [`registry`] — lock-free [`Counter`] / [`Gauge`] metrics and a
+//!   log-scale latency [`Histogram`], optionally grouped in a named
+//!   [`Registry`] whose [`RegistrySnapshot`] is what `tkdc-serve` ships
+//!   over the wire and the bench binaries record into `BENCH_*.json`.
+//!
+//! The crate deliberately knows nothing about the engine: prune causes
+//! arrive as strings, counters as `u64`s. `tkdc` (core) maps its own
+//! types onto these records behind its `obs` cargo feature, so this
+//! crate never becomes a dependency cycle and stays trivially portable.
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot, HISTOGRAM_BUCKETS};
+pub use trace::{json_f64, json_string, QueryTrace, TraceStep, TraceWriter, TRACE_SCHEMA};

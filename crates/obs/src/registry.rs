@@ -1,0 +1,374 @@
+//! Lock-free metric primitives and the named registry grouping them.
+//!
+//! [`Counter`], [`Gauge`], and [`Histogram`] are thin wrappers over
+//! relaxed atomics: concurrent writers never coordinate, and snapshots
+//! read a point-in-time copy that may be slightly torn *across* metrics
+//! but is exact per metric — the same contract the serving daemon's
+//! original ad-hoc metrics block offered, now shared by every reporter
+//! in the workspace (serve, bench, CLI).
+//!
+//! A [`Registry`] maps stable string names to metrics. Registration
+//! (get-or-create) takes a mutex — it is a cold path, typically run once
+//! at startup — while the returned [`std::sync::Arc`] handles update
+//! lock-free on the hot path. [`Registry::snapshot`] renders everything
+//! into a plain-data [`RegistrySnapshot`] suitable for wire encoding or
+//! JSON rendering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of latency-histogram buckets: `2^0 .. 2^30` microseconds
+/// (~17 minutes) plus a final overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move both ways (e.g. active
+/// connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (wrapping, like the atomic it wraps; callers keep
+    /// their own add/sub pairing honest).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-scale latency histogram: bucket `i` counts samples whose
+/// value was at most `2^i` microseconds; the last bucket absorbs
+/// overflow.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// A zeroed histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a microsecond value: the smallest `i` with
+    /// `us <= 2^i` (bucket 0 covers `0..=1` µs).
+    pub fn bucket_index(us: u128) -> usize {
+        let us = us.max(1);
+        let i = 128 - us.leading_zeros() as usize - 1; // CAST: < 128
+        let i = if us.is_power_of_two() { i } else { i + 1 };
+        i.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound (µs) of bucket `i`; the overflow bucket's
+    /// bound is `+inf`.
+    pub fn bucket_upper_us(i: usize) -> f64 {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            (1u64 << i) as f64 // CAST: i < 63, exact in f64
+        }
+    }
+
+    /// Records one microsecond sample.
+    #[inline]
+    pub fn record_micros(&self, us: u128) {
+        self.counts[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one duration.
+    #[inline]
+    pub fn record(&self, latency: Duration) {
+        self.record_micros(latency.as_micros());
+    }
+
+    /// Point-in-time `(upper_bound_us, count)` pairs, upper bounds
+    /// ascending, last bound `+inf`.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (Self::bucket_upper_us(i), c.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// The metrics a [`Registry`] entry can hold.
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics (see module docs).
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<(String, Metric)>>,
+}
+
+/// Plain-data copy of a registry's state, ready for wire encoding or
+/// JSON rendering. Entries keep registration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, buckets)` for every histogram.
+    pub histograms: Vec<(String, Vec<(f64, u64)>)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter named `name`, creating it at zero on first
+    /// use. Panics if the name is already registered as a different
+    /// metric kind (a programming error, not a runtime condition).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        // Lock sections below are short registrations that do not panic.
+        // INVARIANT: no panic can occur while the registry lock is held.
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        for (n, m) in entries.iter() {
+            if n == name {
+                match m {
+                    Metric::Counter(c) => return Arc::clone(c),
+                    // INVARIANT: kind mismatch is a caller bug caught in tests.
+                    _ => panic!("metric `{name}` already registered with a different kind"),
+                }
+            }
+        }
+        let c = Arc::new(Counter::new());
+        entries.push((name.to_string(), Metric::Counter(Arc::clone(&c))));
+        c
+    }
+
+    /// Returns the gauge named `name`, creating it on first use (see
+    /// [`Registry::counter`] for the kind-mismatch contract).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        // Lock sections below are short registrations that do not panic.
+        // INVARIANT: no panic can occur while the registry lock is held.
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        for (n, m) in entries.iter() {
+            if n == name {
+                match m {
+                    Metric::Gauge(g) => return Arc::clone(g),
+                    // INVARIANT: kind mismatch is a caller bug caught in tests.
+                    _ => panic!("metric `{name}` already registered with a different kind"),
+                }
+            }
+        }
+        let g = Arc::new(Gauge::new());
+        entries.push((name.to_string(), Metric::Gauge(Arc::clone(&g))));
+        g
+    }
+
+    /// Returns the histogram named `name`, creating it on first use
+    /// (see [`Registry::counter`] for the kind-mismatch contract).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        // Lock sections below are short registrations that do not panic.
+        // INVARIANT: no panic can occur while the registry lock is held.
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        for (n, m) in entries.iter() {
+            if n == name {
+                match m {
+                    Metric::Histogram(h) => return Arc::clone(h),
+                    // INVARIANT: kind mismatch is a caller bug caught in tests.
+                    _ => panic!("metric `{name}` already registered with a different kind"),
+                }
+            }
+        }
+        let h = Arc::new(Histogram::new());
+        entries.push((name.to_string(), Metric::Histogram(Arc::clone(&h))));
+        h
+    }
+
+    /// Adds `n` to the counter named `name` (registering it on first
+    /// use). Convenience for call sites that fold externally-aggregated
+    /// counters — e.g. a batch's merged `QueryStats` — into the
+    /// registry without holding `Arc` handles.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        // Lock sections below are short registrations that do not panic.
+        // INVARIANT: no panic can occur while the registry lock is held.
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut snap = RegistrySnapshot::default();
+        for (name, m) in entries.iter() {
+            match m {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.buckets())),
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(1025), 11);
+        assert_eq!(Histogram::bucket_index(u128::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_reports() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(3));
+        let buckets = h.buckets();
+        assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(buckets[0], (1.0, 1));
+        assert_eq!(buckets[2], (4.0, 2));
+        assert!(buckets.last().unwrap().0.is_infinite());
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.set(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter("x").get(), 2);
+        r.add("x", 3);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    fn registry_snapshot_keeps_registration_order() {
+        let r = Registry::new();
+        r.counter("b").add(2);
+        r.gauge("g").set(7);
+        r.counter("a").add(1);
+        r.histogram("h").record(Duration::from_micros(2));
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("b".to_string(), 2), ("a".to_string(), 1)]
+        );
+        assert_eq!(snap.gauges, vec![("g".to_string(), 7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].0, "h");
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    let c = r.counter("hits");
+                    let h = r.histogram("lat");
+                    for _ in 0..1000 {
+                        c.inc();
+                        h.record(Duration::from_micros(5));
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("hits".to_string(), 4000)]);
+        let total: u64 = snap.histograms[0].1.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

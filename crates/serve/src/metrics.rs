@@ -1,79 +1,92 @@
-//! Lock-free server metrics.
+//! Lock-free server metrics, built on the shared `tkdc-obs` primitives.
 //!
-//! Every counter is a relaxed [`AtomicU64`]: handlers on different
-//! connections update them concurrently without coordination, and
-//! [`Metrics::snapshot`] reads a (possibly slightly torn across
-//! counters, individually exact) point-in-time copy. Request latency is
-//! tracked in a log-scale histogram — bucket `i` counts requests whose
-//! latency was at most `2^i` microseconds — so a snapshot supports
-//! approximate p50/p99 queries with bounded relative error and zero
-//! allocation on the hot path.
+//! Every counter is a relaxed-atomic [`Counter`] (the open-connection
+//! count is a [`Gauge`]): handlers on different connections update them
+//! concurrently without coordination, and [`Metrics::snapshot`] reads a
+//! (possibly slightly torn across counters, individually exact)
+//! point-in-time copy. Request latency is tracked in a log-scale
+//! [`Histogram`] — bucket `i` counts requests whose latency was at most
+//! `2^i` microseconds — so a snapshot supports approximate p50/p99
+//! queries with bounded relative error and zero allocation on the hot
+//! path.
+//!
+//! The server additionally folds every answered batch's [`QueryStats`]
+//! into an engine-counter [`Registry`] (names `engine.queries`,
+//! `engine.kernel_evals`, …, one per [`QueryStats::named_counters`]
+//! entry), so the pruning engine's work mix travels in the same `Stats`
+//! wire frame as the transport counters — one reporting path for both
+//! layers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+use tkdc::QueryStats;
+use tkdc_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::protocol::StatsSnapshot;
 
-/// Number of latency buckets: `2^0 .. 2^30` microseconds (~17 minutes)
-/// plus a final overflow bucket.
-const BUCKETS: usize = 32;
-
 /// Shared, lock-free server metrics (see module docs).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// Requests decoded and answered (any type, ok or error).
-    pub requests_total: AtomicU64,
+    pub requests_total: Counter,
     /// Requests answered with an error response.
-    pub errors_total: AtomicU64,
+    pub errors_total: Counter,
     /// `Ping` requests answered.
-    pub pings: AtomicU64,
+    pub pings: Counter,
     /// `Classify` requests answered.
-    pub classifies: AtomicU64,
+    pub classifies: Counter,
     /// `Density` requests answered.
-    pub densities: AtomicU64,
+    pub densities: Counter,
     /// `Stats` requests answered.
-    pub stats_requests: AtomicU64,
+    pub stats_requests: Counter,
     /// Total query points classified across all `Classify` batches.
-    pub points_classified: AtomicU64,
+    pub points_classified: Counter,
     /// Total query points bounded across all `Density` batches.
-    pub points_bounded: AtomicU64,
+    pub points_bounded: Counter,
     /// Connections turned away at the connection cap.
-    pub rejected_over_capacity: AtomicU64,
+    pub rejected_over_capacity: Counter,
     /// Connections closed by the read/write timeout.
-    pub timeouts: AtomicU64,
+    pub timeouts: Counter,
     /// Connections accepted since startup.
-    pub connections_accepted: AtomicU64,
+    pub connections_accepted: Counter,
     /// Connections currently open.
-    pub active_connections: AtomicU64,
-    latency: LatencyHistogram,
+    pub active_connections: Gauge,
+    latency: Histogram,
+    engine: Registry,
+    /// Hot-path handles into `engine`, pre-registered in
+    /// [`QueryStats::named_counters`] order so folding a batch's stats
+    /// is nine relaxed adds, no name lookups.
+    engine_counters: Vec<(&'static str, Arc<Counter>)>,
 }
 
-#[derive(Debug)]
-struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
-}
-
-impl Default for LatencyHistogram {
+impl Default for Metrics {
     fn default() -> Self {
+        let engine = Registry::new();
+        // Pre-register every engine counter at zero so snapshots carry
+        // the full name set even before the first query.
+        let engine_counters = QueryStats::default()
+            .named_counters()
+            .iter()
+            .map(|&(name, _)| (name, engine.counter(&format!("engine.{name}"))))
+            .collect();
         Self {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            requests_total: Counter::new(),
+            errors_total: Counter::new(),
+            pings: Counter::new(),
+            classifies: Counter::new(),
+            densities: Counter::new(),
+            stats_requests: Counter::new(),
+            points_classified: Counter::new(),
+            points_bounded: Counter::new(),
+            rejected_over_capacity: Counter::new(),
+            timeouts: Counter::new(),
+            connections_accepted: Counter::new(),
+            active_connections: Gauge::new(),
+            latency: Histogram::new(),
+            engine,
+            engine_counters,
         }
-    }
-}
-
-impl LatencyHistogram {
-    /// Bucket index for a latency: smallest `i` with `us <= 2^i`
-    /// (bucket 0 covers 0..=1 µs); the last bucket absorbs overflow.
-    fn bucket(us: u128) -> usize {
-        let us = us.max(1);
-        let i = 128 - us.leading_zeros() as usize - 1; // CAST: < 128
-        let i = if us.is_power_of_two() { i } else { i + 1 };
-        i.min(BUCKETS - 1)
-    }
-
-    fn record(&self, latency: Duration) {
-        let i = Self::bucket(latency.as_micros());
-        self.counts[i].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -88,69 +101,45 @@ impl Metrics {
         self.latency.record(latency);
     }
 
-    /// Point-in-time copy for the `Stats` response. Bucket upper bounds
-    /// are encoded explicitly so clients need no knowledge of the
-    /// histogram's base.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        let ld = Ordering::Relaxed;
-        let latency_buckets = self
-            .latency
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let le_us = if i == BUCKETS - 1 {
-                    f64::INFINITY
-                } else {
-                    (1u64 << i) as f64 // CAST: i < 63, exact in f64
-                };
-                (le_us, c.load(ld))
-            })
-            .collect();
-        StatsSnapshot {
-            requests_total: self.requests_total.load(ld),
-            errors_total: self.errors_total.load(ld),
-            pings: self.pings.load(ld),
-            classifies: self.classifies.load(ld),
-            densities: self.densities.load(ld),
-            stats_requests: self.stats_requests.load(ld),
-            points_classified: self.points_classified.load(ld),
-            points_bounded: self.points_bounded.load(ld),
-            rejected_over_capacity: self.rejected_over_capacity.load(ld),
-            timeouts: self.timeouts.load(ld),
-            connections_accepted: self.connections_accepted.load(ld),
-            active_connections: self.active_connections.load(ld),
-            latency_buckets,
+    /// Folds one answered batch's merged engine statistics into the
+    /// engine-counter registry.
+    pub fn record_query_stats(&self, stats: &QueryStats) {
+        for ((name, counter), (stat_name, value)) in
+            self.engine_counters.iter().zip(stats.named_counters())
+        {
+            debug_assert_eq!(*name, stat_name, "registration order drifted");
+            counter.add(value);
         }
     }
-}
 
-/// Convenience: relaxed increment, the only ordering metrics need.
-pub(crate) fn inc(counter: &AtomicU64) {
-    counter.fetch_add(1, Ordering::Relaxed);
-}
-
-/// Convenience: relaxed add.
-pub(crate) fn add(counter: &AtomicU64, n: u64) {
-    counter.fetch_add(n, Ordering::Relaxed);
+    /// Point-in-time copy for the `Stats` response. Latency bucket upper
+    /// bounds are encoded explicitly so clients need no knowledge of the
+    /// histogram's base, and engine counters travel as `(name, value)`
+    /// pairs so new counters never change the frame layout.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests_total: self.requests_total.get(),
+            errors_total: self.errors_total.get(),
+            pings: self.pings.get(),
+            classifies: self.classifies.get(),
+            densities: self.densities.get(),
+            stats_requests: self.stats_requests.get(),
+            points_classified: self.points_classified.get(),
+            points_bounded: self.points_bounded.get(),
+            rejected_over_capacity: self.rejected_over_capacity.get(),
+            timeouts: self.timeouts.get(),
+            connections_accepted: self.connections_accepted.get(),
+            active_connections: self.active_connections.get(),
+            latency_buckets: self.latency.buckets(),
+            engine_counters: self.engine.snapshot().counters,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn bucket_boundaries_are_powers_of_two() {
-        assert_eq!(LatencyHistogram::bucket(0), 0);
-        assert_eq!(LatencyHistogram::bucket(1), 0);
-        assert_eq!(LatencyHistogram::bucket(2), 1);
-        assert_eq!(LatencyHistogram::bucket(3), 2);
-        assert_eq!(LatencyHistogram::bucket(4), 2);
-        assert_eq!(LatencyHistogram::bucket(5), 3);
-        assert_eq!(LatencyHistogram::bucket(1024), 10);
-        assert_eq!(LatencyHistogram::bucket(1025), 11);
-        assert_eq!(LatencyHistogram::bucket(u128::MAX), BUCKETS - 1);
-    }
+    use tkdc_obs::HISTOGRAM_BUCKETS;
 
     #[test]
     fn snapshot_reflects_recorded_latencies() {
@@ -158,12 +147,12 @@ mod tests {
         m.record_latency(Duration::from_micros(1));
         m.record_latency(Duration::from_micros(3));
         m.record_latency(Duration::from_micros(3));
-        inc(&m.requests_total);
-        add(&m.points_classified, 42);
+        m.requests_total.inc();
+        m.points_classified.add(42);
         let snap = m.snapshot();
         assert_eq!(snap.requests_total, 1);
         assert_eq!(snap.points_classified, 42);
-        assert_eq!(snap.latency_buckets.len(), BUCKETS);
+        assert_eq!(snap.latency_buckets.len(), HISTOGRAM_BUCKETS);
         assert_eq!(snap.latency_buckets[0], (1.0, 1));
         assert_eq!(snap.latency_buckets[2], (4.0, 2));
         let total: u64 = snap.latency_buckets.iter().map(|&(_, c)| c).sum();
@@ -186,6 +175,43 @@ mod tests {
     }
 
     #[test]
+    fn engine_counters_fold_query_stats() {
+        let m = Metrics::new();
+        // Even a fresh block snapshots the full engine-counter name set.
+        let names: Vec<String> = m
+            .snapshot()
+            .engine_counters
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(names.len(), QueryStats::default().named_counters().len());
+        assert!(names.iter().all(|n| n.starts_with("engine.")));
+        let stats = QueryStats {
+            queries: 3,
+            kernel_evals: 120,
+            nodes_expanded: 17,
+            bound_evals: 40,
+            threshold_high: 2,
+            tolerance: 1,
+            ..Default::default()
+        };
+        m.record_query_stats(&stats);
+        m.record_query_stats(&stats);
+        let snap = m.snapshot();
+        let get = |name: &str| {
+            snap.engine_counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(get("engine.queries"), 6);
+        assert_eq!(get("engine.kernel_evals"), 240);
+        assert_eq!(get("engine.threshold_high"), 4);
+        assert_eq!(get("engine.grid_prunes"), 0);
+    }
+
+    #[test]
     fn concurrent_updates_do_not_lose_counts() {
         let m = std::sync::Arc::new(Metrics::new());
         std::thread::scope(|s| {
@@ -193,8 +219,13 @@ mod tests {
                 let m = std::sync::Arc::clone(&m);
                 s.spawn(move || {
                     for _ in 0..1000 {
-                        inc(&m.requests_total);
+                        m.requests_total.inc();
                         m.record_latency(Duration::from_micros(5));
+                        m.record_query_stats(&QueryStats {
+                            queries: 1,
+                            kernel_evals: 2,
+                            ..Default::default()
+                        });
                     }
                 });
             }
@@ -203,5 +234,12 @@ mod tests {
         assert_eq!(snap.requests_total, 4000);
         let total: u64 = snap.latency_buckets.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 4000);
+        let kernels = snap
+            .engine_counters
+            .iter()
+            .find(|(n, _)| n == "engine.kernel_evals")
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert_eq!(kernels, 8000);
     }
 }

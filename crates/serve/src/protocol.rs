@@ -173,6 +173,11 @@ pub struct StatsSnapshot {
     /// Request-latency histogram: `(upper_bound_us, count)` per bucket,
     /// upper bounds ascending, last bucket `f64::INFINITY`.
     pub latency_buckets: Vec<(f64, u64)>,
+    /// Pruning-engine counters folded from every answered batch's
+    /// `QueryStats` (names `engine.queries`, `engine.kernel_evals`, …),
+    /// self-describing as `(name, value)` pairs so the frame layout
+    /// never changes when counters are added.
+    pub engine_counters: Vec<(String, u64)>,
 }
 
 impl StatsSnapshot {
@@ -434,6 +439,17 @@ fn encode_snapshot(out: &mut Vec<u8>, s: &StatsSnapshot) -> Result<()> {
         put_f64(out, le_us);
         put_u64(out, count);
     }
+    let n = u32::try_from(s.engine_counters.len())
+        .map_err(|_| protocol_error("implausible engine counter count"))?;
+    put_u32(out, n);
+    for (name, value) in &s.engine_counters {
+        let bytes = name.as_bytes();
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| protocol_error("implausible engine counter name"))?;
+        put_u32(out, len);
+        out.extend_from_slice(bytes);
+        put_u64(out, *value);
+    }
     Ok(())
 }
 
@@ -452,6 +468,7 @@ fn decode_snapshot(c: &mut Cursor<'_>) -> Result<StatsSnapshot> {
         connections_accepted: c.u64()?,
         active_connections: c.u64()?,
         latency_buckets: Vec::new(),
+        engine_counters: Vec::new(),
     };
     let n = c.u32()? as usize; // CAST: u32 -> usize is lossless on 64-bit targets
     if n > 4096 {
@@ -462,6 +479,24 @@ fn decode_snapshot(c: &mut Cursor<'_>) -> Result<StatsSnapshot> {
         let le_us = c.f64()?;
         let count = c.u64()?;
         s.latency_buckets.push((le_us, count));
+    }
+    let n = c.u32()? as usize; // CAST: u32 -> usize is lossless on 64-bit targets
+    if n > 4096 {
+        return Err(protocol_error(format!(
+            "implausible engine counter count {n}"
+        )));
+    }
+    s.engine_counters.reserve(n);
+    for _ in 0..n {
+        let len = c.u32()? as usize; // CAST: u32 -> usize is lossless on 64-bit targets
+        if len > 1024 {
+            return Err(protocol_error(format!(
+                "implausible engine counter name length {len}"
+            )));
+        }
+        let name = String::from_utf8_lossy(c.take(len)?).into_owned();
+        let value = c.u64()?;
+        s.engine_counters.push((name, value));
     }
     Ok(s)
 }
@@ -666,6 +701,10 @@ mod tests {
             connections_accepted: 9,
             active_connections: 3,
             latency_buckets: vec![(1.0, 2), (2.0, 5), (f64::INFINITY, 1)],
+            engine_counters: vec![
+                ("engine.queries".to_string(), 400),
+                ("engine.kernel_evals".to_string(), 123_456),
+            ],
         };
         assert_eq!(
             round_trip_response(Response::Stats(snap.clone())),

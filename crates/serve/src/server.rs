@@ -27,17 +27,19 @@
 //!   one read-timeout tick, and `run()` returns only when all handler
 //!   threads have exited.
 
-use std::io;
+use std::fs::File;
+use std::io::{self, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use tkdc::{Classifier, ExecPolicy};
+use tkdc::{Classifier, ExecPolicy, QueryStats, QueryTrace, TraceWriter};
 use tkdc_common::error::{protocol_error, Error, Result};
 
-use crate::metrics::{add, inc, Metrics};
+use crate::metrics::Metrics;
 use crate::protocol::{read_request, write_response, ErrorCode, Request, Response};
 
 /// Configuration for [`Server::bind`].
@@ -55,6 +57,14 @@ pub struct ServeConfig {
     /// Per-connection read/write timeout. Also bounds how long an idle
     /// handler takes to notice a shutdown.
     pub timeout: Duration,
+    /// Optional JSONL trace sink (`tkdc-trace/v1`): when set, `Classify`
+    /// and `Density` batches run with per-query tracing and append
+    /// sampled traces here. Trace `query` indices are per-request batch
+    /// positions (each micro-batch restarts at 0).
+    pub trace_out: Option<PathBuf>,
+    /// Trace sampling: record every `trace_every`-th query of each batch
+    /// (`1` = all, `0` = tracing off even with a sink configured).
+    pub trace_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +74,8 @@ impl Default for ServeConfig {
             threads: None,
             max_conns: 64,
             timeout: Duration::from_secs(10),
+            trace_out: None,
+            trace_every: 1,
         }
     }
 }
@@ -77,6 +89,10 @@ struct Shared {
     addr: SocketAddr,
     max_conns: usize,
     timeout: Duration,
+    /// JSONL trace sink shared by every handler thread; the mutex keeps
+    /// whole trace lines atomic across concurrent batches.
+    trace: Option<Mutex<TraceWriter<BufWriter<File>>>>,
+    trace_every: u64,
 }
 
 /// A bound (but not yet running) serving daemon.
@@ -115,6 +131,13 @@ impl Server {
         let policy = ExecPolicy::Parallel {
             threads: config.threads,
         };
+        let trace = match (&config.trace_out, config.trace_every) {
+            (Some(path), every) if every > 0 => {
+                let file = File::create(path)?;
+                Some(Mutex::new(TraceWriter::new(BufWriter::new(file))))
+            }
+            _ => None,
+        };
         let shared = Arc::new(Shared {
             classifier,
             policy,
@@ -123,6 +146,8 @@ impl Server {
             addr,
             max_conns: config.max_conns.max(1),
             timeout: config.timeout,
+            trace,
+            trace_every: config.trace_every,
         });
         Ok(Self { listener, shared })
     }
@@ -149,22 +174,20 @@ impl Server {
                 Err(_) => continue,
             };
             handlers.retain(|h| !h.is_finished());
-            inc(&shared.metrics.connections_accepted);
+            shared.metrics.connections_accepted.inc();
             // The accept loop is the only incrementer, so load-then-add
             // cannot overshoot the cap.
-            let active = shared.metrics.active_connections.load(Ordering::Relaxed);
+            let active = shared.metrics.active_connections.get();
             // CAST: usize -> u64 is lossless on 64-bit targets
             if active >= shared.max_conns as u64 {
                 reject_over_capacity(stream, &shared);
                 continue;
             }
-            add(&shared.metrics.active_connections, 1);
+            shared.metrics.active_connections.add(1);
             let sh = Arc::clone(&shared);
             handlers.push(thread::spawn(move || {
                 handle_connection(stream, &sh);
-                sh.metrics
-                    .active_connections
-                    .fetch_sub(1, Ordering::Relaxed);
+                sh.metrics.active_connections.sub(1);
             }));
         }
         for h in handlers {
@@ -184,7 +207,7 @@ impl Server {
 
 /// Writes one `OverCapacity` error frame and drops the connection.
 fn reject_over_capacity(mut stream: TcpStream, shared: &Shared) {
-    inc(&shared.metrics.rejected_over_capacity);
+    shared.metrics.rejected_over_capacity.inc();
     let _ = stream.set_write_timeout(Some(shared.timeout));
     let _ = write_response(
         &mut stream,
@@ -256,7 +279,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 // Idle past the deadline. During a drain this is how
                 // parked handlers exit; otherwise it is a client fault.
                 if !shared.shutdown.load(Ordering::Acquire) {
-                    inc(&shared.metrics.timeouts);
+                    shared.metrics.timeouts.inc();
                     let _ = write_response(
                         &mut stream,
                         &Response::Error {
@@ -271,8 +294,8 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 return;
             }
             Err(e) => {
-                inc(&shared.metrics.requests_total);
-                inc(&shared.metrics.errors_total);
+                shared.metrics.requests_total.inc();
+                shared.metrics.errors_total.inc();
                 let _ = write_response(
                     &mut stream,
                     &Response::Error {
@@ -285,9 +308,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         };
         let start = Instant::now();
         let (resp, shutdown_requested) = respond(shared, req);
-        inc(&shared.metrics.requests_total);
+        shared.metrics.requests_total.inc();
         if matches!(resp, Response::Error { .. }) {
-            inc(&shared.metrics.errors_total);
+            shared.metrics.errors_total.inc();
         }
         shared.metrics.record_latency(start.elapsed());
         if write_response(&mut stream, &resp).is_err() {
@@ -304,17 +327,27 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 fn respond(shared: &Shared, req: Request) -> (Response, bool) {
     match req {
         Request::Ping { nonce } => {
-            inc(&shared.metrics.pings);
+            shared.metrics.pings.inc();
             (Response::Pong { nonce }, false)
         }
         Request::Classify { points } => {
-            inc(&shared.metrics.classifies);
-            match shared
-                .classifier
-                .classify_batch_with(&points, shared.policy)
-            {
-                Ok((labels, _stats)) => {
-                    add(&shared.metrics.points_classified, labels.len() as u64); // CAST: row count
+            shared.metrics.classifies.inc();
+            let result = match &shared.trace {
+                Some(sink) => shared
+                    .classifier
+                    .classify_batch_traced(&points, shared.policy, shared.trace_every)
+                    .map(|(labels, stats, traces)| {
+                        write_traces(sink, &traces);
+                        (labels, stats)
+                    }),
+                None => shared
+                    .classifier
+                    .classify_batch_with(&points, shared.policy),
+            };
+            match result {
+                Ok((labels, stats)) => {
+                    record_batch(shared, &stats);
+                    shared.metrics.points_classified.add(labels.len() as u64); // CAST: row count
                     (Response::Labels(labels), false)
                 }
                 Err(e) => (
@@ -327,13 +360,23 @@ fn respond(shared: &Shared, req: Request) -> (Response, bool) {
             }
         }
         Request::Density { points } => {
-            inc(&shared.metrics.densities);
-            match shared
-                .classifier
-                .bound_density_batch_with(&points, shared.policy)
-            {
-                Ok((bounds, _stats)) => {
-                    add(&shared.metrics.points_bounded, bounds.len() as u64); // CAST: row count
+            shared.metrics.densities.inc();
+            let result = match &shared.trace {
+                Some(sink) => shared
+                    .classifier
+                    .bound_density_batch_traced(&points, shared.policy, shared.trace_every)
+                    .map(|(bounds, stats, traces)| {
+                        write_traces(sink, &traces);
+                        (bounds, stats)
+                    }),
+                None => shared
+                    .classifier
+                    .bound_density_batch_with(&points, shared.policy),
+            };
+            match result {
+                Ok((bounds, stats)) => {
+                    record_batch(shared, &stats);
+                    shared.metrics.points_bounded.add(bounds.len() as u64); // CAST: row count
                     let pairs = bounds.iter().map(|b| (b.lower, b.upper)).collect();
                     (Response::Bounds(pairs), false)
                 }
@@ -347,10 +390,30 @@ fn respond(shared: &Shared, req: Request) -> (Response, bool) {
             }
         }
         Request::Stats => {
-            inc(&shared.metrics.stats_requests);
+            shared.metrics.stats_requests.inc();
             (Response::Stats(shared.metrics.snapshot()), false)
         }
         Request::Shutdown => (Response::ShutdownAck, true),
+    }
+}
+
+/// Folds an answered batch's merged engine statistics into the metrics
+/// block, so `Stats` snapshots expose the pruning work mix.
+fn record_batch(shared: &Shared, stats: &QueryStats) {
+    shared.metrics.record_query_stats(stats);
+}
+
+/// Appends a batch's traces to the shared sink. Tracing is best-effort
+/// diagnostics: a full disk or revoked file must not fail the query
+/// that was being traced, so write errors are swallowed here.
+fn write_traces(sink: &Mutex<TraceWriter<BufWriter<File>>>, traces: &[QueryTrace]) {
+    if traces.is_empty() {
+        return;
+    }
+    // INVARIANT: trace-writer mutex is only held for the write; a
+    // poisoned lock just drops this batch's traces.
+    if let Ok(mut w) = sink.lock() {
+        let _ = w.write_all(traces);
     }
 }
 

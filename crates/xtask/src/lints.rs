@@ -118,10 +118,11 @@ const LIBRARY_CRATES: &[&str] = &[
     "alternatives",
     "data",
     "serve",
+    "obs",
 ];
 
 /// Crates whose lossy `as` casts must be justified (L5).
-const CAST_CHECKED_CRATES: &[&str] = &["common", "kernel", "index", "core", "serve"];
+const CAST_CHECKED_CRATES: &[&str] = &["common", "kernel", "index", "core", "serve", "obs"];
 
 /// Classify a workspace-relative path.
 pub fn classify(rel_path: &Path) -> FileKind {

@@ -1,21 +1,28 @@
 #![forbid(unsafe_code)]
 //! `xtask` — workspace automation for the tKDC reproduction.
 //!
-//! Currently one subcommand:
+//! Subcommands:
 //!
 //! ```text
 //! cargo run -p xtask -- lint [paths...]
+//! cargo run -p xtask -- check-trace FILE...
 //! ```
 //!
-//! runs `tkdc-lint`, the from-scratch static-analysis pass enforcing the
-//! workspace's numeric-soundness invariants (see [`lints`] for the rule
-//! table and the `INVARIANT:` / `SAFETY:` / `CAST:` marker convention).
-//! With no arguments the whole workspace is scanned; explicit file or
-//! directory paths restrict the scan. Exits non-zero when any violation
-//! is found, printing rustc-style `file:line:col` diagnostics.
+//! `lint` runs `tkdc-lint`, the from-scratch static-analysis pass
+//! enforcing the workspace's numeric-soundness invariants (see [`lints`]
+//! for the rule table and the `INVARIANT:` / `SAFETY:` / `CAST:` marker
+//! convention). With no arguments the whole workspace is scanned;
+//! explicit file or directory paths restrict the scan. Exits non-zero
+//! when any violation is found, printing rustc-style `file:line:col`
+//! diagnostics.
+//!
+//! `check-trace` validates `tkdc-trace/v1` JSONL files (as written by
+//! `tkdc explain` / `--trace-out`) against the trace schema — see
+//! [`trace_check`].
 
 mod lints;
 mod scan;
+mod trace_check;
 mod walk;
 
 use std::path::{Path, PathBuf};
@@ -25,6 +32,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("check-trace") => check_trace(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -44,8 +52,9 @@ USAGE:
     cargo run -p xtask -- <SUBCOMMAND>
 
 SUBCOMMANDS:
-    lint [paths...]   run the tkdc-lint numeric-soundness pass
-                      (whole workspace when no paths are given)
+    lint [paths...]     run the tkdc-lint numeric-soundness pass
+                        (whole workspace when no paths are given)
+    check-trace FILE... validate tkdc-trace/v1 JSONL trace files
 
 LINT RULES:
     L1 partial-cmp-unwrap  no `partial_cmp(..).unwrap()/.expect(..)`; use `f64::total_cmp`
@@ -69,6 +78,38 @@ fn workspace_root() -> PathBuf {
             p.ancestors().nth(2).map(Path::to_path_buf).unwrap_or(p)
         }
         None => PathBuf::from("."),
+    }
+}
+
+fn check_trace(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("xtask check-trace: no files given\n");
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut total = 0usize;
+    let mut failed = false;
+    for path in args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask check-trace: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (lines, report) = trace_check::check_trace_text(path, &text);
+        total += lines;
+        for msg in &report {
+            eprintln!("{msg}");
+        }
+        failed |= !report.is_empty();
+    }
+    if failed {
+        eprintln!("check-trace: invalid ({total} lines checked)");
+        ExitCode::FAILURE
+    } else {
+        println!("check-trace: ok ({total} trace lines valid)");
+        ExitCode::SUCCESS
     }
 }
 

@@ -1,0 +1,423 @@
+//! `check-trace` — structural validator for `tkdc-trace/v1` JSONL.
+//!
+//! CI runs this over trace files produced by `tkdc explain` and
+//! `tkdc classify --trace-out` so a schema drift (renamed key, wrong
+//! type, new prune cause nobody documented) fails the build instead of
+//! silently breaking downstream trace consumers. The workspace vendors
+//! no JSON crate, so this carries its own minimal recursive-descent
+//! parser — strict enough for validation (it rejects trailing garbage,
+//! unterminated strings, and malformed numbers), with no serialization
+//! half.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys keep their file order.
+#[derive(Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (validation only needs f64 precision).
+    Num(f64),
+    /// A string literal, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(format!("unexpected `{}` at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            // Surrogates only arise for astral-plane
+                            // characters, which our own writer never
+                            // escapes; map them to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input came from a
+                    // &str, so boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON document, rejecting trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+/// Prune causes a `tkdc-trace/v1` line may carry.
+const CAUSES: &[&str] = &[
+    "threshold_high",
+    "threshold_low",
+    "tolerance",
+    "exhausted",
+    "grid",
+    "group",
+];
+
+fn check_uint(obj: &Json, key: &str, errs: &mut Vec<String>) {
+    match obj.get(key) {
+        Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {} // tkdc-lint: allow(float-eq)
+        Some(other) => errs.push(format!(
+            "`{key}` must be a non-negative integer, got {}",
+            other.type_name()
+        )),
+        None => errs.push(format!("missing key `{key}`")),
+    }
+}
+
+fn check_bound(obj: &Json, key: &str, errs: &mut Vec<String>) {
+    match obj.get(key) {
+        Some(Json::Num(_) | Json::Null) => {}
+        Some(other) => errs.push(format!(
+            "`{key}` must be a number or null, got {}",
+            other.type_name()
+        )),
+        None => errs.push(format!("missing key `{key}`")),
+    }
+}
+
+/// Validates one trace line against the `tkdc-trace/v1` shape. Returns
+/// every problem found, empty when the line is valid.
+pub fn validate_trace_line(line: &str) -> Vec<String> {
+    let value = match parse_json(line) {
+        Ok(v) => v,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    let mut errs = Vec::new();
+    if !matches!(value, Json::Obj(_)) {
+        return vec![format!(
+            "line must be a JSON object, got {}",
+            value.type_name()
+        )];
+    }
+    match value.get("schema") {
+        Some(Json::Str(s)) if s == "tkdc-trace/v1" => {}
+        Some(Json::Str(s)) => errs.push(format!("unknown schema `{s}`")),
+        Some(other) => errs.push(format!(
+            "`schema` must be a string, got {}",
+            other.type_name()
+        )),
+        None => errs.push("missing key `schema`".to_string()),
+    }
+    check_uint(&value, "query", &mut errs);
+    for key in ["t_lo", "t_hi", "lower", "upper"] {
+        check_bound(&value, key, &mut errs);
+    }
+    match value.get("cause") {
+        Some(Json::Str(c)) if CAUSES.contains(&c.as_str()) => {}
+        Some(Json::Str(c)) => errs.push(format!("unknown cause `{c}`")),
+        Some(other) => errs.push(format!(
+            "`cause` must be a string, got {}",
+            other.type_name()
+        )),
+        None => errs.push("missing key `cause`".to_string()),
+    }
+    for key in ["nodes_expanded", "kernel_evals", "bound_evals"] {
+        check_uint(&value, key, &mut errs);
+    }
+    match value.get("steps") {
+        Some(Json::Arr(steps)) => {
+            for (i, step) in steps.iter().enumerate() {
+                if !matches!(step, Json::Obj(_)) {
+                    errs.push(format!("steps[{i}] must be an object"));
+                    continue;
+                }
+                let mut step_errs = Vec::new();
+                check_uint(step, "nodes", &mut step_errs);
+                check_uint(step, "kevals", &mut step_errs);
+                check_bound(step, "lower", &mut step_errs);
+                check_bound(step, "upper", &mut step_errs);
+                errs.extend(step_errs.into_iter().map(|e| format!("steps[{i}]: {e}")));
+            }
+        }
+        Some(other) => errs.push(format!(
+            "`steps` must be an array, got {}",
+            other.type_name()
+        )),
+        None => errs.push("missing key `steps`".to_string()),
+    }
+    errs
+}
+
+/// Validates a whole JSONL file's content. Returns `(lines, report)`:
+/// the number of trace lines checked and, when anything failed, a
+/// rustc-style diagnostic per problem.
+pub fn check_trace_text(path: &str, text: &str) -> (usize, Vec<String>) {
+    let mut checked = 0usize;
+    let mut report = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        checked += 1;
+        for err in validate_trace_line(line) {
+            let mut msg = String::new();
+            let _ = write!(msg, "{path}:{}: {err}", i + 1);
+            report.push(msg);
+        }
+    }
+    if checked == 0 {
+        report.push(format!("{path}: no trace lines found"));
+    }
+    (checked, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "{\"schema\":\"tkdc-trace/v1\",\"query\":3,\"t_lo\":1.5e-3,\
+                        \"t_hi\":1.5e-3,\"cause\":\"threshold_high\",\"lower\":2e-3,\
+                        \"upper\":2.5e-3,\"nodes_expanded\":2,\"kernel_evals\":16,\
+                        \"bound_evals\":6,\"steps\":[{\"nodes\":1,\"kevals\":0,\
+                        \"lower\":0e0,\"upper\":5e-1}]}";
+
+    #[test]
+    fn parser_handles_scalars_and_nesting() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" -1.5e3 ").unwrap(), Json::Num(-1500.0));
+        assert_eq!(
+            parse_json("\"a\\\"b\\u0041\"").unwrap(),
+            Json::Str("a\"bA".to_string())
+        );
+        let v = parse_json("{\"a\":[1,true,{}],\"b\":null}").unwrap();
+        assert!(matches!(v.get("a"), Some(Json::Arr(items)) if items.len() == 3));
+        assert_eq!(v.get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "1 2", "\"open", "tru"] {
+            assert!(parse_json(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn valid_line_passes() {
+        assert!(validate_trace_line(GOOD).is_empty());
+        // Null bounds (grid prune, no upper) are valid.
+        let grid = GOOD.replace("\"upper\":2.5e-3", "\"upper\":null");
+        assert!(validate_trace_line(&grid).is_empty());
+    }
+
+    #[test]
+    fn invalid_lines_are_reported() {
+        let wrong_schema = GOOD.replace("tkdc-trace/v1", "tkdc-trace/v9");
+        assert!(validate_trace_line(&wrong_schema)
+            .iter()
+            .any(|e| e.contains("unknown schema")));
+        let bad_cause = GOOD.replace("threshold_high", "vibes");
+        assert!(validate_trace_line(&bad_cause)
+            .iter()
+            .any(|e| e.contains("unknown cause")));
+        let missing = GOOD.replace("\"bound_evals\":6,", "");
+        assert!(validate_trace_line(&missing)
+            .iter()
+            .any(|e| e.contains("missing key `bound_evals`")));
+        let bad_step = GOOD.replace("\"kevals\":0", "\"kevals\":-1");
+        assert!(validate_trace_line(&bad_step)
+            .iter()
+            .any(|e| e.contains("steps[0]")));
+        assert!(!validate_trace_line("[]").is_empty());
+    }
+
+    #[test]
+    fn file_check_counts_lines_and_flags_empties() {
+        let text = format!("{GOOD}\n\n{GOOD}\n");
+        let (n, report) = check_trace_text("t.jsonl", &text);
+        assert_eq!(n, 2);
+        assert!(report.is_empty());
+        let (n, report) = check_trace_text("e.jsonl", "\n");
+        assert_eq!(n, 0);
+        assert_eq!(report.len(), 1);
+    }
+}

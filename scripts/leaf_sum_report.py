@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Parse and compare `leaf_sum` criterion runs.
+
+The vendored criterion harness prints one line per benchmark:
+
+    <label padded to 60 cols> time: <Duration debug, e.g. 1.234µs>
+
+`parse` turns that stream into `tkdc-bench-leaf-sum/v1` JSON; `compare`
+gates a fresh run against a baseline run (the CI obs-smoke job uses a
+2% aggregate-regression threshold). Absolute times are machine-specific:
+compare runs from the same machine (CI compares two same-job runs; the
+committed BENCH_leaf_sum.json is the recorded trajectory for this repo's
+reference machine, not a cross-machine contract).
+
+Usage:
+    leaf_sum_report.py parse [--out FILE]            # criterion stdout on stdin
+    leaf_sum_report.py compare BASE FRESH [--tolerance 0.02]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SCHEMA = "tkdc-bench-leaf-sum/v1"
+LINE = re.compile(r"^(?P<label>\S+)\s+time:\s+(?P<num>[0-9.]+)(?P<unit>ns|µs|us|ms|s)\s*$")
+UNIT_S = {"ns": 1e-9, "µs": 1e-6, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def parse(stdin, out_path):
+    benches = {}
+    for raw in stdin:
+        m = LINE.match(raw.strip())
+        if not m:
+            continue
+        benches[m.group("label")] = float(m.group("num")) * UNIT_S[m.group("unit")]
+    if not benches:
+        sys.exit("leaf_sum_report: no benchmark lines found on stdin")
+    report = {
+        "schema": SCHEMA,
+        "benches": benches,
+        "total_s": sum(benches.values()),
+    }
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if out_path:
+        with open(out_path, "w") as f:
+            f.write(text)
+        print(f"wrote {out_path} ({len(benches)} benchmarks)")
+    else:
+        sys.stdout.write(text)
+
+
+def load(path):
+    with open(path) as f:
+        r = json.load(f)
+    if r.get("schema") != SCHEMA:
+        sys.exit(f"{path}: expected schema {SCHEMA}, got {r.get('schema')}")
+    return r
+
+
+def compare(base_path, fresh_path, tolerance):
+    base, fresh = load(base_path), load(fresh_path)
+    if set(base["benches"]) != set(fresh["benches"]):
+        sys.exit(
+            "benchmark sets differ: "
+            f"only-base={sorted(set(base['benches']) - set(fresh['benches']))} "
+            f"only-fresh={sorted(set(fresh['benches']) - set(base['benches']))}"
+        )
+    for label in sorted(base["benches"]):
+        b, f = base["benches"][label], fresh["benches"][label]
+        print(f"{label:<60} {b * 1e9:10.1f} ns -> {f * 1e9:10.1f} ns  ({f / b:6.3f}x)")
+    ratio = fresh["total_s"] / base["total_s"]
+    print(f"aggregate: {base['total_s'] * 1e6:.2f} µs -> {fresh['total_s'] * 1e6:.2f} µs ({ratio:.4f}x)")
+    if ratio > 1.0 + tolerance:
+        sys.exit(f"FAIL: aggregate regression {ratio:.4f}x exceeds 1 + {tolerance}")
+    print(f"ok: within the {tolerance:.0%} regression budget")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    p = sub.add_parser("parse")
+    p.add_argument("--out")
+    c = sub.add_parser("compare")
+    c.add_argument("base")
+    c.add_argument("fresh")
+    c.add_argument("--tolerance", type=float, default=0.02)
+    args = ap.parse_args()
+    if args.cmd == "parse":
+        parse(sys.stdin, args.out)
+    else:
+        compare(args.base, args.fresh, args.tolerance)
+
+
+if __name__ == "__main__":
+    main()

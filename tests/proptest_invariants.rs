@@ -4,11 +4,15 @@
 //! * k-d tree partition correctness for arbitrary point clouds,
 //! * density bounds sandwiching the exact density for arbitrary queries,
 //! * classification agreeing with the exact oracle outside the ε-band,
+//! * batch statistics decomposing exactly: any split of a batch, run
+//!   under any `ExecPolicy`, merges to the whole batch's `QueryStats`,
 //! * quantile estimates matching full sorts.
+
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 use tkdc::bound::DensityBounder;
-use tkdc::{Optimizations, QueryScratch};
+use tkdc::{Classifier, ExecPolicy, Optimizations, Params, QueryScratch};
 use tkdc_common::order;
 use tkdc_common::Matrix;
 use tkdc_index::{KdTree, SplitRule};
@@ -179,5 +183,65 @@ proptest! {
             })
             .count();
         prop_assert_eq!(count, expected);
+    }
+}
+
+/// One fitted classifier + query pool shared by the stats-merge
+/// property (fitting per proptest case would dominate the runtime).
+fn stats_fixture() -> &'static (Classifier, Matrix) {
+    static FIXTURE: OnceLock<(Classifier, Matrix)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let mut rng = tkdc_common::Rng::seed_from(77);
+        let mut data = Matrix::with_cols(2);
+        for _ in 0..1500 {
+            data.push_row(&[rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+                .unwrap();
+        }
+        let clf = Classifier::fit(&data, &Params::default().with_seed(77)).unwrap();
+        let mut queries = Matrix::with_cols(2);
+        for _ in 0..90 {
+            queries
+                .push_row(&[rng.normal(0.0, 2.0), rng.normal(0.0, 2.0)])
+                .unwrap();
+        }
+        (clf, queries)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `QueryStats` must be an exact decomposition: splitting a batch at
+    /// any point and merging the two halves' stats reproduces the whole
+    /// batch's stats, under every execution policy — including across
+    /// policies, since per-query work is schedule-independent.
+    #[test]
+    fn split_batch_stats_merge_to_whole(
+        split_frac in 0.0f64..1.0,
+        threads in 1usize..5,
+    ) {
+        let (clf, queries) = stats_fixture();
+        let n = queries.rows();
+        let split = ((split_frac * n as f64) as usize).min(n); // CAST: in [0, n]
+        let mut first = Matrix::with_cols(queries.cols());
+        let mut rest = Matrix::with_cols(queries.cols());
+        for i in 0..n {
+            let target = if i < split { &mut first } else { &mut rest };
+            target.push_row(queries.row(i)).unwrap();
+        }
+        let (_, whole) = clf
+            .classify_batch_with(queries, ExecPolicy::Serial)
+            .unwrap();
+        for policy in [
+            ExecPolicy::Serial,
+            ExecPolicy::Parallel { threads: Some(threads) },
+            ExecPolicy::StaticChunked { threads: Some(threads) },
+        ] {
+            let (_, a) = clf.classify_batch_with(&first, policy).unwrap();
+            let (_, b) = clf.classify_batch_with(&rest, policy).unwrap();
+            let mut merged = a;
+            merged.merge(&b);
+            prop_assert_eq!(merged, whole, "policy {:?}, split {}", policy, split);
+        }
     }
 }
