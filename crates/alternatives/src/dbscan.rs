@@ -66,7 +66,7 @@ pub fn dbscan(data: &Matrix, params: &DbscanParams) -> Result<(Vec<DbscanLabel>,
     for p in &points {
         let mut hits: Vec<u32> = Vec::new();
         tree.for_each_in_scaled_radius_indexed(p, &inv_h, params.eps, |row, _| {
-            hits.push(row as u32)
+            hits.push(row as u32) // CAST: row < n, and point counts are far below u32::MAX
         });
         neighbor_lists.push(hits);
     }
@@ -89,7 +89,7 @@ pub fn dbscan(data: &Matrix, params: &DbscanParams) -> Result<(Vec<DbscanLabel>,
         stack.clear();
         stack.extend(&neighbor_lists[row]);
         while let Some(q) = stack.pop() {
-            let q = q as usize;
+            let q = q as usize; // CAST: u32 -> usize is lossless on 64-bit targets
             if labels[q] == NOISE {
                 labels[q] = cluster; // border point adopted by the cluster
             }
@@ -113,7 +113,7 @@ pub fn dbscan(data: &Matrix, params: &DbscanParams) -> Result<(Vec<DbscanLabel>,
             c => DbscanLabel::Cluster(c),
         };
     }
-    Ok((out, cluster as usize))
+    Ok((out, cluster as usize)) // CAST: u32 -> usize is lossless on 64-bit targets
 }
 
 #[cfg(test)]

@@ -8,10 +8,10 @@
 //! accuracy guarantee (its Fig. 8 F1 degrades sharply at d = 4).
 
 use crate::estimator::DensityEstimator;
-use std::sync::atomic::{AtomicU64, Ordering};
 use tkdc_common::error::{invalid_param, Error, Result};
 use tkdc_common::Matrix;
 use tkdc_kernel::{scotts_rule, Kernel, KernelKind};
+use tkdc_sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum dimensionality supported by the binned estimator (as in `ks`).
 pub const MAX_BINNED_DIM: usize = 4;
@@ -124,7 +124,7 @@ impl BinnedKde {
             for i in 0..d {
                 let t = (row[i] - origin[i]) / step[i];
                 let base = t.floor().clamp(0.0, (shape[i] - 2) as f64);
-                idx[i] = base as usize;
+                idx[i] = base as usize; // CAST: bin coordinates stay within the padded grid shape
                 frac[i] = (t - base).clamp(0.0, 1.0);
             }
             // Iterate the 2^d corners.
@@ -150,7 +150,7 @@ impl BinnedKde {
         // a direct d-dimensional truncated stencil works for both kinds.
         let mut reach = Vec::with_capacity(d);
         for i in 0..d {
-            let r = (4.0 * kernel.bandwidths()[i] / step[i]).ceil() as isize;
+            let r = (4.0 * kernel.bandwidths()[i] / step[i]).ceil() as isize; // CAST: kernel reach in bins is tiny and nonnegative
             reach.push(r);
         }
         let mut values = match method {
@@ -252,13 +252,14 @@ fn direct_convolve(
         }
         'stencil: for entry in &stencil {
             for i in 0..d {
-                let c = coord[i] as isize + entry.off[i] as isize;
+                let c = coord[i] as isize + entry.off[i] as isize; // CAST: bin coordinates stay within the padded grid shape
                 if c < 0 || c >= shape[i] as isize {
+                    // CAST: bin coordinates stay within the padded grid shape
                     continue 'stencil;
                 }
             }
-            let target = node as isize + entry.flat;
-            values[target as usize] += w * entry.k;
+            let target = node as isize + entry.flat; // CAST: bin coordinates stay within the padded grid shape
+            values[target as usize] += w * entry.k; // CAST: bin coordinates stay within the padded grid shape
         }
     }
     values
@@ -278,7 +279,7 @@ fn fft_convolve(
     use tkdc_common::fft::{convolve_nd_circular, next_pow2};
     let d = shape.len();
     let padded: Vec<usize> = (0..d)
-        .map(|i| next_pow2(shape[i] + 2 * reach[i] as usize))
+        .map(|i| next_pow2(shape[i] + 2 * reach[i] as usize)) // CAST: reach is nonnegative
         .collect();
     let padded_total: usize = padded.iter().product();
     let pstrides = row_major_strides(&padded);
@@ -342,7 +343,7 @@ fn fill_kernel_grid(
         let mut idx = 0usize;
         for i in 0..d {
             diff[i] = offs[i] as f64 * step[i];
-            let wrapped = offs[i].rem_euclid(padded[i] as isize) as usize;
+            let wrapped = offs[i].rem_euclid(padded[i] as isize) as usize; // CAST: rem_euclid lands in [0, padded), and isize -> usize keeps it
             idx += wrapped * pstrides[i];
         }
         let k = kernel.eval_scaled_sq(kernel.scaled_sq_norm(&diff));
@@ -386,8 +387,8 @@ fn build_stencil(
         let mut off = [0i32; MAX_BINNED_DIM];
         for i in 0..d {
             diff[i] = offsets[i] as f64 * step[i];
-            flat += offsets[i] * strides[i] as isize;
-            off[i] = offsets[i] as i32;
+            flat += offsets[i] * strides[i] as isize; // CAST: strides fit isize for any grid that fits in memory
+            off[i] = offsets[i] as i32; // CAST: per-axis offsets are within the tiny kernel reach
         }
         let u = kernel.scaled_sq_norm(&diff);
         let k = kernel.eval_scaled_sq(u);
@@ -410,6 +411,8 @@ impl DensityEstimator for BinnedKde {
                 actual: x.len(),
             });
         }
+        // ORDERING: Relaxed — eval counters are diagnostics folded
+        // after thread join; the RMW is atomic under any ordering.
         self.evals.fetch_add(1, Ordering::Relaxed);
         // Multilinear interpolation over the enclosing cell; queries
         // outside the (padded) grid have ~zero density by construction.
@@ -423,7 +426,7 @@ impl DensityEstimator for BinnedKde {
                 return Ok(0.0);
             }
             let base = t.floor().min((self.shape[i] - 2) as f64);
-            idx[i] = base as usize;
+            idx[i] = base as usize; // CAST: bin coordinates stay within the padded grid shape
             frac[i] = t - base;
         }
         let mut acc = 0.0;
@@ -453,10 +456,14 @@ impl DensityEstimator for BinnedKde {
     }
 
     fn kernel_evals(&self) -> u64 {
+        // ORDERING: Relaxed — read after the batch joins (or
+        // single-threaded); staleness mid-batch is acceptable.
         self.evals.load(Ordering::Relaxed)
     }
 
     fn reset_kernel_evals(&self) {
+        // ORDERING: Relaxed — reset between benchmark phases, never
+        // concurrent with counting.
         self.evals.store(0, Ordering::Relaxed);
     }
 }

@@ -5,12 +5,12 @@
 
 use crate::estimator::DensityEstimator;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 use tkdc::bound::DensityBounder;
 use tkdc::{Optimizations, QueryScratch};
 use tkdc_common::error::{Error, Result};
 use tkdc_index::{KdTree, SplitRule};
 use tkdc_kernel::{scotts_rule, Kernel, KernelKind};
+use tkdc_sync::atomic::{AtomicU64, Ordering};
 
 /// Tolerance-only tree KDE (relative error `ε`).
 #[derive(Debug)]
@@ -66,6 +66,8 @@ impl DensityEstimator for NocutKde {
         // within ε of the density itself.
         let b = bounder.bound_density_relative(x, self.epsilon, &mut scratch);
         self.evals
+            // ORDERING: Relaxed — eval counters are diagnostics folded
+            // after thread join; the RMW is atomic under any ordering.
             .fetch_add(scratch.stats.kernel_evals - before, Ordering::Relaxed);
         Ok(b.midpoint())
     }
@@ -79,10 +81,14 @@ impl DensityEstimator for NocutKde {
     }
 
     fn kernel_evals(&self) -> u64 {
+        // ORDERING: Relaxed — read after the batch joins (or
+        // single-threaded); staleness mid-batch is acceptable.
         self.evals.load(Ordering::Relaxed)
     }
 
     fn reset_kernel_evals(&self) {
+        // ORDERING: Relaxed — reset between benchmark phases, never
+        // concurrent with counting.
         self.evals.store(0, Ordering::Relaxed);
     }
 }

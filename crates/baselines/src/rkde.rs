@@ -8,11 +8,11 @@
 //! Fig. 13 of the paper.
 
 use crate::estimator::DensityEstimator;
-use std::sync::atomic::{AtomicU64, Ordering};
 use tkdc_common::error::{invalid_param, Error, Result};
 use tkdc_common::Matrix;
 use tkdc_index::{KdTree, SplitRule};
 use tkdc_kernel::{scotts_rule, Kernel, KernelKind};
+use tkdc_sync::atomic::{AtomicU64, Ordering};
 
 /// Radius-limited kernel density estimator.
 #[derive(Debug)]
@@ -97,6 +97,8 @@ impl DensityEstimator for RadialKde {
                 acc += self.kernel.eval_pair(x, p);
                 visited += 1;
             });
+        // ORDERING: Relaxed — eval counters are diagnostics folded
+        // after thread join; the RMW is atomic under any ordering.
         self.evals.fetch_add(visited, Ordering::Relaxed);
         Ok(acc / self.tree.len() as f64)
     }
@@ -110,10 +112,14 @@ impl DensityEstimator for RadialKde {
     }
 
     fn kernel_evals(&self) -> u64 {
+        // ORDERING: Relaxed — read after the batch joins (or
+        // single-threaded); staleness mid-batch is acceptable.
         self.evals.load(Ordering::Relaxed)
     }
 
     fn reset_kernel_evals(&self) {
+        // ORDERING: Relaxed — reset between benchmark phases, never
+        // concurrent with counting.
         self.evals.store(0, Ordering::Relaxed);
     }
 }

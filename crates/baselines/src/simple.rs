@@ -2,10 +2,10 @@
 //! training point for every query. Exact, `O(n)` per query.
 
 use crate::estimator::DensityEstimator;
-use std::sync::atomic::{AtomicU64, Ordering};
 use tkdc_common::error::{Error, Result};
 use tkdc_common::Matrix;
 use tkdc_kernel::{scotts_rule, Kernel, KernelKind};
+use tkdc_sync::atomic::{AtomicU64, Ordering};
 
 /// Exact kernel density estimator by direct summation.
 #[derive(Debug)]
@@ -43,7 +43,9 @@ impl DensityEstimator for NaiveKde {
             acc += self.kernel.eval_pair(x, row);
         }
         self.evals
-            .fetch_add(self.data.rows() as u64, Ordering::Relaxed);
+            // ORDERING: Relaxed — eval counters are diagnostics folded
+            // after thread join; the RMW is atomic under any ordering.
+            .fetch_add(self.data.rows() as u64, Ordering::Relaxed); // CAST: usize -> u64 is lossless on 64-bit targets
         Ok(acc / self.data.rows() as f64)
     }
 
@@ -56,10 +58,14 @@ impl DensityEstimator for NaiveKde {
     }
 
     fn kernel_evals(&self) -> u64 {
+        // ORDERING: Relaxed — read after the batch joins (or
+        // single-threaded); staleness mid-batch is acceptable.
         self.evals.load(Ordering::Relaxed)
     }
 
     fn reset_kernel_evals(&self) {
+        // ORDERING: Relaxed — reset between benchmark phases, never
+        // concurrent with counting.
         self.evals.store(0, Ordering::Relaxed);
     }
 }

@@ -82,11 +82,11 @@ fn skewed_queries(threshold: f64, total: usize, seed: u64) -> (Matrix, usize) {
             // On the threshold circle, jittered within a bandwidth or so.
             let angle = rng.uniform(0.0, 2.0 * std::f64::consts::PI);
             let rr = r + rng.normal(0.0, 0.05);
-            m.push_row(&[rr * angle.cos(), rr * angle.sin()]).unwrap();
+            m.push_row(&[rr * angle.cos(), rr * angle.sin()]).unwrap(); // INVARIANT: bench tooling fails fast
         } else {
             // Far tail: certain LOW after one bound evaluation.
             m.push_row(&[rng.uniform(12.0, 13.0), rng.uniform(12.0, 13.0)])
-                .unwrap();
+                .unwrap(); // INVARIANT: bench tooling fails fast
         }
     }
     (m, hard)
@@ -102,9 +102,9 @@ fn measure_dataset(
 ) -> DatasetReport {
     let max_threads = threads_list.iter().copied().max().unwrap_or(1);
     let params = Params::default().with_seed(seed);
-    let (_, fit_serial) = time(|| Classifier::fit(data, &params).expect("fit"));
+    let (_, fit_serial) = time(|| Classifier::fit(data, &params).expect("fit")); // INVARIANT: bench tooling fails fast
     let (clf, fit_parallel) =
-        time(|| Classifier::fit_with_threads(data, &params, max_threads).expect("fit"));
+        time(|| Classifier::fit_with_threads(data, &params, max_threads).expect("fit")); // INVARIANT: bench tooling fails fast
 
     let q = queries.min(data.rows()).max(1);
     let mut rng = Rng::seed_from(seed ^ 0x9E37);
@@ -112,7 +112,7 @@ fn measure_dataset(
 
     let ((_, serial_stats), t_serial) = time(|| {
         clf.classify_batch_with(&query_set, ExecPolicy::Serial)
-            .expect("classify")
+            .expect("classify") // INVARIANT: bench tooling fails fast
     });
     let serial_qps = q as f64 / t_serial.as_secs_f64().max(1e-12);
 
@@ -121,7 +121,7 @@ fn measure_dataset(
         .map(|&threads| {
             let (_, t) = time(|| {
                 clf.classify_batch_with(&query_set, ExecPolicy::with_threads(threads))
-                    .expect("classify")
+                    .expect("classify") // INVARIANT: bench tooling fails fast
             });
             let wall_s = t.as_secs_f64();
             ThreadPoint {
@@ -146,11 +146,11 @@ fn measure_dataset(
                             threads: Some(threads),
                         },
                     )
-                    .expect("classify")
+                    .expect("classify") // INVARIANT: bench tooling fails fast
                 });
                 let (_, t_steal) = time(|| {
                     clf.classify_batch_with(&skew_set, ExecPolicy::with_threads(threads))
-                        .expect("classify")
+                        .expect("classify") // INVARIANT: bench tooling fails fast
                 });
                 SkewPoint {
                     threads,
@@ -256,7 +256,7 @@ fn main() {
         .get_str("out")
         .unwrap_or("BENCH_batch.json")
         .to_string();
-    let threads_available = std::thread::available_parallelism()
+    let threads_available = tkdc_sync::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let threads_list: Vec<usize> = args
@@ -280,7 +280,7 @@ fn main() {
         seed,
     }
     .generate()
-    .expect("generate gauss");
+    .expect("generate gauss"); // INVARIANT: bench tooling fails fast
     eprintln!("gauss_d2: n={}, queries={}", gauss.rows(), queries);
     reports.push(measure_dataset(
         "gauss_d2",
@@ -297,9 +297,9 @@ fn main() {
         seed,
     }
     .generate()
-    .expect("generate tmy3");
+    .expect("generate tmy3"); // INVARIANT: bench tooling fails fast
     let d = tmy3.cols().min(8);
-    let tmy3 = tmy3.prefix_columns(d).expect("prefix");
+    let tmy3 = tmy3.prefix_columns(d).expect("prefix"); // INVARIANT: bench tooling fails fast
     eprintln!("tmy3_d{d}: n={}, queries={}", tmy3.rows(), queries);
     reports.push(measure_dataset(
         &format!("tmy3_d{d}"),
@@ -311,7 +311,7 @@ fn main() {
     ));
 
     let json = render_json(&reports, args.scale(), queries, seed, threads_available);
-    std::fs::write(&out, &json).expect("write baseline");
+    std::fs::write(&out, &json).expect("write baseline"); // INVARIANT: bench tooling fails fast
     for r in &reports {
         eprintln!(
             "{}: fit {:.2}s (serial) / {:.2}s ({} threads), serial {:.0} q/s",

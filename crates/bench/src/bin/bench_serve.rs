@@ -74,7 +74,7 @@ fn query_batch(dims: usize, batch: usize, rng: &mut Rng) -> Matrix {
         for v in row.iter_mut() {
             *v = rng.normal(0.0, 1.0);
         }
-        m.push_row(&row).expect("push query row");
+        m.push_row(&row).expect("push query row"); // INVARIANT: bench tooling fails fast
     }
     m
 }
@@ -93,14 +93,14 @@ fn run_level(
     let start = Instant::now();
     let mut latencies: Vec<u64> = Vec::with_capacity(concurrency * requests);
     let mut errors = 0usize;
-    std::thread::scope(|s| {
+    tkdc_sync::thread::scope(|s| {
         let handles: Vec<_> = (0..concurrency)
             .map(|c| {
                 s.spawn(move || {
                     let mut lats = Vec::with_capacity(requests);
                     let mut errs = 0usize;
                     let mut rng =
-                        Rng::seed_from(seed ^ (c as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                        Rng::seed_from(seed ^ (c as u64).wrapping_mul(0x9E3779B97F4A7C15)); // CAST: client index widens losslessly
                     let mut client = match Client::connect_with_timeout(addr, timeout) {
                         Ok(c) => c,
                         Err(_) => return (lats, requests), // whole connection failed
@@ -120,7 +120,7 @@ fn run_level(
             })
             .collect();
         for h in handles {
-            let (lats, errs) = h.join().expect("client thread");
+            let (lats, errs) = h.join().expect("client thread"); // INVARIANT: bench tooling fails fast
             latencies.extend(lats);
             errors += errs;
         }
@@ -258,23 +258,23 @@ fn main() {
                 seed,
             }
             .generate()
-            .expect("generate training data");
+            .expect("generate training data"); // INVARIANT: bench tooling fails fast
             let params = Params::default().with_seed(seed);
-            let clf = Classifier::fit(&data, &params).expect("fit");
+            let clf = Classifier::fit(&data, &params).expect("fit"); // INVARIANT: bench tooling fails fast
 
             // Sanity: one served batch must match the local engine.
             let mut rng = Rng::seed_from(seed ^ 0xC0FFEE);
             let probe = query_batch(2, batch, &mut rng);
             let (local, _) = clf
                 .classify_batch_with(&probe, ExecPolicy::parallel())
-                .expect("local classify");
+                .expect("local classify"); // INVARIANT: bench tooling fails fast
 
-            let server = Server::bind(ServeConfig::default(), clf).expect("bind ephemeral port");
-            let addr = server.local_addr().expect("local addr").to_string();
+            let server = Server::bind(ServeConfig::default(), clf).expect("bind ephemeral port"); // INVARIANT: bench tooling fails fast
+            let addr = server.local_addr().expect("local addr").to_string(); // INVARIANT: bench tooling fails fast
             let handle = server.spawn();
 
-            let mut client = Client::connect_with_timeout(&addr, timeout).expect("probe connect");
-            let served = client.classify(&probe).expect("probe classify");
+            let mut client = Client::connect_with_timeout(&addr, timeout).expect("probe connect"); // INVARIANT: bench tooling fails fast
+            let served = client.classify(&probe).expect("probe classify"); // INVARIANT: bench tooling fails fast
             assert_eq!(served, local, "served labels diverged from local engine");
             (addr, 2, true, Some(handle))
         }
@@ -300,11 +300,11 @@ fn main() {
     }
 
     if self_hosted || args.has("shutdown") {
-        let mut client = Client::connect_with_timeout(&addr, timeout).expect("shutdown connect");
-        client.shutdown().expect("shutdown request");
+        let mut client = Client::connect_with_timeout(&addr, timeout).expect("shutdown connect"); // INVARIANT: bench tooling fails fast
+        client.shutdown().expect("shutdown request"); // INVARIANT: bench tooling fails fast
     }
     if let Some(handle) = handle {
-        handle.join().expect("server drain");
+        handle.join().expect("server drain"); // INVARIANT: bench tooling fails fast
     }
 
     let json = render_json(
@@ -316,6 +316,6 @@ fn main() {
         server_stats.as_ref(),
         &reports,
     );
-    std::fs::write(&out, &json).expect("write report");
+    std::fs::write(&out, &json).expect("write report"); // INVARIANT: bench tooling fails fast
     eprintln!("wrote {out}");
 }

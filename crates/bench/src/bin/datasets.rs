@@ -59,7 +59,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for spec in specs {
-        let m = spec.generate().expect("generate");
+        let m = spec.generate().expect("generate"); // INVARIANT: bench tooling fails fast
         let stds = stats::column_stds(&m);
         let mean_std = stds.iter().sum::<f64>() / stds.len() as f64;
         rows.push(vec![

@@ -34,7 +34,7 @@ fn main() {
             seed,
         }
         .generate()
-        .expect("generate");
+        .expect("generate"); // INVARIANT: bench tooling fails fast
         let mut row = vec![n.to_string()];
         for algo in algos {
             let r = run_throughput(algo, &data, 0.01, queries, seed, args.threads());

@@ -23,13 +23,13 @@ fn main() {
         seed,
     }
     .generate()
-    .expect("generate");
+    .expect("generate"); // INVARIANT: bench tooling fails fast
 
     println!("Fig. 11: throughput vs dimension, hep n={n} (amortized training)\n");
     let algos = [Algo::Tkdc, Algo::Simple, Algo::Sklearn, Algo::Rkde];
     let mut rows = Vec::new();
     for d in [1usize, 2, 4, 8, 16, 27] {
-        let data = full.prefix_columns(d).expect("prefix");
+        let data = full.prefix_columns(d).expect("prefix"); // INVARIANT: bench tooling fails fast
         let mut row = vec![d.to_string()];
         for algo in algos {
             let r = run_throughput(algo, &data, 0.01, queries, seed, args.threads());

@@ -26,32 +26,32 @@ fn main() {
         seed,
     }
     .generate()
-    .expect("generate")
+    .expect("generate") // INVARIANT: bench tooling fails fast
     .prefix_columns(4)
-    .expect("prefix");
+    .expect("prefix"); // INVARIANT: bench tooling fails fast
     let mut rng = Rng::seed_from(seed ^ 0x13);
     let query_set = data.sample_rows(queries.min(n), &mut rng);
 
     // Reference densities (for the error column) from the exact KDE on
     // the query subsample.
-    let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).expect("fit");
+    let naive = NaiveKde::fit(&data, KernelKind::Gaussian, 1.0).expect("fit"); // INVARIANT: bench tooling fails fast
     let reference: Vec<f64> = query_set
         .iter_rows()
-        .map(|q| naive.density(q).expect("density"))
+        .map(|q| naive.density(q).expect("density")) // INVARIANT: bench tooling fails fast
         .collect();
     let t_ref = naive
         .estimate_threshold(&query_set, 0.01)
-        .expect("threshold");
+        .expect("threshold"); // INVARIANT: bench tooling fails fast
 
     println!("Fig. 13: rkde throughput and error vs cutoff radius, tmy3 d=4, n={n}\n");
     let mut rows = Vec::new();
     for radius in [0.5, 1.0, 1.2, 1.5, 2.0, 3.0, 4.0, 5.0] {
         let rkde =
-            RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, radius).expect("fit");
+            RadialKde::fit_with_radius(&data, KernelKind::Gaussian, 1.0, radius).expect("fit"); // INVARIANT: bench tooling fails fast
         let (densities, t_query) = time(|| {
             query_set
                 .iter_rows()
-                .map(|q| rkde.density(q).expect("density"))
+                .map(|q| rkde.density(q).expect("density")) // INVARIANT: bench tooling fails fast
                 .collect::<Vec<f64>>()
         });
         let qps = query_set.rows() as f64 / t_query.as_secs_f64().max(1e-12);

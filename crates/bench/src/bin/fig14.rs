@@ -24,18 +24,19 @@ fn measure(data: &Matrix, b: f64, queries: usize, seed: u64, threads: usize) -> 
     let query_set = data.sample_rows(queries.min(data.rows()), &mut rng);
     // tKDC query throughput.
     let params = Params::default().with_seed(seed).with_bandwidth_factor(b);
-    let clf = Classifier::fit_with_threads(data, &params, threads).expect("fit");
+    let clf = Classifier::fit_with_threads(data, &params, threads).expect("fit"); // INVARIANT: bench tooling fails fast
     let mut scratch = QueryScratch::new();
     let (_, t_tkdc) = time(|| {
         for q in query_set.iter_rows() {
+            // INVARIANT: bench tooling fails fast
             let _ = clf.classify_with(q, &mut scratch).expect("classify") == Label::High;
         }
     });
     // Naive throughput on the same queries.
-    let naive = NaiveKde::fit(data, KernelKind::Gaussian, b).expect("fit");
+    let naive = NaiveKde::fit(data, KernelKind::Gaussian, b).expect("fit"); // INVARIANT: bench tooling fails fast
     let t_naive = time(|| {
         for q in query_set.iter_rows() {
-            naive.density(q).expect("density");
+            naive.density(q).expect("density"); // INVARIANT: bench tooling fails fast
         }
     })
     .1;
@@ -58,21 +59,21 @@ fn main() {
         seed,
     }
     .generate()
-    .expect("generate");
+    .expect("generate"); // INVARIANT: bench tooling fails fast
 
     println!("Fig. 14: throughput vs dimension, mnist analog n={n}\n");
     let dims = [1usize, 2, 4, 8, 16, 32, 64, 128, 256];
     let mut rows = Vec::new();
     // One truncated PCA at the largest k, sliced down for smaller dims.
-    let max_k = *dims.iter().max().unwrap();
-    let pca = Pca::fit_truncated(&raw, max_k.min(raw.cols()), 30, seed ^ 0xFACE).expect("pca");
-    let projected = pca.transform(&raw).expect("transform");
+    let max_k = *dims.iter().max().unwrap(); // INVARIANT: dims is a non-empty const list
+    let pca = Pca::fit_truncated(&raw, max_k.min(raw.cols()), 30, seed ^ 0xFACE).expect("pca"); // INVARIANT: bench tooling fails fast
+    let projected = pca.transform(&raw).expect("transform"); // INVARIANT: bench tooling fails fast
     for &d in &dims {
         if d > projected.cols() {
             continue;
         }
-        let data = projected.prefix_columns(d).expect("prefix");
-        // 3× Scott bandwidth for PCA variants (appendix note).
+        let data = projected.prefix_columns(d).expect("prefix"); // INVARIANT: bench tooling fails fast
+                                                                 // 3× Scott bandwidth for PCA variants (appendix note).
         let (tkdc_qps, naive_qps) = measure(&data, 3.0, queries, seed, args.threads());
         rows.push(vec![d.to_string(), fmt_qps(tkdc_qps), fmt_qps(naive_qps)]);
     }

@@ -24,9 +24,9 @@ fn main() {
         seed,
     }
     .generate()
-    .expect("generate")
+    .expect("generate") // INVARIANT: bench tooling fails fast
     .prefix_columns(4)
-    .expect("prefix");
+    .expect("prefix"); // INVARIANT: bench tooling fails fast
 
     println!("Fig. 15: throughput vs quantile threshold p, tmy3 d=4, n={n}\n");
     let mut rows = Vec::new();

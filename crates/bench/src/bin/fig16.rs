@@ -25,9 +25,9 @@ fn main() {
         seed,
     }
     .generate()
-    .expect("generate")
+    .expect("generate") // INVARIANT: bench tooling fails fast
     .prefix_columns(4)
-    .expect("prefix");
+    .expect("prefix"); // INVARIANT: bench tooling fails fast
 
     let all = Optimizations::all();
     let stages: [(&str, Optimizations); 5] = [
@@ -62,11 +62,11 @@ fn main() {
     let mut rows = Vec::new();
     for (name, opts) in stages {
         let params = Params::default().with_seed(seed).with_opts(opts);
-        let clf = Classifier::fit_with_threads(&data, &params, args.threads()).expect("fit");
+        let clf = Classifier::fit_with_threads(&data, &params, args.threads()).expect("fit"); // INVARIANT: bench tooling fails fast
         let mut scratch = QueryScratch::new();
         let (_, t_query) = time(|| {
             for q in query_set.iter_rows() {
-                clf.classify_with(q, &mut scratch).expect("classify");
+                clf.classify_with(q, &mut scratch).expect("classify"); // INVARIANT: bench tooling fails fast
             }
         });
         let qps = query_set.rows() as f64 / t_query.as_secs_f64().max(1e-12);

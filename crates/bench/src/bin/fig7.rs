@@ -122,9 +122,9 @@ fn main() {
 
     println!("Fig. 7: end-to-end throughput (queries/s, training amortized)\n");
     for (spec, title, dim_prefix) in panels {
-        let mut data = spec.generate().expect("generate");
+        let mut data = spec.generate().expect("generate"); // INVARIANT: bench tooling fails fast
         if let Some(d) = dim_prefix {
-            data = data.prefix_columns(d).expect("prefix");
+            data = data.prefix_columns(d).expect("prefix"); // INVARIANT: bench tooling fails fast
         }
         println!("\n{title}, n={}, d={}", data.rows(), data.cols());
         let mut rows = Vec::new();

@@ -21,30 +21,30 @@ use tkdc_kernel::KernelKind;
 /// Per Eq. 1, the self-contribution enters only the threshold estimate;
 /// classification compares raw densities against it.
 fn ground_truth(data: &Matrix, p: f64) -> (Vec<bool>, f64) {
-    let kde = NaiveKde::fit(data, KernelKind::Gaussian, 1.0).expect("fit");
-    let t = kde.estimate_threshold(data, p).expect("threshold");
+    let kde = NaiveKde::fit(data, KernelKind::Gaussian, 1.0).expect("fit"); // INVARIANT: bench tooling fails fast
+    let t = kde.estimate_threshold(data, p).expect("threshold"); // INVARIANT: bench tooling fails fast
     let labels = data
         .iter_rows()
-        .map(|x| kde.density(x).expect("density") < t)
+        .map(|x| kde.density(x).expect("density") < t) // INVARIANT: bench tooling fails fast
         .collect();
     (labels, t)
 }
 
 fn f1_of_estimator<E: DensityEstimator>(est: &E, data: &Matrix, p: f64, truth: &[bool]) -> f64 {
-    let t = est.estimate_threshold(data, p).expect("threshold");
+    let t = est.estimate_threshold(data, p).expect("threshold"); // INVARIANT: bench tooling fails fast
     let predicted: Vec<bool> = data
         .iter_rows()
-        .map(|x| est.density(x).expect("density") < t)
+        .map(|x| est.density(x).expect("density") < t) // INVARIANT: bench tooling fails fast
         .collect();
     BinaryScore::from_labels(truth, &predicted).f1()
 }
 
 fn f1_of_tkdc(data: &Matrix, p: f64, truth: &[bool], seed: u64, threads: usize) -> f64 {
     let params = Params::default().with_p(p).with_seed(seed);
-    let clf = Classifier::fit_with_threads(data, &params, threads).expect("fit");
+    let clf = Classifier::fit_with_threads(data, &params, threads).expect("fit"); // INVARIANT: bench tooling fails fast
     let (labels, _) = clf
         .classify_batch_with(data, ExecPolicy::with_threads(threads))
-        .expect("classify");
+        .expect("classify"); // INVARIANT: bench tooling fails fast
     let predicted: Vec<bool> = labels.iter().map(|&l| l == Label::Low).collect();
     BinaryScore::from_labels(truth, &predicted).f1()
 }
@@ -67,18 +67,18 @@ fn main() {
             ("shuttle", DatasetKind::Shuttle),
         ] {
             let spec = DatasetSpec { kind, n, seed };
-            let full = spec.generate().expect("generate");
+            let full = spec.generate().expect("generate"); // INVARIANT: bench tooling fails fast
             for &d in &dims {
                 if d > full.cols() {
                     continue;
                 }
-                let data = full.prefix_columns(d).expect("prefix");
+                let data = full.prefix_columns(d).expect("prefix"); // INVARIANT: bench tooling fails fast
                 let (truth, _) = ground_truth(&data, p);
-                let sklearn = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.1).expect("fit");
+                let sklearn = NocutKde::fit(&data, KernelKind::Gaussian, 1.0, 0.1).expect("fit"); // INVARIANT: bench tooling fails fast
                 let f1_sklearn = f1_of_estimator(&sklearn, &data, p, &truth);
                 let f1_tkdc = f1_of_tkdc(&data, p, &truth, seed, args.threads());
                 let f1_ks = if d <= 4 {
-                    let ks = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).expect("fit");
+                    let ks = BinnedKde::fit(&data, KernelKind::Gaussian, 1.0).expect("fit"); // INVARIANT: bench tooling fails fast
                     format!("{:.3}", f1_of_estimator(&ks, &data, p, &truth))
                 } else {
                     "-".to_string()

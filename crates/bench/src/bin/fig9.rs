@@ -35,7 +35,7 @@ fn main() {
             seed,
         }
         .generate()
-        .expect("generate");
+        .expect("generate"); // INVARIANT: bench tooling fails fast
         let mut row = vec![n.to_string()];
         for algo in algos {
             let r = run_throughput(algo, &data, 0.01, queries, seed, args.threads());
@@ -62,11 +62,11 @@ fn main() {
 
 fn parse_qps(s: &str) -> f64 {
     if let Some(v) = s.strip_suffix('M') {
-        v.parse::<f64>().unwrap() * 1e6
+        v.parse::<f64>().unwrap() * 1e6 // INVARIANT: bench tooling fails fast
     } else if let Some(v) = s.strip_suffix('k') {
-        v.parse::<f64>().unwrap() * 1e3
+        v.parse::<f64>().unwrap() * 1e3 // INVARIANT: bench tooling fails fast
     } else {
-        s.parse().unwrap()
+        s.parse().unwrap() // INVARIANT: bench tooling fails fast
     }
 }
 

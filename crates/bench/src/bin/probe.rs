@@ -22,26 +22,26 @@ fn main() {
             seed,
         }
         .generate()
-        .expect("generate")
+        .expect("generate") // INVARIANT: bench tooling fails fast
         .prefix_columns(d)
-        .expect("prefix")
+        .expect("prefix") // INVARIANT: bench tooling fails fast
     });
     eprintln!("generate: {t:.2?}");
 
-    let (tree, t) = time(|| KdTree::build(&data, 32, SplitRule::TrimmedMidpoint).expect("build"));
+    let (tree, t) = time(|| KdTree::build(&data, 32, SplitRule::TrimmedMidpoint).expect("build")); // INVARIANT: bench tooling fails fast
     eprintln!("kd-tree build: {t:.2?} ({} nodes)", tree.node_count());
-    let h = scotts_rule(&data, 1.0).expect("bandwidth");
-    let kernel = Kernel::new(KernelKind::Gaussian, h).expect("kernel");
+    let h = scotts_rule(&data, 1.0).expect("bandwidth"); // INVARIANT: bench tooling fails fast
+    let kernel = Kernel::new(KernelKind::Gaussian, h).expect("kernel"); // INVARIANT: bench tooling fails fast
     drop(kernel);
 
     let (bounds, t) = time(|| {
         tkdc::threshold::bound_threshold(&data, &Params::default().with_seed(seed))
-            .expect("bootstrap")
+            .expect("bootstrap") // INVARIANT: bench tooling fails fast
     });
     eprintln!("bootstrap: {t:.2?} (rounds {:?})", bounds.1.rounds);
 
     let (clf, t) =
-        time(|| Classifier::fit(&data, &Params::default().with_seed(seed)).expect("fit"));
+        time(|| Classifier::fit(&data, &Params::default().with_seed(seed)).expect("fit")); // INVARIANT: bench tooling fails fast
     eprintln!("full fit: {t:.2?} (threshold {:.3e})", clf.threshold());
 
     for algo in [

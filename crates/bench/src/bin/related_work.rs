@@ -33,9 +33,9 @@ fn main() {
     // background outliers at the given rate.
     let body = shuttle::generate(n, seed)
         .select_columns(&[3, 5])
-        .expect("projection");
+        .expect("projection"); // INVARIANT: bench tooling fails fast
     let (mins, maxs) = body.column_bounds();
-    let n_out = ((n as f64 * rate) as usize).max(5);
+    let n_out = ((n as f64 * rate) as usize).max(5); // CAST: n is far below 2^53, and the product is nonnegative
     let mut rng = Rng::seed_from(seed ^ 0x0DD);
     let mut data = body.clone();
     let mut truth = vec![false; n]; // true = planted outlier
@@ -47,7 +47,7 @@ fn main() {
             rng.uniform(mins[0] - margin_x, maxs[0] + margin_x),
             rng.uniform(mins[1] - margin_y, maxs[1] + margin_y),
         ])
-        .expect("push");
+        .expect("push"); // INVARIANT: bench tooling fails fast
     }
     let total = data.rows();
     let flag_rate = n_out as f64 / total as f64;
@@ -61,10 +61,10 @@ fn main() {
     // tKDC: threshold at the planted rate.
     {
         let params = Params::default().with_p(flag_rate).with_seed(seed);
-        let (clf, t_train) = time(|| Classifier::fit(&data, &params).expect("fit"));
+        let (clf, t_train) = time(|| Classifier::fit(&data, &params).expect("fit")); // INVARIANT: bench tooling fails fast
         let (labels, _) = clf
             .classify_batch_with(&data, ExecPolicy::Serial)
-            .expect("classify");
+            .expect("classify"); // INVARIANT: bench tooling fails fast
         let predicted: Vec<bool> = labels.iter().map(|&l| l == Label::Low).collect();
         let f1 = BinaryScore::from_labels(&truth, &predicted).f1();
         rows.push(vec![
@@ -77,11 +77,11 @@ fn main() {
 
     // kNN distance.
     {
-        let (model, t_train) = time(|| KnnOutlierModel::fit(&data, 10).expect("fit"));
-        let t = model.threshold_for_rate(flag_rate).expect("threshold");
+        let (model, t_train) = time(|| KnnOutlierModel::fit(&data, 10).expect("fit")); // INVARIANT: bench tooling fails fast
+        let t = model.threshold_for_rate(flag_rate).expect("threshold"); // INVARIANT: bench tooling fails fast
         let predicted: Vec<bool> = data
             .iter_rows()
-            .map(|r| model.score_excluding_self(r).expect("score") > t)
+            .map(|r| model.score_excluding_self(r).expect("score") > t) // INVARIANT: bench tooling fails fast
             .collect();
         let f1 = BinaryScore::from_labels(&truth, &predicted).f1();
         rows.push(vec![
@@ -94,16 +94,17 @@ fn main() {
 
     // LOF.
     {
-        let (model, t_train) = time(|| LofModel::fit(&data, 10).expect("fit"));
+        let (model, t_train) = time(|| LofModel::fit(&data, 10).expect("fit")); // INVARIANT: bench tooling fails fast
         let mut scores = model.training_scores();
         let t = {
             let mut s = scores.clone();
+            // INVARIANT: bench tooling fails fast
             tkdc_common::order::quantile_in_place(&mut s, 1.0 - flag_rate).expect("quantile")
         };
         // training_scores is in tree order; rescore in input order.
         scores = data
             .iter_rows()
-            .map(|r| model.score(r).expect("score"))
+            .map(|r| model.score(r).expect("score")) // INVARIANT: bench tooling fails fast
             .collect();
         let predicted: Vec<bool> = scores.iter().map(|&s| s > t).collect();
         let f1 = BinaryScore::from_labels(&truth, &predicted).f1();
@@ -125,7 +126,7 @@ fn main() {
                     min_pts: 8,
                 },
             )
-            .expect("dbscan")
+            .expect("dbscan") // INVARIANT: bench tooling fails fast
         });
         let (labels, clusters) = result;
         let predicted: Vec<bool> = labels.iter().map(|&l| l == DbscanLabel::Noise).collect();
@@ -147,10 +148,10 @@ fn main() {
             nu: flag_rate.max(0.01),
             ..SvmParams::default()
         };
-        let (svm, t_train) = time(|| OneClassSvm::fit(&sample, &params).expect("fit"));
+        let (svm, t_train) = time(|| OneClassSvm::fit(&sample, &params).expect("fit")); // INVARIANT: bench tooling fails fast
         let predicted: Vec<bool> = data
             .iter_rows()
-            .map(|r| !svm.is_inlier(r).expect("decision"))
+            .map(|r| !svm.is_inlier(r).expect("decision")) // INVARIANT: bench tooling fails fast
             .collect();
         let f1 = BinaryScore::from_labels(&truth, &predicted).f1();
         rows.push(vec![
@@ -171,9 +172,9 @@ fn main() {
             break;
         }
         let sub = data.head(m);
-        let (_, t_svm) = time(|| OneClassSvm::fit(&sub, &SvmParams::default()).expect("fit"));
+        let (_, t_svm) = time(|| OneClassSvm::fit(&sub, &SvmParams::default()).expect("fit")); // INVARIANT: bench tooling fails fast
         let (_, t_tkdc) =
-            time(|| Classifier::fit(&sub, &Params::default().with_seed(seed)).expect("fit"));
+            time(|| Classifier::fit(&sub, &Params::default().with_seed(seed)).expect("fit")); // INVARIANT: bench tooling fails fast
         scale_rows.push(vec![
             m.to_string(),
             format!("{t_svm:.2?}"),

@@ -49,7 +49,7 @@ impl BenchArgs {
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 let value = match iter.peek() {
-                    Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap(), // INVARIANT: bench tooling fails fast
                     _ => "true".to_string(),
                 };
                 flags.insert(name.to_string(), value);
@@ -90,7 +90,7 @@ impl BenchArgs {
 
     /// Scales a default row count by `--scale`, with a floor of 500.
     pub fn scaled_n(&self, default_n: usize) -> usize {
-        ((default_n as f64 * self.scale()) as usize).max(500)
+        ((default_n as f64 * self.scale()) as usize).max(500) // CAST: n is far below 2^53, and the product is nonnegative
     }
 
     /// Query-sample size (default 2000).
@@ -103,7 +103,7 @@ impl BenchArgs {
     pub fn threads(&self) -> usize {
         self.get_usize(
             "threads",
-            std::thread::available_parallelism()
+            tkdc_sync::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
         )
@@ -216,28 +216,28 @@ pub fn run_throughput(
         Algo::Tkdc => {
             let params = Params::default().with_p(p).with_seed(seed);
             let (clf, t_train) =
-                time(|| Classifier::fit_with_threads(data, &params, threads).expect("fit"));
+                time(|| Classifier::fit_with_threads(data, &params, threads).expect("fit")); // INVARIANT: bench tooling fails fast
             let (stats, t_query) = time(|| {
                 let (_, stats) = clf
                     .classify_batch_with(&query_set, ExecPolicy::with_threads(threads))
-                    .expect("classify");
+                    .expect("classify"); // INVARIANT: bench tooling fails fast
                 stats
             });
             finish(n, q, t_train, t_query, stats.kernels_per_query())
         }
         Algo::Simple => {
             let (kde, t_build) =
-                time(|| NaiveKde::fit(data, KernelKind::Gaussian, 1.0).expect("fit"));
+                time(|| NaiveKde::fit(data, KernelKind::Gaussian, 1.0).expect("fit")); // INVARIANT: bench tooling fails fast
             run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
         }
         Algo::Sklearn => {
             let (kde, t_build) =
-                time(|| NocutKde::fit(data, KernelKind::Gaussian, 1.0, 0.1).expect("fit"));
+                time(|| NocutKde::fit(data, KernelKind::Gaussian, 1.0, 0.1).expect("fit")); // INVARIANT: bench tooling fails fast
             run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
         }
         Algo::Nocut => {
             let (kde, t_build) =
-                time(|| NocutKde::fit(data, KernelKind::Gaussian, 1.0, 0.01).expect("fit"));
+                time(|| NocutKde::fit(data, KernelKind::Gaussian, 1.0, 0.01).expect("fit")); // INVARIANT: bench tooling fails fast
             run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
         }
         Algo::Rkde => {
@@ -246,13 +246,13 @@ pub fn run_throughput(
             let t_ref = reference_threshold(data, p, seed);
             let (kde, t_build) = time(|| {
                 RadialKde::fit_with_error_bound(data, KernelKind::Gaussian, 1.0, 0.01, t_ref)
-                    .expect("fit")
+                    .expect("fit") // INVARIANT: bench tooling fails fast
             });
             run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
         }
         Algo::Ks => {
             let (kde, t_build) =
-                time(|| BinnedKde::fit(data, KernelKind::Gaussian, 1.0).expect("fit"));
+                time(|| BinnedKde::fit(data, KernelKind::Gaussian, 1.0).expect("fit")); // INVARIANT: bench tooling fails fast
             run_estimator_protocol(&kde, data, &query_set, p, n, q, t_build)
         }
     }
@@ -272,13 +272,13 @@ fn run_estimator_protocol<E: DensityEstimator>(
 ) -> ThroughputResult {
     kde.reset_kernel_evals();
     let (threshold, t_thresh_sample) =
-        time(|| kde.estimate_threshold(query_set, p).expect("threshold"));
-    // Training charge: build + a full-dataset density pass, extrapolated
-    // from the sampled pass.
+        time(|| kde.estimate_threshold(query_set, p).expect("threshold")); // INVARIANT: bench tooling fails fast
+                                                                           // Training charge: build + a full-dataset density pass, extrapolated
+                                                                           // from the sampled pass.
     let t_train = t_build + t_thresh_sample.mul_f64(n as f64 / q as f64);
     let (_, t_query) = time(|| {
         kde.classify_batch(query_set, threshold)
-            .expect("classify")
+            .expect("classify") // INVARIANT: bench tooling fails fast
             .iter()
             .filter(|&&h| h)
             .count()
@@ -309,8 +309,8 @@ fn finish(
 pub fn reference_threshold(data: &Matrix, p: f64, seed: u64) -> f64 {
     let mut rng = Rng::seed_from(seed ^ 0xBEEF);
     let sample = data.sample_rows(data.rows().min(2000), &mut rng);
-    let kde = NaiveKde::fit(&sample, KernelKind::Gaussian, 1.0).expect("fit");
-    kde.estimate_threshold(&sample, p).expect("threshold")
+    let kde = NaiveKde::fit(&sample, KernelKind::Gaussian, 1.0).expect("fit"); // INVARIANT: bench tooling fails fast
+    kde.estimate_threshold(&sample, p).expect("threshold") // INVARIANT: bench tooling fails fast
 }
 
 /// Formats a queries/s figure the way the paper does (e.g. `55.2k`,

@@ -125,7 +125,7 @@ impl Flags {
         match self.get_u64("threads")? {
             Some(0) => Err(invalid_param("threads", "`--threads` must be at least 1")),
             Some(n) => Ok(n as usize), // CAST: thread counts are tiny
-            None => Ok(std::thread::available_parallelism()
+            None => Ok(tkdc_sync::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)),
         }

@@ -91,7 +91,7 @@ impl ExecPolicy {
             ExecPolicy::Serial => 1,
             ExecPolicy::Parallel { threads } | ExecPolicy::StaticChunked { threads } => threads
                 .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
+                    tkdc_sync::thread::available_parallelism()
                         .map(|n| n.get())
                         .unwrap_or(1)
                 })
@@ -508,7 +508,7 @@ impl Classifier {
     ) -> Result<(Vec<T>, QueryStats)> {
         let chunk = total.div_ceil(n_threads);
         let mut results: Vec<Result<(Vec<T>, QueryStats)>> = Vec::new();
-        std::thread::scope(|scope| {
+        tkdc_sync::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_threads);
             for tid in 0..n_threads {
                 let start = tid * chunk;

@@ -6,8 +6,10 @@
 //! chunking (splitting the batch into `n_threads` equal ranges up front)
 //! therefore leaves most cores idle whenever the hard queries cluster in
 //! one chunk. This module provides the alternative used by every parallel
-//! driver in the workspace: scoped `std::thread` workers pulling index
-//! ranges from a shared [`WorkQueue`] — an `AtomicUsize` cursor with
+//! driver in the workspace: scoped worker threads (via the `tkdc-sync`
+//! facade, so `cargo xtask model-check` can explore their interleavings)
+//! pulling index ranges from a shared [`WorkQueue`] — an `AtomicUsize`
+//! cursor with
 //! *guided* (adaptive) grain size. Early ranges are coarse (cheap to
 //! claim, good locality); as the queue drains, grains shrink toward one
 //! item so a single pathological query never strands more than itself on
@@ -21,7 +23,9 @@
 //! count.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tkdc_sync::atomic::{AtomicUsize, Ordering};
+use tkdc_sync::thread;
 
 use tkdc_common::error::Result;
 
@@ -65,9 +69,11 @@ impl WorkQueue {
     /// `[1, 1024]` — coarse while the batch is full, single items at the
     /// tail.
     pub fn next_range(&self) -> Option<Range<usize>> {
-        // Relaxed suffices: atomicity alone guarantees ranges are
-        // disjoint, and the results written under a claimed range are
-        // published to the caller by thread join, not by this cursor.
+        // ORDERING: Relaxed suffices — CAS atomicity alone guarantees
+        // ranges are disjoint, and the results written under a claimed
+        // range are published to the caller by thread join, not by this
+        // cursor. Model-checked by `engine_cursor_*` in
+        // tests/model_check.rs.
         let mut cur = self.cursor.load(Ordering::Relaxed);
         loop {
             if cur >= self.total {
@@ -77,6 +83,8 @@ impl WorkQueue {
             let grain = (remaining / (self.workers * GRAIN_DIVISOR))
                 .clamp(1, MAX_GRAIN)
                 .min(remaining);
+            // ORDERING: Relaxed on both edges — see the load above; the
+            // cursor transfers no data, only disjointness.
             match self.cursor.compare_exchange_weak(
                 cur,
                 cur + grain,
@@ -92,6 +100,9 @@ impl WorkQueue {
     /// Marks the queue as drained so other workers stop pulling ranges
     /// (used to cut the batch short once a worker hits an error).
     pub fn abort(&self) {
+        // ORDERING: Relaxed — aborting is advisory (workers may claim a
+        // few more items); the authoritative error is carried in the
+        // worker's own output and published by join.
         self.cursor.store(self.total, Ordering::Relaxed);
     }
 }
@@ -144,7 +155,7 @@ where
 
     let queue = WorkQueue::new(total, n_threads);
     let mut outputs: Vec<WorkerOutput<T, S>> = Vec::with_capacity(n_threads);
-    std::thread::scope(|scope| {
+    thread::scope(|scope| {
         let queue = &queue;
         let init = &init;
         let work = &work;
@@ -215,10 +226,14 @@ mod tests {
     use super::*;
     use tkdc_common::error::Error;
 
+    /// Sizes shrink under Miri (CI's miri-smoke job runs these tests
+    /// interpreted, ~3 orders of magnitude slower than native).
+    const N_COVER: usize = if cfg!(miri) { 300 } else { 10_000 };
+
     #[test]
     fn queue_covers_every_index_exactly_once() {
-        let q = WorkQueue::new(10_000, 4);
-        let mut seen = vec![false; 10_000];
+        let q = WorkQueue::new(N_COVER, 4);
+        let mut seen = vec![false; N_COVER];
         while let Some(r) = q.next_range() {
             for i in r {
                 assert!(!seen[i], "index {i} handed out twice");
@@ -257,21 +272,23 @@ mod tests {
 
     #[test]
     fn run_batch_matches_serial_for_any_thread_count() {
+        let n = if cfg!(miri) { 64 } else { 1000 };
         let work = |i: usize, acc: &mut u64| -> Result<u64> {
             *acc += 1;
             Ok((i as u64) * 3 + 1)
         };
-        let (serial, _) = run_batch(1000, 1, || 0u64, work).unwrap();
+        let (serial, _) = run_batch(n, 1, || 0u64, work).unwrap();
         for threads in [2, 3, 4, 8] {
-            let (parallel, states) = run_batch(1000, threads, || 0u64, work).unwrap();
+            let (parallel, states) = run_batch(n, threads, || 0u64, work).unwrap();
             assert_eq!(serial, parallel, "threads={threads}");
             // Every item processed exactly once across all workers.
-            assert_eq!(states.iter().sum::<u64>(), 1000);
+            assert_eq!(states.iter().sum::<u64>(), n as u64);
         }
     }
 
     #[test]
     fn run_batch_returns_lowest_index_error() {
+        let n = if cfg!(miri) { 64 } else { 1000 };
         let work = |i: usize, _: &mut ()| -> Result<usize> {
             if i == 37 || i == 612 {
                 Err(Error::EmptyInput("boom"))
@@ -280,7 +297,7 @@ mod tests {
             }
         };
         for threads in [1, 4] {
-            let err = run_batch(1000, threads, || (), work).unwrap_err();
+            let err = run_batch(n, threads, || (), work).unwrap_err();
             assert!(
                 matches!(err, Error::EmptyInput("boom")),
                 "threads={threads}"

@@ -43,13 +43,13 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
         let u = rng.next_f64();
         if u < 0.55 {
             // Cluster member.
-            let c = &centers[rng.next_below(CLUSTERS as u64) as usize];
+            let c = &centers[rng.next_below(CLUSTERS as u64) as usize]; // CAST: next_below(k) < k, and small counts widen losslessly
             m.push_row(&[rng.normal(c[0], 1.8), rng.normal(c[1], 1.8)])
                 .expect("fixed width"); // INVARIANT: row width is constant
         } else if u < 0.9 {
             // Filament member: point along a curved arc between two
             // clusters with modest scatter.
-            let &(a, b) = &filaments[rng.next_below(filaments.len() as u64) as usize];
+            let &(a, b) = &filaments[rng.next_below(filaments.len() as u64) as usize]; // CAST: next_below(k) < k, and small counts widen losslessly
             let t = rng.next_f64();
             let bend = 6.0 * (t * std::f64::consts::PI).sin();
             let (ax, ay) = (centers[a][0], centers[a][1]);

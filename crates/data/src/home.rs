@@ -38,7 +38,7 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
     let mut m = Matrix::with_cols(DIM);
     for _ in 0..n {
         if rng.next_f64() < switch_prob {
-            regime = rng.next_below(REGIMES as u64) as usize;
+            regime = rng.next_below(REGIMES as u64) as usize; // CAST: next_below(k) < k, and small counts widen losslessly
         }
         for c in 0..DIM {
             let target = regime_base[regime][c];

@@ -26,7 +26,7 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
     for _ in 0..n {
         img.iter_mut().for_each(|p| *p = 0.0);
         // 1–3 strokes, each a quadratic Bézier-ish path of brush stamps.
-        let strokes = 1 + rng.next_below(3) as usize;
+        let strokes = 1 + rng.next_below(3) as usize; // CAST: next_below(k) < k, and small counts widen losslessly
         for _ in 0..strokes {
             let (x0, y0) = (rng.uniform(4.0, 24.0), rng.uniform(4.0, 24.0));
             let (x1, y1) = (rng.uniform(4.0, 24.0), rng.uniform(4.0, 24.0));
@@ -52,20 +52,21 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
 
 /// Adds a Gaussian brush stamp centred at `(cx, cy)`.
 fn stamp(img: &mut [f64], cx: f64, cy: f64, brush: f64) {
-    let r = (3.0 * brush).ceil() as isize;
-    let ix = cx.round() as isize;
-    let iy = cy.round() as isize;
+    let r = (3.0 * brush).ceil() as isize; // CAST: brush radius in pixels is tiny
+    let ix = cx.round() as isize; // CAST: stroke centers lie inside the 28x28 canvas
+    let iy = cy.round() as isize; // CAST: stroke centers lie inside the 28x28 canvas
     for dy in -r..=r {
         for dx in -r..=r {
             let x = ix + dx;
             let y = iy + dy;
+            // CAST: SIDE = 28 fits any integer type
             if x < 0 || y < 0 || x >= SIDE as isize || y >= SIDE as isize {
                 continue;
             }
             let ddx = x as f64 - cx;
             let ddy = y as f64 - cy;
             let v = (-(ddx * ddx + ddy * ddy) / (2.0 * brush * brush)).exp();
-            let idx = y as usize * SIDE + x as usize;
+            let idx = y as usize * SIDE + x as usize; // CAST: x and y are bounds-checked above
             img[idx] = (img[idx] + 0.6 * v).min(1.0);
         }
     }

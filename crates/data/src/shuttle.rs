@@ -38,8 +38,8 @@ pub fn generate(n: usize, seed: u64) -> Matrix {
         if rng.next_f64() < filament_frac {
             // Filament: interpolate between two random cluster centers
             // with small jitter.
-            let a = rng.next_below(k as u64) as usize;
-            let mut b = rng.next_below(k as u64) as usize;
+            let a = rng.next_below(k as u64) as usize; // CAST: next_below(k) < k, and small counts widen losslessly
+            let mut b = rng.next_below(k as u64) as usize; // CAST: next_below(k) < k, and small counts widen losslessly
             if b == a {
                 b = (b + 1) % k;
             }

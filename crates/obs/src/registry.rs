@@ -9,14 +9,15 @@
 //!
 //! A [`Registry`] maps stable string names to metrics. Registration
 //! (get-or-create) takes a mutex — it is a cold path, typically run once
-//! at startup — while the returned [`std::sync::Arc`] handles update
+//! at startup — while the returned [`Arc`] handles update
 //! lock-free on the hot path. [`Registry::snapshot`] renders everything
 //! into a plain-data [`RegistrySnapshot`] suitable for wire encoding or
 //! JSON rendering.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+use tkdc_sync::atomic::{AtomicU64, Ordering};
+use tkdc_sync::{Arc, Mutex};
 
 /// Number of latency-histogram buckets: `2^0 .. 2^30` microseconds
 /// (~17 minutes) plus a final overflow bucket.
@@ -41,11 +42,18 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — counters are independent monotone sums;
+        // the RMW is atomic under any ordering and readers only need a
+        // point-in-time value, not cross-metric consistency.
+        // Model-checked by `registry_*` in tests/model_check.rs.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — snapshots are allowed to be slightly
+        // stale/torn across metrics (module contract); exact values are
+        // observed after thread join, which supplies the ordering.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -64,6 +72,8 @@ impl Gauge {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: Relaxed — gauge arithmetic is atomic per-op; no
+        // other memory is published through this value.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -71,16 +81,21 @@ impl Gauge {
     /// their own add/sub pairing honest).
     #[inline]
     pub fn sub(&self, n: u64) {
+        // ORDERING: Relaxed — see `add`.
         self.0.fetch_sub(n, Ordering::Relaxed);
     }
 
     /// Overwrites the value.
     pub fn set(&self, v: u64) {
+        // ORDERING: Relaxed — last-writer-wins is the gauge contract;
+        // no other memory is published through this value.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — point-in-time read, staleness tolerated
+        // by the snapshot contract.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -129,6 +144,9 @@ impl Histogram {
     /// Records one microsecond sample.
     #[inline]
     pub fn record_micros(&self, us: u128) {
+        // ORDERING: Relaxed — bucket increments are independent atomic
+        // RMWs; totals are read via `buckets` under the same staleness
+        // contract as counters.
         self.counts[Self::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -144,6 +162,8 @@ impl Histogram {
         self.counts
             .iter()
             .enumerate()
+            // ORDERING: Relaxed — per-bucket point-in-time reads; the
+            // histogram may be torn across buckets while writers run.
             .map(|(i, c)| (Self::bucket_upper_us(i), c.load(Ordering::Relaxed)))
             .collect()
     }
@@ -344,10 +364,10 @@ mod tests {
 
     #[test]
     fn concurrent_updates_do_not_lose_counts() {
-        let r = std::sync::Arc::new(Registry::new());
-        std::thread::scope(|s| {
+        let r = Arc::new(Registry::new());
+        tkdc_sync::thread::scope(|s| {
             for _ in 0..4 {
-                let r = std::sync::Arc::clone(&r);
+                let r = Arc::clone(&r);
                 s.spawn(move || {
                     let c = r.counter("hits");
                     let h = r.histogram("lat");

@@ -17,8 +17,9 @@
 //! wire frame as the transport counters — one reporting path for both
 //! layers.
 
-use std::sync::Arc;
 use std::time::Duration;
+
+use tkdc_sync::Arc;
 
 use tkdc::QueryStats;
 use tkdc_obs::{Counter, Gauge, Histogram, Registry};
@@ -213,10 +214,10 @@ mod tests {
 
     #[test]
     fn concurrent_updates_do_not_lose_counts() {
-        let m = std::sync::Arc::new(Metrics::new());
-        std::thread::scope(|s| {
+        let m = Arc::new(Metrics::new());
+        tkdc_sync::thread::scope(|s| {
             for _ in 0..4 {
-                let m = std::sync::Arc::clone(&m);
+                let m = Arc::clone(&m);
                 s.spawn(move || {
                     for _ in 0..1000 {
                         m.requests_total.inc();

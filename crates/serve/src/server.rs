@@ -31,10 +31,10 @@ use std::fs::File;
 use std::io::{self, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+use tkdc_sync::atomic::{AtomicBool, Ordering};
+use tkdc_sync::thread::{self, JoinHandle};
+use tkdc_sync::{Arc, Mutex};
 
 use tkdc::{Classifier, ExecPolicy, QueryStats, QueryTrace, TraceWriter};
 use tkdc_common::error::{protocol_error, Error, Result};
@@ -420,6 +420,11 @@ fn write_traces(sink: &Mutex<TraceWriter<BufWriter<File>>>, traces: &[QueryTrace
 /// Flips the shutdown flag and unblocks the accept loop with a
 /// throwaway self-connection (`accept()` has no other wake-up).
 fn initiate_shutdown(shared: &Shared) {
+    // ORDERING: Release pairs with the Acquire loads in the accept loop
+    // and every handler — whatever the shutting-down request observed
+    // (e.g. its own response being written) is visible to handlers that
+    // see the flag. Model-checked by `serve_drain_*` in
+    // tests/model_check.rs.
     shared.shutdown.store(true, Ordering::Release);
     let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_secs(1));
 }

@@ -1,12 +1,14 @@
-//! The five `tkdc-lint` rules.
+//! The nine `tkdc-lint` rules.
 //!
 //! Every rule runs over a [`SourceModel`] (comments and string contents
 //! already blanked) so matches are real code tokens. Each violation can be
 //! silenced three ways, in order of preference:
 //!
 //! 1. fix the code (e.g. `total_cmp` instead of `partial_cmp().unwrap()`);
-//! 2. a justification marker comment on the same or the preceding line —
-//!    `// INVARIANT:` (L2), `// SAFETY:` (L4), `// CAST:` (L5);
+//! 2. a justification marker comment — `// INVARIANT:` (L2), `// SAFETY:`
+//!    (L4), `// CAST:` (L5), `// ORDERING:` (L7), `// JOIN:` (L9) — on the
+//!    same or the preceding line (L7/L9 also accept a contiguous comment
+//!    block above the enclosing statement);
 //! 3. a targeted suppression `// tkdc-lint: allow(<rule>)` on the same or
 //!    the preceding line (works for every rule; use sparingly).
 //!
@@ -16,7 +18,11 @@
 //! | L2 `panic` | no `unwrap/expect/panic!/unreachable!/todo!/unimplemented!` without `// INVARIANT:` | library crates, non-test code |
 //! | L3 `float-eq` | no `==`/`!=` against float operands | non-test code |
 //! | L4 `unsafe` | every `unsafe` needs a `// SAFETY:` comment | everywhere |
-//! | L5 `lossy-cast` | lossy numeric `as` casts need `// CAST:` | `crates/{core,index,kernel,common,serve}`, non-test code |
+//! | L5 `lossy-cast` | lossy numeric `as` casts need `// CAST:` | cast-checked crates, non-test code |
+//! | L6 `std-sync-outside-facade` | no `std::sync`/`std::thread` outside the `tkdc-sync` facade | everywhere except `crates/sync` |
+//! | L7 `relaxed-without-ordering-comment` | every `Ordering::Relaxed` needs an `// ORDERING:` justification | everywhere |
+//! | L8 `static-mut` | no `static mut` globals | everywhere |
+//! | L9 `spawn-without-join` | no discarded `thread::spawn` handle without `// JOIN:` | everywhere |
 
 use crate::scan::SourceModel;
 use std::path::Path;
@@ -34,6 +40,14 @@ pub enum Rule {
     Unsafe,
     /// L5: lossy numeric cast without a `CAST:` comment.
     LossyCast,
+    /// L6: `std::sync`/`std::thread` used outside the `tkdc-sync` facade.
+    StdSyncOutsideFacade,
+    /// L7: `Ordering::Relaxed` without an `ORDERING:` justification.
+    RelaxedWithoutComment,
+    /// L8: `static mut` global state.
+    StaticMut,
+    /// L9: `thread::spawn` whose `JoinHandle` is discarded.
+    SpawnWithoutJoin,
 }
 
 impl Rule {
@@ -45,6 +59,10 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::Unsafe => "unsafe",
             Rule::LossyCast => "lossy-cast",
+            Rule::StdSyncOutsideFacade => "std-sync-outside-facade",
+            Rule::RelaxedWithoutComment => "relaxed-without-ordering-comment",
+            Rule::StaticMut => "static-mut",
+            Rule::SpawnWithoutJoin => "spawn-without-join",
         }
     }
 
@@ -56,6 +74,10 @@ impl Rule {
             Rule::FloatEq => "L3",
             Rule::Unsafe => "L4",
             Rule::LossyCast => "L5",
+            Rule::StdSyncOutsideFacade => "L6",
+            Rule::RelaxedWithoutComment => "L7",
+            Rule::StaticMut => "L8",
+            Rule::SpawnWithoutJoin => "L9",
         }
     }
 }
@@ -105,9 +127,16 @@ pub struct FileKind {
     pub is_library: bool,
     /// Numeric hot-path crate (L5 applies).
     pub cast_checked: bool,
+    /// The `tkdc-sync` facade itself — the one place allowed to name
+    /// `std::sync`/`std::thread` (L6 does not apply).
+    pub sync_facade: bool,
 }
 
-/// Library crates whose non-test code must be panic-free (L2).
+/// Library crates whose non-test code must be panic-free (L2): every
+/// workspace crate. Binary crates (`cli`, `bench`, `xtask`) are held to
+/// the same bar — a justified `INVARIANT:` unwrap at the top of `main`
+/// is cheap, and panics in tooling cost debugging time like anywhere
+/// else.
 const LIBRARY_CRATES: &[&str] = &[
     "common",
     "linalg",
@@ -119,10 +148,32 @@ const LIBRARY_CRATES: &[&str] = &[
     "data",
     "serve",
     "obs",
+    "sync",
+    "cli",
+    "bench",
+    "xtask",
 ];
 
-/// Crates whose lossy `as` casts must be justified (L5).
-const CAST_CHECKED_CRATES: &[&str] = &["common", "kernel", "index", "core", "serve", "obs"];
+/// Crates whose lossy `as` casts must be justified (L5): every
+/// workspace crate (widened from the original numeric-hot-path subset;
+/// a silently truncating cast in a baseline or the CLI skews results
+/// just as effectively as one in the engine).
+const CAST_CHECKED_CRATES: &[&str] = &[
+    "common",
+    "linalg",
+    "kernel",
+    "index",
+    "core",
+    "baselines",
+    "alternatives",
+    "data",
+    "serve",
+    "obs",
+    "sync",
+    "cli",
+    "bench",
+    "xtask",
+];
 
 /// Classify a workspace-relative path.
 pub fn classify(rel_path: &Path) -> FileKind {
@@ -149,6 +200,7 @@ pub fn classify(rel_path: &Path) -> FileKind {
         is_test_code,
         is_library,
         cast_checked,
+        sync_facade: crate_name == Some("sync"),
     }
 }
 
@@ -159,6 +211,12 @@ pub fn check_file(rel_path: &str, text: &str, kind: FileKind) -> Vec<Violation> 
     for idx in 0..model.lines.len() {
         lint_partial_cmp_unwrap(&model, idx, rel_path, &mut out);
         lint_unsafe(&model, idx, rel_path, &mut out);
+        if !kind.sync_facade {
+            lint_std_sync(&model, idx, rel_path, &mut out);
+        }
+        lint_relaxed_ordering(&model, idx, rel_path, &mut out);
+        lint_static_mut(&model, idx, rel_path, &mut out);
+        lint_spawn_without_join(&model, idx, rel_path, &mut out);
         let line_is_test = kind.is_test_code || model.lines[idx].in_test;
         if !line_is_test {
             if kind.is_library {
@@ -180,6 +238,47 @@ fn has_marker(model: &SourceModel, idx: usize, marker: &str) -> bool {
         return true;
     }
     idx > 0 && model.lines[idx - 1].comment.contains(marker)
+}
+
+/// Widest distance (in lines) [`has_marker_for_statement`] scans upward.
+const MARKER_SCAN_LIMIT: usize = 16;
+
+/// True when `marker` appears in a comment attached to the *statement*
+/// containing line `idx`: on the line itself, or scanning upward through
+/// the contiguous run of comment-only lines and unterminated
+/// continuation lines of the same expression. The scan stops at a blank
+/// line or at a code line that ends a previous statement/item (trailing
+/// `;`, `{` or `}`), so a marker can never leak across statements.
+///
+/// L7 and L9 use this instead of [`has_marker`] because their
+/// justifications are typically multi-line comment blocks above a
+/// multi-line call (`compare_exchange` spreads its orderings over
+/// several lines).
+fn has_marker_for_statement(model: &SourceModel, idx: usize, marker: &str) -> bool {
+    if model.lines[idx].comment.contains(marker) {
+        return true;
+    }
+    let mut i = idx;
+    for _ in 0..MARKER_SCAN_LIMIT {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        let line = &model.lines[i];
+        if line.comment.contains(marker) {
+            return true;
+        }
+        let code = line.code.trim();
+        if code.is_empty() {
+            if line.comment.is_empty() {
+                return false; // blank line: the block above is detached
+            }
+            // Comment-only line without the marker: keep scanning up.
+        } else if code.ends_with(';') || code.ends_with('{') || code.ends_with('}') {
+            return false; // previous statement/item boundary
+        }
+    }
+    false
 }
 
 /// True when the violation on line `idx` is suppressed for `rule` — either
@@ -297,6 +396,12 @@ fn lint_panic(model: &SourceModel, idx: usize, path: &str, out: &mut Vec<Violati
                         && code[..pos].trim().is_empty()
                         && model.lines[idx - 1].code.contains("partial_cmp"));
                 if chained_to_partial_cmp {
+                    continue;
+                }
+                // `self.expect(..)` is a user-defined method (e.g. a
+                // parser's token-expectation combinator returning
+                // `Result`), not `Option::expect`.
+                if needle == ".expect(" && code[..pos].ends_with("self") {
                     continue;
                 }
             }
@@ -541,6 +646,204 @@ fn lint_lossy_cast(model: &SourceModel, idx: usize, path: &str, out: &mut Vec<Vi
     }
 }
 
+/// L6 — `std::sync` / `std::thread` outside the `tkdc-sync` facade.
+///
+/// The facade is the workspace's single doorway to concurrency
+/// primitives: it compiles to plain `std` re-exports normally and swaps
+/// in the vendored model checker under `--cfg tkdc_model_check`. A
+/// direct `std` import silently opts that code out of every model-check
+/// harness.
+fn lint_std_sync(model: &SourceModel, idx: usize, path: &str, out: &mut Vec<Violation>) {
+    let code = &model.lines[idx].code;
+    for needle in ["std::sync", "std::thread"] {
+        let mut from = 0usize;
+        while let Some(rel) = code[from..].find(needle) {
+            let pos = from + rel;
+            from = pos + needle.len();
+            // Left boundary: not the tail of a longer path/identifier
+            // (`tkdc_sync::` does not contain the needle, but be safe
+            // against e.g. `my_std::sync`).
+            let prev = code[..pos].chars().next_back();
+            if prev.is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':') {
+                continue;
+            }
+            // Right boundary: `std::synchrotron` must not match.
+            let next = code[pos + needle.len()..].chars().next();
+            if next.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                continue;
+            }
+            push(
+                model,
+                idx,
+                path,
+                Finding {
+                    rule: Rule::StdSyncOutsideFacade,
+                    col0: pos,
+                    message: format!("`{needle}` used outside the `tkdc-sync` facade"),
+                    help: "import from `tkdc_sync` so `cargo xtask model-check` \
+                           can instrument this code",
+                },
+                out,
+            );
+        }
+    }
+}
+
+/// L7 — `Ordering::Relaxed` without an `// ORDERING:` justification on
+/// the enclosing statement.
+///
+/// Relaxed is the one ordering that provides *no* synchronization; every
+/// use must say why that is enough (and, ideally, which model-check
+/// harness exercises the claim).
+fn lint_relaxed_ordering(model: &SourceModel, idx: usize, path: &str, out: &mut Vec<Violation>) {
+    let code = &model.lines[idx].code;
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find("Ordering::Relaxed") {
+        let pos = from + rel;
+        from = pos + "Ordering::Relaxed".len();
+        let prev = code[..pos].chars().next_back();
+        if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            continue; // e.g. `MyOrdering::Relaxed`
+        }
+        if has_marker_for_statement(model, idx, "ORDERING:") {
+            continue;
+        }
+        push(
+            model,
+            idx,
+            path,
+            Finding {
+                rule: Rule::RelaxedWithoutComment,
+                col0: pos,
+                message: "`Ordering::Relaxed` without an `// ORDERING:` justification".to_owned(),
+                help: "explain why no synchronization is needed: \
+                       `// ORDERING: <why relaxed suffices>` (strengthen to \
+                       Acquire/Release if you cannot)",
+            },
+            out,
+        );
+    }
+}
+
+/// L8 — `static mut` global state.
+///
+/// Always a data-race hazard (and `unsafe` to touch); the workspace has
+/// atomics and `OnceLock` through the facade for every legitimate use.
+fn lint_static_mut(model: &SourceModel, idx: usize, path: &str, out: &mut Vec<Violation>) {
+    let code = &model.lines[idx].code;
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find("static mut ") {
+        let pos = from + rel;
+        from = pos + "static mut ".len();
+        let prev = code[..pos].chars().next_back();
+        if prev.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        push(
+            model,
+            idx,
+            path,
+            Finding {
+                rule: Rule::StaticMut,
+                col0: pos,
+                message: "`static mut` global state".to_owned(),
+                help: "use an atomic or `OnceLock` from `tkdc_sync` instead",
+            },
+            out,
+        );
+    }
+}
+
+/// L9 — `thread::spawn` in statement position with its `JoinHandle`
+/// discarded.
+///
+/// A detached thread outlives every `join()` barrier: its writes are
+/// unpublished, its panics unobserved, and a process exit can cut it off
+/// mid-work. The heuristic is deliberately narrow — it fires only when
+/// the spawn *is* a whole statement (the call terminates in `;` with
+/// nothing binding it, or sits behind `let _ =`), where the handle
+/// provably goes nowhere. Handles stored, pushed, returned, or produced
+/// as a block's tail expression are someone's responsibility to join.
+/// Scoped `scope.spawn` is exempt: the scope joins implicitly.
+fn lint_spawn_without_join(model: &SourceModel, idx: usize, path: &str, out: &mut Vec<Violation>) {
+    let code = &model.lines[idx].code;
+    let Some(pos) = code.find("thread::spawn(") else {
+        return;
+    };
+    // Strip the path prefix (`tkdc_sync::`, `std::`) the needle may sit
+    // inside of, then require statement position.
+    let before =
+        code[..pos].trim_end_matches(|c: char| c.is_alphanumeric() || c == '_' || c == ':');
+    let before = before.trim();
+    let explicitly_dropped = before.ends_with("let _ =") || before == "let _ =";
+    if !before.is_empty() && !explicitly_dropped {
+        return; // the handle flows into an expression
+    }
+    // The handle is discarded only when the spawn call itself is the
+    // whole `;`-terminated statement. A block tail expression is the
+    // block's value; a chained call (`.join()`) consumes the handle.
+    if spawn_call_terminator(model, idx, pos) != Some(';') {
+        return;
+    }
+    if has_marker_for_statement(model, idx, "JOIN:") {
+        return;
+    }
+    push(
+        model,
+        idx,
+        path,
+        Finding {
+            rule: Rule::SpawnWithoutJoin,
+            col0: pos,
+            message: "`thread::spawn` with a discarded `JoinHandle`".to_owned(),
+            help: "keep the handle and `join()` it (or use `thread::scope`); \
+                   justify a deliberate detach with `// JOIN: <why>`",
+        },
+        out,
+    );
+}
+
+/// Lines [`spawn_call_terminator`] is willing to scan forward through.
+const SPAWN_SCAN_LIMIT: usize = 64;
+
+/// The first non-whitespace character after the closing parenthesis of
+/// the call starting at `(line idx, col pos)`, scanning forward across
+/// lines. `None` when the call never closes within the scan limit (give
+/// the benefit of the doubt: don't fire).
+fn spawn_call_terminator(model: &SourceModel, idx: usize, pos: usize) -> Option<char> {
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (di, line) in model.lines[idx..].iter().take(SPAWN_SCAN_LIMIT).enumerate() {
+        let code = &line.code;
+        let start = if di == 0 { pos } else { 0 };
+        let mut chars = code.chars().skip(start).peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '(' => {
+                    depth += 1;
+                    opened = true;
+                }
+                ')' if opened => {
+                    depth -= 1;
+                    if depth == 0 {
+                        // Terminator may be on this line or a later one.
+                        let rest: String = chars.collect();
+                        if let Some(t) = rest.trim_start().chars().next() {
+                            return Some(t);
+                        }
+                        return model.lines[idx + di + 1..]
+                            .iter()
+                            .take(SPAWN_SCAN_LIMIT)
+                            .find_map(|l| l.code.trim_start().chars().next());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,6 +853,7 @@ mod tests {
         is_test_code: false,
         is_library: true,
         cast_checked: true,
+        sync_facade: false,
     };
 
     fn check(src: &str) -> Vec<Violation> {
@@ -595,6 +899,7 @@ mod tests {
                 is_test_code: true,
                 is_library: false,
                 cast_checked: false,
+                sync_facade: false,
             },
         );
         assert_eq!(v.len(), 1);
@@ -633,13 +938,16 @@ mod tests {
     }
 
     #[test]
-    fn l2_skipped_outside_library_crates() {
+    fn l2_applies_to_binary_crates_too() {
+        // Since the crate-set extension, `cli`/`bench`/`xtask` are held
+        // to the same panic-free bar as the libraries.
         let v = check_file(
             "crates/cli/src/main.rs",
             "fn main() { run().unwrap(); }",
             classify(Path::new("crates/cli/src/main.rs")),
         );
-        assert!(v.is_empty());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Panic);
     }
 
     // ---- L3 ----
@@ -699,17 +1007,19 @@ mod tests {
     }
 
     #[test]
-    fn l5_clean_on_f64_casts_markers_and_other_crates() {
+    fn l5_clean_on_f64_casts_and_markers_and_fires_workspace_wide() {
         assert!(rules("let f = n as f64;").is_empty());
         assert!(
             rules("let i = x.floor() as usize; // CAST: x ∈ [0, nbins) checked above").is_empty()
         );
+        // Since the crate-set extension every crate is cast-checked.
         let other = check_file(
             "crates/baselines/src/x.rs",
             "fn f() { let i = x as usize; }",
             classify(Path::new("crates/baselines/src/x.rs")),
         );
-        assert!(other.is_empty());
+        assert_eq!(other.len(), 1);
+        assert_eq!(other[0].rule, Rule::LossyCast);
         // Casts in test code are exempt.
         let in_tests = "#[cfg(test)]\nmod tests {\n fn t() { let i = x as usize; }\n}";
         assert!(rules(in_tests).is_empty());
@@ -722,15 +1032,204 @@ mod tests {
         let lib = classify(Path::new("crates/core/src/bound.rs"));
         assert!(lib.is_library && lib.cast_checked && !lib.is_test_code);
         let lin = classify(Path::new("crates/linalg/src/pca.rs"));
-        assert!(lin.is_library && !lin.cast_checked);
+        assert!(lin.is_library && lin.cast_checked);
         let t = classify(Path::new("crates/core/tests/it.rs"));
         assert!(t.is_test_code && !t.is_library);
         let bench = classify(Path::new("crates/bench/benches/kernel.rs"));
         assert!(bench.is_test_code);
         let root = classify(Path::new("src/lib.rs"));
-        assert!(root.is_library && !root.cast_checked);
+        assert!(root.is_library && !root.cast_checked && !root.sync_facade);
         let xtask = classify(Path::new("crates/xtask/src/main.rs"));
-        assert!(!xtask.is_library);
+        assert!(xtask.is_library && !xtask.sync_facade);
+        let facade = classify(Path::new("crates/sync/src/lib.rs"));
+        assert!(facade.sync_facade && facade.is_library);
+    }
+
+    // ---- L6 ----
+
+    #[test]
+    fn l6_fires_on_std_sync_and_thread_paths() {
+        let v = rules("use std::sync::atomic::AtomicU64;");
+        assert_eq!(v, vec![Rule::StdSyncOutsideFacade]);
+        let v = rules("let h = std::thread::spawn(f);");
+        assert_eq!(v, vec![Rule::StdSyncOutsideFacade]);
+        // Fires in test code too: tests using raw std threads would
+        // silently escape the model checker.
+        let t = check_file(
+            "tests/t.rs",
+            "use std::sync::Mutex;",
+            classify(Path::new("tests/t.rs")),
+        );
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn l6_clean_on_facade_imports_and_inside_facade() {
+        assert!(rules("use tkdc_sync::atomic::{AtomicU64, Ordering};").is_empty());
+        assert!(rules("use tkdc_sync::thread;").is_empty());
+        assert!(rules("use std::time::Duration;").is_empty());
+        // Prose and doc links are comment text, not code.
+        assert!(rules("// matches the std::sync::Mutex contract\nfn f() {}").is_empty());
+        // The facade itself is the sanctioned user.
+        let v = check_file(
+            "crates/sync/src/lib.rs",
+            "pub use std::sync::{Arc, Mutex};\npub use std::thread::spawn;",
+            classify(Path::new("crates/sync/src/lib.rs")),
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn l6_respects_allow_marker() {
+        let src = "use std::sync::mpsc; // tkdc-lint: allow(std-sync-outside-facade)";
+        assert!(rules(src).is_empty());
+    }
+
+    // ---- L7 ----
+
+    #[test]
+    fn l7_fires_on_bare_relaxed() {
+        let v = rules("x.store(1, Ordering::Relaxed);");
+        assert_eq!(v, vec![Rule::RelaxedWithoutComment]);
+    }
+
+    #[test]
+    fn l7_accepts_ordering_comment_on_statement_block() {
+        // Same line.
+        assert!(rules("x.load(Ordering::Relaxed); // ORDERING: diagnostic only").is_empty());
+        // Multi-line comment block directly above.
+        let block = "// ORDERING: the counter is a monotone diagnostic\n\
+                     // folded after join; no data is published through it.\n\
+                     x.fetch_add(1, Ordering::Relaxed);";
+        assert!(rules(block).is_empty());
+        // Block above a *multi-line* call: the scan passes through the
+        // unterminated continuation lines of the same statement.
+        let call = "// ORDERING: CAS transfers no data, only disjointness.\n\
+                    match x.compare_exchange_weak(\n\
+                        cur,\n\
+                        cur + 1,\n\
+                        Ordering::Relaxed,\n\
+                        Ordering::Relaxed,\n\
+                    ) {";
+        assert!(rules(call).is_empty());
+    }
+
+    #[test]
+    fn l7_marker_does_not_leak_across_statements() {
+        // The `;` on the first statement ends the marker's reach.
+        let src = "// ORDERING: for the store below\n\
+                   x.store(1, Ordering::Release);\n\
+                   y.load(Ordering::Relaxed);";
+        assert_eq!(rules(src), vec![Rule::RelaxedWithoutComment]);
+        // A blank line detaches the comment block.
+        let detached = "// ORDERING: stale\n\n x.load(Ordering::Relaxed);";
+        assert_eq!(rules(detached), vec![Rule::RelaxedWithoutComment]);
+    }
+
+    #[test]
+    fn l7_respects_allow_marker() {
+        assert!(rules("x.load(Ordering::Relaxed); // tkdc-lint: allow(L7)").is_empty());
+    }
+
+    // ---- L8 ----
+
+    #[test]
+    fn l8_fires_on_static_mut() {
+        let v = rules("static mut COUNTER: u64 = 0;");
+        assert_eq!(v, vec![Rule::StaticMut]);
+    }
+
+    #[test]
+    fn l8_clean_on_plain_statics_and_suppression() {
+        assert!(rules("static COUNTER: AtomicU64 = AtomicU64::new(0);").is_empty());
+        let src = "static mut LEGACY: u64 = 0; // tkdc-lint: allow(static-mut)";
+        assert!(rules(src).is_empty());
+    }
+
+    // ---- L9 ----
+
+    #[test]
+    fn l9_fires_on_discarded_spawn_handles() {
+        assert_eq!(
+            rules("thread::spawn(move || work());"),
+            vec![Rule::SpawnWithoutJoin]
+        );
+        assert_eq!(
+            rules("tkdc_sync::thread::spawn(move || work());"),
+            vec![Rule::SpawnWithoutJoin]
+        );
+        assert_eq!(
+            rules("let _ = thread::spawn(move || work());"),
+            vec![Rule::SpawnWithoutJoin]
+        );
+        // Multi-line spawn statement: the `;` after the closing paren is
+        // found by the forward scan.
+        let multi = "thread::spawn(move || {\n    work();\n})\n;";
+        assert_eq!(rules(multi), vec![Rule::SpawnWithoutJoin]);
+    }
+
+    #[test]
+    fn l9_clean_when_handle_is_consumed_or_justified() {
+        assert!(rules("let h = thread::spawn(move || work());").is_empty());
+        assert!(rules("handles.push(thread::spawn(move || work()));").is_empty());
+        // Block tail expression: the handle is the block's value.
+        let tail = "let h = {\n    let q = q.clone();\n    thread::spawn(move || work(q))\n};";
+        assert!(rules(tail).is_empty());
+        // Chained join: consumed (even behind `let _ =`, which then
+        // discards the join *result*, not the handle).
+        assert!(rules("let _ = thread::spawn(move || work()).join();").is_empty());
+        // Scoped spawns join implicitly at the end of the scope.
+        assert!(rules("scope.spawn(move || work());").is_empty());
+        let justified = "// JOIN: fire-and-forget wake-up; the acceptor owns shutdown\n\
+                         thread::spawn(move || wake());";
+        assert!(rules(justified).is_empty());
+        assert!(rules("thread::spawn(f); // tkdc-lint: allow(spawn-without-join)").is_empty());
+    }
+
+    // ---- golden fixtures ----
+
+    /// Every rule ships a pair of golden fixtures under
+    /// `tests/golden/`: `lN_fire` must produce exactly that rule, and
+    /// `lN_allow` (the same code with the sanctioned marker or
+    /// suppression) must be clean. This pins both the detection and the
+    /// escape hatch of each rule against regressions.
+    #[test]
+    fn golden_fixtures_fire_and_allow_per_rule() {
+        let all = [
+            Rule::PartialCmpUnwrap,
+            Rule::Panic,
+            Rule::FloatEq,
+            Rule::Unsafe,
+            Rule::LossyCast,
+            Rule::StdSyncOutsideFacade,
+            Rule::RelaxedWithoutComment,
+            Rule::StaticMut,
+            Rule::SpawnWithoutJoin,
+        ];
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+        for (i, rule) in all.iter().enumerate() {
+            let n = i + 1;
+            for (variant, expect_fire) in [("fire", true), ("allow", false)] {
+                let path = dir.join(format!("l{n}_{variant}.rs.golden"));
+                // INVARIANT: a missing fixture is exactly what this
+                // self-test exists to catch; panic with the path.
+                let src = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+                let fired: Vec<Rule> = check("crates/core/src/golden.rs", &src, LIB)
+                    .into_iter()
+                    .map(|v| v.rule)
+                    .collect();
+                if expect_fire {
+                    assert_eq!(fired, vec![*rule], "l{n}_fire must fire exactly L{n}");
+                } else {
+                    assert!(fired.is_empty(), "l{n}_allow must be clean, got {fired:?}");
+                }
+            }
+        }
+
+        fn check(path: &str, src: &str, kind: FileKind) -> Vec<Violation> {
+            check_file(path, src, kind)
+        }
     }
 
     #[test]

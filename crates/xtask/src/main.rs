@@ -4,21 +4,32 @@
 //! Subcommands:
 //!
 //! ```text
-//! cargo run -p xtask -- lint [paths...]
+//! cargo run -p xtask -- lint [--report FILE] [paths...]
+//! cargo run -p xtask -- model-check [--report FILE] [test filters...]
 //! cargo run -p xtask -- check-trace FILE...
 //! ```
 //!
 //! `lint` runs `tkdc-lint`, the from-scratch static-analysis pass
-//! enforcing the workspace's numeric-soundness invariants (see [`lints`]
-//! for the rule table and the `INVARIANT:` / `SAFETY:` / `CAST:` marker
-//! convention). With no arguments the whole workspace is scanned;
-//! explicit file or directory paths restrict the scan. Exits non-zero
-//! when any violation is found, printing rustc-style `file:line:col`
-//! diagnostics.
+//! enforcing the workspace's numeric- and concurrency-soundness
+//! invariants (see [`lints`] for the rule table and the `INVARIANT:` /
+//! `SAFETY:` / `CAST:` / `ORDERING:` / `JOIN:` marker convention). With
+//! no arguments the whole workspace is scanned; explicit file or
+//! directory paths restrict the scan. Exits non-zero when any violation
+//! is found, printing rustc-style `file:line:col` diagnostics.
+//!
+//! `model-check` runs the concurrency harnesses in
+//! `tests/model_check.rs` with `--cfg tkdc_model_check` in `RUSTFLAGS`,
+//! which swaps the `tkdc-sync` facade over to the vendored loom-style
+//! model checker (`vendor/loom`). The instrumented build lives in its
+//! own `target/model-check` directory so it never invalidates the
+//! normal build cache.
 //!
 //! `check-trace` validates `tkdc-trace/v1` JSONL files (as written by
 //! `tkdc explain` / `--trace-out`) against the trace schema — see
 //! [`trace_check`].
+//!
+//! `--report FILE` (lint, model-check) additionally writes the full
+//! diagnostics to `FILE` for CI artifact upload.
 
 mod lints;
 mod scan;
@@ -32,6 +43,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("model-check") => model_check(&args[1..]),
         Some("check-trace") => check_trace(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -52,9 +64,17 @@ USAGE:
     cargo run -p xtask -- <SUBCOMMAND>
 
 SUBCOMMANDS:
-    lint [paths...]     run the tkdc-lint numeric-soundness pass
+    lint [--report FILE] [paths...]
+                        run the tkdc-lint soundness pass
                         (whole workspace when no paths are given)
+    model-check [--report FILE] [test filters...]
+                        run tests/model_check.rs under the vendored
+                        loom-style model checker (--cfg tkdc_model_check,
+                        separate target/model-check build dir)
     check-trace FILE... validate tkdc-trace/v1 JSONL trace files
+
+    --report FILE       also write the diagnostics/output to FILE
+                        (CI artifact)
 
 LINT RULES:
     L1 partial-cmp-unwrap  no `partial_cmp(..).unwrap()/.expect(..)`; use `f64::total_cmp`
@@ -62,8 +82,17 @@ LINT RULES:
                            without an `// INVARIANT:` justification
     L3 float-eq            no `==`/`!=` on floats outside tests
     L4 unsafe              every `unsafe` needs a `// SAFETY:` comment
-    L5 lossy-cast          lossy `as` casts in crates/{core,index,kernel,common}
-                           need a `// CAST:` justification
+    L5 lossy-cast          lossy `as` casts need a `// CAST:` justification
+    L6 std-sync-outside-facade
+                           no `std::sync`/`std::thread` outside crates/sync;
+                           import from `tkdc_sync` so the model checker can
+                           instrument the code
+    L7 relaxed-without-ordering-comment
+                           every `Ordering::Relaxed` needs an `// ORDERING:`
+                           justification
+    L8 static-mut          no `static mut` globals
+    L9 spawn-without-join  no discarded `thread::spawn` handle without a
+                           `// JOIN:` justification
 
     Per-line suppression: `// tkdc-lint: allow(<rule>)` on the same or the
     preceding line, e.g. `// tkdc-lint: allow(float-eq)`.
@@ -78,6 +107,97 @@ fn workspace_root() -> PathBuf {
             p.ancestors().nth(2).map(Path::to_path_buf).unwrap_or(p)
         }
         None => PathBuf::from("."),
+    }
+}
+
+/// Split a leading `--report FILE` option off an argument list.
+fn take_report_flag(args: &[String]) -> Result<(Option<PathBuf>, Vec<String>), String> {
+    let mut report = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--report" {
+            match it.next() {
+                Some(f) => report = Some(PathBuf::from(f)),
+                None => return Err("--report needs a file argument".to_owned()),
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((report, rest))
+}
+
+/// Run the model-check suite: `cargo test --test model_check` with
+/// `--cfg tkdc_model_check` appended to `RUSTFLAGS` (selecting the
+/// instrumented arm of the `tkdc-sync` facade) and a dedicated
+/// `target/model-check` build directory so the cfg flip never thrashes
+/// the normal build cache. Extra arguments pass through as libtest
+/// filters.
+fn model_check(args: &[String]) -> ExitCode {
+    let (report, filters) = match take_report_flag(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("xtask model-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = workspace_root();
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.contains("tkdc_model_check") {
+        if !rustflags.is_empty() {
+            rustflags.push(' ');
+        }
+        rustflags.push_str("--cfg tkdc_model_check");
+    }
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let mut cmd = std::process::Command::new(cargo);
+    cmd.arg("test")
+        .arg("--test")
+        .arg("model_check")
+        .current_dir(&root)
+        .env("RUSTFLAGS", rustflags)
+        .env("CARGO_TARGET_DIR", root.join("target/model-check"));
+    if !filters.is_empty() {
+        cmd.arg("--").args(&filters);
+    }
+    let output = match cmd.output() {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("xtask model-check: failed to run cargo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Echo through so the run reads like a plain `cargo test`.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    print!("{stdout}");
+    eprint!("{stderr}");
+    if let Some(path) = report {
+        let verdict = if output.status.success() {
+            "PASS"
+        } else {
+            "FAIL"
+        };
+        let body = format!(
+            "model-check: {verdict} (cargo test --test model_check \
+             under --cfg tkdc_model_check)\n\n\
+             --- stdout ---\n{stdout}\n--- stderr ---\n{stderr}"
+        );
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!(
+                "xtask model-check: cannot write report {}: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if output.status.success() {
+        println!("model-check: ok");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("model-check: FAILED");
+        ExitCode::FAILURE
     }
 }
 
@@ -114,6 +234,14 @@ fn check_trace(args: &[String]) -> ExitCode {
 }
 
 fn lint(args: &[String]) -> ExitCode {
+    let (report, args) = match take_report_flag(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let args = &args[..];
     let root = workspace_root();
     let targets: Vec<PathBuf> = if args.is_empty() {
         match walk::workspace_rust_files(&root) {
@@ -177,15 +305,33 @@ fn lint(args: &[String]) -> ExitCode {
     for v in &violations {
         eprintln!("{}", v.render());
     }
-    if violations.is_empty() {
-        println!("tkdc-lint: clean ({scanned} files scanned)");
-        ExitCode::SUCCESS
+    let summary = if violations.is_empty() {
+        format!("tkdc-lint: clean ({scanned} files scanned)")
     } else {
-        eprintln!(
+        format!(
             "tkdc-lint: {} violation{} in {scanned} files",
             violations.len(),
             if violations.len() == 1 { "" } else { "s" },
-        );
+        )
+    };
+    if let Some(path) = report {
+        let mut body = String::new();
+        for v in &violations {
+            body.push_str(&v.render());
+            body.push('\n');
+        }
+        body.push_str(&summary);
+        body.push('\n');
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("xtask lint: cannot write report {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if violations.is_empty() {
+        println!("{summary}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{summary}");
         ExitCode::FAILURE
     }
 }

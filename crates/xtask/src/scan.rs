@@ -164,6 +164,7 @@ fn lex_line(line: &str, mut state: State) -> (String, String, State) {
             State::RawStr(hashes) => {
                 if bytes[i] == '"' {
                     let mut n = 0u32;
+                    // CAST: u32 -> usize is lossless on 64-bit targets
                     while n < hashes && bytes.get(i + 1 + n as usize) == Some(&'#') {
                         n += 1;
                     }
@@ -172,7 +173,7 @@ fn lex_line(line: &str, mut state: State) -> (String, String, State) {
                         for _ in 0..hashes {
                             code.push('#');
                         }
-                        i += 1 + hashes as usize;
+                        i += 1 + hashes as usize; // CAST: u32 -> usize is lossless on 64-bit targets
                         state = State::Normal;
                         continue;
                     }

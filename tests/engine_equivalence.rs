@@ -8,7 +8,7 @@
 //! The shared classifier is fitted once (`OnceLock`): the properties vary
 //! the *queries* and the *thread count*, not the model.
 
-use std::sync::OnceLock;
+use tkdc_sync::OnceLock;
 
 use proptest::prelude::*;
 use tkdc::threshold::{bound_threshold, bound_threshold_with_threads};

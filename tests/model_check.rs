@@ -1,0 +1,255 @@
+//! Model-checked concurrency harnesses (`cargo xtask model-check`).
+//!
+//! Compiled only under `--cfg tkdc_model_check`, where the `tkdc-sync`
+//! facade swaps `std` primitives for the vendored loom-style checker
+//! (`vendor/loom`): every harness below runs under **all** thread
+//! interleavings (and weak-memory value choices) the bounded DFS
+//! reaches, not just the ones a wall-clock test happens to hit.
+//!
+//! Layout per checked unit:
+//! * a harness over the *real* code (engine `run_batch`/`WorkQueue`,
+//!   serve `Metrics`, obs `Registry`, the serve drain protocol), which
+//!   must be violation-free, and
+//! * a `seeded_*` twin carrying a deliberate bug (dropped join,
+//!   weakened orderings, non-atomic counter) that the checker **must**
+//!   flag — proving the harness has teeth, per ISSUE 6's acceptance
+//!   criteria.
+#![cfg(tkdc_model_check)]
+
+use tkdc_sync::atomic::{AtomicBool, Ordering};
+use tkdc_sync::check::{Builder, RaceCell, Violation};
+use tkdc_sync::thread;
+use tkdc_sync::Arc;
+
+use tkdc::engine::{run_batch, WorkQueue};
+
+// ---------------------------------------------------------------------
+// Engine: work-stealing cursor + index-order reassembly
+// ---------------------------------------------------------------------
+
+/// The all-Relaxed cursor protocol of `WorkQueue` plus `run_batch`'s
+/// join-then-reassemble step: output and summed worker state must be
+/// identical to the serial run under every interleaving.
+#[test]
+fn engine_cursor_run_batch_matches_serial() {
+    let mut b = Builder::new();
+    // The full tree for two workers over three guided-grain pulls is
+    // large; a preemption bound of 2 (the CHESS sweet spot) keeps the
+    // run in seconds while still covering every two-switch schedule.
+    b.preemption_bound = Some(2);
+    b.max_iterations = 50_000;
+    let report = b.check(|| {
+        let work = |i: usize, acc: &mut u64| -> tkdc_common::error::Result<usize> {
+            *acc += 1;
+            Ok(i * 10)
+        };
+        let (out, states) = run_batch(3, 2, || 0u64, work).unwrap();
+        assert_eq!(out, vec![0, 10, 20]);
+        assert_eq!(states.iter().sum::<u64>(), 3);
+    });
+    assert!(
+        report.violation.is_none(),
+        "engine run_batch violation: {:?}",
+        report.violation
+    );
+}
+
+/// Two threads pulling from one `WorkQueue` must partition the index
+/// space exactly — no index dropped, none handed out twice — in every
+/// interleaving of the Relaxed load/CAS pairs.
+#[test]
+fn engine_cursor_ranges_are_disjoint_and_cover() {
+    let report = Builder::new().check(|| {
+        let q = Arc::new(WorkQueue::new(2, 2));
+        let puller = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(r) = q.next_range() {
+                    got.extend(r);
+                }
+                got
+            })
+        };
+        let mut mine = Vec::new();
+        while let Some(r) = q.next_range() {
+            mine.extend(r);
+        }
+        let other = puller.join().unwrap();
+        let mut all: Vec<usize> = mine.into_iter().chain(other).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1], "indices dropped or duplicated");
+    });
+    assert!(
+        report.violation.is_none(),
+        "work queue violation: {:?}",
+        report.violation
+    );
+    assert!(report.complete, "exploration should finish for 2x2 queue");
+}
+
+/// Seeded bug (engine): `run_batch` publishes worker segments by
+/// *joining* each worker before reading its output. This twin drops the
+/// join — the checker must report the resulting write/read race,
+/// proving the harness would catch a lost-join regression.
+#[test]
+fn seeded_engine_dropped_join_is_detected() {
+    let report = Builder::new().check(|| {
+        let segment = Arc::new(RaceCell::new(Vec::<usize>::new()));
+        let worker = {
+            let segment = Arc::clone(&segment);
+            thread::spawn(move || segment.with_mut(|s| s.push(1)))
+        };
+        // BUG under test: reading the segment without `worker.join()`.
+        let n = segment.with(|s| s.len());
+        assert!(n <= 1);
+        drop(worker);
+    });
+    assert!(
+        matches!(report.violation, Some(Violation::DataRace { .. })),
+        "dropped join must surface as a data race, got {:?}",
+        report.violation
+    );
+}
+
+// ---------------------------------------------------------------------
+// Serve: Metrics snapshot vs concurrent increment
+// ---------------------------------------------------------------------
+
+/// A snapshot racing two increments may be stale but never torn for a
+/// single counter, and after join it is exact — the contract
+/// `Metrics::snapshot` documents.
+#[test]
+fn serve_metrics_snapshot_vs_increment() {
+    let report = Builder::new().check(|| {
+        let m = Arc::new(tkdc_serve::Metrics::new());
+        let writer = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                m.requests_total.inc();
+                m.requests_total.inc();
+            })
+        };
+        let mid = m.snapshot().requests_total;
+        assert!(mid <= 2, "snapshot invented counts: {mid}");
+        writer.join().unwrap();
+        assert_eq!(m.snapshot().requests_total, 2, "counts lost after join");
+    });
+    assert!(
+        report.violation.is_none(),
+        "metrics violation: {:?}",
+        report.violation
+    );
+}
+
+/// Seeded bug (serve/obs counters): the twin of a `Counter` whose
+/// increment is *not* atomic (read-modify-write on plain shared data).
+/// The checker must flag it — this is exactly the regression the
+/// atomics protect against.
+#[test]
+fn seeded_nonatomic_counter_is_detected() {
+    let report = Builder::new().check(|| {
+        let counter = Arc::new(RaceCell::new(0u64));
+        let writer = {
+            let counter = Arc::clone(&counter);
+            thread::spawn(move || counter.with_mut(|v| *v += 1))
+        };
+        counter.with_mut(|v| *v += 1); // BUG under test: unsynchronized RMW
+        writer.join().unwrap();
+    });
+    assert!(
+        matches!(report.violation, Some(Violation::DataRace { .. })),
+        "non-atomic increment must surface as a data race, got {:?}",
+        report.violation
+    );
+}
+
+// ---------------------------------------------------------------------
+// Obs: Registry get-or-create merge
+// ---------------------------------------------------------------------
+
+/// Two threads racing `counter("hits")` must converge on **one** metric
+/// (the mutexed get-or-create path) and lose no increments.
+#[test]
+fn registry_concurrent_get_or_create_merges() {
+    let report = Builder::new().check(|| {
+        let r = Arc::new(tkdc_obs::Registry::new());
+        let other = {
+            let r = Arc::clone(&r);
+            thread::spawn(move || r.counter("hits").inc())
+        };
+        r.counter("hits").inc();
+        other.join().unwrap();
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("hits".to_string(), 2)],
+            "registration raced into duplicate entries or lost a count"
+        );
+    });
+    assert!(
+        report.violation.is_none(),
+        "registry violation: {:?}",
+        report.violation
+    );
+    assert!(
+        report.complete,
+        "exploration should finish for the registry"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Serve: graceful-drain protocol
+// ---------------------------------------------------------------------
+
+/// Model twin of `Server::run`'s drain (`tests/serve_roundtrip.rs`
+/// pins the wall-clock version): the initiator publishes state *before*
+/// flipping `shutdown` with `Release`; a handler that observes the flag
+/// with `Acquire` must also observe that state. This is the edge that
+/// makes "never drop an in-flight response" provable.
+fn drain_protocol_harness() {
+    let config = Arc::new(RaceCell::new(0u32));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let handler = {
+        let config = Arc::clone(&config);
+        let shutdown = Arc::clone(&shutdown);
+        thread::spawn(move || {
+            if shutdown.load(Ordering::Acquire) {
+                // Saw the drain: the initiator's prior writes must be
+                // visible (reading them must not race).
+                config.with(|v| assert_eq!(*v, 7, "drain state not published"));
+            }
+        })
+    };
+    config.with_mut(|v| *v = 7);
+    shutdown.store(true, Ordering::Release);
+    handler.join().unwrap();
+}
+
+#[test]
+fn serve_drain_flag_publishes_initiator_state() {
+    let report = Builder::new().check(drain_protocol_harness);
+    assert!(
+        report.violation.is_none(),
+        "drain protocol violation: {:?}",
+        report.violation
+    );
+    assert!(report.complete, "exploration should finish for the drain");
+}
+
+/// Seeded bug (serve): downgrade every ordering in the drain protocol
+/// to `Relaxed` (the checker's `weaken_orderings` knob — equivalent to
+/// editing `Release`/`Acquire` to `Relaxed` in `server.rs`). The same
+/// harness must now race, proving it guards the orderings and not just
+/// the interleaving.
+#[test]
+fn seeded_weakened_drain_ordering_is_detected() {
+    let mut b = Builder::new();
+    b.weaken_orderings = true;
+    let report = b.check(drain_protocol_harness);
+    assert!(
+        matches!(report.violation, Some(Violation::DataRace { .. })),
+        "weakened drain orderings must surface as a data race, got {:?}",
+        report.violation
+    );
+}

@@ -12,7 +12,7 @@
 //! * the JSONL serialization carries the `tkdc-trace/v1` schema tag on
 //!   every line.
 
-use std::sync::OnceLock;
+use tkdc_sync::OnceLock;
 
 use tkdc::{Classifier, ExecPolicy, Params, QueryScratch, TraceWriter, TRACE_SCHEMA};
 use tkdc_common::{Matrix, Rng};

@@ -1,0 +1,118 @@
+//! [`RaceCell`]: the model's stand-in for plain (non-atomic) shared
+//! data, with FastTrack-style data-race detection.
+//!
+//! Atomic accesses can interleave arbitrarily without being races; what
+//! the C++/Rust memory model forbids is *unsynchronized non-atomic*
+//! access. Harnesses express "this data is meant to be protected by the
+//! surrounding synchronization" by putting it in a `RaceCell`; the
+//! checker then reports a [`crate::Violation::DataRace`] whenever two
+//! accesses (at least one a write) are unordered by happens-before.
+
+use std::sync::Mutex;
+
+use crate::rt::{self, Tid, Violation};
+
+/// Access metadata: the last write epoch and every read since it.
+#[derive(Debug, Default)]
+struct Meta {
+    /// `(tid, clock[tid] at write)` of the most recent write.
+    last_write: Option<(Tid, u64)>,
+    /// `(tid, clock[tid] at read)` for reads since the last write.
+    reads: Vec<(Tid, u64)>,
+}
+
+/// Shared non-atomic data with happens-before race detection.
+///
+/// Access is closure-scoped ([`with`](Self::with) /
+/// [`with_mut`](Self::with_mut)) so each access is a single yield point
+/// with well-defined bounds. The payload lives in a real mutex purely
+/// for interior mutability — it is uncontended under the serialized
+/// scheduler and provides no synchronization in the *model* (metadata
+/// decides what races, not the real lock).
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    data: Mutex<T>,
+    meta: Mutex<Meta>,
+}
+
+impl<T> RaceCell<T> {
+    /// A new cell holding `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            data: Mutex::new(value),
+            meta: Mutex::new(Meta::default()),
+        }
+    }
+
+    /// Consumes the cell, returning the payload (exclusive access, no
+    /// race check needed).
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Reads through `f`. Reports a data race if the last write is not
+    /// ordered before this read.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        rt::with_ctx(|exec, tid| {
+            exec.yield_point(tid);
+            let race = exec.with_thread(tid, |view| {
+                let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some((wt, we)) = meta.last_write {
+                    if wt != view.tid() && !view.clock().covers(wt, we) {
+                        return Some(Violation::DataRace {
+                            thread: view.tid(),
+                            other: wt,
+                            kind: "write-read",
+                        });
+                    }
+                }
+                let epoch = view.clock().get(view.tid());
+                meta.reads.push((view.tid(), epoch));
+                None
+            });
+            if let Some(v) = race {
+                exec.report_violation(v);
+            }
+            let guard = self.data.lock().unwrap_or_else(|e| e.into_inner());
+            f(&guard)
+        })
+    }
+
+    /// Writes through `f`. Reports a data race if the last write or any
+    /// read since it is not ordered before this write.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        rt::with_ctx(|exec, tid| {
+            exec.yield_point(tid);
+            let race = exec.with_thread(tid, |view| {
+                let mut meta = self.meta.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some((wt, we)) = meta.last_write {
+                    if wt != view.tid() && !view.clock().covers(wt, we) {
+                        return Some(Violation::DataRace {
+                            thread: view.tid(),
+                            other: wt,
+                            kind: "write-write",
+                        });
+                    }
+                }
+                for &(rt_, re) in &meta.reads {
+                    if rt_ != view.tid() && !view.clock().covers(rt_, re) {
+                        return Some(Violation::DataRace {
+                            thread: view.tid(),
+                            other: rt_,
+                            kind: "read-write",
+                        });
+                    }
+                }
+                let epoch = view.clock().get(view.tid());
+                meta.last_write = Some((view.tid(), epoch));
+                meta.reads.clear();
+                None
+            });
+            if let Some(v) = race {
+                exec.report_violation(v);
+            }
+            let mut guard = self.data.lock().unwrap_or_else(|e| e.into_inner());
+            f(&mut guard)
+        })
+    }
+}

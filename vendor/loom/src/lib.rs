@@ -1,0 +1,324 @@
+#![forbid(unsafe_code)]
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model
+//! checker, in the workspace's vendored-dependency style (see
+//! `vendor/README.md`).
+//!
+//! This crate exists so `tkdc-sync` can swap instrumented concurrency
+//! primitives in under `--cfg tkdc_model_check` without a crates.io
+//! dependency. It explores bounded executions of a test closure:
+//!
+//! * **Serialized scheduling** (CHESS-style): managed threads are real
+//!   OS threads, but a token scheduler lets exactly one run at a time;
+//!   every instrumented operation is a yield point. The interleaving is
+//!   a deterministic function of a recorded decision log, explored
+//!   depth-first with backtracking, optionally preemption-bounded.
+//! * **Weak-memory modeling**: atomics keep a bounded store history;
+//!   sub-`SeqCst` loads may return any coherence/happens-before-eligible
+//!   store (so `Relaxed` readers observe stale values), `Acquire` loads
+//!   absorb release clocks, RMWs extend release sequences.
+//! * **Race detection**: vector clocks across threads; non-atomic shared
+//!   data is modeled by [`cell::RaceCell`], which reports unordered
+//!   conflicting accesses as [`Violation::DataRace`].
+//! * **Deadlock and divergence detection**: all-blocked states are
+//!   reported as [`Violation::Deadlock`]; executions exceeding the step
+//!   budget (spin loops) as [`Violation::TooManySteps`].
+//!
+//! Known differences from upstream loom: `SeqCst` is modeled as
+//! "read-newest + acquire/release" (no separate SC order), CAS never
+//! fails spuriously and its failure path reads the newest store, store
+//! histories are bounded ([`rt::STORE_HISTORY`] entries), and there is
+//! no `UnsafeCell`/`lazy_static` surface — only what `tkdc-sync` needs.
+//!
+//! Entry points: [`model`] (panic on violation) and [`Builder`]
+//! (introspect the [`Report`], set bounds, weaken orderings for
+//! seeded-bug tests).
+
+pub mod cell;
+pub mod model;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use model::{model, Builder, Report};
+pub use rt::Violation;
+
+#[cfg(test)]
+mod tests {
+    use super::cell::RaceCell;
+    use super::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use super::sync::Mutex;
+    use super::{model, thread, Builder, Violation};
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_with_joins_is_clean() {
+        let report = Builder::new().check(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let a = {
+                let n = n.clone();
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            };
+            let b = {
+                let n = n.clone();
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::Relaxed);
+                })
+            };
+            a.join().unwrap();
+            b.join().unwrap();
+            // RMWs are atomic under any ordering; joins order the loads.
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+        assert!(
+            report.violation.is_none(),
+            "unexpected: {:?}",
+            report.violation
+        );
+        assert!(report.complete);
+        assert!(report.iterations > 1, "expected multiple interleavings");
+    }
+
+    #[test]
+    fn release_acquire_message_passing_is_clean() {
+        let report = Builder::new().check(|| {
+            let data = Arc::new(RaceCell::new(0u32));
+            let flag = Arc::new(AtomicU64::new(0));
+            let t = {
+                let (data, flag) = (data.clone(), flag.clone());
+                thread::spawn(move || {
+                    data.with_mut(|d| *d = 42);
+                    flag.store(1, Ordering::Release);
+                })
+            };
+            // No spinning under a model checker: check the flag once;
+            // the scheduler will produce both outcomes across runs.
+            if flag.load(Ordering::Acquire) == 1 {
+                data.with(|d| assert_eq!(*d, 42));
+            }
+            t.join().unwrap();
+        });
+        assert!(
+            report.violation.is_none(),
+            "unexpected: {:?}",
+            report.violation
+        );
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn relaxed_message_passing_races() {
+        let report = Builder::new().check(|| {
+            let data = Arc::new(RaceCell::new(0u32));
+            let flag = Arc::new(AtomicU64::new(0));
+            let t = {
+                let (data, flag) = (data.clone(), flag.clone());
+                thread::spawn(move || {
+                    data.with_mut(|d| *d = 42);
+                    flag.store(1, Ordering::Relaxed); // no release edge
+                })
+            };
+            if flag.load(Ordering::Relaxed) == 1 {
+                data.with(|d| assert_eq!(*d, 42)); // unordered read: race
+            }
+            t.join().unwrap();
+        });
+        assert!(
+            matches!(report.violation, Some(Violation::DataRace { .. })),
+            "expected a data race, got {:?}",
+            report.violation
+        );
+    }
+
+    #[test]
+    fn weaken_orderings_breaks_release_acquire() {
+        // The clean message-passing harness above must fail once the
+        // checker downgrades every ordering to Relaxed — this is the
+        // mechanism the seeded-bug tests rely on.
+        let mut b = Builder::new();
+        b.weaken_orderings = true;
+        let report = b.check(|| {
+            let data = Arc::new(RaceCell::new(0u32));
+            let flag = Arc::new(AtomicU64::new(0));
+            let t = {
+                let (data, flag) = (data.clone(), flag.clone());
+                thread::spawn(move || {
+                    data.with_mut(|d| *d = 42);
+                    flag.store(1, Ordering::Release);
+                })
+            };
+            if flag.load(Ordering::Acquire) == 1 {
+                data.with(|d| assert_eq!(*d, 42));
+            }
+            t.join().unwrap();
+        });
+        assert!(
+            matches!(report.violation, Some(Violation::DataRace { .. })),
+            "expected a data race under weakened orderings, got {:?}",
+            report.violation
+        );
+    }
+
+    #[test]
+    fn missing_join_races() {
+        let report = Builder::new().check(|| {
+            let data = Arc::new(RaceCell::new(0u32));
+            let t = {
+                let data = data.clone();
+                thread::spawn(move || data.with_mut(|d| *d = 1))
+            };
+            // Read without joining first: unordered with the write in
+            // the interleavings where the child runs late.
+            data.with(|d| {
+                let _ = *d;
+            });
+            drop(t);
+        });
+        assert!(
+            matches!(report.violation, Some(Violation::DataRace { .. })),
+            "expected a data race, got {:?}",
+            report.violation
+        );
+    }
+
+    #[test]
+    fn relaxed_loads_observe_stale_values() {
+        // Store buffering: with everything Relaxed both readers may see
+        // the initial zeros — the assert must fail in some execution.
+        let report = Builder::new().check(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let t = {
+                let (x, y) = (x.clone(), y.clone());
+                thread::spawn(move || {
+                    x.store(1, Ordering::Relaxed);
+                    y.load(Ordering::Relaxed)
+                })
+            };
+            x.store(0, Ordering::Relaxed); // re-assert initial x is observable
+            y.store(1, Ordering::Relaxed);
+            let r2 = x.load(Ordering::Relaxed);
+            let r1 = t.join().unwrap();
+            // The property under test: (r1, r2) == (0, 0) must be
+            // reachable via stale reads; flag it as a violation so the
+            // report proves reachability.
+            assert!(!(r1 == 0 && r2 == 0), "observed stale pair");
+        });
+        assert!(
+            matches!(report.violation, Some(Violation::Panic { .. })),
+            "expected the stale (0,0) pair to be reachable, got {:?}",
+            report.violation
+        );
+    }
+
+    #[test]
+    fn lock_cycle_is_reported_as_deadlock() {
+        let report = Builder::new().check(|| {
+            let a = Arc::new(Mutex::new(0u32));
+            let b = Arc::new(Mutex::new(0u32));
+            let t = {
+                let (a, b) = (a.clone(), b.clone());
+                thread::spawn(move || {
+                    let _ga = a.lock().unwrap();
+                    let _gb = b.lock().unwrap();
+                })
+            };
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            t.join().unwrap();
+        });
+        assert!(
+            matches!(report.violation, Some(Violation::Deadlock { .. })),
+            "expected a deadlock, got {:?}",
+            report.violation
+        );
+    }
+
+    #[test]
+    fn mutex_protects_plain_data() {
+        let report = Builder::new().check(|| {
+            let cell = Arc::new(Mutex::new(0u64));
+            let t = {
+                let cell = cell.clone();
+                thread::spawn(move || {
+                    *cell.lock().unwrap() += 1;
+                })
+            };
+            *cell.lock().unwrap() += 1;
+            t.join().unwrap();
+            assert_eq!(*cell.lock().unwrap(), 2);
+        });
+        assert!(
+            report.violation.is_none(),
+            "unexpected: {:?}",
+            report.violation
+        );
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn scoped_threads_join_implicitly() {
+        let report = Builder::new().check(|| {
+            let n = AtomicUsize::new(0);
+            thread::scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            // Scope exit model-joins every spawned thread.
+            assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+        assert!(
+            report.violation.is_none(),
+            "unexpected: {:?}",
+            report.violation
+        );
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn model_panics_on_violation() {
+        let caught = std::panic::catch_unwind(|| {
+            model(|| {
+                let data = Arc::new(RaceCell::new(0u32));
+                let t = {
+                    let data = data.clone();
+                    thread::spawn(move || data.with_mut(|d| *d = 1))
+                };
+                data.with(|d| {
+                    let _ = *d;
+                });
+                drop(t);
+            });
+        });
+        assert!(caught.is_err(), "model() must panic on a violation");
+    }
+
+    #[test]
+    fn iteration_cap_reports_incomplete() {
+        let mut b = Builder::new();
+        b.max_iterations = 2;
+        let report = b.check(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = n.clone();
+                    thread::spawn(move || {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        assert!(report.violation.is_none());
+        assert!(!report.complete);
+        assert_eq!(report.iterations, 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! The exploration driver: runs a closure under every schedule the
+//! bounded DFS reaches and reports the first violation found.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use crate::rt::{self, Config, Execution, Violation};
+
+/// Serializes model checks process-wide: the runtime's thread-local
+/// context and the quiet panic hook are global, so two concurrent
+/// explorations would corrupt each other's schedules.
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Result of one exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Executions actually run.
+    pub iterations: usize,
+    /// True when the entire (bounded) schedule tree was explored with
+    /// no violation; false when a violation stopped exploration or the
+    /// iteration cap was hit.
+    pub complete: bool,
+    /// The first violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// True when the checker found a violation.
+    pub fn found(&self) -> bool {
+        self.violation.is_some()
+    }
+}
+
+/// Exploration limits and modeling knobs.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Abandon exploration (reporting `complete: false`) after this
+    /// many executions.
+    pub max_iterations: usize,
+    /// Fail an execution (as [`Violation::TooManySteps`]) past this
+    /// many yield points — spin loops cannot be waited out by a
+    /// model checker.
+    pub max_steps: usize,
+    /// CHESS-style preemption bound; `None` explores the full tree.
+    pub preemption_bound: Option<usize>,
+    /// Treat every atomic ordering as `Relaxed`. For seeded-bug tests
+    /// proving a harness would catch an ordering downgrade.
+    pub weaken_orderings: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        let cfg = Config::default();
+        Self {
+            max_iterations: cfg.max_iterations,
+            max_steps: cfg.max_steps,
+            preemption_bound: cfg.preemption_bound,
+            weaken_orderings: cfg.weaken_orderings,
+        }
+    }
+}
+
+/// Restores the pre-exploration panic hook even if the driver unwinds.
+struct HookGuard(Option<Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send>>);
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        if let Some(hook) = self.0.take() {
+            panic::set_hook(hook);
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explores `f` under every reachable schedule (up to the bounds)
+    /// and returns what happened. `f` runs once per execution and must
+    /// be deterministic given the schedule: create all shared state
+    /// inside the closure, take no wall-clock or I/O input.
+    pub fn check<F: Fn()>(&self, f: F) -> Report {
+        let _serial = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // Managed threads unwind on purpose (aborted executions) and on
+        // harness assertion failures that are *reported* as violations;
+        // the default hook would spam a backtrace per execution.
+        let _hook = HookGuard(Some(panic::take_hook()));
+        panic::set_hook(Box::new(|_| {}));
+        self.explore(&f)
+    }
+
+    fn explore<F: Fn()>(&self, f: &F) -> Report {
+        let cfg = Config {
+            max_iterations: self.max_iterations,
+            max_steps: self.max_steps,
+            preemption_bound: self.preemption_bound,
+            weaken_orderings: self.weaken_orderings,
+        };
+        let mut prefix = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            let exec = Execution::new(cfg.clone(), std::mem::take(&mut prefix));
+            exec.register_root();
+            rt::set_ctx(exec.clone(), 0);
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| f()));
+            rt::clear_ctx();
+            let msg = match caught {
+                Ok(()) => None,
+                Err(payload) => rt::panic_message(payload),
+            };
+            exec.finish_thread(0, msg);
+            let (violation, next) = exec.drive_to_completion();
+            iterations += 1;
+            if violation.is_some() {
+                return Report {
+                    iterations,
+                    complete: false,
+                    violation,
+                };
+            }
+            match next {
+                Some(p) if iterations < cfg.max_iterations => prefix = p,
+                Some(_) => {
+                    return Report {
+                        iterations,
+                        complete: false,
+                        violation: None,
+                    }
+                }
+                None => {
+                    return Report {
+                        iterations,
+                        complete: true,
+                        violation: None,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checks `f` with default bounds and panics on any violation —
+/// the drop-in equivalent of upstream `loom::model`.
+pub fn model<F: Fn()>(f: F) {
+    let report = Builder::new().check(f);
+    if let Some(v) = report.violation {
+        panic!(
+            "loom: model check failed after {} execution(s): {v}",
+            report.iterations
+        );
+    }
+}

@@ -1,0 +1,765 @@
+//! The model-checking runtime: serialized scheduling over real OS
+//! threads, DFS schedule exploration, vector clocks, and violation
+//! bookkeeping.
+//!
+//! ## How an execution runs
+//!
+//! Exactly one *managed* thread holds the scheduling token at any time;
+//! every instrumented operation (atomic access, mutex lock/unlock,
+//! spawn, join, `RaceCell` access) is a **yield point** that hands the
+//! token back to the scheduler. The scheduler consults a [`Schedule`] —
+//! a replayed decision prefix plus a log of the decisions taken — so an
+//! entire execution is a deterministic function of the prefix. After
+//! each execution the deepest decision with an unexplored alternative is
+//! bumped and everything after it is discarded: depth-first search over
+//! the tree of schedules (and of weak-memory value choices).
+//!
+//! ## Memory model
+//!
+//! * Every atomic location keeps a bounded history of stores, each
+//!   tagged with the storing thread's vector clock (`when`) and a
+//!   *message* clock (`msg`, the release clock, empty for relaxed
+//!   stores).
+//! * A load may read any store that coherence and happens-before allow:
+//!   at least as new as the newest store that happens-before the loading
+//!   thread, and at least as new as anything this thread already read or
+//!   wrote at that location. When several stores are eligible the choice
+//!   is a schedule decision — this is what lets the checker observe
+//!   stale values through `Relaxed` loads.
+//! * An `Acquire`-or-stronger load joins the chosen store's `msg` clock
+//!   (empty unless the store was `Release`-or-stronger, so a
+//!   relaxed-store/acquire-load pair correctly fails to synchronize).
+//! * Read-modify-writes always operate on the newest store and carry
+//!   the prior store's message clock forward (release sequences).
+//! * `SeqCst` is modeled as `AcqRel` plus "reads newest" — the global
+//!   SC total order is not modeled separately.
+//!
+//! Data races are *not* detected on atomics (any interleaving of atomic
+//! accesses is defined behavior); they are detected on
+//! [`crate::cell::RaceCell`], the stand-in for non-atomic shared data,
+//! via epoch comparison against the accessing threads' vector clocks.
+
+use std::collections::BTreeMap;
+use std::panic;
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Identifier of a managed thread inside one execution (dense, assigned
+/// in spawn order, so identical across replays of the same prefix).
+pub type Tid = usize;
+
+/// How many past stores each atomic location keeps for stale relaxed
+/// loads. Old stores beyond this window are forgotten (their values can
+/// no longer be observed), which bounds the value-choice fan-out.
+pub const STORE_HISTORY: usize = 4;
+
+/// Allocates process-unique ids for atomics, mutexes and race cells.
+static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh object id (used to key per-execution lock and last-seen
+/// tables; ids are never reused, so state from a previous execution can
+/// never alias a newly constructed object).
+pub fn new_object_id() -> u64 {
+    NEXT_OBJECT_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+/// One store in an atomic location's bounded history.
+#[derive(Clone, Debug)]
+pub struct StoreRec {
+    /// Stored payload (all atomic types are modeled over `u64`).
+    pub val: u64,
+    /// Position in modification order (per location, monotonically
+    /// increasing, never reused).
+    pub seq: u64,
+    /// The storing thread's clock at the store — the coherence floor:
+    /// a reader whose clock covers `when` cannot read anything older.
+    pub when: VClock,
+    /// The release clock carried to `Acquire` loads (empty unless the
+    /// store was `Release`-or-stronger; RMWs extend it).
+    pub msg: VClock,
+}
+
+// ---------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------
+
+/// A vector clock over managed-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The all-zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for thread `t` (zero when never ticked).
+    pub fn get(&self, t: Tid) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advances this thread's own component.
+    pub fn tick(&mut self, t: Tid) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// Component-wise maximum.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True when the event `(t, epoch)` happens-before a thread holding
+    /// this clock.
+    pub fn covers(&self, t: Tid, epoch: u64) -> bool {
+        self.get(t) >= epoch
+    }
+
+    /// True when `self ≤ other` component-wise, i.e. the event this
+    /// clock summarizes happens-before a thread holding `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(t, &v)| v <= other.get(t))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------
+
+/// Why an execution was rejected.
+#[derive(Clone, Debug)]
+pub enum Violation {
+    /// A managed thread panicked (assertion failure in the harness, or
+    /// a panic in the code under test).
+    Panic {
+        /// Which thread panicked.
+        thread: Tid,
+        /// Panic payload rendered to text.
+        message: String,
+    },
+    /// Two accesses to a [`crate::cell::RaceCell`] were unordered by
+    /// happens-before and at least one was a write.
+    DataRace {
+        /// The thread whose access detected the race.
+        thread: Tid,
+        /// The thread that performed the conflicting earlier access.
+        other: Tid,
+        /// `"write-write"`, `"read-write"` or `"write-read"`.
+        kind: &'static str,
+    },
+    /// Every unfinished thread was blocked (join or mutex cycle, or a
+    /// thread parked forever).
+    Deadlock {
+        /// The blocked thread ids.
+        blocked: Vec<Tid>,
+    },
+    /// One execution exceeded the step budget — almost always an
+    /// unbounded spin loop, which a model checker cannot wait out.
+    TooManySteps {
+        /// The configured budget that was exceeded.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Panic { thread, message } => {
+                write!(f, "thread {thread} panicked: {message}")
+            }
+            Violation::DataRace {
+                thread,
+                other,
+                kind,
+            } => write!(
+                f,
+                "data race ({kind}) between thread {other} and thread {thread}"
+            ),
+            Violation::Deadlock { blocked } => {
+                write!(f, "deadlock: threads {blocked:?} are all blocked")
+            }
+            Violation::TooManySteps { limit } => {
+                write!(f, "execution exceeded {limit} steps (unbounded spin loop?)")
+            }
+        }
+    }
+}
+
+/// Panic payload used to unwind managed threads when an execution is
+/// being aborted; recognized (and swallowed) by the thread wrappers.
+pub struct AbortToken;
+
+/// Unwinds the current managed thread as part of an execution abort.
+/// Never returns.
+fn abort_unwind() -> ! {
+    panic::panic_any(AbortToken)
+}
+
+// ---------------------------------------------------------------------
+// Schedules (DFS state)
+// ---------------------------------------------------------------------
+
+/// One recorded decision: the alternatives that were available and the
+/// index that was chosen. Decisions with a single alternative are never
+/// recorded (they carry no branching).
+#[derive(Clone, Debug)]
+struct Decision {
+    alts: Vec<u64>,
+    chosen: usize,
+}
+
+/// Replay prefix plus decision log for one execution.
+#[derive(Debug, Default)]
+pub struct Schedule {
+    prefix: Vec<u64>,
+    log: Vec<Decision>,
+    pos: usize,
+}
+
+impl Schedule {
+    fn with_prefix(prefix: Vec<u64>) -> Self {
+        Self {
+            prefix,
+            log: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Picks one of `alts` (non-empty, deterministic order): the replay
+    /// prefix while it lasts, then the first alternative. Records the
+    /// decision when there is a real choice.
+    fn choose(&mut self, alts: Vec<u64>) -> u64 {
+        debug_assert!(!alts.is_empty(), "choose() needs at least one alternative");
+        if alts.len() == 1 {
+            return alts[0];
+        }
+        let chosen = if self.pos < self.prefix.len() {
+            let want = self.prefix[self.pos];
+            // A prefix choice must still be available; schedules are
+            // deterministic functions of the prefix, so a mismatch means
+            // the harness itself is nondeterministic (wall clock, I/O,
+            // process-global state) — surface that loudly.
+            alts.iter().position(|&a| a == want).unwrap_or_else(|| {
+                panic!(
+                    "loom: nondeterministic execution — replayed choice {want} \
+                     not among alternatives {alts:?}; harnesses must create all \
+                     state inside the model closure and avoid wall-clock input"
+                )
+            })
+        } else {
+            0
+        };
+        let value = alts[chosen];
+        self.log.push(Decision { alts, chosen });
+        self.pos += 1;
+        value
+    }
+
+    /// The prefix driving the *next* execution: bump the deepest
+    /// decision with an unexplored alternative. `None` when the whole
+    /// tree has been explored.
+    fn next_prefix(&self) -> Option<Vec<u64>> {
+        for depth in (0..self.log.len()).rev() {
+            let d = &self.log[depth];
+            if d.chosen + 1 < d.alts.len() {
+                let mut prefix: Vec<u64> =
+                    self.log[..depth].iter().map(|d| d.alts[d.chosen]).collect();
+                prefix.push(d.alts[d.chosen + 1]);
+                return Some(prefix);
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+/// Exploration limits and modeling knobs (see `crate::model::Builder`
+/// for the user-facing API and defaults).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Abandon exploration (reporting it incomplete) after this many
+    /// executions.
+    pub max_iterations: usize,
+    /// Fail an execution that takes more than this many yield points.
+    pub max_steps: usize,
+    /// CHESS-style preemption bound: once an execution has preempted a
+    /// runnable thread this many times, later decisions keep the
+    /// current thread running while it can. `None` = full DFS.
+    pub preemption_bound: Option<usize>,
+    /// Treat every atomic ordering as `Relaxed`. Used by seeded-bug
+    /// tests to prove a harness would catch an ordering downgrade.
+    pub weaken_orderings: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100_000,
+            max_steps: 20_000,
+            preemption_bound: None,
+            weaken_orderings: false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BlockOn {
+    /// Waiting for a thread to finish.
+    Join(Tid),
+    /// Waiting for a mutex (by object id) to be released.
+    Lock(u64),
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+    /// Newest store sequence this thread has observed per atomic
+    /// location (coherence: reads never go backwards).
+    last_seen: BTreeMap<u64, u64>,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<Tid>,
+    /// Clock released by the last unlock (lock acquisition joins it).
+    clock: VClock,
+}
+
+/// All mutable state of one execution, behind [`Execution::state`].
+#[derive(Debug)]
+pub struct ExecState {
+    cfg: Config,
+    threads: Vec<ThreadState>,
+    current: Option<Tid>,
+    schedule: Schedule,
+    locks: BTreeMap<u64, LockState>,
+    violation: Option<Violation>,
+    aborting: bool,
+    steps: usize,
+    preemptions: usize,
+}
+
+/// One execution: shared by the driver and every managed thread.
+#[derive(Debug)]
+pub struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+impl Execution {
+    /// A fresh execution replaying `prefix`.
+    pub fn new(cfg: Config, prefix: Vec<u64>) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(ExecState {
+                cfg,
+                threads: Vec::new(),
+                current: None,
+                schedule: Schedule::with_prefix(prefix),
+                locks: BTreeMap::new(),
+                violation: None,
+                aborting: false,
+                steps: 0,
+                preemptions: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, ExecState> {
+        // INVARIANT: the state mutex is only poisoned if this module
+        // itself panicked while holding it, which is a checker bug; the
+        // state is still structurally valid for the abort path.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers the root thread (tid 0) and marks it current.
+    pub fn register_root(&self) -> Tid {
+        let mut st = self.lock_state();
+        debug_assert!(st.threads.is_empty());
+        let mut clock = VClock::new();
+        clock.tick(0);
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            clock,
+            last_seen: BTreeMap::new(),
+        });
+        st.current = Some(0);
+        0
+    }
+
+    /// Registers a child thread spawned by `parent`; the child starts
+    /// runnable (but not current) with the parent's clock.
+    pub fn register_child(&self, parent: Tid) -> Tid {
+        let mut st = self.lock_state();
+        let tid = st.threads.len();
+        let mut clock = st.threads[parent].clock.clone();
+        clock.tick(tid);
+        st.threads.push(ThreadState {
+            status: Status::Runnable,
+            clock,
+            last_seen: BTreeMap::new(),
+        });
+        tid
+    }
+
+    /// Blocks the calling OS thread until the scheduler makes `tid`
+    /// current (the first grant for a freshly spawned thread).
+    pub fn wait_for_grant(&self, tid: Tid) {
+        let mut st = self.lock_state();
+        while st.current != Some(tid) && !st.aborting {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+    }
+
+    /// Records a violation (first one wins) and flips the execution
+    /// into abort mode, waking everyone.
+    fn report_violation_locked(&self, st: &mut ExecState, v: Violation) {
+        if st.violation.is_none() {
+            st.violation = Some(v);
+        }
+        st.aborting = true;
+        st.current = None;
+        self.cv.notify_all();
+    }
+
+    /// Records a violation from a managed thread and unwinds it.
+    pub fn report_violation(&self, v: Violation) -> ! {
+        let mut st = self.lock_state();
+        self.report_violation_locked(&mut st, v);
+        drop(st);
+        abort_unwind()
+    }
+
+    /// Wakes blocked threads whose condition now holds, then hands the
+    /// token to one runnable thread per the schedule (or detects
+    /// completion / deadlock). Caller passes the thread giving up the
+    /// token (`prev`), or `None` when it just finished.
+    fn schedule_next(&self, st: &mut ExecState, prev: Option<Tid>) {
+        // Re-evaluate blocked threads.
+        for tid in 0..st.threads.len() {
+            if let Status::Blocked(on) = st.threads[tid].status {
+                let ready = match on {
+                    BlockOn::Join(t) => st.threads[t].status == Status::Finished,
+                    BlockOn::Lock(id) => st.locks.get(&id).is_none_or(|l| l.held_by.is_none()),
+                };
+                if ready {
+                    st.threads[tid].status = Status::Runnable;
+                }
+            }
+        }
+        let runnable: Vec<Tid> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].status == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            let blocked: Vec<Tid> = (0..st.threads.len())
+                .filter(|&t| matches!(st.threads[t].status, Status::Blocked(_)))
+                .collect();
+            if blocked.is_empty() {
+                // All threads finished: execution complete.
+                st.current = None;
+                self.cv.notify_all();
+                return;
+            }
+            self.report_violation_locked(st, Violation::Deadlock { blocked });
+            return;
+        }
+        // Preemption bounding: once the budget is spent, keep the
+        // previous thread running whenever it still can.
+        let prev_runnable = prev.is_some_and(|p| runnable.contains(&p));
+        let budget_spent = st.cfg.preemption_bound.is_some_and(|b| st.preemptions >= b);
+        let alts: Vec<u64> = if budget_spent && prev_runnable {
+            // CAST: tids are tiny (thread counts), always fit in u64
+            vec![prev.unwrap_or(0) as u64]
+        } else {
+            runnable.iter().map(|&t| t as u64).collect() // CAST: tiny tid
+        };
+        let chosen = st.schedule.choose(alts) as usize; // CAST: round-trips a tid
+        if prev_runnable && prev != Some(chosen) {
+            st.preemptions += 1;
+        }
+        st.current = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Core yield point: give up the token, let the scheduler pick the
+    /// next thread (possibly this one again), and return once this
+    /// thread is granted the token back. Also ticks the thread's clock.
+    pub fn yield_point(&self, tid: Tid) {
+        let mut st = self.lock_state();
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            let limit = st.cfg.max_steps;
+            self.report_violation_locked(&mut st, Violation::TooManySteps { limit });
+            drop(st);
+            abort_unwind();
+        }
+        st.threads[tid].clock.tick(tid);
+        self.schedule_next(&mut st, Some(tid));
+        while st.current != Some(tid) && !st.aborting {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+    }
+
+    /// Blocks `tid` until `target` finishes, then joins its final clock
+    /// into the joiner (the synchronizes-with edge of `join()`).
+    pub fn join_thread(&self, tid: Tid, target: Tid) {
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                drop(st);
+                abort_unwind();
+            }
+            if st.threads[target].status == Status::Finished {
+                let target_clock = st.threads[target].clock.clone();
+                st.threads[tid].clock.join(&target_clock);
+                return;
+            }
+            st.threads[tid].status = Status::Blocked(BlockOn::Join(target));
+            self.schedule_next(&mut st, Some(tid));
+            while st.current != Some(tid) && !st.aborting {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// True when `target` has finished (non-blocking peek; used by
+    /// `JoinHandle::is_finished`).
+    pub fn is_finished(&self, target: Tid) -> bool {
+        let st = self.lock_state();
+        st.threads[target].status == Status::Finished
+    }
+
+    /// Marks `tid` finished and hands the token on. `panic_message` is
+    /// set when the thread unwound with a non-abort panic.
+    pub fn finish_thread(&self, tid: Tid, panic_message: Option<String>) {
+        let mut st = self.lock_state();
+        st.threads[tid].status = Status::Finished;
+        if let Some(message) = panic_message {
+            self.report_violation_locked(
+                &mut st,
+                Violation::Panic {
+                    thread: tid,
+                    message,
+                },
+            );
+            return;
+        }
+        if st.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        self.schedule_next(&mut st, None);
+    }
+
+    /// Acquires `lock_id` for `tid`, blocking through the scheduler
+    /// while it is held; joins the releaser's clock on acquisition.
+    pub fn mutex_acquire(&self, tid: Tid, lock_id: u64) {
+        self.yield_point(tid);
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                drop(st);
+                abort_unwind();
+            }
+            let free = st.locks.get(&lock_id).is_none_or(|l| l.held_by.is_none());
+            if free {
+                let entry = st.locks.entry(lock_id).or_default();
+                entry.held_by = Some(tid);
+                let clock = entry.clock.clone();
+                st.threads[tid].clock.join(&clock);
+                return;
+            }
+            st.threads[tid].status = Status::Blocked(BlockOn::Lock(lock_id));
+            self.schedule_next(&mut st, Some(tid));
+            while st.current != Some(tid) && !st.aborting {
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Releases `lock_id`, publishing the holder's clock to the next
+    /// acquirer. Scheduling-silent: callers yield separately, because a
+    /// guard dropped during panic unwinding must not re-enter the
+    /// scheduler (a second unwind there would abort the process).
+    pub fn mutex_release(&self, tid: Tid, lock_id: u64) {
+        let mut st = self.lock_state();
+        let holder_clock = st.threads[tid].clock.clone();
+        let entry = st.locks.entry(lock_id).or_default();
+        entry.held_by = None;
+        entry.clock = holder_clock;
+    }
+
+    /// Runs `f` with this thread's mutable state and the schedule,
+    /// while holding the token (no other managed thread can interleave).
+    /// Used by the atomic and race-cell operations after their yield
+    /// point.
+    pub fn with_thread<R>(&self, tid: Tid, f: impl FnOnce(&mut ThreadView<'_>) -> R) -> R {
+        let mut st = self.lock_state();
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        let mut view = ThreadView { st: &mut st, tid };
+        f(&mut view)
+    }
+
+    /// Waits (on the driver thread) until every managed thread has
+    /// finished, then returns the violation and the next DFS prefix.
+    pub fn drive_to_completion(&self) -> (Option<Violation>, Option<Vec<u64>>) {
+        let mut st = self.lock_state();
+        loop {
+            let all_done =
+                !st.threads.is_empty() && st.threads.iter().all(|t| t.status == Status::Finished);
+            if all_done {
+                break;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let violation = st.violation.clone();
+        // A violating execution's tail decisions are artifacts of the
+        // abort; still use the log — exploration stops at the first
+        // violation anyway.
+        let next = st.schedule.next_prefix();
+        (violation, next)
+    }
+}
+
+/// Mutable access to one thread's model state plus the schedule,
+/// handed out by [`Execution::with_thread`] under the token.
+pub struct ThreadView<'a> {
+    st: &'a mut ExecState,
+    tid: Tid,
+}
+
+impl ThreadView<'_> {
+    /// This thread's id.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Whether orderings are being forcibly weakened to `Relaxed`.
+    pub fn weaken_orderings(&self) -> bool {
+        self.st.cfg.weaken_orderings
+    }
+
+    /// This thread's vector clock (shared reference).
+    pub fn clock(&self) -> &VClock {
+        &self.st.threads[self.tid].clock
+    }
+
+    /// Joins `other` into this thread's clock.
+    pub fn join_clock(&mut self, other: &VClock) {
+        self.st.threads[self.tid].clock.join(other);
+    }
+
+    /// Newest store sequence observed at `loc` (coherence floor).
+    pub fn last_seen(&self, loc: u64) -> u64 {
+        self.st.threads[self.tid]
+            .last_seen
+            .get(&loc)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records that this thread observed store `seq` at `loc`.
+    pub fn record_seen(&mut self, loc: u64, seq: u64) {
+        let e = self.st.threads[self.tid].last_seen.entry(loc).or_insert(0);
+        *e = (*e).max(seq);
+    }
+
+    /// Makes a value choice among `alts` (schedule decision).
+    pub fn choose(&mut self, alts: Vec<u64>) -> u64 {
+        self.st.schedule.choose(alts)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-local execution context
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs the execution context on the current OS thread.
+pub fn set_ctx(exec: Arc<Execution>, tid: Tid) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+/// Clears the execution context.
+pub fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Runs `f` with the current execution context. Panics (with a
+/// diagnostic, not an abort) when called outside `loom::model`, which
+/// is what happens if instrumented facade primitives are exercised by
+/// an ordinary test while `--cfg tkdc_model_check` is active.
+pub fn with_ctx<R>(f: impl FnOnce(&Arc<Execution>, Tid) -> R) -> R {
+    CTX.with(|c| {
+        let borrow = c.borrow();
+        match borrow.as_ref() {
+            Some((exec, tid)) => f(exec, *tid),
+            // INVARIANT: misuse diagnostic — instrumented primitives are
+            // only callable inside a model run by construction of the
+            // model-check test suite.
+            None => panic!(
+                "tkdc-sync model-check primitives used outside loom::model(); \
+                 run concurrency code under `loom::model(|| ...)` in the \
+                 model-check suite"
+            ),
+        }
+    })
+}
+
+/// True when the current OS thread is a managed thread of a live
+/// execution.
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Classifies a caught panic payload: `None` for an [`AbortToken`]
+/// (already-reported violation), `Some(message)` for a real panic.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> Option<String> {
+    if payload.downcast_ref::<AbortToken>().is_some() {
+        return None;
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return Some((*s).to_string());
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return Some(s.clone());
+    }
+    Some("<non-string panic payload>".to_string())
+}

@@ -1,0 +1,463 @@
+//! Instrumented `std::sync` stand-ins: atomics with a C11-ish weak
+//! memory model and a scheduler-aware `Mutex`.
+//!
+//! ## Atomics
+//!
+//! All atomic types share one engine ([`Atom`]) over `u64` payloads.
+//! Each location keeps a bounded history of stores; loads weaker than
+//! `SeqCst` non-deterministically pick any store that coherence and
+//! happens-before allow (a schedule decision — this is how the checker
+//! observes stale values through `Relaxed`), `Acquire`-or-stronger
+//! loads absorb the chosen store's release clock, and read-modify-write
+//! operations always act on the newest store and extend its release
+//! sequence. See `rt.rs` for the full modeling contract.
+//!
+//! ## Mutex
+//!
+//! Lock acquisition goes through the scheduler's lock table (blocking
+//! threads are descheduled, enabling deadlock detection); the guarded
+//! data itself lives in a real uncontended `std::sync::Mutex`.
+
+use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdGuard};
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt::{self, StoreRec, VClock, STORE_HISTORY};
+
+fn eff(ord: Ordering, weaken: bool) -> Ordering {
+    if weaken {
+        Ordering::Relaxed
+    } else {
+        ord
+    }
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// State of one atomic location: bounded store history in modification
+/// order plus the next store sequence number.
+#[derive(Debug)]
+struct AtomState {
+    stores: Vec<StoreRec>,
+    next_seq: u64,
+}
+
+/// The shared atomic engine. Interior state is behind a real mutex,
+/// which is uncontended by construction: only the token-holding thread
+/// ever touches it.
+#[derive(Debug)]
+struct Atom {
+    id: u64,
+    state: StdMutex<AtomState>,
+}
+
+impl Atom {
+    fn new(val: u64) -> Self {
+        // Creation is not a visible operation (no yield); the initial
+        // value acts as a store by the creating thread, so anything
+        // ordered after creation (e.g. threads spawned later) cannot
+        // read "before" it.
+        let when = if rt::in_model() {
+            rt::with_ctx(|exec, tid| exec.with_thread(tid, |v| v.clock().clone()))
+        } else {
+            VClock::new()
+        };
+        Atom {
+            id: rt::new_object_id(),
+            state: StdMutex::new(AtomState {
+                stores: vec![StoreRec {
+                    val,
+                    seq: 1,
+                    when,
+                    msg: VClock::new(),
+                }],
+                next_seq: 2,
+            }),
+        }
+    }
+
+    fn load(&self, ord: Ordering) -> u64 {
+        rt::with_ctx(|exec, tid| {
+            exec.yield_point(tid);
+            exec.with_thread(tid, |view| {
+                let ord = eff(ord, view.weaken_orderings());
+                let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                let rec = if ord == Ordering::SeqCst {
+                    // SeqCst modeled as "read newest + acquire": the SC
+                    // total order itself is not tracked separately.
+                    st.stores.last().expect("atom history never empty").clone()
+                } else {
+                    // Floor: never older than a store that happens-before
+                    // this thread, anything already seen here, or the
+                    // oldest store still in the bounded history.
+                    let mut floor = view.last_seen(self.id);
+                    for s in st.stores.iter() {
+                        if s.when.le(view.clock()) {
+                            floor = floor.max(s.seq);
+                        }
+                    }
+                    if let Some(first) = st.stores.first() {
+                        floor = floor.max(first.seq);
+                    }
+                    let alts: Vec<u64> = st
+                        .stores
+                        .iter()
+                        .filter(|s| s.seq >= floor)
+                        .map(|s| s.seq)
+                        .collect();
+                    let seq = view.choose(alts);
+                    st.stores
+                        .iter()
+                        .find(|s| s.seq == seq)
+                        .expect("chosen store is in history")
+                        .clone()
+                };
+                drop(st);
+                view.record_seen(self.id, rec.seq);
+                if is_acquire(ord) {
+                    view.join_clock(&rec.msg);
+                }
+                rec.val
+            })
+        })
+    }
+
+    fn store(&self, val: u64, ord: Ordering) {
+        rt::with_ctx(|exec, tid| {
+            exec.yield_point(tid);
+            exec.with_thread(tid, |view| {
+                let ord = eff(ord, view.weaken_orderings());
+                let when = view.clock().clone();
+                let msg = if is_release(ord) {
+                    when.clone()
+                } else {
+                    VClock::new()
+                };
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.stores.push(StoreRec {
+                    val,
+                    seq,
+                    when,
+                    msg,
+                });
+                if st.stores.len() > STORE_HISTORY {
+                    st.stores.remove(0);
+                }
+                drop(st);
+                view.record_seen(self.id, seq);
+            })
+        })
+    }
+
+    /// Read-modify-write: always acts on the newest store (RMW
+    /// atomicity holds under any ordering) and extends its release
+    /// sequence. Returns the previous value.
+    fn rmw(&self, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        rt::with_ctx(|exec, tid| {
+            exec.yield_point(tid);
+            exec.with_thread(tid, |view| {
+                let ord = eff(ord, view.weaken_orderings());
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                let prev = st.stores.last().expect("atom history never empty").clone();
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                let when = view.clock().clone();
+                let mut msg = prev.msg.clone();
+                if is_release(ord) {
+                    msg.join(view.clock());
+                }
+                st.stores.push(StoreRec {
+                    val: f(prev.val),
+                    seq,
+                    when,
+                    msg,
+                });
+                if st.stores.len() > STORE_HISTORY {
+                    st.stores.remove(0);
+                }
+                drop(st);
+                view.record_seen(self.id, seq);
+                if is_acquire(ord) {
+                    view.join_clock(&prev.msg);
+                }
+                prev.val
+            })
+        })
+    }
+
+    /// Compare-exchange. Failure is modeled as a load of the newest
+    /// store with the failure ordering (a simplification: real CAS
+    /// failure may read stale values). No spurious failures, so `_weak`
+    /// and strong variants share this.
+    fn cas(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        rt::with_ctx(|exec, tid| {
+            exec.yield_point(tid);
+            exec.with_thread(tid, |view| {
+                let success = eff(success, view.weaken_orderings());
+                let failure = eff(failure, view.weaken_orderings());
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                let prev = st.stores.last().expect("atom history never empty").clone();
+                if prev.val == current {
+                    let seq = st.next_seq;
+                    st.next_seq += 1;
+                    let when = view.clock().clone();
+                    let mut msg = prev.msg.clone();
+                    if is_release(success) {
+                        msg.join(view.clock());
+                    }
+                    st.stores.push(StoreRec {
+                        val: new,
+                        seq,
+                        when,
+                        msg,
+                    });
+                    if st.stores.len() > STORE_HISTORY {
+                        st.stores.remove(0);
+                    }
+                    drop(st);
+                    view.record_seen(self.id, seq);
+                    if is_acquire(success) {
+                        view.join_clock(&prev.msg);
+                    }
+                    Ok(prev.val)
+                } else {
+                    drop(st);
+                    view.record_seen(self.id, prev.seq);
+                    if is_acquire(failure) {
+                        view.join_clock(&prev.msg);
+                    }
+                    Err(prev.val)
+                }
+            })
+        })
+    }
+}
+
+/// Generates the public wrapper around [`Atom`] for one atomic type.
+macro_rules! atomic_type {
+    ($name:ident, $prim:ty, $to:expr, $from:expr) => {
+        /// Instrumented atomic (see module docs for the memory model).
+        #[derive(Debug)]
+        pub struct $name {
+            atom: Atom,
+        }
+
+        impl $name {
+            /// A new atomic holding `val`. Not `const` (unlike `std`):
+            /// each location gets a process-unique id.
+            pub fn new(val: $prim) -> Self {
+                Self {
+                    atom: Atom::new(($to)(val)),
+                }
+            }
+
+            /// Instrumented `load`.
+            pub fn load(&self, ord: Ordering) -> $prim {
+                ($from)(self.atom.load(ord))
+            }
+
+            /// Instrumented `store`.
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                self.atom.store(($to)(val), ord);
+            }
+
+            /// Instrumented `swap`.
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                ($from)(self.atom.rmw(ord, |_| ($to)(val)))
+            }
+
+            /// Instrumented `compare_exchange`.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.atom
+                    .cas(($to)(current), ($to)(new), success, failure)
+                    .map($from)
+                    .map_err($from)
+            }
+
+            /// Instrumented `compare_exchange_weak` (no spurious
+            /// failures are modeled).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(<$prim>::default())
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(val: $prim) -> Self {
+                Self::new(val)
+            }
+        }
+    };
+}
+
+atomic_type!(AtomicU64, u64, |v: u64| v, |v: u64| v);
+atomic_type!(AtomicUsize, usize, |v: usize| v as u64, |v: u64| v as usize);
+atomic_type!(AtomicBool, bool, |v: bool| v as u64, |v: u64| v != 0);
+
+impl AtomicU64 {
+    /// Instrumented `fetch_add` (wrapping, like `std`).
+    pub fn fetch_add(&self, val: u64, ord: Ordering) -> u64 {
+        self.atom.rmw(ord, |prev| prev.wrapping_add(val))
+    }
+
+    /// Instrumented `fetch_sub` (wrapping, like `std`).
+    pub fn fetch_sub(&self, val: u64, ord: Ordering) -> u64 {
+        self.atom.rmw(ord, |prev| prev.wrapping_sub(val))
+    }
+
+    /// Instrumented `fetch_max`.
+    pub fn fetch_max(&self, val: u64, ord: Ordering) -> u64 {
+        self.atom.rmw(ord, |prev| prev.max(val))
+    }
+
+    /// Instrumented `fetch_min`.
+    pub fn fetch_min(&self, val: u64, ord: Ordering) -> u64 {
+        self.atom.rmw(ord, |prev| prev.min(val))
+    }
+}
+
+impl AtomicUsize {
+    /// Instrumented `fetch_add` (wrapping, like `std`).
+    pub fn fetch_add(&self, val: usize, ord: Ordering) -> usize {
+        self.atom.rmw(ord, |prev| prev.wrapping_add(val as u64)) as usize
+    }
+
+    /// Instrumented `fetch_sub` (wrapping, like `std`).
+    pub fn fetch_sub(&self, val: usize, ord: Ordering) -> usize {
+        self.atom.rmw(ord, |prev| prev.wrapping_sub(val as u64)) as usize
+    }
+
+    /// Instrumented `fetch_max`.
+    pub fn fetch_max(&self, val: usize, ord: Ordering) -> usize {
+        self.atom.rmw(ord, |prev| prev.max(val as u64)) as usize
+    }
+}
+
+impl AtomicBool {
+    /// Instrumented `fetch_or`.
+    pub fn fetch_or(&self, val: bool, ord: Ordering) -> bool {
+        self.atom.rmw(ord, |prev| prev | (val as u64)) != 0
+    }
+
+    /// Instrumented `fetch_and`.
+    pub fn fetch_and(&self, val: bool, ord: Ordering) -> bool {
+        self.atom.rmw(ord, |prev| prev & (val as u64)) != 0
+    }
+}
+
+/// Grouped atomics, mirroring `std::sync::atomic` so facade re-exports
+/// can use one path.
+pub mod atomic {
+    pub use super::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Instrumented mutex: acquisition order is a scheduling decision,
+/// contention deschedules through the lock table (so lock cycles are
+/// reported as deadlocks), and lock/unlock carry the same
+/// happens-before edges a real mutex provides.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: u64,
+    data: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new instrumented mutex.
+    pub fn new(data: T) -> Self {
+        Self {
+            id: rt::new_object_id(),
+            data: StdMutex::new(data),
+        }
+    }
+
+    /// Instrumented `lock`. Always `Ok`: poisoning is subsumed by the
+    /// model's abort-on-panic semantics.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::with_ctx(|exec, tid| exec.mutex_acquire(tid, self.id));
+        // The real lock is uncontended: the scheduler admits one holder
+        // at a time, so this never blocks the OS thread.
+        let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            inner: Some(inner),
+            id: self.id,
+        })
+    }
+
+    /// Mirror of `std`'s `get_mut` (exclusive access needs no model
+    /// bookkeeping).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Mirror of `std`'s `into_inner`.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Guard for [`Mutex`]; releases through the scheduler on drop.
+pub struct MutexGuard<'a, T> {
+    inner: Option<StdGuard<'a, T>>,
+    id: u64,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before telling the scheduler: once the
+        // lock table shows it free, another managed thread may take the
+        // real lock, and it must not find this thread still holding it.
+        drop(self.inner.take());
+        rt::with_ctx(|exec, tid| exec.mutex_release(tid, self.id));
+        // The post-release yield is skipped while unwinding — a second
+        // unwind out of a destructor would abort the process. Waiters
+        // are still woken at the next scheduling point.
+        if !std::thread::panicking() {
+            rt::with_ctx(|exec, tid| exec.yield_point(tid));
+        }
+    }
+}

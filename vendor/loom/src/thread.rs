@@ -1,0 +1,210 @@
+//! Instrumented `std::thread` stand-ins: managed spawn/join and scoped
+//! threads whose scheduling goes through the model's token scheduler.
+//!
+//! Every managed thread is a *real* OS thread, but only the thread
+//! holding the scheduling token makes progress, so the interleaving is
+//! exactly the one the current [`crate::model::Builder`] schedule
+//! prescribes. Joins create the same happens-before edges `std` joins
+//! do (the joiner's vector clock absorbs the joinee's final clock).
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::rt::{self, Execution, Tid};
+
+type Slot<T> = Arc<Mutex<Option<T>>>;
+
+/// Body shared by free and scoped spawns: installs the context, waits
+/// for the first token grant, runs the closure, parks the result, and
+/// reports back to the scheduler.
+fn run_managed<F, T>(exec: Arc<Execution>, tid: Tid, f: F, slot: Slot<T>)
+where
+    F: FnOnce() -> T,
+{
+    rt::set_ctx(exec.clone(), tid);
+    exec.wait_for_grant(tid);
+    let caught = catch_unwind(AssertUnwindSafe(f));
+    let msg = match caught {
+        Ok(v) => {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+            None
+        }
+        Err(payload) => rt::panic_message(payload),
+    };
+    rt::clear_ctx();
+    exec.finish_thread(tid, msg);
+}
+
+/// Extracts a joined thread's result. The model aborts whole executions
+/// on any panic, so a join that returns at all returns `Ok` — matching
+/// the `std::thread::Result` shape call sites expect.
+fn take_result<T>(slot: &Slot<T>) -> std::thread::Result<T> {
+    let v = slot
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .expect("loom: joined thread left no result (double join?)");
+    Ok(v)
+}
+
+/// Handle to a free-spawned managed thread.
+pub struct JoinHandle<T> {
+    tid: Tid,
+    exec: Arc<Execution>,
+    result: Slot<T>,
+}
+
+/// Spawns a managed thread. The spawn point is a scheduling decision:
+/// the child may run immediately or arbitrarily later.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, parent) = rt::with_ctx(|e, t| (e.clone(), t));
+    let child = exec.register_child(parent);
+    let result: Slot<T> = Arc::new(Mutex::new(None));
+    let slot = result.clone();
+    let exec2 = exec.clone();
+    std::thread::spawn(move || run_managed(exec2, child, f, slot));
+    exec.yield_point(parent);
+    JoinHandle {
+        tid: child,
+        exec,
+        result,
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (through the scheduler) for the thread to finish and
+    /// returns its result, absorbing its clock.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::with_ctx(|_, me| self.exec.join_thread(me, self.tid));
+        take_result(&self.result)
+    }
+
+    /// Whether the thread has finished. Observing this is itself a
+    /// scheduling decision (the answer legitimately varies by
+    /// interleaving), so it yields first.
+    pub fn is_finished(&self) -> bool {
+        rt::with_ctx(|_, me| {
+            self.exec.yield_point(me);
+            self.exec.is_finished(self.tid)
+        })
+    }
+}
+
+/// Instrumented scope: wraps a real `std::thread::Scope` so borrows of
+/// `'env` data still typecheck, while routing every spawn through the
+/// scheduler. All still-running scoped threads are model-joined when
+/// the scope closure returns, *before* `std`'s own blocking joins run
+/// (which would otherwise block outside the scheduler and wedge the
+/// model); by then every real thread has finished, so the `std` joins
+/// return immediately.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    exec: Arc<Execution>,
+    spawned: Mutex<Vec<Tid>>,
+}
+
+/// Handle to a scoped managed thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    tid: Tid,
+    exec: Arc<Execution>,
+    result: Slot<T>,
+    _scope: PhantomData<&'scope ()>,
+}
+
+/// Instrumented `std::thread::scope`. The closure receives
+/// `&Scope<'scope, 'env>` (a short borrow of the wrapper, whose field
+/// is the `&'scope` reference `std` hands out) rather than `std`'s
+/// `&'scope Scope<'scope, 'env>`; call sites written against `std` are
+/// unaffected.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'a, 'scope> FnOnce(&'a Scope<'scope, 'env>) -> T,
+{
+    let exec = rt::with_ctx(|e, _| e.clone());
+    std::thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            exec,
+            spawned: Mutex::new(Vec::new()),
+        };
+        let out = f(&wrapper);
+        wrapper.join_all();
+        out
+    })
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a managed scoped thread (a scheduling decision, like
+    /// [`spawn`]).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let parent = rt::with_ctx(|_, t| t);
+        let child = self.exec.register_child(parent);
+        self.spawned
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(child);
+        let result: Slot<T> = Arc::new(Mutex::new(None));
+        let slot = result.clone();
+        let exec = self.exec.clone();
+        self.inner.spawn(move || run_managed(exec, child, f, slot));
+        self.exec.yield_point(parent);
+        ScopedJoinHandle {
+            tid: child,
+            exec: self.exec.clone(),
+            result,
+            _scope: PhantomData,
+        }
+    }
+
+    /// Model-joins every thread spawned in this scope. Joining a thread
+    /// that was already joined via its handle only re-absorbs its final
+    /// clock, which is harmless.
+    fn join_all(&self) {
+        let tids: Vec<Tid> =
+            std::mem::take(&mut *self.spawned.lock().unwrap_or_else(|e| e.into_inner()));
+        let me = rt::with_ctx(|_, t| t);
+        for tid in tids {
+            self.exec.join_thread(me, tid);
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits (through the scheduler) for the thread and returns its
+    /// result.
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::with_ctx(|_, me| self.exec.join_thread(me, self.tid));
+        take_result(&self.result)
+    }
+
+    /// Whether the thread has finished (yields first; see
+    /// [`JoinHandle::is_finished`]).
+    pub fn is_finished(&self) -> bool {
+        rt::with_ctx(|_, me| {
+            self.exec.yield_point(me);
+            self.exec.is_finished(self.tid)
+        })
+    }
+}
+
+/// Modeled `sleep`: duration is meaningless under a model checker, so
+/// this is just a yield point (any interleaving a real sleep permits,
+/// the scheduler can produce).
+pub fn sleep(_dur: Duration) {
+    rt::with_ctx(|exec, tid| exec.yield_point(tid));
+}
+
+/// Modeled `yield_now`: a plain yield point.
+pub fn yield_now() {
+    rt::with_ctx(|exec, tid| exec.yield_point(tid));
+}
