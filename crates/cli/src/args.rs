@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 use tkdc::Params;
 use tkdc_common::error::{invalid_param, Error, Result};
+use tkdc_coreset::CompactorKind;
 use tkdc_kernel::KernelKind;
 
 /// Parsed command-line flags.
@@ -30,6 +31,22 @@ pub const COMMON_FLAGS: &[&str] = &[
     "quiet",
     "trace-out",
     "trace-sample",
+    "coreset-eps",
+    "compactor",
+    "weighted",
+];
+
+/// Flags the `compact` subcommand understands: streaming CSV in,
+/// weighted CSV out — no training parameters.
+pub const COMPACT_FLAGS: &[&str] = &[
+    "input",
+    "output",
+    "coreset-eps",
+    "compactor",
+    "seed",
+    "header",
+    "columns",
+    "quiet",
 ];
 
 /// Flags the `serve` subcommand understands (a daemon takes no dataset
@@ -66,7 +83,7 @@ impl Flags {
                 return Err(invalid_param("args", format!("unknown flag `--{name}`")));
             }
             // Boolean flags take no value.
-            if matches!(name, "header" | "quiet") {
+            if matches!(name, "header" | "quiet" | "weighted") {
                 flags.bools.push(name.to_string());
                 i += 1;
                 continue;
@@ -136,6 +153,26 @@ impl Flags {
     /// `--trace-out` sink is set).
     pub fn trace_every(&self) -> Result<u64> {
         Ok(self.get_u64("trace-sample")?.unwrap_or(1))
+    }
+
+    /// Coreset accuracy from `--coreset-eps` (`None` = full-data fit).
+    pub fn coreset_eps(&self) -> Result<Option<f64>> {
+        self.get_f64("coreset-eps")
+    }
+
+    /// Compactor choice from `--compactor` for a `dim`-dimensional
+    /// dataset: `grid` | `sample` | `auto` (the default), where `auto`
+    /// picks by dimension via [`CompactorKind::auto_for_dim`].
+    pub fn compactor(&self, dim: usize) -> Result<CompactorKind> {
+        match self.get("compactor") {
+            None | Some("auto") => Ok(CompactorKind::auto_for_dim(dim)),
+            Some("grid") => Ok(CompactorKind::Grid),
+            Some("sample") => Ok(CompactorKind::Sample),
+            Some(other) => Err(invalid_param(
+                "compactor",
+                format!("expected grid|sample|auto, got `{other}`"),
+            )),
+        }
     }
 
     /// Column subset, e.g. `--columns 3,5`.

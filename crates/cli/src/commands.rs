@@ -1,12 +1,14 @@
 //! Subcommand implementations for the `tkdc` CLI.
 
-use crate::args::{usage_error, Flags, COMMON_FLAGS, EXPLAIN_FLAGS, SERVE_FLAGS};
-use std::io::Write;
+use crate::args::{usage_error, Flags, COMMON_FLAGS, COMPACT_FLAGS, EXPLAIN_FLAGS, SERVE_FLAGS};
+use std::io::{BufRead, Write};
 use tkdc::model_io::{load_model, save_model};
-use tkdc::{Classifier, ExecPolicy, Label, QueryTrace, TraceWriter};
+use tkdc::{Classifier, ExecPolicy, Label, Params, QueryTrace, TraceWriter};
 use tkdc_common::csv::{read_csv, CsvOptions};
 use tkdc_common::error::Result;
 use tkdc_common::Matrix;
+use tkdc_coreset::{CoresetConfig, StreamingCoreset, WeightedCoreset};
+use tkdc_obs::Registry;
 use tkdc_serve::{ServeConfig, Server};
 
 const USAGE: &str = "\
@@ -25,6 +27,9 @@ SUBCOMMANDS:
     outliers   one-shot: fit on the input and list its low-density rows:
                  tkdc outliers --input data.csv --p 0.01
     threshold  estimate the density threshold t(p) only
+    compact    stream a CSV into a weighted coreset (merge-reduce; memory
+               stays sublinear in the input; weight is the last column):
+                 tkdc compact --input big.csv --coreset-eps 1e-3 --output core.csv
     explain    trace one query and print its bound-convergence trajectory:
                  tkdc explain 0.3,-1.2 --model out.tkdc
     serve      serve a saved model over TCP (binary protocol, see DESIGN.md):
@@ -51,6 +56,16 @@ SHARED FLAGS:
                         to FILE as tkdc-trace/v1 JSONL (see DESIGN.md)
     --trace-sample N    trace every N-th query by batch index
                         (default 1 = all; 0 disables tracing)
+    --coreset-eps E     train/compact: build an ε-accurate weighted
+                        coreset (ε in units of K(0)) and fold ε into the
+                        certified interval — straddling queries report
+                        UNKNOWN instead of a possibly-wrong HIGH/LOW
+    --compactor C       grid | sample | auto (default auto: grid up to
+                        4 dims, sample above)
+    --weighted          train: the input's last column is a point weight
+                        (e.g. the output of `tkdc compact`; the coreset ε
+                        is read from the file's comment header unless
+                        overridden with --coreset-eps)
 
 EXPLAIN FLAGS:
     --point X,Y,...     the query point (or pass it positionally)
@@ -78,6 +93,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         "density" => density(rest),
         "outliers" => outliers(rest),
         "threshold" => threshold(rest),
+        "compact" => compact(rest),
         "explain" => explain(rest),
         "serve" => serve(rest),
         "help" | "--help" | "-h" => {
@@ -120,11 +136,208 @@ fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
             params.kernel
         );
     }
-    let clf = Classifier::fit_with_threads(data, &params, threads)?;
+    let clf = if flags.has("weighted") {
+        // The input's last column is a per-point weight (the layout
+        // `tkdc compact` emits); the coreset ε comes from the explicit
+        // flag or the compact file's comment header.
+        if data.cols() < 2 {
+            return Err(usage_error(
+                "`--weighted` input needs at least one coordinate column plus the weight column",
+            ));
+        }
+        let dim = data.cols() - 1;
+        let coords: Vec<usize> = (0..dim).collect();
+        let points = data.select_columns(&coords)?;
+        let weights = data.column(dim);
+        let eps = match flags.coreset_eps()? {
+            Some(e) => e,
+            None => flags
+                .get("input")
+                .and_then(sniff_coreset_eps)
+                .unwrap_or(0.0),
+        };
+        if !flags.has("quiet") {
+            eprintln!(
+                "weighted fit on {} points (coreset ε = {eps})",
+                points.rows()
+            );
+        }
+        Classifier::fit_weighted_with_threads(&points, &weights, eps, &params, threads)?
+    } else if let Some(eps) = flags.coreset_eps()? {
+        // Compact in-process, then fit on the weighted coreset with ε
+        // folded into the certified interval.
+        let cfg = CoresetConfig {
+            eps,
+            kind: flags.compactor(data.cols())?,
+            seed: params.seed,
+            chunk_capacity: None,
+        };
+        let mut sc = StreamingCoreset::new(data.cols(), cfg)?;
+        sc.push_matrix(data)?;
+        let cs = sc.finish()?;
+        if !flags.has("quiet") {
+            eprintln!(
+                "compacted {} rows to {} weighted points ({:?} compactor, ε = {eps})",
+                cs.stats.points_in, cs.stats.points_out, cfg.kind
+            );
+            report_coreset_counters(&cs);
+        }
+        Classifier::fit_weighted_with_threads(&cs.points, &cs.weights, eps, &params, threads)?
+    } else {
+        Classifier::fit_with_threads(data, &params, threads)?
+    };
     if !flags.has("quiet") {
         eprintln!("threshold t(p) = {:.6e}", clf.threshold());
     }
     Ok(clf)
+}
+
+/// Registers the construction counters of a finished coreset in a
+/// metrics [`Registry`] and prints its snapshot to stderr (one
+/// `name=value` per line, registration order).
+fn report_coreset_counters(cs: &WeightedCoreset) {
+    let reg = Registry::new();
+    reg.counter("coreset.points_in").add(cs.stats.points_in);
+    reg.counter("coreset.points_out").add(cs.stats.points_out);
+    // CAST: eps ∈ (0,1); parts-per-billion fit comfortably in u64.
+    let eps_ppb = (cs.eps * 1e9).round().clamp(0.0, u64::MAX as f64) as u64;
+    reg.counter("coreset.eps_ppb").add(eps_ppb);
+    reg.counter("coreset.reduces").add(cs.stats.reduces);
+    reg.counter("coreset.max_resident_points")
+        .add(cs.stats.max_resident_points);
+    for (name, value) in reg.snapshot().counters {
+        eprintln!("{name}={value}");
+    }
+}
+
+/// Reads the coreset ε back out of a `tkdc compact` output file's
+/// comment header (`# tkdc-coreset/v1 eps=... ...`).
+fn sniff_coreset_eps(path: &str) -> Option<f64> {
+    let file = std::fs::File::open(path).ok()?;
+    let reader = std::io::BufReader::new(file);
+    for line in reader.lines().take(8) {
+        let line = line.ok()?;
+        if let Some(rest) = line.trim().strip_prefix("# tkdc-coreset/v1") {
+            for tok in rest.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("eps=") {
+                    return v.parse().ok();
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `tkdc compact`: stream a CSV line-by-line into a merge-reduce
+/// coreset builder and write the weighted result. The input is never
+/// materialized — peak memory is the builder's `O(m log(n/m))` buffers,
+/// which is what lets this run over datasets far larger than RAM.
+fn compact(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args, COMPACT_FLAGS)?;
+    let in_path = flags.require("input")?;
+    let out_path = flags.require("output")?;
+    let eps = flags
+        .coreset_eps()?
+        .ok_or_else(|| usage_error("missing required flag `--coreset-eps`"))?;
+    let seed = flags.get_u64("seed")?.unwrap_or(Params::default().seed);
+    let columns = flags.columns()?;
+
+    let file = std::fs::File::open(in_path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut builder: Option<StreamingCoreset> = None;
+    let mut header_skipped = !flags.has("header");
+    let mut row: Vec<f64> = Vec::new();
+    let mut fields: Vec<f64> = Vec::new();
+    let mut skipped = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if !header_skipped {
+            header_skipped = true;
+            continue;
+        }
+        fields.clear();
+        let mut bad = false;
+        for tok in trimmed.split(',') {
+            match tok.trim().parse::<f64>().ok().filter(|v| v.is_finite()) {
+                Some(v) => fields.push(v),
+                None => {
+                    bad = true;
+                    break;
+                }
+            }
+        }
+        if !bad {
+            row.clear();
+            match &columns {
+                Some(cols) => {
+                    for &c in cols {
+                        match fields.get(c) {
+                            Some(&v) => row.push(v),
+                            None => {
+                                bad = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                None => row.extend_from_slice(&fields),
+            }
+        }
+        if bad || row.is_empty() {
+            skipped += 1;
+            continue;
+        }
+        let sc = match &mut builder {
+            Some(sc) => sc,
+            None => {
+                let cfg = CoresetConfig {
+                    eps,
+                    kind: flags.compactor(row.len())?,
+                    seed,
+                    chunk_capacity: None,
+                };
+                builder.insert(StreamingCoreset::new(row.len(), cfg)?)
+            }
+        };
+        if row.len() != sc.dim() {
+            // Ragged row: mirrors `skip_bad_rows` in the batch loader.
+            skipped += 1;
+            continue;
+        }
+        sc.push(&row)?;
+    }
+    let builder =
+        builder.ok_or_else(|| usage_error(format!("no numeric rows parsed from `{in_path}`")))?;
+    let cs = builder.finish()?;
+
+    // Weighted CSV out: coordinates then weight, behind a self-
+    // describing comment header `train --weighted` can sniff ε from.
+    let mut w = std::io::BufWriter::new(std::fs::File::create(out_path)?);
+    writeln!(
+        w,
+        "# tkdc-coreset/v1 eps={} points_in={} points_out={}",
+        cs.eps, cs.stats.points_in, cs.stats.points_out
+    )?;
+    for i in 0..cs.points.rows() {
+        for v in cs.points.row(i) {
+            write!(w, "{v},")?;
+        }
+        writeln!(w, "{}", cs.weights[i])?;
+    }
+    w.flush()?;
+
+    if !flags.has("quiet") {
+        eprintln!(
+            "compacted {} rows to {} weighted points ({} skipped) → {out_path}",
+            cs.stats.points_in, cs.stats.points_out, skipped
+        );
+        report_coreset_counters(&cs);
+    }
+    Ok(())
 }
 
 /// Writes lines either to `--output` or stdout.
@@ -189,6 +402,7 @@ fn classify(args: &[String]) -> Result<()> {
             match l {
                 Label::High => "HIGH",
                 Label::Low => "LOW",
+                Label::Unknown => "UNKNOWN",
             }
             .to_string()
         }),
@@ -682,6 +896,166 @@ mod tests {
         assert!(trace
             .lines()
             .all(|l| l.starts_with("{\"schema\":\"tkdc-trace/v1\"")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_then_weighted_train_round_trip() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_compact");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let core_path = dir.join("core.csv");
+        let model_path = dir.join("model.tkdc");
+        let out_path = dir.join("labels.txt");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "compact",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--coreset-eps",
+            "0.05",
+            "--output",
+            core_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        let core = std::fs::read_to_string(&core_path).unwrap();
+        let mut lines = core.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("# tkdc-coreset/v1 eps=0.05"), "{header}");
+        assert!(header.contains("points_in=601"));
+        // Weighted rows: x,y,w with weights summing to the input count.
+        let mut total = 0.0;
+        for line in lines {
+            let parts: Vec<&str> = line.split(',').collect();
+            assert_eq!(parts.len(), 3, "bad weighted row {line}");
+            total += parts[2].parse::<f64>().unwrap();
+        }
+        assert!((total - 601.0).abs() < 1e-6, "weights sum to {total}");
+
+        // `train --weighted` sniffs ε from the header and folds it in.
+        run(&argv(&[
+            "train",
+            "--input",
+            core_path.to_str().unwrap(),
+            "--weighted",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--p",
+            "0.05",
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "classify",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--input",
+            data_path.to_str().unwrap(),
+            "--output",
+            out_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        let labels = std::fs::read_to_string(&out_path).unwrap();
+        let lines: Vec<&str> = labels.lines().collect();
+        assert_eq!(lines.len(), 601);
+        assert!(lines
+            .iter()
+            .all(|l| matches!(*l, "HIGH" | "LOW" | "UNKNOWN")));
+        // The planted far outlier must never be certified HIGH.
+        assert_ne!(lines[600], "HIGH");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_with_coreset_eps_compacts_in_process() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_train_coreset");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let model_path = dir.join("model.tkdc");
+        let out_path = dir.join("labels.txt");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "train",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--coreset-eps",
+            "0.05",
+            "--compactor",
+            "sample",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--p",
+            "0.05",
+            "--quiet",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "classify",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--input",
+            data_path.to_str().unwrap(),
+            "--output",
+            out_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        let labels = std::fs::read_to_string(&out_path).unwrap();
+        let lines: Vec<&str> = labels.lines().collect();
+        assert_eq!(lines.len(), 601);
+        assert_ne!(lines[600], "HIGH");
+        // Bad compactor name is rejected.
+        assert!(run(&argv(&[
+            "train",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--coreset-eps",
+            "0.05",
+            "--compactor",
+            "octree",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_requires_eps_and_input_rows() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_compact_err");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let core_path = dir.join("core.csv");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert!(run(&argv(&[
+            "compact",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--output",
+            core_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .is_err());
+        // Comment-only file: no numeric rows.
+        let empty = dir.join("empty.csv");
+        std::fs::write(&empty, "# nothing here\n").unwrap();
+        assert!(run(&argv(&[
+            "compact",
+            "--input",
+            empty.to_str().unwrap(),
+            "--coreset-eps",
+            "0.05",
+            "--output",
+            core_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -61,6 +61,69 @@ pub fn column_stds(x: &Matrix) -> Vec<f64> {
     acc
 }
 
+/// Per-column weighted means: `μ_c = Σ w_i x_ic / Σ w_i`.
+///
+/// With unit weights this reduces to [`column_means`]. Weights are
+/// assumed positive (the k-d tree builder enforces this for coreset
+/// data); a zero total weight returns all-zero means.
+///
+/// # Panics
+/// Panics when `weights.len() != x.rows()` — a programming error, not a
+/// data error.
+pub fn column_means_weighted(x: &Matrix, weights: &[f64]) -> Vec<f64> {
+    assert_eq!(weights.len(), x.rows(), "one weight per row");
+    let d = x.cols();
+    let mut sums = vec![0.0; d];
+    let mut total = 0.0;
+    for (row, &w) in x.iter_rows().zip(weights) {
+        total += w;
+        for (s, &v) in sums.iter_mut().zip(row) {
+            *s += w * v;
+        }
+    }
+    if total > 0.0 {
+        for s in &mut sums {
+            *s /= total;
+        }
+    }
+    sums
+}
+
+/// Per-column weighted population standard deviations:
+/// `σ_c = sqrt(Σ w_i (x_ic − μ_c)² / Σ w_i)`.
+///
+/// This is the statistic a weighted coreset carries for Scott's-rule
+/// bandwidth selection: with weights summing to the original point count
+/// it approximates the full dataset's per-column spread.
+///
+/// # Panics
+/// Panics when `weights.len() != x.rows()`.
+pub fn column_stds_weighted(x: &Matrix, weights: &[f64]) -> Vec<f64> {
+    assert_eq!(weights.len(), x.rows(), "one weight per row");
+    let d = x.cols();
+    if x.rows() == 0 {
+        return vec![0.0; d];
+    }
+    let means = column_means_weighted(x, weights);
+    let mut acc = vec![0.0; d];
+    let mut total = 0.0;
+    for (row, &w) in x.iter_rows().zip(weights) {
+        total += w;
+        for c in 0..d {
+            let diff = row[c] - means[c];
+            acc[c] += w * diff * diff;
+        }
+    }
+    for a in &mut acc {
+        *a = if total > 0.0 {
+            (*a / total).sqrt()
+        } else {
+            0.0
+        };
+    }
+    acc
+}
+
 /// `p`-th percentile of each column (p in `[0,1]`), via quickselect.
 pub fn column_percentiles(x: &Matrix, p: f64) -> Result<Vec<f64>> {
     if x.rows() == 0 {
@@ -209,6 +272,37 @@ mod tests {
         let stds = column_stds(&m);
         assert_close(stds[0], (8.0f64 / 3.0).sqrt(), 1e-12);
         assert_close(stds[1], 0.0, 1e-12);
+    }
+
+    #[test]
+    fn weighted_column_stats_match_duplication() {
+        // Integer weights ≡ duplicating rows: the weighted statistics
+        // must agree with the unweighted ones over the expanded dataset.
+        let compact =
+            Matrix::from_rows(&[vec![1.0, -2.0], vec![3.0, 0.5], vec![5.0, 4.0]]).unwrap();
+        let weights = [2.0, 1.0, 3.0];
+        let mut expanded = Matrix::with_cols(2);
+        for (row, &w) in compact.iter_rows().zip(&weights) {
+            for _ in 0..w as usize {
+                expanded.push_row(row).unwrap();
+            }
+        }
+        let wm = column_means_weighted(&compact, &weights);
+        let ws = column_stds_weighted(&compact, &weights);
+        let em = column_means(&expanded);
+        let es = column_stds(&expanded);
+        for c in 0..2 {
+            assert_close(wm[c], em[c], 1e-12);
+            assert_close(ws[c], es[c], 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_stats() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]]).unwrap();
+        let w = [1.0; 3];
+        assert_eq!(column_means_weighted(&m, &w), column_means(&m));
+        assert_eq!(column_stds_weighted(&m, &w), column_stds(&m));
     }
 
     #[test]

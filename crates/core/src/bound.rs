@@ -156,7 +156,12 @@ impl<'a> DensityBounder<'a> {
         stop: impl Fn(f64, f64) -> Option<PruneCause>,
     ) -> DensityBounds {
         debug_assert_eq!(x.len(), self.tree.dim());
-        let n = self.tree.len() as f64;
+        // Density bounds are phrased in node *masses*: for an unweighted
+        // tree `node_mass(id)` is bit-identical to `count(id) as f64`, so
+        // this generalization changes nothing for full-data fits; for a
+        // weighted (coreset) tree each point contributes its weight and
+        // the normalizer is the total mass `W = Σ w_i`.
+        let n = self.tree.total_mass();
         let inv_h = self.kernel.inv_bandwidths();
 
         scratch.heap.clear();
@@ -165,7 +170,7 @@ impl<'a> DensityBounder<'a> {
         let root = self.tree.root();
         let (u_min, u_max) = self.tree.scaled_sq_dist_bounds(root, x, inv_h);
         scratch.stats.bound_evals += 2;
-        let count = self.tree.count(root) as f64;
+        let count = self.tree.node_mass(root);
         let w_hi = count / n * self.kernel.eval_scaled_sq(u_min);
         let w_lo = count / n * self.kernel.eval_scaled_sq(u_max);
         let mut f_lo = w_lo;
@@ -193,8 +198,13 @@ impl<'a> DensityBounder<'a> {
             match self.tree.children(entry.node) {
                 None => {
                     // Leaf: replace the bound with the exact contribution,
-                    // summed over the leaf's contiguous point block.
-                    let exact = self.kernel.sum_block(x, self.tree.node_block(entry.node)) / n;
+                    // summed over the leaf's contiguous point block
+                    // (weight-scaled when the tree carries point masses).
+                    let block = self.tree.node_block(entry.node);
+                    let exact = match self.tree.node_weights(entry.node) {
+                        Some(w) => self.kernel.sum_block_weighted(x, block, w) / n,
+                        None => self.kernel.sum_block(x, block) / n,
+                    };
                     scratch.stats.kernel_evals += self.tree.count(entry.node) as u64; // CAST: usize count widens to u64
                     f_lo += exact;
                     f_hi += exact;
@@ -203,7 +213,7 @@ impl<'a> DensityBounder<'a> {
                     for child in [left, right] {
                         let (u_min, u_max) = self.tree.scaled_sq_dist_bounds(child, x, inv_h);
                         scratch.stats.bound_evals += 2;
-                        let c = self.tree.count(child) as f64;
+                        let c = self.tree.node_mass(child);
                         let w_hi = c / n * self.kernel.eval_scaled_sq(u_min);
                         let w_lo = c / n * self.kernel.eval_scaled_sq(u_max);
                         f_lo += w_lo;

@@ -17,7 +17,7 @@ use tkdc_common::error::{Error, Result};
 use tkdc_common::order::quantile_in_place;
 use tkdc_common::Matrix;
 use tkdc_index::{BandwidthGrid, KdTree, MAX_GRID_DIM};
-use tkdc_kernel::{scotts_rule, Kernel};
+use tkdc_kernel::{scotts_rule, scotts_rule_from_stds, Kernel};
 
 /// Re-export so callers can reference the grid dimensionality cap without
 /// importing the index crate.
@@ -30,6 +30,13 @@ pub enum Label {
     High,
     /// Density below the threshold.
     Low,
+    /// The ε-folded certified interval straddles the threshold: a
+    /// coreset-backed model (`coreset_eps > 0`) cannot certify either
+    /// label against the *full* dataset. Full-data models never produce
+    /// this — their tolerance rule resolves straddles by midpoint, which
+    /// the paper's guarantee covers; a coreset's additional ±ε error
+    /// does not, so the straddle is surfaced honestly instead.
+    Unknown,
 }
 
 /// Execution policy for the unified batch entry points
@@ -129,6 +136,11 @@ pub struct Classifier {
     grid: Option<BandwidthGrid>,
     grid_diag_sq: f64,
     threshold: f64,
+    /// Relative coreset error ε (in units of the kernel maximum `K(0)`);
+    /// `0.0` for full-data fits. When positive, every certified density
+    /// interval is widened by `coreset_eps · K(0)` and straddling queries
+    /// classify as [`Label::Unknown`].
+    coreset_eps: f64,
     fit_report: FitReport,
 }
 
@@ -261,6 +273,139 @@ impl Classifier {
             grid,
             grid_diag_sq,
             threshold,
+            coreset_eps: 0.0,
+            fit_report,
+        })
+    }
+
+    /// Trains a classifier on a *weighted* dataset — typically a coreset
+    /// produced by `tkdc-coreset` — where row `i` carries mass
+    /// `weights[i]` and the KDE is `f(x) = Σ w_i K(x, x_i) / Σ w_i`.
+    ///
+    /// `coreset_eps` is the coreset's certified relative density error
+    /// (in units of the kernel maximum `K(0)`): the weighted KDE is
+    /// guaranteed to lie within `±coreset_eps·K(0)` of the full-data KDE.
+    /// It is folded into every certified interval the classifier hands
+    /// out — [`Self::classify_with`] returns [`Label::Unknown`] when the
+    /// widened interval straddles the threshold, so a certified
+    /// `High`/`Low` from a coreset model is certified *against the full
+    /// dataset*, not just the coreset. Pass `0.0` for exactly-weighted
+    /// data (e.g. pre-aggregated duplicates) to keep the paper's midpoint
+    /// rule.
+    ///
+    /// Differences from [`Self::fit`]: no threshold bootstrap (the
+    /// coreset is already small enough for a direct relative-precision
+    /// density pass), the threshold is the *weighted* p-quantile of
+    /// training densities, and the grid cache is disabled (its integer
+    /// cell counts cannot carry fractional mass).
+    ///
+    /// # Errors
+    /// Propagates parameter-validation errors; rejects empty input,
+    /// weight/row count mismatches, non-finite or negative `coreset_eps`,
+    /// and non-positive weights (via the weighted tree build).
+    pub fn fit_weighted(
+        data: &Matrix,
+        weights: &[f64],
+        coreset_eps: f64,
+        params: &Params,
+    ) -> Result<Self> {
+        Self::fit_weighted_with_threads(data, weights, coreset_eps, params, 1)
+    }
+
+    /// [`Self::fit_weighted`] with the density pass work-stolen across up
+    /// to `n_threads` threads. Bit-identical to the serial path for every
+    /// thread count: densities come back in index order and the weighted
+    /// quantile sorts them deterministically.
+    ///
+    /// # Errors
+    /// See [`Self::fit_weighted`].
+    pub fn fit_weighted_with_threads(
+        data: &Matrix,
+        weights: &[f64],
+        coreset_eps: f64,
+        params: &Params,
+        n_threads: usize,
+    ) -> Result<Self> {
+        params.validate()?;
+        if data.rows() == 0 {
+            return Err(Error::EmptyInput("training data"));
+        }
+        if weights.len() != data.rows() {
+            return Err(Error::DimensionMismatch {
+                expected: data.rows(),
+                actual: weights.len(),
+            });
+        }
+        if !coreset_eps.is_finite() || coreset_eps < 0.0 {
+            return Err(Error::Numeric(format!(
+                "coreset epsilon must be finite and non-negative, got {coreset_eps}"
+            )));
+        }
+        let n_threads = n_threads.max(1);
+
+        // Weight-aware index: node masses replace point counts in every
+        // density bound the traversal computes.
+        let tree =
+            KdTree::build_weighted(data, weights, params.leaf_size, params.opts.split_rule())?;
+        let w_total = tree.total_mass();
+
+        // Bandwidths from *weighted* column statistics with the effective
+        // sample size W = Σw: a coreset whose weights sum to the input
+        // count reproduces the full-data Scott's-rule bandwidth, which
+        // label agreement with the full-data fit requires.
+        let stds = tkdc_common::stats::column_stds_weighted(data, weights);
+        let eff_n = (w_total.round() as usize).max(1); // CAST: total mass is a point count far below 2^53
+        let h = scotts_rule_from_stds(&stds, eff_n, params.bandwidth_factor)?;
+        let kernel = Kernel::new(params.kernel, h)?;
+        let k0 = kernel.max_value();
+
+        // Training densities at relative precision ε — no bootstrap
+        // bounds exist to prune against, and none are needed at coreset
+        // scale. Each point's self-contribution is its own mass share
+        // w_i·K(0)/W (Eq. 1 generalized to weighted points).
+        let bounder = DensityBounder::new(&tree, &kernel, params.opts, params.epsilon);
+        let (densities, worker_scratches) =
+            engine::run_batch(data.rows(), n_threads, QueryScratch::new, |i, scratch| {
+                let b = bounder.bound_density_relative(data.row(i), params.epsilon, scratch);
+                let self_i = weights[i] * k0 / w_total;
+                Ok((b.midpoint() - self_i).max(0.0))
+            })?;
+        let mut training_stats = QueryStats::default();
+        for s in &worker_scratches {
+            training_stats.merge(&s.stats);
+        }
+
+        // Weighted p-quantile: the smallest density d with
+        // Σ{w_i : density_i ≤ d} ≥ p·W. With unit weights this is exactly
+        // the rank-⌈np⌉ order statistic the unweighted fit uses.
+        let threshold = weighted_quantile(&densities, weights, params.p)?;
+
+        // ε-folding: the pass above certifies the *coreset* KDE; the
+        // full-data KDE lives within ±ε_abs of it, so the stored bounds
+        // widen by the absolute coreset error on top of the usual ±ε·t
+        // tolerance slack.
+        let eps_abs = coreset_eps * k0;
+        let threshold_bounds = ThresholdBounds {
+            lower: threshold * (1.0 - params.epsilon),
+            upper: threshold * (1.0 + params.epsilon),
+        }
+        .folded(eps_abs);
+
+        let fit_report = FitReport {
+            threshold_bounds,
+            threshold,
+            bootstrap: BootstrapReport::default(),
+            training_stats,
+            threshold_reestimates: 0,
+        };
+        Ok(Self {
+            params: params.clone(),
+            tree,
+            kernel,
+            grid: None,
+            grid_diag_sq: 0.0,
+            threshold,
+            coreset_eps,
             fit_report,
         })
     }
@@ -279,6 +424,7 @@ impl Classifier {
         grid: Option<BandwidthGrid>,
         threshold: f64,
         threshold_bounds: ThresholdBounds,
+        coreset_eps: f64,
     ) -> Result<Self> {
         params.validate()?;
         if kernel.dim() != tree.dim() {
@@ -289,6 +435,19 @@ impl Classifier {
         }
         if !threshold.is_finite() || threshold < 0.0 {
             return Err(Error::Numeric("loaded threshold is not a density".into()));
+        }
+        if !coreset_eps.is_finite() || coreset_eps < 0.0 {
+            return Err(Error::Numeric(
+                "loaded coreset epsilon is not a valid error bound".into(),
+            ));
+        }
+        // The grid's u32 cell counts ignore point masses and its fast
+        // path certifies against the coreset, not the full data — a
+        // weighted or ε-folded model must never carry one.
+        if grid.is_some() && (tree.is_weighted() || coreset_eps > 0.0) {
+            return Err(Error::Numeric(
+                "weighted/coreset models cannot carry a grid cache".into(),
+            ));
         }
         if let Some(g) = &grid {
             // The grid's cell edges must align with the kernel/tree
@@ -319,6 +478,7 @@ impl Classifier {
             grid,
             grid_diag_sq,
             threshold,
+            coreset_eps,
             fit_report,
         })
     }
@@ -331,6 +491,18 @@ impl Classifier {
     /// The refined threshold estimate `t̃(p)`.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// The coreset's certified relative density error ε (in units of the
+    /// kernel maximum `K(0)`); `0.0` for full-data fits.
+    pub fn coreset_eps(&self) -> f64 {
+        self.coreset_eps
+    }
+
+    /// The absolute density error the ε-fold widens certified intervals
+    /// by: `coreset_eps · K(0)`. Zero for full-data fits.
+    pub fn coreset_eps_abs(&self) -> f64 {
+        self.coreset_eps * self.kernel.max_value()
     }
 
     /// The parameters the model was trained with.
@@ -380,9 +552,28 @@ impl Classifier {
 
     /// Classifies one query point with a caller-provided scratch (the
     /// zero-allocation hot path).
+    ///
+    /// Full-data models answer [`Label::High`]/[`Label::Low`] by the
+    /// paper's midpoint rule. Coreset-backed models (`coreset_eps > 0`)
+    /// answer by the ε-folded certified interval instead: `High` only
+    /// when `lower > t̃`, `Low` only when `upper < t̃`, and
+    /// [`Label::Unknown`] when the widened interval straddles — so a
+    /// certified label from a coreset model holds against the *full*
+    /// dataset, never flipping a label the full-data model certifies.
     pub fn classify_with(&self, x: &[f64], scratch: &mut QueryScratch) -> Result<Label> {
         self.check_dim(x)?;
         let t = self.threshold;
+        if self.coreset_eps > 0.0 {
+            // ε-folded path: bound_density_with already widens by ε_abs.
+            let b = self.bound_density_with(x, scratch)?;
+            return Ok(if b.lower > t {
+                Label::High
+            } else if b.upper < t {
+                Label::Low
+            } else {
+                Label::Unknown
+            });
+        }
         // Grid fast path: same-cell mass already proves HIGH.
         if let Some(g) = &self.grid {
             // The probe computes one density lower bound; account for it so
@@ -417,6 +608,12 @@ impl Classifier {
 
     /// Density bounds for a query against the fitted threshold
     /// (`t_l = t_u = t̃`), exposing the raw Algorithm 2 output.
+    ///
+    /// For a coreset-backed model the traversal prunes against the
+    /// ε-widened thresholds `[t̃ − ε_abs, t̃ + ε_abs]` and the returned
+    /// interval is widened by `ε_abs = coreset_eps·K(0)` on each side
+    /// (lower clamped at zero), so it certifies the *full-data* density,
+    /// not just the coreset's. Full-data models are unaffected.
     pub fn bound_density_with(
         &self,
         x: &[f64],
@@ -429,13 +626,24 @@ impl Classifier {
             self.params.opts,
             self.params.epsilon,
         );
-        Ok(bounder.bound_density(x, self.threshold, self.threshold, scratch))
+        let ea = self.coreset_eps_abs();
+        let t_lo = (self.threshold - ea).max(0.0);
+        let t_hi = self.threshold + ea;
+        let mut b = bounder.bound_density(x, t_lo, t_hi, scratch);
+        if ea > 0.0 {
+            b.lower = (b.lower - ea).max(0.0);
+            b.upper += ea;
+        }
+        Ok(b)
     }
 
     /// Density bounds refined to *relative* precision `rtol`
     /// (`f_u − f_l ≤ rtol·f_l`), independent of the threshold — for
     /// callers that need density *values* (log-likelihood ratios,
-    /// p-value-style reporting) rather than a classification.
+    /// p-value-style reporting) rather than a classification. For
+    /// coreset-backed models the returned interval is additionally
+    /// widened by `±coreset_eps·K(0)` so it certifies the full-data
+    /// density.
     pub fn bound_density_relative_with(
         &self,
         x: &[f64],
@@ -449,10 +657,19 @@ impl Classifier {
             self.params.opts,
             self.params.epsilon,
         );
-        Ok(bounder.bound_density_relative(x, rtol, scratch))
+        let mut b = bounder.bound_density_relative(x, rtol, scratch);
+        let ea = self.coreset_eps_abs();
+        if ea > 0.0 {
+            b.lower = (b.lower - ea).max(0.0);
+            b.upper += ea;
+        }
+        Ok(b)
     }
 
     /// Exact kernel density of a query (exhaustive; test/diagnostic use).
+    /// For weighted models this is exact with respect to the *weighted
+    /// training set* — the full-data density it approximates still lives
+    /// within `±coreset_eps·K(0)` of the returned value.
     pub fn exact_density(&self, x: &[f64]) -> Result<f64> {
         self.check_dim(x)?;
         let bounder = DensityBounder::new(
@@ -666,64 +883,32 @@ impl Classifier {
             self.bound_density_with(queries.row(i), scratch)
         })
     }
+}
 
-    /// Serial batch classification.
-    #[deprecated(note = "use `classify_batch_with(queries, ExecPolicy::Serial)`")]
-    pub fn classify_batch(&self, queries: &Matrix) -> Result<(Vec<Label>, QueryStats)> {
-        self.classify_batch_with(queries, ExecPolicy::Serial)
+/// Weighted `p`-quantile: the smallest value `v` in `values` such that
+/// the weights of all values `≤ v` sum to at least `p · Σw`. Reduces to
+/// the rank-`⌈np⌉` order statistic for unit weights. Ties sort by index
+/// (stable), so the result is deterministic for a fixed input.
+fn weighted_quantile(values: &[f64], weights: &[f64], p: f64) -> Result<f64> {
+    debug_assert_eq!(values.len(), weights.len());
+    if values.is_empty() {
+        return Err(Error::EmptyInput("weighted quantile values"));
     }
-
-    /// Work-stealing parallel batch classification.
-    #[deprecated(
-        note = "use `classify_batch_with(queries, ExecPolicy::Parallel { threads: Some(n) })`"
-    )]
-    pub fn classify_batch_parallel(
-        &self,
-        queries: &Matrix,
-        n_threads: usize,
-    ) -> Result<(Vec<Label>, QueryStats)> {
-        self.classify_batch_with(
-            queries,
-            ExecPolicy::Parallel {
-                threads: Some(n_threads),
-            },
-        )
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    // IEEE total order: a NaN density sorts last instead of panicking.
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let total: f64 = weights.iter().sum();
+    let target = p * total;
+    let mut acc = 0.0;
+    for &i in &idx {
+        acc += weights[i];
+        if acc >= target {
+            return Ok(values[i]);
+        }
     }
-
-    /// Statically chunked parallel batch classification (scheduler
-    /// baseline).
-    #[deprecated(
-        note = "use `classify_batch_with(queries, ExecPolicy::StaticChunked { threads: Some(n) })`"
-    )]
-    pub fn classify_batch_static(
-        &self,
-        queries: &Matrix,
-        n_threads: usize,
-    ) -> Result<(Vec<Label>, QueryStats)> {
-        self.classify_batch_with(
-            queries,
-            ExecPolicy::StaticChunked {
-                threads: Some(n_threads),
-            },
-        )
-    }
-
-    /// Work-stealing parallel batch density bounding.
-    #[deprecated(
-        note = "use `bound_density_batch_with(queries, ExecPolicy::Parallel { threads: Some(n) })`"
-    )]
-    pub fn bound_density_batch_parallel(
-        &self,
-        queries: &Matrix,
-        n_threads: usize,
-    ) -> Result<(Vec<DensityBounds>, QueryStats)> {
-        self.bound_density_batch_with(
-            queries,
-            ExecPolicy::Parallel {
-                threads: Some(n_threads),
-            },
-        )
-    }
+    // Accumulated rounding can leave acc a hair under p·Σw at the end;
+    // the largest value is then the quantile by construction.
+    Ok(values[idx[values.len() - 1]])
 }
 
 #[cfg(test)]
@@ -872,34 +1057,115 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the wrappers must stay equivalent to the unified API
-    fn deprecated_wrappers_match_unified_api() {
-        let data = gaussian_blob(1500, 2, 131);
-        let clf = Classifier::fit(&data, &Params::default()).unwrap();
-        let queries = gaussian_blob(400, 2, 137);
-        let (unified, u_stats) = clf
-            .classify_batch_with(&queries, ExecPolicy::Serial)
-            .unwrap();
-        let (serial, s_stats) = clf.classify_batch(&queries).unwrap();
-        assert_eq!(unified, serial);
-        assert_eq!(u_stats, s_stats);
-        let (par, p_stats) = clf.classify_batch_parallel(&queries, 4).unwrap();
-        assert_eq!(unified, par);
-        assert_eq!(u_stats, p_stats);
-        let (chunked, c_stats) = clf.classify_batch_static(&queries, 4).unwrap();
-        assert_eq!(unified, chunked);
-        assert_eq!(u_stats, c_stats);
-        let (b_unified, bu_stats) = clf
-            .bound_density_batch_with(&queries, ExecPolicy::with_threads(4))
-            .unwrap();
-        let (b_old, bo_stats) = clf.bound_density_batch_parallel(&queries, 4).unwrap();
-        assert_eq!(b_unified.len(), b_old.len());
-        for (a, b) in b_unified.iter().zip(&b_old) {
-            assert_eq!(a.lower, b.lower);
-            assert_eq!(a.upper, b.upper);
-            assert_eq!(a.cause, b.cause);
+    fn fit_weighted_unit_weights_classifies_like_full_fit() {
+        let data = gaussian_blob(2000, 2, 131);
+        let weights = vec![1.0; data.rows()];
+        let clf = Classifier::fit_weighted(&data, &weights, 0.0, &Params::default()).unwrap();
+        assert_eq!(clf.coreset_eps(), 0.0);
+        assert!(!clf.grid_enabled(), "weighted fits never build a grid");
+        assert_eq!(clf.classify(&[0.0, 0.0]).unwrap(), Label::High);
+        assert_eq!(clf.classify(&[6.0, 6.0]).unwrap(), Label::Low);
+        // Same data through the bootstrap path: thresholds agree within
+        // the tolerance both estimators carry.
+        let full = Classifier::fit(&data, &Params::default()).unwrap();
+        let rel = (clf.threshold() - full.threshold()).abs() / full.threshold();
+        assert!(rel < 0.05, "weighted vs full threshold drift {rel}");
+    }
+
+    #[test]
+    fn fit_weighted_rejects_bad_inputs() {
+        let data = gaussian_blob(100, 2, 133);
+        let p = Params::default();
+        assert!(Classifier::fit_weighted(&data, &[1.0; 99], 0.0, &p).is_err());
+        assert!(Classifier::fit_weighted(&data, &[1.0; 100], -0.1, &p).is_err());
+        assert!(Classifier::fit_weighted(&data, &[1.0; 100], f64::NAN, &p).is_err());
+        assert!(Classifier::fit_weighted(&Matrix::with_cols(2), &[], 0.0, &p).is_err());
+    }
+
+    #[test]
+    fn coreset_eps_folds_into_certified_labels() {
+        let data = gaussian_blob(1500, 2, 139);
+        let weights = vec![1.0; data.rows()];
+        let eps_c = 0.05;
+        let clf = Classifier::fit_weighted(&data, &weights, eps_c, &Params::default()).unwrap();
+        let ea = clf.coreset_eps_abs();
+        assert!(ea > 0.0);
+        let t = clf.threshold();
+        let mut scratch = QueryScratch::new();
+        let mut rng = Rng::seed_from(17);
+        let mut unknowns = 0usize;
+        for _ in 0..200 {
+            let q = [rng.normal(0.0, 2.0), rng.normal(0.0, 2.0)];
+            let exact = clf.exact_density(&q).unwrap();
+            match clf.classify_with(&q, &mut scratch).unwrap() {
+                // Certified labels must hold even after granting the
+                // coreset its full ±ε_abs error against the full data.
+                Label::High => assert!(
+                    exact > t + ea * 0.99,
+                    "HIGH certified but exact {exact} ≤ t+ε_abs {}",
+                    t + ea
+                ),
+                Label::Low => assert!(
+                    exact < t - ea * 0.99,
+                    "LOW certified but exact {exact} ≥ t−ε_abs {}",
+                    t - ea
+                ),
+                Label::Unknown => unknowns += 1,
+            }
         }
-        assert_eq!(bu_stats, bo_stats);
+        assert!(
+            unknowns > 0,
+            "a 5% ε-fold must leave some queries uncertifiable"
+        );
+        // The folded interval is honest: bounds widen by ε_abs each side.
+        let b = clf.bound_density_with(&[0.0, 0.0], &mut scratch).unwrap();
+        let exact = clf.exact_density(&[0.0, 0.0]).unwrap();
+        assert!(b.lower <= exact - ea + 1e-12 * ea.max(1.0));
+        assert!(b.upper >= exact + ea - 1e-12 * ea.max(1.0));
+        // ThresholdBounds carry the fold too (lower clamps at zero when
+        // ε_abs dwarfs a small tail threshold).
+        let r = clf.fit_report();
+        let expected = ThresholdBounds {
+            lower: t * (1.0 - clf.params().epsilon),
+            upper: t * (1.0 + clf.params().epsilon),
+        }
+        .folded(ea);
+        assert_eq!(r.threshold_bounds, expected);
+    }
+
+    #[test]
+    fn fit_weighted_thread_invariant() {
+        let data = gaussian_blob(1200, 2, 149);
+        let mut rng = Rng::seed_from(23);
+        let weights: Vec<f64> = (0..data.rows()).map(|_| 1.0 + rng.next_f64()).collect();
+        let params = Params::default();
+        let serial = Classifier::fit_weighted(&data, &weights, 1e-3, &params).unwrap();
+        for threads in [2, 4] {
+            let par =
+                Classifier::fit_weighted_with_threads(&data, &weights, 1e-3, &params, threads)
+                    .unwrap();
+            assert_eq!(serial.threshold(), par.threshold(), "threads={threads}");
+            assert_eq!(
+                serial.fit_report().training_stats,
+                par.fit_report().training_stats,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_quantile_matches_order_statistic_for_unit_weights() {
+        let values = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let weights = [1.0; 5];
+        for (p, expect) in [(0.0, 1.0), (0.2, 1.0), (0.5, 3.0), (1.0, 5.0)] {
+            assert_eq!(weighted_quantile(&values, &weights, p).unwrap(), expect);
+        }
+        // A heavy weight drags the quantile onto its value.
+        assert_eq!(
+            weighted_quantile(&[1.0, 10.0], &[1.0, 99.0], 0.5).unwrap(),
+            10.0
+        );
+        assert!(weighted_quantile(&[], &[], 0.5).is_err());
     }
 
     #[test]

@@ -8,9 +8,15 @@
 //! serialization dependency.
 //!
 //! Persisted: parameters, fitted threshold (and its bootstrap bounds),
-//! kernel, spatial index (with its reordered points), and the grid
-//! cache. Not persisted: training diagnostics (`FitReport` bootstrap
-//! traces and traversal statistics), which load back as empty.
+//! kernel, spatial index (with its reordered points), the grid cache,
+//! and — since format version 2 — per-point weights plus the coreset's
+//! certified error ε for weighted (coreset-backed) models. Not
+//! persisted: training diagnostics (`FitReport` bootstrap traces and
+//! traversal statistics), which load back as empty.
+//!
+//! Version-2 files append the weighted tail *after* the complete
+//! version-1 layout, so every version-1 field keeps its byte offset;
+//! version-1 files still load (with unit weights and ε = 0).
 
 use crate::classifier::Classifier;
 use crate::params::{BootstrapParams, Optimizations, Params};
@@ -22,7 +28,9 @@ use tkdc_index::{BandwidthGrid, GridRaw, KdTree, KdTreeRaw};
 use tkdc_kernel::{Kernel, KernelKind};
 
 const MAGIC: &[u8; 4] = b"TKDC";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest format version this build still reads.
+const MIN_VERSION: u32 = 1;
 
 /// The current model-file format version, exposed so compatibility
 /// tooling (and negative tests) can construct version probes without
@@ -179,6 +187,17 @@ pub fn save_model_to(clf: &Classifier, writer: impl Write) -> Result<()> {
             }
         }
     }
+    // Weighted tail (format v2): weights + coreset ε, appended after the
+    // complete v1 layout so every earlier field keeps its byte offset.
+    match clf.tree().weights() {
+        None => w.byte(0)?,
+        Some(ws) => {
+            w.byte(1)?;
+            w.f64s(ws)?;
+        }
+    }
+    w.f64(clf.coreset_eps())?;
+
     w.0.flush()?;
     Ok(())
 }
@@ -199,10 +218,10 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
         )));
     }
     let version = r.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(format_error(format!(
-            "unsupported model format version {version} (this build reads version {VERSION}); \
-             re-save the model with a matching tkdc release"
+            "unsupported model format version {version} (this build reads versions \
+             {MIN_VERSION} through {VERSION}); re-save the model with a matching tkdc release"
         )));
     }
 
@@ -269,20 +288,6 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
     }
     let node_lo = r.f64s()?;
     let node_hi = r.f64s()?;
-    let tree = KdTree::from_raw_parts(KdTreeRaw {
-        dim,
-        leaf_size: tree_leaf,
-        points,
-        nodes,
-        node_lo,
-        node_hi,
-    })?;
-    if kernel.dim() != tree.dim() {
-        return Err(Error::DimensionMismatch {
-            expected: tree.dim(),
-            actual: kernel.dim(),
-        });
-    }
 
     let grid = match r.byte()? {
         0 => None,
@@ -307,7 +312,49 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
         }
     };
 
-    Classifier::from_loaded_parts(params, tree, kernel, grid, threshold, bounds)
+    // Weighted tail (format v2). Truncation inside this section is a
+    // *format* problem of the file, not an environment I/O failure, so
+    // the raw `UnexpectedEof` is mapped to a named parse error.
+    let in_weights_section = |e: Error| match e {
+        Error::Io(_) => format_error("model file truncated in weights section"),
+        other => other,
+    };
+    let (weights, coreset_eps) = if version >= 2 {
+        let flag = r.byte().map_err(in_weights_section)?;
+        let weights = match flag {
+            0 => Vec::new(),
+            1 => r.f64s().map_err(in_weights_section)?,
+            other => {
+                return Err(format_error(format!("bad weighted flag {other}")));
+            }
+        };
+        let eps = r.f64().map_err(in_weights_section)?;
+        if !eps.is_finite() || eps < 0.0 {
+            return Err(format_error(format!("corrupt coreset epsilon {eps}")));
+        }
+        (weights, eps)
+    } else {
+        // Version-1 files predate weighted models: unit weights, no fold.
+        (Vec::new(), 0.0)
+    };
+
+    let tree = KdTree::from_raw_parts(KdTreeRaw {
+        dim,
+        leaf_size: tree_leaf,
+        points,
+        nodes,
+        node_lo,
+        node_hi,
+        weights,
+    })?;
+    if kernel.dim() != tree.dim() {
+        return Err(Error::DimensionMismatch {
+            expected: tree.dim(),
+            actual: kernel.dim(),
+        });
+    }
+
+    Classifier::from_loaded_parts(params, tree, kernel, grid, threshold, bounds, coreset_eps)
 }
 
 /// Loads a classifier from a file.
@@ -401,6 +448,93 @@ mod tests {
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&99u32.to_le_bytes());
         assert!(load_model_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn weighted_round_trip_preserves_weights_and_eps() {
+        let data = blob(600, 2, 4040);
+        let mut rng = Rng::seed_from(11);
+        let weights: Vec<f64> = (0..data.rows())
+            .map(|_| 1.0 + 3.0 * rng.next_f64())
+            .collect();
+        let eps_c = 2.5e-3;
+        let clf = Classifier::fit_weighted(&data, &weights, eps_c, &Params::default().with_seed(3))
+            .unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        let loaded = load_model_from(buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.threshold().to_bits(), clf.threshold().to_bits());
+        assert_eq!(loaded.coreset_eps().to_bits(), clf.coreset_eps().to_bits());
+        assert!(loaded.tree().is_weighted());
+        // Bit-identical weights in tree order, and identical node masses.
+        let a = clf.tree().weights().unwrap();
+        let b = loaded.tree().weights().unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(
+            clf.tree().total_mass().to_bits(),
+            loaded.tree().total_mass().to_bits()
+        );
+        // Labels (including Unknown) agree everywhere.
+        use crate::classifier::ExecPolicy;
+        let queries = blob(150, 2, 4141);
+        let (x, _) = clf
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        let (y, _) = loaded
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn v1_unweighted_file_loads_with_unit_weights() {
+        // A version-1 file is the v2 byte stream minus the 9-byte
+        // weighted tail (flag byte + coreset-ε f64), with the version
+        // field rewritten — v1 predates both.
+        let data = blob(400, 2, 2020);
+        let clf = Classifier::fit(&data, &Params::default().with_seed(5)).unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        buf.truncate(buf.len() - 9);
+        buf[4..8].copy_from_slice(&1u32.to_le_bytes());
+
+        let loaded = load_model_from(buf.as_slice()).unwrap();
+        // Unit weights: unweighted representation, masses equal counts.
+        assert!(!loaded.tree().is_weighted());
+        assert!(loaded.tree().weights().is_none());
+        assert_eq!(loaded.tree().total_mass(), loaded.n_train() as f64);
+        assert_eq!(loaded.coreset_eps(), 0.0);
+        assert_eq!(loaded.threshold().to_bits(), clf.threshold().to_bits());
+        assert_eq!(
+            loaded.classify(&[0.0, 0.0]).unwrap(),
+            clf.classify(&[0.0, 0.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn truncated_weights_section_is_a_named_parse_error() {
+        let data = blob(300, 2, 3030);
+        let weights = vec![2.0; data.rows()];
+        let clf = Classifier::fit_weighted(&data, &weights, 1e-3, &Params::default()).unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        // Cut inside the weights array (the tail ends with the 8-byte ε,
+        // preceded by 8·n weight bytes), and again with only ε missing.
+        for cut in [buf.len() - 12, buf.len() - 8] {
+            let err = load_model_from(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, Error::Parse { line: 0, .. }),
+                "expected a named Parse error, got {err:?}"
+            );
+            assert!(
+                err.to_string().contains("weights section"),
+                "unhelpful message: {err}"
+            );
+        }
     }
 
     #[test]

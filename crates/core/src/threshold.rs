@@ -31,6 +31,21 @@ pub struct ThresholdBounds {
     pub upper: f64,
 }
 
+impl ThresholdBounds {
+    /// Bounds widened additively by a certified absolute density error
+    /// `eps_abs` (the coreset ε-fold): when these bounds hold for a KDE
+    /// within `±eps_abs` of the full-data KDE (a coreset guarantee), the
+    /// folded bounds hold for the full-data threshold. The lower bound is
+    /// clamped at zero — densities are non-negative.
+    pub fn folded(self, eps_abs: f64) -> Self {
+        debug_assert!(eps_abs >= 0.0);
+        Self {
+            lower: (self.lower - eps_abs).max(0.0),
+            upper: self.upper + eps_abs,
+        }
+    }
+}
+
 /// Diagnostics from a bootstrap run.
 #[derive(Debug, Clone, Default)]
 pub struct BootstrapReport {
@@ -296,6 +311,23 @@ mod tests {
     fn rejects_empty_input() {
         let data = Matrix::with_cols(2);
         assert!(bound_threshold(&data, &Params::default()).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // exact-value asserts are deliberate
+    fn folded_bounds_widen_and_clamp() {
+        let b = ThresholdBounds {
+            lower: 0.5,
+            upper: 2.0,
+        };
+        let f = b.folded(0.25);
+        assert_eq!(f.lower, 0.25);
+        assert_eq!(f.upper, 2.25);
+        // Folding never produces a negative density lower bound.
+        let g = b.folded(1.0);
+        assert_eq!(g.lower, 0.0);
+        // Zero fold is the identity.
+        assert_eq!(b.folded(0.0), b);
     }
 
     #[test]

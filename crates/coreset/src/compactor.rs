@@ -1,0 +1,270 @@
+//! The reduce step of merge-reduce: compact a buffer of weighted points
+//! down to at most `m` weighted points while preserving total weight.
+//!
+//! Buffers are flat row-major `(points, weights)` pairs — `points` holds
+//! `weights.len() * dim` coordinates. Both compactors are pure functions
+//! of their inputs (the sample compactor additionally of an explicit
+//! seed), which is what makes the whole stream bit-reproducible.
+
+use std::collections::BTreeMap;
+use tkdc_common::Rng;
+
+/// Which reduce algorithm the stream uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactorKind {
+    /// Snap points to per-cell weighted centroids of a uniform grid over
+    /// the buffer's bounding box. Deterministic (no RNG); the grid
+    /// resolution is the largest `g` with `g^dim <= m`, so effectiveness
+    /// degrades in high dimension (the same curse that caps the
+    /// bandwidth hypergrid at 4 dims).
+    Grid,
+    /// Weighted random resampling down to `m` draws, each carrying
+    /// weight `total/m`; duplicate draws coalesce. Dimension-agnostic.
+    Sample,
+}
+
+impl CompactorKind {
+    /// The compactor the CLI picks by default for a given dimension:
+    /// grid matching while a meaningful grid is affordable (`dim <= 4`,
+    /// mirroring the hypergrid cut-off), random sampling above.
+    pub fn auto_for_dim(dim: usize) -> Self {
+        if dim <= 4 {
+            CompactorKind::Grid
+        } else {
+            CompactorKind::Sample
+        }
+    }
+}
+
+/// Reduces `(points, weights)` to at most `m` weighted points. Buffers
+/// already within budget are returned as-is (copied). `seed` is consumed
+/// only by [`CompactorKind::Sample`].
+pub fn reduce(
+    kind: CompactorKind,
+    dim: usize,
+    points: &[f64],
+    weights: &[f64],
+    m: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    debug_assert_eq!(points.len(), weights.len() * dim);
+    if weights.len() <= m {
+        return (points.to_vec(), weights.to_vec());
+    }
+    match kind {
+        CompactorKind::Grid => grid_reduce(dim, points, weights, m),
+        CompactorKind::Sample => sample_reduce(dim, points, weights, m, seed),
+    }
+}
+
+/// Largest `g >= 1` with `g^dim <= m` (the per-axis grid resolution).
+fn cells_per_axis(m: usize, dim: usize) -> u32 {
+    debug_assert!(m >= 1 && dim >= 1);
+    let guess = (m as f64).powf(1.0 / dim as f64).floor();
+    // CAST: the stream clamps m to 2^22, so the root is far below u32::MAX.
+    let mut g = (guess.max(1.0) as u32).max(1);
+    // Float rounding can leave the guess one off in either direction.
+    while pow_fits(g + 1, dim, m) {
+        g += 1;
+    }
+    while g > 1 && !pow_fits(g, dim, m) {
+        g -= 1;
+    }
+    g
+}
+
+/// Does `g^dim <= m` hold (overflow-checked)?
+fn pow_fits(g: u32, dim: usize, m: usize) -> bool {
+    let mut cells: usize = 1;
+    for _ in 0..dim {
+        // CAST: u32 widens losslessly into usize on every supported target.
+        match cells.checked_mul(g as usize) {
+            Some(c) if c <= m => cells = c,
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Grid-matching reduce: bucket points into a `g^dim` uniform grid over
+/// the buffer's bounding box and emit one point per occupied cell — the
+/// cell's weighted centroid, carrying the cell's total weight. The
+/// `BTreeMap` fixes the output order (lexicographic cell index), keeping
+/// the result independent of input permutation *within* a cell only up
+/// to floating-point summation order; across calls with the same input
+/// it is bit-identical.
+fn grid_reduce(dim: usize, points: &[f64], weights: &[f64], m: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = weights.len();
+    let g = cells_per_axis(m, dim);
+    // Bounding box of the buffer.
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for i in 0..n {
+        let p = &points[i * dim..(i + 1) * dim];
+        for j in 0..dim {
+            lo[j] = lo[j].min(p[j]);
+            hi[j] = hi[j].max(p[j]);
+        }
+    }
+    // Per-cell accumulators: (weight sum, weighted coordinate sums).
+    let mut cells: BTreeMap<Vec<u32>, (f64, Vec<f64>)> = BTreeMap::new();
+    let mut key = vec![0u32; dim];
+    for i in 0..n {
+        let p = &points[i * dim..(i + 1) * dim];
+        for j in 0..dim {
+            let span = hi[j] - lo[j];
+            key[j] = if span > 0.0 {
+                let t = ((p[j] - lo[j]) / span * f64::from(g)).floor();
+                // CAST: t is clamped to [0, g-1] and g <= m <= 2^22.
+                t.clamp(0.0, f64::from(g - 1)) as u32
+            } else {
+                0
+            };
+        }
+        let e = cells
+            .entry(key.clone())
+            .or_insert_with(|| (0.0, vec![0.0; dim]));
+        e.0 += weights[i];
+        for j in 0..dim {
+            e.1[j] += weights[i] * p[j];
+        }
+    }
+    let mut out_p = Vec::with_capacity(cells.len() * dim);
+    let mut out_w = Vec::with_capacity(cells.len());
+    for (_cell, (w, wx)) in cells {
+        for j in 0..dim {
+            out_p.push(wx[j] / w);
+        }
+        out_w.push(w);
+    }
+    (out_p, out_w)
+}
+
+/// Sampling reduce: draw `m` indices with probability proportional to
+/// weight (with replacement, inverse-CDF over the cumulative weight
+/// array), coalesce duplicates, and give each draw weight `total/m` so
+/// the output's total weight equals the input's.
+fn sample_reduce(
+    dim: usize,
+    points: &[f64],
+    weights: &[f64],
+    m: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = weights.len();
+    let mut cum = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w;
+        cum.push(acc);
+    }
+    let total = acc;
+    let unit = total / m as f64;
+    let mut rng = Rng::seed_from(seed);
+    // BTreeMap keeps the coalesced output in input order, deterministic.
+    let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
+    for _ in 0..m {
+        let u = rng.next_f64() * total;
+        let idx = cum.partition_point(|&c| c <= u).min(n - 1);
+        *counts.entry(idx).or_insert(0) += 1;
+    }
+    let mut out_p = Vec::with_capacity(counts.len() * dim);
+    let mut out_w = Vec::with_capacity(counts.len());
+    for (idx, c) in counts {
+        out_p.extend_from_slice(&points[idx * dim..(idx + 1) * dim]);
+        out_w.push(c as f64 * unit);
+    }
+    (out_p, out_w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, dim: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = Rng::seed_from(seed);
+        let points: Vec<f64> = (0..n * dim).map(|_| rng.uniform(-3.0, 3.0)).collect();
+        let weights: Vec<f64> = (0..n).map(|_| 1.0 + rng.next_f64()).collect();
+        (points, weights)
+    }
+
+    #[test]
+    fn cells_per_axis_is_maximal() {
+        assert_eq!(cells_per_axis(64, 1), 64);
+        assert_eq!(cells_per_axis(64, 2), 8);
+        assert_eq!(cells_per_axis(63, 2), 7); // 8^2 = 64 > 63
+        assert_eq!(cells_per_axis(64, 3), 4);
+        assert_eq!(cells_per_axis(64, 20), 1);
+        assert_eq!(cells_per_axis(1 << 22, 2), 2048);
+    }
+
+    #[test]
+    fn small_buffers_pass_through_unchanged() {
+        let (p, w) = cloud(50, 2, 1);
+        for kind in [CompactorKind::Grid, CompactorKind::Sample] {
+            let (rp, rw) = reduce(kind, 2, &p, &w, 64, 7);
+            assert_eq!(rp, p);
+            assert_eq!(rw, w);
+        }
+    }
+
+    #[test]
+    fn both_compactors_respect_budget_and_preserve_weight() {
+        let (p, w) = cloud(4000, 2, 2);
+        let total: f64 = w.iter().sum();
+        for kind in [CompactorKind::Grid, CompactorKind::Sample] {
+            let (rp, rw) = reduce(kind, 2, &p, &w, 256, 7);
+            assert!(rw.len() <= 256, "{kind:?} produced {}", rw.len());
+            assert_eq!(rp.len(), rw.len() * 2);
+            let out: f64 = rw.iter().sum();
+            assert!(
+                (out - total).abs() <= 1e-9 * total,
+                "{kind:?}: {out} vs {total}"
+            );
+            assert!(rw.iter().all(|&x| x > 0.0 && x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sample_reduce_is_bit_identical_per_seed() {
+        let (p, w) = cloud(2000, 3, 3);
+        let a = reduce(CompactorKind::Sample, 3, &p, &w, 128, 99);
+        let b = reduce(CompactorKind::Sample, 3, &p, &w, 128, 99);
+        assert_eq!(a, b);
+        let c = reduce(CompactorKind::Sample, 3, &p, &w, 128, 100);
+        assert_ne!(a, c, "different seeds should sample differently");
+    }
+
+    #[test]
+    fn grid_reduce_centroids_stay_in_bbox() {
+        let (p, w) = cloud(3000, 2, 4);
+        let (rp, rw) = reduce(CompactorKind::Grid, 2, &p, &w, 100, 0);
+        assert!(rw.len() <= 100);
+        for i in 0..rw.len() {
+            for j in 0..2 {
+                let c = rp[i * 2 + j];
+                assert!((-3.0..=3.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_reduce_handles_degenerate_axis() {
+        // All points share x = 1.5 (zero span on axis 0).
+        let n = 500;
+        let mut rng = Rng::seed_from(5);
+        let mut p = Vec::new();
+        for _ in 0..n {
+            p.push(1.5);
+            p.push(rng.uniform(0.0, 1.0));
+        }
+        let w = vec![1.0; n];
+        let (rp, rw) = reduce(CompactorKind::Grid, 2, &p, &w, 64, 0);
+        assert!(rw.len() <= 64);
+        let total: f64 = rw.iter().sum();
+        assert!((total - n as f64).abs() < 1e-9);
+        for i in 0..rw.len() {
+            assert!((rp[i * 2] - 1.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # tkdc-coreset
+//!
+//! Streaming construction of *weighted coresets* for kernel density
+//! estimation: a small set of weighted points whose KDE is within an
+//! additive `ε · K(0)` of the full data's KDE everywhere. Feeding such a
+//! coreset to `Classifier::fit_weighted` (with the same `ε` folded into
+//! the certified interval) lets tKDC train on a few thousand points in
+//! place of millions while still never flipping a certified label — the
+//! lost precision surfaces only as `Label::Unknown`.
+//!
+//! ## Construction
+//!
+//! The builder is the classic merge-reduce stream (Bentley–Saxe binary
+//! counter): raw points accumulate in a bounded chunk; a full chunk is
+//! *reduced* to at most `m` weighted points and carried into a ladder of
+//! level buffers, merging and re-reducing on collision exactly like
+//! binary addition. Peak memory is `O(m log(n/m))` regardless of the
+//! stream length `n`.
+//!
+//! Two interchangeable compactors implement the reduce step (see
+//! [`CompactorKind`]):
+//!
+//! - **Grid matching** — snap points to the weighted centroids of a
+//!   uniform grid over the buffer's bounding box (the discrepancy-style
+//!   construction of Phillips & Tai, "Near-Optimal Coresets of Kernel
+//!   Density Estimates"). Deterministic, no RNG; best in low dimension.
+//! - **Random sampling** — weighted reservoir-style resampling down to
+//!   `m` points, each carrying weight `W/m`. Matches the `1/ε²` random
+//!   sampling rate; dimension-agnostic.
+//!
+//! Both preserve total weight (up to floating-point rounding), so a
+//! coreset built from `n` unit-weight points has weights summing to `n`.
+//! For a fixed [`CoresetConfig::seed`] the construction is bit-identical
+//! across runs: the sample compactor derives one sub-seed per reduce from
+//! a monotone counter, and the grid compactor uses no randomness at all.
+
+pub mod compactor;
+pub mod stream;
+
+pub use compactor::CompactorKind;
+pub use stream::{target_size, CoresetConfig, CoresetStats, StreamingCoreset, WeightedCoreset};

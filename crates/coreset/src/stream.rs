@@ -1,0 +1,440 @@
+//! The merge-reduce streaming coreset builder.
+//!
+//! Points arrive one at a time (or in [`Matrix`] blocks); the builder
+//! keeps a bounded raw chunk plus a binary-counter ladder of already
+//! reduced level buffers, so peak memory is `O(m log(n/m))` for a stream
+//! of `n` points and coreset budget `m` — never the full dataset.
+
+use crate::compactor::{self, CompactorKind};
+use tkdc_common::error::invalid_param;
+use tkdc_common::{Error, Matrix, Result};
+
+/// Hard floor / ceiling on the per-buffer coreset budget `m`.
+const MIN_TARGET: usize = 64;
+const MAX_TARGET: usize = 1 << 22;
+
+/// The coreset size budget for dimension `dim` and accuracy `eps`:
+/// `ceil((sqrt(d)/eps) * sqrt(max(1, ln(1/eps))))`, the Phillips–Tai
+/// near-optimal rate for Gaussian-like kernels, clamped to
+/// `[64, 2^22]`. (Pure random sampling would need `~1/eps^2` points —
+/// two orders of magnitude more at `eps = 1e-3`.)
+pub fn target_size(dim: usize, eps: f64) -> Result<usize> {
+    if !eps.is_finite() || eps <= 0.0 || eps >= 1.0 {
+        return Err(invalid_param(
+            "eps",
+            format!("coreset accuracy must be in (0, 1), got {eps}"),
+        ));
+    }
+    let d = dim.max(1) as f64;
+    let log_term = (1.0 / eps).ln().max(1.0);
+    let raw = (d.sqrt() / eps) * log_term.sqrt();
+    // CAST: raw is positive and finite; ceil then clamp to [64, 2^22].
+    Ok((raw.ceil() as usize).clamp(MIN_TARGET, MAX_TARGET))
+}
+
+/// Configuration for a [`StreamingCoreset`].
+#[derive(Debug, Clone, Copy)]
+pub struct CoresetConfig {
+    /// Target additive accuracy of the coreset KDE, in units of `K(0)`
+    /// (the kernel's maximum). This is the `ε` that must be folded into
+    /// the certified interval of any classifier fit on the output.
+    pub eps: f64,
+    /// Which reduce algorithm to run (see [`CompactorKind`]).
+    pub kind: CompactorKind,
+    /// RNG seed; the whole construction is bit-identical per seed.
+    pub seed: u64,
+    /// Raw-chunk capacity override. `None` uses `2 * m`, the standard
+    /// merge-reduce chunk; larger values trade memory for fewer reduces.
+    pub chunk_capacity: Option<usize>,
+}
+
+impl CoresetConfig {
+    /// A config with the given accuracy and the defaults used by the
+    /// CLI: grid compactor (callers working in > 4 dims should switch
+    /// via [`CompactorKind::auto_for_dim`]), seed `0xF1D0`, standard
+    /// chunking.
+    pub fn new(eps: f64) -> Self {
+        Self {
+            eps,
+            kind: CompactorKind::Grid,
+            seed: 0xF1D0,
+            chunk_capacity: None,
+        }
+    }
+}
+
+/// Counters describing one coreset construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoresetStats {
+    /// Raw points ingested.
+    pub points_in: u64,
+    /// Weighted points in the final coreset.
+    pub points_out: u64,
+    /// Reduce operations performed (chunk roll-ups, carries, final).
+    pub reduces: u64,
+    /// Peak number of points resident in the builder at any instant —
+    /// the memory high-water mark, in points.
+    pub max_resident_points: u64,
+}
+
+/// The finished product: weighted points plus the `ε` they were built
+/// for and the construction counters.
+#[derive(Debug, Clone)]
+pub struct WeightedCoreset {
+    /// Coreset points, one per row.
+    pub points: Matrix,
+    /// Per-row positive weights; sums to the input's total weight up to
+    /// floating-point rounding.
+    pub weights: Vec<f64>,
+    /// The accuracy the coreset was built for (from [`CoresetConfig`]).
+    pub eps: f64,
+    /// Construction counters.
+    pub stats: CoresetStats,
+}
+
+/// One reduced buffer in the level ladder.
+struct Buffer {
+    points: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+/// Streaming merge-reduce coreset builder. See the crate docs for the
+/// algorithm; typical use:
+///
+/// ```
+/// use tkdc_coreset::{CoresetConfig, StreamingCoreset};
+/// let mut sc = StreamingCoreset::new(2, CoresetConfig::new(0.05)).unwrap();
+/// for i in 0..10_000 {
+///     let t = i as f64 * 0.001;
+///     sc.push(&[t.sin(), t.cos()]).unwrap();
+/// }
+/// let coreset = sc.finish().unwrap();
+/// assert!(coreset.points.rows() <= sc_budget(2, 0.05));
+/// # fn sc_budget(d: usize, e: f64) -> usize { tkdc_coreset::target_size(d, e).unwrap() }
+/// ```
+pub struct StreamingCoreset {
+    dim: usize,
+    cfg: CoresetConfig,
+    m: usize,
+    chunk_cap: usize,
+    chunk_points: Vec<f64>,
+    chunk_weights: Vec<f64>,
+    levels: Vec<Option<Buffer>>,
+    stats: CoresetStats,
+}
+
+/// Derives the sub-seed for reduce number `counter` from the config
+/// seed. splitmix64's finalizer decorrelates consecutive counters.
+fn derive_seed(seed: u64, counter: u64) -> u64 {
+    let mut z = seed ^ counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StreamingCoreset {
+    /// Creates a builder for `dim`-dimensional points.
+    pub fn new(dim: usize, cfg: CoresetConfig) -> Result<Self> {
+        if dim == 0 {
+            return Err(invalid_param("dim", "dimension must be positive"));
+        }
+        let m = target_size(dim, cfg.eps)?;
+        let chunk_cap = match cfg.chunk_capacity {
+            Some(c) if c < 2 => {
+                return Err(invalid_param(
+                    "chunk_capacity",
+                    format!("chunk capacity must be at least 2, got {c}"),
+                ));
+            }
+            Some(c) => c,
+            None => 2 * m,
+        };
+        Ok(Self {
+            dim,
+            cfg,
+            m,
+            chunk_cap,
+            chunk_points: Vec::new(),
+            chunk_weights: Vec::new(),
+            levels: Vec::new(),
+            stats: CoresetStats::default(),
+        })
+    }
+
+    /// The coreset size budget `m` this builder reduces to.
+    pub fn target_size(&self) -> usize {
+        self.m
+    }
+
+    /// The point dimensionality this builder expects.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Counters so far (final values come from [`WeightedCoreset::stats`]).
+    pub fn stats(&self) -> CoresetStats {
+        self.stats
+    }
+
+    /// Ingests one unit-weight point.
+    pub fn push(&mut self, point: &[f64]) -> Result<()> {
+        self.push_weighted(point, 1.0)
+    }
+
+    /// Ingests one weighted point (`weight` must be positive and
+    /// finite), e.g. when merging already-compacted streams.
+    pub fn push_weighted(&mut self, point: &[f64], weight: f64) -> Result<()> {
+        if point.len() != self.dim {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                actual: point.len(),
+            });
+        }
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(invalid_param(
+                "weight",
+                format!("point weight must be positive and finite, got {weight}"),
+            ));
+        }
+        if point.iter().any(|v| !v.is_finite()) {
+            return Err(Error::Numeric(
+                "non-finite coordinate in coreset stream".to_owned(),
+            ));
+        }
+        self.chunk_points.extend_from_slice(point);
+        self.chunk_weights.push(weight);
+        self.stats.points_in += 1;
+        self.note_resident();
+        if self.chunk_weights.len() >= self.chunk_cap {
+            self.roll_up_chunk();
+        }
+        Ok(())
+    }
+
+    /// Ingests every row of `data` with unit weight.
+    pub fn push_matrix(&mut self, data: &Matrix) -> Result<()> {
+        for row in data.iter_rows() {
+            self.push(row)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the stream: reduces the pending chunk, merges the level
+    /// ladder, and reduces the union to at most `m` weighted points.
+    pub fn finish(mut self) -> Result<WeightedCoreset> {
+        if self.stats.points_in == 0 {
+            return Err(Error::EmptyInput("coreset stream"));
+        }
+        let mut points = std::mem::take(&mut self.chunk_points);
+        let mut weights = std::mem::take(&mut self.chunk_weights);
+        if weights.len() > self.m {
+            (points, weights) = self.reduce(&points, &weights);
+        }
+        for buf in std::mem::take(&mut self.levels).into_iter().flatten() {
+            points.extend_from_slice(&buf.points);
+            weights.extend_from_slice(&buf.weights);
+        }
+        self.note_resident_of(weights.len());
+        if weights.len() > self.m {
+            (points, weights) = self.reduce(&points, &weights);
+        }
+        self.stats.points_out = weights.len() as u64; // CAST: usize count widens to u64
+        let n = weights.len();
+        let points = Matrix::from_vec(points, n, self.dim)?;
+        Ok(WeightedCoreset {
+            points,
+            weights,
+            eps: self.cfg.eps,
+            stats: self.stats,
+        })
+    }
+
+    /// Reduces one buffer through the configured compactor, advancing
+    /// the reduce counter (which keys the per-reduce RNG sub-seed).
+    fn reduce(&mut self, points: &[f64], weights: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let seed = derive_seed(self.cfg.seed, self.stats.reduces);
+        self.stats.reduces += 1;
+        compactor::reduce(self.cfg.kind, self.dim, points, weights, self.m, seed)
+    }
+
+    /// Reduces the full raw chunk and carries it into the level ladder
+    /// (binary-counter addition: merge + re-reduce on collision).
+    fn roll_up_chunk(&mut self) {
+        let points = std::mem::take(&mut self.chunk_points);
+        let weights = std::mem::take(&mut self.chunk_weights);
+        let (p, w) = self.reduce(&points, &weights);
+        let mut carry = Buffer {
+            points: p,
+            weights: w,
+        };
+        let mut level = 0;
+        loop {
+            if level == self.levels.len() {
+                self.levels.push(None);
+            }
+            match self.levels[level].take() {
+                None => {
+                    self.levels[level] = Some(carry);
+                    break;
+                }
+                Some(mut other) => {
+                    other.points.extend_from_slice(&carry.points);
+                    other.weights.extend_from_slice(&carry.weights);
+                    self.note_resident_of(other.weights.len());
+                    let (p, w) = self.reduce(&other.points, &other.weights);
+                    carry = Buffer {
+                        points: p,
+                        weights: w,
+                    };
+                    level += 1;
+                }
+            }
+        }
+        self.note_resident();
+    }
+
+    /// Updates the resident-points high-water mark from current state.
+    fn note_resident(&mut self) {
+        let resident = self.chunk_weights.len()
+            + self
+                .levels
+                .iter()
+                .flatten()
+                .map(|b| b.weights.len())
+                .sum::<usize>();
+        self.note_resident_of(resident);
+    }
+
+    /// Folds an instantaneous resident count into the high-water mark.
+    fn note_resident_of(&mut self, extra: usize) {
+        // CAST: usize count widens to u64
+        self.stats.max_resident_points = self.stats.max_resident_points.max(extra as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkdc_common::Rng;
+
+    fn gauss_stream(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Rng::seed_from(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.standard_normal()).collect())
+            .collect()
+    }
+
+    fn build(kind: CompactorKind, pts: &[Vec<f64>], eps: f64, seed: u64) -> WeightedCoreset {
+        let cfg = CoresetConfig {
+            eps,
+            kind,
+            seed,
+            chunk_capacity: None,
+        };
+        let mut sc = StreamingCoreset::new(pts[0].len(), cfg).unwrap();
+        for p in pts {
+            sc.push(p).unwrap();
+        }
+        sc.finish().unwrap()
+    }
+
+    #[test]
+    fn target_size_tracks_rate_and_clamps() {
+        // Tighter eps or higher dim => more points.
+        let loose = target_size(2, 0.1).unwrap();
+        let tight = target_size(2, 0.001).unwrap();
+        assert!(tight > loose);
+        assert!(target_size(8, 0.01).unwrap() > target_size(2, 0.01).unwrap());
+        // Clamps.
+        assert_eq!(target_size(1, 0.9).unwrap(), MIN_TARGET);
+        assert_eq!(target_size(64, 1e-9).unwrap(), MAX_TARGET);
+        // Domain errors.
+        assert!(target_size(2, 0.0).is_err());
+        assert!(target_size(2, 1.0).is_err());
+        assert!(target_size(2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn construction_is_bit_identical_per_seed() {
+        let pts = gauss_stream(20_000, 2, 11);
+        for kind in [CompactorKind::Grid, CompactorKind::Sample] {
+            let a = build(kind, &pts, 0.02, 7);
+            let b = build(kind, &pts, 0.02, 7);
+            assert_eq!(a.points.as_slice(), b.points.as_slice(), "{kind:?}");
+            assert_eq!(a.weights, b.weights, "{kind:?}");
+            assert_eq!(a.stats, b.stats, "{kind:?}");
+        }
+        // A different seed changes the sample compactor's output.
+        let a = build(CompactorKind::Sample, &pts, 0.02, 7);
+        let c = build(CompactorKind::Sample, &pts, 0.02, 8);
+        assert_ne!(a.points.as_slice(), c.points.as_slice());
+    }
+
+    #[test]
+    fn weights_sum_to_input_count() {
+        let pts = gauss_stream(30_000, 3, 13);
+        for kind in [CompactorKind::Grid, CompactorKind::Sample] {
+            let cs = build(kind, &pts, 0.05, 42);
+            let total: f64 = cs.weights.iter().sum();
+            assert!(
+                (total - 30_000.0).abs() < 1e-6 * 30_000.0,
+                "{kind:?}: total weight {total}"
+            );
+            assert_eq!(cs.stats.points_in, 30_000);
+            assert_eq!(cs.stats.points_out, cs.weights.len() as u64);
+        }
+    }
+
+    #[test]
+    fn output_respects_budget_and_memory_stays_sublinear() {
+        let n = 50_000usize;
+        let pts = gauss_stream(n, 2, 17);
+        let cs = build(CompactorKind::Grid, &pts, 0.05, 1);
+        let m = target_size(2, 0.05).unwrap();
+        assert!(cs.points.rows() <= m);
+        // The builder never held more than a few buffers of m points.
+        let resident = cs.stats.max_resident_points;
+        assert!(
+            resident < (n / 4) as u64,
+            "resident {resident} vs n {n}: merge-reduce should be sublinear"
+        );
+        assert!(cs.stats.reduces > 0);
+    }
+
+    #[test]
+    fn small_streams_pass_through_losslessly() {
+        // Fewer points than the budget: the coreset is the input.
+        let pts = gauss_stream(50, 2, 19);
+        let cs = build(CompactorKind::Grid, &pts, 0.1, 1);
+        assert_eq!(cs.points.rows(), 50);
+        assert!(cs.weights.iter().all(|&w| (w - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn push_rejects_bad_input() {
+        let mut sc = StreamingCoreset::new(2, CoresetConfig::new(0.1)).unwrap();
+        assert!(sc.push(&[1.0]).is_err());
+        assert!(sc.push(&[1.0, f64::NAN]).is_err());
+        assert!(sc.push_weighted(&[1.0, 2.0], 0.0).is_err());
+        assert!(sc.push_weighted(&[1.0, 2.0], f64::INFINITY).is_err());
+        assert!(StreamingCoreset::new(0, CoresetConfig::new(0.1)).is_err());
+        let sc = StreamingCoreset::new(2, CoresetConfig::new(0.1)).unwrap();
+        assert!(matches!(sc.finish(), Err(Error::EmptyInput(_))));
+    }
+
+    #[test]
+    fn push_matrix_matches_pointwise_push() {
+        let pts = gauss_stream(5000, 2, 23);
+        let mut m = Matrix::with_cols(2);
+        for p in &pts {
+            m.push_row(p).unwrap();
+        }
+        let cfg = CoresetConfig::new(0.05);
+        let mut a = StreamingCoreset::new(2, cfg).unwrap();
+        a.push_matrix(&m).unwrap();
+        let a = a.finish().unwrap();
+        let b = build(CompactorKind::Grid, &pts, 0.05, cfg.seed);
+        assert_eq!(a.points.as_slice(), b.points.as_slice());
+        assert_eq!(a.weights, b.weights);
+    }
+}

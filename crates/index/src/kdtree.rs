@@ -45,6 +45,9 @@ pub struct KdTreeRaw {
     pub node_lo: Vec<f64>,
     /// Bounding-box maxima, `dim` values per node.
     pub node_hi: Vec<f64>,
+    /// Per-point weights in the tree's reordered row order; empty means
+    /// every point carries unit weight (the pre-coreset format).
+    pub weights: Vec<f64>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -72,6 +75,12 @@ pub struct KdTree {
     node_lo: Vec<f64>,
     /// Bounding-box maxima, `dim` values per node.
     node_hi: Vec<f64>,
+    /// Per-point weights in reordered row order; empty for unweighted
+    /// trees (every point counts once).
+    weights: Vec<f64>,
+    /// Per-node total mass `Σ w_i` over the node's range; empty for
+    /// unweighted trees (mass is then the point count).
+    masses: Vec<f64>,
 }
 
 impl KdTree {
@@ -83,6 +92,51 @@ impl KdTree {
     /// # Errors
     /// Fails on an empty dataset or `leaf_size == 0`.
     pub fn build(data: &Matrix, leaf_size: usize, rule: SplitRule) -> Result<Self> {
+        Self::build_impl(data, Vec::new(), leaf_size, rule)
+    }
+
+    /// Builds a tree over *weighted* points: row `i` of `data` carries
+    /// mass `weights[i]` (the number of original points a coreset point
+    /// stands in for). Node masses replace node counts in every density
+    /// bound computed over the tree; the weights are reordered alongside
+    /// the points so `node_weights` stays aligned with `node_block`.
+    ///
+    /// # Errors
+    /// Fails on the same conditions as [`Self::build`], on a length
+    /// mismatch, or on non-finite / non-positive weights.
+    pub fn build_weighted(
+        data: &Matrix,
+        weights: &[f64],
+        leaf_size: usize,
+        rule: SplitRule,
+    ) -> Result<Self> {
+        if weights.len() != data.rows() {
+            return Err(invalid_param(
+                "weights",
+                format!(
+                    "length {} does not match {} data rows",
+                    weights.len(),
+                    data.rows()
+                ),
+            ));
+        }
+        for &w in weights {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(invalid_param(
+                    "weights",
+                    format!("weights must be positive and finite, got {w}"),
+                ));
+            }
+        }
+        Self::build_impl(data, weights.to_vec(), leaf_size, rule)
+    }
+
+    fn build_impl(
+        data: &Matrix,
+        weights: Vec<f64>,
+        leaf_size: usize,
+        rule: SplitRule,
+    ) -> Result<Self> {
         if data.rows() == 0 {
             return Err(Error::EmptyInput("kd-tree training data"));
         }
@@ -99,10 +153,29 @@ impl KdTree {
             nodes: Vec::with_capacity(2 * n / leaf_size.max(1) + 1),
             node_lo: Vec::new(),
             node_hi: Vec::new(),
+            weights,
+            masses: Vec::new(),
         };
         // Scratch buffer reused by split-value selection at every level.
         let mut scratch: Vec<f64> = Vec::with_capacity(n);
         tree.build_node(0, n, 0, rule, &mut scratch);
+        // Node masses are computed in a post-pass over the *final* point
+        // order (not during the recursion, where later partitions would
+        // still permute the range): summation order is then identical to
+        // `from_raw_parts`' recomputation, keeping built and reloaded
+        // trees bit-for-bit equal.
+        if !tree.weights.is_empty() {
+            tree.masses = tree
+                .nodes
+                .iter()
+                .map(|nd| {
+                    // CAST: u32 offsets widen to usize
+                    tree.weights[nd.start as usize..nd.end as usize]
+                        .iter()
+                        .sum()
+                })
+                .collect();
+        }
         Ok(tree)
     }
 
@@ -140,7 +213,6 @@ impl KdTree {
                 }
             }
         }
-
         if end - start <= self.leaf_size {
             return idx;
         }
@@ -229,9 +301,13 @@ impl KdTree {
                 i += 1;
             } else {
                 j -= 1;
-                // Swap whole rows i and j.
+                // Swap whole rows i and j (and their weights, so the
+                // weight vector stays row-aligned through every split).
                 for c in 0..d {
                     self.points.swap(i * d + c, j * d + c);
+                }
+                if !self.weights.is_empty() {
+                    self.weights.swap(i, j);
                 }
             }
         }
@@ -280,6 +356,54 @@ impl KdTree {
     pub fn count(&self, id: u32) -> usize {
         let n = &self.nodes[id as usize]; // CAST: u32 id widens to usize
         (n.end - n.start) as usize // CAST: u32 range widens to usize
+    }
+
+    /// True when the tree carries per-point weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        !self.weights.is_empty()
+    }
+
+    /// Total mass under node `id`: `Σ w_i` over the node's points for a
+    /// weighted tree, the plain point count otherwise. For unweighted
+    /// trees this is bit-identical to `count(id) as f64`, so density
+    /// bounds phrased in masses reproduce the count-based bounds exactly.
+    #[inline]
+    pub fn node_mass(&self, id: u32) -> f64 {
+        if self.masses.is_empty() {
+            self.count(id) as f64 // CAST: point counts are far below 2^53
+        } else {
+            self.masses[id as usize] // CAST: u32 id widens to usize
+        }
+    }
+
+    /// Total mass of the whole tree (`node_mass` of the root): the
+    /// weighted stand-in for `len()` in density normalization.
+    #[inline]
+    pub fn total_mass(&self) -> f64 {
+        self.node_mass(self.root())
+    }
+
+    /// Per-point weights under node `id`, aligned row-for-row with
+    /// [`Self::node_block`]; `None` for unweighted trees.
+    #[inline]
+    pub fn node_weights(&self, id: u32) -> Option<&[f64]> {
+        if self.weights.is_empty() {
+            return None;
+        }
+        let n = &self.nodes[id as usize]; // CAST: u32 id widens to usize
+        Some(&self.weights[n.start as usize..n.end as usize]) // CAST: u32 offsets widen to usize
+    }
+
+    /// All per-point weights in reordered row order; `None` for
+    /// unweighted trees. Exposed for model persistence.
+    #[inline]
+    pub fn weights(&self) -> Option<&[f64]> {
+        if self.weights.is_empty() {
+            None
+        } else {
+            Some(&self.weights)
+        }
     }
 
     /// `(start, end)` row range this node owns within the tree's
@@ -401,6 +525,7 @@ impl KdTree {
                 .collect(),
             node_lo: self.node_lo.clone(),
             node_hi: self.node_hi.clone(),
+            weights: self.weights.clone(),
         }
     }
 
@@ -423,6 +548,16 @@ impl KdTree {
             || raw.node_hi.len() != raw.nodes.len() * d
         {
             return Err(invalid_param("raw", "node buffers inconsistent"));
+        }
+        if !raw.weights.is_empty() {
+            if raw.weights.len() != n {
+                return Err(invalid_param("raw", "weights length does not match points"));
+            }
+            for &w in &raw.weights {
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(invalid_param("raw", "weights must be positive and finite"));
+                }
+            }
         }
         let node_count = raw.nodes.len() as u32; // CAST: >= 2^32 nodes are unaddressable by u32 links anyway
         let mut nodes = Vec::with_capacity(raw.nodes.len());
@@ -453,6 +588,17 @@ impl KdTree {
                 right,
             });
         }
+        // Node masses are derived state: recompute from the ranges in
+        // arena order so a loaded weighted tree matches a freshly built
+        // one bit-for-bit.
+        let masses = if raw.weights.is_empty() {
+            Vec::new()
+        } else {
+            nodes
+                .iter()
+                .map(|nd| raw.weights[nd.start as usize..nd.end as usize].iter().sum()) // CAST: u32 offsets widen to usize
+                .collect()
+        };
         Ok(Self {
             dim: d,
             leaf_size: raw.leaf_size,
@@ -461,6 +607,8 @@ impl KdTree {
             nodes,
             node_lo: raw.node_lo,
             node_hi: raw.node_hi,
+            weights: raw.weights,
+            masses,
         })
     }
 
@@ -712,6 +860,81 @@ mod tests {
         assert_eq!(found, expected);
         assert!((sum - expected_sum).abs() < 1e-9);
         assert!(expected > 0, "test should cover non-empty result");
+    }
+
+    #[test]
+    fn weighted_build_keeps_weights_row_aligned() {
+        let data = random_matrix(400, 3, 31);
+        // Encode each row's identity into its weight so any misalignment
+        // after partition swaps is detectable: w = 1 + first coordinate
+        // shifted into a positive range.
+        let weights: Vec<f64> = data.iter_rows().map(|r| 20.0 + r[0]).collect();
+        let tree = KdTree::build_weighted(&data, &weights, 8, SplitRule::TrimmedMidpoint).unwrap();
+        assert!(tree.is_weighted());
+        let w = tree.node_weights(tree.root()).unwrap();
+        for (row, &wi) in tree.node_points(tree.root()).zip(w) {
+            assert!(
+                (wi - (20.0 + row[0])).abs() < 1e-12,
+                "weight detached from its row"
+            );
+        }
+        // Masses: children sum to parent, root mass = Σ w.
+        let total: f64 = weights.iter().sum();
+        assert!((tree.total_mass() - total).abs() < 1e-9);
+        for id in 0..tree.node_count() as u32 {
+            if let Some((l, r)) = tree.children(id) {
+                assert!(
+                    (tree.node_mass(l) + tree.node_mass(r) - tree.node_mass(id)).abs()
+                        < 1e-9 * tree.node_mass(id).max(1.0)
+                );
+            }
+            let node_sum: f64 = tree.node_weights(id).unwrap().iter().sum();
+            assert!((node_sum - tree.node_mass(id)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unweighted_mass_equals_count_bitwise() {
+        let data = random_matrix(200, 2, 5);
+        let tree = KdTree::build(&data, 8, SplitRule::TrimmedMidpoint).unwrap();
+        assert!(!tree.is_weighted());
+        assert!(tree.node_weights(tree.root()).is_none());
+        assert!(tree.weights().is_none());
+        for id in 0..tree.node_count() as u32 {
+            assert_eq!(
+                tree.node_mass(id).to_bits(),
+                (tree.count(id) as f64).to_bits()
+            );
+        }
+        assert_eq!(tree.total_mass().to_bits(), (200.0f64).to_bits());
+    }
+
+    #[test]
+    fn weighted_raw_roundtrip_is_bit_identical() {
+        let data = random_matrix(300, 2, 13);
+        let weights: Vec<f64> = (0..300).map(|i| 1.0 + (i % 9) as f64 * 0.5).collect();
+        let tree = KdTree::build_weighted(&data, &weights, 16, SplitRule::TrimmedMidpoint).unwrap();
+        let raw = tree.to_raw_parts();
+        let back = KdTree::from_raw_parts(raw).unwrap();
+        for id in 0..tree.node_count() as u32 {
+            assert_eq!(tree.node_mass(id).to_bits(), back.node_mass(id).to_bits());
+        }
+        assert_eq!(tree.node_weights(0), back.node_weights(0));
+    }
+
+    #[test]
+    fn weighted_build_rejects_bad_weights() {
+        let data = random_matrix(10, 2, 3);
+        assert!(KdTree::build_weighted(&data, &[1.0; 9], 4, SplitRule::Median).is_err());
+        let mut w = vec![1.0; 10];
+        w[3] = 0.0;
+        assert!(KdTree::build_weighted(&data, &w, 4, SplitRule::Median).is_err());
+        w[3] = f64::NAN;
+        assert!(KdTree::build_weighted(&data, &w, 4, SplitRule::Median).is_err());
+        w[3] = -2.0;
+        assert!(KdTree::build_weighted(&data, &w, 4, SplitRule::Median).is_err());
+        w[3] = f64::INFINITY;
+        assert!(KdTree::build_weighted(&data, &w, 4, SplitRule::Median).is_err());
     }
 
     #[test]

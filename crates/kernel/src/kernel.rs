@@ -289,6 +289,77 @@ impl Kernel {
         total * self.norm
     }
 
+    /// Weighted sum of kernel values between `x` and every row of a
+    /// contiguous row-major `block`: `Σ_j w_j · K(x, p_j)`.
+    ///
+    /// The weighted companion of [`Self::sum_block`] used by coreset-fit
+    /// leaf scans: each point carries a multiplicity-like mass (the
+    /// number of original points it stands in for), so the leaf
+    /// contribution is the weight-scaled kernel sum. `weights.len()` must
+    /// equal the number of rows in `block`. With all weights `1.0` the
+    /// result equals `sum_block` up to floating-point summation order.
+    pub fn sum_block_weighted(&self, x: &[f64], block: &[f64], weights: &[f64]) -> f64 {
+        let d = self.inv_h.len();
+        debug_assert_eq!(x.len(), d);
+        debug_assert!(block.len().is_multiple_of(d));
+        debug_assert_eq!(weights.len(), block.len() / d);
+        const BLOCK: usize = 32;
+        let mut u = [0.0f64; BLOCK];
+        let mut total = 0.0;
+        for (chunk_idx, rows) in block.chunks(BLOCK * d).enumerate() {
+            let m = rows.len() / d;
+            let w = &weights[chunk_idx * BLOCK..chunk_idx * BLOCK + m];
+            // Distance pass: same buffered layout as `sum_block` (the
+            // unrolled specializations live there; this path trades a
+            // little of that for one shared general loop because the
+            // value pass is weight-bound anyway).
+            let inv = &self.inv_h[..d];
+            for (j, p) in rows.chunks_exact(d).enumerate() {
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+                let mut i = 0;
+                while i + 4 <= d {
+                    let z0 = (x[i] - p[i]) * inv[i];
+                    let z1 = (x[i + 1] - p[i + 1]) * inv[i + 1];
+                    let z2 = (x[i + 2] - p[i + 2]) * inv[i + 2];
+                    let z3 = (x[i + 3] - p[i + 3]) * inv[i + 3];
+                    a0 += z0 * z0;
+                    a1 += z1 * z1;
+                    a2 += z2 * z2;
+                    a3 += z3 * z3;
+                    i += 4;
+                }
+                while i < d {
+                    let z = (x[i] - p[i]) * inv[i];
+                    a0 += z * z;
+                    i += 1;
+                }
+                u[j] = (a0 + a1) + (a2 + a3);
+            }
+            // Weighted value pass over the buffered distances.
+            match self.kind {
+                KernelKind::Gaussian => {
+                    let mut block_sum = 0.0;
+                    for (&uj, &wj) in u[..m].iter().zip(w) {
+                        block_sum += wj * (-0.5 * uj).exp();
+                    }
+                    total += block_sum;
+                }
+                KernelKind::Epanechnikov => {
+                    for (&uj, &wj) in u[..m].iter().zip(w) {
+                        // Early exit outside the support; NaN distances
+                        // fall through and poison the sum exactly like
+                        // `eval_scaled_sq` would.
+                        if uj >= 1.0 {
+                            continue;
+                        }
+                        total += wj * (1.0 - uj);
+                    }
+                }
+            }
+        }
+        total * self.norm
+    }
+
     /// `K(0)` — the kernel's maximum, used for the self-contribution
     /// correction `f₀ = K(0)/n` (Eq. 1) and the grid's diagonal bound.
     #[inline]
@@ -470,6 +541,45 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn sum_block_weighted_matches_per_point_eval_pair() {
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            for d in [1usize, 2, 4, 7] {
+                let h: Vec<f64> = (0..d).map(|i| 0.5 + 0.25 * i as f64).collect();
+                let k = Kernel::new(kind, h).unwrap();
+                for rows in [0usize, 1, 31, 32, 33, 100] {
+                    let block = pseudo_block(rows, d, (d as u64) << 8 | rows as u64);
+                    let weights: Vec<f64> =
+                        (0..rows).map(|i| 0.25 + (i % 7) as f64 * 0.5).collect();
+                    let x: Vec<f64> = (0..d).map(|i| 0.1 * i as f64).collect();
+                    let expected: f64 = block
+                        .chunks_exact(d)
+                        .zip(&weights)
+                        .map(|(p, &w)| w * k.eval_pair(&x, p))
+                        .sum();
+                    let got = k.sum_block_weighted(&x, &block, &weights);
+                    let tol = 1e-12 * k.max_value() * (rows as f64 + 1.0) * 4.0;
+                    assert!(
+                        (got - expected).abs() <= tol,
+                        "{kind:?} d={d} rows={rows}: {got} vs {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_block_weighted_unit_weights_matches_sum_block() {
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            let k = Kernel::new(kind, vec![0.8, 1.3]).unwrap();
+            let block = pseudo_block(70, 2, 99);
+            let ones = vec![1.0; 70];
+            let a = k.sum_block(&[0.2, -0.4], &block);
+            let b = k.sum_block_weighted(&[0.2, -0.4], &block, &ones);
+            assert!((a - b).abs() <= 1e-12 * k.max_value() * 71.0, "{a} vs {b}");
         }
     }
 

@@ -527,6 +527,7 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
             payload.extend(labels.iter().map(|l| match l {
                 Label::Low => 0u8,
                 Label::High => 1u8,
+                Label::Unknown => 2u8,
             }));
             STATUS_OK
         }
@@ -588,6 +589,7 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>> {
                 labels.push(match b {
                     0 => Label::Low,
                     1 => Label::High,
+                    2 => Label::Unknown,
                     other => return Err(protocol_error(format!("unknown label byte {other}"))),
                 });
             }
@@ -664,7 +666,7 @@ mod tests {
             round_trip_response(Response::Pong { nonce: 7 }),
             Response::Pong { nonce: 7 }
         );
-        let labels = vec![Label::High, Label::Low, Label::High];
+        let labels = vec![Label::High, Label::Low, Label::Unknown, Label::High];
         assert_eq!(
             round_trip_response(Response::Labels(labels.clone())),
             Response::Labels(labels)

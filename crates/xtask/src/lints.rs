@@ -142,6 +142,7 @@ const LIBRARY_CRATES: &[&str] = &[
     "linalg",
     "kernel",
     "index",
+    "coreset",
     "core",
     "baselines",
     "alternatives",
@@ -163,6 +164,7 @@ const CAST_CHECKED_CRATES: &[&str] = &[
     "linalg",
     "kernel",
     "index",
+    "coreset",
     "core",
     "baselines",
     "alternatives",
@@ -1033,6 +1035,8 @@ mod tests {
         assert!(lib.is_library && lib.cast_checked && !lib.is_test_code);
         let lin = classify(Path::new("crates/linalg/src/pca.rs"));
         assert!(lin.is_library && lin.cast_checked);
+        let cs = classify(Path::new("crates/coreset/src/stream.rs"));
+        assert!(cs.is_library && cs.cast_checked && !cs.sync_facade);
         let t = classify(Path::new("crates/core/tests/it.rs"));
         assert!(t.is_test_code && !t.is_library);
         let bench = classify(Path::new("crates/bench/benches/kernel.rs"));
@@ -1215,14 +1219,28 @@ mod tests {
                 // self-test exists to catch; panic with the path.
                 let src = std::fs::read_to_string(&path)
                     .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
-                let fired: Vec<Rule> = check("crates/core/src/golden.rs", &src, LIB)
-                    .into_iter()
-                    .map(|v| v.rule)
-                    .collect();
-                if expect_fire {
-                    assert_eq!(fired, vec![*rule], "l{n}_fire must fire exactly L{n}");
-                } else {
-                    assert!(fired.is_empty(), "l{n}_allow must be clean, got {fired:?}");
+                // Every library crate must hold the same bar: run each
+                // fixture under a representative established crate and
+                // the newest crate-set member (`tkdc-coreset`).
+                for fixture_path in ["crates/core/src/golden.rs", "crates/coreset/src/golden.rs"] {
+                    let kind = classify(Path::new(fixture_path));
+                    assert!(kind.is_library && kind.cast_checked, "{fixture_path}");
+                    let fired: Vec<Rule> = check(fixture_path, &src, kind)
+                        .into_iter()
+                        .map(|v| v.rule)
+                        .collect();
+                    if expect_fire {
+                        assert_eq!(
+                            fired,
+                            vec![*rule],
+                            "l{n}_fire must fire exactly L{n} in {fixture_path}"
+                        );
+                    } else {
+                        assert!(
+                            fired.is_empty(),
+                            "l{n}_allow must be clean in {fixture_path}, got {fired:?}"
+                        );
+                    }
                 }
             }
         }

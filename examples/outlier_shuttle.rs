@@ -51,7 +51,7 @@ fn main() {
     let (mins, maxs) = data.column_bounds();
     let (w, h) = (64usize, 24usize);
     let mut scratch = QueryScratch::new();
-    println!("density classification map ('#' = HIGH density, '.' = LOW):");
+    println!("density classification map ('#' = HIGH density, '.' = LOW, '?' = UNKNOWN):");
     for row in 0..h {
         let y = maxs[1] - (maxs[1] - mins[1]) * (row as f64 + 0.5) / h as f64;
         let mut line = String::with_capacity(w);
@@ -60,6 +60,7 @@ fn main() {
             let c = match clf.classify_with(&[x, y], &mut scratch).unwrap() {
                 Label::High => '#',
                 Label::Low => '.',
+                Label::Unknown => '?',
             };
             line.push(c);
         }

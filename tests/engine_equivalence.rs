@@ -41,6 +41,22 @@ fn shared_bootstrap_data() -> &'static Matrix {
     DATA.get_or_init(|| gaussian_blob(1200, 2, 223))
 }
 
+/// Weighted fixture: a coreset-like model (non-uniform weights, ε > 0)
+/// whose classify path produces all three labels including `Unknown`.
+fn shared_weighted() -> &'static (Matrix, Vec<f64>, Classifier) {
+    static W: OnceLock<(Matrix, Vec<f64>, Classifier)> = OnceLock::new();
+    W.get_or_init(|| {
+        let data = gaussian_blob(800, 2, 227);
+        let mut rng = Rng::seed_from(229);
+        let weights: Vec<f64> = (0..data.rows())
+            .map(|_| 1.0 + 3.0 * rng.next_f64())
+            .collect();
+        let clf = Classifier::fit_weighted(&data, &weights, 0.02, &Params::default())
+            .expect("weighted fit");
+        (data, weights, clf)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -73,6 +89,48 @@ proptest! {
                 .expect("static");
             prop_assert_eq!(&serial, &chunked, "static labels diverged at {} threads", threads);
             prop_assert_eq!(s_stats, c_stats, "static stats diverged at {} threads", threads);
+        }
+    }
+
+    /// The weighted-fit density pass runs through the same work-stealing
+    /// engine; its threshold (a weighted quantile over index-ordered
+    /// densities) must be bit-identical for every thread count, and the
+    /// ε-folded classify path — `Unknown`s included — thread-invariant.
+    #[test]
+    fn weighted_fit_and_classify_thread_invariant(
+        seed in any::<u64>(),
+        spread in 0.5f64..4.0,
+        n_queries in 16usize..120,
+    ) {
+        let (data, weights, clf1) = shared_weighted();
+        for threads in [2usize, 4, 8] {
+            let clft = Classifier::fit_weighted_with_threads(
+                data, weights, 0.02, &Params::default(), threads,
+            ).expect("weighted fit");
+            // Bit-identical: f64 equality is the contract under test.
+            prop_assert_eq!(
+                clf1.threshold().to_bits(),
+                clft.threshold().to_bits(),
+                "weighted threshold diverged at {} threads", threads
+            );
+        }
+        let queries = {
+            let mut rng = Rng::seed_from(seed);
+            let mut m = Matrix::with_cols(2);
+            for _ in 0..n_queries {
+                m.push_row(&[rng.normal(0.0, spread), rng.normal(0.0, spread)]).unwrap();
+            }
+            m
+        };
+        let (serial, s_stats) = clf1
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .expect("serial");
+        for threads in [2usize, 4, 8] {
+            let (parallel, p_stats) = clf1
+                .classify_batch_with(&queries, ExecPolicy::with_threads(threads))
+                .expect("parallel");
+            prop_assert_eq!(&serial, &parallel, "weighted labels diverged at {} threads", threads);
+            prop_assert_eq!(s_stats, p_stats, "weighted stats diverged at {} threads", threads);
         }
     }
 

@@ -148,6 +148,70 @@ proptest! {
         }
     }
 
+    /// A weighted density with integer weights is the same measure as the
+    /// unweighted density over the dataset with each point duplicated
+    /// `w_i` times — the exhausted (exact) traversal over the weighted
+    /// tree must match the naive duplicated-point sum bit-tolerantly.
+    #[test]
+    fn weighted_density_equals_duplicated_points(
+        (d, flat) in cloud(20),
+        wseed in proptest::collection::vec(1u32..=4, 60),
+        qseed in proptest::collection::vec(-60.0f64..60.0, 3),
+    ) {
+        let n = flat.len() / d;
+        let data = Matrix::from_vec(flat, n, d).unwrap();
+        let weights: Vec<f64> = (0..n).map(|i| f64::from(wseed[i % wseed.len()])).collect();
+        let mut duplicated = Matrix::with_cols(d);
+        for i in 0..n {
+            for _ in 0..wseed[i % wseed.len()] {
+                duplicated.push_row(data.row(i)).unwrap();
+            }
+        }
+        let tree = KdTree::build_weighted(&data, &weights, 4, SplitRule::TrimmedMidpoint).unwrap();
+        let kernel = Kernel::new(KernelKind::Gaussian, vec![1.5; d]).unwrap();
+        let bounder = DensityBounder::new(&tree, &kernel, Optimizations::all(), 0.01);
+        let mut scratch = QueryScratch::new();
+        let q = &qseed[..d];
+        // t_lo = 0 and t_hi = ∞ disable every pruning rule, so the
+        // traversal runs to exhaustion and the bounds collapse to the
+        // exact weighted density.
+        let b = bounder.bound_density(q, 0.0, f64::INFINITY, &mut scratch);
+        let exact = naive_density(&duplicated, &kernel, q);
+        let slack = 1e-9 * kernel.max_value();
+        prop_assert!(
+            (b.midpoint() - exact).abs() <= slack,
+            "weighted {} vs duplicated {}", b.midpoint(), exact
+        );
+        prop_assert!(b.upper - b.lower <= slack, "traversal did not exhaust");
+    }
+
+    /// Coreset construction preserves total mass: compacting `n`
+    /// unit-weight points yields weights summing to `n` (up to rounding),
+    /// under both compactors.
+    #[test]
+    fn coreset_weights_sum_to_input_count(
+        (d, flat) in cloud(40),
+        eps in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        use tkdc_coreset::{CompactorKind, CoresetConfig, StreamingCoreset};
+        let n = flat.len() / d;
+        let data = Matrix::from_vec(flat, n, d).unwrap();
+        for kind in [CompactorKind::Grid, CompactorKind::Sample] {
+            let cfg = CoresetConfig { eps, kind, seed, chunk_capacity: None };
+            let mut sc = StreamingCoreset::new(d, cfg).unwrap();
+            sc.push_matrix(&data).unwrap();
+            let cs = sc.finish().unwrap();
+            let total: f64 = cs.weights.iter().sum();
+            prop_assert!(
+                (total - n as f64).abs() <= 1e-9 * n as f64,
+                "{:?}: weights sum {} vs {} points in", kind, total, n
+            );
+            prop_assert!(cs.weights.iter().all(|&w| w > 0.0 && w.is_finite()));
+            prop_assert_eq!(cs.stats.points_in, n as u64);
+        }
+    }
+
     #[test]
     fn quantile_matches_full_sort(
         mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
