@@ -1,6 +1,8 @@
-//! Criterion microbench: the blocked leaf fast path (`Kernel::sum_block`)
-//! against the per-point `eval_pair` fold it replaced in the traversal's
-//! leaf evaluation, across leaf sizes, dimensionalities, and both kernels.
+//! Criterion microbench: the blocked leaf fast paths — row-major
+//! `Kernel::sum_block` and dimension-major `Kernel::sum_block_soa` —
+//! against the per-point `eval_pair` fold they replaced in the
+//! traversal's leaf evaluation, across leaf sizes, dimensionalities,
+//! and both kernels.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use tkdc_common::Rng;
@@ -11,6 +13,18 @@ fn leaf_block(rows: usize, d: usize, seed: u64) -> Vec<f64> {
     (0..rows * d).map(|_| rng.normal(0.0, 1.0)).collect()
 }
 
+/// Transposes a row-major leaf block into the tree's dimension-major
+/// (SoA) layout: `soa[j * rows + i] = block[i * d + j]`.
+fn to_soa(block: &[f64], rows: usize, d: usize) -> Vec<f64> {
+    let mut soa = vec![0.0; rows * d];
+    for i in 0..rows {
+        for j in 0..d {
+            soa[j * rows + i] = block[i * d + j];
+        }
+    }
+    soa
+}
+
 fn bench_leaf_sum(c: &mut Criterion) {
     for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
         for d in [2usize, 8, 64] {
@@ -19,8 +33,12 @@ fn bench_leaf_sum(c: &mut Criterion) {
             let mut group = c.benchmark_group(format!("leaf_sum_{kind:?}_d{d}"));
             for leaf in [16usize, 64, 256] {
                 let block = leaf_block(leaf, d, 7 + leaf as u64);
+                let soa = to_soa(&block, leaf, d);
                 group.bench_with_input(BenchmarkId::new("sum_block", leaf), &block, |b, block| {
                     b.iter(|| black_box(kernel.sum_block(&x, block)))
+                });
+                group.bench_with_input(BenchmarkId::new("sum_block_soa", leaf), &soa, |b, soa| {
+                    b.iter(|| black_box(kernel.sum_block_soa(&x, soa, leaf)))
                 });
                 group.bench_with_input(BenchmarkId::new("eval_pair", leaf), &block, |b, block| {
                     b.iter(|| {

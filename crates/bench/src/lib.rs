@@ -210,7 +210,8 @@ pub fn run_throughput(
     let n = data.rows();
     let q = queries.min(n).max(1);
     let mut rng = Rng::seed_from(seed ^ 0x9E37);
-    let query_set = data.sample_rows(q, &mut rng);
+    // One Arc up front: the pool scheduler shares the batch zero-copy.
+    let query_set = tkdc_sync::Arc::new(data.sample_rows(q, &mut rng));
 
     match algo {
         Algo::Tkdc => {
@@ -219,7 +220,10 @@ pub fn run_throughput(
                 time(|| Classifier::fit_with_threads(data, &params, threads).expect("fit")); // INVARIANT: bench tooling fails fast
             let (stats, t_query) = time(|| {
                 let (_, stats) = clf
-                    .classify_batch_with(&query_set, ExecPolicy::with_threads(threads))
+                    .classify_batch_shared(
+                        tkdc_sync::Arc::clone(&query_set),
+                        ExecPolicy::with_threads(threads),
+                    )
                     .expect("classify"); // INVARIANT: bench tooling fails fast
                 stats
             });

@@ -394,7 +394,8 @@ fn classify(args: &[String]) -> Result<()> {
             write_trace_file(path, &traces)?;
             (labels, stats)
         }
-        None => clf.classify_batch_with(&queries, policy)?,
+        // Owned queries ride into the pool job without a copy.
+        None => clf.classify_batch_shared(tkdc_sync::Arc::new(queries), policy)?,
     };
     emit(
         &flags,
@@ -422,6 +423,7 @@ fn density(args: &[String]) -> Result<()> {
     let model_path = flags.require("model")?;
     let clf = load_model(model_path)?;
     let queries = load_input(&flags)?;
+    let n_queries = queries.rows();
     let policy = ExecPolicy::with_threads(flags.threads()?);
     let (bounds, stats) = match flags.get("trace-out") {
         Some(path) => {
@@ -430,7 +432,7 @@ fn density(args: &[String]) -> Result<()> {
             write_trace_file(path, &traces)?;
             (bounds, stats)
         }
-        None => clf.bound_density_batch_with(&queries, policy)?,
+        None => clf.bound_density_batch_shared(tkdc_sync::Arc::new(queries), policy)?,
     };
     emit(
         &flags,
@@ -441,7 +443,7 @@ fn density(args: &[String]) -> Result<()> {
     if !flags.has("quiet") {
         eprintln!(
             "bounded {} densities against t(p) = {:.6e} ({:.1} kernel evals/query)",
-            queries.rows(),
+            n_queries,
             clf.threshold(),
             stats.kernels_per_query()
         );

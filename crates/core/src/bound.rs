@@ -146,9 +146,11 @@ impl<'a> DensityBounder<'a> {
     /// and returns the prune cause that should end the traversal, if any;
     /// exhaustion of the tree always terminates regardless.
     ///
-    /// Leaves are evaluated through the blocked kernel fast path
-    /// ([`Kernel::sum_block`]) over the node's contiguous arena block
-    /// instead of a per-point `eval_pair` loop.
+    /// Leaves are evaluated through the SoA kernel fast path
+    /// ([`Kernel::sum_block_soa`]) over the node's cached
+    /// dimension-major block: stride-1 columns autovectorize at any
+    /// dimensionality, where the row-major block walk lost to scalar
+    /// `eval_pair` beyond the unrolled small-`d` specializations.
     fn traverse(
         &self,
         x: &[f64],
@@ -198,12 +200,13 @@ impl<'a> DensityBounder<'a> {
             match self.tree.children(entry.node) {
                 None => {
                     // Leaf: replace the bound with the exact contribution,
-                    // summed over the leaf's contiguous point block
+                    // summed over the leaf's dimension-major SoA block
                     // (weight-scaled when the tree carries point masses).
-                    let block = self.tree.node_block(entry.node);
+                    let rows = self.tree.count(entry.node);
+                    let soa = self.tree.node_block_soa(entry.node);
                     let exact = match self.tree.node_weights(entry.node) {
-                        Some(w) => self.kernel.sum_block_weighted(x, block, w) / n,
-                        None => self.kernel.sum_block(x, block) / n,
+                        Some(w) => self.kernel.sum_block_soa_weighted(x, soa, rows, w) / n,
+                        None => self.kernel.sum_block_soa(x, soa, rows) / n,
                     };
                     scratch.stats.kernel_evals += self.tree.count(entry.node) as u64; // CAST: usize count widens to u64
                     f_lo += exact;

@@ -18,6 +18,7 @@ use tkdc_common::order::quantile_in_place;
 use tkdc_common::Matrix;
 use tkdc_index::{BandwidthGrid, KdTree, MAX_GRID_DIM};
 use tkdc_kernel::{scotts_rule, scotts_rule_from_stds, Kernel};
+use tkdc_sync::Arc;
 
 /// Re-export so callers can reference the grid dimensionality cap without
 /// importing the index crate.
@@ -69,6 +70,17 @@ pub enum ExecPolicy {
         /// Worker-thread count; `None` = available parallelism.
         threads: Option<usize>,
     },
+    /// Work-stealing parallel execution with *per-batch scoped threads*
+    /// ([`engine::run_batch`]): spawns and joins `threads` OS threads
+    /// for every batch. This was the pre-pool behaviour of
+    /// [`ExecPolicy::Parallel`]; it is kept as the
+    /// pool-reuse-vs-spawn ablation baseline for the `bench` binary.
+    /// Prefer [`ExecPolicy::Parallel`], which routes through the
+    /// classifier's persistent [`engine::Pool`].
+    ScopedSpawn {
+        /// Worker-thread count; `None` = available parallelism.
+        threads: Option<usize>,
+    },
 }
 
 impl Default for ExecPolicy {
@@ -96,7 +108,9 @@ impl ExecPolicy {
     pub fn resolved_threads(&self) -> usize {
         match self {
             ExecPolicy::Serial => 1,
-            ExecPolicy::Parallel { threads } | ExecPolicy::StaticChunked { threads } => threads
+            ExecPolicy::Parallel { threads }
+            | ExecPolicy::StaticChunked { threads }
+            | ExecPolicy::ScopedSpawn { threads } => threads
                 .unwrap_or_else(|| {
                     tkdc_sync::thread::available_parallelism()
                         .map(|n| n.get())
@@ -123,13 +137,12 @@ pub struct FitReport {
     pub threshold_reestimates: usize,
 }
 
-/// A fitted tKDC model.
-///
-/// The model is immutable after fitting and `Sync`, so batches of queries
-/// can be classified from multiple threads, each with its own
-/// [`QueryScratch`].
+/// The immutable fitted state: everything a query needs, nothing a
+/// scheduler needs. Shared as an [`Arc`] between the owning
+/// [`Classifier`] and the pool workers executing a batch, so the pool's
+/// `'static` job closures can hold the model without copying it.
 #[derive(Debug)]
-pub struct Classifier {
+struct Model {
     params: Params,
     tree: KdTree,
     kernel: Kernel,
@@ -141,10 +154,35 @@ pub struct Classifier {
     /// interval is widened by `coreset_eps · K(0)` and straddling queries
     /// classify as [`Label::Unknown`].
     coreset_eps: f64,
+}
+
+/// A fitted tKDC model.
+///
+/// The model is immutable after fitting and `Sync`, so batches of queries
+/// can be classified from multiple threads, each with its own
+/// [`QueryScratch`]. The classifier also owns a persistent
+/// work-stealing [`engine::Pool`]: every [`ExecPolicy::Parallel`] batch
+/// reuses the same parked workers instead of spawning threads per batch,
+/// which is what makes small repeated batches (the `tkdc-serve` request
+/// pattern) actually profit from parallelism. The pool spawns lazily —
+/// a classifier that only ever classifies serially never starts a
+/// thread — and drains its workers when the classifier drops.
+#[derive(Debug)]
+pub struct Classifier {
+    model: Arc<Model>,
+    pool: engine::Pool,
     fit_report: FitReport,
 }
 
 impl Classifier {
+    /// Wraps a fitted [`Model`] with a fresh (empty) pool.
+    fn from_model(model: Model, fit_report: FitReport) -> Self {
+        Self {
+            model: Arc::new(model),
+            pool: engine::Pool::new(),
+            fit_report,
+        }
+    }
     /// Trains a classifier on the dataset (Algorithm 1's training phase).
     ///
     /// # Errors
@@ -266,16 +304,18 @@ impl Classifier {
             threshold_reestimates: reestimates,
         };
 
-        Ok(Self {
-            params: params.clone(),
-            tree,
-            kernel,
-            grid,
-            grid_diag_sq,
-            threshold,
-            coreset_eps: 0.0,
+        Ok(Self::from_model(
+            Model {
+                params: params.clone(),
+                tree,
+                kernel,
+                grid,
+                grid_diag_sq,
+                threshold,
+                coreset_eps: 0.0,
+            },
             fit_report,
-        })
+        ))
     }
 
     /// Trains a classifier on a *weighted* dataset — typically a coreset
@@ -398,16 +438,18 @@ impl Classifier {
             training_stats,
             threshold_reestimates: 0,
         };
-        Ok(Self {
-            params: params.clone(),
-            tree,
-            kernel,
-            grid: None,
-            grid_diag_sq: 0.0,
-            threshold,
-            coreset_eps,
+        Ok(Self::from_model(
+            Model {
+                params: params.clone(),
+                tree,
+                kernel,
+                grid: None,
+                grid_diag_sq: 0.0,
+                threshold,
+                coreset_eps,
+            },
             fit_report,
-        })
+        ))
     }
 
     /// Reassembles a classifier from persisted parts (see
@@ -471,53 +513,55 @@ impl Classifier {
             training_stats: QueryStats::default(),
             threshold_reestimates: 0,
         };
-        Ok(Self {
-            params,
-            tree,
-            kernel,
-            grid,
-            grid_diag_sq,
-            threshold,
-            coreset_eps,
+        Ok(Self::from_model(
+            Model {
+                params,
+                tree,
+                kernel,
+                grid,
+                grid_diag_sq,
+                threshold,
+                coreset_eps,
+            },
             fit_report,
-        })
+        ))
     }
 
     /// Serialized form of the grid cache, if active (model persistence).
     pub fn grid_raw(&self) -> Option<tkdc_index::GridRaw> {
-        self.grid.as_ref().map(|g| g.to_raw_parts())
+        self.model.grid.as_ref().map(|g| g.to_raw_parts())
     }
 
     /// The refined threshold estimate `t̃(p)`.
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.model.threshold
     }
 
     /// The coreset's certified relative density error ε (in units of the
     /// kernel maximum `K(0)`); `0.0` for full-data fits.
     pub fn coreset_eps(&self) -> f64 {
-        self.coreset_eps
+        self.model.coreset_eps
     }
 
     /// The absolute density error the ε-fold widens certified intervals
     /// by: `coreset_eps · K(0)`. Zero for full-data fits.
     pub fn coreset_eps_abs(&self) -> f64 {
-        self.coreset_eps * self.kernel.max_value()
+        self.model.coreset_eps_abs()
     }
 
     /// The parameters the model was trained with.
     pub fn params(&self) -> &Params {
-        &self.params
+        &self.model.params
     }
 
     /// The kernel (with its fitted bandwidths).
     pub fn kernel(&self) -> &Kernel {
-        &self.kernel
+        &self.model.kernel
     }
 
     /// The spatial index.
     pub fn tree(&self) -> &KdTree {
-        &self.tree
+        &self.model.tree
     }
 
     /// Training diagnostics.
@@ -527,12 +571,20 @@ impl Classifier {
 
     /// Whether the grid cache is active.
     pub fn grid_enabled(&self) -> bool {
-        self.grid.is_some()
+        self.model.grid.is_some()
     }
 
     /// Number of training points.
     pub fn n_train(&self) -> usize {
-        self.tree.len()
+        self.model.tree.len()
+    }
+}
+
+impl Model {
+    /// The absolute density error the ε-fold widens certified intervals
+    /// by: `coreset_eps · K(0)`. Zero for full-data fits.
+    fn coreset_eps_abs(&self) -> f64 {
+        self.coreset_eps * self.kernel.max_value()
     }
 
     fn check_dim(&self, x: &[f64]) -> Result<()> {
@@ -550,17 +602,8 @@ impl Classifier {
         Ok(())
     }
 
-    /// Classifies one query point with a caller-provided scratch (the
-    /// zero-allocation hot path).
-    ///
-    /// Full-data models answer [`Label::High`]/[`Label::Low`] by the
-    /// paper's midpoint rule. Coreset-backed models (`coreset_eps > 0`)
-    /// answer by the ε-folded certified interval instead: `High` only
-    /// when `lower > t̃`, `Low` only when `upper < t̃`, and
-    /// [`Label::Unknown`] when the widened interval straddles — so a
-    /// certified label from a coreset model holds against the *full*
-    /// dataset, never flipping a label the full-data model certifies.
-    pub fn classify_with(&self, x: &[f64], scratch: &mut QueryScratch) -> Result<Label> {
+    /// [`Classifier::classify_with`] — see there for the label contract.
+    fn classify_with(&self, x: &[f64], scratch: &mut QueryScratch) -> Result<Label> {
         self.check_dim(x)?;
         let t = self.threshold;
         if self.coreset_eps > 0.0 {
@@ -599,26 +642,9 @@ impl Classifier {
         })
     }
 
-    /// Classifies one query point (allocates a fresh scratch; prefer
-    /// [`Self::classify_with`] in loops).
-    pub fn classify(&self, x: &[f64]) -> Result<Label> {
-        let mut scratch = QueryScratch::new();
-        self.classify_with(x, &mut scratch)
-    }
-
-    /// Density bounds for a query against the fitted threshold
-    /// (`t_l = t_u = t̃`), exposing the raw Algorithm 2 output.
-    ///
-    /// For a coreset-backed model the traversal prunes against the
-    /// ε-widened thresholds `[t̃ − ε_abs, t̃ + ε_abs]` and the returned
-    /// interval is widened by `ε_abs = coreset_eps·K(0)` on each side
-    /// (lower clamped at zero), so it certifies the *full-data* density,
-    /// not just the coreset's. Full-data models are unaffected.
-    pub fn bound_density_with(
-        &self,
-        x: &[f64],
-        scratch: &mut QueryScratch,
-    ) -> Result<DensityBounds> {
+    /// [`Classifier::bound_density_with`] — see there for the ε-fold
+    /// contract.
+    fn bound_density_with(&self, x: &[f64], scratch: &mut QueryScratch) -> Result<DensityBounds> {
         self.check_dim(x)?;
         let bounder = DensityBounder::new(
             &self.tree,
@@ -637,14 +663,8 @@ impl Classifier {
         Ok(b)
     }
 
-    /// Density bounds refined to *relative* precision `rtol`
-    /// (`f_u − f_l ≤ rtol·f_l`), independent of the threshold — for
-    /// callers that need density *values* (log-likelihood ratios,
-    /// p-value-style reporting) rather than a classification. For
-    /// coreset-backed models the returned interval is additionally
-    /// widened by `±coreset_eps·K(0)` so it certifies the full-data
-    /// density.
-    pub fn bound_density_relative_with(
+    /// [`Classifier::bound_density_relative_with`] — see there.
+    fn bound_density_relative_with(
         &self,
         x: &[f64],
         rtol: f64,
@@ -666,11 +686,8 @@ impl Classifier {
         Ok(b)
     }
 
-    /// Exact kernel density of a query (exhaustive; test/diagnostic use).
-    /// For weighted models this is exact with respect to the *weighted
-    /// training set* — the full-data density it approximates still lives
-    /// within `±coreset_eps·K(0)` of the returned value.
-    pub fn exact_density(&self, x: &[f64]) -> Result<f64> {
+    /// [`Classifier::exact_density`] — see there.
+    fn exact_density(&self, x: &[f64]) -> Result<f64> {
         self.check_dim(x)?;
         let bounder = DensityBounder::new(
             &self.tree,
@@ -681,19 +698,94 @@ impl Classifier {
         let mut scratch = QueryScratch::new();
         Ok(bounder.exact_density(x, &mut scratch))
     }
+}
 
-    /// Shared batch core behind the unified entry points: runs `work`
-    /// for every item under the scheduling `policy` and merges per-thread
-    /// statistics. Results are in index order and identical for every
-    /// policy and thread count.
-    fn batch_with<T: Send>(
+impl Classifier {
+    /// Classifies one query point with a caller-provided scratch (the
+    /// zero-allocation hot path).
+    ///
+    /// Full-data models answer [`Label::High`]/[`Label::Low`] by the
+    /// paper's midpoint rule. Coreset-backed models (`coreset_eps > 0`)
+    /// answer by the ε-folded certified interval instead: `High` only
+    /// when `lower > t̃`, `Low` only when `upper < t̃`, and
+    /// [`Label::Unknown`] when the widened interval straddles — so a
+    /// certified label from a coreset model holds against the *full*
+    /// dataset, never flipping a label the full-data model certifies.
+    pub fn classify_with(&self, x: &[f64], scratch: &mut QueryScratch) -> Result<Label> {
+        self.model.classify_with(x, scratch)
+    }
+
+    /// Classifies one query point (allocates a fresh scratch; prefer
+    /// [`Self::classify_with`] in loops).
+    pub fn classify(&self, x: &[f64]) -> Result<Label> {
+        let mut scratch = QueryScratch::new();
+        self.model.classify_with(x, &mut scratch)
+    }
+
+    /// Density bounds for a query against the fitted threshold
+    /// (`t_l = t_u = t̃`), exposing the raw Algorithm 2 output.
+    ///
+    /// For a coreset-backed model the traversal prunes against the
+    /// ε-widened thresholds `[t̃ − ε_abs, t̃ + ε_abs]` and the returned
+    /// interval is widened by `ε_abs = coreset_eps·K(0)` on each side
+    /// (lower clamped at zero), so it certifies the *full-data* density,
+    /// not just the coreset's. Full-data models are unaffected.
+    pub fn bound_density_with(
+        &self,
+        x: &[f64],
+        scratch: &mut QueryScratch,
+    ) -> Result<DensityBounds> {
+        self.model.bound_density_with(x, scratch)
+    }
+
+    /// Density bounds refined to *relative* precision `rtol`
+    /// (`f_u − f_l ≤ rtol·f_l`), independent of the threshold — for
+    /// callers that need density *values* (log-likelihood ratios,
+    /// p-value-style reporting) rather than a classification. For
+    /// coreset-backed models the returned interval is additionally
+    /// widened by `±coreset_eps·K(0)` so it certifies the full-data
+    /// density.
+    pub fn bound_density_relative_with(
+        &self,
+        x: &[f64],
+        rtol: f64,
+        scratch: &mut QueryScratch,
+    ) -> Result<DensityBounds> {
+        self.model.bound_density_relative_with(x, rtol, scratch)
+    }
+
+    /// Exact kernel density of a query (exhaustive; test/diagnostic use).
+    /// For weighted models this is exact with respect to the *weighted
+    /// training set* — the full-data density it approximates still lives
+    /// within `±coreset_eps·K(0)` of the returned value.
+    pub fn exact_density(&self, x: &[f64]) -> Result<f64> {
+        self.model.exact_density(x)
+    }
+
+    /// Whether a batch of `total` items under `policy` routes through
+    /// the persistent pool (as opposed to running inline or on scoped
+    /// per-batch threads). Only [`ExecPolicy::Parallel`] uses the pool,
+    /// and only when the batch is big enough to engage more than one
+    /// thread.
+    fn uses_pool(policy: ExecPolicy, total: usize) -> bool {
+        let n_threads = policy.resolved_threads();
+        matches!(policy, ExecPolicy::Parallel { .. }) && n_threads > 1 && total >= 2 * n_threads
+    }
+
+    /// Batch core for the policies that can run on *borrowed* closures:
+    /// serial/tiny batches inline, [`ExecPolicy::StaticChunked`] on
+    /// equal chunks, [`ExecPolicy::ScopedSpawn`] on the per-batch
+    /// work-stealing engine. [`ExecPolicy::Parallel`] batches large
+    /// enough for the pool never reach this — they go through
+    /// [`Self::batch_shared`].
+    fn run_borrowed<T: Send>(
         &self,
         total: usize,
         policy: ExecPolicy,
         work: impl Fn(usize, &mut QueryScratch) -> Result<T> + Sync,
     ) -> Result<(Vec<T>, QueryStats)> {
         let n_threads = policy.resolved_threads();
-        // Tiny batches: thread spawn/join dwarfs the work — run inline.
+        // Tiny batches: thread wake/join dwarfs the work — run inline.
         let serial =
             matches!(policy, ExecPolicy::Serial) || n_threads == 1 || total < 2 * n_threads;
         if serial {
@@ -708,6 +800,32 @@ impl Classifier {
             return self.batch_static(total, n_threads, &work);
         }
         let (out, scratches) = engine::run_batch(total, n_threads, QueryScratch::new, work)?;
+        let mut stats = QueryStats::default();
+        for s in &scratches {
+            stats.merge(&s.stats);
+        }
+        Ok((out, stats))
+    }
+
+    /// Pool-backed batch core: runs a `'static` work closure (holding
+    /// `Arc` clones of the model and queries) on the classifier's
+    /// persistent pool. Falls back to [`Self::run_borrowed`] whenever
+    /// the pool would not be engaged, so results, statistics, and the
+    /// serial-inline fast path are identical to the borrowed entry
+    /// points.
+    fn batch_shared<T: Send + 'static>(
+        &self,
+        total: usize,
+        policy: ExecPolicy,
+        work: impl Fn(usize, &mut QueryScratch) -> Result<T> + Send + Sync + 'static,
+    ) -> Result<(Vec<T>, QueryStats)> {
+        if !Self::uses_pool(policy, total) {
+            return self.run_borrowed(total, policy, work);
+        }
+        let n_threads = policy.resolved_threads();
+        let (out, scratches) = self
+            .pool
+            .run_batch(total, n_threads, QueryScratch::new, work)?;
         let mut stats = QueryStats::default();
         for s in &scratches {
             stats.merge(&s.stats);
@@ -764,6 +882,14 @@ impl Classifier {
     /// daemon; labels and statistics are identical for every policy and
     /// thread count.
     ///
+    /// [`ExecPolicy::Parallel`] batches run on the classifier's
+    /// persistent work-stealing pool — parked workers wake, drain the
+    /// batch, and park again, so repeated batches pay no thread
+    /// spawn/join. The pool's job closures must be `'static`, which is
+    /// why callers holding their queries in an [`Arc`] should prefer
+    /// [`Self::classify_batch_shared`]: this borrowed entry point has to
+    /// clone the query matrix once per pool-routed batch.
+    ///
     /// The paper evaluates single-threaded throughput; the parallel
     /// policies are the "embarrassingly parallel queries" extension
     /// discussed in §6.
@@ -776,15 +902,43 @@ impl Classifier {
         queries: &Matrix,
         policy: ExecPolicy,
     ) -> Result<(Vec<Label>, QueryStats)> {
-        self.batch_with(queries.rows(), policy, |i, scratch| {
-            self.classify_with(queries.row(i), scratch)
+        if Self::uses_pool(policy, queries.rows()) {
+            return self.classify_batch_shared(Arc::new(queries.clone()), policy);
+        }
+        self.run_borrowed(queries.rows(), policy, |i, scratch| {
+            self.model.classify_with(queries.row(i), scratch)
+        })
+    }
+
+    /// [`Self::classify_batch_with`] over shared queries: the zero-copy
+    /// entry point for the pool path. The `Arc`s of the model and the
+    /// query matrix ride into the pool's `'static` job closure, so no
+    /// per-batch copy of the queries is made — this is what
+    /// `tkdc-serve` calls per request.
+    ///
+    /// # Errors
+    /// Propagates dimension-mismatch and NaN-input errors (the error at
+    /// the smallest query index wins, independent of scheduling).
+    pub fn classify_batch_shared(
+        &self,
+        queries: Arc<Matrix>,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<Label>, QueryStats)> {
+        let total = queries.rows();
+        let model = self.model.clone();
+        self.batch_shared(total, policy, move |i, scratch| {
+            model.classify_with(queries.row(i), scratch)
         })
     }
 
     /// Density bounds ([`Self::bound_density_with`]) for every row of
     /// `queries` under the given execution policy — the unified batch
     /// companion of [`Self::classify_batch_with`] for callers that need
-    /// certified bounds rather than labels.
+    /// certified bounds rather than labels. Pool routing and the
+    /// clone-per-batch caveat are identical to
+    /// [`Self::classify_batch_with`]; prefer
+    /// [`Self::bound_density_batch_shared`] when the queries already
+    /// live in an [`Arc`].
     ///
     /// # Errors
     /// Propagates dimension-mismatch and NaN-input errors.
@@ -793,20 +947,42 @@ impl Classifier {
         queries: &Matrix,
         policy: ExecPolicy,
     ) -> Result<(Vec<DensityBounds>, QueryStats)> {
-        self.batch_with(queries.rows(), policy, |i, scratch| {
-            self.bound_density_with(queries.row(i), scratch)
+        if Self::uses_pool(policy, queries.rows()) {
+            return self.bound_density_batch_shared(Arc::new(queries.clone()), policy);
+        }
+        self.run_borrowed(queries.rows(), policy, |i, scratch| {
+            self.model.bound_density_with(queries.row(i), scratch)
         })
     }
 
-    /// Traced variant of [`Self::batch_with`]: every worker scratch
+    /// [`Self::bound_density_batch_with`] over shared queries — the
+    /// zero-copy pool entry point (see [`Self::classify_batch_shared`]).
+    ///
+    /// # Errors
+    /// Propagates dimension-mismatch and NaN-input errors.
+    pub fn bound_density_batch_shared(
+        &self,
+        queries: Arc<Matrix>,
+        policy: ExecPolicy,
+    ) -> Result<(Vec<DensityBounds>, QueryStats)> {
+        let total = queries.rows();
+        let model = self.model.clone();
+        self.batch_shared(total, policy, move |i, scratch| {
+            model.bound_density_with(queries.row(i), scratch)
+        })
+    }
+
+    /// Traced variant of [`Self::run_borrowed`]: every worker scratch
     /// carries a tracer sampling by query index (`every`; `0` disables),
     /// and the completed traces are merged and sorted by index.
     ///
-    /// Both parallel policies route through the work-stealing engine
-    /// here: traces and merged statistics are schedule-invariant (each
-    /// trace's content depends only on its query), so the static-chunk
-    /// distinction — which exists purely as a scheduler baseline —
-    /// carries no observable difference for traced runs.
+    /// Every parallel policy routes through the scoped work-stealing
+    /// engine here — *not* the pool. Tracing is a diagnostic path where
+    /// per-batch thread spawn is noise against the tracing overhead
+    /// itself, and the borrowed closures keep it allocation-honest;
+    /// traces and merged statistics are schedule-invariant (each trace's
+    /// content depends only on its query), so neither the static-chunk
+    /// nor the pool distinction carries an observable difference.
     #[cfg(feature = "obs")]
     fn batch_traced<T: Send>(
         &self,
@@ -1053,6 +1229,73 @@ mod tests {
                 .unwrap();
             assert_eq!(serial, chunked, "threads={threads}");
             assert_eq!(s_stats, c_stats, "threads={threads}");
+            let (scoped, sc_stats) = clf
+                .classify_batch_with(
+                    &queries,
+                    ExecPolicy::ScopedSpawn {
+                        threads: Some(threads),
+                    },
+                )
+                .unwrap();
+            assert_eq!(serial, scoped, "threads={threads}");
+            assert_eq!(s_stats, sc_stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_spawns_only_for_parallel_batches() {
+        let data = gaussian_blob(1500, 2, 163);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let queries = gaussian_blob(400, 2, 167);
+        // Serial, static-chunked and scoped-spawn batches never touch
+        // the pool.
+        clf.classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        clf.classify_batch_with(&queries, ExecPolicy::StaticChunked { threads: Some(4) })
+            .unwrap();
+        clf.classify_batch_with(&queries, ExecPolicy::ScopedSpawn { threads: Some(4) })
+            .unwrap();
+        assert_eq!(clf.pool.spawned(), 0, "only Parallel engages the pool");
+        // A parallel batch wakes the pool once; repeats reuse it.
+        let (first, f_stats) = clf
+            .classify_batch_with(&queries, ExecPolicy::with_threads(4))
+            .unwrap();
+        assert_eq!(clf.pool.spawned(), 3, "4 threads ⇒ submitter + 3 workers");
+        for batch in 0..3 {
+            let (again, a_stats) = clf
+                .classify_batch_with(&queries, ExecPolicy::with_threads(4))
+                .unwrap();
+            assert_eq!(first, again, "batch={batch}");
+            assert_eq!(f_stats, a_stats, "batch={batch}");
+        }
+        assert_eq!(clf.pool.spawned(), 3, "workers persist across batches");
+    }
+
+    #[test]
+    fn shared_entry_points_match_borrowed() {
+        let data = gaussian_blob(1500, 2, 173);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        let queries = Arc::new(gaussian_blob(400, 2, 179));
+        for policy in [
+            ExecPolicy::Serial,
+            ExecPolicy::with_threads(4),
+            ExecPolicy::ScopedSpawn { threads: Some(4) },
+        ] {
+            let (borrowed, b_stats) = clf.classify_batch_with(&queries, policy).unwrap();
+            let (shared, s_stats) = clf.classify_batch_shared(queries.clone(), policy).unwrap();
+            assert_eq!(borrowed, shared, "{policy:?}");
+            assert_eq!(b_stats, s_stats, "{policy:?}");
+            let (borrowed, b_stats) = clf.bound_density_batch_with(&queries, policy).unwrap();
+            let (shared, s_stats) = clf
+                .bound_density_batch_shared(queries.clone(), policy)
+                .unwrap();
+            assert_eq!(borrowed.len(), shared.len(), "{policy:?}");
+            for (b, s) in borrowed.iter().zip(&shared) {
+                assert_eq!(b.lower, s.lower, "{policy:?}");
+                assert_eq!(b.upper, s.upper, "{policy:?}");
+                assert_eq!(b.cause, s.cause, "{policy:?}");
+            }
+            assert_eq!(b_stats, s_stats, "{policy:?}");
         }
     }
 

@@ -29,6 +29,10 @@ use tkdc_sync::thread;
 
 use tkdc_common::error::Result;
 
+pub mod pool;
+
+pub use pool::Pool;
+
 /// Divisor steering the guided grain size: each claimed range is
 /// `remaining / (workers * GRAIN_DIVISOR)`, so every worker expects to
 /// come back for more work a few times and the tail is finely sliced.

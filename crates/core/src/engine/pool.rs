@@ -1,0 +1,626 @@
+//! Persistent work-stealing thread pool.
+//!
+//! [`super::run_batch`] spawns scoped threads per batch, which is fine
+//! for one-shot CLI runs but dominates the per-batch cost in serving
+//! scenarios: BENCH_batch.json showed *sub-1.0× speedups* at 2–4
+//! threads because every batch paid thread spawn + scheduler-state
+//! rebuild. [`Pool`] keeps workers alive across batches instead:
+//! workers park on a condvar between jobs, a submission publishes one
+//! type-erased job and wakes them, and the submitting thread itself
+//! participates so a single-threaded job degenerates to the inline
+//! serial path with zero parked threads.
+//!
+//! Scheduling inside a job is per-participant deques with chunked
+//! stealing. The index space `0..total` is split into contiguous
+//! per-participant ranges up front (static partition = perfect
+//! locality when costs are uniform); an owner pops *guided* grains
+//! from the front of its own deque, and a participant whose deque ran
+//! dry steals half (grain-capped) from the *back* of a victim's
+//! deque. Stealing in grain-sized chunks rather than single indices is
+//! what keeps the stolen work's amortized synchronization cost on par
+//! with static partitioning on uniform workloads (see the
+//! `skewed.per_threads` regression this replaced).
+//!
+//! Determinism contract (same as [`super::run_batch`]): results are
+//! reassembled in index order, so the output vector is bit-identical
+//! for every capacity/thread count; per-participant states are merged
+//! by the caller with order-independent reductions; the error at the
+//! smallest item index wins.
+//!
+//! Everything here goes through the `tkdc-sync` facade, so
+//! `cargo xtask model-check` can exhaustively explore the park/unpark
+//! protocol (see `pool_*` harnesses in `tests/model_check.rs`).
+
+use std::any::Any;
+use std::ops::Range;
+
+use tkdc_sync::atomic::{AtomicUsize, Ordering};
+use tkdc_sync::thread::{self, JoinHandle};
+use tkdc_sync::{Arc, Condvar, Mutex};
+
+use tkdc_common::error::{Error, Result};
+
+use super::{GRAIN_DIVISOR, MAX_GRAIN};
+
+/// Owner grain: a few round-trips to the deque per participant, single
+/// items at the tail (guided self-scheduling, same shape as
+/// [`super::WorkQueue`]).
+fn own_grain(len: usize) -> usize {
+    (len / GRAIN_DIVISOR).clamp(1, MAX_GRAIN).min(len)
+}
+
+/// Steal grain: half the victim's remaining work, grain-capped. Taking
+/// a chunk (not one index) amortizes the lock traffic that made
+/// single-index stealing lose to static partitioning at 2 threads.
+fn steal_grain(len: usize) -> usize {
+    (len / 2).clamp(1, MAX_GRAIN).min(len)
+}
+
+/// Panic shield around one chunk of user work. In the real build a
+/// worker panic is captured and re-raised on the submitting thread; in
+/// the model-check build panics must propagate unmodified so the
+/// checker's own unwinding (used to abort explored executions) is
+/// never swallowed.
+#[cfg(not(tkdc_model_check))]
+fn shield<R>(f: impl FnOnce() -> R) -> std::result::Result<R, Box<dyn Any + Send + 'static>> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+}
+
+/// Model-check twin of [`shield`]: transparent.
+#[cfg(tkdc_model_check)]
+fn shield<R>(f: impl FnOnce() -> R) -> std::result::Result<R, Box<dyn Any + Send + 'static>> {
+    Ok(f())
+}
+
+/// What the parked workers see: "participate in the current job".
+/// Erases the job's item/state/closure types so heterogeneous batches
+/// can share one pool.
+trait JobRun: Send + Sync {
+    fn participate(&self);
+}
+
+/// Aggregated job output, guarded by [`Job::done`]. The job is
+/// complete when `remaining == 0 && active == 0`: every item has been
+/// published (or drained by an abort) *and* every engaged participant
+/// has pushed its final state.
+struct JobOutput<T, S> {
+    remaining: usize,
+    active: usize,
+    segments: Vec<(usize, Vec<T>)>,
+    states: Vec<S>,
+    error: Option<(usize, Error)>,
+    panic: Option<Box<dyn Any + Send + 'static>>,
+}
+
+/// One submitted batch: per-participant deques plus the closures and
+/// the output accumulator.
+struct Job<T, S, G, F> {
+    /// Contiguous per-participant ranges; owner pops from the front,
+    /// thieves steal from the back.
+    slots: Vec<Mutex<Range<usize>>>,
+    /// Participant slots are claimed first-come; claims past
+    /// `slots.len()` bounce back to the park loop.
+    next_slot: AtomicUsize,
+    init: G,
+    work: F,
+    done: Mutex<JobOutput<T, S>>,
+    done_cv: Condvar,
+}
+
+impl<T, S, G, F> Job<T, S, G, F>
+where
+    T: Send,
+    S: Send,
+    G: Fn() -> S + Send + Sync,
+    F: Fn(usize, &mut S) -> Result<T> + Send + Sync,
+{
+    /// Pops a grain from this participant's own deque, or steals a
+    /// chunk from the first non-empty victim (round-robin scan).
+    fn pop_or_steal(&self, slot: usize) -> Option<Range<usize>> {
+        {
+            let mut own = self.slots[slot].lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            if !own.is_empty() {
+                let take = own_grain(own.len());
+                let chunk = own.start..own.start + take;
+                own.start += take;
+                return Some(chunk);
+            }
+        }
+        let n = self.slots.len();
+        for off in 1..n {
+            let mut victim = self.slots[(slot + off) % n].lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            if !victim.is_empty() {
+                let take = steal_grain(victim.len());
+                let chunk = victim.end - take..victim.end;
+                victim.end -= take;
+                return Some(chunk);
+            }
+        }
+        None
+    }
+
+    /// Empties every deque (advisory abort after an error/panic) and
+    /// debits the drained items from `remaining` so the completion
+    /// condition is still reached. In-flight chunks held by other
+    /// participants debit themselves when they finish.
+    fn drain_slots(&self) {
+        let mut drained = 0usize;
+        for slot in &self.slots {
+            let mut r = slot.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            drained += r.len();
+            r.start = r.end;
+        }
+        if drained > 0 {
+            let mut out = self.done.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            out.remaining -= drained;
+        }
+    }
+
+    /// Publishes one finished chunk and debits `remaining`.
+    fn publish_chunk(&self, start: usize, seg: Vec<T>, len: usize) {
+        let mut out = self.done.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+        out.segments.push((start, seg));
+        out.remaining -= len;
+    }
+}
+
+impl<T, S, G, F> JobRun for Job<T, S, G, F>
+where
+    T: Send,
+    S: Send,
+    G: Fn() -> S + Send + Sync,
+    F: Fn(usize, &mut S) -> Result<T> + Send + Sync,
+{
+    fn participate(&self) {
+        // ORDERING: Relaxed — the counter only allocates distinct slot
+        // numbers; all data transfer goes through the slot/done
+        // mutexes. Model-checked by `pool_*` in tests/model_check.rs.
+        let slot = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        if slot >= self.slots.len() {
+            return;
+        }
+        {
+            let mut out = self.done.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            out.active += 1;
+        }
+        let mut state = (self.init)();
+        while let Some(chunk) = self.pop_or_steal(slot) {
+            let start = chunk.start;
+            let len = chunk.len();
+            let ran = shield(|| -> std::result::Result<Vec<T>, (usize, Error)> {
+                let mut seg = Vec::with_capacity(len);
+                for i in chunk {
+                    match (self.work)(i, &mut state) {
+                        Ok(v) => seg.push(v),
+                        Err(e) => return Err((i, e)),
+                    }
+                }
+                Ok(seg)
+            });
+            match ran {
+                Ok(Ok(seg)) => self.publish_chunk(start, seg, len),
+                Ok(Err((i, e))) => {
+                    // The whole chunk is debited; its partial segment
+                    // is dropped (the batch errors out before tiling).
+                    {
+                        let mut out = self.done.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+                        out.remaining -= len;
+                        if out.error.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                            out.error = Some((i, e));
+                        }
+                    }
+                    self.drain_slots();
+                    break;
+                }
+                Err(payload) => {
+                    {
+                        let mut out = self.done.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+                        out.remaining -= len;
+                        if out.panic.is_none() {
+                            out.panic = Some(payload);
+                        }
+                    }
+                    self.drain_slots();
+                    break;
+                }
+            }
+        }
+        let mut out = self.done.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+        out.states.push(state);
+        out.active -= 1;
+        if out.remaining == 0 && out.active == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// State the workers park on. One job at a time; `epoch` distinguishes
+/// "this job is new to me" from "I already worked on this one and it
+/// has not been replaced yet".
+struct PoolState {
+    job: Option<Arc<dyn JobRun>>,
+    epoch: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs; `notify_all` on submit and on
+    /// shutdown.
+    work_ready: Condvar,
+}
+
+/// A long-lived work-stealing thread pool.
+///
+/// Lifecycle:
+/// * **Creation** ([`Pool::new`]) allocates only the shared state; no
+///   threads are spawned until the first submission that needs them.
+/// * **Sizing**: workers grow on demand. A job asking for `n` threads
+///   engages the submitting thread plus up to `n - 1` pool workers
+///   (spawned lazily on the first job that needs them, kept forever).
+/// * **Submission** ([`Pool::run_batch`]) is serialized — one job in
+///   flight; concurrent submitters queue on an internal mutex. The
+///   submitter always participates, so the pool makes progress even
+///   if every worker is still waking up.
+/// * **Drain on drop**: `Drop` flags shutdown, wakes all workers and
+///   joins them; any submitted job has already completed (submission
+///   holds `&self`).
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    /// Lazily spawned worker handles, joined on drop.
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes submissions: at most one job published at a time.
+    submit: Mutex<()>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("spawned", &self.workers.lock().unwrap().len()) // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != last_epoch {
+                    if let Some(job) = st.job.clone() {
+                        last_epoch = st.epoch;
+                        break job;
+                    }
+                    // Job already completed and was cleared: catch up
+                    // so a re-submit of epoch+1 still looks new.
+                    last_epoch = st.epoch;
+                }
+                st = shared.work_ready.wait(st).unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            }
+        };
+        job.participate();
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pool {
+    /// An empty pool. No threads are spawned until the first batch that
+    /// needs them; workers grow to match the largest `n_threads` ever
+    /// requested and persist until drop.
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    job: None,
+                    epoch: 0,
+                    shutdown: false,
+                }),
+                work_ready: Condvar::new(),
+            }),
+            workers: Mutex::new(Vec::new()),
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// Number of worker threads currently alive (spawned lazily; the
+    /// submitting thread is always an extra participant on top).
+    pub fn spawned(&self) -> usize {
+        self.workers.lock().unwrap().len() // INVARIANT: user work is shielded; pool locks cannot be poisoned
+    }
+
+    fn ensure_workers(&self, needed: usize) {
+        let mut workers = self.workers.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+        while workers.len() < needed {
+            let shared = self.shared.clone();
+            // JOIN: handles are joined in `Pool::drop` after the
+            // shutdown flag wakes every parked worker.
+            workers.push(thread::spawn(move || worker_loop(&shared)));
+        }
+    }
+
+    /// Runs `work(i, &mut state)` for every `i` in `0..total` across
+    /// the pool, returning per-item results in index order plus the
+    /// participants' final states (padded with `init()` to exactly the
+    /// engaged thread count, so state-vector length is deterministic).
+    ///
+    /// Same guarantees as [`super::run_batch`]: index-order results
+    /// identical for any thread count, lowest-index error wins, and
+    /// `n_threads <= 1` (or a trivial batch) runs inline with no
+    /// synchronization at all. Unlike `run_batch`, closures must be
+    /// `'static` because workers outlive the call — clone an `Arc` of
+    /// the model/queries into them.
+    ///
+    /// # Errors
+    /// Propagates the lowest-index error returned by `work`.
+    ///
+    /// # Panics
+    /// Re-raises (on this thread) the first panic captured from `work`.
+    pub fn run_batch<T, S, G, F>(
+        &self,
+        total: usize,
+        n_threads: usize,
+        init: G,
+        work: F,
+    ) -> Result<(Vec<T>, Vec<S>)>
+    where
+        T: Send + 'static,
+        S: Send + 'static,
+        G: Fn() -> S + Send + Sync + 'static,
+        F: Fn(usize, &mut S) -> Result<T> + Send + Sync + 'static,
+    {
+        let n = n_threads.max(1).min(total.max(1));
+        if n == 1 {
+            let mut state = init();
+            let mut out = Vec::with_capacity(total);
+            for i in 0..total {
+                out.push(work(i, &mut state)?);
+            }
+            return Ok((out, vec![state]));
+        }
+
+        self.ensure_workers(n - 1);
+
+        // Static contiguous split; stealing rebalances skew.
+        let base = total / n;
+        let extra = total % n;
+        let mut slots = Vec::with_capacity(n);
+        let mut at = 0usize;
+        for s in 0..n {
+            let len = base + usize::from(s < extra);
+            slots.push(Mutex::new(at..at + len));
+            at += len;
+        }
+        debug_assert_eq!(at, total);
+
+        let job = Arc::new(Job {
+            slots,
+            next_slot: AtomicUsize::new(0),
+            init,
+            work,
+            done: Mutex::new(JobOutput {
+                remaining: total,
+                active: 0,
+                segments: Vec::new(),
+                states: Vec::new(),
+                error: None,
+                panic: None,
+            }),
+            done_cv: Condvar::new(),
+        });
+
+        let submit = self.submit.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+        {
+            let mut st = self.shared.state.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            st.job = Some(job.clone() as Arc<dyn JobRun>);
+            st.epoch += 1;
+            self.shared.work_ready.notify_all();
+        }
+
+        // The submitter is participant #0: progress is guaranteed even
+        // before any worker wakes, and a 1-thread job never parks.
+        job.participate();
+
+        let mut out = job.done.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+        while !(out.remaining == 0 && out.active == 0) {
+            out = job.done_cv.wait(out).unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+        }
+        let mut segments = std::mem::take(&mut out.segments);
+        let mut states = std::mem::take(&mut out.states);
+        let error = out.error.take();
+        let panic = out.panic.take();
+        drop(out);
+
+        {
+            let mut st = self.shared.state.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            st.job = None;
+        }
+        drop(submit);
+
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some((_, e)) = error {
+            return Err(e);
+        }
+
+        // A worker that woke too late to do any work contributes no
+        // state; pad so callers see a deterministic count.
+        while states.len() < n {
+            states.push((job.init)());
+        }
+
+        segments.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(total);
+        for (start, seg) in segments {
+            // INVARIANT: deque chunks are disjoint and cover 0..total
+            // exactly when no error occurred, so sorted segments tile.
+            assert_eq!(start, out.len(), "pool segments must tile");
+            out.extend(seg);
+        }
+        assert_eq!(out.len(), total, "pool must cover the batch");
+        Ok((out, states))
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap()); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+        for h in handles {
+            // JOIN: drop blocks until every worker has observed
+            // shutdown and exited its park loop.
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sizes shrink under Miri (CI's miri-smoke job runs these tests
+    /// interpreted, ~3 orders of magnitude slower than native).
+    const N: usize = if cfg!(miri) { 96 } else { 4000 };
+
+    #[test]
+    fn pool_matches_serial_for_any_thread_count() {
+        let work = |i: usize, acc: &mut u64| -> Result<u64> {
+            *acc += 1;
+            Ok((i as u64) * 7 + 3)
+        };
+        let pool = Pool::new();
+        let (serial, _) = pool.run_batch(N, 1, || 0u64, work).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let (parallel, states) = pool.run_batch(N, threads, || 0u64, work).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+            assert_eq!(states.iter().sum::<u64>(), N as u64);
+            assert_eq!(states.len(), threads);
+        }
+    }
+
+    #[test]
+    fn pool_reuse_is_stable_across_batches() {
+        let pool = Pool::new();
+        let expect: Vec<usize> = (0..N).map(|i| i * 2).collect();
+        for batch in 0..3 {
+            let (out, _) = pool
+                .run_batch(N, 4, || (), |i, _: &mut ()| Ok(i * 2))
+                .unwrap();
+            assert_eq!(out, expect, "batch={batch}");
+        }
+        // Workers were spawned once and persisted.
+        assert_eq!(pool.spawned(), 3);
+    }
+
+    #[test]
+    fn pool_spawns_lazily_and_grows_on_demand() {
+        let pool = Pool::new();
+        assert_eq!(pool.spawned(), 0, "creation spawns nothing");
+        let (out, states) = pool.run_batch(N, 2, || (), |i, _: &mut ()| Ok(i)).unwrap();
+        assert_eq!(out.len(), N);
+        assert_eq!(states.len(), 2);
+        assert_eq!(pool.spawned(), 1, "2 threads ⇒ submitter + 1 worker");
+        // A larger request grows the worker set; it never shrinks.
+        let (_, states) = pool.run_batch(N, 8, || (), |i, _: &mut ()| Ok(i)).unwrap();
+        assert_eq!(states.len(), 8);
+        assert_eq!(pool.spawned(), 7, "8 threads ⇒ submitter + 7 workers");
+        let (_, states) = pool.run_batch(N, 2, || (), |i, _: &mut ()| Ok(i)).unwrap();
+        assert_eq!(states.len(), 2);
+        assert_eq!(pool.spawned(), 7, "workers persist after a smaller job");
+    }
+
+    #[test]
+    fn pool_returns_lowest_index_error() {
+        let n = if cfg!(miri) { 64 } else { 1000 };
+        let work = |i: usize, _: &mut ()| -> Result<usize> {
+            if i == 37 || i == 612 {
+                Err(Error::EmptyInput("boom"))
+            } else {
+                Ok(i)
+            }
+        };
+        let pool = Pool::new();
+        for threads in [1, 4] {
+            let err = pool.run_batch(n, threads, || (), work).unwrap_err();
+            assert!(
+                matches!(err, Error::EmptyInput("boom")),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_empty_and_tiny_batches() {
+        let pool = Pool::new();
+        let (out, _) = pool.run_batch(0, 8, || (), |i, _: &mut ()| Ok(i)).unwrap();
+        assert!(out.is_empty());
+        let (out, _) = pool.run_batch(3, 8, || (), |i, _: &mut ()| Ok(i)).unwrap();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pool_propagates_worker_panic() {
+        let pool = Pool::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = pool.run_batch(
+                256,
+                4,
+                || (),
+                |i, _: &mut ()| {
+                    assert!(i != 100, "deliberate test panic");
+                    Ok(i)
+                },
+            );
+        }));
+        assert!(caught.is_err(), "worker panic must re-raise on submitter");
+        // The pool is still usable after a panicked job.
+        let (out, _) = pool.run_batch(8, 4, || (), |i, _: &mut ()| Ok(i)).unwrap();
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_submitting_threads() {
+        let pool = Arc::new(Pool::new());
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let pool = pool.clone();
+                thread::spawn(move || {
+                    let (out, _) = pool
+                        .run_batch(N, 2, || (), move |i, _: &mut ()| Ok(i + t))
+                        .unwrap();
+                    assert_eq!(out[0], t);
+                    assert_eq!(out[N - 1], N - 1 + t);
+                })
+            })
+            .collect();
+        for h in handles {
+            // JOIN: submitters joined before the pool is dropped.
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn grains_are_chunks_not_single_indices() {
+        // Regression guard for the satellite fix: a steal must take a
+        // chunk when the victim has plenty left.
+        assert_eq!(steal_grain(1000), 500);
+        assert_eq!(steal_grain(3), 1);
+        assert_eq!(steal_grain(1), 1);
+        assert!(steal_grain(1_000_000) <= MAX_GRAIN);
+        assert_eq!(own_grain(4096), 1024);
+        assert_eq!(own_grain(1), 1);
+    }
+}

@@ -81,6 +81,14 @@ pub struct KdTree {
     /// Per-node total mass `Σ w_i` over the node's range; empty for
     /// unweighted trees (mass is then the point count).
     masses: Vec<f64>,
+    /// Dimension-major (SoA) copies of every leaf's point block,
+    /// concatenated: leaf with `soa_off[id] = o` and `r` rows stores
+    /// coordinate `j` of its point `i` at `soa[o + j·r + i]`. Derived
+    /// state (rebuilt on load, never serialized); doubles point storage
+    /// but gives `Kernel::sum_block_soa` stride-1 columns at any `d`.
+    soa: Vec<f64>,
+    /// Per-node offset into `soa`; `usize::MAX` for internal nodes.
+    soa_off: Vec<usize>,
 }
 
 impl KdTree {
@@ -155,6 +163,8 @@ impl KdTree {
             node_hi: Vec::new(),
             weights,
             masses: Vec::new(),
+            soa: Vec::new(),
+            soa_off: Vec::new(),
         };
         // Scratch buffer reused by split-value selection at every level.
         let mut scratch: Vec<f64> = Vec::with_capacity(n);
@@ -176,7 +186,45 @@ impl KdTree {
                 })
                 .collect();
         }
+        tree.build_soa();
         Ok(tree)
+    }
+
+    /// Builds the dimension-major leaf cache. Leaves partition the row
+    /// range exactly (internal nodes always cover both children), so
+    /// the cache is one `n·d` buffer with per-leaf offsets.
+    fn build_soa(&mut self) {
+        let d = self.dim;
+        // Size by the actual leaf rows (equal to `n` for any tree the
+        // builder produces; sized defensively so a shallowly-validated
+        // raw load can never index out of bounds here).
+        let total_rows: usize = self
+            .nodes
+            .iter()
+            .filter(|n| n.left == NO_CHILD)
+            .map(|n| (n.end - n.start) as usize) // CAST: u32 range widens to usize
+            .sum();
+        let mut soa = vec![0.0; total_rows * d];
+        let mut soa_off = vec![usize::MAX; self.nodes.len()];
+        let mut at = 0usize;
+        for id in 0..self.nodes.len() {
+            if self.nodes[id].left != NO_CHILD {
+                continue;
+            }
+            // CAST: u32 offsets widen to usize
+            let (start, end) = (self.nodes[id].start as usize, self.nodes[id].end as usize);
+            let rows = end - start;
+            soa_off[id] = at;
+            for i in 0..rows {
+                let row = &self.points[(start + i) * d..(start + i + 1) * d];
+                for (j, &v) in row.iter().enumerate() {
+                    soa[at + j * rows + i] = v;
+                }
+            }
+            at += rows * d;
+        }
+        self.soa = soa;
+        self.soa_off = soa_off;
     }
 
     /// Recursively builds the subtree over rows `[start, end)` at `depth`.
@@ -469,6 +517,31 @@ impl KdTree {
         // CAST: u32 offsets widen to usize
     }
 
+    /// Dimension-major (SoA) coordinate block of the points under *leaf*
+    /// node `id`: coordinate `j` of the leaf's point `i` sits at index
+    /// `j · count(id) + i` of the returned slice (`count(id) · dim`
+    /// values). This is the layout `Kernel::sum_block_soa` consumes
+    /// with stride-1 inner loops; the row-major [`Self::node_block`]
+    /// remains the oracle layout.
+    ///
+    /// # Panics
+    /// Debug-asserts that `id` is a leaf — internal nodes have no SoA
+    /// block (the traversal only scans leaves).
+    #[inline]
+    pub fn node_block_soa(&self, id: u32) -> &[f64] {
+        let off = self.soa_off[id as usize]; // CAST: u32 id widens to usize
+        debug_assert_ne!(off, usize::MAX, "SoA blocks exist only for leaves");
+        &self.soa[off..off + self.count(id) * self.dim]
+    }
+
+    /// Row `i` of the tree's *reordered* point order (the order
+    /// [`Self::node_points`] of the root yields). Lets batch drivers
+    /// walk the training points without copying them out of the tree.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.points[i * self.dim..(i + 1) * self.dim]
+    }
+
     /// Iterator over the point rows stored under node `id`.
     pub fn node_points(&self, id: u32) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
         self.node_block(id).chunks_exact(self.dim)
@@ -599,7 +672,7 @@ impl KdTree {
                 .map(|nd| raw.weights[nd.start as usize..nd.end as usize].iter().sum()) // CAST: u32 offsets widen to usize
                 .collect()
         };
-        Ok(Self {
+        let mut tree = Self {
             dim: d,
             leaf_size: raw.leaf_size,
             points: raw.points,
@@ -609,7 +682,13 @@ impl KdTree {
             node_hi: raw.node_hi,
             weights: raw.weights,
             masses,
-        })
+            soa: Vec::new(),
+            soa_off: Vec::new(),
+        };
+        // The SoA leaf cache is derived state, rebuilt on load like the
+        // node masses.
+        tree.build_soa();
+        Ok(tree)
     }
 
     /// Visits every point within scaled distance `radius` of `x` (i.e.
@@ -810,6 +889,53 @@ mod tests {
                 .flat_map(|r| r.iter().copied())
                 .collect();
             assert_eq!(block, flat.as_slice());
+        }
+    }
+
+    #[test]
+    fn node_block_soa_is_the_transpose_of_node_block() {
+        for d in [1usize, 2, 3, 7] {
+            let data = random_matrix(300, d, 19 + d as u64);
+            let tree = KdTree::build(&data, 16, SplitRule::TrimmedMidpoint).unwrap();
+            for id in 0..tree.node_count() as u32 {
+                if !tree.is_leaf(id) {
+                    continue;
+                }
+                let rows = tree.count(id);
+                let block = tree.node_block(id);
+                let soa = tree.node_block_soa(id);
+                assert_eq!(soa.len(), rows * d);
+                for i in 0..rows {
+                    for j in 0..d {
+                        assert_eq!(
+                            soa[j * rows + i].to_bits(),
+                            block[i * d + j].to_bits(),
+                            "id={id} i={i} j={j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_cache_survives_raw_roundtrip() {
+        let data = random_matrix(250, 3, 47);
+        let tree = KdTree::build(&data, 8, SplitRule::TrimmedMidpoint).unwrap();
+        let back = KdTree::from_raw_parts(tree.to_raw_parts()).unwrap();
+        for id in 0..tree.node_count() as u32 {
+            if tree.is_leaf(id) {
+                assert_eq!(tree.node_block_soa(id), back.node_block_soa(id));
+            }
+        }
+    }
+
+    #[test]
+    fn point_accessor_matches_reordered_rows() {
+        let data = random_matrix(120, 2, 3);
+        let tree = KdTree::build(&data, 8, SplitRule::TrimmedMidpoint).unwrap();
+        for (i, row) in tree.node_points(tree.root()).enumerate() {
+            assert_eq!(tree.point(i), row);
         }
     }
 

@@ -360,6 +360,133 @@ impl Kernel {
         total * self.norm
     }
 
+    /// Sum of kernel values between `x` and every point of a
+    /// *dimension-major* (structure-of-arrays) block: `soa[j·rows + i]`
+    /// holds coordinate `j` of point `i`, `soa.len() == dim · rows`.
+    ///
+    /// The SoA twin of [`Self::sum_block`]. Row-major leaves defeat
+    /// autovectorization once `d` exceeds the unrolled specializations:
+    /// the distance pass walks memory with stride `d`, so at d = 64 the
+    /// "blocked" path *lost* to scalar `eval_pair`. Here the inner loop
+    /// runs down a contiguous coordinate column for 32 points at a time
+    /// (`u[i] += ((x_j − col[i]) · inv_h_j)²`), which LLVM turns into
+    /// clean FMA vector code at any `d`. The value pass (transcendental
+    /// / support test) is shared with the row-major path, so the NaN
+    /// and compact-support contracts are identical.
+    ///
+    /// Equivalent to evaluating `eval_pair` per point up to
+    /// floating-point summation order — the accumulation order differs
+    /// from [`Self::sum_block`] (per-dimension across points instead of
+    /// per-point across dimensions), so results agree only to FP
+    /// tolerance, never bit-exactly.
+    pub fn sum_block_soa(&self, x: &[f64], soa: &[f64], rows: usize) -> f64 {
+        let d = self.inv_h.len();
+        debug_assert_eq!(x.len(), d);
+        debug_assert_eq!(soa.len(), d * rows);
+        const TILE: usize = 32;
+        let mut u = [0.0f64; TILE];
+        let mut total = 0.0;
+        let mut base = 0;
+        while base < rows {
+            let m = TILE.min(rows - base);
+            u[..m].fill(0.0);
+            // Distance pass: one contiguous column per dimension; the
+            // inner loop is stride-1 over both `u` and `col`, which is
+            // the shape LLVM autovectorizes regardless of `d`.
+            for j in 0..d {
+                let xj = x[j];
+                let ij = self.inv_h[j];
+                let col = &soa[j * rows + base..j * rows + base + m];
+                for (uj, &p) in u[..m].iter_mut().zip(col) {
+                    let z = (xj - p) * ij;
+                    *uj += z * z;
+                }
+            }
+            // Value pass over the buffered distances (same contracts as
+            // `sum_block`).
+            match self.kind {
+                KernelKind::Gaussian => {
+                    let mut block_sum = 0.0;
+                    for &uj in &u[..m] {
+                        block_sum += (-0.5 * uj).exp();
+                    }
+                    total += block_sum;
+                }
+                KernelKind::Epanechnikov => {
+                    for &uj in &u[..m] {
+                        // Early exit outside the support; NaN distances
+                        // fall through and poison the sum exactly like
+                        // `eval_scaled_sq` would.
+                        if uj >= 1.0 {
+                            continue;
+                        }
+                        total += 1.0 - uj;
+                    }
+                }
+            }
+            base += m;
+        }
+        total * self.norm
+    }
+
+    /// Weighted sum over a dimension-major block: `Σ_i w_i · K(x, p_i)`
+    /// with the same SoA layout as [`Self::sum_block_soa`].
+    ///
+    /// The SoA twin of [`Self::sum_block_weighted`]; `weights.len()`
+    /// must equal `rows`.
+    pub fn sum_block_soa_weighted(
+        &self,
+        x: &[f64],
+        soa: &[f64],
+        rows: usize,
+        weights: &[f64],
+    ) -> f64 {
+        let d = self.inv_h.len();
+        debug_assert_eq!(x.len(), d);
+        debug_assert_eq!(soa.len(), d * rows);
+        debug_assert_eq!(weights.len(), rows);
+        const TILE: usize = 32;
+        let mut u = [0.0f64; TILE];
+        let mut total = 0.0;
+        let mut base = 0;
+        while base < rows {
+            let m = TILE.min(rows - base);
+            u[..m].fill(0.0);
+            for j in 0..d {
+                let xj = x[j];
+                let ij = self.inv_h[j];
+                let col = &soa[j * rows + base..j * rows + base + m];
+                for (uj, &p) in u[..m].iter_mut().zip(col) {
+                    let z = (xj - p) * ij;
+                    *uj += z * z;
+                }
+            }
+            let w = &weights[base..base + m];
+            match self.kind {
+                KernelKind::Gaussian => {
+                    let mut block_sum = 0.0;
+                    for (&uj, &wj) in u[..m].iter().zip(w) {
+                        block_sum += wj * (-0.5 * uj).exp();
+                    }
+                    total += block_sum;
+                }
+                KernelKind::Epanechnikov => {
+                    for (&uj, &wj) in u[..m].iter().zip(w) {
+                        // Early exit outside the support; NaN distances
+                        // fall through and poison the sum exactly like
+                        // `eval_scaled_sq` would.
+                        if uj >= 1.0 {
+                            continue;
+                        }
+                        total += wj * (1.0 - uj);
+                    }
+                }
+            }
+            base += m;
+        }
+        total * self.norm
+    }
+
     /// `K(0)` — the kernel's maximum, used for the self-contribution
     /// correction `f₀ = K(0)/n` (Eq. 1) and the grid's diagonal bound.
     #[inline]
@@ -580,6 +707,79 @@ mod tests {
             let a = k.sum_block(&[0.2, -0.4], &block);
             let b = k.sum_block_weighted(&[0.2, -0.4], &block, &ones);
             assert!((a - b).abs() <= 1e-12 * k.max_value() * 71.0, "{a} vs {b}");
+        }
+    }
+
+    /// Transposes a row-major block into the dimension-major SoA
+    /// layout `soa[j·rows + i]`.
+    fn transpose(block: &[f64], rows: usize, d: usize) -> Vec<f64> {
+        let mut soa = vec![0.0; rows * d];
+        for i in 0..rows {
+            for j in 0..d {
+                soa[j * rows + i] = block[i * d + j];
+            }
+        }
+        soa
+    }
+
+    #[test]
+    fn sum_block_soa_matches_row_major_oracle() {
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            for d in [1usize, 2, 3, 4, 7, 8, 64] {
+                let h: Vec<f64> = (0..d).map(|i| 0.5 + 0.25 * i as f64).collect();
+                let k = Kernel::new(kind, h).unwrap();
+                for rows in [0usize, 1, 31, 32, 33, 100] {
+                    let block = pseudo_block(rows, d, (d as u64) << 8 | rows as u64);
+                    let soa = transpose(&block, rows, d);
+                    let x: Vec<f64> = (0..d).map(|i| 0.1 * i as f64).collect();
+                    let oracle = k.sum_block(&x, &block);
+                    let got = k.sum_block_soa(&x, &soa, rows);
+                    // Accumulation order differs (per-dimension vs
+                    // per-point), so compare to tight FP tolerance.
+                    let tol = 1e-12 * k.max_value() * (rows as f64 + 1.0) * d as f64;
+                    assert!(
+                        (got - oracle).abs() <= tol,
+                        "{kind:?} d={d} rows={rows}: {got} vs {oracle}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_block_soa_weighted_matches_row_major_oracle() {
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            for d in [1usize, 2, 4, 7, 64] {
+                let h: Vec<f64> = (0..d).map(|i| 0.5 + 0.25 * i as f64).collect();
+                let k = Kernel::new(kind, h).unwrap();
+                for rows in [0usize, 1, 31, 33, 100] {
+                    let block = pseudo_block(rows, d, (d as u64) << 8 | rows as u64);
+                    let soa = transpose(&block, rows, d);
+                    let weights: Vec<f64> =
+                        (0..rows).map(|i| 0.25 + (i % 7) as f64 * 0.5).collect();
+                    let x: Vec<f64> = (0..d).map(|i| 0.1 * i as f64).collect();
+                    let oracle = k.sum_block_weighted(&x, &block, &weights);
+                    let got = k.sum_block_soa_weighted(&x, &soa, rows, &weights);
+                    let tol = 1e-12 * k.max_value() * (rows as f64 + 1.0) * d as f64 * 4.0;
+                    assert!(
+                        (got - oracle).abs() <= tol,
+                        "{kind:?} d={d} rows={rows}: {got} vs {oracle}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_block_soa_compact_support_and_nan_contracts() {
+        let k = Kernel::new(KernelKind::Epanechnikov, vec![1.0, 1.0]).unwrap();
+        // All points far outside the unit support: exact zero.
+        let soa = vec![50.0; 2 * 40];
+        assert_eq!(k.sum_block_soa(&[0.0, 0.0], &soa, 40), 0.0);
+        for kind in [KernelKind::Gaussian, KernelKind::Epanechnikov] {
+            let k = Kernel::new(kind, vec![1.0]).unwrap();
+            let soa = vec![0.5, f64::NAN, 0.25];
+            assert!(k.sum_block_soa(&[0.0], &soa, 3).is_nan(), "{kind:?}");
         }
     }
 

@@ -49,7 +49,10 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads for each micro-batch (`None` = all available
     /// cores). This sets the [`ExecPolicy`] used per request; it does
-    /// not bound the number of connection handler threads.
+    /// not bound the number of connection handler threads. Requests
+    /// reuse the classifier's persistent worker pool — threads are
+    /// spawned once on the first parallel batch and parked between
+    /// requests, never respawned per batch.
     pub threads: Option<usize>,
     /// Maximum concurrent connections before new arrivals are rejected
     /// with an `OverCapacity` error frame.
@@ -340,9 +343,11 @@ fn respond(shared: &Shared, req: Request) -> (Response, bool) {
                         write_traces(sink, &traces);
                         (labels, stats)
                     }),
+                // The request's owned points ride into the pool job as
+                // an Arc — no per-request copy of the batch.
                 None => shared
                     .classifier
-                    .classify_batch_with(&points, shared.policy),
+                    .classify_batch_shared(Arc::new(points), shared.policy),
             };
             match result {
                 Ok((labels, stats)) => {
@@ -371,7 +376,7 @@ fn respond(shared: &Shared, req: Request) -> (Response, bool) {
                     }),
                 None => shared
                     .classifier
-                    .bound_density_batch_with(&points, shared.policy),
+                    .bound_density_batch_shared(Arc::new(points), shared.policy),
             };
             match result {
                 Ok((bounds, stats)) => {

@@ -16,7 +16,7 @@
 //!
 //! What swaps and what doesn't:
 //!
-//! * **Swapped**: `Mutex`/`MutexGuard`, `atomic::{AtomicBool,
+//! * **Swapped**: `Mutex`/`MutexGuard`, `Condvar`, `atomic::{AtomicBool,
 //!   AtomicU64, AtomicUsize}`, `thread::{spawn, scope, sleep,
 //!   yield_now, JoinHandle, Scope, ScopedJoinHandle}`.
 //! * **Never swapped**: `Arc`, `OnceLock`, `atomic::Ordering`,
@@ -37,7 +37,7 @@
 /// Re-exports under the normal (non-model-check) build: the real thing.
 #[cfg(not(tkdc_model_check))]
 mod facade {
-    pub use std::sync::{Arc, LockResult, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
+    pub use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
 
     /// Atomic types and orderings (`std::sync::atomic` subset).
     pub mod atomic {
@@ -56,7 +56,7 @@ mod facade {
 /// Re-exports under `--cfg tkdc_model_check`: the instrumented runtime.
 #[cfg(tkdc_model_check)]
 mod facade {
-    pub use loom::sync::{Mutex, MutexGuard};
+    pub use loom::sync::{Condvar, Mutex, MutexGuard};
     pub use std::sync::{Arc, LockResult, OnceLock, PoisonError, Weak};
 
     /// Instrumented atomics (orderings stay the `std` enum).

@@ -1193,10 +1193,11 @@ mod tests {
     // ---- golden fixtures ----
 
     /// Every rule ships a pair of golden fixtures under
-    /// `tests/golden/`: `lN_fire` must produce exactly that rule, and
-    /// `lN_allow` (the same code with the sanctioned marker or
-    /// suppression) must be clean. This pins both the detection and the
-    /// escape hatch of each rule against regressions.
+    /// `tests/golden/`: `lN_fire` must produce only that rule (one or
+    /// more findings — the concurrency fixtures carry several
+    /// patterns), and `lN_allow` (the same code with the sanctioned
+    /// marker or suppression) must be clean. This pins both the
+    /// detection and the escape hatch of each rule against regressions.
     #[test]
     fn golden_fixtures_fire_and_allow_per_rule() {
         let all = [
@@ -1220,9 +1221,16 @@ mod tests {
                 let src = std::fs::read_to_string(&path)
                     .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
                 // Every library crate must hold the same bar: run each
-                // fixture under a representative established crate and
-                // the newest crate-set member (`tkdc-coreset`).
-                for fixture_path in ["crates/core/src/golden.rs", "crates/coreset/src/golden.rs"] {
+                // fixture under a representative established crate, the
+                // newest crate-set member (`tkdc-coreset`), and the
+                // persistent pool module — the workspace's densest user
+                // of L6–L9 (facade imports, Relaxed cursors, worker
+                // spawn/join lifecycles).
+                for fixture_path in [
+                    "crates/core/src/golden.rs",
+                    "crates/coreset/src/golden.rs",
+                    "crates/core/src/engine/pool.rs",
+                ] {
                     let kind = classify(Path::new(fixture_path));
                     assert!(kind.is_library && kind.cast_checked, "{fixture_path}");
                     let fired: Vec<Rule> = check(fixture_path, &src, kind)
@@ -1230,10 +1238,9 @@ mod tests {
                         .map(|v| v.rule)
                         .collect();
                     if expect_fire {
-                        assert_eq!(
-                            fired,
-                            vec![*rule],
-                            "l{n}_fire must fire exactly L{n} in {fixture_path}"
+                        assert!(
+                            !fired.is_empty() && fired.iter().all(|r| r == rule),
+                            "l{n}_fire must fire only L{n} in {fixture_path}, got {fired:?}"
                         );
                     } else {
                         assert!(

@@ -1,7 +1,13 @@
 //! Property tests for the work-stealing engine's determinism contract:
 //!
 //! * serial and work-stolen batch classification produce identical labels
-//!   and identical merged `QueryStats` totals for any thread count,
+//!   and identical merged `QueryStats` totals for any thread count —
+//!   across *every* scheduler: the persistent pool
+//!   (`ExecPolicy::Parallel`), per-batch scoped spawn
+//!   (`ExecPolicy::ScopedSpawn`), and static chunking
+//!   (`ExecPolicy::StaticChunked`),
+//! * repeated batches through the same classifier's pool (the serve
+//!   request pattern) are stable — reuse changes nothing,
 //! * `bound_threshold` returns bit-identical `ThresholdBounds` (and an
 //!   identical diagnostics trajectory) for any thread count and seed.
 //!
@@ -89,6 +95,43 @@ proptest! {
                 .expect("static");
             prop_assert_eq!(&serial, &chunked, "static labels diverged at {} threads", threads);
             prop_assert_eq!(s_stats, c_stats, "static stats diverged at {} threads", threads);
+            let (scoped, sc_stats) = clf
+                .classify_batch_with(&queries, ExecPolicy::ScopedSpawn { threads: Some(threads) })
+                .expect("scoped");
+            prop_assert_eq!(&serial, &scoped, "scoped labels diverged at {} threads", threads);
+            prop_assert_eq!(s_stats, sc_stats, "scoped stats diverged at {} threads", threads);
+        }
+    }
+
+    /// Pool reuse is invisible in the results: the same classifier (and
+    /// therefore the same parked worker pool) answering the same batch
+    /// three times in a row — the `tkdc-serve` request pattern — returns
+    /// identical labels and statistics every time, and they match a
+    /// fresh scoped-spawn run.
+    #[test]
+    fn pool_reuse_is_result_invariant(
+        seed in any::<u64>(),
+        spread in 0.5f64..4.0,
+        n_queries in 32usize..200,
+    ) {
+        let clf = shared_classifier();
+        let queries = {
+            let mut rng = Rng::seed_from(seed);
+            let mut m = Matrix::with_cols(2);
+            for _ in 0..n_queries {
+                m.push_row(&[rng.normal(0.0, spread), rng.normal(0.0, spread)]).unwrap();
+            }
+            m
+        };
+        let (scoped, sc_stats) = clf
+            .classify_batch_with(&queries, ExecPolicy::ScopedSpawn { threads: Some(4) })
+            .expect("scoped");
+        for batch in 0..3 {
+            let (pooled, p_stats) = clf
+                .classify_batch_with(&queries, ExecPolicy::with_threads(4))
+                .expect("pooled");
+            prop_assert_eq!(&scoped, &pooled, "pool batch {} diverged from scoped", batch);
+            prop_assert_eq!(sc_stats, p_stats, "pool stats {} diverged from scoped", batch);
         }
     }
 

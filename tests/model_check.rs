@@ -19,9 +19,9 @@
 use tkdc_sync::atomic::{AtomicBool, Ordering};
 use tkdc_sync::check::{Builder, RaceCell, Violation};
 use tkdc_sync::thread;
-use tkdc_sync::Arc;
+use tkdc_sync::{Arc, Condvar, Mutex};
 
-use tkdc::engine::{run_batch, WorkQueue};
+use tkdc::engine::{run_batch, Pool, WorkQueue};
 
 // ---------------------------------------------------------------------
 // Engine: work-stealing cursor + index-order reassembly
@@ -108,6 +108,83 @@ fn seeded_engine_dropped_join_is_detected() {
     assert!(
         matches!(report.violation, Some(Violation::DataRace { .. })),
         "dropped join must surface as a data race, got {:?}",
+        report.violation
+    );
+}
+
+// ---------------------------------------------------------------------
+// Engine: persistent pool park/unpark protocol
+// ---------------------------------------------------------------------
+
+/// The pool's full lifecycle under every interleaving: worker spawn,
+/// condvar park, job publication + wakeup, chunked deque stealing,
+/// completion signalling on `done_cv`, and the shutdown/join drain in
+/// `Drop`. Results must match the serial run and no schedule may
+/// deadlock — this is the harness that makes `ExecPolicy::Parallel`'s
+/// new scheduler model-checkable, per the tentpole's requirement that
+/// the pool stay on the `tkdc-sync` facade.
+#[test]
+fn pool_park_unpark_batch_matches_serial() {
+    let mut b = Builder::new();
+    // Submitter + one lazily spawned worker over a 2-item batch: the
+    // interesting schedules are notify-before-park, park-before-notify,
+    // and the steal/own race on the two deque slots. A preemption bound
+    // of 2 covers each with a tractable tree.
+    b.preemption_bound = Some(2);
+    b.max_iterations = 50_000;
+    let report = b.check(|| {
+        let pool = Pool::new();
+        let (out, states) = pool
+            .run_batch(
+                2,
+                2,
+                || 0u64,
+                |i, acc: &mut u64| {
+                    *acc += 1;
+                    Ok(i * 10)
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![0, 10]);
+        assert_eq!(states.iter().sum::<u64>(), 2);
+        // Drop drains: shutdown flag + notify_all + join of the parked
+        // worker must terminate in every schedule.
+        drop(pool);
+    });
+    assert!(
+        report.violation.is_none(),
+        "pool park/unpark violation: {:?}",
+        report.violation
+    );
+}
+
+/// Seeded bug (pool): the park protocol with the wakeup torn off. The
+/// real worker loop re-checks "is there a new job / shutdown?" while
+/// *holding the state mutex* and parks atomically via `Condvar::wait`,
+/// so a submission can never slip between check and park. This twin
+/// parks with a naked `wait` (no predicate) against a submitter that
+/// fires `notify_one` without publishing under the mutex — the notify
+/// can land before the worker is a waiter, the wakeup is lost, and the
+/// checker must find the deadlocked schedule.
+#[test]
+fn seeded_pool_dropped_wakeup_is_detected() {
+    let report = Builder::new().check(|| {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let submitter = {
+            let pair = Arc::clone(&pair);
+            thread::spawn(move || {
+                // BUG under test: no job flag, no mutex — just notify.
+                pair.1.notify_one();
+            })
+        };
+        let guard = pair.0.lock().unwrap();
+        // BUG under test: parking without re-checking a predicate.
+        drop(pair.1.wait(guard).unwrap());
+        submitter.join().unwrap();
+    });
+    assert!(
+        matches!(report.violation, Some(Violation::Deadlock { .. })),
+        "lost wakeup must surface as a deadlock, got {:?}",
         report.violation
     );
 }

@@ -46,7 +46,7 @@ pub use rt::Violation;
 mod tests {
     use super::cell::RaceCell;
     use super::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-    use super::sync::Mutex;
+    use super::sync::{Condvar, Mutex};
     use super::{model, thread, Builder, Violation};
     use std::sync::Arc;
 
@@ -272,6 +272,96 @@ mod tests {
             });
             // Scope exit model-joins every spawned thread.
             assert_eq!(n.load(Ordering::Relaxed), 2);
+        });
+        assert!(
+            report.violation.is_none(),
+            "unexpected: {:?}",
+            report.violation
+        );
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn condvar_handoff_is_clean() {
+        // Classic guarded handoff: the consumer waits (predicate loop)
+        // for the producer's flag. Every interleaving must terminate —
+        // including the one where the producer notifies before the
+        // consumer ever waits (the predicate catches it).
+        let report = Builder::new().check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let t = {
+                let pair = pair.clone();
+                thread::spawn(move || {
+                    let (lock, cvar) = &*pair;
+                    *lock.lock().unwrap() = true;
+                    cvar.notify_one();
+                })
+            };
+            let (lock, cvar) = &*pair;
+            let guard = cvar
+                .wait_while(lock.lock().unwrap(), |ready| !*ready)
+                .unwrap();
+            assert!(*guard);
+            drop(guard);
+            t.join().unwrap();
+        });
+        assert!(
+            report.violation.is_none(),
+            "unexpected: {:?}",
+            report.violation
+        );
+        assert!(report.complete);
+        assert!(report.iterations > 1, "expected multiple interleavings");
+    }
+
+    #[test]
+    fn condvar_lost_wakeup_is_deadlock() {
+        // Seeded bug shape: the producer notifies without any flag
+        // protocol, so in the schedule where it fires before the
+        // consumer parks the wakeup is lost and the naked `wait`
+        // sleeps forever — the checker must find that schedule and
+        // call it a deadlock.
+        let report = Builder::new().check(|| {
+            let pair = Arc::new((Mutex::new(()), Condvar::new()));
+            let t = {
+                let pair = pair.clone();
+                thread::spawn(move || {
+                    let (_, cvar) = &*pair;
+                    cvar.notify_one(); // lost if nobody is parked yet
+                })
+            };
+            let (lock, cvar) = &*pair;
+            // BUG: no predicate — if the notify already happened this
+            // park is never woken.
+            let _guard = cvar.wait(lock.lock().unwrap()).unwrap();
+            t.join().unwrap();
+        });
+        assert!(
+            matches!(report.violation, Some(Violation::Deadlock { .. })),
+            "expected a lost-wakeup deadlock, got {:?}",
+            report.violation
+        );
+    }
+
+    #[test]
+    fn condvar_notify_all_wakes_every_waiter() {
+        let report = Builder::new().check(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let pair = pair.clone();
+                    thread::spawn(move || {
+                        let (lock, cvar) = &*pair;
+                        drop(cvar.wait_while(lock.lock().unwrap(), |go| !*go).unwrap());
+                    })
+                })
+                .collect();
+            let (lock, cvar) = &*pair;
+            *lock.lock().unwrap() = true;
+            cvar.notify_all();
+            for w in workers {
+                w.join().unwrap();
+            }
         });
         assert!(
             report.violation.is_none(),

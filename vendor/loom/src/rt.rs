@@ -325,6 +325,10 @@ enum BlockOn {
     Join(Tid),
     /// Waiting for a mutex (by object id) to be released.
     Lock(u64),
+    /// Waiting on a condition variable (by object id). Never woken by
+    /// state re-evaluation — only an explicit notify makes the thread
+    /// runnable again, so a lost wakeup surfaces as a deadlock.
+    Cond(u64),
 }
 
 #[derive(Debug)]
@@ -343,6 +347,14 @@ struct LockState {
     clock: VClock,
 }
 
+/// State of one condition variable: the threads currently blocked in
+/// `wait`, in wait order. (Which waiter a `notify_one` wakes is still a
+/// schedule decision, not FIFO.)
+#[derive(Debug, Default)]
+struct CondvarState {
+    waiters: Vec<Tid>,
+}
+
 /// All mutable state of one execution, behind [`Execution::state`].
 #[derive(Debug)]
 pub struct ExecState {
@@ -351,6 +363,7 @@ pub struct ExecState {
     current: Option<Tid>,
     schedule: Schedule,
     locks: BTreeMap<u64, LockState>,
+    condvars: BTreeMap<u64, CondvarState>,
     violation: Option<Violation>,
     aborting: bool,
     steps: usize,
@@ -374,6 +387,7 @@ impl Execution {
                 current: None,
                 schedule: Schedule::with_prefix(prefix),
                 locks: BTreeMap::new(),
+                condvars: BTreeMap::new(),
                 violation: None,
                 aborting: false,
                 steps: 0,
@@ -463,6 +477,11 @@ impl Execution {
                 let ready = match on {
                     BlockOn::Join(t) => st.threads[t].status == Status::Finished,
                     BlockOn::Lock(id) => st.locks.get(&id).is_none_or(|l| l.held_by.is_none()),
+                    // Condvar waiters are only woken by an explicit
+                    // notify (in `condvar_notify`), never by state
+                    // re-evaluation — that is what makes a lost wakeup
+                    // observable as a deadlock.
+                    BlockOn::Cond(_) => false,
                 };
                 if ready {
                     st.threads[tid].status = Status::Runnable;
@@ -617,6 +636,79 @@ impl Execution {
         let entry = st.locks.entry(lock_id).or_default();
         entry.held_by = None;
         entry.clock = holder_clock;
+    }
+
+    /// Atomically releases `lock_id` (publishing the holder's clock,
+    /// exactly like [`Self::mutex_release`]) and blocks `tid` on the
+    /// condition variable `cv_id` until a notify wakes it. The
+    /// release-and-block is one step under the state lock, so a notify
+    /// can never slip between them (no lost wakeup *inside the model*;
+    /// lost wakeups in the code under test still deadlock honestly).
+    ///
+    /// On return the thread has been woken and holds the token; the
+    /// caller is responsible for re-acquiring the mutex.
+    pub fn condvar_wait(&self, tid: Tid, cv_id: u64, lock_id: u64) {
+        self.yield_point(tid);
+        let mut st = self.lock_state();
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        // Release the mutex, publishing this thread's clock to the next
+        // acquirer (same edge as mutex_release).
+        let holder_clock = st.threads[tid].clock.clone();
+        let entry = st.locks.entry(lock_id).or_default();
+        entry.held_by = None;
+        entry.clock = holder_clock;
+        // Park on the condvar.
+        st.condvars.entry(cv_id).or_default().waiters.push(tid);
+        st.threads[tid].status = Status::Blocked(BlockOn::Cond(cv_id));
+        self.schedule_next(&mut st, Some(tid));
+        while st.current != Some(tid) && !st.aborting {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+    }
+
+    /// Wakes one waiter (`all == false`; which one is a schedule
+    /// decision) or every waiter (`all == true`) of `cv_id`. A notify
+    /// with no waiters is lost, exactly like the real primitive — that
+    /// asymmetry is what dropped-wakeup seeded bugs rely on. The
+    /// notifier's clock is joined into each woken thread (the
+    /// happens-before edge every practical condvar implementation
+    /// provides through its internal lock).
+    pub fn condvar_notify(&self, tid: Tid, cv_id: u64, all: bool) {
+        self.yield_point(tid);
+        let mut st = self.lock_state();
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        let notifier_clock = st.threads[tid].clock.clone();
+        let waiters: Vec<Tid> = st
+            .condvars
+            .get(&cv_id)
+            .map(|cv| cv.waiters.clone())
+            .unwrap_or_default();
+        let woken: Vec<Tid> = if waiters.is_empty() {
+            Vec::new()
+        } else if all {
+            waiters
+        } else {
+            // CAST: tids are tiny (thread counts), always fit in u64
+            let alts: Vec<u64> = waiters.iter().map(|&w| w as u64).collect();
+            vec![st.schedule.choose(alts) as usize] // CAST: round-trips a tid
+        };
+        if let Some(cv) = st.condvars.get_mut(&cv_id) {
+            cv.waiters.retain(|w| !woken.contains(w));
+        }
+        for w in woken {
+            st.threads[w].status = Status::Runnable;
+            st.threads[w].clock.join(&notifier_clock);
+        }
     }
 
     /// Runs `f` with this thread's mutable state and the schedule,

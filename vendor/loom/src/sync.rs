@@ -410,7 +410,7 @@ impl<T> Mutex<T> {
         let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
         Ok(MutexGuard {
             inner: Some(inner),
-            id: self.id,
+            lock: self,
         })
     }
 
@@ -427,9 +427,12 @@ impl<T> Mutex<T> {
 }
 
 /// Guard for [`Mutex`]; releases through the scheduler on drop.
+///
+/// Keeps a back-reference to its [`Mutex`] so [`Condvar::wait`] can
+/// atomically release it and re-lock it after wakeup.
 pub struct MutexGuard<'a, T> {
     inner: Option<StdGuard<'a, T>>,
-    id: u64,
+    lock: &'a Mutex<T>,
 }
 
 impl<T> std::ops::Deref for MutexGuard<'_, T> {
@@ -448,16 +451,97 @@ impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
 
 impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
+        // A guard consumed by `Condvar::wait` has already handed its
+        // real lock back and releases scheduler-side inside
+        // `condvar_wait` (atomically with blocking); nothing to do.
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
         // Release the real lock before telling the scheduler: once the
         // lock table shows it free, another managed thread may take the
         // real lock, and it must not find this thread still holding it.
-        drop(self.inner.take());
-        rt::with_ctx(|exec, tid| exec.mutex_release(tid, self.id));
+        drop(inner);
+        rt::with_ctx(|exec, tid| exec.mutex_release(tid, self.lock.id));
         // The post-release yield is skipped while unwinding — a second
         // unwind out of a destructor would abort the process. Waiters
         // are still woken at the next scheduling point.
         if !std::thread::panicking() {
             rt::with_ctx(|exec, tid| exec.yield_point(tid));
         }
+    }
+}
+
+/// Instrumented condition variable: the park/unpark protocol the
+/// thread-pool worker loop is built on.
+///
+/// `wait` atomically releases the guard's mutex and deschedules the
+/// thread until a `notify_one`/`notify_all`; a notify with no waiters is
+/// lost, exactly like the real primitive, so a wait that can miss its
+/// wakeup shows up as [`crate::Violation::Deadlock`]. Two deliberate
+/// modeling differences from `std`: no spurious wakeups are generated
+/// (callers must still loop on their predicate — `wait_while` is the
+/// encouraged shape), and no timeout variants exist (a model checker
+/// cannot wait out wall-clock time).
+#[derive(Debug)]
+pub struct Condvar {
+    id: u64,
+}
+
+impl Condvar {
+    /// A new instrumented condition variable.
+    pub fn new() -> Self {
+        Self {
+            id: rt::new_object_id(),
+        }
+    }
+
+    /// Instrumented `wait`: releases the mutex and blocks until
+    /// notified, then re-acquires the mutex through the scheduler.
+    /// Always `Ok` (poisoning is subsumed by abort-on-panic).
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        // Hand the real lock back *before* the scheduler-side release
+        // inside condvar_wait: once the lock table shows the mutex free,
+        // another managed thread may take the real lock.
+        drop(guard.inner.take());
+        drop(guard); // no-op Drop (inner already taken)
+        rt::with_ctx(|exec, tid| exec.condvar_wait(tid, self.id, lock.id));
+        lock.lock()
+    }
+
+    /// Instrumented `wait_while`: loops `wait` while `condition` holds.
+    ///
+    /// # Errors
+    /// Never fails (poisoning is subsumed by abort-on-panic); the
+    /// `LockResult` mirrors `std`'s signature.
+    pub fn wait_while<'a, T, F>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: F,
+    ) -> LockResult<MutexGuard<'a, T>>
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(&mut guard) {
+            guard = self.wait(guard)?;
+        }
+        Ok(guard)
+    }
+
+    /// Instrumented `notify_one`. Which waiter wakes (when several are
+    /// parked) is a schedule decision the checker explores.
+    pub fn notify_one(&self) {
+        rt::with_ctx(|exec, tid| exec.condvar_notify(tid, self.id, false));
+    }
+
+    /// Instrumented `notify_all`.
+    pub fn notify_all(&self) {
+        rt::with_ctx(|exec, tid| exec.condvar_notify(tid, self.id, true));
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
     }
 }
