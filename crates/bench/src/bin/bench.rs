@@ -149,7 +149,8 @@ fn skewed_queries(threshold: f64, total: usize, seed: u64) -> (Matrix, usize) {
 /// Times a full leaf sweep (every leaf of the fitted tree, `nq` query
 /// points) through the row-major and SoA leaf kernels.
 fn leaf_sum_ablation(clf: &Classifier, query_set: &Matrix, repeats: usize) -> LeafSumAblation {
-    let tree = clf.tree();
+    // INVARIANT: the ablation only runs on tree-backend fits (bench builds them).
+    let tree = clf.tree().expect("leaf ablation requires the tree backend");
     let kernel = clf.kernel();
     let d = query_set.cols();
     let leaves: Vec<u32> = (0..tree.node_count() as u32) // CAST: node count fits u32 by construction
@@ -206,8 +207,10 @@ fn measure_dataset(data: &Matrix, cfg: &MeasureCfg<'_>) -> DatasetReport {
     let max_threads = cfg.threads_list.iter().copied().max().unwrap_or(1);
     let params = Params::default().with_seed(cfg.seed);
     let (_, fit_serial) = time(|| Classifier::fit(data, &params).expect("fit")); // INVARIANT: bench tooling fails fast
-    let (clf, fit_parallel) =
-        time(|| Classifier::fit_with_threads(data, &params, max_threads).expect("fit")); // INVARIANT: bench tooling fails fast
+    let (clf, fit_parallel) = time(|| {
+        // INVARIANT: bench tooling fails fast
+        Classifier::fit_with(data, &params, ExecPolicy::with_threads(max_threads)).expect("fit")
+    });
 
     let q = cfg.queries.min(data.rows()).max(1);
     let mut rng = Rng::seed_from(cfg.seed ^ 0x9E37);

@@ -78,7 +78,7 @@ fn main() {
     eprintln!("full fit: {n} points × {dims} dims ({threads} threads) …");
     let (full, full_fit_t) = time(|| {
         // INVARIANT: bench tooling fails fast
-        Classifier::fit_with_threads(&data, &params, threads).expect("full fit")
+        Classifier::fit_with(&data, &params, ExecPolicy::with_threads(threads)).expect("full fit")
     });
 
     eprintln!("compact: ε = {eps} ({kind:?}) …");
@@ -102,12 +102,12 @@ fn main() {
         coreset.stats.points_in
     );
     let (compact_clf, coreset_fit_t) = time(|| {
-        Classifier::fit_weighted_with_threads(
+        Classifier::fit_weighted_with(
             &coreset.points,
             &coreset.weights,
             eps,
             &params,
-            threads,
+            ExecPolicy::with_threads(threads),
         )
         .expect("coreset fit") // INVARIANT: bench tooling fails fast
     });

@@ -141,11 +141,14 @@ fn run_level(
     }
 }
 
-/// Renders the server's own `Stats` snapshot: transport counters, the
-/// log2-µs latency histogram as `[le_us | null, count]` pairs (null =
-/// the unbounded last bucket), and the engine's pruning counters.
+/// Renders the server's own `Stats` snapshot: backend provenance,
+/// transport counters, the log2-µs latency histogram as
+/// `[le_us | null, count]` pairs (null = the unbounded last bucket),
+/// and the engine's pruning counters.
 fn render_server_stats(s: &mut String, snap: &StatsSnapshot) {
     s.push_str("  \"server\": {\n");
+    let _ = writeln!(s, "    \"backend\": \"{}\",", snap.backend);
+    let _ = writeln!(s, "    \"bound_kind\": \"{}\",", snap.bound_kind);
     let _ = writeln!(s, "    \"requests_total\": {},", snap.requests_total);
     let _ = writeln!(s, "    \"errors_total\": {},", snap.errors_total);
     let _ = writeln!(s, "    \"classifies\": {},", snap.classifies);

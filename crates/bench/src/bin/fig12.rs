@@ -11,7 +11,7 @@
 //! Usage: `cargo run --release -p tkdc-bench --bin fig12
 //!         [--scale F] [--queries Q]`
 
-use tkdc::{Classifier, Optimizations, Params, QueryScratch};
+use tkdc::{Classifier, ExecPolicy, Optimizations, Params, QueryScratch};
 use tkdc_bench::{fmt_qps, print_table, time, BenchArgs};
 use tkdc_common::Rng;
 use tkdc_data::{DatasetKind, DatasetSpec};
@@ -67,7 +67,8 @@ fn main() {
     let mut rows = Vec::new();
     for (name, opts) in stages {
         let params = Params::default().with_seed(seed).with_opts(opts);
-        let clf = Classifier::fit_with_threads(&data, &params, args.threads()).expect("fit"); // INVARIANT: bench tooling fails fast
+        let clf = Classifier::fit_with(&data, &params, ExecPolicy::with_threads(args.threads()))
+            .expect("fit"); // INVARIANT: bench tooling fails fast
         let mut scratch = QueryScratch::new();
         let (_, t_query) = time(|| {
             for q in query_set.iter_rows() {

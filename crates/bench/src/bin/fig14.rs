@@ -11,7 +11,7 @@
 //! Usage: `cargo run --release -p tkdc-bench --bin fig14
 //!         [--scale F] [--queries Q]`
 
-use tkdc::{Classifier, Label, Params, QueryScratch};
+use tkdc::{Classifier, ExecPolicy, Label, Params, QueryScratch};
 use tkdc_baselines::{DensityEstimator, NaiveKde};
 use tkdc_bench::{fmt_qps, print_table, time, BenchArgs};
 use tkdc_common::{Matrix, Rng};
@@ -24,7 +24,7 @@ fn measure(data: &Matrix, b: f64, queries: usize, seed: u64, threads: usize) -> 
     let query_set = data.sample_rows(queries.min(data.rows()), &mut rng);
     // tKDC query throughput.
     let params = Params::default().with_seed(seed).with_bandwidth_factor(b);
-    let clf = Classifier::fit_with_threads(data, &params, threads).expect("fit"); // INVARIANT: bench tooling fails fast
+    let clf = Classifier::fit_with(data, &params, ExecPolicy::with_threads(threads)).expect("fit"); // INVARIANT: bench tooling fails fast
     let mut scratch = QueryScratch::new();
     let (_, t_tkdc) = time(|| {
         for q in query_set.iter_rows() {

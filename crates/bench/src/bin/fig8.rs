@@ -41,7 +41,7 @@ fn f1_of_estimator<E: DensityEstimator>(est: &E, data: &Matrix, p: f64, truth: &
 
 fn f1_of_tkdc(data: &Matrix, p: f64, truth: &[bool], seed: u64, threads: usize) -> f64 {
     let params = Params::default().with_p(p).with_seed(seed);
-    let clf = Classifier::fit_with_threads(data, &params, threads).expect("fit"); // INVARIANT: bench tooling fails fast
+    let clf = Classifier::fit_with(data, &params, ExecPolicy::with_threads(threads)).expect("fit"); // INVARIANT: bench tooling fails fast
     let (labels, _) = clf
         .classify_batch_with(data, ExecPolicy::with_threads(threads))
         .expect("classify"); // INVARIANT: bench tooling fails fast

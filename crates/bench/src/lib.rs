@@ -216,8 +216,10 @@ pub fn run_throughput(
     match algo {
         Algo::Tkdc => {
             let params = Params::default().with_p(p).with_seed(seed);
-            let (clf, t_train) =
-                time(|| Classifier::fit_with_threads(data, &params, threads).expect("fit")); // INVARIANT: bench tooling fails fast
+            let (clf, t_train) = time(|| {
+                // INVARIANT: bench tooling fails fast
+                Classifier::fit_with(data, &params, ExecPolicy::with_threads(threads)).expect("fit")
+            });
             let (stats, t_query) = time(|| {
                 let (_, stats) = clf
                     .classify_batch_shared(

@@ -2,7 +2,7 @@
 //! flags, with typed accessors and unknown-flag detection.
 
 use std::collections::HashMap;
-use tkdc::Params;
+use tkdc::{BackendSpec, HbeParams, Params, RffParams};
 use tkdc_common::error::{invalid_param, Error, Result};
 use tkdc_coreset::CompactorKind;
 use tkdc_kernel::KernelKind;
@@ -34,6 +34,12 @@ pub const COMMON_FLAGS: &[&str] = &[
     "coreset-eps",
     "compactor",
     "weighted",
+    "backend",
+    "hbe-tables",
+    "hbe-hashes",
+    "hbe-bucket-width",
+    "hbe-samples",
+    "rff-features",
 ];
 
 /// Flags the `compact` subcommand understands: streaming CSV in,
@@ -221,8 +227,76 @@ impl Flags {
                 }
             };
         }
+        params.backend = self.backend()?;
         params.validate()?;
         Ok(params)
+    }
+
+    /// Estimator backend from `--backend tree|hbe|rff` plus the
+    /// per-backend tuning flags (`--hbe-*`, `--rff-features`). Flags for
+    /// a backend other than the selected one are rejected so a typo'd
+    /// combination fails loudly instead of silently using defaults.
+    fn backend(&self) -> Result<BackendSpec> {
+        let name = self.get("backend").unwrap_or("tree");
+        const HBE_FLAGS: &[&str] = &[
+            "hbe-tables",
+            "hbe-hashes",
+            "hbe-bucket-width",
+            "hbe-samples",
+        ];
+        const RFF_FLAGS: &[&str] = &["rff-features"];
+        let stray =
+            |flags: &'static [&'static str]| flags.iter().find(|f| self.get(f).is_some()).copied();
+        match name {
+            "tree" => {
+                if let Some(f) = stray(HBE_FLAGS).or_else(|| stray(RFF_FLAGS)) {
+                    return Err(invalid_param(
+                        "backend",
+                        format!("`--{f}` requires `--backend hbe|rff`"),
+                    ));
+                }
+                Ok(BackendSpec::Tree)
+            }
+            "hbe" => {
+                if let Some(f) = stray(RFF_FLAGS) {
+                    return Err(invalid_param(
+                        "backend",
+                        format!("`--{f}` requires `--backend rff`"),
+                    ));
+                }
+                let mut hp = HbeParams::default();
+                if let Some(t) = self.get_u64("hbe-tables")? {
+                    hp.tables = t as usize; // CAST: table counts are tiny
+                }
+                if let Some(k) = self.get_u64("hbe-hashes")? {
+                    hp.hashes = k as usize; // CAST: hash counts are tiny
+                }
+                if let Some(w) = self.get_f64("hbe-bucket-width")? {
+                    hp.bucket_width = w;
+                }
+                if let Some(m) = self.get_u64("hbe-samples")? {
+                    hp.samples = m as usize; // CAST: sample counts are tiny
+                }
+                Ok(BackendSpec::Hbe(hp))
+            }
+            "rff" => {
+                if let Some(f) = stray(HBE_FLAGS) {
+                    return Err(invalid_param(
+                        "backend",
+                        format!("`--{f}` requires `--backend hbe`"),
+                    ));
+                }
+                let mut rp = RffParams::default();
+                if let Some(d) = self.get_u64("rff-features")? {
+                    rp.features = d as usize; // CAST: feature counts are small
+                }
+                Ok(BackendSpec::Rff(rp))
+            }
+            other => Err(invalid_param(
+                "backend",
+                format!("expected tree|hbe|rff, got `{other}`"),
+            )),
+        }
     }
 }
 
@@ -293,6 +367,60 @@ mod tests {
         let f = Flags::parse(&argv(&["--kernel", "box"]), COMMON_FLAGS).unwrap();
         assert!(f.params().is_err());
         let f = Flags::parse(&argv(&["--p", "2.0"]), COMMON_FLAGS).unwrap();
+        assert!(f.params().is_err());
+    }
+
+    #[test]
+    fn backend_flags() {
+        let f = Flags::parse(&argv(&[]), COMMON_FLAGS).unwrap();
+        assert!(matches!(f.params().unwrap().backend, BackendSpec::Tree));
+
+        let f = Flags::parse(
+            &argv(&[
+                "--backend",
+                "hbe",
+                "--hbe-tables",
+                "16",
+                "--hbe-samples",
+                "4",
+            ]),
+            COMMON_FLAGS,
+        )
+        .unwrap();
+        match f.params().unwrap().backend {
+            BackendSpec::Hbe(hp) => {
+                assert_eq!(hp.tables, 16);
+                assert_eq!(hp.samples, 4);
+                assert_eq!(hp.hashes, HbeParams::default().hashes);
+            }
+            other => panic!("expected hbe, got {other:?}"),
+        }
+
+        let f = Flags::parse(
+            &argv(&["--backend", "rff", "--rff-features", "512"]),
+            COMMON_FLAGS,
+        )
+        .unwrap();
+        match f.params().unwrap().backend {
+            BackendSpec::Rff(rp) => assert_eq!(rp.features, 512),
+            other => panic!("expected rff, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backend_flags_reject_mismatches() {
+        // Unknown backend name.
+        let f = Flags::parse(&argv(&["--backend", "exact"]), COMMON_FLAGS).unwrap();
+        assert!(f.params().is_err());
+        // HBE tuning flag without the HBE backend.
+        let f = Flags::parse(&argv(&["--hbe-tables", "8"]), COMMON_FLAGS).unwrap();
+        assert!(f.params().is_err());
+        // RFF flag with the HBE backend.
+        let f = Flags::parse(
+            &argv(&["--backend", "hbe", "--rff-features", "256"]),
+            COMMON_FLAGS,
+        )
+        .unwrap();
         assert!(f.params().is_err());
     }
 

@@ -66,6 +66,15 @@ SHARED FLAGS:
                         (e.g. the output of `tkdc compact`; the coreset ε
                         is read from the file's comment header unless
                         overridden with --coreset-eps)
+    --backend B         tree | hbe | rff (default tree). `tree` is the
+                        paper's certified dual-tree path; `hbe` and `rff`
+                        trade certified bounds for probabilistic ones
+                        (1 − δ confidence) and flat per-query cost
+    --hbe-tables T      hbe: independent hash tables (default 32)
+    --hbe-hashes K      hbe: concatenated hashes per table (default 2)
+    --hbe-bucket-width W  hbe: projection bucket width (default 4)
+    --hbe-samples M     hbe: points sampled per table (default 8)
+    --rff-features D    rff: random Fourier features (default 2048)
 
 EXPLAIN FLAGS:
     --point X,Y,...     the query point (or pass it positionally)
@@ -128,12 +137,17 @@ fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
     let threads = flags.threads()?;
     if !flags.has("quiet") {
         eprintln!(
-            "training on {} rows × {} cols (p={}, ε={}, kernel={:?}, {threads} threads) …",
+            "training on {} rows × {} cols (p={}, ε={}, kernel={:?}, backend={}, {threads} threads) …",
             data.rows(),
             data.cols(),
             params.p,
             params.epsilon,
-            params.kernel
+            params.kernel,
+            match params.backend {
+                tkdc::BackendSpec::Tree => "tree",
+                tkdc::BackendSpec::Hbe(_) => "hbe",
+                tkdc::BackendSpec::Rff(_) => "rff",
+            }
         );
     }
     let clf = if flags.has("weighted") {
@@ -162,7 +176,13 @@ fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
                 points.rows()
             );
         }
-        Classifier::fit_weighted_with_threads(&points, &weights, eps, &params, threads)?
+        Classifier::fit_weighted_with(
+            &points,
+            &weights,
+            eps,
+            &params,
+            ExecPolicy::with_threads(threads),
+        )?
     } else if let Some(eps) = flags.coreset_eps()? {
         // Compact in-process, then fit on the weighted coreset with ε
         // folded into the certified interval.
@@ -182,9 +202,15 @@ fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
             );
             report_coreset_counters(&cs);
         }
-        Classifier::fit_weighted_with_threads(&cs.points, &cs.weights, eps, &params, threads)?
+        Classifier::fit_weighted_with(
+            &cs.points,
+            &cs.weights,
+            eps,
+            &params,
+            ExecPolicy::with_threads(threads),
+        )?
     } else {
-        Classifier::fit_with_threads(data, &params, threads)?
+        Classifier::fit_with(data, &params, ExecPolicy::with_threads(threads))?
     };
     if !flags.has("quiet") {
         eprintln!("threshold t(p) = {:.6e}", clf.threshold());
@@ -561,6 +587,18 @@ fn explain(args: &[String]) -> Result<()> {
     }
 
     println!("query point    : {point:?}");
+    match clf.bound_kind() {
+        tkdc::BoundKind::Certified => {
+            println!("backend        : {} (certified bounds)", clf.backend_name());
+        }
+        tkdc::BoundKind::Probabilistic { delta } => {
+            println!(
+                "backend        : {} (probabilistic bounds, 1 − δ = {} confidence)",
+                clf.backend_name(),
+                1.0 - delta
+            );
+        }
+    }
     println!("threshold t(p) : {:.6e}", clf.threshold());
     if trace.t_lo.is_finite() || trace.t_hi.is_finite() {
         println!(
@@ -693,6 +731,54 @@ mod tests {
         assert_eq!(lines[600], "LOW");
         assert!(lines.iter().filter(|&&l| l == "HIGH").count() > 500);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_classify_round_trip_estimated_backends() {
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        for backend in ["hbe", "rff"] {
+            let dir = std::env::temp_dir().join(format!("tkdc_cli_test_{backend}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let data_path = dir.join("data.csv");
+            let model_path = dir.join("model.tkdc");
+            let out_path = dir.join("labels.txt");
+            write_csv(&data_path, &sample_data());
+            run(&argv(&[
+                "train",
+                "--input",
+                data_path.to_str().unwrap(),
+                "--model",
+                model_path.to_str().unwrap(),
+                "--p",
+                "0.05",
+                "--backend",
+                backend,
+                "--quiet",
+            ]))
+            .unwrap();
+            run(&argv(&[
+                "classify",
+                "--model",
+                model_path.to_str().unwrap(),
+                "--input",
+                data_path.to_str().unwrap(),
+                "--output",
+                out_path.to_str().unwrap(),
+                "--quiet",
+            ]))
+            .unwrap();
+            let labels = std::fs::read_to_string(&out_path).unwrap();
+            let lines: Vec<&str> = labels.lines().collect();
+            assert_eq!(lines.len(), 601, "{backend}: one label per row");
+            // The planted far point has near-zero density under any
+            // estimator; it must not come back HIGH.
+            assert_ne!(lines[600], "HIGH", "{backend}: planted outlier");
+            assert!(
+                lines.iter().filter(|&&l| l == "HIGH").count() > 400,
+                "{backend}: bulk of the blob should be HIGH"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

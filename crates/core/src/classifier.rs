@@ -5,15 +5,24 @@
 //! threshold estimate `t̃(p)`, and (for `d ≤ 4`) builds the grid cache.
 //! `classify` then answers HIGH/LOW per query via the pruned traversal,
 //! with the grid short-circuiting obvious inliers before any tree work.
+//!
+//! The classifier core is backend-agnostic: the certified dual-tree
+//! traversal above is the default [`crate::backend::TreeBackend`], but
+//! `Params::backend` can route density queries through the hashing-based
+//! or random-Fourier-feature estimators instead (see [`crate::backend`]).
+//! Estimated backends skip the bootstrap — their fixed per-query budget
+//! gains nothing from threshold pruning — and compute `t̃(p)` from a
+//! direct training-density pass.
 
+use crate::backend::{BackendImpl, BoundKind, HbeBackend, RffBackend, TreeBackend};
 use crate::bound::{DensityBounder, DensityBounds};
 use crate::engine;
-use crate::params::Params;
+use crate::params::{BackendSpec, Params};
 use crate::qstats::{PruneCause, QueryScratch, QueryStats};
-use crate::threshold::{bound_threshold_with_threads, BootstrapReport, ThresholdBounds};
+use crate::threshold::{bound_threshold_with, BootstrapReport, ThresholdBounds};
 #[cfg(feature = "obs")]
 use crate::trace::{QueryTrace, Tracer};
-use tkdc_common::error::{Error, Result};
+use tkdc_common::error::{invalid_param, Error, Result};
 use tkdc_common::order::quantile_in_place;
 use tkdc_common::Matrix;
 use tkdc_index::{BandwidthGrid, KdTree, MAX_GRID_DIM};
@@ -42,7 +51,8 @@ pub enum Label {
 
 /// Execution policy for the unified batch entry points
 /// ([`Classifier::classify_batch_with`] /
-/// [`Classifier::bound_density_batch_with`]).
+/// [`Classifier::bound_density_batch_with`]) and the fit entry points
+/// ([`Classifier::fit_with`] / [`Classifier::fit_weighted_with`]).
 ///
 /// One policy enum replaces the former quartet of near-duplicate batch
 /// methods; every batch consumer in the workspace (CLI, benchmark
@@ -129,7 +139,8 @@ pub struct FitReport {
     /// Refined threshold estimate `t̃(p)` (the p-quantile of training
     /// densities).
     pub threshold: f64,
-    /// Bootstrap diagnostics.
+    /// Bootstrap diagnostics (empty for estimated backends, which skip
+    /// the bootstrap).
     pub bootstrap: BootstrapReport,
     /// Traversal statistics of the training-density pass.
     pub training_stats: QueryStats,
@@ -144,16 +155,14 @@ pub struct FitReport {
 #[derive(Debug)]
 struct Model {
     params: Params,
-    tree: KdTree,
-    kernel: Kernel,
-    grid: Option<BandwidthGrid>,
-    grid_diag_sq: f64,
     threshold: f64,
     /// Relative coreset error ε (in units of the kernel maximum `K(0)`);
     /// `0.0` for full-data fits. When positive, every certified density
     /// interval is widened by `coreset_eps · K(0)` and straddling queries
     /// classify as [`Label::Unknown`].
     coreset_eps: f64,
+    /// The fitted density-estimation backend every query routes through.
+    backend: BackendImpl,
 }
 
 /// A fitted tKDC model.
@@ -183,33 +192,53 @@ impl Classifier {
             fit_report,
         }
     }
-    /// Trains a classifier on the dataset (Algorithm 1's training phase).
+    /// Trains a classifier on the dataset (Algorithm 1's training phase),
+    /// serially. Equivalent to `fit_with(data, params, ExecPolicy::Serial)`.
     ///
     /// # Errors
     /// Propagates parameter-validation, empty-input and numeric errors.
     pub fn fit(data: &Matrix, params: &Params) -> Result<Self> {
-        Self::fit_with_threads(data, params, 1)
+        Self::fit_with(data, params, ExecPolicy::Serial)
     }
 
-    /// Trains a classifier using up to `n_threads` worker threads for the
-    /// density-heavy phases (the bootstrap's per-round query loops and the
-    /// full training-density pass). The fitted model — threshold, bounds,
-    /// and merged statistics — is identical to [`Self::fit`] for every
-    /// thread count: per-query traversal is deterministic, results are
-    /// merged in index order, and the seeded RNG is only consumed by
-    /// (sequential) subset sampling.
+    /// Trains a classifier under the given execution policy: the
+    /// density-heavy phases (the bootstrap's per-round query loops and
+    /// the full training-density pass) are work-stolen across the
+    /// policy's resolved thread count. The fitted model — threshold,
+    /// bounds, and merged statistics — is identical to [`Self::fit`] for
+    /// every policy and thread count: per-query work is deterministic,
+    /// results are merged in index order, and the seeded RNG is only
+    /// consumed by (sequential) subset sampling.
+    ///
+    /// `params.backend` selects the estimator: [`BackendSpec::Tree`]
+    /// (default) runs the paper's bootstrap + certified traversal;
+    /// [`BackendSpec::Hbe`] / [`BackendSpec::Rff`] skip the bootstrap
+    /// and take the threshold directly from the estimated training
+    /// densities.
     ///
     /// # Errors
     /// Propagates parameter-validation, empty-input and numeric errors.
-    pub fn fit_with_threads(data: &Matrix, params: &Params, n_threads: usize) -> Result<Self> {
+    pub fn fit_with(data: &Matrix, params: &Params, policy: ExecPolicy) -> Result<Self> {
         params.validate()?;
         if data.rows() == 0 {
             return Err(Error::EmptyInput("training data"));
         }
-        let n_threads = n_threads.max(1);
+        match params.backend {
+            BackendSpec::Tree => Self::fit_tree(data, params, policy),
+            BackendSpec::Hbe(_) | BackendSpec::Rff(_) => {
+                Self::fit_estimated(data, None, 0.0, params, policy.resolved_threads())
+            }
+        }
+    }
+
+    /// The tree-backend fit: threshold bootstrap (Algorithm 3), full
+    /// index build, and the pruned training-density pass. Inputs are
+    /// pre-validated by [`Self::fit_with`].
+    fn fit_tree(data: &Matrix, params: &Params, policy: ExecPolicy) -> Result<Self> {
+        let n_threads = policy.resolved_threads();
 
         // Phase 1: probabilistic threshold bounds (Algorithm 3).
-        let (mut bounds, bootstrap) = bound_threshold_with_threads(data, params, n_threads)?;
+        let (mut bounds, bootstrap) = bound_threshold_with(data, params, policy)?;
 
         // Phase 2: full index + kernel.
         let tree = KdTree::build(data, params.leaf_size, params.opts.split_rule())?;
@@ -307,12 +336,129 @@ impl Classifier {
         Ok(Self::from_model(
             Model {
                 params: params.clone(),
-                tree,
-                kernel,
-                grid,
-                grid_diag_sq,
                 threshold,
                 coreset_eps: 0.0,
+                backend: BackendImpl::Tree(TreeBackend::new(
+                    tree,
+                    kernel,
+                    grid,
+                    params.opts,
+                    params.epsilon,
+                )),
+            },
+            fit_report,
+        ))
+    }
+
+    /// The estimated-backend fit (HBE / RFF): build the sketch, estimate
+    /// every training density at the backend's fixed budget, and take
+    /// `t̃(p)` as the (weighted) p-quantile of the corrected estimates.
+    /// No bootstrap runs — threshold pruning cannot speed up a
+    /// fixed-budget estimator, so bootstrap bounds would be dead weight.
+    /// Inputs other than the weights are pre-validated by the caller.
+    fn fit_estimated(
+        data: &Matrix,
+        weights: Option<&[f64]>,
+        coreset_eps: f64,
+        params: &Params,
+        n_threads: usize,
+    ) -> Result<Self> {
+        let n_threads = n_threads.max(1);
+        if let Some(ws) = weights {
+            // The tree path catches bad weights in the weighted tree
+            // build; the sketch builds fold weights silently, so check
+            // here instead.
+            if ws.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+                return Err(Error::Numeric(
+                    "point weights must be finite and positive".into(),
+                ));
+            }
+        }
+        let w_total = match weights {
+            Some(ws) => ws.iter().sum::<f64>(),
+            None => data.rows() as f64,
+        };
+
+        // Bandwidths exactly as the corresponding tree fit would choose
+        // them, so backends answer about the *same* KDE.
+        let h = match weights {
+            None => scotts_rule(data, params.bandwidth_factor)?,
+            Some(ws) => {
+                let stds = tkdc_common::stats::column_stds_weighted(data, ws);
+                let eff_n = (w_total.round() as usize).max(1); // CAST: total mass is a point count far below 2^53
+                scotts_rule_from_stds(&stds, eff_n, params.bandwidth_factor)?
+            }
+        };
+        let kernel = Kernel::new(params.kernel, h)?;
+        let k0 = kernel.max_value();
+
+        let backend = match &params.backend {
+            BackendSpec::Hbe(hp) => BackendImpl::Hbe(HbeBackend::build(
+                data.clone(),
+                weights.map(|ws| ws.to_vec()),
+                kernel,
+                params.delta,
+                *hp,
+                params.seed,
+            )),
+            BackendSpec::Rff(rp) => BackendImpl::Rff(RffBackend::build(
+                data,
+                weights,
+                kernel,
+                params.delta,
+                *rp,
+                params.seed,
+            )),
+            // fit_with / fit_weighted_with route Tree elsewhere.
+            BackendSpec::Tree => {
+                return Err(invalid_param(
+                    "backend",
+                    "the tree backend does not take the estimated fit path",
+                ))
+            }
+        };
+
+        // Training densities, corrected by each point's own mass share
+        // w_i·K(0)/W (Eq. 1 generalized to weighted points).
+        let dyn_b = backend.as_dyn();
+        let (mut densities, worker_scratches) =
+            engine::run_batch(data.rows(), n_threads, QueryScratch::new, |i, scratch| {
+                let b = dyn_b.bound_density_relative(data.row(i), params.epsilon, scratch);
+                let self_i = weights.map_or(1.0, |ws| ws[i]) * k0 / w_total;
+                Ok((b.midpoint() - self_i).max(0.0))
+            })?;
+        let mut training_stats = QueryStats::default();
+        for s in &worker_scratches {
+            training_stats.merge(&s.stats);
+        }
+
+        let threshold = match weights {
+            Some(ws) => weighted_quantile(&densities, ws, params.p)?,
+            None => quantile_in_place(&mut densities, params.p)?,
+        };
+
+        // The stored bounds carry the usual ±ε tolerance slack plus the
+        // coreset ε-fold; the per-query probabilistic interval is what
+        // actually certifies (with probability 1 − δ) at classify time.
+        let threshold_bounds = ThresholdBounds {
+            lower: threshold * (1.0 - params.epsilon),
+            upper: threshold * (1.0 + params.epsilon),
+        }
+        .folded(coreset_eps * k0);
+
+        let fit_report = FitReport {
+            threshold_bounds,
+            threshold,
+            bootstrap: BootstrapReport::default(),
+            training_stats,
+            threshold_reestimates: 0,
+        };
+        Ok(Self::from_model(
+            Model {
+                params: params.clone(),
+                threshold,
+                coreset_eps,
+                backend,
             },
             fit_report,
         ))
@@ -321,6 +467,8 @@ impl Classifier {
     /// Trains a classifier on a *weighted* dataset — typically a coreset
     /// produced by `tkdc-coreset` — where row `i` carries mass
     /// `weights[i]` and the KDE is `f(x) = Σ w_i K(x, x_i) / Σ w_i`.
+    /// Serial; equivalent to
+    /// `fit_weighted_with(…, ExecPolicy::Serial)`.
     ///
     /// `coreset_eps` is the coreset's certified relative density error
     /// (in units of the kernel maximum `K(0)`): the weighted KDE is
@@ -342,29 +490,29 @@ impl Classifier {
     /// # Errors
     /// Propagates parameter-validation errors; rejects empty input,
     /// weight/row count mismatches, non-finite or negative `coreset_eps`,
-    /// and non-positive weights (via the weighted tree build).
+    /// and non-positive weights.
     pub fn fit_weighted(
         data: &Matrix,
         weights: &[f64],
         coreset_eps: f64,
         params: &Params,
     ) -> Result<Self> {
-        Self::fit_weighted_with_threads(data, weights, coreset_eps, params, 1)
+        Self::fit_weighted_with(data, weights, coreset_eps, params, ExecPolicy::Serial)
     }
 
-    /// [`Self::fit_weighted`] with the density pass work-stolen across up
-    /// to `n_threads` threads. Bit-identical to the serial path for every
-    /// thread count: densities come back in index order and the weighted
-    /// quantile sorts them deterministically.
+    /// [`Self::fit_weighted`] with the density pass work-stolen across
+    /// the policy's resolved thread count. Bit-identical to the serial
+    /// path for every thread count: densities come back in index order
+    /// and the weighted quantile sorts them deterministically.
     ///
     /// # Errors
     /// See [`Self::fit_weighted`].
-    pub fn fit_weighted_with_threads(
+    pub fn fit_weighted_with(
         data: &Matrix,
         weights: &[f64],
         coreset_eps: f64,
         params: &Params,
-        n_threads: usize,
+        policy: ExecPolicy,
     ) -> Result<Self> {
         params.validate()?;
         if data.rows() == 0 {
@@ -381,7 +529,30 @@ impl Classifier {
                 "coreset epsilon must be finite and non-negative, got {coreset_eps}"
             )));
         }
-        let n_threads = n_threads.max(1);
+        match params.backend {
+            BackendSpec::Tree => {
+                Self::fit_weighted_tree(data, weights, coreset_eps, params, policy)
+            }
+            BackendSpec::Hbe(_) | BackendSpec::Rff(_) => Self::fit_estimated(
+                data,
+                Some(weights),
+                coreset_eps,
+                params,
+                policy.resolved_threads(),
+            ),
+        }
+    }
+
+    /// The tree-backend weighted fit. Inputs are pre-validated by
+    /// [`Self::fit_weighted_with`].
+    fn fit_weighted_tree(
+        data: &Matrix,
+        weights: &[f64],
+        coreset_eps: f64,
+        params: &Params,
+        policy: ExecPolicy,
+    ) -> Result<Self> {
+        let n_threads = policy.resolved_threads();
 
         // Weight-aware index: node masses replace point counts in every
         // density bound the traversal computes.
@@ -441,24 +612,27 @@ impl Classifier {
         Ok(Self::from_model(
             Model {
                 params: params.clone(),
-                tree,
-                kernel,
-                grid: None,
-                grid_diag_sq: 0.0,
                 threshold,
                 coreset_eps,
+                backend: BackendImpl::Tree(TreeBackend::new(
+                    tree,
+                    kernel,
+                    None,
+                    params.opts,
+                    params.epsilon,
+                )),
             },
             fit_report,
         ))
     }
 
-    /// Reassembles a classifier from persisted parts (see
+    /// Reassembles a tree-backend classifier from persisted parts (see
     /// `tkdc::model_io`). Training diagnostics are not persisted and load
     /// back empty.
     ///
     /// # Errors
     /// Fails when the parts are mutually inconsistent (dimensionality,
-    /// grid cell count) or the parameters are invalid.
+    /// grid cell count, backend spec) or the parameters are invalid.
     pub(crate) fn from_loaded_parts(
         params: Params,
         tree: KdTree,
@@ -469,20 +643,18 @@ impl Classifier {
         coreset_eps: f64,
     ) -> Result<Self> {
         params.validate()?;
+        if !matches!(params.backend, BackendSpec::Tree) {
+            return Err(Error::Numeric(
+                "loaded tree model carries a non-tree backend spec".into(),
+            ));
+        }
         if kernel.dim() != tree.dim() {
             return Err(Error::DimensionMismatch {
                 expected: tree.dim(),
                 actual: kernel.dim(),
             });
         }
-        if !threshold.is_finite() || threshold < 0.0 {
-            return Err(Error::Numeric("loaded threshold is not a density".into()));
-        }
-        if !coreset_eps.is_finite() || coreset_eps < 0.0 {
-            return Err(Error::Numeric(
-                "loaded coreset epsilon is not a valid error bound".into(),
-            ));
-        }
+        Self::check_loaded_threshold(threshold, coreset_eps)?;
         // The grid's u32 cell counts ignore point masses and its fast
         // path certifies against the coreset, not the full data — a
         // weighted or ε-folded model must never carry one.
@@ -502,10 +674,168 @@ impl Classifier {
                 });
             }
         }
-        let grid_diag_sq = grid
-            .as_ref()
-            .map(|g| g.diag_scaled_sq(kernel.inv_bandwidths()))
-            .unwrap_or(0.0);
+        let backend = BackendImpl::Tree(TreeBackend::new(
+            tree,
+            kernel,
+            grid,
+            params.opts,
+            params.epsilon,
+        ));
+        Ok(Self::from_loaded_backend(
+            params,
+            backend,
+            threshold,
+            threshold_bounds,
+            coreset_eps,
+        ))
+    }
+
+    /// Reassembles an HBE-backend classifier from persisted parts: the
+    /// hash tables are rebuilt deterministically from the model seed, so
+    /// only points, weights and parameters persist.
+    ///
+    /// # Errors
+    /// Fails when the parts are mutually inconsistent or invalid.
+    pub(crate) fn from_loaded_hbe(
+        params: Params,
+        kernel: Kernel,
+        points: Matrix,
+        weights: Option<Vec<f64>>,
+        threshold: f64,
+        threshold_bounds: ThresholdBounds,
+        coreset_eps: f64,
+    ) -> Result<Self> {
+        params.validate()?;
+        let BackendSpec::Hbe(hp) = params.backend else {
+            return Err(Error::Numeric(
+                "loaded hbe model carries a non-hbe backend spec".into(),
+            ));
+        };
+        if points.rows() == 0 {
+            return Err(Error::EmptyInput("loaded training points"));
+        }
+        if kernel.dim() != points.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: points.cols(),
+                actual: kernel.dim(),
+            });
+        }
+        if let Some(ws) = &weights {
+            if ws.len() != points.rows() {
+                return Err(Error::DimensionMismatch {
+                    expected: points.rows(),
+                    actual: ws.len(),
+                });
+            }
+            if ws.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+                return Err(Error::Numeric(
+                    "loaded point weights must be finite and positive".into(),
+                ));
+            }
+        }
+        Self::check_loaded_threshold(threshold, coreset_eps)?;
+        let backend = BackendImpl::Hbe(HbeBackend::build(
+            points,
+            weights,
+            kernel,
+            params.delta,
+            hp,
+            params.seed,
+        ));
+        Ok(Self::from_loaded_backend(
+            params,
+            backend,
+            threshold,
+            threshold_bounds,
+            coreset_eps,
+        ))
+    }
+
+    /// Reassembles an RFF-backend classifier from persisted parts: the
+    /// feature bank regenerates from the model seed, so only the
+    /// coefficient sketch persists — not the training points.
+    ///
+    /// # Errors
+    /// Fails when the parts are mutually inconsistent or invalid.
+    // The argument list mirrors the persisted v3 record field-for-field;
+    // bundling them into a struct would just rename the format module's
+    // locals.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_loaded_rff(
+        params: Params,
+        kernel: Kernel,
+        coef: Vec<f64>,
+        n: usize,
+        total_mass: f64,
+        threshold: f64,
+        threshold_bounds: ThresholdBounds,
+        coreset_eps: f64,
+    ) -> Result<Self> {
+        params.validate()?;
+        let BackendSpec::Rff(rp) = params.backend else {
+            return Err(Error::Numeric(
+                "loaded rff model carries a non-rff backend spec".into(),
+            ));
+        };
+        if coef.len() != rp.features {
+            return Err(Error::DimensionMismatch {
+                expected: rp.features,
+                actual: coef.len(),
+            });
+        }
+        if n == 0 {
+            return Err(Error::EmptyInput("loaded training count"));
+        }
+        if !total_mass.is_finite() || total_mass <= 0.0 {
+            return Err(Error::Numeric(
+                "loaded total mass is not a positive weight sum".into(),
+            ));
+        }
+        if coef.iter().any(|c| !c.is_finite()) {
+            return Err(Error::Numeric(
+                "loaded rff coefficients contain non-finite values".into(),
+            ));
+        }
+        Self::check_loaded_threshold(threshold, coreset_eps)?;
+        let backend = BackendImpl::Rff(RffBackend::from_parts(
+            kernel,
+            params.delta,
+            rp,
+            params.seed,
+            coef,
+            n,
+            total_mass,
+        ));
+        Ok(Self::from_loaded_backend(
+            params,
+            backend,
+            threshold,
+            threshold_bounds,
+            coreset_eps,
+        ))
+    }
+
+    /// Shared threshold/ε sanity checks for every load path.
+    fn check_loaded_threshold(threshold: f64, coreset_eps: f64) -> Result<()> {
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err(Error::Numeric("loaded threshold is not a density".into()));
+        }
+        if !coreset_eps.is_finite() || coreset_eps < 0.0 {
+            return Err(Error::Numeric(
+                "loaded coreset epsilon is not a valid error bound".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Final assembly for the load paths: empty diagnostics, fresh pool.
+    fn from_loaded_backend(
+        params: Params,
+        backend: BackendImpl,
+        threshold: f64,
+        threshold_bounds: ThresholdBounds,
+        coreset_eps: f64,
+    ) -> Self {
         let fit_report = FitReport {
             threshold_bounds,
             threshold,
@@ -513,23 +843,25 @@ impl Classifier {
             training_stats: QueryStats::default(),
             threshold_reestimates: 0,
         };
-        Ok(Self::from_model(
+        Self::from_model(
             Model {
                 params,
-                tree,
-                kernel,
-                grid,
-                grid_diag_sq,
                 threshold,
                 coreset_eps,
+                backend,
             },
             fit_report,
-        ))
+        )
     }
 
-    /// Serialized form of the grid cache, if active (model persistence).
+    /// Serialized form of the grid cache, if active (model persistence;
+    /// tree backend only).
     pub fn grid_raw(&self) -> Option<tkdc_index::GridRaw> {
-        self.model.grid.as_ref().map(|g| g.to_raw_parts())
+        self.model
+            .backend
+            .as_tree()
+            .and_then(|tb| tb.grid())
+            .map(|g| g.to_raw_parts())
     }
 
     /// The refined threshold estimate `t̃(p)`.
@@ -556,12 +888,31 @@ impl Classifier {
 
     /// The kernel (with its fitted bandwidths).
     pub fn kernel(&self) -> &Kernel {
-        &self.model.kernel
+        self.model.backend.as_dyn().kernel()
     }
 
-    /// The spatial index.
-    pub fn tree(&self) -> &KdTree {
-        &self.model.tree
+    /// The spatial index, when the tree backend is active; `None` for
+    /// the estimated backends, which hold no tree.
+    pub fn tree(&self) -> Option<&KdTree> {
+        self.model.backend.as_tree().map(|tb| tb.tree())
+    }
+
+    /// Dimensionality of the training data.
+    pub fn dim(&self) -> usize {
+        self.model.backend.as_dyn().dim()
+    }
+
+    /// Stable lowercase name of the active backend
+    /// (`"tree"`, `"hbe"`, `"rff"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.model.backend.as_dyn().name()
+    }
+
+    /// Provenance of the density intervals the active backend produces:
+    /// [`BoundKind::Certified`] for the tree, probabilistic for the
+    /// estimators.
+    pub fn bound_kind(&self) -> BoundKind {
+        self.model.backend.as_dyn().bound_kind()
     }
 
     /// Training diagnostics.
@@ -569,14 +920,23 @@ impl Classifier {
         &self.fit_report
     }
 
-    /// Whether the grid cache is active.
+    /// Whether the grid cache is active (tree backend only).
     pub fn grid_enabled(&self) -> bool {
-        self.model.grid.is_some()
+        self.model
+            .backend
+            .as_tree()
+            .is_some_and(|tb| tb.grid().is_some())
     }
 
     /// Number of training points.
     pub fn n_train(&self) -> usize {
-        self.model.tree.len()
+        self.model.backend.as_dyn().n_train()
+    }
+
+    /// The active backend as the shipped enum (model persistence needs
+    /// the concrete payloads, not the trait surface).
+    pub(crate) fn backend_impl(&self) -> &BackendImpl {
+        &self.model.backend
     }
 }
 
@@ -584,13 +944,14 @@ impl Model {
     /// The absolute density error the ε-fold widens certified intervals
     /// by: `coreset_eps · K(0)`. Zero for full-data fits.
     fn coreset_eps_abs(&self) -> f64 {
-        self.coreset_eps * self.kernel.max_value()
+        self.coreset_eps * self.backend.as_dyn().kernel().max_value()
     }
 
     fn check_dim(&self, x: &[f64]) -> Result<()> {
-        if x.len() != self.tree.dim() {
+        let dim = self.backend.as_dyn().dim();
+        if x.len() != dim {
             return Err(Error::DimensionMismatch {
-                expected: self.tree.dim(),
+                expected: dim,
                 actual: x.len(),
             });
         }
@@ -617,21 +978,27 @@ impl Model {
                 Label::Unknown
             });
         }
-        // Grid fast path: same-cell mass already proves HIGH.
-        if let Some(g) = &self.grid {
-            // The probe computes one density lower bound; account for it so
-            // merged statistics reflect the true work mix (a grid-pruned
-            // query is cheap, not free).
-            scratch.stats.bound_evals += 1;
-            let cell_lower = g.cell_count(x) as f64 / self.tree.len() as f64
-                * self.kernel.eval_scaled_sq(self.grid_diag_sq);
-            if cell_lower > t * (1.0 + self.params.epsilon) {
-                scratch.stats.record_outcome(PruneCause::Grid);
-                if scratch.tracer.is_active() {
-                    let stats = scratch.stats;
-                    scratch.tracer.finish_grid(t, stats, cell_lower);
+        // Grid fast path (tree backend only): same-cell mass already
+        // proves HIGH.
+        if let Some(tb) = self.backend.as_tree() {
+            if let Some(cell_lower) = {
+                // The probe computes one density lower bound; account for
+                // it so merged statistics reflect the true work mix (a
+                // grid-pruned query is cheap, not free).
+                let probe = tb.grid_lower(x);
+                if probe.is_some() {
+                    scratch.stats.bound_evals += 1;
                 }
-                return Ok(Label::High);
+                probe
+            } {
+                if cell_lower > t * (1.0 + self.params.epsilon) {
+                    scratch.stats.record_outcome(PruneCause::Grid);
+                    if scratch.tracer.is_active() {
+                        let stats = scratch.stats;
+                        scratch.tracer.finish_grid(t, stats, cell_lower);
+                    }
+                    return Ok(Label::High);
+                }
             }
         }
         let b = self.bound_density_with(x, scratch)?;
@@ -646,16 +1013,10 @@ impl Model {
     /// contract.
     fn bound_density_with(&self, x: &[f64], scratch: &mut QueryScratch) -> Result<DensityBounds> {
         self.check_dim(x)?;
-        let bounder = DensityBounder::new(
-            &self.tree,
-            &self.kernel,
-            self.params.opts,
-            self.params.epsilon,
-        );
         let ea = self.coreset_eps_abs();
         let t_lo = (self.threshold - ea).max(0.0);
         let t_hi = self.threshold + ea;
-        let mut b = bounder.bound_density(x, t_lo, t_hi, scratch);
+        let mut b = self.backend.as_dyn().bound_density(x, t_lo, t_hi, scratch);
         if ea > 0.0 {
             b.lower = (b.lower - ea).max(0.0);
             b.upper += ea;
@@ -671,13 +1032,10 @@ impl Model {
         scratch: &mut QueryScratch,
     ) -> Result<DensityBounds> {
         self.check_dim(x)?;
-        let bounder = DensityBounder::new(
-            &self.tree,
-            &self.kernel,
-            self.params.opts,
-            self.params.epsilon,
-        );
-        let mut b = bounder.bound_density_relative(x, rtol, scratch);
+        let mut b = self
+            .backend
+            .as_dyn()
+            .bound_density_relative(x, rtol, scratch);
         let ea = self.coreset_eps_abs();
         if ea > 0.0 {
             b.lower = (b.lower - ea).max(0.0);
@@ -689,14 +1047,16 @@ impl Model {
     /// [`Classifier::exact_density`] — see there.
     fn exact_density(&self, x: &[f64]) -> Result<f64> {
         self.check_dim(x)?;
-        let bounder = DensityBounder::new(
-            &self.tree,
-            &self.kernel,
-            self.params.opts,
-            self.params.epsilon,
-        );
         let mut scratch = QueryScratch::new();
-        Ok(bounder.exact_density(x, &mut scratch))
+        self.backend
+            .as_dyn()
+            .exact_density(x, &mut scratch)
+            .ok_or_else(|| {
+                Error::Numeric(format!(
+                    "the {} backend does not retain training points; exact density is unavailable",
+                    self.backend.as_dyn().name()
+                ))
+            })
     }
 }
 
@@ -711,6 +1071,10 @@ impl Classifier {
     /// [`Label::Unknown`] when the widened interval straddles — so a
     /// certified label from a coreset model holds against the *full*
     /// dataset, never flipping a label the full-data model certifies.
+    ///
+    /// Under an estimated backend (HBE/RFF) the interval — and therefore
+    /// the label — is probabilistic: correct with probability `1 − δ`
+    /// per query (see [`Classifier::bound_kind`]).
     pub fn classify_with(&self, x: &[f64], scratch: &mut QueryScratch) -> Result<Label> {
         self.model.classify_with(x, scratch)
     }
@@ -730,6 +1094,8 @@ impl Classifier {
     /// interval is widened by `ε_abs = coreset_eps·K(0)` on each side
     /// (lower clamped at zero), so it certifies the *full-data* density,
     /// not just the coreset's. Full-data models are unaffected.
+    /// Estimated backends ignore the thresholds and return their
+    /// fixed-budget `1 − δ` confidence interval.
     pub fn bound_density_with(
         &self,
         x: &[f64],
@@ -744,7 +1110,8 @@ impl Classifier {
     /// p-value-style reporting) rather than a classification. For
     /// coreset-backed models the returned interval is additionally
     /// widened by `±coreset_eps·K(0)` so it certifies the full-data
-    /// density.
+    /// density. Estimated backends return their fixed-budget interval
+    /// regardless of `rtol`.
     pub fn bound_density_relative_with(
         &self,
         x: &[f64],
@@ -758,6 +1125,10 @@ impl Classifier {
     /// For weighted models this is exact with respect to the *weighted
     /// training set* — the full-data density it approximates still lives
     /// within `±coreset_eps·K(0)` of the returned value.
+    ///
+    /// # Errors
+    /// Fails for backends that persist only sketches and not the
+    /// training points themselves (RFF).
     pub fn exact_density(&self, x: &[f64]) -> Result<f64> {
         self.model.exact_density(x)
     }
@@ -1091,7 +1462,7 @@ fn weighted_quantile(values: &[f64], weights: &[f64], p: f64) -> Result<f64> {
 #[allow(clippy::float_cmp)] // exact-value asserts are deliberate in tests
 mod tests {
     use super::*;
-    use crate::params::Optimizations;
+    use crate::params::{HbeParams, Optimizations, RffParams};
     use tkdc_common::Rng;
 
     fn gaussian_blob(n: usize, d: usize, seed: u64) -> Matrix {
@@ -1105,6 +1476,14 @@ mod tests {
             m.push_row(&row).unwrap();
         }
         m
+    }
+
+    fn hbe_params() -> Params {
+        Params::default().with_backend(BackendSpec::Hbe(HbeParams::default()))
+    }
+
+    fn rff_params() -> Params {
+        Params::default().with_backend(BackendSpec::Rff(RffParams::default()))
     }
 
     #[test]
@@ -1384,9 +1763,14 @@ mod tests {
         let params = Params::default();
         let serial = Classifier::fit_weighted(&data, &weights, 1e-3, &params).unwrap();
         for threads in [2, 4] {
-            let par =
-                Classifier::fit_weighted_with_threads(&data, &weights, 1e-3, &params, threads)
-                    .unwrap();
+            let par = Classifier::fit_weighted_with(
+                &data,
+                &weights,
+                1e-3,
+                &params,
+                ExecPolicy::with_threads(threads),
+            )
+            .unwrap();
             assert_eq!(serial.threshold(), par.threshold(), "threads={threads}");
             assert_eq!(
                 serial.fit_report().training_stats,
@@ -1455,7 +1839,8 @@ mod tests {
         let params = Params::default();
         let serial = Classifier::fit(&data, &params).unwrap();
         for threads in [2, 4] {
-            let parallel = Classifier::fit_with_threads(&data, &params, threads).unwrap();
+            let parallel =
+                Classifier::fit_with(&data, &params, ExecPolicy::with_threads(threads)).unwrap();
             assert_eq!(
                 serial.threshold(),
                 parallel.threshold(),
@@ -1531,5 +1916,90 @@ mod tests {
     fn empty_training_rejected() {
         let data = Matrix::with_cols(2);
         assert!(Classifier::fit(&data, &Params::default()).is_err());
+    }
+
+    #[test]
+    fn tree_backend_identity_via_accessors() {
+        let data = gaussian_blob(800, 2, 211);
+        let clf = Classifier::fit(&data, &Params::default()).unwrap();
+        assert_eq!(clf.backend_name(), "tree");
+        assert!(clf.bound_kind().is_certified());
+        assert_eq!(clf.dim(), 2);
+        assert!(clf.tree().is_some());
+        assert_eq!(clf.n_train(), 800);
+    }
+
+    #[test]
+    fn hbe_backend_classifies_center_and_tail() {
+        let data = gaussian_blob(2000, 2, 223);
+        let clf = Classifier::fit(&data, &hbe_params()).unwrap();
+        assert_eq!(clf.backend_name(), "hbe");
+        assert!(!clf.bound_kind().is_certified());
+        assert!(clf.tree().is_none(), "hbe holds no spatial index");
+        assert!(!clf.grid_enabled());
+        assert!(clf.threshold() > 0.0);
+        assert_eq!(clf.classify(&[0.0, 0.0]).unwrap(), Label::High);
+        assert_eq!(clf.classify(&[8.0, 8.0]).unwrap(), Label::Low);
+        // HBE retains its points, so exact densities stay available.
+        assert!(clf.exact_density(&[0.0, 0.0]).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn rff_backend_classifies_center_and_tail() {
+        let data = gaussian_blob(2000, 2, 227);
+        let clf = Classifier::fit(&data, &rff_params()).unwrap();
+        assert_eq!(clf.backend_name(), "rff");
+        assert!(!clf.bound_kind().is_certified());
+        assert!(clf.tree().is_none());
+        assert!(clf.threshold() > 0.0);
+        assert_eq!(clf.classify(&[0.0, 0.0]).unwrap(), Label::High);
+        assert_eq!(clf.classify(&[8.0, 8.0]).unwrap(), Label::Low);
+        // RFF persists only the coefficient sketch.
+        assert!(clf.exact_density(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn estimated_backends_are_thread_invariant() {
+        let data = gaussian_blob(1200, 3, 229);
+        for params in [hbe_params(), rff_params()] {
+            let serial = Classifier::fit(&data, &params).unwrap();
+            let queries = gaussian_blob(300, 3, 233);
+            let (s_labels, s_stats) = serial
+                .classify_batch_with(&queries, ExecPolicy::Serial)
+                .unwrap();
+            for threads in [2, 4, 8] {
+                let par = Classifier::fit_with(&data, &params, ExecPolicy::with_threads(threads))
+                    .unwrap();
+                assert_eq!(
+                    serial.threshold(),
+                    par.threshold(),
+                    "{} threads={threads}",
+                    params.backend.name()
+                );
+                let (p_labels, p_stats) = serial
+                    .classify_batch_with(&queries, ExecPolicy::with_threads(threads))
+                    .unwrap();
+                assert_eq!(s_labels, p_labels, "threads={threads}");
+                assert_eq!(s_stats, p_stats, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn estimated_weighted_fit_folds_eps() {
+        let data = gaussian_blob(1000, 2, 239);
+        let weights = vec![1.0; data.rows()];
+        let clf = Classifier::fit_weighted(&data, &weights, 0.05, &hbe_params()).unwrap();
+        assert_eq!(clf.backend_name(), "hbe");
+        assert!(clf.coreset_eps_abs() > 0.0);
+        // ε-folded probabilistic intervals straddle more readily; the
+        // label set just has to stay within the three-valued contract.
+        let mut scratch = QueryScratch::new();
+        let l = clf.classify_with(&[0.0, 0.0], &mut scratch).unwrap();
+        assert!(matches!(l, Label::High | Label::Unknown));
+        // Bad weights are rejected on the estimated path too.
+        assert!(
+            Classifier::fit_weighted(&data, &vec![0.0; data.rows()], 0.0, &hbe_params()).is_err()
+        );
     }
 }

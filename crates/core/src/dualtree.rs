@@ -125,9 +125,15 @@ fn run_dual(
     config: &DualTreeConfig,
     tracer: Tracer,
 ) -> Result<(Vec<Label>, DualTreeStats, Tracer)> {
-    if queries.cols() != clf.tree().dim() {
+    let rtree = clf.tree().ok_or_else(|| {
+        tkdc_common::error::invalid_param(
+            "backend",
+            "dual-tree classification requires the tree backend",
+        )
+    })?;
+    if queries.cols() != rtree.dim() {
         return Err(Error::DimensionMismatch {
-            expected: clf.tree().dim(),
+            expected: rtree.dim(),
             actual: queries.cols(),
         });
     }
@@ -153,7 +159,7 @@ fn run_dual(
 
     let t = clf.threshold();
     let eps = clf.params().epsilon;
-    let n = clf.tree().len() as f64;
+    let n = rtree.len() as f64;
     let inv_h = clf.kernel().inv_bandwidths();
 
     // Labels for the query tree's internal (reordered) row order, plus
@@ -166,7 +172,6 @@ fn run_dual(
     scratch.tracer = tracer;
 
     // Root frontier: the reference root.
-    let rtree = clf.tree();
     let root_entry = {
         let (u_min, u_max) = box_pair_bounds(&qtree, qtree.root(), rtree, rtree.root(), inv_h);
         let c = rtree.count(rtree.root()) as f64;
@@ -180,6 +185,7 @@ fn run_dual(
 
     recurse(
         clf,
+        rtree,
         &qtree,
         qtree.root(),
         vec![root_entry],
@@ -224,6 +230,7 @@ fn box_pair_bounds(
 #[allow(clippy::too_many_arguments)]
 fn recurse(
     clf: &Classifier,
+    rtree: &KdTree,
     qtree: &KdTree,
     qnode: u32,
     mut frontier: Vec<FrontierEntry>,
@@ -235,7 +242,6 @@ fn recurse(
     stats: &mut DualTreeStats,
     scratch: &mut QueryScratch,
 ) -> Result<()> {
-    let rtree = clf.tree();
     let kernel = clf.kernel();
     let inv_h = kernel.inv_bandwidths();
     let n = rtree.len() as f64;
@@ -326,6 +332,7 @@ fn recurse(
         Some((l, r)) => {
             recurse(
                 clf,
+                rtree,
                 qtree,
                 l,
                 frontier.clone(),
@@ -338,7 +345,7 @@ fn recurse(
                 scratch,
             )?;
             recurse(
-                clf, qtree, r, frontier, t, eps, config, perm, labels, stats, scratch,
+                clf, rtree, qtree, r, frontier, t, eps, config, perm, labels, stats, scratch,
             )?;
             Ok(())
         }

@@ -57,6 +57,7 @@
 //! * [`trace`] — per-query tracing hooks (the `tkdc-obs` adapter behind
 //!   the `obs` cargo feature; a zero-sized no-op without it).
 
+pub mod backend;
 pub mod bound;
 pub mod classifier;
 pub mod dualtree;
@@ -68,12 +69,13 @@ pub mod qstats;
 pub mod threshold;
 pub mod trace;
 
+pub use backend::{BoundKind, DensityBackend, HbeBackend, RffBackend, TreeBackend};
 pub use classifier::{Classifier, ExecPolicy, Label};
 #[cfg(feature = "obs")]
 pub use dualtree::classify_batch_dual_traced;
 pub use dualtree::{classify_batch_dual, DualTreeConfig, DualTreeStats};
 pub use llr::{llr_bounds, llr_bounds_with_rtol, LlrBounds};
-pub use params::{BootstrapParams, Optimizations, Params};
+pub use params::{BackendSpec, BootstrapParams, HbeParams, Optimizations, Params, RffParams};
 pub use qstats::{PruneCause, QueryScratch, QueryStats};
 pub use threshold::ThresholdBounds;
 pub use trace::Tracer;

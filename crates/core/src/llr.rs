@@ -60,10 +60,10 @@ pub fn llr_bounds(
     x: &[f64],
     scratch: &mut QueryScratch,
 ) -> Result<LlrBounds> {
-    if numerator.tree().dim() != denominator.tree().dim() {
+    if numerator.dim() != denominator.dim() {
         return Err(Error::DimensionMismatch {
-            expected: numerator.tree().dim(),
-            actual: denominator.tree().dim(),
+            expected: numerator.dim(),
+            actual: denominator.dim(),
         });
     }
     let num = numerator.bound_density_with(x, scratch)?;
@@ -85,15 +85,15 @@ pub fn llr_bounds_with_rtol(
     rtol: f64,
     scratch: &mut QueryScratch,
 ) -> Result<LlrBounds> {
-    if numerator.tree().dim() != denominator.tree().dim() {
+    if numerator.dim() != denominator.dim() {
         return Err(Error::DimensionMismatch {
-            expected: numerator.tree().dim(),
-            actual: denominator.tree().dim(),
+            expected: numerator.dim(),
+            actual: denominator.dim(),
         });
     }
-    if x.len() != numerator.tree().dim() {
+    if x.len() != numerator.dim() {
         return Err(Error::DimensionMismatch {
-            expected: numerator.tree().dim(),
+            expected: numerator.dim(),
             actual: x.len(),
         });
     }

@@ -17,9 +17,18 @@
 //! Version-2 files append the weighted tail *after* the complete
 //! version-1 layout, so every version-1 field keeps its byte offset;
 //! version-1 files still load (with unit weights and ε = 0).
+//!
+//! Version-3 files insert a one-byte backend tag right after the
+//! version field (`0` = tree, `1` = hbe, `2` = rff). Tag 0 keeps the
+//! complete version-2 layout after the tag. Tags 1 and 2 persist the
+//! estimator's parameters plus its payload — points and weights for
+//! HBE (hash tables rebuild deterministically from the seed), the
+//! coefficient sketch for RFF (the feature bank regenerates from the
+//! seed). Version-1/2 files carry no tag and load as tree models.
 
+use crate::backend::{BackendImpl, DensityBackend};
 use crate::classifier::Classifier;
-use crate::params::{BootstrapParams, Optimizations, Params};
+use crate::params::{BackendSpec, BootstrapParams, HbeParams, Optimizations, Params, RffParams};
 use crate::threshold::ThresholdBounds;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -28,7 +37,7 @@ use tkdc_index::{BandwidthGrid, GridRaw, KdTree, KdTreeRaw};
 use tkdc_kernel::{Kernel, KernelKind};
 
 const MAGIC: &[u8; 4] = b"TKDC";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 /// Oldest format version this build still reads.
 const MIN_VERSION: u32 = 1;
 
@@ -123,6 +132,12 @@ pub fn save_model_to(clf: &Classifier, writer: impl Write) -> Result<()> {
     let mut w = Enc(BufWriter::new(writer));
     w.0.write_all(MAGIC)?;
     w.u32(VERSION)?;
+    let backend = clf.backend_impl();
+    w.byte(match backend {
+        BackendImpl::Tree(_) => 0,
+        BackendImpl::Hbe(_) => 1,
+        BackendImpl::Rff(_) => 2,
+    })?;
 
     // Parameters.
     let p = clf.params();
@@ -150,6 +165,20 @@ pub fn save_model_to(clf: &Classifier, writer: impl Write) -> Result<()> {
     w.f64(p.bootstrap.buffer)?;
     w.u64(p.bootstrap.max_retries as u64)?; // CAST: usize -> u64 is lossless
 
+    // Backend-specific parameters (nothing for the tree).
+    match &p.backend {
+        BackendSpec::Tree => {}
+        BackendSpec::Hbe(hp) => {
+            w.u64(hp.tables as u64)?; // CAST: usize -> u64 is lossless
+            w.u64(hp.hashes as u64)?; // CAST: usize -> u64 is lossless
+            w.f64(hp.bucket_width)?;
+            w.u64(hp.samples as u64)?; // CAST: usize -> u64 is lossless
+        }
+        BackendSpec::Rff(rp) => {
+            w.u64(rp.features as u64)?; // CAST: usize -> u64 is lossless
+        }
+    }
+
     // Threshold.
     w.f64(clf.threshold())?;
     let b = clf.fit_report().threshold_bounds;
@@ -159,44 +188,75 @@ pub fn save_model_to(clf: &Classifier, writer: impl Write) -> Result<()> {
     // Kernel bandwidths (kind already encoded in params).
     w.f64s(clf.kernel().bandwidths())?;
 
-    // Tree.
-    let raw = clf.tree().to_raw_parts();
-    w.u64(raw.dim as u64)?; // CAST: usize -> u64 is lossless
-    w.u64(raw.leaf_size as u64)?; // CAST: usize -> u64 is lossless
-    w.f64s(&raw.points)?;
-    w.u64(raw.nodes.len() as u64)?; // CAST: usize -> u64 is lossless
-    for t in &raw.nodes {
-        for &v in t {
-            w.u32(v)?;
-        }
-    }
-    w.f64s(&raw.node_lo)?;
-    w.f64s(&raw.node_hi)?;
-
-    // Grid (optional).
-    match clf.grid_raw() {
-        None => w.byte(0)?,
-        Some(g) => {
-            w.byte(1)?;
-            w.f64s(&g.cell)?;
-            w.u64(g.n_points as u64)?; // CAST: usize -> u64 is lossless
-            w.u64(g.entries.len() as u64)?; // CAST: usize -> u64 is lossless
-            for &(k, c) in &g.entries {
-                w.u128(k)?;
-                w.u32(c)?;
+    match backend {
+        BackendImpl::Tree(tb) => {
+            // Tree.
+            let raw = tb.tree().to_raw_parts();
+            w.u64(raw.dim as u64)?; // CAST: usize -> u64 is lossless
+            w.u64(raw.leaf_size as u64)?; // CAST: usize -> u64 is lossless
+            w.f64s(&raw.points)?;
+            w.u64(raw.nodes.len() as u64)?; // CAST: usize -> u64 is lossless
+            for t in &raw.nodes {
+                for &v in t {
+                    w.u32(v)?;
+                }
             }
+            w.f64s(&raw.node_lo)?;
+            w.f64s(&raw.node_hi)?;
+
+            // Grid (optional).
+            match clf.grid_raw() {
+                None => w.byte(0)?,
+                Some(g) => {
+                    w.byte(1)?;
+                    w.f64s(&g.cell)?;
+                    w.u64(g.n_points as u64)?; // CAST: usize -> u64 is lossless
+                    w.u64(g.entries.len() as u64)?; // CAST: usize -> u64 is lossless
+                    for &(k, c) in &g.entries {
+                        w.u128(k)?;
+                        w.u32(c)?;
+                    }
+                }
+            }
+            // Weighted tail (format v2): weights + coreset ε, appended
+            // after the complete v1 layout so every earlier field keeps
+            // its byte offset.
+            match tb.tree().weights() {
+                None => w.byte(0)?,
+                Some(ws) => {
+                    w.byte(1)?;
+                    w.f64s(ws)?;
+                }
+            }
+            w.f64(clf.coreset_eps())?;
+        }
+        BackendImpl::Hbe(hb) => {
+            // Points row-major; the hash tables rebuild deterministically
+            // from the model seed on load, so they are not persisted.
+            let pts = hb.points();
+            w.u64(pts.rows() as u64)?; // CAST: usize -> u64 is lossless
+            w.u64(pts.cols() as u64)?; // CAST: usize -> u64 is lossless
+            for &v in pts.as_slice() {
+                w.f64(v)?;
+            }
+            match hb.weights() {
+                None => w.byte(0)?,
+                Some(ws) => {
+                    w.byte(1)?;
+                    w.f64s(ws)?;
+                }
+            }
+            w.f64(clf.coreset_eps())?;
+        }
+        BackendImpl::Rff(rb) => {
+            // The feature bank regenerates from the seed; only the
+            // coefficient sketch and its normalization persist.
+            w.f64s(rb.coef())?;
+            w.u64(rb.n_train() as u64)?; // CAST: usize -> u64 is lossless
+            w.f64(rb.total_mass())?;
+            w.f64(clf.coreset_eps())?;
         }
     }
-    // Weighted tail (format v2): weights + coreset ε, appended after the
-    // complete v1 layout so every earlier field keeps its byte offset.
-    match clf.tree().weights() {
-        None => w.byte(0)?,
-        Some(ws) => {
-            w.byte(1)?;
-            w.f64s(ws)?;
-        }
-    }
-    w.f64(clf.coreset_eps())?;
 
     w.0.flush()?;
     Ok(())
@@ -223,6 +283,12 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
             "unsupported model format version {version} (this build reads versions \
              {MIN_VERSION} through {VERSION}); re-save the model with a matching tkdc release"
         )));
+    }
+    // Backend tag (format v3); earlier versions predate the trait and
+    // are always tree models.
+    let backend_tag = if version >= 3 { r.byte()? } else { 0 };
+    if backend_tag > 2 {
+        return Err(format_error(format!("unknown backend tag {backend_tag}")));
     }
 
     let p = r.f64()?;
@@ -253,6 +319,18 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
         buffer: r.f64()?,
         max_retries: r.u64()? as usize, // CAST: u64 -> usize is lossless on 64-bit targets
     };
+    let backend_spec = match backend_tag {
+        0 => BackendSpec::Tree,
+        1 => BackendSpec::Hbe(HbeParams {
+            tables: r.u64()? as usize, // CAST: u64 -> usize is lossless on 64-bit targets
+            hashes: r.u64()? as usize, // CAST: u64 -> usize is lossless on 64-bit targets
+            bucket_width: r.f64()?,
+            samples: r.u64()? as usize, // CAST: u64 -> usize is lossless on 64-bit targets
+        }),
+        _ => BackendSpec::Rff(RffParams {
+            features: r.u64()? as usize, // CAST: u64 -> usize is lossless on 64-bit targets
+        }),
+    };
     let params = Params {
         p,
         epsilon,
@@ -263,6 +341,7 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
         opts,
         bootstrap,
         seed,
+        backend: backend_spec,
     };
     params.validate()?;
 
@@ -277,6 +356,12 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
 
     let bandwidths = r.f64s()?;
     let kernel = Kernel::new(kernel_kind, bandwidths)?;
+
+    match backend_tag {
+        1 => return load_hbe_payload(&mut r, params, kernel, threshold, bounds),
+        2 => return load_rff_payload(&mut r, params, kernel, threshold, bounds),
+        _ => {}
+    }
 
     let dim = r.u64()? as usize; // CAST: u64 -> usize is lossless on 64-bit targets
     let tree_leaf = r.u64()? as usize; // CAST: u64 -> usize is lossless on 64-bit targets
@@ -355,6 +440,70 @@ pub fn load_model_from(reader: impl Read) -> Result<Classifier> {
     }
 
     Classifier::from_loaded_parts(params, tree, kernel, grid, threshold, bounds, coreset_eps)
+}
+
+/// HBE payload: points (row-major), optional weights, coreset ε.
+fn load_hbe_payload(
+    r: &mut Dec<impl Read>,
+    params: Params,
+    kernel: Kernel,
+    threshold: f64,
+    bounds: ThresholdBounds,
+) -> Result<Classifier> {
+    let rows = r.len_checked()?;
+    let cols = r.len_checked()?;
+    let total = rows
+        .checked_mul(cols)
+        .ok_or_else(|| format_error("implausible point matrix shape"))?;
+    if total > (1 << 40) {
+        return Err(format_error("implausible point matrix shape"));
+    }
+    let mut data = Vec::with_capacity(total);
+    for _ in 0..total {
+        data.push(r.f64()?);
+    }
+    let points = tkdc_common::Matrix::from_vec(data, rows, cols)?;
+    let weights = match r.byte()? {
+        0 => None,
+        1 => Some(r.f64s()?),
+        other => {
+            return Err(format_error(format!("bad weighted flag {other}")));
+        }
+    };
+    let coreset_eps = r.f64()?;
+    Classifier::from_loaded_hbe(
+        params,
+        kernel,
+        points,
+        weights,
+        threshold,
+        bounds,
+        coreset_eps,
+    )
+}
+
+/// RFF payload: coefficient sketch, training count, total mass, ε.
+fn load_rff_payload(
+    r: &mut Dec<impl Read>,
+    params: Params,
+    kernel: Kernel,
+    threshold: f64,
+    bounds: ThresholdBounds,
+) -> Result<Classifier> {
+    let coef = r.f64s()?;
+    let n = r.u64()? as usize; // CAST: u64 -> usize is lossless on 64-bit targets
+    let total_mass = r.f64()?;
+    let coreset_eps = r.f64()?;
+    Classifier::from_loaded_rff(
+        params,
+        kernel,
+        coef,
+        n,
+        total_mass,
+        threshold,
+        bounds,
+        coreset_eps,
+    )
 }
 
 /// Loads a classifier from a file.
@@ -466,17 +615,17 @@ mod tests {
 
         assert_eq!(loaded.threshold().to_bits(), clf.threshold().to_bits());
         assert_eq!(loaded.coreset_eps().to_bits(), clf.coreset_eps().to_bits());
-        assert!(loaded.tree().is_weighted());
+        assert!(loaded.tree().unwrap().is_weighted());
         // Bit-identical weights in tree order, and identical node masses.
-        let a = clf.tree().weights().unwrap();
-        let b = loaded.tree().weights().unwrap();
+        let a = clf.tree().unwrap().weights().unwrap();
+        let b = loaded.tree().unwrap().weights().unwrap();
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(b) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
         assert_eq!(
-            clf.tree().total_mass().to_bits(),
-            loaded.tree().total_mass().to_bits()
+            clf.tree().unwrap().total_mass().to_bits(),
+            loaded.tree().unwrap().total_mass().to_bits()
         );
         // Labels (including Unknown) agree everywhere.
         use crate::classifier::ExecPolicy;
@@ -492,21 +641,22 @@ mod tests {
 
     #[test]
     fn v1_unweighted_file_loads_with_unit_weights() {
-        // A version-1 file is the v2 byte stream minus the 9-byte
-        // weighted tail (flag byte + coreset-ε f64), with the version
-        // field rewritten — v1 predates both.
+        // A version-1 file is the v3 byte stream minus the backend tag
+        // byte and the 9-byte weighted tail (flag byte + coreset-ε f64),
+        // with the version field rewritten — v1 predates all three.
         let data = blob(400, 2, 2020);
         let clf = Classifier::fit(&data, &Params::default().with_seed(5)).unwrap();
         let mut buf = Vec::new();
         save_model_to(&clf, &mut buf).unwrap();
+        buf.remove(8); // the v3 backend tag
         buf.truncate(buf.len() - 9);
         buf[4..8].copy_from_slice(&1u32.to_le_bytes());
 
         let loaded = load_model_from(buf.as_slice()).unwrap();
         // Unit weights: unweighted representation, masses equal counts.
-        assert!(!loaded.tree().is_weighted());
-        assert!(loaded.tree().weights().is_none());
-        assert_eq!(loaded.tree().total_mass(), loaded.n_train() as f64);
+        assert!(!loaded.tree().unwrap().is_weighted());
+        assert!(loaded.tree().unwrap().weights().is_none());
+        assert_eq!(loaded.tree().unwrap().total_mass(), loaded.n_train() as f64);
         assert_eq!(loaded.coreset_eps(), 0.0);
         assert_eq!(loaded.threshold().to_bits(), clf.threshold().to_bits());
         assert_eq!(
@@ -544,8 +694,9 @@ mod tests {
         let mut buf = Vec::new();
         save_model_to(&clf, &mut buf).unwrap();
         // Stomp the bandwidth-vector length prefix (fixed offset by
-        // format layout: 8 header + 98 params + 24 threshold fields).
-        let off = 130;
+        // format layout: 8 header + 1 backend tag + 98 params + 24
+        // threshold fields).
+        let off = 131;
         for b in &mut buf[off..off + 8] {
             *b = 0xFF;
         }
@@ -553,9 +704,94 @@ mod tests {
         // And NaN-stomping the threshold itself must also be caught.
         let mut buf2 = Vec::new();
         save_model_to(&clf, &mut buf2).unwrap();
-        for b in &mut buf2[114..122] {
+        for b in &mut buf2[115..123] {
             *b = 0xFF;
         }
         assert!(load_model_from(buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn hbe_round_trip_is_bit_identical() {
+        use crate::classifier::ExecPolicy;
+        use crate::params::{BackendSpec, HbeParams};
+        let data = blob(800, 3, 5050);
+        let params = Params::default()
+            .with_seed(7)
+            .with_backend(BackendSpec::Hbe(HbeParams::default()));
+        let clf = Classifier::fit(&data, &params).unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        let loaded = load_model_from(buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.backend_name(), "hbe");
+        assert_eq!(loaded.threshold().to_bits(), clf.threshold().to_bits());
+        assert_eq!(loaded.n_train(), clf.n_train());
+        assert_eq!(loaded.params().backend, clf.params().backend);
+        assert!(loaded.tree().is_none());
+        // Per-query determinism + seed-rebuilt tables ⇒ identical labels
+        // and identical merged statistics.
+        let queries = blob(200, 3, 5151);
+        let (a, sa) = clf
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        let (b, sb) = loaded
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn hbe_weighted_round_trip_preserves_weights() {
+        use crate::params::{BackendSpec, HbeParams};
+        let data = blob(400, 2, 5252);
+        let mut rng = Rng::seed_from(13);
+        let weights: Vec<f64> = (0..data.rows()).map(|_| 1.0 + rng.next_f64()).collect();
+        let params = Params::default().with_backend(BackendSpec::Hbe(HbeParams::default()));
+        let clf = Classifier::fit_weighted(&data, &weights, 1e-3, &params).unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        let loaded = load_model_from(buf.as_slice()).unwrap();
+        assert_eq!(loaded.coreset_eps().to_bits(), clf.coreset_eps().to_bits());
+        assert_eq!(loaded.threshold().to_bits(), clf.threshold().to_bits());
+        let mut s1 = crate::qstats::QueryScratch::new();
+        let mut s2 = crate::qstats::QueryScratch::new();
+        let b1 = clf.bound_density_with(&[0.0, 0.0], &mut s1).unwrap();
+        let b2 = loaded.bound_density_with(&[0.0, 0.0], &mut s2).unwrap();
+        assert_eq!(b1.lower.to_bits(), b2.lower.to_bits());
+        assert_eq!(b1.upper.to_bits(), b2.upper.to_bits());
+    }
+
+    #[test]
+    fn rff_round_trip_is_bit_identical() {
+        use crate::classifier::ExecPolicy;
+        use crate::params::{BackendSpec, RffParams};
+        let data = blob(800, 3, 5353);
+        let params = Params::default()
+            .with_seed(11)
+            .with_backend(BackendSpec::Rff(RffParams::default()));
+        let clf = Classifier::fit(&data, &params).unwrap();
+        let mut buf = Vec::new();
+        save_model_to(&clf, &mut buf).unwrap();
+        let loaded = load_model_from(buf.as_slice()).unwrap();
+
+        assert_eq!(loaded.backend_name(), "rff");
+        assert_eq!(loaded.threshold().to_bits(), clf.threshold().to_bits());
+        assert_eq!(loaded.n_train(), clf.n_train());
+        assert!(loaded.tree().is_none());
+        // The sketch persists verbatim and the feature bank regenerates
+        // from the seed, so estimates are bit-identical.
+        let queries = blob(200, 3, 5454);
+        let (a, sa) = clf
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        let (b, sb) = loaded
+            .classify_batch_with(&queries, ExecPolicy::Serial)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        // Truncating inside the estimator payload fails cleanly.
+        buf.truncate(buf.len() - 4);
+        assert!(load_model_from(buf.as_slice()).is_err());
     }
 }

@@ -21,6 +21,9 @@ pub enum PruneCause {
     Exhausted,
     /// The grid cache classified the point before any traversal.
     Grid,
+    /// A randomized backend (HBE/RFF) answered with a fixed-budget
+    /// probabilistic estimate — the bounds are *not* certified.
+    Estimated,
 }
 
 impl PruneCause {
@@ -34,6 +37,7 @@ impl PruneCause {
             PruneCause::Tolerance => "tolerance",
             PruneCause::Exhausted => "exhausted",
             PruneCause::Grid => "grid",
+            PruneCause::Estimated => "estimated",
         }
     }
 }
@@ -60,6 +64,8 @@ pub struct QueryStats {
     pub tolerance: u64,
     /// Queries that exhausted the index (exact densities).
     pub exhausted: u64,
+    /// Queries answered by a randomized backend's fixed-budget estimate.
+    pub estimated: u64,
 }
 
 impl QueryStats {
@@ -72,6 +78,7 @@ impl QueryStats {
             PruneCause::Tolerance => self.tolerance += 1,
             PruneCause::Exhausted => self.exhausted += 1,
             PruneCause::Grid => self.grid_prunes += 1,
+            PruneCause::Estimated => self.estimated += 1,
         }
     }
 
@@ -87,6 +94,7 @@ impl QueryStats {
         self.threshold_low += other.threshold_low;
         self.tolerance += other.tolerance;
         self.exhausted += other.exhausted;
+        self.estimated += other.estimated;
     }
 
     /// Every counter as a `(stable name, value)` pair, in declaration
@@ -94,7 +102,7 @@ impl QueryStats {
     /// through a metrics registry or a JSON renderer. Adding a field to
     /// `QueryStats` must extend this list (the merge proptest counts on
     /// it covering everything).
-    pub fn named_counters(&self) -> [(&'static str, u64); 9] {
+    pub fn named_counters(&self) -> [(&'static str, u64); 10] {
         [
             ("queries", self.queries),
             ("kernel_evals", self.kernel_evals),
@@ -105,6 +113,7 @@ impl QueryStats {
             ("threshold_low", self.threshold_low),
             ("tolerance", self.tolerance),
             ("exhausted", self.exhausted),
+            ("estimated", self.estimated),
         ]
     }
 
@@ -197,12 +206,14 @@ mod tests {
         s.record_outcome(PruneCause::Tolerance);
         s.record_outcome(PruneCause::Exhausted);
         s.record_outcome(PruneCause::Grid);
-        assert_eq!(s.queries, 5);
+        s.record_outcome(PruneCause::Estimated);
+        assert_eq!(s.queries, 6);
         assert_eq!(s.threshold_high, 1);
         assert_eq!(s.threshold_low, 1);
         assert_eq!(s.tolerance, 1);
         assert_eq!(s.exhausted, 1);
         assert_eq!(s.grid_prunes, 1);
+        assert_eq!(s.estimated, 1);
     }
 
     #[test]
@@ -243,13 +254,14 @@ mod tests {
             threshold_low: 7,
             tolerance: 8,
             exhausted: 9,
+            estimated: 10,
         };
         let named = a.named_counters();
         let mut seen: Vec<u64> = named.iter().map(|&(_, v)| v).collect();
         seen.sort_unstable();
         assert_eq!(
             seen,
-            (1..=9).collect::<Vec<u64>>(),
+            (1..=10).collect::<Vec<u64>>(),
             "counter missing from named_counters"
         );
         let mut m = a;

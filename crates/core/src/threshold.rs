@@ -11,6 +11,7 @@
 //! multiplicatively backed off and the round retried.
 
 use crate::bound::DensityBounder;
+use crate::classifier::ExecPolicy;
 use crate::engine;
 use crate::params::Params;
 use crate::qstats::{QueryScratch, QueryStats};
@@ -66,11 +67,11 @@ pub fn bound_threshold(
     data: &Matrix,
     params: &Params,
 ) -> Result<(ThresholdBounds, BootstrapReport)> {
-    bound_threshold_with_threads(data, params, 1)
+    bound_threshold_with(data, params, ExecPolicy::Serial)
 }
 
 /// [`bound_threshold`] with each round's density queries work-stolen
-/// across up to `n_threads` threads.
+/// across the policy's resolved thread count.
 ///
 /// Bit-identical to the serial path for any thread count and the same
 /// seed: the seeded RNG is only consumed by the (sequential) subset
@@ -80,17 +81,17 @@ pub fn bound_threshold(
 /// trajectory, and therefore the RNG stream itself never depend on the
 /// thread count. Statistics counters merge by summation, which is
 /// order-independent.
-pub fn bound_threshold_with_threads(
+pub fn bound_threshold_with(
     data: &Matrix,
     params: &Params,
-    n_threads: usize,
+    policy: ExecPolicy,
 ) -> Result<(ThresholdBounds, BootstrapReport)> {
     params.validate()?;
     let n = data.rows();
     if n == 0 {
         return Err(Error::EmptyInput("bootstrap training data"));
     }
-    let n_threads = n_threads.max(1);
+    let n_threads = policy.resolved_threads();
     let mut rng = Rng::seed_from(params.seed);
     let mut report = BootstrapReport::default();
     let mut scratch = QueryScratch::new();
@@ -290,7 +291,7 @@ mod tests {
         let (serial, s_report) = bound_threshold(&data, &params).unwrap();
         for threads in [2, 4, 8] {
             let (parallel, p_report) =
-                bound_threshold_with_threads(&data, &params, threads).unwrap();
+                bound_threshold_with(&data, &params, ExecPolicy::with_threads(threads)).unwrap();
             assert_eq!(serial, parallel, "threads={threads}");
             assert_eq!(s_report.rounds, p_report.rounds, "threads={threads}");
             assert_eq!(s_report.backoffs, p_report.backoffs, "threads={threads}");

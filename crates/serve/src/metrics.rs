@@ -133,6 +133,10 @@ impl Metrics {
             active_connections: self.active_connections.get(),
             latency_buckets: self.latency.buckets(),
             engine_counters: self.engine.snapshot().counters,
+            // The metrics block has no model handle; the server stamps
+            // backend provenance onto the snapshot before encoding.
+            backend: String::new(),
+            bound_kind: String::new(),
         }
     }
 }

@@ -178,6 +178,11 @@ pub struct StatsSnapshot {
     /// self-describing as `(name, value)` pairs so the frame layout
     /// never changes when counters are added.
     pub engine_counters: Vec<(String, u64)>,
+    /// Density-backend name of the served model (`tree` | `hbe` | `rff`).
+    pub backend: String,
+    /// Bound provenance of the served model's answers: `certified`
+    /// (exact interval arithmetic) or `probabilistic` (1 − δ confidence).
+    pub bound_kind: String,
 }
 
 impl StatsSnapshot {
@@ -450,6 +455,13 @@ fn encode_snapshot(out: &mut Vec<u8>, s: &StatsSnapshot) -> Result<()> {
         out.extend_from_slice(bytes);
         put_u64(out, *value);
     }
+    for field in [&s.backend, &s.bound_kind] {
+        let bytes = field.as_bytes();
+        let len =
+            u32::try_from(bytes.len()).map_err(|_| protocol_error("implausible backend tag"))?;
+        put_u32(out, len);
+        out.extend_from_slice(bytes);
+    }
     Ok(())
 }
 
@@ -469,6 +481,8 @@ fn decode_snapshot(c: &mut Cursor<'_>) -> Result<StatsSnapshot> {
         active_connections: c.u64()?,
         latency_buckets: Vec::new(),
         engine_counters: Vec::new(),
+        backend: String::new(),
+        bound_kind: String::new(),
     };
     let n = c.u32()? as usize; // CAST: u32 -> usize is lossless on 64-bit targets
     if n > 4096 {
@@ -498,6 +512,17 @@ fn decode_snapshot(c: &mut Cursor<'_>) -> Result<StatsSnapshot> {
         let value = c.u64()?;
         s.engine_counters.push((name, value));
     }
+    let mut tag = || -> Result<String> {
+        let len = c.u32()? as usize; // CAST: u32 -> usize is lossless on 64-bit targets
+        if len > 64 {
+            return Err(protocol_error(format!(
+                "implausible backend tag length {len}"
+            )));
+        }
+        Ok(String::from_utf8_lossy(c.take(len)?).into_owned())
+    };
+    s.backend = tag()?;
+    s.bound_kind = tag()?;
     Ok(s)
 }
 
@@ -707,6 +732,8 @@ mod tests {
                 ("engine.queries".to_string(), 400),
                 ("engine.kernel_evals".to_string(), 123_456),
             ],
+            backend: "hbe".to_string(),
+            bound_kind: "probabilistic".to_string(),
         };
         assert_eq!(
             round_trip_response(Response::Stats(snap.clone())),

@@ -396,7 +396,13 @@ fn respond(shared: &Shared, req: Request) -> (Response, bool) {
         }
         Request::Stats => {
             shared.metrics.stats_requests.inc();
-            (Response::Stats(shared.metrics.snapshot()), false)
+            let mut snap = shared.metrics.snapshot();
+            // Model provenance rides in the same frame as the counters,
+            // so clients can tell certified answers from probabilistic
+            // ones without a second request.
+            snap.backend = shared.classifier.backend_name().to_string();
+            snap.bound_kind = shared.classifier.bound_kind().as_str().to_string();
+            (Response::Stats(snap), false)
         }
         Request::Shutdown => (Response::ShutdownAck, true),
     }

@@ -1033,6 +1033,8 @@ mod tests {
     fn classify_buckets_paths() {
         let lib = classify(Path::new("crates/core/src/bound.rs"));
         assert!(lib.is_library && lib.cast_checked && !lib.is_test_code);
+        let backend = classify(Path::new("crates/core/src/backend/hbe.rs"));
+        assert!(backend.is_library && backend.cast_checked && !backend.is_test_code);
         let lin = classify(Path::new("crates/linalg/src/pca.rs"));
         assert!(lin.is_library && lin.cast_checked);
         let cs = classify(Path::new("crates/coreset/src/stream.rs"));
@@ -1222,14 +1224,18 @@ mod tests {
                     .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
                 // Every library crate must hold the same bar: run each
                 // fixture under a representative established crate, the
-                // newest crate-set member (`tkdc-coreset`), and the
+                // newest crate-set member (`tkdc-coreset`), the
                 // persistent pool module — the workspace's densest user
                 // of L6–L9 (facade imports, Relaxed cursors, worker
-                // spawn/join lifecycles).
+                // spawn/join lifecycles) — and the estimator backends,
+                // whose sampling loops are the densest users of L5
+                // index casts and L2 invariants.
                 for fixture_path in [
                     "crates/core/src/golden.rs",
                     "crates/coreset/src/golden.rs",
                     "crates/core/src/engine/pool.rs",
+                    "crates/core/src/backend/hbe.rs",
+                    "crates/core/src/backend/rff.rs",
                 ] {
                     let kind = classify(Path::new(fixture_path));
                     assert!(kind.is_library && kind.cast_checked, "{fixture_path}");

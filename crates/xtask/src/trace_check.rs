@@ -241,6 +241,7 @@ const CAUSES: &[&str] = &[
     "exhausted",
     "grid",
     "group",
+    "estimated",
 ];
 
 fn check_uint(obj: &Json, key: &str, errs: &mut Vec<String>) {
@@ -387,6 +388,9 @@ mod tests {
         // Null bounds (grid prune, no upper) are valid.
         let grid = GOOD.replace("\"upper\":2.5e-3", "\"upper\":null");
         assert!(validate_trace_line(&grid).is_empty());
+        // Estimated backends (hbe/rff) record the `estimated` cause.
+        let est = GOOD.replace("threshold_high", "estimated");
+        assert!(validate_trace_line(&est).is_empty());
     }
 
     #[test]

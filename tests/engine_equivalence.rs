@@ -17,7 +17,7 @@
 use tkdc_sync::OnceLock;
 
 use proptest::prelude::*;
-use tkdc::threshold::{bound_threshold, bound_threshold_with_threads};
+use tkdc::threshold::{bound_threshold, bound_threshold_with};
 use tkdc::{Classifier, ExecPolicy, Params};
 use tkdc_common::{Matrix, Rng};
 
@@ -147,8 +147,8 @@ proptest! {
     ) {
         let (data, weights, clf1) = shared_weighted();
         for threads in [2usize, 4, 8] {
-            let clft = Classifier::fit_weighted_with_threads(
-                data, weights, 0.02, &Params::default(), threads,
+            let clft = Classifier::fit_weighted_with(
+                data, weights, 0.02, &Params::default(), ExecPolicy::with_threads(threads),
             ).expect("weighted fit");
             // Bit-identical: f64 equality is the contract under test.
             prop_assert_eq!(
@@ -184,7 +184,8 @@ proptest! {
         let (serial, s_report) = bound_threshold(data, &params).expect("serial");
         for threads in [2usize, 4, 8] {
             let (parallel, p_report) =
-                bound_threshold_with_threads(data, &params, threads).expect("parallel");
+                bound_threshold_with(data, &params, ExecPolicy::with_threads(threads))
+                    .expect("parallel");
             // Bit-identical: f64 equality through the PartialEq derive.
             prop_assert_eq!(serial, parallel, "bounds diverged at {} threads", threads);
             prop_assert_eq!(&s_report.rounds, &p_report.rounds);

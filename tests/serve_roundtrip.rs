@@ -96,6 +96,34 @@ fn full_round_trip_matches_local_engine() {
     let recorded: u64 = stats.latency_buckets.iter().map(|&(_, c)| c).sum();
     assert_eq!(recorded, stats.requests_total);
     assert!(stats.latency_quantile_us(0.99) >= stats.latency_quantile_us(0.5));
+    // Model provenance travels in the Stats frame.
+    assert_eq!(stats.backend, "tree");
+    assert_eq!(stats.bound_kind, "certified");
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn estimated_backend_serves_and_reports_provenance() {
+    let data = training_data(600, 19);
+    let params = Params::default()
+        .with_seed(19)
+        .with_backend(tkdc::BackendSpec::Hbe(tkdc::HbeParams::default()));
+    let clf = Classifier::fit(&data, &params).unwrap();
+    let queries = query_set(32, 23);
+    let (local_labels, _) = clf
+        .classify_batch_with(&queries, ExecPolicy::Serial)
+        .unwrap();
+
+    let (addr, handle) = spawn_server(ServeConfig::default(), clf);
+    let mut client = Client::connect_with_timeout(&addr, Duration::from_secs(10)).unwrap();
+    let served_labels = client.classify(&queries).unwrap();
+    assert_eq!(served_labels, local_labels);
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.backend, "hbe");
+    assert_eq!(stats.bound_kind, "probabilistic");
 
     client.shutdown().unwrap();
     handle.join().unwrap();
