@@ -2,11 +2,12 @@
 //!
 //! Drives `Classify` micro-batches at several concurrency levels and
 //! reports throughput plus client-observed p50/p99 latency per level as
-//! `BENCH_serve.json` (schema `tkdc-bench-serve/v2`). Before shutting
+//! `BENCH_serve.json` (schema `tkdc-bench-serve/v3`). Before shutting
 //! the daemon down it also fetches the server's own `Stats` snapshot —
-//! the log2-µs latency histogram and the folded `engine.*` pruning
-//! counters — and embeds it as the report's `"server"` object, so one
-//! file carries both the client-observed and server-observed views.
+//! the log2-µs latency histogram (both the since-start total and the
+//! sliding-window view) and the folded `engine.*` pruning counters —
+//! and embeds it as the report's `"server"` object, so one file carries
+//! both the client-observed and server-observed views.
 //!
 //! Two modes:
 //!
@@ -141,10 +142,27 @@ fn run_level(
     }
 }
 
+/// Histogram buckets as `[le_us | null, count]` pairs (null = the
+/// unbounded last bucket).
+fn render_buckets(buckets: &[(f64, u64)]) -> String {
+    let pairs: Vec<String> = buckets
+        .iter()
+        .map(|&(le, count)| {
+            let le = if le.is_finite() {
+                format!("{le}")
+            } else {
+                "null".to_string()
+            };
+            format!("[{le}, {count}]")
+        })
+        .collect();
+    pairs.join(", ")
+}
+
 /// Renders the server's own `Stats` snapshot: backend provenance,
-/// transport counters, the log2-µs latency histogram as
-/// `[le_us | null, count]` pairs (null = the unbounded last bucket),
-/// and the engine's pruning counters.
+/// transport counters, the log2-µs latency histogram (since-start
+/// total and the sliding-window view, each as `[le_us | null, count]`
+/// pairs), and the engine's pruning counters.
 fn render_server_stats(s: &mut String, snap: &StatsSnapshot) {
     s.push_str("  \"server\": {\n");
     let _ = writeln!(s, "    \"backend\": \"{}\",", snap.backend);
@@ -161,19 +179,27 @@ fn render_server_stats(s: &mut String, snap: &StatsSnapshot) {
     );
     let _ = writeln!(s, "    \"p50_us\": {},", jf(snap.latency_quantile_us(0.50)));
     let _ = writeln!(s, "    \"p99_us\": {},", jf(snap.latency_quantile_us(0.99)));
-    let buckets: Vec<String> = snap
-        .latency_buckets
-        .iter()
-        .map(|&(le, count)| {
-            let le = if le.is_finite() {
-                format!("{le}")
-            } else {
-                "null".to_string()
-            };
-            format!("[{le}, {count}]")
-        })
-        .collect();
-    let _ = writeln!(s, "    \"latency_buckets\": [{}],", buckets.join(", "));
+    let _ = writeln!(s, "    \"window_seconds\": {},", snap.window_seconds);
+    let _ = writeln!(
+        s,
+        "    \"window_p50_us\": {},",
+        jf(snap.window_latency_quantile_us(0.50))
+    );
+    let _ = writeln!(
+        s,
+        "    \"window_p99_us\": {},",
+        jf(snap.window_latency_quantile_us(0.99))
+    );
+    let _ = writeln!(
+        s,
+        "    \"latency_buckets\": [{}],",
+        render_buckets(&snap.latency_buckets)
+    );
+    let _ = writeln!(
+        s,
+        "    \"window_latency_buckets\": [{}],",
+        render_buckets(&snap.window_latency_buckets)
+    );
     let counters: Vec<String> = snap
         .engine_counters
         .iter()
@@ -194,7 +220,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": \"tkdc-bench-serve/v2\",");
+    let _ = writeln!(s, "  \"schema\": \"tkdc-bench-serve/v3\",");
     let _ = writeln!(s, "  \"addr\": \"{addr}\",");
     let _ = writeln!(s, "  \"self_hosted\": {self_hosted},");
     let _ = writeln!(s, "  \"batch\": {batch},");

@@ -40,6 +40,7 @@ pub const COMMON_FLAGS: &[&str] = &[
     "hbe-bucket-width",
     "hbe-samples",
     "rff-features",
+    "span-out",
 ];
 
 /// Flags the `compact` subcommand understands: streaming CSV in,
@@ -66,11 +67,19 @@ pub const SERVE_FLAGS: &[&str] = &[
     "quiet",
     "trace-out",
     "trace-sample",
+    "metrics-addr",
+    "slow-ms",
+    "slow-log",
+    "span-out",
 ];
+
+/// Flags the `stats` subcommand understands (polls a running daemon's
+/// `Stats` frame; `--watch` re-renders until interrupted).
+pub const STATS_FLAGS: &[&str] = &["addr", "watch", "interval-ms", "count", "quiet"];
 
 /// Flags the `explain` subcommand understands (one query point against a
 /// saved model; the point itself is a positional argument or `--point`).
-pub const EXPLAIN_FLAGS: &[&str] = &["model", "point", "trace-out", "quiet"];
+pub const EXPLAIN_FLAGS: &[&str] = &["model", "point", "trace-out", "span-out", "quiet"];
 
 impl Flags {
     /// Parses `args`, validating every flag against `allowed`.
@@ -89,7 +98,7 @@ impl Flags {
                 return Err(invalid_param("args", format!("unknown flag `--{name}`")));
             }
             // Boolean flags take no value.
-            if matches!(name, "header" | "quiet" | "weighted") {
+            if matches!(name, "header" | "quiet" | "weighted" | "watch") {
                 flags.bools.push(name.to_string());
                 i += 1;
                 continue;

@@ -1,15 +1,17 @@
 //! Subcommand implementations for the `tkdc` CLI.
 
-use crate::args::{usage_error, Flags, COMMON_FLAGS, COMPACT_FLAGS, EXPLAIN_FLAGS, SERVE_FLAGS};
+use crate::args::{
+    usage_error, Flags, COMMON_FLAGS, COMPACT_FLAGS, EXPLAIN_FLAGS, SERVE_FLAGS, STATS_FLAGS,
+};
 use std::io::{BufRead, Write};
 use tkdc::model_io::{load_model, save_model};
-use tkdc::{Classifier, ExecPolicy, Label, Params, QueryTrace, TraceWriter};
+use tkdc::{Classifier, ExecPolicy, Label, Params, QueryTrace, Spans, TraceWriter};
 use tkdc_common::csv::{read_csv, CsvOptions};
 use tkdc_common::error::Result;
 use tkdc_common::Matrix;
 use tkdc_coreset::{CoresetConfig, StreamingCoreset, WeightedCoreset};
-use tkdc_obs::Registry;
-use tkdc_serve::{ServeConfig, Server};
+use tkdc_obs::{chrome_trace_json, complete_spans, span_v2_lines, Registry, SpanRecord};
+use tkdc_serve::{Client, ServeConfig, Server, StatsSnapshot};
 
 const USAGE: &str = "\
 tkdc — density classification over CSV datasets (tKDC, SIGMOD 2017)
@@ -34,6 +36,8 @@ SUBCOMMANDS:
                  tkdc explain 0.3,-1.2 --model out.tkdc
     serve      serve a saved model over TCP (binary protocol, see DESIGN.md):
                  tkdc serve --model out.tkdc --addr 127.0.0.1:7117
+    stats      poll a running daemon's Stats frame and render it:
+                 tkdc stats --addr 127.0.0.1:7117 --watch
     help       print this message
 
 SHARED FLAGS:
@@ -56,6 +60,9 @@ SHARED FLAGS:
                         to FILE as tkdc-trace/v1 JSONL (see DESIGN.md)
     --trace-sample N    trace every N-th query by batch index
                         (default 1 = all; 0 disables tracing)
+    --span-out FILE     write a stage-level span trace of the run:
+                        `.jsonl` → tkdc-trace/v2 records, anything else
+                        → Chrome trace_event JSON (open in Perfetto)
     --coreset-eps E     train/compact: build an ε-accurate weighted
                         coreset (ε in units of K(0)) and fold ε into the
                         certified interval — straddling queries report
@@ -80,6 +87,7 @@ EXPLAIN FLAGS:
     --point X,Y,...     the query point (or pass it positionally)
     --model FILE        saved model to query
     --trace-out FILE    also write the trace as tkdc-trace/v1 JSONL
+    --span-out FILE     also write the query's span trace (see above)
 
 SERVE FLAGS:
     --addr HOST:PORT    listen address (default 127.0.0.1:7117; port 0
@@ -87,6 +95,22 @@ SERVE FLAGS:
     --max-conns N       concurrent-connection cap (default 64); further
                         clients get an over-capacity protocol error
     --timeout-ms N      per-connection read/write timeout (default 10000)
+    --metrics-addr H:P  also serve a Prometheus text exposition at
+                        http://H:P/metrics (port 0 picks a free port,
+                        printed on startup)
+    --slow-ms N         log requests slower than N ms to --slow-log
+                        (default 100; 0 logs every request)
+    --slow-log FILE     slow-query log, tkdc-slowlog/v1 JSONL with a
+                        per-stage span breakdown per entry
+    --span-out FILE     on shutdown, write a span trace of every served
+                        request (format by extension, see above)
+
+STATS FLAGS:
+    --addr HOST:PORT    daemon to poll (default 127.0.0.1:7117)
+    --watch             re-render the frame until interrupted
+    --interval-ms N     polling interval under --watch (default 1000)
+    --count N           stop after N frames (default: 1, or unbounded
+                        under --watch)
 ";
 
 /// Dispatches a full command line.
@@ -105,6 +129,7 @@ pub fn run(argv: &[String]) -> Result<()> {
         "compact" => compact(rest),
         "explain" => explain(rest),
         "serve" => serve(rest),
+        "stats" => stats(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -132,7 +157,7 @@ fn load_input(flags: &Flags) -> Result<Matrix> {
     Ok(data)
 }
 
-fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
+fn fit(flags: &Flags, data: &Matrix, spans: &Spans) -> Result<Classifier> {
     let params = flags.params()?;
     let threads = flags.threads()?;
     if !flags.has("quiet") {
@@ -176,12 +201,13 @@ fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
                 points.rows()
             );
         }
-        Classifier::fit_weighted_with(
+        Classifier::fit_weighted_with_spans(
             &points,
             &weights,
             eps,
             &params,
             ExecPolicy::with_threads(threads),
+            spans,
         )?
     } else if let Some(eps) = flags.coreset_eps()? {
         // Compact in-process, then fit on the weighted coreset with ε
@@ -202,15 +228,16 @@ fn fit(flags: &Flags, data: &Matrix) -> Result<Classifier> {
             );
             report_coreset_counters(&cs);
         }
-        Classifier::fit_weighted_with(
+        Classifier::fit_weighted_with_spans(
             &cs.points,
             &cs.weights,
             eps,
             &params,
             ExecPolicy::with_threads(threads),
+            spans,
         )?
     } else {
-        Classifier::fit_with(data, &params, ExecPolicy::with_threads(threads))?
+        Classifier::fit_with_spans(data, &params, ExecPolicy::with_threads(threads), spans)?
     };
     if !flags.has("quiet") {
         eprintln!("threshold t(p) = {:.6e}", clf.threshold());
@@ -395,12 +422,51 @@ fn write_trace_file(path: &str, traces: &[QueryTrace]) -> Result<()> {
     Ok(())
 }
 
+/// A recording span handle when `--span-out` was given, inert otherwise.
+fn spans_for(flags: &Flags) -> Spans {
+    if flags.get("span-out").is_some() {
+        Spans::enabled()
+    } else {
+        Spans::off()
+    }
+}
+
+/// Writes drained span records to `path`; the format follows the
+/// extension — `.jsonl` gets `tkdc-trace/v2` records, anything else a
+/// Chrome `trace_event` JSON document (loadable in Perfetto).
+fn write_span_file(path: &str, records: &[SpanRecord]) -> Result<()> {
+    let text = if path.ends_with(".jsonl") {
+        let mut lines = span_v2_lines(records);
+        if !lines.is_empty() {
+            lines.push('\n');
+        }
+        lines
+    } else {
+        chrome_trace_json(records)
+    };
+    std::fs::write(path, text)?;
+    Ok(())
+}
+
+/// Drains `spans` into `--span-out` if the flag was given.
+fn maybe_write_spans(flags: &Flags, spans: &Spans) -> Result<()> {
+    if let Some(path) = flags.get("span-out") {
+        write_span_file(path, &spans.take())?;
+        if !flags.has("quiet") {
+            eprintln!("span trace written to {path}");
+        }
+    }
+    Ok(())
+}
+
 fn train(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args, COMMON_FLAGS)?;
     let data = load_input(&flags)?;
     let model_path = flags.require("model")?;
-    let clf = fit(&flags, &data)?;
+    let spans = spans_for(&flags);
+    let clf = fit(&flags, &data, &spans)?;
     save_model(&clf, model_path)?;
+    maybe_write_spans(&flags, &spans)?;
     if !flags.has("quiet") {
         eprintln!("model written to {model_path}");
     }
@@ -413,16 +479,18 @@ fn classify(args: &[String]) -> Result<()> {
     let clf = load_model(model_path)?;
     let queries = load_input(&flags)?;
     let policy = ExecPolicy::with_threads(flags.threads()?);
+    let spans = spans_for(&flags);
     let (labels, stats) = match flags.get("trace-out") {
         Some(path) => {
             let (labels, stats, traces) =
-                clf.classify_batch_traced(&queries, policy, flags.trace_every()?)?;
+                clf.classify_batch_traced_spanned(&queries, policy, flags.trace_every()?, &spans)?;
             write_trace_file(path, &traces)?;
             (labels, stats)
         }
         // Owned queries ride into the pool job without a copy.
-        None => clf.classify_batch_shared(tkdc_sync::Arc::new(queries), policy)?,
+        None => clf.classify_batch_shared_spanned(tkdc_sync::Arc::new(queries), policy, &spans)?,
     };
+    maybe_write_spans(&flags, &spans)?;
     emit(
         &flags,
         labels.iter().map(|l| {
@@ -451,15 +519,21 @@ fn density(args: &[String]) -> Result<()> {
     let queries = load_input(&flags)?;
     let n_queries = queries.rows();
     let policy = ExecPolicy::with_threads(flags.threads()?);
+    let spans = spans_for(&flags);
     let (bounds, stats) = match flags.get("trace-out") {
+        // The traced density path has no spanned variant; `--span-out`
+        // yields an empty trace when combined with `--trace-out`.
         Some(path) => {
             let (bounds, stats, traces) =
                 clf.bound_density_batch_traced(&queries, policy, flags.trace_every()?)?;
             write_trace_file(path, &traces)?;
             (bounds, stats)
         }
-        None => clf.bound_density_batch_shared(tkdc_sync::Arc::new(queries), policy)?,
+        None => {
+            clf.bound_density_batch_shared_spanned(tkdc_sync::Arc::new(queries), policy, &spans)?
+        }
     };
+    maybe_write_spans(&flags, &spans)?;
     emit(
         &flags,
         bounds
@@ -480,8 +554,10 @@ fn density(args: &[String]) -> Result<()> {
 fn outliers(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args, COMMON_FLAGS)?;
     let data = load_input(&flags)?;
-    let clf = fit(&flags, &data)?;
+    let spans = spans_for(&flags);
+    let clf = fit(&flags, &data, &spans)?;
     let (labels, _) = clf.classify_batch_with(&data, ExecPolicy::with_threads(flags.threads()?))?;
+    maybe_write_spans(&flags, &spans)?;
     let lines = labels
         .iter()
         .enumerate()
@@ -526,17 +602,103 @@ fn serve(args: &[String]) -> Result<()> {
         },
         trace_out: flags.get("trace-out").map(std::path::PathBuf::from),
         trace_every: flags.trace_every()?,
+        metrics_addr: flags.get("metrics-addr").map(str::to_string),
+        slow_ms: flags.get_u64("slow-ms")?,
+        slow_log: flags.get("slow-log").map(std::path::PathBuf::from),
+        span_out: flags.get("span-out").map(std::path::PathBuf::from),
     };
     let server = Server::bind(config, clf)?;
     let addr = server.local_addr()?;
     if !flags.has("quiet") {
         eprintln!("tkdc-serve listening on {addr} (model: {model_path})");
+        if let Some(maddr) = server.metrics_addr() {
+            eprintln!("metrics exposition on http://{maddr}/metrics");
+        }
     }
     server.run()?;
     if !flags.has("quiet") {
         eprintln!("tkdc-serve drained and stopped");
     }
     Ok(())
+}
+
+/// `tkdc stats`: poll a running daemon's `Stats` frame and render it.
+/// `--watch` re-renders on an interval (ANSI clear between frames);
+/// `--count` bounds the number of frames either way.
+fn stats(args: &[String]) -> Result<()> {
+    let flags = Flags::parse(args, STATS_FLAGS)?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7117");
+    let watch = flags.has("watch");
+    let interval =
+        std::time::Duration::from_millis(flags.get_u64("interval-ms")?.unwrap_or(1000).max(1));
+    // One frame by default; `--watch` alone runs until interrupted.
+    let limit = match (watch, flags.get_u64("count")?) {
+        (_, Some(0)) => return Err(usage_error("`--count` must be at least 1")),
+        (_, Some(n)) => Some(n),
+        (true, None) => None,
+        (false, None) => Some(1),
+    };
+    let mut frames = 0u64;
+    loop {
+        // A fresh connection per poll, so a daemon restart between
+        // frames shows up as one failed poll, not a wedged watcher.
+        let mut client = Client::connect_with_timeout(addr, std::time::Duration::from_secs(5))?;
+        let snap = client.stats()?;
+        if watch && frames > 0 {
+            // ANSI home + clear-to-end redraws in place.
+            print!("\x1b[H\x1b[J");
+        }
+        render_stats(addr, &snap, flags.has("quiet"));
+        frames += 1;
+        if limit.is_some_and(|n| frames >= n) {
+            return Ok(());
+        }
+        tkdc_sync::thread::sleep(interval);
+    }
+}
+
+/// Pretty-prints one `Stats` frame.
+fn render_stats(addr: &str, s: &StatsSnapshot, quiet: bool) {
+    let samples = |buckets: &[(f64, u64)]| buckets.iter().map(|&(_, c)| c).sum::<u64>();
+    println!("tkdc-serve @ {addr}");
+    println!(
+        "  backend           : {} ({} bounds)",
+        s.backend, s.bound_kind
+    );
+    println!(
+        "  requests          : {} total, {} errors",
+        s.requests_total, s.errors_total
+    );
+    println!(
+        "  ops               : ping {}, classify {}, density {}, stats {}",
+        s.pings, s.classifies, s.densities, s.stats_requests
+    );
+    println!(
+        "  points            : {} classified, {} bounded",
+        s.points_classified, s.points_bounded
+    );
+    println!(
+        "  connections       : {} accepted, {} active, {} rejected, {} timeouts",
+        s.connections_accepted, s.active_connections, s.rejected_over_capacity, s.timeouts
+    );
+    println!(
+        "  latency (total)   : p50 {:.0} µs, p99 {:.0} µs over {} requests",
+        s.latency_quantile_us(0.5),
+        s.latency_quantile_us(0.99),
+        samples(&s.latency_buckets)
+    );
+    println!(
+        "  latency ({:>3}s)    : p50 {:.0} µs, p99 {:.0} µs over {} requests",
+        s.window_seconds,
+        s.window_latency_quantile_us(0.5),
+        s.window_latency_quantile_us(0.99),
+        samples(&s.window_latency_buckets)
+    );
+    if !quiet {
+        for (name, value) in &s.engine_counters {
+            println!("  {name:<17} : {value}");
+        }
+    }
 }
 
 /// Parses an `X,Y,...` coordinate list.
@@ -577,13 +739,20 @@ fn explain(args: &[String]) -> Result<()> {
     let clf = load_model(flags.require("model")?)?;
     let mut queries = Matrix::with_cols(point.len());
     queries.push_row(&point)?;
-    // Serial + sample-every-1 so the single query is always traced.
-    let (labels, _stats, traces) = clf.classify_batch_traced(&queries, ExecPolicy::Serial, 1)?;
+    // Serial + sample-every-1 so the single query is always traced;
+    // spans always record here so the stage breakdown below is free.
+    let spans = Spans::enabled();
+    let (labels, _stats, traces) =
+        clf.classify_batch_traced_spanned(&queries, ExecPolicy::Serial, 1, &spans)?;
     let trace = traces
         .first()
         .ok_or_else(|| usage_error("engine returned no trace for the query"))?;
     if let Some(path) = flags.get("trace-out") {
         write_trace_file(path, &traces)?;
+    }
+    let span_records = spans.take();
+    if let Some(path) = flags.get("span-out") {
+        write_span_file(path, &span_records)?;
     }
 
     println!("query point    : {point:?}");
@@ -643,13 +812,30 @@ fn explain(args: &[String]) -> Result<()> {
             );
         }
     }
+    // Stage-level span breakdown: where the query's wall time went.
+    let stages = complete_spans(&span_records);
+    if !stages.is_empty() {
+        println!();
+        println!("span breakdown :");
+        for sp in &stages {
+            println!(
+                "{:indent$}{:<24} {:>8} µs",
+                "",
+                sp.name,
+                sp.dur_us,
+                indent = 2 * (1 + sp.depth as usize) // CAST: depth widens losslessly
+            );
+        }
+    }
     Ok(())
 }
 
 fn threshold(args: &[String]) -> Result<()> {
     let flags = Flags::parse(args, COMMON_FLAGS)?;
     let data = load_input(&flags)?;
-    let clf = fit(&flags, &data)?;
+    let spans = spans_for(&flags);
+    let clf = fit(&flags, &data, &spans)?;
+    maybe_write_spans(&flags, &spans)?;
     let report = clf.fit_report();
     println!("t(p)      = {:.6e}", clf.threshold());
     println!(
@@ -1144,6 +1330,122 @@ mod tests {
             "--quiet",
         ]))
         .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn span_out_writes_v2_and_chrome_traces() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_spanout");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let model_path = dir.join("model.tkdc");
+        let out_path = dir.join("labels.txt");
+        let fit_spans = dir.join("fit_spans.jsonl");
+        let classify_spans = dir.join("classify_spans.json");
+        let explain_spans = dir.join("explain_spans.json");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        // `.jsonl` extension → tkdc-trace/v2 records of the fit stages.
+        run(&argv(&[
+            "train",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--model",
+            model_path.to_str().unwrap(),
+            "--span-out",
+            fit_spans.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        let v2 = std::fs::read_to_string(&fit_spans).unwrap();
+        assert!(v2.lines().count() >= 6, "enter+exit per fit stage: {v2}");
+        assert!(v2
+            .lines()
+            .all(|l| l.starts_with("{\"schema\":\"tkdc-trace/v2\"")));
+        for stage in ["fit.tree_build", "fit.bootstrap", "fit.threshold"] {
+            assert!(v2.contains(stage), "missing {stage} in {v2}");
+        }
+        // `.json` extension → Chrome trace_event JSON of the batch.
+        run(&argv(&[
+            "classify",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--input",
+            data_path.to_str().unwrap(),
+            "--output",
+            out_path.to_str().unwrap(),
+            "--span-out",
+            classify_spans.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--quiet",
+        ]))
+        .unwrap();
+        let chrome = std::fs::read_to_string(&classify_spans).unwrap();
+        assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+        assert!(chrome.contains("\"classify.traversal\""));
+        assert!(chrome.contains("\"classify.leaf_sum\""));
+        // `explain --span-out` writes the single query's spans too.
+        run(&argv(&[
+            "explain",
+            "0.1,0.2",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--span-out",
+            explain_spans.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let explain = std::fs::read_to_string(&explain_spans).unwrap();
+        assert!(explain.contains("\"classify.dispatch\""), "{explain}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_subcommand_polls_a_live_daemon() {
+        let dir = std::env::temp_dir().join("tkdc_cli_test_stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data_path = dir.join("data.csv");
+        let model_path = dir.join("model.tkdc");
+        write_csv(&data_path, &sample_data());
+        let argv = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        run(&argv(&[
+            "train",
+            "--input",
+            data_path.to_str().unwrap(),
+            "--model",
+            model_path.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        let clf = load_model(model_path.to_str().unwrap()).unwrap();
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(config, clf).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.spawn();
+        // One frame by default; a bounded watch loop exercises the
+        // redraw path without running forever.
+        run(&argv(&["stats", "--addr", &addr])).unwrap();
+        run(&argv(&[
+            "stats",
+            "--addr",
+            &addr,
+            "--watch",
+            "--interval-ms",
+            "1",
+            "--count",
+            "2",
+            "--quiet",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&["stats", "--addr", &addr, "--count", "0"])).is_err());
+        let mut client = Client::connect(&addr).unwrap();
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+        // A dead daemon is a connection error, not a hang.
+        assert!(run(&argv(&["stats", "--addr", &addr])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -204,10 +204,18 @@ impl<'a> DensityBounder<'a> {
                     // (weight-scaled when the tree carries point masses).
                     let rows = self.tree.count(entry.node);
                     let soa = self.tree.node_block_soa(entry.node);
+                    // One predictable branch per leaf when disabled (the
+                    // default) — the leaf_sum overhead gate holds this
+                    // whole hook under 2%.
+                    let leaf_t0 = scratch.time_leaves.then(std::time::Instant::now);
                     let exact = match self.tree.node_weights(entry.node) {
                         Some(w) => self.kernel.sum_block_soa_weighted(x, soa, rows, w) / n,
                         None => self.kernel.sum_block_soa(x, soa, rows) / n,
                     };
+                    if let Some(t0) = leaf_t0 {
+                        // CAST: a single leaf sum is far below u64 ns.
+                        scratch.leaf_ns += t0.elapsed().as_nanos() as u64;
+                    }
                     scratch.stats.kernel_evals += self.tree.count(entry.node) as u64; // CAST: usize count widens to u64
                     f_lo += exact;
                     f_hi += exact;

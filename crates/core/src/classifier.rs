@@ -19,6 +19,7 @@ use crate::bound::{DensityBounder, DensityBounds};
 use crate::engine;
 use crate::params::{BackendSpec, Params};
 use crate::qstats::{PruneCause, QueryScratch, QueryStats};
+use crate::span::Spans;
 use crate::threshold::{bound_threshold_with, BootstrapReport, ThresholdBounds};
 #[cfg(feature = "obs")]
 use crate::trace::{QueryTrace, Tracer};
@@ -219,28 +220,48 @@ impl Classifier {
     /// # Errors
     /// Propagates parameter-validation, empty-input and numeric errors.
     pub fn fit_with(data: &Matrix, params: &Params, policy: ExecPolicy) -> Result<Self> {
+        Self::fit_with_spans(data, params, policy, &Spans::off())
+    }
+
+    /// [`Self::fit_with`] with stage spans: the fit phases (bootstrap,
+    /// index/sketch build, training-density threshold pass) record
+    /// `fit.*` spans into `spans`. With an inert handle (or the `obs`
+    /// feature off) this *is* `fit_with`.
+    ///
+    /// # Errors
+    /// Propagates parameter-validation, empty-input and numeric errors.
+    pub fn fit_with_spans(
+        data: &Matrix,
+        params: &Params,
+        policy: ExecPolicy,
+        spans: &Spans,
+    ) -> Result<Self> {
         params.validate()?;
         if data.rows() == 0 {
             return Err(Error::EmptyInput("training data"));
         }
         match params.backend {
-            BackendSpec::Tree => Self::fit_tree(data, params, policy),
+            BackendSpec::Tree => Self::fit_tree(data, params, policy, spans),
             BackendSpec::Hbe(_) | BackendSpec::Rff(_) => {
-                Self::fit_estimated(data, None, 0.0, params, policy.resolved_threads())
+                Self::fit_estimated(data, None, 0.0, params, policy.resolved_threads(), spans)
             }
         }
     }
 
     /// The tree-backend fit: threshold bootstrap (Algorithm 3), full
     /// index build, and the pruned training-density pass. Inputs are
-    /// pre-validated by [`Self::fit_with`].
-    fn fit_tree(data: &Matrix, params: &Params, policy: ExecPolicy) -> Result<Self> {
+    /// pre-validated by [`Self::fit_with_spans`].
+    fn fit_tree(data: &Matrix, params: &Params, policy: ExecPolicy, spans: &Spans) -> Result<Self> {
         let n_threads = policy.resolved_threads();
 
         // Phase 1: probabilistic threshold bounds (Algorithm 3).
-        let (mut bounds, bootstrap) = bound_threshold_with(data, params, policy)?;
+        let (mut bounds, bootstrap) = {
+            let _span = spans.enter("fit.bootstrap");
+            bound_threshold_with(data, params, policy)?
+        };
 
         // Phase 2: full index + kernel.
+        let build_span = spans.enter("fit.tree_build");
         let tree = KdTree::build(data, params.leaf_size, params.opts.split_rule())?;
         let h = scotts_rule(data, params.bandwidth_factor)?;
         let kernel = Kernel::new(params.kernel, h)?;
@@ -263,6 +284,8 @@ impl Classifier {
         } else {
             (None, 0.0)
         };
+        drop(build_span);
+        let _threshold_span = spans.enter("fit.threshold");
 
         // Phase 3: density bounds for every training point → t̃(p).
         // If the bootstrap bounds turn out invalid (probability δ), the
@@ -362,6 +385,7 @@ impl Classifier {
         coreset_eps: f64,
         params: &Params,
         n_threads: usize,
+        spans: &Spans,
     ) -> Result<Self> {
         let n_threads = n_threads.max(1);
         if let Some(ws) = weights {
@@ -392,6 +416,7 @@ impl Classifier {
         let kernel = Kernel::new(params.kernel, h)?;
         let k0 = kernel.max_value();
 
+        let build_span = spans.enter("fit.backend_build");
         let backend = match &params.backend {
             BackendSpec::Hbe(hp) => BackendImpl::Hbe(HbeBackend::build(
                 data.clone(),
@@ -417,6 +442,9 @@ impl Classifier {
                 ))
             }
         };
+
+        drop(build_span);
+        let _threshold_span = spans.enter("fit.threshold");
 
         // Training densities, corrected by each point's own mass share
         // w_i·K(0)/W (Eq. 1 generalized to weighted points).
@@ -514,6 +542,22 @@ impl Classifier {
         params: &Params,
         policy: ExecPolicy,
     ) -> Result<Self> {
+        Self::fit_weighted_with_spans(data, weights, coreset_eps, params, policy, &Spans::off())
+    }
+
+    /// [`Self::fit_weighted_with`] with stage spans (see
+    /// [`Self::fit_with_spans`] for the span contract).
+    ///
+    /// # Errors
+    /// See [`Self::fit_weighted`].
+    pub fn fit_weighted_with_spans(
+        data: &Matrix,
+        weights: &[f64],
+        coreset_eps: f64,
+        params: &Params,
+        policy: ExecPolicy,
+        spans: &Spans,
+    ) -> Result<Self> {
         params.validate()?;
         if data.rows() == 0 {
             return Err(Error::EmptyInput("training data"));
@@ -531,7 +575,7 @@ impl Classifier {
         }
         match params.backend {
             BackendSpec::Tree => {
-                Self::fit_weighted_tree(data, weights, coreset_eps, params, policy)
+                Self::fit_weighted_tree(data, weights, coreset_eps, params, policy, spans)
             }
             BackendSpec::Hbe(_) | BackendSpec::Rff(_) => Self::fit_estimated(
                 data,
@@ -539,23 +583,26 @@ impl Classifier {
                 coreset_eps,
                 params,
                 policy.resolved_threads(),
+                spans,
             ),
         }
     }
 
     /// The tree-backend weighted fit. Inputs are pre-validated by
-    /// [`Self::fit_weighted_with`].
+    /// [`Self::fit_weighted_with_spans`].
     fn fit_weighted_tree(
         data: &Matrix,
         weights: &[f64],
         coreset_eps: f64,
         params: &Params,
         policy: ExecPolicy,
+        spans: &Spans,
     ) -> Result<Self> {
         let n_threads = policy.resolved_threads();
 
         // Weight-aware index: node masses replace point counts in every
         // density bound the traversal computes.
+        let build_span = spans.enter("fit.tree_build");
         let tree =
             KdTree::build_weighted(data, weights, params.leaf_size, params.opts.split_rule())?;
         let w_total = tree.total_mass();
@@ -569,6 +616,9 @@ impl Classifier {
         let h = scotts_rule_from_stds(&stds, eff_n, params.bandwidth_factor)?;
         let kernel = Kernel::new(params.kernel, h)?;
         let k0 = kernel.max_value();
+
+        drop(build_span);
+        let _threshold_span = spans.enter("fit.threshold");
 
         // Training densities at relative precision ε — no bootstrap
         // bounds exist to prune against, and none are needed at coreset
@@ -918,6 +968,14 @@ impl Classifier {
     /// Training diagnostics.
     pub fn fit_report(&self) -> &FitReport {
         &self.fit_report
+    }
+
+    /// Point-in-time telemetry of the classifier's persistent pool:
+    /// per-worker task/steal/park counters and busy/idle time (see
+    /// [`engine::PoolTelemetry`]). Empty worker list until the first
+    /// batch big enough to engage the pool.
+    pub fn pool_telemetry(&self) -> engine::PoolTelemetry {
+        self.pool.telemetry()
     }
 
     /// Whether the grid cache is active (tree backend only).
@@ -1343,6 +1401,112 @@ impl Classifier {
         })
     }
 
+    /// Spanned batch core: the untraced batch pipeline with
+    /// `classify.*` stage spans recorded on the submitting thread —
+    /// `dispatch` (policy resolution and setup), `traversal` (the whole
+    /// parallel execution), `reassembly` (merging worker outputs) — plus
+    /// one synthetic `classify.leaf_sum` span per worker scratch
+    /// carrying that worker's accumulated leaf kernel-sum time (each on
+    /// its own derived track so per-track enter/exit streams stay
+    /// well-formed).
+    ///
+    /// With an inert handle this *is* [`Self::batch_shared`]. With spans
+    /// on, [`ExecPolicy::StaticChunked`] and [`ExecPolicy::ScopedSpawn`]
+    /// both route through the scoped work-stealing engine (their worker
+    /// scratches are needed for the leaf breakdown); results and merged
+    /// statistics are schedule-invariant, so nothing observable changes.
+    fn batch_shared_spanned<T: Send + 'static>(
+        &self,
+        total: usize,
+        policy: ExecPolicy,
+        spans: &Spans,
+        work: impl Fn(usize, &mut QueryScratch) -> Result<T> + Send + Sync + 'static,
+    ) -> Result<(Vec<T>, QueryStats)> {
+        if !spans.is_enabled() {
+            return self.batch_shared(total, policy, work);
+        }
+        let dispatch_span = spans.enter("classify.dispatch");
+        let n_threads = policy.resolved_threads();
+        let serial =
+            matches!(policy, ExecPolicy::Serial) || n_threads == 1 || total < 2 * n_threads;
+        let use_pool = Self::uses_pool(policy, total);
+        let make_scratch = || {
+            let mut s = QueryScratch::new();
+            s.time_leaves = true;
+            s
+        };
+        drop(dispatch_span);
+
+        let t0 = spans.now_us();
+        let (out, scratches) = {
+            let _traversal = spans.enter("classify.traversal");
+            if serial {
+                let mut scratch = make_scratch();
+                let mut res = Vec::with_capacity(total);
+                for i in 0..total {
+                    res.push(work(i, &mut scratch)?);
+                }
+                (res, vec![scratch])
+            } else if use_pool {
+                self.pool.run_batch(total, n_threads, make_scratch, work)?
+            } else {
+                engine::run_batch(total, n_threads, make_scratch, work)?
+            }
+        };
+
+        let _reassembly = spans.enter("classify.reassembly");
+        let mut stats = QueryStats::default();
+        for (k, s) in scratches.iter().enumerate() {
+            stats.merge(&s.stats);
+            if s.leaf_ns > 0 {
+                // Anchored at traversal start: the leaf time is an
+                // accumulated share of that worker's traversal, not a
+                // contiguous interval.
+                // CAST: worker index is far below u64.
+                let track = leaf_track(spans.submitter_track(), k as u64);
+                spans.record_complete("classify.leaf_sum", track, t0, s.leaf_ns / 1000);
+            }
+        }
+        Ok((out, stats))
+    }
+
+    /// [`Self::classify_batch_shared`] with stage spans (see the private
+    /// `batch_shared_spanned` driver for the span contract). Labels and
+    /// merged statistics are identical to the unspanned entry point.
+    ///
+    /// # Errors
+    /// Propagates dimension-mismatch and NaN-input errors.
+    pub fn classify_batch_shared_spanned(
+        &self,
+        queries: Arc<Matrix>,
+        policy: ExecPolicy,
+        spans: &Spans,
+    ) -> Result<(Vec<Label>, QueryStats)> {
+        let total = queries.rows();
+        let model = self.model.clone();
+        self.batch_shared_spanned(total, policy, spans, move |i, scratch| {
+            model.classify_with(queries.row(i), scratch)
+        })
+    }
+
+    /// [`Self::bound_density_batch_shared`] with stage spans (same
+    /// contract as [`Self::classify_batch_shared_spanned`]).
+    ///
+    /// # Errors
+    /// Propagates dimension-mismatch and NaN-input errors.
+    pub fn bound_density_batch_shared_spanned(
+        &self,
+        queries: Arc<Matrix>,
+        policy: ExecPolicy,
+        spans: &Spans,
+    ) -> Result<(Vec<DensityBounds>, QueryStats)> {
+        let total = queries.rows();
+        let model = self.model.clone();
+        self.batch_shared_spanned(total, policy, spans, move |i, scratch| {
+            model.bound_density_with(queries.row(i), scratch)
+        })
+    }
+
     /// Traced variant of [`Self::run_borrowed`]: every worker scratch
     /// carries a tracer sampling by query index (`every`; `0` disables),
     /// and the completed traces are merged and sorted by index.
@@ -1360,35 +1524,50 @@ impl Classifier {
         total: usize,
         policy: ExecPolicy,
         every: u64,
+        spans: &Spans,
         work: impl Fn(usize, &mut QueryScratch) -> Result<T> + Sync,
     ) -> Result<(Vec<T>, QueryStats, Vec<QueryTrace>)> {
+        let dispatch_span = spans.enter("classify.dispatch");
         let traced_work = |i: usize, scratch: &mut QueryScratch| {
             scratch.begin_trace(i as u64); // CAST: batch index widens to u64
             work(i, scratch)
         };
+        let time_leaves = spans.is_enabled();
         let make_scratch = || {
             let mut s = QueryScratch::new();
             s.tracer = Tracer::enabled(every);
+            s.time_leaves = time_leaves;
             s
         };
         let n_threads = policy.resolved_threads();
         let serial =
             matches!(policy, ExecPolicy::Serial) || n_threads == 1 || total < 2 * n_threads;
-        if serial {
-            let mut scratch = make_scratch();
-            let mut out = Vec::with_capacity(total);
-            for i in 0..total {
-                out.push(traced_work(i, &mut scratch)?);
+        drop(dispatch_span);
+        let t0 = spans.now_us();
+        let (out, mut scratches) = {
+            let _traversal = spans.enter("classify.traversal");
+            if serial {
+                let mut scratch = make_scratch();
+                let mut res = Vec::with_capacity(total);
+                for i in 0..total {
+                    res.push(traced_work(i, &mut scratch)?);
+                }
+                (res, vec![scratch])
+            } else {
+                engine::run_batch(total, n_threads, make_scratch, traced_work)?
             }
-            let traces = scratch.tracer.take_traces();
-            return Ok((out, scratch.stats, traces));
-        }
-        let (out, mut scratches) = engine::run_batch(total, n_threads, make_scratch, traced_work)?;
+        };
+        let _reassembly = spans.enter("classify.reassembly");
         let mut stats = QueryStats::default();
         let mut traces = Vec::new();
-        for s in scratches.iter_mut() {
+        for (k, s) in scratches.iter_mut().enumerate() {
             stats.merge(&s.stats);
             traces.extend(s.tracer.take_traces());
+            if s.leaf_ns > 0 {
+                // CAST: worker index is far below u64.
+                let track = leaf_track(spans.submitter_track(), k as u64);
+                spans.record_complete("classify.leaf_sum", track, t0, s.leaf_ns / 1000);
+            }
         }
         traces.sort_by_key(|t| t.query);
         Ok((out, stats, traces))
@@ -1409,7 +1588,24 @@ impl Classifier {
         policy: ExecPolicy,
         every: u64,
     ) -> Result<(Vec<Label>, QueryStats, Vec<QueryTrace>)> {
-        self.batch_traced(queries.rows(), policy, every, |i, scratch| {
+        self.classify_batch_traced_spanned(queries, policy, every, &Spans::off())
+    }
+
+    /// [`Self::classify_batch_traced`] with stage spans alongside the
+    /// per-query traces (what `tkdc explain` uses to print both a bound
+    /// trajectory and a stage breakdown from one run).
+    ///
+    /// # Errors
+    /// Propagates dimension-mismatch and NaN-input errors.
+    #[cfg(feature = "obs")]
+    pub fn classify_batch_traced_spanned(
+        &self,
+        queries: &Matrix,
+        policy: ExecPolicy,
+        every: u64,
+        spans: &Spans,
+    ) -> Result<(Vec<Label>, QueryStats, Vec<QueryTrace>)> {
+        self.batch_traced(queries.rows(), policy, every, spans, |i, scratch| {
             self.classify_with(queries.row(i), scratch)
         })
     }
@@ -1426,10 +1622,26 @@ impl Classifier {
         policy: ExecPolicy,
         every: u64,
     ) -> Result<(Vec<DensityBounds>, QueryStats, Vec<QueryTrace>)> {
-        self.batch_traced(queries.rows(), policy, every, |i, scratch| {
-            self.bound_density_with(queries.row(i), scratch)
-        })
+        self.batch_traced(
+            queries.rows(),
+            policy,
+            every,
+            &Spans::off(),
+            |i, scratch| self.bound_density_with(queries.row(i), scratch),
+        )
     }
+}
+
+/// Synthetic span track for worker `k`'s leaf-sum share of a batch
+/// submitted from track `submitter`: distinct from every real thread
+/// track and from other submitters' leaf tracks, so per-track
+/// enter/exit streams stay balanced and monotonic even when concurrent
+/// requests share one sink.
+fn leaf_track(submitter: u64, k: u64) -> u64 {
+    submitter
+        .saturating_mul(1000)
+        .saturating_add(900)
+        .saturating_add(k)
 }
 
 /// Weighted `p`-quantile: the smallest value `v` in `values` such that

@@ -31,7 +31,7 @@ use tkdc_common::error::Result;
 
 pub mod pool;
 
-pub use pool::Pool;
+pub use pool::{Pool, PoolTelemetry, WorkerCounters, WorkerTelemetry};
 
 /// Divisor steering the guided grain size: each claimed range is
 /// `remaining / (workers * GRAIN_DIVISOR)`, so every worker expects to

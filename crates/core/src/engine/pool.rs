@@ -33,8 +33,9 @@
 
 use std::any::Any;
 use std::ops::Range;
+use std::time::Instant;
 
-use tkdc_sync::atomic::{AtomicUsize, Ordering};
+use tkdc_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use tkdc_sync::thread::{self, JoinHandle};
 use tkdc_sync::{Arc, Condvar, Mutex};
 
@@ -72,11 +73,158 @@ fn shield<R>(f: impl FnOnce() -> R) -> std::result::Result<R, Box<dyn Any + Send
     Ok(f())
 }
 
+/// Per-participant telemetry counters. All updates are `Relaxed`
+/// atomics — telemetry is statistics, never synchronization — and
+/// every counter is monotonic, so point-in-time snapshots are safe to
+/// diff. Lives behind an `Arc` per pool worker (plus one shared by all
+/// submitting threads), appended to on every chunk and every
+/// park/unpark transition.
+///
+/// Wall-time counters (`busy_ns` / `idle_ns`) deliberately stay *out*
+/// of the per-query [`QueryStats`](crate::qstats::QueryStats): those
+/// are asserted bit-equal across thread counts, and wall time never is.
+#[derive(Debug, Default)]
+pub struct WorkerCounters {
+    /// Items executed (summed over claimed chunks).
+    tasks_run: AtomicU64,
+    /// Chunks obtained by stealing from another participant's deque.
+    chunks_stolen: AtomicU64,
+    /// Times the participant parked on the job condvar.
+    parks: AtomicU64,
+    /// Times the participant returned from a park.
+    unparks: AtomicU64,
+    /// Nanoseconds spent executing user work.
+    busy_ns: AtomicU64,
+    /// Nanoseconds spent parked waiting for work.
+    idle_ns: AtomicU64,
+}
+
+impl WorkerCounters {
+    fn add_tasks(&self, n: u64) {
+        // ORDERING: Relaxed — independent statistical counters; totals
+        // are read via `snapshot` under the usual staleness contract.
+        self.tasks_run.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn add_steal(&self) {
+        // ORDERING: Relaxed — see `add_tasks`.
+        self.chunks_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_park(&self) {
+        // ORDERING: Relaxed — see `add_tasks`.
+        self.parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn add_unpark(&self, idle: u64) {
+        // ORDERING: Relaxed — see `add_tasks`.
+        self.unparks.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Relaxed — see `add_tasks`.
+        self.idle_ns.fetch_add(idle, Ordering::Relaxed);
+    }
+
+    fn add_busy(&self, ns: u64) {
+        // ORDERING: Relaxed — see `add_tasks`.
+        self.busy_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Point-in-time plain-data copy.
+    pub fn snapshot(&self) -> WorkerTelemetry {
+        // ORDERING: Relaxed — each field is a point-in-time read; the
+        // snapshot may be slightly torn across fields while the worker
+        // runs, exactly like every other metrics read in the workspace.
+        WorkerTelemetry {
+            tasks_run: self.tasks_run.load(Ordering::Relaxed), // ORDERING: see above
+            chunks_stolen: self.chunks_stolen.load(Ordering::Relaxed), // ORDERING: see above
+            parks: self.parks.load(Ordering::Relaxed),         // ORDERING: see above
+            unparks: self.unparks.load(Ordering::Relaxed),     // ORDERING: see above
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),     // ORDERING: see above
+            idle_ns: self.idle_ns.load(Ordering::Relaxed),     // ORDERING: see above
+        }
+    }
+}
+
+/// Plain-data snapshot of one participant's [`WorkerCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerTelemetry {
+    /// Items executed (summed over claimed chunks).
+    pub tasks_run: u64,
+    /// Chunks obtained by stealing from another participant's deque.
+    pub chunks_stolen: u64,
+    /// Times the participant parked on the job condvar.
+    pub parks: u64,
+    /// Times the participant returned from a park.
+    pub unparks: u64,
+    /// Nanoseconds spent executing user work.
+    pub busy_ns: u64,
+    /// Nanoseconds spent parked waiting for work.
+    pub idle_ns: u64,
+}
+
+impl WorkerTelemetry {
+    /// Fraction of accounted time spent executing work:
+    /// `busy / (busy + idle)`; `0.0` before any accounting.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.busy_ns.saturating_add(self.idle_ns);
+        if denom == 0 {
+            0.0
+        } else {
+            // CAST: ns totals above 2^53 (~104 days) only cost ratio
+            // precision, not correctness.
+            self.busy_ns as f64 / denom as f64
+        }
+    }
+
+    /// Element-wise sum (for pool-level aggregates).
+    fn merge(&mut self, other: &WorkerTelemetry) {
+        self.tasks_run += other.tasks_run;
+        self.chunks_stolen += other.chunks_stolen;
+        self.parks += other.parks;
+        self.unparks += other.unparks;
+        self.busy_ns += other.busy_ns;
+        self.idle_ns += other.idle_ns;
+    }
+}
+
+/// Snapshot of a whole pool's telemetry: one entry per spawned worker
+/// (in spawn order) plus one shared entry for every submitting thread.
+#[derive(Debug, Clone, Default)]
+pub struct PoolTelemetry {
+    /// Per-worker snapshots, index = spawn order.
+    pub workers: Vec<WorkerTelemetry>,
+    /// Aggregate over all submitting threads (submitters participate in
+    /// their own jobs but never park on the pool condvar).
+    pub submitters: WorkerTelemetry,
+}
+
+impl PoolTelemetry {
+    /// Aggregate over workers and submitters.
+    pub fn total(&self) -> WorkerTelemetry {
+        let mut t = self.submitters;
+        for w in &self.workers {
+            t.merge(w);
+        }
+        t
+    }
+
+    /// Pool utilization: busy fraction of the *workers'* accounted time
+    /// (submitters never park, so including them would inflate the
+    /// figure). `0.0` for a pool that has not spawned workers.
+    pub fn utilization(&self) -> f64 {
+        let mut agg = WorkerTelemetry::default();
+        for w in &self.workers {
+            agg.merge(w);
+        }
+        agg.utilization()
+    }
+}
+
 /// What the parked workers see: "participate in the current job".
 /// Erases the job's item/state/closure types so heterogeneous batches
-/// can share one pool.
+/// can share one pool. The participant's telemetry counters ride in so
+/// chunk and busy-time accounting lands on the right track.
 trait JobRun: Send + Sync {
-    fn participate(&self);
+    fn participate(&self, counters: &WorkerCounters);
 }
 
 /// Aggregated job output, guarded by [`Job::done`]. The job is
@@ -115,15 +263,16 @@ where
     F: Fn(usize, &mut S) -> Result<T> + Send + Sync,
 {
     /// Pops a grain from this participant's own deque, or steals a
-    /// chunk from the first non-empty victim (round-robin scan).
-    fn pop_or_steal(&self, slot: usize) -> Option<Range<usize>> {
+    /// chunk from the first non-empty victim (round-robin scan). The
+    /// flag reports whether the chunk was stolen.
+    fn pop_or_steal(&self, slot: usize) -> Option<(Range<usize>, bool)> {
         {
             let mut own = self.slots[slot].lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
             if !own.is_empty() {
                 let take = own_grain(own.len());
                 let chunk = own.start..own.start + take;
                 own.start += take;
-                return Some(chunk);
+                return Some((chunk, false));
             }
         }
         let n = self.slots.len();
@@ -133,7 +282,7 @@ where
                 let take = steal_grain(victim.len());
                 let chunk = victim.end - take..victim.end;
                 victim.end -= take;
-                return Some(chunk);
+                return Some((chunk, true));
             }
         }
         None
@@ -171,7 +320,7 @@ where
     G: Fn() -> S + Send + Sync,
     F: Fn(usize, &mut S) -> Result<T> + Send + Sync,
 {
-    fn participate(&self) {
+    fn participate(&self, counters: &WorkerCounters) {
         // ORDERING: Relaxed — the counter only allocates distinct slot
         // numbers; all data transfer goes through the slot/done
         // mutexes. Model-checked by `pool_*` in tests/model_check.rs.
@@ -184,9 +333,14 @@ where
             out.active += 1;
         }
         let mut state = (self.init)();
-        while let Some(chunk) = self.pop_or_steal(slot) {
+        while let Some((chunk, stolen)) = self.pop_or_steal(slot) {
+            if stolen {
+                counters.add_steal();
+            }
             let start = chunk.start;
             let len = chunk.len();
+            counters.add_tasks(len as u64); // CAST: chunk length widens to u64
+            let busy_t0 = Instant::now();
             let ran = shield(|| -> std::result::Result<Vec<T>, (usize, Error)> {
                 let mut seg = Vec::with_capacity(len);
                 for i in chunk {
@@ -197,6 +351,8 @@ where
                 }
                 Ok(seg)
             });
+            // CAST: one chunk's wall time is far below u64 ns.
+            counters.add_busy(busy_t0.elapsed().as_nanos() as u64);
             match ran {
                 Ok(Ok(seg)) => self.publish_chunk(start, seg, len),
                 Ok(Err((i, e))) => {
@@ -269,6 +425,12 @@ pub struct Pool {
     shared: Arc<PoolShared>,
     /// Lazily spawned worker handles, joined on drop.
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Telemetry counters, one per spawned worker (same order as
+    /// `workers`), each shared with its worker thread.
+    worker_counters: Mutex<Vec<Arc<WorkerCounters>>>,
+    /// Telemetry for submitting threads (shared: submitters are
+    /// external threads the pool cannot enumerate).
+    submitter_counters: Arc<WorkerCounters>,
     /// Serializes submissions: at most one job published at a time.
     submit: Mutex<()>,
 }
@@ -281,7 +443,7 @@ impl std::fmt::Debug for Pool {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, counters: &WorkerCounters) {
     let mut last_epoch = 0u64;
     loop {
         let job = {
@@ -299,10 +461,14 @@ fn worker_loop(shared: &PoolShared) {
                     // so a re-submit of epoch+1 still looks new.
                     last_epoch = st.epoch;
                 }
+                counters.add_park();
+                let idle_t0 = Instant::now();
                 st = shared.work_ready.wait(st).unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+                                                          // CAST: one park's wall time is far below u64 ns.
+                counters.add_unpark(idle_t0.elapsed().as_nanos() as u64);
             }
         };
-        job.participate();
+        job.participate(counters);
     }
 }
 
@@ -327,6 +493,8 @@ impl Pool {
                 work_ready: Condvar::new(),
             }),
             workers: Mutex::new(Vec::new()),
+            worker_counters: Mutex::new(Vec::new()),
+            submitter_counters: Arc::new(WorkerCounters::default()),
             submit: Mutex::new(()),
         }
     }
@@ -337,13 +505,33 @@ impl Pool {
         self.workers.lock().unwrap().len() // INVARIANT: user work is shielded; pool locks cannot be poisoned
     }
 
+    /// Point-in-time telemetry: per-worker counters (spawn order) plus
+    /// the shared submitter aggregate. Counters persist across batches
+    /// and only ever grow.
+    pub fn telemetry(&self) -> PoolTelemetry {
+        let workers = self
+            .worker_counters
+            .lock()
+            .unwrap() // INVARIANT: user work is shielded; pool locks cannot be poisoned
+            .iter()
+            .map(|c| c.snapshot())
+            .collect();
+        PoolTelemetry {
+            workers,
+            submitters: self.submitter_counters.snapshot(),
+        }
+    }
+
     fn ensure_workers(&self, needed: usize) {
         let mut workers = self.workers.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
+        let mut counters = self.worker_counters.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
         while workers.len() < needed {
             let shared = self.shared.clone();
+            let c = Arc::new(WorkerCounters::default());
+            counters.push(c.clone());
             // JOIN: handles are joined in `Pool::drop` after the
             // shutdown flag wakes every parked worker.
-            workers.push(thread::spawn(move || worker_loop(&shared)));
+            workers.push(thread::spawn(move || worker_loop(&shared, &c)));
         }
     }
 
@@ -379,11 +567,16 @@ impl Pool {
     {
         let n = n_threads.max(1).min(total.max(1));
         if n == 1 {
+            let busy_t0 = Instant::now();
             let mut state = init();
             let mut out = Vec::with_capacity(total);
             for i in 0..total {
                 out.push(work(i, &mut state)?);
             }
+            self.submitter_counters.add_tasks(total as u64); // CAST: batch size widens to u64
+                                                             // CAST: one batch's wall time is far below u64 ns.
+            let busy = busy_t0.elapsed().as_nanos() as u64;
+            self.submitter_counters.add_busy(busy);
             return Ok((out, vec![state]));
         }
 
@@ -427,7 +620,7 @@ impl Pool {
 
         // The submitter is participant #0: progress is guaranteed even
         // before any worker wakes, and a 1-thread job never parks.
-        job.participate();
+        job.participate(&self.submitter_counters);
 
         let mut out = job.done.lock().unwrap(); // INVARIANT: user work is shielded; pool locks cannot be poisoned
         while !(out.remaining == 0 && out.active == 0) {
@@ -610,6 +803,50 @@ mod tests {
             // JOIN: submitters joined before the pool is dropped.
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn telemetry_accounts_every_item_exactly_once() {
+        let pool = Pool::new();
+        assert_eq!(pool.telemetry().workers.len(), 0);
+        for threads in [1, 4] {
+            let before = pool.telemetry().total();
+            let (_, _) = pool
+                .run_batch(N, threads, || (), |i, _: &mut ()| Ok(i))
+                .unwrap();
+            let after = pool.telemetry().total();
+            // Items are claimed exactly once, whoever runs them.
+            assert_eq!(
+                after.tasks_run - before.tasks_run,
+                N as u64,
+                "threads={threads}"
+            );
+            assert!(after.chunks_stolen <= after.tasks_run);
+        }
+        let t = pool.telemetry();
+        assert_eq!(t.workers.len(), 3, "4 threads ⇒ 3 spawned workers");
+        // Workers have parked at least once each (initial park before
+        // the first job) and every unpark matches an earlier park.
+        for w in &t.workers {
+            assert!(w.parks >= w.unparks);
+        }
+        // Submitters never park on the pool condvar.
+        assert_eq!(t.submitters.parks, 0);
+        assert!(t.submitters.busy_ns > 0);
+        let u = t.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+    }
+
+    #[test]
+    fn worker_telemetry_utilization_bounds() {
+        let w = WorkerTelemetry::default();
+        assert!(w.utilization().total_cmp(&0.0).is_eq());
+        let w = WorkerTelemetry {
+            busy_ns: 3,
+            idle_ns: 1,
+            ..Default::default()
+        };
+        assert!((w.utilization() - 0.75).abs() < 1e-12);
     }
 
     #[test]

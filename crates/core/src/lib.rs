@@ -56,6 +56,8 @@
 //!   factor/lesion analyses (Fig. 12/16).
 //! * [`trace`] — per-query tracing hooks (the `tkdc-obs` adapter behind
 //!   the `obs` cargo feature; a zero-sized no-op without it).
+//! * [`span`] — stage-level timing spans over fit phases and batch
+//!   execution (same feature gating and vanishing pattern as [`trace`]).
 
 pub mod backend;
 pub mod bound;
@@ -66,6 +68,7 @@ pub mod llr;
 pub mod model_io;
 pub mod params;
 pub mod qstats;
+pub mod span;
 pub mod threshold;
 pub mod trace;
 
@@ -77,6 +80,7 @@ pub use dualtree::{classify_batch_dual, DualTreeConfig, DualTreeStats};
 pub use llr::{llr_bounds, llr_bounds_with_rtol, LlrBounds};
 pub use params::{BackendSpec, BootstrapParams, HbeParams, Optimizations, Params, RffParams};
 pub use qstats::{PruneCause, QueryScratch, QueryStats};
+pub use span::Spans;
 pub use threshold::ThresholdBounds;
 pub use trace::Tracer;
 #[cfg(feature = "obs")]

@@ -171,6 +171,15 @@ pub struct QueryScratch {
     /// Per-query trace recorder (inert by default; see
     /// [`crate::trace::Tracer`]).
     pub tracer: Tracer,
+    /// When set, the traversal accumulates wall time spent in leaf
+    /// kernel sums into [`Self::leaf_ns`]. Off by default — timing is
+    /// nondeterministic, so it must never ride in [`QueryStats`]
+    /// (whose thread-invariance tests assert exact equality); spanned
+    /// batch drivers turn it on and emit the total as one synthetic
+    /// `classify.leaf_sum` span per worker scratch.
+    pub time_leaves: bool,
+    /// Nanoseconds spent in leaf kernel sums (see [`Self::time_leaves`]).
+    pub leaf_ns: u64,
 }
 
 impl QueryScratch {

@@ -1,0 +1,194 @@
+//! Stage-level timing spans for fit and batch execution.
+//!
+//! [`Spans`] is the engine-side adapter between the fit/batch drivers
+//! and the hierarchical span records of `tkdc-obs` — the stage-grained
+//! sibling of [`Tracer`](crate::trace::Tracer)'s per-query records. It
+//! follows the same vanishing pattern:
+//!
+//! * With the `obs` cargo feature disabled, [`Spans`] is a zero-sized
+//!   `Copy` struct whose methods are empty `#[inline]` bodies.
+//! * With the feature on but no sink attached ([`Spans::off`], the
+//!   default everywhere), every hook is one `Option` check.
+//!
+//! Spans are stage-grained — a fit phase, a whole batch traversal, a
+//! serve request — never per query point, so recording cost is
+//! irrelevant to the traversal hot loops. The one per-query-adjacent
+//! measurement, the leaf kernel-sum share, is accumulated as plain
+//! nanosecond arithmetic in `QueryScratch` (see
+//! [`QueryScratch::time_leaves`](crate::qstats::QueryScratch)) and
+//! emitted afterwards as one synthetic span per worker scratch.
+
+#[cfg(feature = "obs")]
+use std::time::Instant;
+
+#[cfg(feature = "obs")]
+use tkdc_sync::Arc;
+
+#[cfg(feature = "obs")]
+pub use tkdc_obs::span::{SpanGuard, SpanRecord, SpanSink};
+
+/// Handle to an optional span sink (see module docs). Inert by default;
+/// cloning shares the underlying sink.
+#[cfg(feature = "obs")]
+#[derive(Debug, Clone, Default)]
+pub struct Spans {
+    sink: Option<Arc<SpanSink>>,
+}
+
+#[cfg(feature = "obs")]
+impl Spans {
+    /// An inert handle: every hook is a no-op.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// A recording handle over a fresh sink based at "now".
+    pub fn enabled() -> Self {
+        Self {
+            sink: Some(Arc::new(SpanSink::new())),
+        }
+    }
+
+    /// A recording handle over a fresh sink whose timestamps count from
+    /// `base` — lets many handles (e.g. one per serve request) share a
+    /// single timeline.
+    pub fn enabled_with_base(base: Instant) -> Self {
+        Self {
+            sink: Some(Arc::new(SpanSink::with_base(base))),
+        }
+    }
+
+    /// A handle recording into an existing shared sink.
+    pub fn from_sink(sink: Arc<SpanSink>) -> Self {
+        Self { sink: Some(sink) }
+    }
+
+    /// Whether this handle records anything at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Enters a span on the calling thread; the returned guard records
+    /// the exit when dropped. `None` when inert.
+    #[inline]
+    pub fn enter(&self, name: &'static str) -> Option<SpanGuard> {
+        self.sink.as_ref().map(|s| s.enter(name))
+    }
+
+    /// Microseconds since the sink's base (0 when inert).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.sink.as_ref().map_or(0, |s| s.now_us())
+    }
+
+    /// Records an already-measured interval on an explicit track (see
+    /// [`SpanSink::record_complete`]). No-op when inert.
+    #[inline]
+    pub fn record_complete(&self, name: &'static str, tid: u64, ts_us: u64, dur_us: u64) {
+        if let Some(s) = &self.sink {
+            s.record_complete(name, tid, ts_us, dur_us);
+        }
+    }
+
+    /// Drains the recorded events (empty when inert).
+    pub fn take(&self) -> Vec<SpanRecord> {
+        self.sink.as_ref().map(|s| s.take()).unwrap_or_default()
+    }
+
+    /// The calling (submitting) thread's track id — the base from which
+    /// batch drivers derive synthetic tracks for per-worker spans.
+    #[inline]
+    pub fn submitter_track(&self) -> u64 {
+        tkdc_obs::span::current_tid()
+    }
+}
+
+/// Feature-off stand-in: a zero-sized handle whose hooks compile to
+/// nothing, so spanned entry points cost exactly their unspanned twins.
+#[cfg(not(feature = "obs"))]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Spans;
+
+/// Feature-off stand-in guard: zero-sized, nothing happens on drop.
+/// Deliberately not `Copy` so `drop(guard)` closes a "span" exactly
+/// like the real guard does.
+#[cfg(not(feature = "obs"))]
+#[derive(Debug)]
+pub struct SpanGuard;
+
+#[cfg(not(feature = "obs"))]
+impl Spans {
+    /// An inert handle (the only kind in a feature-off build).
+    #[inline]
+    pub fn off() -> Self {
+        Self
+    }
+
+    /// Always `false`: nothing records in a feature-off build.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// No-op; the returned zero-sized guard drops for free.
+    #[inline]
+    pub fn enter(&self, _name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// Always 0.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        0
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn record_complete(&self, _name: &'static str, _tid: u64, _ts_us: u64, _dur_us: u64) {}
+
+    /// Always 0 in a feature-off build.
+    #[inline]
+    pub fn submitter_track(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_spans_record_nothing() {
+        let s = Spans::off();
+        assert!(!s.is_enabled());
+        assert!(s.enter("fit.tree_build").is_none());
+        s.record_complete("classify.leaf_sum", 0, 0, 1);
+        assert_eq!(s.now_us(), 0);
+        assert!(s.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_spans_share_a_sink_across_clones() {
+        let s = Spans::enabled();
+        let s2 = s.clone();
+        drop(s.enter("fit.bootstrap"));
+        drop(s2.enter("fit.threshold"));
+        let recs = s.take();
+        assert_eq!(recs.len(), 4);
+        assert!(s2.take().is_empty(), "clones drain the same sink");
+    }
+
+    #[test]
+    fn shared_base_yields_one_timeline() {
+        let base = Instant::now();
+        let a = Spans::enabled_with_base(base);
+        let b = Spans::enabled_with_base(base);
+        drop(a.enter("serve.request"));
+        drop(b.enter("serve.request"));
+        let (ra, rb) = (a.take(), b.take());
+        // Later sink's timestamps are not reset: b's enter is at or
+        // after a's enter on the shared base.
+        assert!(rb[0].ts_us >= ra[0].ts_us);
+    }
+}

@@ -19,14 +19,36 @@
 //!   log-scale latency [`Histogram`], optionally grouped in a named
 //!   [`Registry`] whose [`RegistrySnapshot`] is what `tkdc-serve` ships
 //!   over the wire and the bench binaries record into `BENCH_*.json`.
+//! * [`span`] — hierarchical RAII timing spans ([`SpanSink`] /
+//!   [`SpanGuard`]) over a closed stage vocabulary ([`STAGES`]),
+//!   exported as `tkdc-trace/v2` JSONL or Chrome `trace_event` JSON
+//!   (perfetto-loadable).
+//! * [`window`] — [`WindowedHistogram`]: a cumulative latency histogram
+//!   paired with a sliding-window view (ring of per-epoch
+//!   sub-histograms, rotate-on-write, skip-expired-on-read) so
+//!   long-running daemons report *current* p99, not lifetime p99.
+//! * [`expo`] — Prometheus text exposition (0.0.4) rendering of
+//!   registry snapshots and ad-hoc series ([`Exposition`]).
 //!
 //! The crate deliberately knows nothing about the engine: prune causes
 //! arrive as strings, counters as `u64`s. `tkdc` (core) maps its own
 //! types onto these records behind its `obs` cargo feature, so this
 //! crate never becomes a dependency cycle and stays trivially portable.
 
+pub mod expo;
 pub mod registry;
+pub mod span;
 pub mod trace;
+pub mod window;
 
+pub use expo::{sanitize_name, Exposition};
 pub use registry::{Counter, Gauge, Histogram, Registry, RegistrySnapshot, HISTOGRAM_BUCKETS};
+pub use span::{
+    chrome_trace_json, complete_spans, current_tid, span_v2_lines, CompleteSpan, SpanGuard,
+    SpanPhase, SpanRecord, SpanSink, SPAN_SCHEMA, STAGES,
+};
 pub use trace::{json_f64, json_string, QueryTrace, TraceStep, TraceWriter, TRACE_SCHEMA};
+pub use window::{
+    merge_buckets, quantile_from_buckets, WindowedHistogram, DEFAULT_SLOT_MILLIS,
+    DEFAULT_WINDOW_SLOTS,
+};

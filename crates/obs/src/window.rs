@@ -1,0 +1,284 @@
+//! Sliding-window latency histograms.
+//!
+//! A [`Histogram`](crate::registry::Histogram) accumulates since process
+//! start, which is the right view for totals but useless for "what is
+//! p99 *right now*" on a long-running daemon: an hour of fast requests
+//! buries a current regression. [`WindowedHistogram`] keeps both views
+//! in one structure — a cumulative total plus a ring of per-time-slot
+//! sub-histograms whose live suffix is the sliding window.
+//!
+//! ## Ring mechanics
+//!
+//! Time is cut into fixed `slot_millis` epochs; epoch `e` maps to ring
+//! slot `e % slots`. A recorder stamps its slot with the current epoch
+//! (CAS; the winner zeroes the slot's counts — rotate-on-write) before
+//! incrementing a bucket, and a reader sums only slots whose stamp lies
+//! within the last `slots` epochs — expired slots are skipped without
+//! any background thread (rotate-on-read). The window therefore covers
+//! between `(slots-1)` and `slots` slot-lengths of wall time.
+//!
+//! Counts are `Relaxed` atomics and rotation is racy by design: a
+//! recorder racing a slot's zeroing can lose its one increment, and a
+//! reader can observe a slot mid-zero. The window view is approximate
+//! under contention (the cumulative total never loses events); that is
+//! the standard trade for a lock-free hot path.
+//!
+//! Wall-clock-free variants ([`WindowedHistogram::record_at_ms`],
+//! [`WindowedHistogram::window_buckets_at`]) take the timestamp as an
+//! argument so rotation invariants are deterministically testable.
+
+use std::time::{Duration, Instant};
+
+use tkdc_sync::atomic::{AtomicU64, Ordering};
+
+use crate::registry::{Histogram, HISTOGRAM_BUCKETS};
+
+/// Default number of ring slots (6 × 10 s = a one-minute window).
+pub const DEFAULT_WINDOW_SLOTS: usize = 6;
+/// Default slot length in milliseconds.
+pub const DEFAULT_SLOT_MILLIS: u64 = 10_000;
+
+/// One ring slot: an epoch stamp plus its bucket counts.
+///
+/// `stamp` holds `epoch + 1` so that the zero-initialized state is
+/// distinguishable from a slot legitimately written during epoch 0.
+#[derive(Debug)]
+struct Slot {
+    stamp: AtomicU64,
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            stamp: AtomicU64::new(0),
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A cumulative latency histogram paired with a sliding-window view.
+#[derive(Debug)]
+pub struct WindowedHistogram {
+    base: Instant,
+    slot_millis: u64,
+    slots: Vec<Slot>,
+    total: Histogram,
+}
+
+impl WindowedHistogram {
+    /// A histogram with `slots` ring slots of `slot_millis` each.
+    ///
+    /// `slots` and `slot_millis` are clamped to at least 1.
+    pub fn new(slots: usize, slot_millis: u64) -> Self {
+        let slots = slots.max(1);
+        Self {
+            base: Instant::now(),
+            slot_millis: slot_millis.max(1),
+            slots: (0..slots).map(|_| Slot::new()).collect(),
+            total: Histogram::new(),
+        }
+    }
+
+    /// The default one-minute window (6 × 10 s slots).
+    pub fn default_window() -> Self {
+        Self::new(DEFAULT_WINDOW_SLOTS, DEFAULT_SLOT_MILLIS)
+    }
+
+    /// Length of the full window in seconds (slot count × slot length,
+    /// rounded up to a whole second).
+    pub fn window_seconds(&self) -> u64 {
+        let ms = self.slot_millis.saturating_mul(self.slots.len() as u64); // CAST: lossless widen
+        ms.div_ceil(1000)
+    }
+
+    fn now_ms(&self) -> u64 {
+        // CAST: u128 ms since a process-local base fits u64 (any uptime).
+        self.base.elapsed().as_millis() as u64
+    }
+
+    /// Records a latency against the wall clock.
+    pub fn record(&self, latency: Duration) {
+        self.record_micros(latency.as_micros());
+    }
+
+    /// Records a microsecond latency against the wall clock.
+    pub fn record_micros(&self, us: u128) {
+        self.record_at_ms(self.now_ms(), us);
+    }
+
+    /// Records a microsecond latency as of `ms` milliseconds since the
+    /// histogram's base. Deterministic core of [`Self::record`]; public
+    /// so rotation invariants can be property-tested without sleeping.
+    pub fn record_at_ms(&self, ms: u64, us: u128) {
+        self.total.record_micros(us);
+        let epoch = ms / self.slot_millis;
+        // CAST: lossless widen, then a value already reduced mod len.
+        let slot = &self.slots[(epoch % self.slots.len() as u64) as usize];
+        let stamp = epoch + 1;
+        // ORDERING: Relaxed — stamps and counts carry statistics, not
+        // synchronization; a racing reader seeing a mid-rotation slot
+        // only perturbs the approximate window view.
+        let seen = slot.stamp.load(Ordering::Relaxed);
+        if seen != stamp {
+            // ORDERING: Relaxed — only the CAS winner zeroes, so a slot
+            // is reset at most once per epoch; events racing the reset
+            // may be lost from the window (documented above).
+            if slot
+                .stamp
+                .compare_exchange(seen, stamp, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                for c in &slot.counts {
+                    // ORDERING: Relaxed — see module docs; window counts
+                    // are approximate under concurrent rotation.
+                    c.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+        // ORDERING: Relaxed — independent statistical increment.
+        slot.counts[Histogram::bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cumulative since-creation `(upper_bound_us, count)` buckets.
+    pub fn total_buckets(&self) -> Vec<(f64, u64)> {
+        self.total.buckets()
+    }
+
+    /// Sliding-window `(upper_bound_us, count)` buckets as of now.
+    pub fn window_buckets(&self) -> Vec<(f64, u64)> {
+        self.window_buckets_at(self.now_ms())
+    }
+
+    /// Sliding-window buckets as of `ms` milliseconds since base.
+    /// Deterministic core of [`Self::window_buckets`].
+    pub fn window_buckets_at(&self, ms: u64) -> Vec<(f64, u64)> {
+        let epoch = ms / self.slot_millis;
+        // Live stamps: (epoch+1) - slots < stamp <= epoch + 1.
+        let hi = epoch + 1;
+        let lo = hi.saturating_sub(self.slots.len() as u64); // CAST: lossless widen
+        let mut sums = [0u64; HISTOGRAM_BUCKETS];
+        for slot in &self.slots {
+            // ORDERING: Relaxed — point-in-time statistical read.
+            let stamp = slot.stamp.load(Ordering::Relaxed);
+            if stamp > lo && stamp <= hi {
+                for (sum, c) in sums.iter_mut().zip(&slot.counts) {
+                    // ORDERING: Relaxed — see module docs.
+                    *sum += c.load(Ordering::Relaxed);
+                }
+            }
+        }
+        sums.iter()
+            .enumerate()
+            .map(|(i, &c)| (Histogram::bucket_upper_us(i), c))
+            .collect()
+    }
+}
+
+/// Upper-bound-of-bucket quantile estimate over `(upper_bound_us,
+/// count)` pairs: the bound of the first bucket whose cumulative count
+/// reaches `ceil(q · total)`. Returns 0.0 for an empty histogram.
+pub fn quantile_from_buckets(buckets: &[(f64, u64)], q: f64) -> f64 {
+    let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // CAST: rank ≤ total, and q·total is finite and non-negative here.
+    let rank = ((q * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for &(upper, count) in buckets {
+        seen += count;
+        if seen >= rank {
+            return upper;
+        }
+    }
+    // INVARIANT: cumulative count reaches `total >= rank` by the last
+    // bucket, so the loop always returns; this arm is unreachable.
+    f64::INFINITY
+}
+
+/// Element-wise sum of two bucket snapshots with identical bounds.
+///
+/// # Panics
+/// Panics if the snapshots' lengths or upper bounds differ.
+/// INVARIANT: merging histograms with different bucket layouts is a
+/// programming error, not a data condition.
+pub fn merge_buckets(a: &[(f64, u64)], b: &[(f64, u64)]) -> Vec<(f64, u64)> {
+    assert_eq!(a.len(), b.len(), "bucket snapshot lengths differ");
+    a.iter()
+        .zip(b)
+        .map(|(&(ua, ca), &(ub, cb))| {
+            assert!(ua.total_cmp(&ub).is_eq(), "bucket bounds differ");
+            (ua, ca + cb)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(buckets: &[(f64, u64)]) -> u64 {
+        buckets.iter().map(|&(_, c)| c).sum()
+    }
+
+    #[test]
+    fn window_drops_expired_slots_total_keeps_them() {
+        let h = WindowedHistogram::new(3, 100);
+        h.record_at_ms(0, 10);
+        h.record_at_ms(50, 10);
+        assert_eq!(count(&h.window_buckets_at(50)), 2);
+        // Epochs 0..=2 still cover epoch 0.
+        assert_eq!(count(&h.window_buckets_at(250)), 2);
+        // Epoch 3 wraps onto slot 0; the old events leave the window.
+        assert_eq!(count(&h.window_buckets_at(300)), 0);
+        assert_eq!(count(&h.total_buckets()), 2);
+    }
+
+    #[test]
+    fn rotation_zeroes_reused_slots() {
+        let h = WindowedHistogram::new(2, 100);
+        h.record_at_ms(0, 10); // epoch 0 → slot 0
+        h.record_at_ms(210, 10); // epoch 2 → slot 0 again, must reset
+        let w = h.window_buckets_at(210);
+        assert_eq!(count(&w), 1);
+        assert_eq!(count(&h.total_buckets()), 2);
+    }
+
+    #[test]
+    fn window_seconds_rounds_up() {
+        assert_eq!(WindowedHistogram::new(6, 10_000).window_seconds(), 60);
+        assert_eq!(WindowedHistogram::new(3, 1500).window_seconds(), 5);
+    }
+
+    #[test]
+    fn wall_clock_record_lands_in_current_window() {
+        let h = WindowedHistogram::default_window();
+        h.record(Duration::from_micros(42));
+        assert_eq!(count(&h.window_buckets()), 1);
+        assert_eq!(count(&h.total_buckets()), 1);
+    }
+
+    #[test]
+    fn quantiles_walk_bucket_bounds() {
+        let h = WindowedHistogram::new(1, 1000);
+        for us in [1u128, 2, 2, 1000] {
+            h.record_at_ms(0, us);
+        }
+        let b = h.window_buckets_at(0);
+        // Quantiles land exactly on bucket upper bounds, so bit
+        // equality is the correct assertion.
+        assert!(quantile_from_buckets(&b, 0.5).total_cmp(&2.0).is_eq());
+        assert!(quantile_from_buckets(&b, 1.0).total_cmp(&1024.0).is_eq());
+        assert!(quantile_from_buckets(&[], 0.5).total_cmp(&0.0).is_eq());
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let a = vec![(1.0, 2u64), (f64::INFINITY, 3u64)];
+        let b = vec![(1.0, 5u64), (f64::INFINITY, 0u64)];
+        let m = merge_buckets(&a, &b);
+        assert_eq!(m, vec![(1.0, 7), (f64::INFINITY, 3)]);
+    }
+}

@@ -1,0 +1,195 @@
+//! A minimal, dependency-free HTTP/1.1 responder for the Prometheus
+//! metrics endpoint.
+//!
+//! This is deliberately not a web server: it answers exactly one route
+//! (`GET /metrics`) with a freshly rendered [text-format] exposition,
+//! closes every connection after one response, and rejects everything
+//! else with `404`/`405`. Request parsing reads only the request line —
+//! headers are drained and ignored — so the handler holds no state a
+//! hostile client could grow. One thread serves scrapes sequentially;
+//! Prometheus scrapes are sparse (seconds apart) and a render is
+//! microseconds, so a scrape backlog cannot form under any sane
+//! configuration.
+//!
+//! [text-format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use tkdc_sync::atomic::{AtomicBool, Ordering};
+use tkdc_sync::thread::{self, JoinHandle};
+use tkdc_sync::Arc;
+
+use tkdc_common::error::{protocol_error, Result};
+
+/// How long a scraper may dawdle over its request line or response
+/// body before the connection is dropped.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A bound (but not yet serving) metrics endpoint.
+pub struct MetricsServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+/// Join handle for a running metrics endpoint.
+pub struct MetricsHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+impl MetricsServer {
+    /// Binds the endpoint (`host:port`; port 0 picks an ephemeral port).
+    pub fn bind(addr: &str) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self { listener, addr })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts the accept loop on a background thread. `render` is
+    /// called once per `GET /metrics` to produce the exposition body.
+    pub fn spawn(self, render: Arc<dyn Fn() -> String + Send + Sync>) -> MetricsHandle {
+        let MetricsServer { listener, addr } = self;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = thread::spawn(move || {
+            for conn in listener.incoming() {
+                // ORDERING: Acquire pairs with the Release store in
+                // `MetricsHandle::shutdown` — the loop exits promptly
+                // after the self-connect wake-up.
+                if flag.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    // A misbehaving scraper only loses its own scrape.
+                    let _ = answer_scrape(stream, render.as_ref());
+                }
+            }
+        });
+        MetricsHandle {
+            addr,
+            shutdown,
+            handle,
+        }
+    }
+}
+
+impl MetricsHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins its thread.
+    pub fn shutdown(self) -> Result<()> {
+        // ORDERING: Release pairs with the Acquire load in the accept
+        // loop; the throwaway self-connection unblocks `accept()`.
+        self.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        // JOIN: the exporter thread is joined here, so no scrape
+        // handler outlives the server that owns the rendered state.
+        self.handle
+            .join()
+            .map_err(|_| protocol_error("metrics exporter thread panicked"))
+    }
+}
+
+/// Reads one request line, routes it, writes one response, closes.
+fn answer_scrape(stream: TcpStream, render: &(dyn Fn() -> String + Send + Sync)) -> Result<()> {
+    stream.set_read_timeout(Some(SCRAPE_TIMEOUT))?;
+    stream.set_write_timeout(Some(SCRAPE_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so the peer's send buffer empties before we close
+    // (avoids RST-before-response on eager clients).
+    let mut header = String::new();
+    loop {
+        header.clear();
+        let n = reader.read_line(&mut header)?;
+        if n == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render(),
+        ),
+        ("GET", _) => ("404 Not Found", "text/plain", "not found\n".to_string()),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n".to_string(),
+        ),
+    };
+    let mut stream = reader.into_inner();
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_rejects_other_routes() {
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn(Arc::new(|| "tkdc_up 1\n".to_string()));
+
+        let ok = scrape(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.ends_with("tkdc_up 1\n"));
+
+        let missing = scrape(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        let post = scrape(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+
+        handle.shutdown().unwrap();
+    }
+
+    #[test]
+    fn render_runs_per_scrape() {
+        let server = MetricsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let hits = Arc::new(tkdc_sync::atomic::AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let handle = server.spawn(Arc::new(move || {
+            // ORDERING: Relaxed — a test counter, no data published.
+            format!("tkdc_scrapes {}\n", h.fetch_add(1, Ordering::Relaxed) + 1)
+        }));
+        let first = scrape(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        let second = scrape(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(first.ends_with("tkdc_scrapes 1\n"), "{first}");
+        assert!(second.ends_with("tkdc_scrapes 2\n"), "{second}");
+        handle.shutdown().unwrap();
+    }
+}

@@ -19,7 +19,16 @@
 //!   under a work-stealing [`tkdc::ExecPolicy`].
 //! * [`Client`] — a blocking client with one method per request type.
 //! * [`metrics`] — lock-free server metrics (request/error counters and
-//!   a log-scale latency histogram) queryable over the wire via `Stats`.
+//!   a log-scale latency histogram with both since-start and
+//!   sliding-window views) queryable over the wire via `Stats`.
+//! * [`http`] — a minimal std-only HTTP responder serving the same
+//!   metrics as a Prometheus text exposition (`GET /metrics`), enabled
+//!   via [`ServeConfig::metrics_addr`].
+//!
+//! Observability sinks (all optional, see [`ServeConfig`]): a Chrome
+//! `trace_event` / `tkdc-trace/v2` span trace of every request
+//! (`span_out`), and a `tkdc-slowlog/v1` slow-query log with per-stage
+//! span breakdowns (`slow_log` + `slow_ms`).
 //!
 //! Robustness properties (all covered by `tests/serve_roundtrip.rs`):
 //! per-connection read/write timeouts, a hard connection cap with a
@@ -43,11 +52,13 @@
 //! ```
 
 pub mod client;
+pub mod http;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::Client;
+pub use http::{MetricsHandle, MetricsServer};
 pub use metrics::Metrics;
 pub use protocol::{ErrorCode, Request, Response, StatsSnapshot, PROTOCOL_VERSION};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, Server, ServerHandle, SLOWLOG_SCHEMA};

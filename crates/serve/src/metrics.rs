@@ -5,15 +5,19 @@
 //! concurrently without coordination, and [`Metrics::snapshot`] reads a
 //! (possibly slightly torn across counters, individually exact)
 //! point-in-time copy. Request latency is tracked in a log-scale
-//! [`Histogram`] — bucket `i` counts requests whose latency was at most
-//! `2^i` microseconds — so a snapshot supports approximate p50/p99
-//! queries with bounded relative error and zero allocation on the hot
-//! path.
+//! [`WindowedHistogram`]: the cumulative view counts every request since
+//! startup (bucket `i` counts requests whose latency was at most `2^i`
+//! microseconds), while the sliding-window view covers only the most
+//! recent [`DEFAULT_WINDOW_SLOTS`] × [`DEFAULT_SLOT_MILLIS`] of traffic —
+//! so a `Stats` snapshot answers both "p99 since boot" and "p99 right
+//! now" with zero allocation on the hot path.
 //!
 //! The server additionally folds every answered batch's [`QueryStats`]
 //! into an engine-counter [`Registry`] (names `engine.queries`,
 //! `engine.kernel_evals`, …, one per [`QueryStats::named_counters`]
-//! entry), so the pruning engine's work mix travels in the same `Stats`
+//! entry) plus the classify label mix (`labels.high` / `labels.low` /
+//! `labels.unknown`, the UNKNOWN share being the served abstention
+//! rate), so the pruning engine's work mix travels in the same `Stats`
 //! wire frame as the transport counters — one reporting path for both
 //! layers.
 
@@ -21,8 +25,11 @@ use std::time::Duration;
 
 use tkdc_sync::Arc;
 
-use tkdc::QueryStats;
-use tkdc_obs::{Counter, Gauge, Histogram, Registry};
+use tkdc::{Label, QueryStats};
+use tkdc_obs::{
+    Counter, Gauge, Registry, RegistrySnapshot, WindowedHistogram, DEFAULT_SLOT_MILLIS,
+    DEFAULT_WINDOW_SLOTS,
+};
 
 use crate::protocol::StatsSnapshot;
 
@@ -53,12 +60,15 @@ pub struct Metrics {
     pub connections_accepted: Counter,
     /// Connections currently open.
     pub active_connections: Gauge,
-    latency: Histogram,
+    latency: WindowedHistogram,
     engine: Registry,
     /// Hot-path handles into `engine`, pre-registered in
     /// [`QueryStats::named_counters`] order so folding a batch's stats
     /// is nine relaxed adds, no name lookups.
     engine_counters: Vec<(&'static str, Arc<Counter>)>,
+    /// Classify label mix, `[high, low, unknown]`, registered in the
+    /// same engine registry (names `labels.*`).
+    label_counters: [Arc<Counter>; 3],
 }
 
 impl Default for Metrics {
@@ -66,11 +76,16 @@ impl Default for Metrics {
         let engine = Registry::new();
         // Pre-register every engine counter at zero so snapshots carry
         // the full name set even before the first query.
-        let engine_counters = QueryStats::default()
+        let engine_counters: Vec<_> = QueryStats::default()
             .named_counters()
             .iter()
             .map(|&(name, _)| (name, engine.counter(&format!("engine.{name}"))))
             .collect();
+        let label_counters = [
+            engine.counter("labels.high"),
+            engine.counter("labels.low"),
+            engine.counter("labels.unknown"),
+        ];
         Self {
             requests_total: Counter::new(),
             errors_total: Counter::new(),
@@ -84,9 +99,10 @@ impl Default for Metrics {
             timeouts: Counter::new(),
             connections_accepted: Counter::new(),
             active_connections: Gauge::new(),
-            latency: Histogram::new(),
+            latency: WindowedHistogram::new(DEFAULT_WINDOW_SLOTS, DEFAULT_SLOT_MILLIS),
             engine,
             engine_counters,
+            label_counters,
         }
     }
 }
@@ -97,7 +113,8 @@ impl Metrics {
         Self::default()
     }
 
-    /// Records one served request's wall-clock latency.
+    /// Records one served request's wall-clock latency (both the
+    /// cumulative and the sliding-window view).
     pub fn record_latency(&self, latency: Duration) {
         self.latency.record(latency);
     }
@@ -111,6 +128,43 @@ impl Metrics {
             debug_assert_eq!(*name, stat_name, "registration order drifted");
             counter.add(value);
         }
+    }
+
+    /// Folds one answered batch's label mix into the `labels.*`
+    /// counters (the UNKNOWN share is the served abstention rate).
+    pub fn record_labels(&self, labels: &[Label]) {
+        let (mut high, mut low, mut unknown) = (0u64, 0u64, 0u64);
+        for l in labels {
+            match l {
+                Label::High => high += 1,
+                Label::Low => low += 1,
+                Label::Unknown => unknown += 1,
+            }
+        }
+        self.label_counters[0].add(high);
+        self.label_counters[1].add(low);
+        self.label_counters[2].add(unknown);
+    }
+
+    /// Point-in-time copy of the engine-counter registry (engine work
+    /// mix plus label counts), for the Prometheus exposition.
+    pub fn engine_snapshot(&self) -> RegistrySnapshot {
+        self.engine.snapshot()
+    }
+
+    /// Cumulative request-latency buckets (`(upper_us, count)`).
+    pub fn latency_buckets(&self) -> Vec<(f64, u64)> {
+        self.latency.total_buckets()
+    }
+
+    /// Sliding-window request-latency buckets (`(upper_us, count)`).
+    pub fn window_latency_buckets(&self) -> Vec<(f64, u64)> {
+        self.latency.window_buckets()
+    }
+
+    /// Width of the sliding latency window, in seconds.
+    pub fn window_seconds(&self) -> u64 {
+        self.latency.window_seconds()
     }
 
     /// Point-in-time copy for the `Stats` response. Latency bucket upper
@@ -131,7 +185,9 @@ impl Metrics {
             timeouts: self.timeouts.get(),
             connections_accepted: self.connections_accepted.get(),
             active_connections: self.active_connections.get(),
-            latency_buckets: self.latency.buckets(),
+            latency_buckets: self.latency.total_buckets(),
+            window_latency_buckets: self.latency.window_buckets(),
+            window_seconds: self.latency.window_seconds(),
             engine_counters: self.engine.snapshot().counters,
             // The metrics block has no model handle; the server stamps
             // backend provenance onto the snapshot before encoding.
@@ -163,6 +219,10 @@ mod tests {
         let total: u64 = snap.latency_buckets.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 3);
         assert!(snap.latency_buckets.last().unwrap().0.is_infinite());
+        // All three recordings are inside the (fresh) sliding window.
+        let windowed: u64 = snap.window_latency_buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(windowed, 3);
+        assert!(snap.window_seconds >= 1);
     }
 
     #[test]
@@ -177,20 +237,27 @@ mod tests {
         assert_eq!(snap.latency_quantile_us(0.5), 2.0);
         assert_eq!(snap.latency_quantile_us(0.99), 2.0);
         assert_eq!(snap.latency_quantile_us(1.0), 1024.0);
+        // The fresh window holds the same traffic as the total.
+        assert_eq!(snap.window_latency_quantile_us(0.5), 2.0);
+        assert_eq!(snap.window_latency_quantile_us(1.0), 1024.0);
     }
 
     #[test]
     fn engine_counters_fold_query_stats() {
         let m = Metrics::new();
-        // Even a fresh block snapshots the full engine-counter name set.
+        // Even a fresh block snapshots the full engine-counter name set
+        // plus the three label-mix counters.
         let names: Vec<String> = m
             .snapshot()
             .engine_counters
             .iter()
             .map(|(n, _)| n.clone())
             .collect();
-        assert_eq!(names.len(), QueryStats::default().named_counters().len());
-        assert!(names.iter().all(|n| n.starts_with("engine.")));
+        let engine_names = QueryStats::default().named_counters().len();
+        assert_eq!(names.len(), engine_names + 3);
+        assert!(names
+            .iter()
+            .all(|n| n.starts_with("engine.") || n.starts_with("labels.")));
         let stats = QueryStats {
             queries: 3,
             kernel_evals: 120,
@@ -214,6 +281,24 @@ mod tests {
         assert_eq!(get("engine.kernel_evals"), 240);
         assert_eq!(get("engine.threshold_high"), 4);
         assert_eq!(get("engine.grid_prunes"), 0);
+    }
+
+    #[test]
+    fn label_mix_counts_every_label() {
+        let m = Metrics::new();
+        m.record_labels(&[Label::High, Label::High, Label::Low, Label::Unknown]);
+        m.record_labels(&[Label::Unknown]);
+        let snap = m.snapshot();
+        let get = |name: &str| {
+            snap.engine_counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(get("labels.high"), 2);
+        assert_eq!(get("labels.low"), 1);
+        assert_eq!(get("labels.unknown"), 2);
     }
 
     #[test]

@@ -39,7 +39,12 @@ use tkdc_common::error::{protocol_error, Error, Result};
 use tkdc_common::Matrix;
 
 /// Protocol version carried in every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+///
+/// Version history: v1 was the original frame set; v2 extends the
+/// `Stats` snapshot with the sliding-window latency view
+/// (`window_latency_buckets` + `window_seconds`). Framing and every
+/// other payload are unchanged.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Hard cap on a frame body, so a hostile or corrupt length prefix can
 /// never drive an enormous allocation (64 MiB ≈ 4M 2-d query points).
@@ -170,9 +175,16 @@ pub struct StatsSnapshot {
     pub connections_accepted: u64,
     /// Connections currently open.
     pub active_connections: u64,
-    /// Request-latency histogram: `(upper_bound_us, count)` per bucket,
-    /// upper bounds ascending, last bucket `f64::INFINITY`.
+    /// Request-latency histogram since startup: `(upper_bound_us,
+    /// count)` per bucket, upper bounds ascending, last bucket
+    /// `f64::INFINITY`.
     pub latency_buckets: Vec<(f64, u64)>,
+    /// Request-latency histogram over the trailing sliding window
+    /// (same bucket layout as `latency_buckets`).
+    pub window_latency_buckets: Vec<(f64, u64)>,
+    /// Width of the sliding window behind `window_latency_buckets`,
+    /// in seconds.
+    pub window_seconds: u64,
     /// Pruning-engine counters folded from every answered batch's
     /// `QueryStats` (names `engine.queries`, `engine.kernel_evals`, …),
     /// self-describing as `(name, value)` pairs so the frame layout
@@ -187,22 +199,18 @@ pub struct StatsSnapshot {
 
 impl StatsSnapshot {
     /// Approximate latency quantile (`0 ≤ q ≤ 1`) in microseconds from
-    /// the histogram: the upper bound of the bucket containing the
-    /// q-th request. Returns 0 when no latencies were recorded.
+    /// the since-startup histogram: the upper bound of the bucket
+    /// containing the q-th request. Returns 0 when no latencies were
+    /// recorded.
     pub fn latency_quantile_us(&self, q: f64) -> f64 {
-        let total: u64 = self.latency_buckets.iter().map(|&(_, c)| c).sum();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64; // CAST: rank <= total
-        let mut seen = 0u64;
-        for &(le_us, count) in &self.latency_buckets {
-            seen += count;
-            if seen >= rank {
-                return le_us;
-            }
-        }
-        f64::INFINITY
+        tkdc_obs::quantile_from_buckets(&self.latency_buckets, q)
+    }
+
+    /// Approximate latency quantile over the trailing sliding window
+    /// only (see [`StatsSnapshot::window_seconds`]). Returns 0 when the
+    /// window is empty.
+    pub fn window_latency_quantile_us(&self, q: f64) -> f64 {
+        tkdc_obs::quantile_from_buckets(&self.window_latency_buckets, q)
     }
 }
 
@@ -462,6 +470,15 @@ fn encode_snapshot(out: &mut Vec<u8>, s: &StatsSnapshot) -> Result<()> {
         put_u32(out, len);
         out.extend_from_slice(bytes);
     }
+    // v2 tail: the sliding-window latency view.
+    let n = u32::try_from(s.window_latency_buckets.len())
+        .map_err(|_| protocol_error("implausible window bucket count"))?;
+    put_u32(out, n);
+    for &(le_us, count) in &s.window_latency_buckets {
+        put_f64(out, le_us);
+        put_u64(out, count);
+    }
+    put_u64(out, s.window_seconds);
     Ok(())
 }
 
@@ -480,6 +497,8 @@ fn decode_snapshot(c: &mut Cursor<'_>) -> Result<StatsSnapshot> {
         connections_accepted: c.u64()?,
         active_connections: c.u64()?,
         latency_buckets: Vec::new(),
+        window_latency_buckets: Vec::new(),
+        window_seconds: 0,
         engine_counters: Vec::new(),
         backend: String::new(),
         bound_kind: String::new(),
@@ -523,6 +542,20 @@ fn decode_snapshot(c: &mut Cursor<'_>) -> Result<StatsSnapshot> {
     };
     s.backend = tag()?;
     s.bound_kind = tag()?;
+    // v2 tail: the sliding-window latency view.
+    let n = c.u32()? as usize; // CAST: u32 -> usize is lossless on 64-bit targets
+    if n > 4096 {
+        return Err(protocol_error(format!(
+            "implausible window bucket count {n}"
+        )));
+    }
+    s.window_latency_buckets.reserve(n);
+    for _ in 0..n {
+        let le_us = c.f64()?;
+        let count = c.u64()?;
+        s.window_latency_buckets.push((le_us, count));
+    }
+    s.window_seconds = c.u64()?;
     Ok(s)
 }
 
@@ -728,6 +761,8 @@ mod tests {
             connections_accepted: 9,
             active_connections: 3,
             latency_buckets: vec![(1.0, 2), (2.0, 5), (f64::INFINITY, 1)],
+            window_latency_buckets: vec![(1.0, 1), (2.0, 2), (f64::INFINITY, 0)],
+            window_seconds: 60,
             engine_counters: vec![
                 ("engine.queries".to_string(), 400),
                 ("engine.kernel_evals".to_string(), 123_456),
@@ -746,6 +781,7 @@ mod tests {
     fn latency_quantiles_from_histogram() {
         let snap = StatsSnapshot {
             latency_buckets: vec![(1.0, 50), (2.0, 40), (4.0, 9), (f64::INFINITY, 1)],
+            window_latency_buckets: vec![(1.0, 0), (2.0, 3), (4.0, 1), (f64::INFINITY, 0)],
             ..StatsSnapshot::default()
         };
         assert_eq!(snap.latency_quantile_us(0.5), 1.0);
@@ -753,6 +789,13 @@ mod tests {
         assert_eq!(snap.latency_quantile_us(0.99), 4.0);
         assert_eq!(snap.latency_quantile_us(1.0), f64::INFINITY);
         assert_eq!(StatsSnapshot::default().latency_quantile_us(0.5), 0.0);
+        // The windowed view quantiles independently of the total.
+        assert_eq!(snap.window_latency_quantile_us(0.5), 2.0);
+        assert_eq!(snap.window_latency_quantile_us(1.0), 4.0);
+        assert_eq!(
+            StatsSnapshot::default().window_latency_quantile_us(0.5),
+            0.0
+        );
     }
 
     #[test]

@@ -1236,6 +1236,12 @@ mod tests {
                     "crates/core/src/engine/pool.rs",
                     "crates/core/src/backend/hbe.rs",
                     "crates/core/src/backend/rff.rs",
+                    // The observability surface: span sinks and the
+                    // windowed histogram (Relaxed counters under L7),
+                    // and the metrics endpoint (spawn/join under L9).
+                    "crates/obs/src/span.rs",
+                    "crates/obs/src/window.rs",
+                    "crates/serve/src/http.rs",
                 ] {
                     let kind = classify(Path::new(fixture_path));
                     assert!(kind.is_library && kind.cast_checked, "{fixture_path}");

@@ -1,13 +1,19 @@
-//! `check-trace` — structural validator for `tkdc-trace/v1` JSONL.
+//! `check-trace` — structural validator for `tkdc-trace/v1` and
+//! `tkdc-trace/v2` JSONL.
 //!
-//! CI runs this over trace files produced by `tkdc explain` and
-//! `tkdc classify --trace-out` so a schema drift (renamed key, wrong
-//! type, new prune cause nobody documented) fails the build instead of
-//! silently breaking downstream trace consumers. The workspace vendors
-//! no JSON crate, so this carries its own minimal recursive-descent
-//! parser — strict enough for validation (it rejects trailing garbage,
-//! unterminated strings, and malformed numbers), with no serialization
-//! half.
+//! CI runs this over trace files produced by `tkdc explain`,
+//! `tkdc classify --trace-out` (per-query `v1` records), and
+//! `--span-out FILE.jsonl` (stage-span `v2` records) so a schema drift
+//! (renamed key, wrong type, new prune cause or stage nobody
+//! documented) fails the build instead of silently breaking downstream
+//! trace consumers. `v2` span records additionally get file-level
+//! checks: balanced enter/exit phases and non-decreasing timestamps
+//! per track. A file may mix both record kinds (a serve daemon writes
+//! `v1` query traces and `v2` spans to separate sinks, but the
+//! validator does not care). The workspace vendors no JSON crate, so
+//! this carries its own minimal recursive-descent parser — strict
+//! enough for validation (it rejects trailing garbage, unterminated
+//! strings, and malformed numbers), with no serialization half.
 
 use std::fmt::Write as _;
 
@@ -233,6 +239,25 @@ pub fn parse_json(text: &str) -> Result<Json, String> {
     Ok(value)
 }
 
+/// Stage names a `tkdc-trace/v2` span record may carry.
+///
+/// Mirrors `STAGES` in `crates/obs/src/span.rs`; xtask is
+/// dependency-free by design, so the closed vocabulary is duplicated
+/// rather than imported. CI runs `check-trace` over real `--span-out`
+/// output, so a one-sided edit of either list fails the build there.
+const SPAN_STAGES: &[&str] = &[
+    "classify.dispatch",
+    "classify.leaf_sum",
+    "classify.reassembly",
+    "classify.traversal",
+    "fit.backend_build",
+    "fit.bootstrap",
+    "fit.threshold",
+    "fit.tree_build",
+    "serve.exec",
+    "serve.request",
+];
+
 /// Prune causes a `tkdc-trace/v1` line may carry.
 const CAUSES: &[&str] = &[
     "threshold_high",
@@ -266,7 +291,65 @@ fn check_bound(obj: &Json, key: &str, errs: &mut Vec<String>) {
     }
 }
 
-/// Validates one trace line against the `tkdc-trace/v1` shape. Returns
+/// Validates one `tkdc-trace/v2` span record (the `schema` key has
+/// already been checked).
+fn validate_span_line(value: &Json, errs: &mut Vec<String>) {
+    match value.get("kind") {
+        Some(Json::Str(k)) if k == "span" => {}
+        Some(Json::Str(k)) => errs.push(format!("unknown kind `{k}`")),
+        Some(other) => errs.push(format!(
+            "`kind` must be a string, got {}",
+            other.type_name()
+        )),
+        None => errs.push("missing key `kind`".to_string()),
+    }
+    match value.get("ph") {
+        Some(Json::Str(p)) if p == "B" || p == "E" => {}
+        Some(Json::Str(p)) => errs.push(format!("`ph` must be `B` or `E`, got `{p}`")),
+        Some(other) => errs.push(format!("`ph` must be a string, got {}", other.type_name())),
+        None => errs.push("missing key `ph`".to_string()),
+    }
+    match value.get("name") {
+        Some(Json::Str(n)) if SPAN_STAGES.contains(&n.as_str()) => {}
+        Some(Json::Str(n)) => errs.push(format!("unknown stage `{n}`")),
+        Some(other) => errs.push(format!(
+            "`name` must be a string, got {}",
+            other.type_name()
+        )),
+        None => errs.push("missing key `name`".to_string()),
+    }
+    check_uint(value, "tid", errs);
+    check_uint(value, "ts_us", errs);
+}
+
+/// One parsed `tkdc-trace/v2` span event, for the file-level checks.
+struct SpanEvent {
+    tid: u64,
+    ts_us: u64,
+    is_enter: bool,
+}
+
+/// Extracts the file-level fields from an already-validated `v2` line.
+fn span_event(line: &str) -> Option<SpanEvent> {
+    let value = parse_json(line).ok()?;
+    match value.get("schema") {
+        Some(Json::Str(s)) if s == "tkdc-trace/v2" => {}
+        _ => return None,
+    }
+    let uint = |key: &str| match value.get(key) {
+        // CAST: validate_span_line guaranteed a non-negative integer.
+        Some(Json::Num(n)) => Some(*n as u64),
+        _ => None,
+    };
+    Some(SpanEvent {
+        tid: uint("tid")?,
+        ts_us: uint("ts_us")?,
+        is_enter: matches!(value.get("ph"), Some(Json::Str(p)) if p == "B"),
+    })
+}
+
+/// Validates one trace line against the `tkdc-trace/v1` (per-query) or
+/// `tkdc-trace/v2` (span) shape, keyed on the `schema` field. Returns
 /// every problem found, empty when the line is valid.
 pub fn validate_trace_line(line: &str) -> Vec<String> {
     let value = match parse_json(line) {
@@ -282,6 +365,10 @@ pub fn validate_trace_line(line: &str) -> Vec<String> {
     }
     match value.get("schema") {
         Some(Json::Str(s)) if s == "tkdc-trace/v1" => {}
+        Some(Json::Str(s)) if s == "tkdc-trace/v2" => {
+            validate_span_line(&value, &mut errs);
+            return errs;
+        }
         Some(Json::Str(s)) => errs.push(format!("unknown schema `{s}`")),
         Some(other) => errs.push(format!(
             "`schema` must be a string, got {}",
@@ -335,15 +422,55 @@ pub fn validate_trace_line(line: &str) -> Vec<String> {
 pub fn check_trace_text(path: &str, text: &str) -> (usize, Vec<String>) {
     let mut checked = 0usize;
     let mut report = Vec::new();
+    // Per-track running state for v2 span records: open-span depth and
+    // the last timestamp seen. Tracks are few; linear scan suffices.
+    let mut tracks: Vec<(u64, i64, u64)> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         checked += 1;
-        for err in validate_trace_line(line) {
+        let errs = validate_trace_line(line);
+        let valid = errs.is_empty();
+        for err in errs {
             let mut msg = String::new();
             let _ = write!(msg, "{path}:{}: {err}", i + 1);
             report.push(msg);
+        }
+        let Some(ev) = (if valid { span_event(line) } else { None }) else {
+            continue;
+        };
+        let track = match tracks.iter_mut().find(|(tid, _, _)| *tid == ev.tid) {
+            Some(t) => t,
+            None => {
+                tracks.push((ev.tid, 0, 0));
+                // INVARIANT: just pushed, the vec is non-empty.
+                tracks.last_mut().unwrap()
+            }
+        };
+        if ev.ts_us < track.2 {
+            report.push(format!(
+                "{path}:{}: timestamps go backwards on track {} ({} after {})",
+                i + 1,
+                ev.tid,
+                ev.ts_us,
+                track.2
+            ));
+        }
+        track.2 = ev.ts_us;
+        track.1 += if ev.is_enter { 1 } else { -1 };
+        if track.1 < 0 {
+            report.push(format!(
+                "{path}:{}: exit without a matching enter on track {}",
+                i + 1,
+                ev.tid
+            ));
+            track.1 = 0;
+        }
+    }
+    for (tid, depth, _) in tracks {
+        if depth > 0 {
+            report.push(format!("{path}: {depth} unclosed span(s) on track {tid}"));
         }
     }
     if checked == 0 {
@@ -423,5 +550,113 @@ mod tests {
         let (n, report) = check_trace_text("e.jsonl", "\n");
         assert_eq!(n, 0);
         assert_eq!(report.len(), 1);
+    }
+
+    // ---- tkdc-trace/v2 span records ----
+
+    fn span(ph: &str, name: &str, tid: u64, ts: u64) -> String {
+        format!(
+            "{{\"schema\":\"tkdc-trace/v2\",\"kind\":\"span\",\"ph\":\"{ph}\",\
+             \"name\":\"{name}\",\"tid\":{tid},\"ts_us\":{ts}}}"
+        )
+    }
+
+    #[test]
+    fn valid_span_lines_pass() {
+        assert!(validate_trace_line(&span("B", "serve.request", 0, 10)).is_empty());
+        assert!(validate_trace_line(&span("E", "classify.leaf_sum", 901, 20)).is_empty());
+    }
+
+    #[test]
+    fn invalid_span_lines_are_reported() {
+        let bad_stage = span("B", "classify.vibes", 0, 0);
+        assert!(validate_trace_line(&bad_stage)
+            .iter()
+            .any(|e| e.contains("unknown stage")));
+        let bad_ph = span("X", "serve.request", 0, 0);
+        assert!(validate_trace_line(&bad_ph)
+            .iter()
+            .any(|e| e.contains("`ph` must be `B` or `E`")));
+        let bad_kind = span("B", "serve.request", 0, 0).replace("\"span\"", "\"event\"");
+        assert!(validate_trace_line(&bad_kind)
+            .iter()
+            .any(|e| e.contains("unknown kind")));
+        let bad_tid = span("B", "serve.request", 0, 0).replace("\"tid\":0", "\"tid\":-1");
+        assert!(validate_trace_line(&bad_tid)
+            .iter()
+            .any(|e| e.contains("`tid`")));
+    }
+
+    #[test]
+    fn span_file_checks_balance_and_monotonic_timestamps() {
+        // Balanced, nested, two tracks, interleaved: clean.
+        let good = [
+            span("B", "serve.request", 0, 0),
+            span("B", "serve.exec", 0, 1),
+            span("B", "classify.traversal", 7, 2),
+            span("E", "classify.traversal", 7, 5),
+            span("E", "serve.exec", 0, 6),
+            span("E", "serve.request", 0, 8),
+        ]
+        .join("\n");
+        let (n, report) = check_trace_text("s.jsonl", &good);
+        assert_eq!(n, 6);
+        assert!(report.is_empty(), "{report:?}");
+
+        // Unclosed span at EOF.
+        let unclosed = span("B", "serve.request", 0, 0);
+        let (_, report) = check_trace_text("s.jsonl", &unclosed);
+        assert!(report.iter().any(|e| e.contains("unclosed span")));
+
+        // Exit before any enter.
+        let orphan = span("E", "serve.request", 0, 0);
+        let (_, report) = check_trace_text("s.jsonl", &orphan);
+        assert!(report
+            .iter()
+            .any(|e| e.contains("without a matching enter")));
+
+        // Timestamps must not go backwards within a track; other
+        // tracks are independent timelines as far as ordering goes.
+        let backwards = [
+            span("B", "serve.request", 0, 10),
+            span("E", "serve.request", 0, 4),
+        ]
+        .join("\n");
+        let (_, report) = check_trace_text("s.jsonl", &backwards);
+        assert!(report.iter().any(|e| e.contains("go backwards")));
+    }
+
+    #[test]
+    fn mixed_v1_and_v2_files_are_valid() {
+        let text = format!(
+            "{GOOD}\n{}\n{}\n",
+            span("B", "classify.dispatch", 3, 1),
+            span("E", "classify.dispatch", 3, 9)
+        );
+        let (n, report) = check_trace_text("m.jsonl", &text);
+        assert_eq!(n, 3);
+        assert!(report.is_empty(), "{report:?}");
+    }
+
+    /// The golden fixture pair under `tests/golden/` pins the span
+    /// validator's fire/allow behaviour the same way the lint rules
+    /// pin theirs.
+    #[test]
+    fn span_golden_fixtures_fire_and_allow() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+        for (name, expect_clean) in [("trace_v2_allow", true), ("trace_v2_fire", false)] {
+            let path = dir.join(format!("{name}.jsonl.golden"));
+            // INVARIANT: a missing fixture is exactly what this
+            // self-test exists to catch; panic with the path.
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+            let (n, report) = check_trace_text(name, &text);
+            assert!(n > 0, "{name}: no lines checked");
+            if expect_clean {
+                assert!(report.is_empty(), "{name} must be clean, got {report:?}");
+            } else {
+                assert!(!report.is_empty(), "{name} must produce findings");
+            }
+        }
     }
 }

@@ -190,6 +190,64 @@ fn seeded_pool_dropped_wakeup_is_detected() {
 }
 
 // ---------------------------------------------------------------------
+// Engine: pool telemetry counters
+// ---------------------------------------------------------------------
+
+/// Pool telemetry under every interleaving of a 2-item batch with a
+/// concurrent snapshot reader: a mid-flight `telemetry()` may be stale
+/// but never torn (the counters are facade atomics — a plain-field
+/// regression would surface as a data race), and once the batch
+/// returns the totals are thread-invariant: `tasks_run` grew by
+/// exactly the batch size no matter which participant ran what, and
+/// stolen chunks never exceed chunks executed.
+#[test]
+fn pool_telemetry_counters_are_exact_and_untorn() {
+    let mut b = Builder::new();
+    // Submitter + lazy worker + one reader thread; bound as in
+    // `pool_park_unpark_batch_matches_serial`.
+    b.preemption_bound = Some(2);
+    b.max_iterations = 50_000;
+    let report = b.check(|| {
+        let pool = Arc::new(Pool::new());
+        let reader = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                let t = pool.telemetry();
+                // Monotone counters observed mid-flight are bounded by
+                // the batch about to complete.
+                assert!(t.total().tasks_run <= 2, "telemetry invented work");
+            })
+        };
+        let (out, states) = pool
+            .run_batch(
+                2,
+                2,
+                || 0u64,
+                |i, acc: &mut u64| {
+                    *acc += 1;
+                    Ok(i * 10)
+                },
+            )
+            .unwrap();
+        assert_eq!(out, vec![0, 10]);
+        assert_eq!(states.iter().sum::<u64>(), 2);
+        reader.join().unwrap();
+        let total = pool.telemetry().total();
+        assert_eq!(total.tasks_run, 2, "each item counted exactly once");
+        assert!(
+            total.chunks_stolen <= total.tasks_run,
+            "stolen chunks exceed executed items"
+        );
+        drop(pool);
+    });
+    assert!(
+        report.violation.is_none(),
+        "pool telemetry violation: {:?}",
+        report.violation
+    );
+}
+
+// ---------------------------------------------------------------------
 // Serve: Metrics snapshot vs concurrent increment
 // ---------------------------------------------------------------------
 

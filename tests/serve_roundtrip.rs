@@ -304,6 +304,104 @@ fn concurrent_shutdown_drains_inflight_classifies_without_dropping() {
     assert!(answered >= 1, "every in-flight classify was dropped");
 }
 
+/// End-to-end sweep of the observability sinks: the Prometheus
+/// endpoint, the windowed latency view in the `Stats` frame, the span
+/// trace, and the slow-query log — all on one served workload.
+#[test]
+fn observability_sinks_capture_spans_metrics_and_slowlog() {
+    let clf = fitted(41);
+    let queries = query_set(40, 43);
+    let dir = std::env::temp_dir();
+    let span_path = dir.join(format!("tkdc_serve_spans_{}.json", std::process::id()));
+    let slow_path = dir.join(format!("tkdc_serve_slow_{}.jsonl", std::process::id()));
+    // Bind directly (not through spawn_server) so the ephemeral metrics
+    // port can be read off the Server value before spawning.
+    let server = Server::bind(
+        ServeConfig {
+            metrics_addr: Some("127.0.0.1:0".to_string()),
+            span_out: Some(span_path.clone()),
+            slow_log: Some(slow_path.clone()),
+            slow_ms: Some(0), // log every request
+            ..ServeConfig::default()
+        },
+        clf,
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let metrics_addr = server.metrics_addr().expect("metrics endpoint bound");
+    let handle = server.spawn();
+
+    let mut client = Client::connect_with_timeout(&addr, Duration::from_secs(10)).unwrap();
+    client.ping().unwrap();
+    for _ in 0..3 {
+        let labels = client.classify(&queries).unwrap();
+        assert_eq!(labels.len(), 40);
+    }
+    client.density(&queries).unwrap();
+
+    // Scrape the Prometheus endpoint while the server is live.
+    let scrape = {
+        use std::io::{Read as _, Write as _};
+        let mut s = TcpStream::connect(metrics_addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    };
+    assert!(scrape.starts_with("HTTP/1.1 200 OK\r\n"), "{scrape}");
+    for series in [
+        "tkdc_serve_classifies{",
+        "tkdc_engine_queries{",
+        "tkdc_engine_kernel_evals{",
+        "tkdc_labels_high{",
+        "tkdc_serve_request_latency_us_bucket{",
+        "tkdc_serve_request_latency_window_us_bucket{",
+        "tkdc_pool_tasks_run{",
+        "tkdc_pool_utilization{",
+    ] {
+        assert!(
+            scrape.contains(series),
+            "scrape missing {series}:\n{scrape}"
+        );
+    }
+    assert!(scrape.contains("backend=\"tree\""));
+    assert!(scrape.contains("bound_kind=\"certified\""));
+    assert!(scrape.contains("worker=\"submitter\""));
+
+    // The Stats frame carries the windowed view (v2 protocol).
+    let stats = client.stats().unwrap();
+    let windowed: u64 = stats.window_latency_buckets.iter().map(|&(_, c)| c).sum();
+    assert!(windowed >= 5, "window missed recent requests: {windowed}");
+    assert!(stats.window_seconds >= 1);
+    assert!(stats.window_latency_quantile_us(0.99) >= stats.window_latency_quantile_us(0.5));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // Span trace: Chrome trace_event JSON with serve + classify stages.
+    let trace = std::fs::read_to_string(&span_path).unwrap();
+    assert!(trace.contains("\"traceEvents\""), "{trace}");
+    for stage in ["serve.request", "serve.exec", "classify.traversal"] {
+        assert!(trace.contains(stage), "span trace missing {stage}");
+    }
+
+    // Slow log (threshold 0 = every request): one JSON line per request
+    // with a span breakdown.
+    let slow = std::fs::read_to_string(&slow_path).unwrap();
+    let lines: Vec<&str> = slow.lines().collect();
+    assert!(lines.len() >= 5, "slow log too short:\n{slow}");
+    assert!(lines
+        .iter()
+        .all(|l| l.starts_with("{\"schema\":\"tkdc-slowlog/v1\"")));
+    assert!(slow.contains("\"op\":\"classify\""));
+    assert!(slow.contains("\"points\":40"));
+    assert!(slow.contains("\"name\":\"serve.request\""));
+
+    std::fs::remove_file(&span_path).ok();
+    std::fs::remove_file(&slow_path).ok();
+}
+
 #[test]
 fn shutdown_drains_and_new_work_is_refused() {
     let clf = fitted(23);
